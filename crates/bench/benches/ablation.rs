@@ -1,0 +1,120 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **counting strategy** — FxHash set vs std SipHash set vs the k!-rank
+//!   bitmap (distinct counting is the inner loop of Tables 2 and 3);
+//! * **scratch reuse** — `DistPermComputer` vs a fresh allocation per
+//!   point (the perf-book "reusing collections" guidance);
+//! * **metric monotone-equivalence** — L2 vs L2Squared for permutation
+//!   computation (identical permutations, no square root).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_datasets::uniform_unit_cube;
+use dp_metric::{Metric, L2, L2Squared};
+use dp_permutation::compute::{database_permutations, distance_permutation, DistPermComputer};
+use dp_permutation::counter::RankBitmap;
+use dp_permutation::fxhash::FxHashSet;
+use dp_permutation::Permutation;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_counting_strategies(c: &mut Criterion) {
+    // One shared permutation stream: 20k points, k = 8, 4-D.
+    let db = uniform_unit_cube(20_000, 4, 1);
+    let sites = uniform_unit_cube(8, 4, 2);
+    let perms = database_permutations(&L2Squared, &sites, &db);
+
+    let mut group = c.benchmark_group("distinct_counting_20k_k8");
+    group.bench_function("fx_hash_set", |b| {
+        b.iter(|| {
+            let mut set: FxHashSet<Permutation> = FxHashSet::default();
+            for &p in &perms {
+                set.insert(p);
+            }
+            black_box(set.len())
+        })
+    });
+    group.bench_function("sip_hash_set", |b| {
+        b.iter(|| {
+            let mut set: HashSet<Permutation> = HashSet::new();
+            for &p in &perms {
+                set.insert(p);
+            }
+            black_box(set.len())
+        })
+    });
+    group.bench_function("rank_bitmap", |b| {
+        b.iter(|| {
+            let mut bm = RankBitmap::new(8);
+            for p in &perms {
+                bm.insert(p);
+            }
+            black_box(bm.distinct())
+        })
+    });
+    group.finish();
+}
+
+fn bench_scratch_reuse(c: &mut Criterion) {
+    let db = uniform_unit_cube(4_096, 4, 3);
+    let sites = uniform_unit_cube(12, 4, 4);
+    let mut group = c.benchmark_group("scratch_reuse_k12");
+    group.bench_function("reused_computer", |b| {
+        let mut computer = DistPermComputer::new(12);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for y in &db {
+                acc += computer.compute(&L2Squared, &sites, y).get(0) as usize;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("fresh_allocation", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for y in &db {
+                acc += distance_permutation(&L2Squared, &sites, y).get(0) as usize;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_l2_vs_squared(c: &mut Criterion) {
+    let db = uniform_unit_cube(4_096, 8, 5);
+    let sites = uniform_unit_cube(8, 8, 6);
+    let mut group = c.benchmark_group("metric_equivalence_d8_k8");
+    group.bench_function("l2_sqrt", |b| {
+        let mut computer = DistPermComputer::new(8);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for y in &db {
+                acc += computer.compute(&L2, &sites, y).get(0) as usize;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("l2_squared", |b| {
+        let mut computer = DistPermComputer::new(8);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for y in &db {
+                acc += computer.compute(&L2Squared, &sites, y).get(0) as usize;
+            }
+            black_box(acc)
+        })
+    });
+    // Guard: the two metrics really do induce the same permutations.
+    let mut computer = DistPermComputer::new(8);
+    for y in db.iter().take(64) {
+        assert_eq!(
+            computer.compute(&L2, &sites, y),
+            computer.compute(&L2Squared, &sites, y)
+        );
+    }
+    let _ = L2.distance(&db[0][..], &db[1][..]);
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting_strategies, bench_scratch_reuse, bench_l2_vs_squared);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks for the exact geometry: rational line-arrangement cell
+//! counting (the Fig 3 verifier) and the 1-D midpoint counter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_geometry::arrangement::euclidean_cells;
+use dp_geometry::oned::exact_count_1d;
+use dp_geometry::sampling::{grid_count, BBox};
+use dp_metric::L1;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_sites(k: usize, spread: i64, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let p = (rng.random_range(-spread..spread), rng.random_range(-spread..spread));
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn bench_euclidean_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euclidean_cells");
+    for k in [6usize, 10, 14] {
+        let sites = random_sites(k, 10_000, k as u64);
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter(|| black_box(euclidean_cells(&sites)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_oned(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut sites: Vec<i64> = Vec::new();
+    while sites.len() < 64 {
+        let v = rng.random_range(-1_000_000i64..1_000_000);
+        if !sites.contains(&v) {
+            sites.push(v);
+        }
+    }
+    c.bench_function("exact_count_1d_k64", |b| {
+        b.iter(|| black_box(exact_count_1d(&sites)))
+    });
+}
+
+fn bench_grid_count(c: &mut Criterion) {
+    let sites: Vec<Vec<f64>> = vec![
+        vec![0.9867, 0.5630],
+        vec![0.3364, 0.5875],
+        vec![0.4702, 0.8210],
+        vec![0.8423, 0.3812],
+    ];
+    let bbox = BBox { x_min: -0.5, x_max: 1.5, y_min: -0.5, y_max: 1.5 };
+    let mut group = c.benchmark_group("grid_count_l1_k4");
+    group.sample_size(20);
+    group.bench_function("200x200", |b| {
+        b.iter(|| black_box(grid_count(&L1, &sites, bbox, 200, 200).distinct()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_euclidean_cells, bench_oned, bench_grid_count);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmarks for the paper's central measurement: counting distinct
+//! distance permutations over a database (Table 2/3 inner loop), plus
+//! the codebook machinery behind the storage result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_core::count::{count_permutations, count_permutations_parallel};
+use dp_datasets::uniform_unit_cube;
+use dp_metric::L2Squared;
+use dp_permutation::encoding::Codebook;
+use dp_permutation::{compute::database_permutations, PermutationCounter};
+use std::hint::black_box;
+
+fn bench_count_distinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_distinct_n10k");
+    group.sample_size(20);
+    for (d, k) in [(2usize, 8usize), (6, 8), (6, 12)] {
+        let db = uniform_unit_cube(10_000, d, 1);
+        let sites = uniform_unit_cube(k, d, 2);
+        group.bench_function(format!("d{d}_k{k}"), |b| {
+            b.iter(|| black_box(count_permutations(&L2Squared, &sites, &db).distinct))
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_parallel_n50k_d6_k12");
+    group.sample_size(10);
+    let db = uniform_unit_cube(50_000, 6, 3);
+    let sites = uniform_unit_cube(12, 6, 4);
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| {
+                black_box(count_permutations_parallel(&L2Squared, &sites, &db, threads).distinct)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter_and_codebook(c: &mut Criterion) {
+    let db = uniform_unit_cube(20_000, 4, 5);
+    let sites = uniform_unit_cube(8, 4, 6);
+    let perms = database_permutations(&L2Squared, &sites, &db);
+    c.bench_function("permutation_counter_insert_20k", |b| {
+        b.iter(|| {
+            let mut counter = PermutationCounter::new();
+            for &p in &perms {
+                counter.insert(p);
+            }
+            black_box(counter.distinct())
+        })
+    });
+    c.bench_function("codebook_intern_20k", |b| {
+        b.iter(|| {
+            let mut cb = Codebook::new();
+            for &p in &perms {
+                cb.intern(p);
+            }
+            black_box(cb.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_count_distinct, bench_count_parallel, bench_counter_and_codebook);
+criterion_main!(benches);

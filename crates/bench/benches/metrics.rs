@@ -1,0 +1,88 @@
+//! Microbenchmarks for the metric kernels — the unit of cost in all of
+//! the paper's experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_datasets::dictionary::{generate_words, language_profiles};
+use dp_datasets::documents::{generate_documents, short_profile};
+use dp_metric::{CosineDistance, Levenshtein, Metric, PrefixDistance, L1, L2, LInf};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+}
+
+fn bench_vector_metrics(c: &mut Criterion) {
+    for d in [8usize, 32, 112] {
+        let pts = random_points(256, d, 1);
+        let mut group = c.benchmark_group(format!("vector_d{d}"));
+        group.bench_function("L1", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = &pts[i & 255];
+                let y = &pts[(i + 7) & 255];
+                i += 1;
+                black_box(L1.distance(x, y))
+            })
+        });
+        group.bench_function("L2", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = &pts[i & 255];
+                let y = &pts[(i + 7) & 255];
+                i += 1;
+                black_box(L2.distance(x, y))
+            })
+        });
+        group.bench_function("Linf", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = &pts[i & 255];
+                let y = &pts[(i + 7) & 255];
+                i += 1;
+                black_box(LInf.distance(x, y))
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_string_metrics(c: &mut Criterion) {
+    let words = generate_words(&language_profiles()[1], 256, 5);
+    c.bench_function("levenshtein_dictionary", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = &words[i & 255];
+            let y = &words[(i + 31) & 255];
+            i += 1;
+            black_box(Levenshtein.distance(x, y))
+        })
+    });
+    c.bench_function("prefix_distance_dictionary", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = &words[i & 255];
+            let y = &words[(i + 31) & 255];
+            i += 1;
+            black_box(PrefixDistance.distance(x, y))
+        })
+    });
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let docs = generate_documents(short_profile(), 256, 9);
+    c.bench_function("cosine_short_documents", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = &docs[i & 255];
+            let y = &docs[(i + 31) & 255];
+            i += 1;
+            black_box(CosineDistance.distance(x, y))
+        })
+    });
+}
+
+criterion_group!(benches, bench_vector_metrics, bench_string_metrics, bench_cosine);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! EXT — beyond the paper: **exact** L1/L∞ cell counts in the plane.
+//!
+//! The paper measures non-Euclidean counts only by sampling ("informal
+//! computer-graphics experiments", §4; database censuses, §5) and leaves
+//! the exact L1 combinatorics open.  With the segment-arrangement engine
+//! the 2-D question can be settled configuration by configuration:
+//!
+//! * verifies the Fig 4 class exactly (18 cells, same as Euclidean);
+//! * sweeps random integer configurations for k = 3..6 comparing the
+//!   exact L1, L∞ and L2 counts — reporting the maxima and whether any
+//!   L1/L∞ configuration exceeds the Euclidean maximum N_{2,2}(k)
+//!   (the paper's counterexamples start at d = 3; in d = 2 none is
+//!   expected, and this binary gives exact evidence).
+
+use dp_bench::Args;
+use dp_geometry::arrangement::euclidean_cells;
+use dp_geometry::l1exact::{l1_cells, linf_cells};
+use dp_theory::n_euclidean;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let args = Args::parse();
+    let trials: usize = args.get("trials", 200);
+    let seed: u64 = args.get("seed", 2009);
+
+    println!("exact L1 count of the Fig 4 configuration: {:?} (paper, by pixels: 18)",
+             l1_cells(&[(9867, 5630), (3364, 5875), (4702, 8210), (8423, 3812)]));
+
+    println!("\nexact sweep over {trials} random integer configurations per k:");
+    println!(
+        "{:>3} {:>10} | {:>8} {:>8} {:>8} | {:>10}",
+        "k", "N_2,2(k)", "max L1", "max Linf", "max L2", "L1>Euclid?"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    for k in 3..=6usize {
+        let e_max = n_euclidean(2, k as u32).expect("small");
+        let (mut max_l1, mut max_linf, mut max_l2) = (0u128, 0u128, 0u128);
+        let mut exceeded = false;
+        let mut done = 0usize;
+        while done < trials {
+            let sites: Vec<(i64, i64)> = (0..k)
+                .map(|_| (rng.random_range(-500..500), rng.random_range(-500..500)))
+                .collect();
+            let (Ok(c1), Ok(ci)) = (l1_cells(&sites), linf_cells(&sites)) else {
+                continue; // degenerate draw (diagonal/axis-aligned pair)
+            };
+            let c2 = euclidean_cells(&sites);
+            max_l1 = max_l1.max(c1);
+            max_linf = max_linf.max(ci);
+            max_l2 = max_l2.max(c2);
+            exceeded |= c1 > e_max || ci > e_max;
+            done += 1;
+        }
+        println!(
+            "{k:>3} {e_max:>10} | {max_l1:>8} {max_linf:>8} {max_l2:>8} | {:>10}",
+            if exceeded { "YES (!)" } else { "no" }
+        );
+    }
+    println!("\nexpected: the L1/L∞ maxima track the Euclidean maximum from below in 2-D;");
+    println!("the paper's counterexamples to N_d,p = N_d,2 appear only from d = 3.");
+}

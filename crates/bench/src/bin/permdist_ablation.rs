@@ -1,0 +1,83 @@
+//! Ablation: which permutation-similarity measure should the `distperm`
+//! index order candidates by?
+//!
+//! Chávez–Figueroa–Navarro picked the Spearman footrule; this harness
+//! compares footrule, Spearman rho (squared form), Kendall tau and
+//! Cayley on budgeted 1-NN recall over uniform vectors and a synthetic
+//! dictionary, holding the index, sites and budget fixed.
+//!
+//! `cargo run --release -p dp-bench --bin permdist_ablation [--n 20000]
+//!  [--d 3] [--k 10] [--queries 200] [--frac 0.05] [--seed 1]`
+
+use dp_bench::Args;
+use dp_datasets::dictionary::{generate_words, language_profiles};
+use dp_datasets::uniform_unit_cube;
+use dp_index::laesa::PivotSelection;
+use dp_index::{DistPermIndex, LinearScan, OrderingKind};
+use dp_metric::{Levenshtein, Metric, L2};
+
+fn recall_sweep<P, M>(
+    label: &str,
+    metric: M,
+    db: Vec<P>,
+    queries: &[P],
+    k: usize,
+    frac: f64,
+) where
+    P: Clone,
+    M: Metric<P> + Clone,
+{
+    let scan = LinearScan::new(db.clone());
+    let truth: Vec<usize> =
+        queries.iter().map(|q| scan.knn(&metric, q, 1)[0].id).collect();
+    let idx = DistPermIndex::build(metric, db, k, PivotSelection::MaxMin);
+    print!("{label:<22}");
+    for kind in OrderingKind::ALL {
+        let hits = queries
+            .iter()
+            .zip(&truth)
+            .filter(|(q, &t)| {
+                idx.knn_approx_ordered(q, 1, frac, kind).first().map(|n| n.id) == Some(t)
+            })
+            .count();
+        print!(" {:>7.1}%", 100.0 * hits as f64 / queries.len() as f64);
+    }
+    println!();
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 20_000);
+    let d: usize = args.get("d", 3);
+    let k: usize = args.get("k", 10);
+    let n_queries: usize = args.get("queries", 200);
+    let frac: f64 = args.get("frac", 0.05);
+    let seed: u64 = args.get("seed", 1);
+
+    println!(
+        "candidate-ordering ablation: k = {k}, budget = {:.0}% of n, \
+         1-NN recall over {n_queries} queries\n",
+        frac * 100.0
+    );
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "footrule", "rho_sq", "kendall", "cayley"
+    );
+
+    let db = uniform_unit_cube(n, d, seed);
+    let queries = uniform_unit_cube(n_queries, d, seed ^ 0xBEEF);
+    recall_sweep(&format!("uniform d={d} n={n}"), L2, db, &queries, k, frac);
+
+    let profiles = language_profiles();
+    let english = profiles.iter().find(|p| p.name == "english").expect("profile");
+    let words = generate_words(english, n.min(10_000), seed);
+    let queries = generate_words(english, n_queries, seed ^ 0xF00D);
+    recall_sweep(
+        &format!("english n={}", n.min(10_000)),
+        Levenshtein,
+        words,
+        &queries,
+        k,
+        frac,
+    );
+}

@@ -1,0 +1,86 @@
+//! Ablation: how much does *site selection* change what the paper counts?
+//!
+//! The theory bounds N for the worst case over site choices; Table 3
+//! samples random sites.  This harness compares four selection policies
+//! on the same databases:
+//!
+//! * `Prefix`  — first k elements (clustered, adversarially lazy);
+//! * `Random`  — the paper's Table 3 protocol;
+//! * `MaxMin`  — classical farthest-first (LAESA);
+//! * `PermDiversity` — greedy maximisation of the distinct-permutation
+//!   count itself (this workspace's extension, motivated by §4: the
+//!   stored permutation carries ⌈log₂ N⌉ bits of information).
+//!
+//! For each policy: the distinct-permutation count (↑ = more index
+//! information) and 1-NN recall of the budgeted `distperm` search.
+//!
+//! `cargo run --release -p dp-bench --bin pivot_ablation [--n 20000]
+//!  [--d 3] [--k 8] [--queries 200] [--frac 0.05] [--seeds 5]`
+
+use dp_bench::Args;
+use dp_datasets::uniform_unit_cube;
+use dp_index::laesa::PivotSelection;
+use dp_index::{DistPermIndex, LinearScan};
+use dp_metric::L2;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 20_000);
+    let d: usize = args.get("d", 3);
+    let k: usize = args.get("k", 8);
+    let n_queries: usize = args.get("queries", 200);
+    let frac: f64 = args.get("frac", 0.05);
+    let seeds: u64 = args.get("seeds", 5);
+
+    println!(
+        "pivot ablation: n = {n}, d = {d}, k = {k}, {n_queries} queries, \
+         budget = {:.0}% of n, {seeds} seeds\n",
+        frac * 100.0
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>8}",
+        "policy", "distinct", "max_dist", "recall"
+    );
+
+    type PolicyCtor = fn(u64) -> PivotSelection;
+    let policies: [(&str, PolicyCtor); 4] = [
+        ("Prefix", |_| PivotSelection::Prefix),
+        ("Random", PivotSelection::Random),
+        ("MaxMin", |_| PivotSelection::MaxMin),
+        ("PermDiversity", PivotSelection::PermDiversity),
+    ];
+
+    for (name, make) in policies {
+        let mut distinct_sum = 0usize;
+        let mut distinct_max = 0usize;
+        let mut hits = 0usize;
+        let mut total_q = 0usize;
+        for seed in 0..seeds {
+            let db = uniform_unit_cube(n, d, 7_000 + seed);
+            let queries = uniform_unit_cube(n_queries, d, 9_000 + seed);
+            let scan = LinearScan::new(db.clone());
+            let idx = DistPermIndex::build(L2, db, k, make(seed));
+            let distinct = idx.distinct_permutations();
+            distinct_sum += distinct;
+            distinct_max = distinct_max.max(distinct);
+            for q in &queries {
+                let truth = scan.knn(&L2, q, 1)[0].id;
+                if idx.knn_approx(q, 1, frac).first().map(|nb| nb.id) == Some(truth) {
+                    hits += 1;
+                }
+                total_q += 1;
+            }
+        }
+        println!(
+            "{name:<16} {:>10.1} {distinct_max:>10} {:>7.1}%",
+            distinct_sum as f64 / seeds as f64,
+            100.0 * hits as f64 / total_q as f64
+        );
+    }
+    println!(
+        "\nceiling: N_{{{d},2}}({k}) = {}",
+        dp_theory::n_euclidean(d as u32, k as u32)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "> 2^128".into())
+    );
+}

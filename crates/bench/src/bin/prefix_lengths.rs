@@ -1,0 +1,63 @@
+//! Extension experiment: §2's refinement chain as a storage/recall sweep.
+//!
+//! For ℓ = 1..k the harness reports the number of distinct ordered
+//! prefixes (against the dp-theory ceiling), the unordered (order-ℓ
+//! Voronoi, Fig 2) count, the raw index bits per element, and budgeted
+//! 1-NN recall — quantifying exactly what truncating the stored
+//! permutation costs.
+//!
+//! `cargo run --release -p dp-bench --bin prefix_lengths [--n 20000]
+//!  [--d 3] [--k 8] [--queries 200] [--frac 0.05] [--seed 1]`
+
+use dp_bench::Args;
+use dp_core::orders::{count_distinct_prefixes, PrefixKind};
+use dp_datasets::uniform_unit_cube;
+use dp_index::laesa::PivotSelection;
+use dp_index::{LinearScan, PrefixPermIndex};
+use dp_metric::L2;
+use dp_theory::prefixes::{ordered_prefix_bound, unordered_prefix_bound};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 20_000);
+    let d: usize = args.get("d", 3);
+    let k: usize = args.get("k", 8);
+    let n_queries: usize = args.get("queries", 200);
+    let frac: f64 = args.get("frac", 0.05);
+    let seed: u64 = args.get("seed", 1);
+    assert!(k <= 8, "prefix keys support l <= 8; pass --k 8 or less");
+
+    let db = uniform_unit_cube(n, d, seed);
+    let queries = uniform_unit_cube(n_queries, d, seed ^ 0xABCD);
+    let scan = LinearScan::new(db.clone());
+    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(&L2, q, 1)[0].id).collect();
+
+    println!(
+        "prefix-length sweep: n = {n}, d = {d}, k = {k} (MaxMin sites), \
+         budget = {:.0}% of n\n",
+        frac * 100.0
+    );
+    println!(
+        "{:>3} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "l", "ordered", "bound", "unord", "bound", "bits/elem", "recall"
+    );
+    for l in 1..=k {
+        let idx = PrefixPermIndex::build(L2, db.clone(), k, l, PivotSelection::MaxMin);
+        let sites: Vec<Vec<f64>> = idx.site_ids().iter().map(|&i| db[i].clone()).collect();
+        let ordered = count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Ordered);
+        let unordered = count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Unordered);
+        assert_eq!(ordered, idx.distinct_prefixes());
+        let ob = ordered_prefix_bound(d as u32, k as u32, l as u32).unwrap();
+        let ub = unordered_prefix_bound(d as u32, k as u32, l as u32).unwrap();
+        let hits = queries
+            .iter()
+            .zip(&truth)
+            .filter(|(q, &t)| idx.knn_approx(q, 1, frac).first().map(|nb| nb.id) == Some(t))
+            .count();
+        println!(
+            "{l:>3} {ordered:>9} {ob:>9} {unordered:>9} {ub:>9} {:>10.1} {:>7.1}%",
+            idx.storage_bits_raw() as f64 / n as f64,
+            100.0 * hits as f64 / n_queries as f64
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! E14 — the search-cost context of §1: distance permutations "provide
+//! enough information to do an efficient search, comparable to LAESA,
+//! while consuming much less storage space", and iAESA improves on AESA.
+//!
+//! Reports metric evaluations per 1-NN query (the field's cost model) for
+//! every index in `dp-index`, on two workloads:
+//!
+//! * uniform vectors (the standard stress test, `--points`, `--dim`);
+//! * a synthetic dictionary under Levenshtein (the Table 2 workload).
+//!
+//! The distperm rows are approximate (budgeted scan) and also report
+//! recall against ground truth; exact structures are marked exact.
+
+use dp_bench::Args;
+use dp_datasets::dictionary::{generate_words, language_profiles};
+use dp_datasets::uniform_unit_cube;
+use dp_index::laesa::PivotSelection;
+use dp_index::{
+    Aesa, BkTree, CountingMetric, DistPermIndex, GhTree, IAesa, Laesa, LinearScan, VpTree,
+};
+use dp_metric::{Levenshtein, Metric, L2};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("points", 2_000);
+    let d: usize = args.get("dim", 4);
+    let k: usize = args.get("sites", 12);
+    let queries: usize = args.get("queries", 50);
+
+    println!("search cost: metric evaluations per exact/approximate 1-NN query");
+    println!("(n = {n}, {queries} queries; AESA/iAESA build cost is n(n-1)/2 evaluations)\n");
+
+    println!("workload A: uniform vectors, d = {d}, L2");
+    let pts = uniform_unit_cube(n, d, 1);
+    let qs = uniform_unit_cube(queries, d, 2);
+    evaluate(&pts, &qs, k, L2);
+
+    println!("\nworkload B: synthetic dictionary, Levenshtein");
+    let words = generate_words(&language_profiles()[1], n, 3);
+    let queries_w = generate_words(&language_profiles()[1], queries, 4);
+    evaluate(&words, &queries_w, k, Levenshtein);
+
+    // BK-tree: discrete-metric baseline, strings only (needs Dist = u32).
+    let scan = LinearScan::new(words.clone());
+    let truth: Vec<usize> =
+        queries_w.iter().map(|q| scan.knn(&Levenshtein, q, 1)[0].id).collect();
+    let bk = BkTree::build(CountingMetric::new(Levenshtein), words);
+    let mut evals = 0u64;
+    let mut correct = 0usize;
+    for (q, &t) in queries_w.iter().zip(&truth) {
+        bk.metric().reset();
+        let got = bk.knn(q, 1)[0].id;
+        evals += bk.metric().count();
+        correct += usize::from(got == t);
+    }
+    println!(
+        "  {:<22} {:>12.1} {:>9.2} {:>8}",
+        "BK-tree",
+        evals as f64 / queries_w.len() as f64,
+        correct as f64 / queries_w.len() as f64,
+        "yes"
+    );
+
+    println!("\nexpected shape: AESA fewest evaluations; iAESA comparable or better;");
+    println!("LAESA and distperm(frac=0.05..0.2) in between; linear scan = n.");
+}
+
+fn evaluate<P, M>(pts: &[P], qs: &[P], k: usize, metric: M)
+where
+    P: Clone + PartialEq,
+    M: Metric<P> + Copy,
+{
+    let scan = LinearScan::new(pts.to_vec());
+    let truth: Vec<usize> = qs.iter().map(|q| scan.knn(&metric, q, 1)[0].id).collect();
+    let n = pts.len();
+
+    println!(
+        "  {:<22} {:>12} {:>9} {:>8}",
+        "index", "evals/query", "recall@1", "exact"
+    );
+    println!("  {:<22} {:>12} {:>9} {:>8}", "linear scan", n, "1.00", "yes");
+
+    // LAESA.
+    let laesa = Laesa::build(CountingMetric::new(metric), pts.to_vec(), k, PivotSelection::MaxMin);
+    let mut evals = 0u64;
+    let mut correct = 0usize;
+    for (q, &t) in qs.iter().zip(&truth) {
+        laesa.metric().reset();
+        let got = laesa.knn(q, 1)[0].id;
+        evals += laesa.metric().count();
+        correct += usize::from(got == t);
+    }
+    report("LAESA", evals, correct, qs.len(), true);
+
+    // AESA.
+    let aesa = Aesa::build(CountingMetric::new(metric), pts.to_vec());
+    let mut evals = 0u64;
+    let mut correct = 0usize;
+    for (q, &t) in qs.iter().zip(&truth) {
+        aesa.metric().reset();
+        let got = aesa.knn(q, 1)[0].id;
+        evals += aesa.metric().count();
+        correct += usize::from(got == t);
+    }
+    report("AESA", evals, correct, qs.len(), true);
+
+    // iAESA.
+    let iaesa = IAesa::build(CountingMetric::new(metric), pts.to_vec(), k, PivotSelection::MaxMin);
+    let mut evals = 0u64;
+    let mut correct = 0usize;
+    for (q, &t) in qs.iter().zip(&truth) {
+        iaesa.metric().reset();
+        let got = iaesa.knn(q, 1)[0].id;
+        evals += iaesa.metric().count();
+        correct += usize::from(got == t);
+    }
+    report("iAESA", evals, correct, qs.len(), true);
+
+    // VP-tree and GH-tree.
+    let vp = VpTree::build(CountingMetric::new(metric), pts.to_vec());
+    let mut evals = 0u64;
+    let mut correct = 0usize;
+    for (q, &t) in qs.iter().zip(&truth) {
+        vp.metric().reset();
+        let got = vp.knn(q, 1)[0].id;
+        evals += vp.metric().count();
+        correct += usize::from(got == t);
+    }
+    report("VP-tree", evals, correct, qs.len(), true);
+
+    let gh = GhTree::build(CountingMetric::new(metric), pts.to_vec());
+    let mut evals = 0u64;
+    let mut correct = 0usize;
+    for (q, &t) in qs.iter().zip(&truth) {
+        gh.metric().reset();
+        let got = gh.knn(q, 1)[0].id;
+        evals += gh.metric().count();
+        correct += usize::from(got == t);
+    }
+    report("GH-tree", evals, correct, qs.len(), true);
+
+    // distperm at several budgets.
+    let dp = DistPermIndex::build(CountingMetric::new(metric), pts.to_vec(), k, PivotSelection::MaxMin);
+    for frac in [0.05f64, 0.1, 0.2] {
+        let mut evals = 0u64;
+        let mut correct = 0usize;
+        for (q, &t) in qs.iter().zip(&truth) {
+            dp.metric().reset();
+            let got = dp.knn_approx(q, 1, frac)[0].id;
+            evals += dp.metric().count();
+            correct += usize::from(got == t);
+        }
+        report(&format!("distperm frac={frac}"), evals, correct, qs.len(), false);
+    }
+}
+
+fn report(name: &str, evals: u64, correct: usize, queries: usize, exact: bool) {
+    println!(
+        "  {:<22} {:>12.1} {:>9.2} {:>8}",
+        name,
+        evals as f64 / queries as f64,
+        correct as f64 / queries as f64,
+        if exact { "yes" } else { "no" }
+    );
+}

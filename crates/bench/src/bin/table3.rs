@@ -1,0 +1,76 @@
+//! E3 — regenerates the paper's **Table 3**: mean and maximum number of
+//! distance permutations for uniform random vectors, for the L1, L2 and
+//! L∞ metrics, dimensions d = 1..10 and k ∈ {4, 8, 12} sites, over
+//! repeated runs with random database elements as sites.
+//!
+//! The paper uses n = 10⁶ points and 100 runs; the default here is
+//! n = `--points` (100,000) and `--runs` (20) so the full sweep finishes
+//! in minutes on a laptop.  Pass `--points 1000000 --runs 100` for the
+//! paper-scale run.  Expected shape (the claims the paper draws from this
+//! table):
+//!
+//! * d = 1: identical for all metrics, = C(k,2)+1 (7 / 29 / 67);
+//! * small d, small k: saturates at k! (Theorem 6's triangle);
+//! * counts grow steeply with d but stay far below both k! and the
+//!   Euclidean maxima of Table 1 at larger k (cells missed by sampling);
+//! * a general downward trend from L1 to L2 to L∞.
+
+use dp_bench::Args;
+use dp_core::experiments::{uniform_experiment, MetricKind};
+use dp_datasets::vectors::uniform_unit_cube;
+use dp_datasets::rho::intrinsic_dimensionality;
+use dp_metric::{L1, L2, LInf};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("points", 100_000);
+    let runs: usize = args.get("runs", 20);
+    let threads: usize = args.get("threads", 8);
+    let seed: u64 = args.get("seed", 3);
+    let ks: [usize; 3] = [4, 8, 12];
+
+    println!("Table 3 — distance permutations for uniform random vectors");
+    println!("n = {n} points per run, {runs} runs (paper: 10^6 points, 100 runs)");
+    println!();
+    println!(
+        "{:<5} {:>2} {:>7} | {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8}",
+        "metric", "d", "rho", "mean k=4", "mean k=8", "mean k=12", "max k=4", "max k=8", "max k=12"
+    );
+
+    for metric in MetricKind::ALL {
+        for d in 1..=10usize {
+            // rho column: the paper reports it per (metric, d) from the
+            // uniform distribution itself.
+            let sample = uniform_unit_cube(4000, d, seed ^ (d as u64) << 8);
+            let rho = match metric {
+                MetricKind::L1 => intrinsic_dimensionality(&L1, &sample, 4000, 1),
+                MetricKind::L2 => intrinsic_dimensionality(&L2, &sample, 4000, 1),
+                MetricKind::LInf => intrinsic_dimensionality(&LInf, &sample, 4000, 1),
+            };
+            let cells: Vec<_> = ks
+                .iter()
+                .map(|&k| {
+                    uniform_experiment(d, metric, k, n, runs, seed ^ ((d as u64) << 16), threads)
+                })
+                .collect();
+            println!(
+                "{:<5} {:>2} {:>7.2} | {:>10.2} {:>10.2} {:>10.2} | {:>8} {:>8} {:>8}",
+                metric.name(),
+                d,
+                rho,
+                cells[0].mean,
+                cells[1].mean,
+                cells[2].mean,
+                cells[0].max,
+                cells[1].max,
+                cells[2].max
+            );
+        }
+        println!();
+    }
+
+    println!("paper shape checks:");
+    println!("  d=1 rows should read mean/max ~ 7 / 29 / 67 for every metric (C(k,2)+1);");
+    println!("  k=4 columns should saturate at 24 = 4! from d=3 upward;");
+    println!("  counts should trend downward from L1 to L2 to Linf at fixed d,k.");
+}

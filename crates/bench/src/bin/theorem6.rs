@@ -1,0 +1,42 @@
+//! E9 — verifies **Theorem 6** constructively: k sites in
+//! (k−1)-dimensional Lp space realising all k! distance permutations,
+//! for every p ∈ {1, 2, ∞} and k = 2..=`--max-k` (default 7).
+//!
+//! The construction is the proof's own: sites at ±1 on the first axis,
+//! each later site on a fresh axis at 1+ε/4; witnesses found by the
+//! proof's monotone z-sweep.  A successful run *is* the verification —
+//! every witness's permutation is checked against its target.
+
+use dp_bench::Args;
+use dp_metric::{L1, L2, LInf, Metric};
+use dp_theory::theorem6_witnesses;
+use std::time::Instant;
+
+fn verify<M: Metric<[f64]>>(name: &str, k: usize, eps: f64, metric: &M) {
+    let start = Instant::now();
+    let witnesses = theorem6_witnesses(k, eps, metric);
+    let expected: usize = (1..=k).product();
+    let distinct: std::collections::HashSet<_> = witnesses.iter().map(|(p, _)| *p).collect();
+    assert_eq!(witnesses.len(), expected);
+    assert_eq!(distinct.len(), expected);
+    println!(
+        "  {name:<4} k={k}: all {expected:>5} permutations realised in {:>8.2?} (d = {})",
+        start.elapsed(),
+        k - 1
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_k: usize = args.get("max-k", 7);
+    let eps: f64 = args.get("eps", 0.25);
+
+    println!("Theorem 6 — k sites in (k-1)-dimensional Lp space realise all k! permutations");
+    println!("construction epsilon = {eps}\n");
+    for k in 2..=max_k.min(8) {
+        verify("L1", k, eps, &L1);
+        verify("L2", k, eps, &L2);
+        verify("Linf", k, eps, &LInf);
+    }
+    println!("\nevery (metric, k) above realised the full factorial — Theorem 6 verified.");
+}

@@ -1,0 +1,87 @@
+//! `distperm generate`: write a synthetic database in SISAP ASCII format.
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+use dp_datasets::sisap_io;
+use dp_datasets::{colors, dictionary, genes, nasa, vectors};
+use std::io::Write;
+
+pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let kind = parsed.require_str("kind")?.to_string();
+    let n = parsed.require_usize("n")?;
+    let path = parsed.require_str("out")?.to_string();
+    let seed = parsed.u64_or("seed", 1)?;
+    if n == 0 {
+        return Err(CliError::usage("--n must be positive"));
+    }
+
+    match kind.as_str() {
+        "uniform" | "gaussian" | "clustered" | "curve" => {
+            let dim = parsed.require_usize("dim")?;
+            if dim == 0 {
+                return Err(CliError::usage("--dim must be positive"));
+            }
+            let data = match kind.as_str() {
+                "uniform" => vectors::uniform_unit_cube(n, dim, seed),
+                "gaussian" => {
+                    let std_dev = parsed.f64_or("std", 1.0)?;
+                    vectors::gaussian(n, dim, std_dev, seed)
+                }
+                "clustered" => {
+                    let clusters = parsed.usize_or("clusters", 8)?;
+                    let spread = parsed.f64_or("spread", 0.05)?;
+                    vectors::clustered(n, dim, clusters, spread, seed)
+                }
+                _ => vectors::curve_embedded(n, dim, seed),
+            };
+            parsed.finish()?;
+            sisap_io::write_vectors_file(&path, dim, &data)?;
+            writeln!(out, "wrote {n} {dim}-dimensional `{kind}` vectors to {path}")?;
+        }
+        "colors" => {
+            parsed.finish()?;
+            let data = colors::generate_histograms(n, seed);
+            let dim = data.first().map_or(0, Vec::len);
+            sisap_io::write_vectors_file(&path, dim, &data)?;
+            writeln!(out, "wrote {n} colour histograms ({dim}-dim) to {path}")?;
+        }
+        "nasa" => {
+            parsed.finish()?;
+            let data = nasa::generate_features(n, seed);
+            let dim = data.first().map_or(0, Vec::len);
+            sisap_io::write_vectors_file(&path, dim, &data)?;
+            writeln!(out, "wrote {n} feature vectors ({dim}-dim) to {path}")?;
+        }
+        "dictionary" => {
+            let language = parsed.str_or("language", "english").to_lowercase();
+            parsed.finish()?;
+            let profiles = dictionary::language_profiles();
+            let profile = profiles
+                .iter()
+                .find(|p| p.name.eq_ignore_ascii_case(&language))
+                .ok_or_else(|| {
+                    let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+                    CliError::usage(format!(
+                        "unknown language `{language}` (have: {})",
+                        names.join(", ")
+                    ))
+                })?;
+            let words = dictionary::generate_words(profile, n, seed);
+            sisap_io::write_strings_file(&path, &words)?;
+            writeln!(out, "wrote {n} `{language}` words to {path}")?;
+        }
+        "genes" => {
+            let max_len = parsed.usize_or("maxlen", 40)?;
+            parsed.finish()?;
+            let frags = genes::generate_fragments(n, max_len, seed);
+            sisap_io::write_strings_file(&path, &frags)?;
+            writeln!(out, "wrote {n} gene fragments (≤{max_len} bases) to {path}")?;
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown kind `{other}` (want uniform, gaussian, clustered, curve, colors, nasa, dictionary, genes)"
+            )));
+        }
+    }
+    Ok(())
+}

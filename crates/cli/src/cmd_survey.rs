@@ -1,0 +1,68 @@
+//! `distperm survey`: the full §5-style report for a database file.
+
+use crate::args::ParsedArgs;
+use crate::data::{self, Database, StringMetricSpec, VectorMetricSpec};
+use crate::CliError;
+use dp_core::dimension::ReferenceProfile;
+use dp_core::{survey_database, SurveyConfig};
+use dp_metric::{Hamming, Levenshtein, Lp, Metric, PrefixDistance, L1, L2, LInf};
+use dp_permutation::MAX_K;
+use std::io::Write;
+
+fn survey<P, M>(metric: &M, data: &[P], cfg: &SurveyConfig) -> dp_core::DatabaseSurvey
+where
+    P: Clone,
+    M: Metric<P>,
+{
+    survey_database(metric, data, cfg)
+}
+
+pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let db = data::load(parsed)?;
+    if db.len() < 2 {
+        return Err(CliError::data("database has fewer than two elements"));
+    }
+    let ks = parsed.usize_list_or("ks", &[4, 8, 12])?;
+    if ks.is_empty() {
+        return Err(CliError::usage("--ks list is empty"));
+    }
+    for &k in &ks {
+        if k == 0 || k > db.len() || k > MAX_K {
+            return Err(CliError::usage(format!(
+                "k = {k} out of range (database n = {}, max {MAX_K})",
+                db.len()
+            )));
+        }
+    }
+    let seed = parsed.u64_or("seed", 0x5EED)?;
+    let rho_pairs = parsed.usize_or("rho-pairs", 20_000)?.max(1);
+    let with_reference = parsed.flag("with-reference");
+    parsed.finish()?;
+
+    let reference = if with_reference {
+        // A reference curve at the largest surveyed k, sized to the data.
+        let k = *ks.iter().max().expect("non-empty");
+        let n = db.len().min(20_000);
+        Some(ReferenceProfile::build(k, n, 8, 3, seed ^ 0x00C0_FFEE, 4))
+    } else {
+        None
+    };
+    let cfg = SurveyConfig { ks, seed, rho_pairs, reference };
+
+    let report = match &db {
+        Database::Vectors { data, metric, .. } => match metric {
+            VectorMetricSpec::L1 => survey(&L1, data, &cfg),
+            VectorMetricSpec::L2 => survey(&L2, data, &cfg),
+            VectorMetricSpec::LInf => survey(&LInf, data, &cfg),
+            VectorMetricSpec::Lp(p) => survey(&Lp::new(*p), data, &cfg),
+        },
+        Database::Strings { data, metric } => match metric {
+            StringMetricSpec::Levenshtein => survey(&Levenshtein, data, &cfg),
+            StringMetricSpec::Hamming => survey(&Hamming, data, &cfg),
+            StringMetricSpec::Prefix => survey(&PrefixDistance, data, &cfg),
+        },
+    };
+    writeln!(out, "metric: {}", db.metric_name())?;
+    write!(out, "{report}")?;
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! `distperm table1`: the paper's Table 1, to any size.
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+use dp_theory::table1_extended;
+use std::io::Write;
+
+pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let dmax = parsed.usize_or("dmax", 10)? as u32;
+    let kmax = parsed.usize_or("kmax", 12)? as u32;
+    parsed.finish()?;
+    if dmax < 1 {
+        return Err(CliError::usage("--dmax must be at least 1"));
+    }
+    if kmax < 2 {
+        return Err(CliError::usage("--kmax must be at least 2"));
+    }
+    if dmax > 64 || kmax > 256 {
+        return Err(CliError::usage("table larger than 64×256 is surely a mistake"));
+    }
+
+    let table = table1_extended(dmax, kmax);
+    let rendered: Vec<Vec<String>> =
+        table.iter().map(|row| row.iter().map(|v| v.to_string()).collect()).collect();
+    // One width per k column, sized to its largest entry or header.
+    let ks: Vec<u32> = (2..=kmax).collect();
+    let widths: Vec<usize> = ks
+        .iter()
+        .enumerate()
+        .map(|(j, k)| {
+            rendered
+                .iter()
+                .map(|row| row[j].len())
+                .max()
+                .unwrap_or(0)
+                .max(k.to_string().len())
+                + 2
+        })
+        .collect();
+
+    writeln!(out, "N_{{d,2}}(k): rows d=1..{dmax}, columns k=2..{kmax} (Theorem 7, exact)")?;
+    write!(out, "  d\\k")?;
+    for (j, k) in ks.iter().enumerate() {
+        write!(out, "{k:>width$}", width = widths[j])?;
+    }
+    writeln!(out)?;
+    for (i, row) in rendered.iter().enumerate() {
+        write!(out, "{:>5}", i + 1)?;
+        for (j, cell) in row.iter().enumerate() {
+            write!(out, "{cell:>width$}", width = widths[j])?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}

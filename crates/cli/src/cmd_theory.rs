@@ -1,0 +1,62 @@
+//! `distperm theory --d D --k K`: every count and bound the paper proves
+//! for one (dimension, sites) pair.
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+use dp_theory::bignum::{factorial_big, BigNat};
+use dp_theory::euclidean::corollary8_leading_term;
+use dp_theory::{
+    l1_bound, linf_bound, min_dimension_for_all_permutations, n_euclidean_big, tree_bound,
+};
+use std::io::Write;
+
+pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let d = parsed.require_usize("d")? as u32;
+    let k = parsed.require_usize("k")? as u32;
+    parsed.finish()?;
+    if k == 0 {
+        return Err(CliError::usage("--k must be at least 1"));
+    }
+
+    let n = n_euclidean_big(d, k);
+    let fact = factorial_big(k);
+    writeln!(out, "space: {d}-dimensional real vectors, k = {k} sites")?;
+    writeln!(out, "N_{{d,2}}(k)  exact Euclidean count (Thm 7):   {n}")?;
+    writeln!(out, "k!           unrestricted permutations:       {fact}")?;
+    let upper = BigNat::from(u64::from(k)).pow(2 * d);
+    writeln!(out, "k^(2d)       Corollary 8 upper bound:         {upper}")?;
+    if (1..=20).contains(&d) && k <= 1_000 {
+        writeln!(
+            out,
+            "             Corollary 8 leading term:        {:.4e}",
+            corollary8_leading_term(d, k)
+        )?;
+    }
+    writeln!(out, "tree metric  C(k,2)+1 (Thm 4):                {}", tree_bound(k))?;
+    match l1_bound(d, k) {
+        Some(b) => writeln!(
+            out,
+            "L1           Theorem 9 bound (≤ k! shown):    {}",
+            b.min(fact.to_u128().unwrap_or(u128::MAX))
+        )?,
+        None => writeln!(out, "L1           Theorem 9 bound:                 > 2^128")?,
+    }
+    match linf_bound(d, k) {
+        Some(b) => writeln!(
+            out,
+            "Linf         Theorem 9 bound (≤ k! shown):    {}",
+            b.min(fact.to_u128().unwrap_or(u128::MAX))
+        )?,
+        None => writeln!(out, "Linf         Theorem 9 bound:                 > 2^128")?,
+    }
+    let naive_bits = fact.ceil_log2();
+    let codebook_bits = n.ceil_log2();
+    writeln!(out, "storage      naive ⌈log2 k!⌉:                 {naive_bits} bits")?;
+    writeln!(out, "storage      codebook ⌈log2 N⌉ (Θ(d log k)):  {codebook_bits} bits")?;
+    writeln!(
+        out,
+        "Theorem 6    all k! permutations need d ≥:     {}",
+        min_dimension_for_all_permutations(k)
+    )?;
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! `distperm` binary entry point: parse argv, run, map errors to exit
+//! codes (2 = usage, 1 = data/I/O).
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match dp_cli::run(&argv, &mut out) {
+        Ok(()) => {
+            out.flush().ok();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("distperm: {e}");
+            if matches!(e, dp_cli::CliError::Usage(_)) {
+                eprintln!("run `distperm help` for usage");
+            }
+            ExitCode::from(e.exit_code() as u8)
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests driving the compiled `distperm` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn distperm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_distperm"))
+        .args(args)
+        .output()
+        .expect("spawn distperm")
+}
+
+fn stdout(o: &Output) -> String {
+    assert!(
+        o.status.success(),
+        "exit {:?}\nstdout: {}\nstderr: {}",
+        o.status.code(),
+        String::from_utf8_lossy(&o.stdout),
+        String::from_utf8_lossy(&o.stderr)
+    );
+    String::from_utf8(o.stdout.clone()).expect("utf8")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("distperm_e2e_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn generate_count_survey_pipeline_on_vectors() {
+    let dir = temp_dir("vec");
+    let file = dir.join("uniform.vec");
+    let f = file.to_str().unwrap();
+
+    let text = stdout(&distperm(&[
+        "generate", "--kind", "uniform", "--n", "4000", "--dim", "2", "--seed", "9", "--out", f,
+    ]));
+    assert!(text.contains("wrote 4000"), "{text}");
+
+    let text = stdout(&distperm(&[
+        "count", "--vectors", f, "--k", "5", "--seed", "3", "--threads", "2",
+    ]));
+    assert!(text.contains("distinct distance permutations:"), "{text}");
+    // 2-D L2 with k = 5: the count may not exceed N_{2,2}(5) = 46.
+    let distinct: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("distinct distance permutations: "))
+        .expect("count line")
+        .parse()
+        .expect("numeric");
+    assert!(distinct <= 46, "{distinct} > N_2,2(5)");
+    assert!(text.contains("Euclidean maximum N_{2,2}(5): 46"), "{text}");
+
+    let text = stdout(&distperm(&["survey", "--vectors", f, "--ks", "4,6", "--rho-pairs", "4000"]));
+    assert!(text.contains("database survey: n = 4000"), "{text}");
+    assert!(text.contains("codebook"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dictionary_pipeline_with_explicit_sites_and_prefixes() {
+    let dir = temp_dir("dict");
+    let file = dir.join("words.txt");
+    let f = file.to_str().unwrap();
+
+    stdout(&distperm(&[
+        "generate", "--kind", "dictionary", "--language", "english", "--n", "800", "--seed", "2",
+        "--out", f,
+    ]));
+    let text = stdout(&distperm(&[
+        "count", "--strings", f, "--sites", "0,17,99,256,511", "--prefix-len", "2",
+    ]));
+    assert!(text.contains("sites (k = 5): [0, 17, 99, 256, 511]"), "{text}");
+    assert!(text.contains("distinct ordered prefixes (l = 2):"), "{text}");
+    assert!(text.contains("metric = levenshtein"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figures_command_writes_files() {
+    let dir = temp_dir("figs");
+    let d = dir.to_str().unwrap();
+    let text = stdout(&distperm(&["figures", "--out", d, "--size", "96"]));
+    assert!(text.contains("exact Euclidean cell count: 18"), "{text}");
+    for f in [
+        "fig1_voronoi.ppm",
+        "fig2_second_order.ppm",
+        "fig3_full_l2.ppm",
+        "fig4_full_l1.ppm",
+        "fig3_bisectors.svg",
+    ] {
+        assert!(dir.join(f).exists(), "missing {f}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_2_with_stderr() {
+    let o = distperm(&["count", "--vectors"]); // missing value -> flag, then missing input? k missing first
+    assert_eq!(o.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&o.stderr);
+    assert!(err.contains("distperm:"), "{err}");
+
+    let o = distperm(&["nonsense"]);
+    assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
+fn data_errors_exit_1() {
+    let o = distperm(&["count", "--vectors", "/no/such/file", "--k", "4"]);
+    assert_eq!(o.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&o.stderr).contains("data error"));
+}
+
+#[test]
+fn theory_and_table1_roundtrip_key_numbers() {
+    let text = stdout(&distperm(&["theory", "--d", "3", "--k", "12"]));
+    assert!(text.contains("34662"), "{text}");
+    let text = stdout(&distperm(&["table1", "--dmax", "4", "--kmax", "8"]));
+    assert!(text.contains("9080"), "{text}");
+}

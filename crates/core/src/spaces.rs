@@ -1,0 +1,78 @@
+//! Per-space theoretical maxima (the paper's results, dispatched).
+
+use dp_permutation::lehmer::factorial;
+use dp_theory::{l1_bound, linf_bound, n_euclidean, tree_bound};
+
+/// The space families the paper analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceKind {
+    /// A (weighted) tree metric space — Theorem 4.
+    Tree,
+    /// d-dimensional real vectors with L1 — Theorem 9 (upper bound only).
+    L1 { d: u32 },
+    /// d-dimensional real vectors with L2 — Theorem 7 (exact).
+    Euclidean { d: u32 },
+    /// d-dimensional real vectors with L∞ — Theorem 9 (upper bound only).
+    LInf { d: u32 },
+    /// An arbitrary metric space — all k! permutations possible
+    /// (Theorem 6 realises them in Lp with d = k−1).
+    General,
+}
+
+/// The paper's best upper bound on the number of distance permutations of
+/// `k` sites in the given space (`None` if it overflows u128).
+///
+/// For `Euclidean` the value is exact (achieved by generic sites); for
+/// `Tree` it is exact for spaces with long paths (Corollary 5); for
+/// `L1`/`LInf` it is Theorem 9's bound, never smaller than the truth and
+/// capped at k!.
+pub fn theoretical_max(space: SpaceKind, k: u32) -> Option<u128> {
+    let fact = (k <= 33).then(|| factorial(k as usize));
+    let cap = |v: u128| fact.map_or(v, |f| v.min(f));
+    match space {
+        SpaceKind::Tree => Some(tree_bound(k)),
+        SpaceKind::Euclidean { d } => n_euclidean(d, k),
+        SpaceKind::L1 { d } => l1_bound(d, k).map(cap),
+        SpaceKind::LInf { d } => linf_bound(d, k).map(cap),
+        SpaceKind::General => fact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_theorems() {
+        assert_eq!(theoretical_max(SpaceKind::Tree, 12), Some(67));
+        assert_eq!(theoretical_max(SpaceKind::Euclidean { d: 3 }, 5), Some(96));
+        assert_eq!(theoretical_max(SpaceKind::General, 5), Some(120));
+    }
+
+    #[test]
+    fn lp_bounds_capped_at_factorial() {
+        // Theorem 9's hyperplane bound can exceed k!; the truth cannot.
+        let b = theoretical_max(SpaceKind::L1 { d: 3 }, 4).unwrap();
+        assert!(b <= 24);
+    }
+
+    #[test]
+    fn l1_bound_admits_known_counterexample() {
+        // 108 permutations were observed in 3-D L1 with k = 5 (§5); the
+        // bound must allow it while Euclidean's exact value forbids it.
+        let l1 = theoretical_max(SpaceKind::L1 { d: 3 }, 5).unwrap();
+        let l2 = theoretical_max(SpaceKind::Euclidean { d: 3 }, 5).unwrap();
+        assert!(l1 >= 108);
+        assert_eq!(l2, 96);
+    }
+
+    #[test]
+    fn tree_bound_is_smallest_for_large_k() {
+        for k in [6u32, 9, 12] {
+            let tree = theoretical_max(SpaceKind::Tree, k).unwrap();
+            let e2 = theoretical_max(SpaceKind::Euclidean { d: 2 }, k).unwrap();
+            let gen = theoretical_max(SpaceKind::General, k).unwrap();
+            assert!(tree <= e2 && e2 <= gen);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Synthetic dictionaries under the Levenshtein metric.
+//!
+//! The SISAP sample set contains seven natural-language dictionaries
+//! (Dutch, English, French, German, Italian, Norwegian, Spanish).  The
+//! synthetic analogue draws words from a per-language first-order letter
+//! Markov chain with a vowel/consonant alternation structure and a
+//! language-specific length profile, then de-duplicates — reproducing the
+//! properties the permutation counts depend on: a discrete metric with
+//! small integer distances, heavy clustering around shared stems, and a
+//! length distribution concentrated around 6–12 letters.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters of one synthetic language.
+#[derive(Debug, Clone)]
+pub struct LanguageProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Mean word length (roughly; lengths are clamped to 2..=24).
+    pub mean_len: f64,
+    /// Standard deviation of word length.
+    pub len_std: f64,
+    /// Probability of a vowel following a consonant.
+    pub vowel_after_consonant: f64,
+    /// Probability of a vowel following a vowel (doubled vowels etc.).
+    pub vowel_after_vowel: f64,
+    /// RNG stream id so each language has its own letter biases.
+    pub stream: u64,
+}
+
+/// The seven dictionary profiles, tuned to distinct length/structure mixes
+/// (e.g. German/Dutch longer compounds, Italian/Spanish vowel-rich).
+pub fn language_profiles() -> Vec<LanguageProfile> {
+    vec![
+        LanguageProfile { name: "dutch", mean_len: 9.5, len_std: 3.0, vowel_after_consonant: 0.75, vowel_after_vowel: 0.30, stream: 101 },
+        LanguageProfile { name: "english", mean_len: 8.0, len_std: 2.6, vowel_after_consonant: 0.70, vowel_after_vowel: 0.18, stream: 102 },
+        LanguageProfile { name: "french", mean_len: 8.8, len_std: 2.7, vowel_after_consonant: 0.78, vowel_after_vowel: 0.28, stream: 103 },
+        LanguageProfile { name: "german", mean_len: 10.5, len_std: 3.4, vowel_after_consonant: 0.68, vowel_after_vowel: 0.14, stream: 104 },
+        LanguageProfile { name: "italian", mean_len: 8.6, len_std: 2.5, vowel_after_consonant: 0.85, vowel_after_vowel: 0.22, stream: 105 },
+        LanguageProfile { name: "norwegian", mean_len: 8.2, len_std: 2.8, vowel_after_consonant: 0.72, vowel_after_vowel: 0.20, stream: 106 },
+        LanguageProfile { name: "spanish", mean_len: 8.9, len_std: 2.6, vowel_after_consonant: 0.82, vowel_after_vowel: 0.20, stream: 107 },
+    ]
+}
+
+const VOWELS: &[u8] = b"aeiou";
+const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwxyz";
+
+/// Generates `n` distinct words for a language profile.
+///
+/// Deterministic in `(profile.stream, seed)`.
+pub fn generate_words(profile: &LanguageProfile, n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ profile.stream.wrapping_mul(0x9E37_79B9));
+    // Language-specific letter weights: a fixed random ranking per stream
+    // so e.g. synthetic-Italian favours different consonants than
+    // synthetic-German.
+    let vowel_w = biased_weights(VOWELS.len(), &mut rng);
+    let cons_w = biased_weights(CONSONANTS.len(), &mut rng);
+
+    let mut words = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let mut word = String::new();
+    while out.len() < n {
+        word.clear();
+        let len = (profile.mean_len + profile.len_std * crate::vectors::sample_normal(&mut rng))
+            .round()
+            .clamp(2.0, 24.0) as usize;
+        let mut prev_vowel = rng.random_bool(0.4);
+        for _ in 0..len {
+            let vowel_p = if prev_vowel {
+                profile.vowel_after_vowel
+            } else {
+                profile.vowel_after_consonant
+            };
+            let is_vowel = rng.random_bool(vowel_p);
+            let c = if is_vowel {
+                VOWELS[weighted_index(&vowel_w, &mut rng)]
+            } else {
+                CONSONANTS[weighted_index(&cons_w, &mut rng)]
+            };
+            word.push(c as char);
+            prev_vowel = is_vowel;
+        }
+        if words.insert(word.clone()) {
+            out.push(word.clone());
+        }
+    }
+    out
+}
+
+/// Geometric-ish decreasing weights in a random order — a crude Zipf over
+/// the alphabet.
+fn biased_weights(len: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..len).map(|i| 1.0 / (1.0 + i as f64).powf(1.1)).collect();
+    for i in (1..w.len()).rev() {
+        let j = rng.random_range(0..=i);
+        w.swap(i, j);
+    }
+    let total: f64 = w.iter().sum();
+    // Store the cumulative distribution for O(log n) sampling.
+    let mut acc = 0.0;
+    for x in &mut w {
+        acc += *x / total;
+        *x = acc;
+    }
+    w
+}
+
+fn weighted_index(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random();
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metric::{Metric, Levenshtein};
+
+    #[test]
+    fn words_are_distinct_and_sized() {
+        let profile = &language_profiles()[1]; // english
+        let words = generate_words(profile, 500, 42);
+        assert_eq!(words.len(), 500);
+        let set: HashSet<_> = words.iter().collect();
+        assert_eq!(set.len(), 500);
+        for w in &words {
+            assert!((2..=24).contains(&w.len()), "length {} for {w}", w.len());
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_language_and_seed() {
+        let p = &language_profiles()[0];
+        assert_eq!(generate_words(p, 100, 1), generate_words(p, 100, 1));
+        assert_ne!(generate_words(p, 100, 1), generate_words(p, 100, 2));
+    }
+
+    #[test]
+    fn languages_differ() {
+        let profiles = language_profiles();
+        let dutch = generate_words(&profiles[0], 200, 7);
+        let italian = generate_words(&profiles[4], 200, 7);
+        assert_ne!(dutch, italian);
+        // Italian profile is vowel-rich: measure vowel fraction.
+        let vf = |ws: &[String]| {
+            let (mut v, mut t) = (0usize, 0usize);
+            for w in ws {
+                for b in w.bytes() {
+                    t += 1;
+                    v += usize::from(VOWELS.contains(&b));
+                }
+            }
+            v as f64 / t as f64
+        };
+        assert!(vf(&italian) > vf(&dutch), "italian {} dutch {}", vf(&italian), vf(&dutch));
+    }
+
+    #[test]
+    fn mean_length_tracks_profile() {
+        let profiles = language_profiles();
+        let german = generate_words(&profiles[3], 2000, 3);
+        let english = generate_words(&profiles[1], 2000, 3);
+        let mean = |ws: &[String]| ws.iter().map(|w| w.len()).sum::<usize>() as f64 / ws.len() as f64;
+        assert!(mean(&german) > mean(&english) + 1.0);
+    }
+
+    #[test]
+    fn edit_distances_are_small_integers() {
+        let p = &language_profiles()[6];
+        let words = generate_words(p, 50, 9);
+        for i in 0..10 {
+            for j in 0..10 {
+                let d = Levenshtein.distance(&words[i], &words[j]);
+                assert!(d <= 24);
+                if i == j {
+                    assert_eq!(d, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_roster_has_seven_languages() {
+        let names: Vec<&str> = language_profiles().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["dutch", "english", "french", "german", "italian", "norwegian", "spanish"]
+        );
+    }
+}

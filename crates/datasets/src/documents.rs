@@ -1,0 +1,158 @@
+//! Synthetic document term-vectors (the `long`/`short` analogues).
+//!
+//! The SISAP `long` database holds 1,265 news-article feature vectors and
+//! `short` holds 25,276 short-document vectors, both compared by the
+//! angle between TF-IDF-style term vectors.  The synthetic analogue draws
+//! term indices from a Zipf distribution over a finite vocabulary with a
+//! topic mixture (documents drawn from the same topic share heavy terms),
+//! giving the angular clustering that makes permutation counts collapse
+//! far below both k! and n — the paper's headline observation for `long`
+//! (261 distinct permutations from 1,265 documents at k = 12).
+
+use dp_metric::SparseVec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for the document generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DocProfile {
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Mean number of distinct terms per document.
+    pub mean_terms: usize,
+    /// Number of latent topics.
+    pub topics: usize,
+    /// Zipf exponent for term frequencies.
+    pub zipf_s: f64,
+}
+
+/// Profile matching the `long` database (full news articles).
+pub fn long_profile() -> DocProfile {
+    DocProfile { vocab: 30_000, mean_terms: 300, topics: 12, zipf_s: 1.1 }
+}
+
+/// Profile matching the `short` database (short documents).
+pub fn short_profile() -> DocProfile {
+    DocProfile { vocab: 12_000, mean_terms: 25, topics: 40, zipf_s: 1.05 }
+}
+
+/// Generates `n` sparse documents under `profile`.
+pub fn generate_documents(profile: DocProfile, n: usize, seed: u64) -> Vec<SparseVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each topic is a random permutation-offset into the Zipf ranking, so
+    // topics share the global head but emphasise different tails.
+    let topic_offsets: Vec<u32> =
+        (0..profile.topics).map(|_| rng.random_range(0..profile.vocab / 2)).collect();
+    (0..n)
+        .map(|_| {
+            let topic = topic_offsets[rng.random_range(0..topic_offsets.len())];
+            let terms = sample_doc_len(profile.mean_terms, &mut rng);
+            let mut pairs = Vec::with_capacity(terms);
+            for _ in 0..terms {
+                // 70% topic-local terms drawn from a narrow Zipf band at
+                // the topic's offset (same-topic documents share heavy
+                // terms), 30% global head terms.
+                let topical = rng.random_bool(0.7);
+                let (base, span) = if topical {
+                    (topic, 150.0)
+                } else {
+                    (0, profile.vocab as f64 / 3.0)
+                };
+                let rank = sample_zipf(span, profile.zipf_s, &mut rng);
+                let idx = (base + rank).min(profile.vocab - 1);
+                // Topic terms carry more weight (they are the document's
+                // subject), which tightens same-topic angles.
+                let weight = if topical { 2.0 } else { 1.0 } + rng.random::<f64>();
+                pairs.push((idx, weight));
+            }
+            SparseVec::new(pairs)
+        })
+        .collect()
+}
+
+fn sample_doc_len(mean: usize, rng: &mut StdRng) -> usize {
+    let jitter = 0.5 + rng.random::<f64>();
+    ((mean as f64 * jitter) as usize).max(3)
+}
+
+/// Approximate Zipf sampler via inverse-CDF of the continuous Pareto
+/// envelope (exact Zipf is unnecessary for a synthetic workload).
+fn sample_zipf(max: f64, s: f64, rng: &mut StdRng) -> u32 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    let x = if (s - 1.0).abs() < 1e-9 {
+        max.powf(u) - 1.0
+    } else {
+        let a = 1.0 - s;
+        (((max.powf(a) - 1.0) * u + 1.0).powf(1.0 / a)) - 1.0
+    };
+    x.max(0.0).min(max - 1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metric::{CosineDistance, Metric};
+
+    #[test]
+    fn documents_have_profile_shape() {
+        let docs = generate_documents(short_profile(), 200, 3);
+        assert_eq!(docs.len(), 200);
+        for d in &docs {
+            assert!(d.nnz() >= 2, "document too sparse");
+            assert!(d.norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn long_documents_are_denser_than_short() {
+        let long = generate_documents(long_profile(), 100, 5);
+        let short = generate_documents(short_profile(), 100, 5);
+        let mean_nnz = |ds: &[SparseVec]| {
+            ds.iter().map(|d| d.nnz()).sum::<usize>() as f64 / ds.len() as f64
+        };
+        assert!(mean_nnz(&long) > 4.0 * mean_nnz(&short));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_documents(short_profile(), 50, 7);
+        let b = generate_documents(short_profile(), 50, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.indices(), y.indices());
+        }
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<u32> = (0..20_000).map(|_| sample_zipf(10_000.0, 1.1, &mut rng)).collect();
+        let head = samples.iter().filter(|&&x| x < 100).count();
+        assert!(
+            head > samples.len() / 3,
+            "head {head} of {} — Zipf head too light",
+            samples.len()
+        );
+        assert!(samples.iter().any(|&x| x > 1000), "no tail at all");
+    }
+
+    #[test]
+    fn same_topic_documents_are_angularly_closer() {
+        // Statistical check: the minimum pairwise angle among documents
+        // should be much smaller than the typical angle (topic structure),
+        // i.e. the data is clustered rather than isotropic.
+        let docs = generate_documents(short_profile(), 120, 9);
+        let mut min_d = f64::INFINITY;
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for i in 0..docs.len() {
+            for j in (i + 1)..docs.len() {
+                let d = CosineDistance.distance(&docs[i], &docs[j]).get();
+                min_d = min_d.min(d);
+                sum += d;
+                cnt += 1;
+            }
+        }
+        let mean = sum / cnt as f64;
+        assert!(min_d < 0.65 * mean, "min {min_d} mean {mean}");
+    }
+}

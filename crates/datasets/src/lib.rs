@@ -1,0 +1,41 @@
+//! # dp-datasets — synthetic metric-space databases
+//!
+//! The paper's Table 2 measures distance-permutation counts on the SISAP
+//! library's sample databases; those archives are not redistributable
+//! here, so this crate generates **synthetic analogues** with the same
+//! cardinality, the same metric, and a matched dimensional character
+//! (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`dictionary`] — per-language letter-Markov word lists
+//!   (Dutch…Spanish; Levenshtein metric);
+//! * [`genes`] — DNA fragments (`listeria`; Levenshtein metric);
+//! * [`documents`] — Zipf-sparse term vectors (`long`, `short`; angular
+//!   cosine metric);
+//! * [`colors`] — smooth 112-bin colour histograms (`colors`; L2);
+//! * [`nasa`] — low-rank 20-dimensional feature vectors (`nasa`; L2);
+//! * [`vectors`] — uniform/Gaussian/clustered real vectors, including the
+//!   Table 3 generator (10⁶ points uniform in the unit cube);
+//! * [`rho`] — the Chávez–Navarro intrinsic dimensionality
+//!   ρ = μ²/(2σ²) of the pairwise-distance distribution;
+//! * [`table2`] — the roster of Table 2 databases with the paper's
+//!   cardinalities.
+//!
+//! All generators are deterministic in their seed.
+//!
+//! [`sisap_io`] reads and writes the SISAP library's ASCII file formats,
+//! so synthetic sets can be exported and — when available — the original
+//! archives loaded into the same harness.
+
+pub mod colors;
+pub mod dictionary;
+pub mod documents;
+pub mod genes;
+pub mod nasa;
+pub mod rho;
+pub mod sisap_io;
+pub mod table2;
+pub mod vectors;
+
+pub use rho::intrinsic_dimensionality;
+pub use table2::{table2_roster, Table2Entry, Table2Kind};
+pub use vectors::uniform_unit_cube;

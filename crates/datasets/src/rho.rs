@@ -1,0 +1,119 @@
+//! The Chávez–Navarro intrinsic dimensionality ρ.
+//!
+//! ρ = μ² / (2σ²), where μ and σ² are the mean and variance of the
+//! distance between two random database points.  Table 2 reports ρ for
+//! every database; the paper cautions that ρ depends on the probability
+//! *distribution* while permutation counts depend only on the support —
+//! both statistics are provided so the experiments can show exactly that
+//! contrast.
+
+use dp_metric::{Distance, Metric};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Estimates ρ from `pairs` random point pairs (deterministic in `seed`).
+///
+/// # Panics
+/// Panics if the dataset has fewer than two points or `pairs == 0`.
+pub fn intrinsic_dimensionality<P, M: Metric<P>>(
+    metric: &M,
+    points: &[P],
+    pairs: usize,
+    seed: u64,
+) -> f64 {
+    let (mean, var) = distance_moments(metric, points, pairs, seed);
+    if var == 0.0 {
+        return f64::INFINITY;
+    }
+    mean * mean / (2.0 * var)
+}
+
+/// Mean and variance of the sampled pairwise distance distribution.
+pub fn distance_moments<P, M: Metric<P>>(
+    metric: &M,
+    points: &[P],
+    pairs: usize,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points");
+    assert!(pairs > 0, "need at least one pair");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..pairs {
+        let i = rng.random_range(0..points.len());
+        let mut j = rng.random_range(0..points.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        let d = metric.distance(&points[i], &points[j]).to_f64();
+        sum += d;
+        sum_sq += d * d;
+    }
+    let n = pairs as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::uniform_unit_cube;
+    use dp_metric::L2;
+
+    #[test]
+    fn rho_grows_with_dimension() {
+        // For uniform data, rho grows roughly linearly in the dimension
+        // (Chávez–Navarro).  Check strict growth over d = 1, 4, 16.
+        let rhos: Vec<f64> = [1usize, 4, 16]
+            .iter()
+            .map(|&d| {
+                let pts = uniform_unit_cube(2000, d, 42);
+                intrinsic_dimensionality(&L2, &pts, 4000, 7)
+            })
+            .collect();
+        assert!(rhos[0] < rhos[1] && rhos[1] < rhos[2], "{rhos:?}");
+        // 1-D uniform: rho = mu^2/(2 sigma^2) = (1/3)^2 / (2/18) = 1.
+        assert!((rhos[0] - 1.0).abs() < 0.15, "rho_1d = {}", rhos[0]);
+    }
+
+    #[test]
+    fn rho_is_deterministic_in_seed() {
+        let pts = uniform_unit_cube(500, 3, 1);
+        let a = intrinsic_dimensionality(&L2, &pts, 1000, 5);
+        let b = intrinsic_dimensionality(&L2, &pts, 1000, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_distances_give_infinite_rho() {
+        // Two identical clusters of two points: all cross distances equal.
+        struct Unit;
+        impl Metric<u32> for Unit {
+            type Dist = u32;
+            fn distance(&self, a: &u32, b: &u32) -> u32 {
+                u32::from(a != b)
+            }
+        }
+        let pts = vec![0u32, 1, 2, 3];
+        let rho = intrinsic_dimensionality(&Unit, &pts, 500, 1);
+        assert!(rho.is_infinite());
+    }
+
+    #[test]
+    fn moments_match_hand_computation_on_segment() {
+        // Uniform on [0,1]: E|x-y| = 1/3, Var = 1/18.
+        let pts = uniform_unit_cube(5000, 1, 3);
+        let (mean, var) = distance_moments(&L2, &pts, 20000, 9);
+        assert!((mean - 1.0 / 3.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0 / 18.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn single_point_rejected() {
+        let pts = uniform_unit_cube(1, 2, 0);
+        let _ = intrinsic_dimensionality(&L2, &pts, 10, 0);
+    }
+}

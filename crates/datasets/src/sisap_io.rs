@@ -1,0 +1,350 @@
+//! SISAP metric-space library file formats.
+//!
+//! The paper's experiments run on the sample databases shipped with the
+//! SISAP library (Figueroa–Navarro–Chávez): vector sets stored as an
+//! ASCII header `dim n` followed by one whitespace-separated row per
+//! element, and string sets stored one string per line.  This module
+//! reads and writes both, so the synthetic analogues in this crate can be
+//! exported for external tools and — if a user has the original SISAP
+//! archives — the real databases can be loaded and measured with the same
+//! harness (`distperm count --vectors/--strings`).
+//!
+//! All readers validate eagerly and report the offending line; vectors
+//! must be finite (NaN/∞ would break the total order on distances).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from reading a SISAP-format file.
+#[derive(Debug)]
+pub enum SisapIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or numeric problem, with 1-based line number.
+    Parse {
+        /// Line where the problem was found (1-based; 0 = missing content).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SisapIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SisapIoError::Io(e) => write!(f, "i/o error: {e}"),
+            SisapIoError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SisapIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SisapIoError::Io(e) => Some(e),
+            SisapIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for SisapIoError {
+    fn from(e: io::Error) -> Self {
+        SisapIoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> SisapIoError {
+    SisapIoError::Parse { line, message: message.into() }
+}
+
+/// Writes a vector database: header `dim n`, then one row per vector.
+///
+/// # Panics
+/// Panics if any vector's length differs from `dim` or any coordinate is
+/// non-finite — those are programming errors in the caller, not data
+/// errors.
+pub fn write_vectors<W: Write>(w: &mut W, dim: usize, vectors: &[Vec<f64>]) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{dim} {}", vectors.len())?;
+    for v in vectors {
+        assert_eq!(v.len(), dim, "vector length {} != declared dim {dim}", v.len());
+        let mut first = true;
+        for &x in v {
+            assert!(x.is_finite(), "non-finite coordinate {x}");
+            if !first {
+                write!(w, " ")?;
+            }
+            // 17 significant digits: lossless f64 round-trip.
+            write!(w, "{x:.17e}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads a vector database written by [`write_vectors`] (or by the SISAP
+/// library's tools).  Returns `(dim, vectors)`.
+///
+/// Blank lines are ignored; every row must have exactly `dim` finite
+/// coordinates and the row count must match the header.
+pub fn read_vectors<R: BufRead>(r: &mut R) -> Result<(usize, Vec<Vec<f64>>), SisapIoError> {
+    let mut lines = r.lines().enumerate();
+    let (header_no, header) = loop {
+        match lines.next() {
+            None => return Err(parse_err(0, "empty file: missing `dim n` header")),
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let dim: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(header_no, "missing dim in header"))?
+        .parse()
+        .map_err(|e| parse_err(header_no, format!("bad dim: {e}")))?;
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(header_no, "missing n in header"))?
+        .parse()
+        .map_err(|e| parse_err(header_no, format!("bad n: {e}")))?;
+    if parts.next().is_some() {
+        return Err(parse_err(header_no, "header has trailing tokens (want `dim n`)"));
+    }
+
+    let mut vectors = Vec::with_capacity(n);
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let mut row = Vec::with_capacity(dim);
+        for tok in line.split_whitespace() {
+            let x: f64 = tok
+                .parse()
+                .map_err(|e| parse_err(line_no, format!("bad coordinate `{tok}`: {e}")))?;
+            if !x.is_finite() {
+                return Err(parse_err(line_no, format!("non-finite coordinate {x}")));
+            }
+            row.push(x);
+        }
+        if row.len() != dim {
+            return Err(parse_err(
+                line_no,
+                format!("row has {} coordinates, expected {dim}", row.len()),
+            ));
+        }
+        vectors.push(row);
+        if vectors.len() > n {
+            return Err(parse_err(line_no, format!("more than the declared {n} rows")));
+        }
+    }
+    if vectors.len() != n {
+        return Err(parse_err(0, format!("header declared {n} rows, found {}", vectors.len())));
+    }
+    Ok((dim, vectors))
+}
+
+/// Writes a string database, one string per line.
+///
+/// # Panics
+/// Panics if any string contains a newline (the format cannot represent
+/// it).
+pub fn write_strings<W: Write>(w: &mut W, strings: &[String]) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for s in strings {
+        assert!(!s.contains('\n'), "string contains a newline");
+        writeln!(w, "{s}")?;
+    }
+    w.flush()
+}
+
+/// Reads a string database: one string per line, trailing `\r` stripped,
+/// empty trailing line ignored (as produced by line-oriented tools).
+pub fn read_strings<R: BufRead>(r: &mut R) -> Result<Vec<String>, SisapIoError> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let mut line = line?;
+        if line.ends_with('\r') {
+            line.pop();
+        }
+        out.push(line);
+    }
+    while out.last().is_some_and(|s| s.is_empty()) {
+        out.pop();
+    }
+    Ok(out)
+}
+
+/// [`write_vectors`] to a file path.
+pub fn write_vectors_file<Q: AsRef<Path>>(
+    path: Q,
+    dim: usize,
+    vectors: &[Vec<f64>],
+) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    write_vectors(&mut f, dim, vectors)
+}
+
+/// [`read_vectors`] from a file path.
+pub fn read_vectors_file<Q: AsRef<Path>>(path: Q) -> Result<(usize, Vec<Vec<f64>>), SisapIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_vectors(&mut r)
+}
+
+/// [`write_strings`] to a file path.
+pub fn write_strings_file<Q: AsRef<Path>>(path: Q, strings: &[String]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    write_strings(&mut f, strings)
+}
+
+/// [`read_strings`] from a file path.
+pub fn read_strings_file<Q: AsRef<Path>>(path: Q) -> Result<Vec<String>, SisapIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_strings(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::uniform_unit_cube;
+    use std::io::Cursor;
+
+    #[test]
+    fn vectors_roundtrip_losslessly() {
+        let vecs = uniform_unit_cube(50, 4, 77);
+        let mut buf = Vec::new();
+        write_vectors(&mut buf, 4, &vecs).unwrap();
+        let (dim, back) = read_vectors(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(dim, 4);
+        assert_eq!(back, vecs, "bit-exact f64 roundtrip");
+    }
+
+    #[test]
+    fn vectors_roundtrip_extreme_values() {
+        let vecs = vec![
+            vec![0.0, -0.0, 1e-300],
+            vec![f64::MIN_POSITIVE, -1e300, 0.1 + 0.2],
+        ];
+        let mut buf = Vec::new();
+        write_vectors(&mut buf, 3, &vecs).unwrap();
+        let (_, back) = read_vectors(&mut Cursor::new(&buf)).unwrap();
+        for (a, b) in back.iter().flatten().zip(vecs.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_vector_set_roundtrips() {
+        let mut buf = Vec::new();
+        write_vectors(&mut buf, 7, &[]).unwrap();
+        let (dim, back) = read_vectors(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!((dim, back.len()), (7, 0));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_vectors(&mut Cursor::new(b"")).unwrap_err();
+        assert!(err.to_string().contains("empty file"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        for bad in ["2", "x 3", "2 3 4", "2 -1"] {
+            let err = read_vectors(&mut Cursor::new(bad.as_bytes())).unwrap_err();
+            assert!(matches!(err, SisapIoError::Parse { line: 1, .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_row_arity_mismatch() {
+        let err = read_vectors(&mut Cursor::new(b"2 1\n0.5\n" as &[u8])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("expected 2"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_and_non_finite() {
+        let err = read_vectors(&mut Cursor::new(b"1 1\nfoo\n" as &[u8])).unwrap_err();
+        assert!(err.to_string().contains("bad coordinate"), "{err}");
+        let err = read_vectors(&mut Cursor::new(b"1 1\ninf\n" as &[u8])).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        let err = read_vectors(&mut Cursor::new(b"1 1\nNaN\n" as &[u8])).unwrap_err();
+        assert!(err.to_string().contains("bad coordinate") || err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn rejects_row_count_mismatch() {
+        let err = read_vectors(&mut Cursor::new(b"1 2\n0.5\n" as &[u8])).unwrap_err();
+        assert!(err.to_string().contains("declared 2 rows, found 1"), "{err}");
+        let err = read_vectors(&mut Cursor::new(b"1 1\n0.5\n0.6\n" as &[u8])).unwrap_err();
+        assert!(err.to_string().contains("more than the declared"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let (dim, vecs) =
+            read_vectors(&mut Cursor::new(b"\n2 2\n0 1\n\n2 3\n" as &[u8])).unwrap();
+        assert_eq!(dim, 2);
+        assert_eq!(vecs, vec![vec![0.0, 1.0], vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    fn strings_roundtrip_including_unicode() {
+        let words: Vec<String> =
+            ["hond", "chien", "Hund", "ʃtra:sə", "日本語", ""].map(String::from).to_vec();
+        // Interior empty string survives; only trailing empties are
+        // stripped, so append a sentinel.
+        let mut with_sentinel = words.clone();
+        with_sentinel.push("end".to_string());
+        let mut buf = Vec::new();
+        write_strings(&mut buf, &with_sentinel).unwrap();
+        let back = read_strings(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, with_sentinel);
+    }
+
+    #[test]
+    fn strings_strip_crlf_and_trailing_blank() {
+        let back = read_strings(&mut Cursor::new(b"cat\r\ndog\r\n\n" as &[u8])).unwrap();
+        assert_eq!(back, vec!["cat".to_string(), "dog".to_string()]);
+    }
+
+    #[test]
+    fn file_variants_roundtrip() {
+        let dir = std::env::temp_dir().join("dp_sisap_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let vpath = dir.join("vecs.txt");
+        let spath = dir.join("strs.txt");
+        let vecs = uniform_unit_cube(10, 3, 5);
+        write_vectors_file(&vpath, 3, &vecs).unwrap();
+        let (dim, back) = read_vectors_file(&vpath).unwrap();
+        assert_eq!((dim, back), (3, vecs));
+        let words = vec!["alpha".to_string(), "beta".to_string()];
+        write_strings_file(&spath, &words).unwrap();
+        assert_eq!(read_strings_file(&spath).unwrap(), words);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn writer_rejects_nan() {
+        let mut buf = Vec::new();
+        write_vectors(&mut buf, 1, &[vec![f64::NAN]]).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "newline")]
+    fn writer_rejects_embedded_newline() {
+        let mut buf = Vec::new();
+        write_strings(&mut buf, &["a\nb".to_string()]).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! The roster of Table 2 databases.
+//!
+//! Each entry records the paper's database name, its cardinality n (from
+//! Table 2), the metric family, and which synthetic generator stands in
+//! for it.  The `table2` bench binary walks this roster; tests walk it at
+//! reduced n.
+
+use crate::{colors, dictionary, documents, genes, nasa};
+use dp_metric::SparseVec;
+
+/// Which synthetic generator (and therefore which metric) an entry uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table2Kind {
+    /// Letter-Markov dictionary under Levenshtein (index into
+    /// [`dictionary::language_profiles`]).
+    Dictionary(usize),
+    /// Gene fragments under Levenshtein.
+    Genes,
+    /// Long documents under angular cosine distance.
+    LongDocuments,
+    /// Short documents under angular cosine distance.
+    ShortDocuments,
+    /// Colour histograms under L2.
+    Colors,
+    /// NASA feature vectors under L2.
+    Nasa,
+}
+
+/// One database of the paper's Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Entry {
+    /// The paper's database name.
+    pub name: &'static str,
+    /// Cardinality reported in Table 2.
+    pub n: usize,
+    /// ρ reported in Table 2 (for comparison columns).
+    pub paper_rho: f64,
+    /// Which generator reproduces it.
+    pub kind: Table2Kind,
+}
+
+/// All twelve Table 2 databases with the paper's cardinalities.
+pub fn table2_roster() -> Vec<Table2Entry> {
+    vec![
+        Table2Entry { name: "Dutch", n: 229_328, paper_rho: 7.159, kind: Table2Kind::Dictionary(0) },
+        Table2Entry { name: "English", n: 69_069, paper_rho: 8.492, kind: Table2Kind::Dictionary(1) },
+        Table2Entry { name: "French", n: 138_257, paper_rho: 10.510, kind: Table2Kind::Dictionary(2) },
+        Table2Entry { name: "German", n: 75_086, paper_rho: 7.383, kind: Table2Kind::Dictionary(3) },
+        Table2Entry { name: "Italian", n: 116_879, paper_rho: 10.436, kind: Table2Kind::Dictionary(4) },
+        Table2Entry { name: "Norwegian", n: 85_637, paper_rho: 5.503, kind: Table2Kind::Dictionary(5) },
+        Table2Entry { name: "Spanish", n: 86_061, paper_rho: 8.722, kind: Table2Kind::Dictionary(6) },
+        Table2Entry { name: "listeria", n: 20_660, paper_rho: 0.894, kind: Table2Kind::Genes },
+        Table2Entry { name: "long", n: 1_265, paper_rho: 2.603, kind: Table2Kind::LongDocuments },
+        Table2Entry { name: "short", n: 25_276, paper_rho: 808.739, kind: Table2Kind::ShortDocuments },
+        Table2Entry { name: "colors", n: 112_544, paper_rho: 2.745, kind: Table2Kind::Colors },
+        Table2Entry { name: "nasa", n: 40_150, paper_rho: 5.186, kind: Table2Kind::Nasa },
+    ]
+}
+
+/// Materialised synthetic points for one entry (string-keyed databases).
+pub enum Table2Data {
+    /// Words or gene fragments (Levenshtein metric).
+    Strings(Vec<String>),
+    /// Documents (cosine metric).
+    Documents(Vec<SparseVec>),
+    /// Real vectors (L2 metric).
+    Vectors(Vec<Vec<f64>>),
+}
+
+impl Table2Entry {
+    /// Generates the synthetic stand-in at cardinality `n` (use
+    /// `self.n` for the paper-scale run, smaller for tests).
+    pub fn generate(&self, n: usize, seed: u64) -> Table2Data {
+        match self.kind {
+            Table2Kind::Dictionary(lang) => {
+                let profiles = dictionary::language_profiles();
+                Table2Data::Strings(dictionary::generate_words(&profiles[lang], n, seed))
+            }
+            Table2Kind::Genes => Table2Data::Strings(genes::generate_fragments(n, 400, seed)),
+            Table2Kind::LongDocuments => {
+                Table2Data::Documents(documents::generate_documents(documents::long_profile(), n, seed))
+            }
+            Table2Kind::ShortDocuments => Table2Data::Documents(
+                documents::generate_documents(documents::short_profile(), n, seed),
+            ),
+            Table2Kind::Colors => Table2Data::Vectors(colors::generate_histograms(n, seed)),
+            Table2Kind::Nasa => Table2Data::Vectors(nasa::generate_features(n, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_paper_cardinalities() {
+        let roster = table2_roster();
+        assert_eq!(roster.len(), 12);
+        let by_name = |name: &str| roster.iter().find(|e| e.name == name).unwrap().n;
+        assert_eq!(by_name("Dutch"), 229_328);
+        assert_eq!(by_name("listeria"), 20_660);
+        assert_eq!(by_name("long"), 1_265);
+        assert_eq!(by_name("nasa"), 40_150);
+    }
+
+    #[test]
+    fn every_entry_generates_points() {
+        for entry in table2_roster() {
+            match entry.generate(40, 11) {
+                Table2Data::Strings(v) => assert_eq!(v.len(), 40, "{}", entry.name),
+                Table2Data::Documents(v) => assert_eq!(v.len(), 40, "{}", entry.name),
+                Table2Data::Vectors(v) => assert_eq!(v.len(), 40, "{}", entry.name),
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_route_to_expected_representations() {
+        let roster = table2_roster();
+        assert!(matches!(
+            roster[0].generate(5, 1),
+            Table2Data::Strings(_)
+        ));
+        assert!(matches!(
+            roster[8].generate(5, 1),
+            Table2Data::Documents(_)
+        ));
+        assert!(matches!(
+            roster[10].generate(5, 1),
+            Table2Data::Vectors(_)
+        ));
+    }
+}

@@ -1,0 +1,194 @@
+//! Real-vector dataset generators.
+//!
+//! [`uniform_unit_cube`] is the Table 3 workload: n points uniformly
+//! distributed in \[0,1\]^d.  Gaussian and clustered variants support the
+//! additional experiments (cell-occupancy curves, index evaluation) and
+//! give data whose intrinsic dimensionality differs from its embedding
+//! dimension.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// n points uniform in the unit cube \[0,1\]^d (the paper's Table 3 data).
+pub fn uniform_unit_cube(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect()
+}
+
+/// n points from an isotropic Gaussian with the given standard deviation,
+/// centred at 0.5^d (so it overlaps the unit cube).
+pub fn gaussian(n: usize, d: usize, std_dev: f64, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| 0.5 + std_dev * sample_normal(&mut rng)).collect())
+        .collect()
+}
+
+/// n points in `clusters` Gaussian blobs with centres uniform in the unit
+/// cube and per-cluster spread `spread`.
+pub fn clustered(n: usize, d: usize, clusters: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+    assert!(clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centres: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centres[i % clusters];
+            c.iter().map(|&x| x + spread * sample_normal(&mut rng)).collect()
+        })
+        .collect()
+}
+
+/// Points on a 1-D curve embedded in d dimensions (a helix-like path):
+/// full embedding dimension, intrinsic dimension ≈ 1.  Useful for testing
+/// the dimensionality estimator.
+pub fn curve_embedded(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(d >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t: f64 = rng.random();
+            (0..d)
+                .map(|j| ((j as f64 + 1.0) * t * std::f64::consts::TAU / 4.0).sin() * 0.5 + 0.5)
+                .collect()
+        })
+        .collect()
+}
+
+/// A standard normal sample via Box–Muller (rand's distribution crate is
+/// not among the approved dependencies).
+pub fn sample_normal(rng: &mut StdRng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws `k` distinct random indices in `0..n` (for site selection),
+/// matching the paper's "choice of k sites chosen at random from the
+/// database" protocol.
+pub fn choose_distinct_indices(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(k <= n, "cannot choose {k} distinct indices from {n}");
+    // Floyd's algorithm: k iterations, no O(n) shuffle.
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut v: Vec<usize> = chosen.into_iter().collect();
+    // BTreeSet gives sorted order; shuffle so site indices are unordered
+    // (tie-breaking depends on site order, and the paper picks unordered
+    // random sites).
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape_and_range() {
+        let pts = uniform_unit_cube(500, 4, 1);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert_eq!(p.len(), 4);
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(uniform_unit_cube(50, 3, 7), uniform_unit_cube(50, 3, 7));
+        assert_ne!(uniform_unit_cube(50, 3, 7), uniform_unit_cube(50, 3, 8));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let pts = gaussian(20_000, 2, 0.1, 3);
+        let mean_x: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / pts.len() as f64;
+        let var_x: f64 =
+            pts.iter().map(|p| (p[0] - mean_x).powi(2)).sum::<f64>() / pts.len() as f64;
+        assert!((mean_x - 0.5).abs() < 0.01, "mean {mean_x}");
+        assert!((var_x - 0.01).abs() < 0.002, "var {var_x}");
+    }
+
+    #[test]
+    fn clustered_has_cluster_structure() {
+        let pts = clustered(1000, 3, 5, 0.01, 9);
+        assert_eq!(pts.len(), 1000);
+        // Points i and i+5 share a cluster; i and i+1 usually do not.
+        let d_same: f64 = (0..100)
+            .map(|i| {
+                pts[i].iter().zip(&pts[i + 5]).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
+            })
+            .sum::<f64>()
+            / 100.0;
+        let d_diff: f64 = (0..100)
+            .map(|i| {
+                pts[i].iter().zip(&pts[i + 1]).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
+            })
+            .sum::<f64>()
+            / 100.0;
+        assert!(d_same * 5.0 < d_diff, "same {d_same} diff {d_diff}");
+    }
+
+    #[test]
+    fn curve_is_low_dimensional() {
+        let pts = curve_embedded(200, 6, 11);
+        assert!(pts.iter().all(|p| p.len() == 6));
+        // All points lie on the 1-parameter curve: recover t from the
+        // first coordinate (sin is monotone on [0, tau/4]) and verify the
+        // remaining coordinates follow the curve equation.
+        for p in &pts {
+            let t = ((p[0] - 0.5) * 2.0).asin() / (std::f64::consts::TAU / 4.0);
+            for (j, &x) in p.iter().enumerate() {
+                let expect = ((j as f64 + 1.0) * t * std::f64::consts::TAU / 4.0).sin() * 0.5 + 0.5;
+                assert!((x - expect).abs() < 1e-9, "coord {j}: {x} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn choose_distinct_indices_properties() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let v = choose_distinct_indices(100, 12, &mut rng);
+            assert_eq!(v.len(), 12);
+            let set: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), 12);
+            assert!(v.iter().all(|&i| i < 100));
+        }
+        // Full draw.
+        let all = choose_distinct_indices(5, 5, &mut rng);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn too_many_indices_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = choose_distinct_indices(3, 4, &mut rng);
+    }
+}

@@ -1,0 +1,194 @@
+//! Exact cell counting for line arrangements in the plane.
+//!
+//! For an arrangement of m *distinct* lines, the number of faces is
+//!
+//! ```text
+//! F  =  1 + m + Σ_v (λ(v) − 1)
+//! ```
+//!
+//! summed over distinct intersection points v, where λ(v) is the number of
+//! lines through v.  (General position gives λ ≡ 2 and the classical
+//! 1 + m + C(m,2); parallels simply contribute no points; concurrences
+//! collapse several pair-intersections into one point and lose faces —
+//! exactly the effect Theorem 7's recurrence accounts for.)
+//!
+//! Every face of the bisector arrangement carries a distinct distance
+//! permutation and vice versa (two faces are separated by some bisector
+//! A|B, so the relative order of A and B differs), hence
+//! [`euclidean_cells`] computes N(sites) for the Euclidean plane exactly.
+
+use crate::line::Line;
+use crate::rational::Rat;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Counts the faces of the arrangement of the given lines exactly.
+///
+/// Coincident duplicates in the input are merged first.  O(m² log m).
+pub fn count_cells(lines: &[Line]) -> u128 {
+    let distinct: BTreeSet<Line> = lines.iter().copied().collect();
+    let lines: Vec<Line> = distinct.into_iter().collect();
+    let m = lines.len() as u128;
+
+    // Group pairwise intersection points; count distinct lines per point.
+    let mut through: BTreeMap<(Rat, Rat), BTreeSet<usize>> = BTreeMap::new();
+    for i in 0..lines.len() {
+        for j in (i + 1)..lines.len() {
+            if let Some(p) = lines[i].intersect(&lines[j]) {
+                let entry = through.entry(p).or_default();
+                entry.insert(i);
+                entry.insert(j);
+            }
+        }
+    }
+
+    let vertex_excess: u128 = through.values().map(|ls| (ls.len() - 1) as u128).sum();
+    1 + m + vertex_excess
+}
+
+/// The exact number of distance permutations of k distinct integer sites
+/// in the Euclidean plane: the cell count of their bisector arrangement.
+///
+/// # Panics
+/// Panics if any two sites coincide.
+pub fn euclidean_cells(sites: &[(i64, i64)]) -> u128 {
+    if sites.len() < 2 {
+        return 1;
+    }
+    let mut lines = Vec::with_capacity(sites.len() * (sites.len() - 1) / 2);
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            lines.push(Line::bisector(sites[i], sites[j]));
+        }
+    }
+    count_cells(&lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_theory::n_euclidean;
+
+    #[test]
+    fn no_lines_one_cell() {
+        assert_eq!(count_cells(&[]), 1);
+    }
+
+    #[test]
+    fn single_line_two_cells() {
+        assert_eq!(count_cells(&[Line::new(1, 0, 0)]), 2);
+    }
+
+    #[test]
+    fn general_position_matches_lazy_caterer() {
+        // x=0, y=0, x+y=1: three lines, three intersection points, 7 faces.
+        let lines = [Line::new(1, 0, 0), Line::new(0, 1, 0), Line::new(1, 1, 1)];
+        assert_eq!(count_cells(&lines), 7);
+    }
+
+    #[test]
+    fn three_concurrent_lines_six_cells() {
+        let lines = [Line::new(1, 0, 0), Line::new(0, 1, 0), Line::new(1, 1, 0)];
+        assert_eq!(count_cells(&lines), 6);
+    }
+
+    #[test]
+    fn parallel_lines_stack() {
+        let lines = [Line::new(1, 0, 0), Line::new(1, 0, 1), Line::new(1, 0, 2)];
+        assert_eq!(count_cells(&lines), 4);
+    }
+
+    #[test]
+    fn duplicate_lines_merged() {
+        let lines = [Line::new(1, 0, 0), Line::new(2, 0, 0), Line::new(-3, 0, 0)];
+        assert_eq!(count_cells(&lines), 2);
+    }
+
+    #[test]
+    fn grid_arrangement() {
+        // 2 horizontals x 2 verticals: 9 faces.
+        let lines = [
+            Line::new(1, 0, 0),
+            Line::new(1, 0, 1),
+            Line::new(0, 1, 0),
+            Line::new(0, 1, 1),
+        ];
+        assert_eq!(count_cells(&lines), 9);
+    }
+
+    #[test]
+    fn two_sites_two_cells() {
+        assert_eq!(euclidean_cells(&[(0, 0), (4, 2)]), 2);
+    }
+
+    #[test]
+    fn three_generic_sites_six_cells() {
+        // N_{2,2}(3) = 6: three concurrent bisectors through the
+        // circumcentre.
+        assert_eq!(euclidean_cells(&[(0, 0), (7, 1), (3, 9)]), 6);
+    }
+
+    #[test]
+    fn three_collinear_sites_still_six_or_fewer() {
+        // Collinear sites have parallel bisectors: 3 parallel lines, 4
+        // cells.
+        assert_eq!(euclidean_cells(&[(0, 0), (2, 2), (6, 6)]), 4);
+    }
+
+    #[test]
+    fn four_generic_sites_give_paper_figure3_count() {
+        // Fig 3 of the paper: four sites in general position, 18 cells.
+        let sites = [(0, 0), (10, 1), (3, 8), (7, 12)];
+        assert_eq!(euclidean_cells(&sites), 18);
+        assert_eq!(u128::from(18u32), n_euclidean(2, 4).unwrap());
+    }
+
+    #[test]
+    fn generic_sites_match_table1_row2() {
+        // Pseudo-random integer sites (large spread => almost surely
+        // generic): the exact arrangement count must equal N_{2,2}(k).
+        let sites = [
+            (13, 907),
+            (411, 203),
+            (-655, 541),
+            (871, -333),
+            (-245, -797),
+            (509, 650),
+            (-37, 150),
+        ];
+        for k in 2..=sites.len() {
+            let count = euclidean_cells(&sites[..k]);
+            assert_eq!(
+                count,
+                n_euclidean(2, k as u32).unwrap(),
+                "k={k}: degenerate site set?"
+            );
+        }
+    }
+
+    #[test]
+    fn square_sites_are_degenerate() {
+        // The four corners of a square are maximally degenerate: the six
+        // bisectors collapse to four distinct lines (x=1, y=1 and the two
+        // diagonals), all concurrent at the centre — 8 sectors, far below
+        // the generic 18.
+        let sites = [(0, 0), (2, 0), (2, 2), (0, 2)];
+        assert_eq!(euclidean_cells(&sites), 8);
+    }
+
+    #[test]
+    fn never_exceeds_euclidean_recurrence() {
+        // Degenerate or not, the exact count is bounded by Theorem 7.
+        let site_sets: Vec<Vec<(i64, i64)>> = vec![
+            vec![(0, 0), (1, 0), (2, 0), (3, 0)],       // collinear
+            vec![(0, 0), (2, 0), (2, 2), (0, 2)],       // square
+            vec![(0, 0), (4, 0), (2, 3), (2, -3)],      // kite
+            vec![(0, 0), (6, 0), (3, 5), (3, 1), (3, 9)], // mixed
+        ];
+        for sites in &site_sets {
+            let cells = euclidean_cells(sites);
+            let bound = n_euclidean(2, sites.len() as u32).unwrap();
+            assert!(cells <= bound, "{sites:?}: {cells} > {bound}");
+        }
+    }
+}

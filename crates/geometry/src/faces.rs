@@ -1,0 +1,315 @@
+//! Exact enumeration of the distance permutations of 2-D Euclidean
+//! sites — not just how many cells exist, but *which* permutation each
+//! cell carries.
+//!
+//! [`crate::arrangement::count_cells`] counts faces through the Euler
+//! relation; this module walks the faces.  Every face of the bisector
+//! arrangement contains a sample point of the slab decomposition: take
+//! every critical x (vertex abscissae and vertical lines), sample a
+//! rational x strictly inside each gap, sort the non-vertical lines by
+//! their y at that x, and take a rational y strictly inside each gap.
+//! Such a point lies on no bisector, so its distance permutation is
+//! determined by exact sign evaluations of the (pre-canonical) bisector
+//! forms — no floating point, no epsilons.
+//!
+//! The distinct-permutation set this yields is cross-validated against
+//! the independent Euler-formula count (they must agree for any site
+//! configuration: each cell has exactly one permutation, and two cells
+//! separated by a bisector differ in at least one pairwise order —
+//! tested, not assumed).
+
+use crate::line::Line;
+use crate::rational::Rat;
+use dp_permutation::{Permutation, MAX_K};
+use std::collections::BTreeSet;
+
+/// A rational strictly between `a < b` with *additive* (not
+/// multiplicative) magnitude growth: the mediant (n₁+n₂)/(d₁+d₂).
+///
+/// The arithmetic midpoint multiplies denominators, which overflows the
+/// checked `i128` arithmetic after two nesting levels at realistic site
+/// coordinates; the mediant keeps every intermediate small.
+fn between(a: Rat, b: Rat) -> Rat {
+    debug_assert!(a < b, "between() needs a < b");
+    Rat::new(a.num() + b.num(), a.den() + b.den())
+}
+
+/// Sign of d(site_i, z)² − d(site_j, z)² at a rational point, exactly.
+///
+/// Derivation: (z−p)·(z−p) − (z−q)·(z−q) = 2(q−p)·z − (|q|²−|p|²).
+fn closer_sign(p: (i64, i64), q: (i64, i64), x: Rat, y: Rat) -> i128 {
+    let (px, py) = (i128::from(p.0), i128::from(p.1));
+    let (qx, qy) = (i128::from(q.0), i128::from(q.1));
+    let a = Rat::int(2 * (qx - px));
+    let b = Rat::int(2 * (qy - py));
+    let c = Rat::int(qx * qx + qy * qy - px * px - py * py);
+    (a * x + b * y - c).num().signum()
+}
+
+/// The distance permutation of rational point `(x, y)` w.r.t. integer
+/// `sites`, exact, with the paper's index tie-break (ties only occur for
+/// coincident sites at a generic point).
+pub fn permutation_at(sites: &[(i64, i64)], x: Rat, y: Rat) -> Permutation {
+    let mut idx: Vec<u8> = (0..sites.len() as u8).collect();
+    idx.sort_by(|&i, &j| {
+        let s = closer_sign(sites[i as usize], sites[j as usize], x, y);
+        s.cmp(&0).then(i.cmp(&j))
+    });
+    Permutation::from_slice(&idx).expect("indices are a permutation")
+}
+
+/// All distinct distance permutations realised by `sites` anywhere in
+/// the Euclidean plane, exactly, sorted lexicographically.
+///
+/// Handles coincident sites (their order is pinned by the tie-break) and
+/// every degenerate line configuration (parallel, concurrent, coincident
+/// bisectors).  Cost is O(m³·k² log k) rational operations for
+/// m = C(k,2) bisector lines — instantaneous at the paper's k ≤ 12.
+///
+/// # Panics
+/// Panics if `sites` is empty, exceeds [`MAX_K`], or coordinates are
+/// large enough to overflow the exact arithmetic (|coord| ≳ 2³⁰).
+pub fn exact_permutations(sites: &[(i64, i64)]) -> Vec<Permutation> {
+    assert!(!sites.is_empty(), "need at least one site");
+    assert!(sites.len() <= MAX_K, "more than MAX_K sites");
+
+    // Distinct bisector lines (coincident pairs contribute none).
+    let mut lines: BTreeSet<Line> = BTreeSet::new();
+    for (i, &p) in sites.iter().enumerate() {
+        for &q in sites.iter().skip(i + 1) {
+            if p != q {
+                lines.insert(Line::bisector(p, q));
+            }
+        }
+    }
+    let lines: Vec<Line> = lines.into_iter().collect();
+
+    // Critical x values: vertex abscissae plus vertical-line positions.
+    let mut xs: BTreeSet<Rat> = BTreeSet::new();
+    for (i, l1) in lines.iter().enumerate() {
+        if l1.b() == 0 {
+            xs.insert(Rat::new(l1.c(), l1.a()));
+        }
+        for l2 in lines.iter().skip(i + 1) {
+            if let Some((x, _)) = l1.intersect(l2) {
+                xs.insert(x);
+            }
+        }
+    }
+    let xs: Vec<Rat> = xs.into_iter().collect();
+
+    // Sample x strictly inside every gap of the critical set.
+    let mut sample_xs = Vec::with_capacity(xs.len() + 1);
+    match (xs.first(), xs.last()) {
+        (None, _) => sample_xs.push(Rat::ZERO),
+        (Some(&first), Some(&last)) => {
+            sample_xs.push(first - Rat::ONE);
+            for w in xs.windows(2) {
+                sample_xs.push(between(w[0], w[1]));
+            }
+            sample_xs.push(last + Rat::ONE);
+        }
+        _ => unreachable!("first and last agree on emptiness"),
+    }
+
+    let mut seen: BTreeSet<Permutation> = BTreeSet::new();
+    for &x in &sample_xs {
+        // Non-vertical lines ordered by height at this x.
+        let mut ys: Vec<Rat> = lines
+            .iter()
+            .filter(|l| l.b() != 0)
+            .map(|l| (Rat::int(l.c()) - Rat::int(l.a()) * x) / Rat::int(l.b()))
+            .collect();
+        ys.sort_unstable();
+        ys.dedup();
+        let mut sample_ys = Vec::with_capacity(ys.len() + 1);
+        match (ys.first(), ys.last()) {
+            (None, _) => sample_ys.push(Rat::ZERO),
+            (Some(&first), Some(&last)) => {
+                sample_ys.push(first - Rat::ONE);
+                for w in ys.windows(2) {
+                    sample_ys.push(between(w[0], w[1]));
+                }
+                sample_ys.push(last + Rat::ONE);
+            }
+            _ => unreachable!(),
+        }
+        for &y in &sample_ys {
+            seen.insert(permutation_at(sites, x, y));
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Number of distinct ordered length-`len` prefixes over the exact
+/// permutation set — the exact version of the §2 refinement chain for
+/// 2-D Euclidean sites (ℓ = 1: Voronoi cells of distinct sites; ℓ = k:
+/// the full count).
+///
+/// # Panics
+/// Panics if `len` exceeds the site count.
+pub fn exact_prefix_count(sites: &[(i64, i64)], len: usize) -> usize {
+    assert!(len <= sites.len(), "prefix length exceeds site count");
+    let perms = exact_permutations(sites);
+    let set: BTreeSet<&[u8]> = perms.iter().map(|p| &p.as_slice()[..len]).collect();
+    set.len()
+}
+
+/// Number of distinct *unordered* length-`len` prefixes (occupied
+/// order-`len` Voronoi cells, Fig 2) over the exact permutation set.
+///
+/// # Panics
+/// Panics if `len` exceeds the site count.
+pub fn exact_unordered_prefix_count(sites: &[(i64, i64)], len: usize) -> usize {
+    assert!(len <= sites.len(), "prefix length exceeds site count");
+    let perms = exact_permutations(sites);
+    let set: BTreeSet<Vec<u8>> = perms
+        .iter()
+        .map(|p| {
+            let mut pre = p.as_slice()[..len].to_vec();
+            pre.sort_unstable();
+            pre
+        })
+        .collect();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::euclidean_cells;
+
+    /// The canonical Fig 1–4 sites, scaled to integers.
+    fn paper_sites() -> Vec<(i64, i64)> {
+        vec![(9867, 5630), (3364, 5875), (4702, 8210), (8423, 3812)]
+    }
+
+    #[test]
+    fn paper_configuration_has_exactly_18_permutations() {
+        let perms = exact_permutations(&paper_sites());
+        assert_eq!(perms.len(), 18);
+        // Agrees with the independent Euler-formula face count.
+        assert_eq!(euclidean_cells(&paper_sites()), 18);
+    }
+
+    #[test]
+    fn permutation_set_size_equals_cell_count_on_random_sites() {
+        // Two independent exact algorithms must agree for arbitrary
+        // configurations, including degenerate ones.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 2001) as i64 - 1000
+        };
+        for trial in 0..20 {
+            let k = 3 + (trial % 4);
+            let sites: Vec<(i64, i64)> = (0..k).map(|_| (next(), next())).collect();
+            let dedup: BTreeSet<(i64, i64)> = sites.iter().copied().collect();
+            if dedup.len() < sites.len() {
+                continue; // euclidean_cells rejects coincident sites
+            }
+            let perms = exact_permutations(&sites);
+            assert_eq!(
+                perms.len() as u128,
+                euclidean_cells(&sites),
+                "trial {trial}, sites {sites:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generic_sites_achieve_table1_row2() {
+        // Sites in general position achieve N_{2,2}(k) exactly.
+        let sites = [(0, 0), (97, 13), (41, 89), (-55, 60), (-13, -71)];
+        for k in 2..=5usize {
+            let perms = exact_permutations(&sites[..k]);
+            let expected = dp_theory_n22(k as u32);
+            assert_eq!(perms.len() as u128, expected, "k = {k}");
+        }
+    }
+
+    /// N_{2,2}(k) from Table 1, inlined to avoid a dev-dependency cycle.
+    fn dp_theory_n22(k: u32) -> u128 {
+        match k {
+            2 => 2,
+            3 => 6,
+            4 => 18,
+            5 => 46,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn single_and_coincident_sites() {
+        assert_eq!(exact_permutations(&[(5, 5)]).len(), 1);
+        // Two coincident sites: the tie-break pins 0 before 1 everywhere.
+        let perms = exact_permutations(&[(3, 3), (3, 3)]);
+        assert_eq!(perms.len(), 1);
+        assert_eq!(perms[0].as_slice(), &[0, 1]);
+        // A coincident pair plus one distinct site: only the distinct
+        // site's relative order can vary.
+        let perms = exact_permutations(&[(0, 0), (0, 0), (10, 0)]);
+        assert_eq!(perms.len(), 2);
+        for p in &perms {
+            assert!(p.position_of(0).unwrap() < p.position_of(1).unwrap());
+        }
+    }
+
+    #[test]
+    fn collinear_sites_behave_like_one_dimension() {
+        // k collinear sites: the arrangement is k·(k−1)/2 parallel lines
+        // (some possibly coincident); generic spacing gives C(k,2)+1.
+        let sites: Vec<(i64, i64)> = vec![(0, 0), (7, 0), (19, 0), (40, 0)];
+        let perms = exact_permutations(&sites);
+        assert_eq!(perms.len(), 7); // C(4,2)+1
+        // Evenly spaced sites force coincident bisectors — fewer cells.
+        let even: Vec<(i64, i64)> = vec![(0, 0), (10, 0), (20, 0), (30, 0)];
+        let perms_even = exact_permutations(&even);
+        assert!(perms_even.len() < 7, "coincident bisectors must merge cells");
+    }
+
+    #[test]
+    fn vertical_bisectors_are_handled() {
+        // Horizontally aligned site pairs give vertical bisectors.
+        let sites = [(0, 0), (10, 0), (0, 10), (10, 10)];
+        let perms = exact_permutations(&sites);
+        // The square's symmetry collapses many cells; whatever the count,
+        // it must match the Euler formula and stay ≤ 18.
+        assert_eq!(perms.len() as u128, euclidean_cells(&sites));
+        assert!(perms.len() <= 18);
+    }
+
+    #[test]
+    fn prefix_counts_refine_monotonically_and_exactly() {
+        let sites = paper_sites();
+        let mut prev = 0;
+        for l in 1..=4usize {
+            let ordered = exact_prefix_count(&sites, l);
+            let unordered = exact_unordered_prefix_count(&sites, l);
+            assert!(ordered >= prev);
+            assert!(unordered <= ordered);
+            prev = ordered;
+        }
+        // ℓ = 1: all four sites own a nonempty Voronoi cell.
+        assert_eq!(exact_prefix_count(&sites, 1), 4);
+        // ℓ = k: the full 18.
+        assert_eq!(exact_prefix_count(&sites, 4), 18);
+        // Fig 2: order-2 cells.  The exact enumeration shows only 5 of
+        // the C(4,2) = 6 pairs own a region in this configuration — one
+        // pair of sites is never jointly nearest (a fact the paper's
+        // pixel experiments could not certify; the exact sampler can).
+        assert_eq!(exact_unordered_prefix_count(&sites, 2), 5);
+    }
+
+    #[test]
+    fn permutation_at_known_points() {
+        let sites = [(0, 0), (10, 0)];
+        let left = permutation_at(&sites, Rat::int(1), Rat::int(3));
+        assert_eq!(left.as_slice(), &[0, 1]);
+        let right = permutation_at(&sites, Rat::int(9), Rat::int(-2));
+        assert_eq!(right.as_slice(), &[1, 0]);
+        // Exactly on the bisector: the tie-break chooses the lower index.
+        let on = permutation_at(&sites, Rat::int(5), Rat::int(100));
+        assert_eq!(on.as_slice(), &[0, 1]);
+    }
+}

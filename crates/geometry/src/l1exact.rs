@@ -1,0 +1,543 @@
+//! **Exact** L1 and L∞ cell counting in the plane.
+//!
+//! The paper proves Theorem 9 by over-approximating each piecewise-linear
+//! bisector with full hyperplanes, and measures actual L1 counts only by
+//! pixel experiments ("informal computer-graphics experiments").  This
+//! module computes the true cell count of the L1 bisector arrangement
+//! *exactly*, going beyond the paper:
+//!
+//! 1. For a non-degenerate site pair the L1 bisector is one diagonal
+//!    segment (slope ±1) joined to two axis-parallel rays (or a single
+//!    straight line when the pair is axis-aligned).  Pairs with
+//!    |Δx| = |Δy| have bisectors containing two-dimensional quadrants —
+//!    the degeneracy the paper's §4 alludes to — and are rejected.
+//! 2. The bisector pieces are clipped to a box beyond every feature and
+//!    assembled into an exact planar subdivision over rational
+//!    coordinates, grouped by supporting line so collinear overlaps are
+//!    handled exactly.
+//! 3. Faces are counted by Euler's formula `F_inner = E − V + C`.
+//!
+//! L∞ reduces to L1 through the rotation (x, y) ↦ (x+y, x−y), which
+//! doubles distances and maps cells bijectively; axis-aligned pairs are
+//! the degenerate ones there.
+
+use crate::line::Line;
+use crate::rational::Rat;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why an exact L1/L∞ count is unavailable for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1ExactError {
+    /// Sites i and j coincide.
+    DuplicateSites(usize, usize),
+    /// |Δx| = |Δy| for sites i and j: the bisector contains 2-D regions,
+    /// so "number of cells" is not defined by a 1-D arrangement.
+    DegeneratePair(usize, usize),
+}
+
+impl std::fmt::Display for L1ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            L1ExactError::DuplicateSites(i, j) => write!(f, "sites {i} and {j} coincide"),
+            L1ExactError::DegeneratePair(i, j) => {
+                write!(f, "sites {i} and {j} are diagonal (|dx| = |dy|): 2-D bisector")
+            }
+        }
+    }
+}
+
+impl std::error::Error for L1ExactError {}
+
+/// An unclipped bisector piece.
+enum Piece {
+    /// Closed segment between two rational points.
+    Seg((Rat, Rat), (Rat, Rat)),
+    /// Ray from a rational point in an integer direction.
+    Ray((Rat, Rat), (i64, i64)),
+    /// Full line through a rational point in an integer direction.
+    Full((Rat, Rat), (i64, i64)),
+}
+
+/// The L1 bisector of two non-degenerate integer sites.
+///
+/// In the |Δx| > |Δy| case the bisector is two vertical rays joined by a
+/// diagonal segment across the y-band of the sites.  On the band the
+/// signed gap |x−px| − |x−qx| equals sign(Δx)·(2x − px − qx), so the ray
+/// abscissae pick up a sign(Δx) factor; the mirror case likewise carries
+/// sign(Δy).
+fn l1_bisector(p: (i64, i64), q: (i64, i64)) -> Result<Vec<Piece>, ()> {
+    let (dx, dy) = (q.0 - p.0, q.1 - p.1);
+    if (dx == 0 && dy == 0) || dx.abs() == dy.abs() {
+        return Err(());
+    }
+    if dx.abs() > dy.abs() {
+        // Vertical rays at x_top/x_bot, diagonal segment across the band.
+        let s = i128::from(dx.signum());
+        let sx = Rat::int(i128::from(p.0) + i128::from(q.0));
+        let x_top = (sx - Rat::int(i128::from(dy) * s)) / Rat::int(2);
+        let x_bot = (sx + Rat::int(i128::from(dy) * s)) / Rat::int(2);
+        let y_hi = Rat::int(i128::from(p.1.max(q.1)));
+        let y_lo = Rat::int(i128::from(p.1.min(q.1)));
+        if dy == 0 {
+            return Ok(vec![Piece::Full((x_top, y_hi), (0, 1))]);
+        }
+        Ok(vec![
+            Piece::Ray((x_top, y_hi), (0, 1)),
+            Piece::Seg((x_bot, y_lo), (x_top, y_hi)),
+            Piece::Ray((x_bot, y_lo), (0, -1)),
+        ])
+    } else {
+        // Mirror case: horizontal rays, diagonal segment.
+        let s = i128::from(dy.signum());
+        let sy = Rat::int(i128::from(p.1) + i128::from(q.1));
+        let y_right = (sy - Rat::int(i128::from(dx) * s)) / Rat::int(2);
+        let y_left = (sy + Rat::int(i128::from(dx) * s)) / Rat::int(2);
+        let x_hi = Rat::int(i128::from(p.0.max(q.0)));
+        let x_lo = Rat::int(i128::from(p.0.min(q.0)));
+        if dx == 0 {
+            return Ok(vec![Piece::Full((x_hi, y_right), (1, 0))]);
+        }
+        Ok(vec![
+            Piece::Ray((x_hi, y_right), (1, 0)),
+            Piece::Seg((x_lo, y_left), (x_hi, y_right)),
+            Piece::Ray((x_lo, y_left), (-1, 0)),
+        ])
+    }
+}
+
+/// Exact L1 distance between rational points.
+#[cfg(test)]
+fn l1_rat(a: (Rat, Rat), b: (Rat, Rat)) -> Rat {
+    let abs = |r: Rat| if r < Rat::ZERO { -r } else { r };
+    abs(a.0 - b.0) + abs(a.1 - b.1)
+}
+
+/// Clips a piece to the closed box [-m, m]², returning segment endpoints.
+fn clip(piece: &Piece, m: i128) -> ((Rat, Rat), (Rat, Rat)) {
+    let lo = Rat::int(-m);
+    let hi = Rat::int(m);
+    let clamp_ray = |origin: &(Rat, Rat), dir: (i64, i64)| -> (Rat, Rat) {
+        // Our rays are axis-parallel; march the moving coordinate to the
+        // box edge.
+        match dir {
+            (0, 1) => (origin.0, hi),
+            (0, -1) => (origin.0, lo),
+            (1, 0) => (hi, origin.1),
+            (-1, 0) => (lo, origin.1),
+            _ => unreachable!("rays are axis-parallel by construction"),
+        }
+    };
+    match piece {
+        Piece::Seg(a, b) => (*a, *b),
+        Piece::Ray(a, d) => (*a, clamp_ray(a, *d)),
+        Piece::Full(a, d) => {
+            let fwd = clamp_ray(a, *d);
+            let back = clamp_ray(a, (-d.0, -d.1));
+            (back, fwd)
+        }
+    }
+}
+
+/// The supporting canonical line of a rational segment.
+fn supporting_line(a: (Rat, Rat), b: (Rat, Rat)) -> Line {
+    // Direction (dx, dy); line: dy·x − dx·y = dy·ax − dx·ay, scaled to
+    // integers by the common denominator.
+    let dx = b.0 - a.0;
+    let dy = b.1 - a.1;
+    let ca = dy.num() * dx.den();
+    let cb = -(dx.num() * dy.den());
+    // c = ca·ax + cb·ay with rational ax, ay: scale by their denominators.
+    let scale = a.0.den() * a.1.den();
+    let c = ca * a.0.num() * a.1.den() + cb * a.1.num() * a.0.den();
+    Line::new(ca * scale / scale.signum().max(1), cb * scale / scale.signum().max(1), c)
+}
+
+/// Parameter of a point along a canonical line (a, b, c): t = b·x − a·y.
+fn param(line: &Line, p: (Rat, Rat)) -> Rat {
+    Rat::int(line.b()) * p.0 - Rat::int(line.a()) * p.1
+}
+
+/// Point on a canonical line at parameter t.
+fn point_at(line: &Line, t: Rat) -> (Rat, Rat) {
+    let n = Rat::int(line.a() * line.a() + line.b() * line.b());
+    let p0 = (
+        Rat::new(line.a() * line.c(), 1) / n,
+        Rat::new(line.b() * line.c(), 1) / n,
+    );
+    let s = t / n;
+    (p0.0 + s * Rat::int(line.b()), p0.1 - s * Rat::int(line.a()))
+}
+
+struct Disjoint {
+    parent: Vec<usize>,
+}
+
+impl Disjoint {
+    fn new(n: usize) -> Self {
+        Disjoint { parent: (0..n).collect() }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// A closed segment between two rational points.
+pub type RatSeg = ((Rat, Rat), (Rat, Rat));
+
+/// Counts the faces of an arrangement of closed rational segments.
+///
+/// Segments may overlap collinearly, share endpoints or cross; the count
+/// is exact.  This is the general engine behind [`l1_cells`]; it is public
+/// so other piecewise-linear metrics can reuse it.
+pub fn segment_arrangement_faces(segments: &[RatSeg]) -> u128 {
+    // Group by supporting line; store per-line sorted intervals in the
+    // line's canonical parameter.
+    let mut by_line: BTreeMap<Line, Vec<(Rat, Rat)>> = BTreeMap::new();
+    for &(a, b) in segments {
+        assert!(a != b, "zero-length segment");
+        let line = supporting_line(a, b);
+        let (ta, tb) = (param(&line, a), param(&line, b));
+        let iv = if ta <= tb { (ta, tb) } else { (tb, ta) };
+        by_line.entry(line).or_default().push(iv);
+    }
+    // Merge overlapping/touching intervals per line.
+    let lines: Vec<(Line, Vec<(Rat, Rat)>)> = by_line
+        .into_iter()
+        .map(|(line, mut ivs)| {
+            ivs.sort();
+            let mut merged: Vec<(Rat, Rat)> = Vec::with_capacity(ivs.len());
+            for iv in ivs {
+                match merged.last_mut() {
+                    Some(last) if iv.0 <= last.1 => {
+                        if iv.1 > last.1 {
+                            last.1 = iv.1;
+                        }
+                    }
+                    _ => merged.push(iv),
+                }
+            }
+            (line, merged)
+        })
+        .collect();
+
+    let inside = |ivs: &[(Rat, Rat)], t: Rat| ivs.iter().any(|&(s, e)| s <= t && t <= e);
+
+    // Vertices: pairwise line intersections that land inside both interval
+    // unions, plus every interval endpoint.
+    let mut vertex_ids: BTreeMap<(Rat, Rat), usize> = BTreeMap::new();
+    let mut per_line_ts: Vec<BTreeSet<Rat>> = vec![BTreeSet::new(); lines.len()];
+    let intern = |vertex_ids: &mut BTreeMap<(Rat, Rat), usize>, p: (Rat, Rat)| -> usize {
+        let next = vertex_ids.len();
+        *vertex_ids.entry(p).or_insert(next)
+    };
+    for i in 0..lines.len() {
+        for &(s, e) in &lines[i].1 {
+            for t in [s, e] {
+                let p = point_at(&lines[i].0, t);
+                intern(&mut vertex_ids, p);
+                per_line_ts[i].insert(t);
+            }
+        }
+        for j in (i + 1)..lines.len() {
+            if let Some(p) = lines[i].0.intersect(&lines[j].0) {
+                let (ti, tj) = (param(&lines[i].0, p), param(&lines[j].0, p));
+                if inside(&lines[i].1, ti) && inside(&lines[j].1, tj) {
+                    intern(&mut vertex_ids, p);
+                    per_line_ts[i].insert(ti);
+                    per_line_ts[j].insert(tj);
+                }
+            }
+        }
+    }
+
+    // Edges: consecutive vertices inside each merged interval.
+    let mut edge_count: u128 = 0;
+    let mut dsu = Disjoint::new(vertex_ids.len());
+    for (i, (line, ivs)) in lines.iter().enumerate() {
+        for &(s, e) in ivs {
+            let ts: Vec<Rat> =
+                per_line_ts[i].iter().copied().filter(|&t| s <= t && t <= e).collect();
+            debug_assert!(ts.len() >= 2, "interval endpoints are vertices");
+            for w in ts.windows(2) {
+                let a = vertex_ids[&point_at(line, w[0])];
+                let b = vertex_ids[&point_at(line, w[1])];
+                edge_count += 1;
+                dsu.union(a, b);
+            }
+        }
+    }
+
+    // Components among vertices that carry edges (isolated vertices are
+    // impossible: every vertex lies on some interval).
+    let mut roots: BTreeSet<usize> = BTreeSet::new();
+    for v in 0..vertex_ids.len() {
+        roots.insert(dsu.find(v));
+    }
+    let v = vertex_ids.len() as u128;
+    let c = roots.len() as u128;
+    // Euler: faces excluding the outer face (ordered to stay in u128).
+    edge_count + c - v
+}
+
+/// The exact number of distance permutations of integer sites in the L1
+/// plane.
+///
+/// Exact counterpart of the paper's pixel experiments; errors on
+/// coincident or diagonal (|Δx| = |Δy|) site pairs.
+pub fn l1_cells(sites: &[(i64, i64)]) -> Result<u128, L1ExactError> {
+    if sites.len() < 2 {
+        return Ok(1);
+    }
+    // Box beyond every site and every bisector feature: bisector kinks
+    // and pairwise intersections live within the sites' coordinate span
+    // (plus half-spans); 4·(span+1) is comfortably beyond.
+    let max_abs = sites
+        .iter()
+        .flat_map(|&(x, y)| [x.abs(), y.abs()])
+        .max()
+        .expect("non-empty");
+    let m = 4 * (i128::from(max_abs) + 1);
+
+    let mut segments: Vec<RatSeg> = Vec::new();
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            if sites[i] == sites[j] {
+                return Err(L1ExactError::DuplicateSites(i, j));
+            }
+            let pieces = l1_bisector(sites[i], sites[j])
+                .map_err(|()| L1ExactError::DegeneratePair(i, j))?;
+            for piece in &pieces {
+                segments.push(clip(piece, m));
+            }
+        }
+    }
+    // The bounding box itself.
+    let (lo, hi) = (Rat::int(-m), Rat::int(m));
+    segments.push(((lo, lo), (hi, lo)));
+    segments.push(((hi, lo), (hi, hi)));
+    segments.push(((hi, hi), (lo, hi)));
+    segments.push(((lo, hi), (lo, lo)));
+
+    Ok(segment_arrangement_faces(&segments))
+}
+
+/// The exact number of distance permutations of integer sites in the L∞
+/// plane, via the rotation (x, y) ↦ (x+y, x−y) that carries L∞ to L1.
+pub fn linf_cells(sites: &[(i64, i64)]) -> Result<u128, L1ExactError> {
+    let rotated: Vec<(i64, i64)> = sites.iter().map(|&(x, y)| (x + y, x - y)).collect();
+    l1_cells(&rotated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{adaptive_count, BBox};
+    use dp_metric::{L1, LInf};
+    use dp_theory::n_euclidean;
+
+    fn census_l1(sites_i: &[(i64, i64)], scale: f64) -> usize {
+        let sites: Vec<Vec<f64>> = sites_i
+            .iter()
+            .map(|&(x, y)| vec![x as f64 / scale, y as f64 / scale])
+            .collect();
+        let span = 3.0;
+        let bbox = BBox { x_min: -span, x_max: span + 1.0, y_min: -span, y_max: span + 1.0 };
+        adaptive_count(&L1, &sites, bbox, 64, 7).distinct()
+    }
+
+    #[test]
+    fn two_sites_two_cells() {
+        assert_eq!(l1_cells(&[(0, 0), (5, 2)]), Ok(2));
+    }
+
+    #[test]
+    fn bisector_pieces_are_exactly_equidistant() {
+        // Sample rational points along every piece of every bisector in
+        // all four sign quadrants and verify d1(·,p) = d1(·,q) *exactly*.
+        let pairs = [
+            ((0i64, 0i64), (10i64, 4i64)),
+            ((0, 0), (10, -4)),
+            ((0, 0), (-10, 4)),
+            ((0, 0), (-10, -4)),
+            ((0, 0), (4, 10)),
+            ((0, 0), (4, -10)),
+            ((0, 0), (-4, 10)),
+            ((0, 0), (-4, -10)),
+            ((51, 90), (70, 12)),
+            ((87, 44), (51, 90)),
+        ];
+        for (p, q) in pairs {
+            let pr = (Rat::int(p.0 as i128), Rat::int(p.1 as i128));
+            let qr = (Rat::int(q.0 as i128), Rat::int(q.1 as i128));
+            for piece in l1_bisector(p, q).unwrap() {
+                let (a, b) = clip(&piece, 1000);
+                for num in 0..=4i128 {
+                    let t = Rat::new(num, 4);
+                    let pt = (
+                        a.0 + t * (b.0 - a.0),
+                        a.1 + t * (b.1 - a.1),
+                    );
+                    assert_eq!(
+                        l1_rat(pt, pr),
+                        l1_rat(pt, qr),
+                        "pair {p:?}-{q:?} point off bisector"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axis_aligned_pair_is_a_straight_line() {
+        assert_eq!(l1_cells(&[(0, 0), (6, 0)]), Ok(2));
+        assert_eq!(l1_cells(&[(0, 0), (0, 6)]), Ok(2));
+    }
+
+    #[test]
+    fn diagonal_pair_rejected() {
+        assert_eq!(
+            l1_cells(&[(0, 0), (3, 3)]),
+            Err(L1ExactError::DegeneratePair(0, 1))
+        );
+        assert_eq!(
+            l1_cells(&[(0, 0), (4, -4)]),
+            Err(L1ExactError::DegeneratePair(0, 1))
+        );
+    }
+
+    #[test]
+    fn duplicate_sites_rejected() {
+        assert_eq!(
+            l1_cells(&[(1, 1), (1, 1)]),
+            Err(L1ExactError::DuplicateSites(0, 1))
+        );
+    }
+
+    #[test]
+    fn figure4_configuration_has_exactly_18_cells() {
+        // The Fig 3/4 sites (scaled to integers): the paper's pixel count
+        // of 18 for L1, now exact.
+        let sites = [(9867i64, 5630), (3364, 5875), (4702, 8210), (8423, 3812)];
+        assert_eq!(l1_cells(&sites), Ok(18));
+    }
+
+    #[test]
+    fn collinear_horizontal_sites_reduce_to_1d() {
+        // Sites on a horizontal line: every bisector is a vertical line;
+        // the count equals the 1-D midpoint count.
+        let xs = [0i64, 3, 10, 21];
+        let sites: Vec<(i64, i64)> = xs.iter().map(|&x| (x, 0)).collect();
+        assert_eq!(
+            l1_cells(&sites).unwrap(),
+            crate::oned::exact_count_1d(&xs)
+        );
+    }
+
+    #[test]
+    fn exact_count_matches_adaptive_census() {
+        let cases: Vec<Vec<(i64, i64)>> = vec![
+            vec![(12, 31), (87, 44), (51, 90), (70, 12)],
+            vec![(5, 60), (90, 10), (40, 35), (66, 77), (15, 15)],
+            vec![(10, 20), (80, 25), (45, 70)],
+        ];
+        for sites in &cases {
+            let exact = l1_cells(sites).unwrap();
+            let census = census_l1(sites, 50.0);
+            assert_eq!(census as u128, exact, "sites {sites:?}");
+        }
+    }
+
+    #[test]
+    fn l1_counts_bounded_by_theorem9_and_factorial() {
+        let sites = vec![(5i64, 60), (90, 10), (40, 35), (66, 77), (15, 15)];
+        let cells = l1_cells(&sites).unwrap();
+        let fact: u128 = (1..=5u128).product();
+        assert!(cells <= fact);
+        // Theorem 9 d=2 bound: S_2(2^4 * C(5,2)) = S_2(160), enormous.
+        assert!(cells <= dp_theory::cake_pieces(2, 160).unwrap());
+    }
+
+    #[test]
+    fn linf_transform_matches_direct_census() {
+        let sites = [(12i64, 31), (87, 44), (51, 90), (70, 13)];
+        let exact = linf_cells(&sites).unwrap();
+        let sites_f: Vec<Vec<f64>> = sites
+            .iter()
+            .map(|&(x, y)| vec![x as f64 / 50.0, y as f64 / 50.0])
+            .collect();
+        let bbox = BBox { x_min: -3.0, x_max: 4.0, y_min: -3.0, y_max: 4.0 };
+        let census = adaptive_count(&LInf, &sites_f, bbox, 64, 7).distinct();
+        assert_eq!(census as u128, exact);
+    }
+
+    #[test]
+    fn linf_rejects_axis_aligned_pairs() {
+        // (0,0)-(4,0): rotated to (4,4)-difference — diagonal in L1 space.
+        assert!(matches!(
+            linf_cells(&[(0, 0), (4, 0)]),
+            Err(L1ExactError::DegeneratePair(0, 1))
+        ));
+    }
+
+    #[test]
+    fn l1_vs_euclidean_never_exceeds_in_small_2d_searches() {
+        // The paper found no 2-D counterexample (its L1 informal maximum
+        // 18 equals N_{2,2}(4)); spot-check k = 4 over pseudo-random
+        // integer site sets.
+        let mut state = 777u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 97) as i64
+        };
+        let e_max = n_euclidean(2, 4).unwrap();
+        let mut best = 0u128;
+        let mut tried = 0;
+        while tried < 12 {
+            let sites: Vec<(i64, i64)> = (0..4).map(|_| (next(), next())).collect();
+            match l1_cells(&sites) {
+                Ok(cells) => {
+                    tried += 1;
+                    best = best.max(cells);
+                    assert!(cells <= e_max, "2-D L1 counterexample?! {sites:?} -> {cells}");
+                }
+                Err(_) => continue, // degenerate draw; try again
+            }
+        }
+        assert!(best >= 10, "all draws implausibly degenerate (best {best})");
+    }
+
+    #[test]
+    fn segment_engine_reproduces_line_arrangement_counts() {
+        // Three long segments in general position behave like lines
+        // within their box: lazy-caterer 7 faces + the box ring faces.
+        // Simpler: a triangle has 2 faces (inside + nothing else bounded):
+        // E=3, V=3, C=1 -> F = 3-3+1 = 1... plus outer not counted: the
+        // triangle's single bounded face.
+        let a = (Rat::int(0), Rat::int(0));
+        let b = (Rat::int(4), Rat::int(0));
+        let c = (Rat::int(0), Rat::int(4));
+        let faces = segment_arrangement_faces(&[(a, b), (b, c), (c, a)]);
+        assert_eq!(faces, 1);
+    }
+
+    #[test]
+    fn segment_engine_handles_collinear_overlap() {
+        // Two overlapping collinear segments + a crossing one: the
+        // overlap must not double-count edges.
+        let s1 = ((Rat::int(0), Rat::int(0)), (Rat::int(10), Rat::int(0)));
+        let s2 = ((Rat::int(5), Rat::int(0)), (Rat::int(15), Rat::int(0)));
+        let cross = ((Rat::int(7), Rat::int(-5)), (Rat::int(7), Rat::int(5)));
+        // One horizontal run crossed once: no bounded faces.
+        assert_eq!(segment_arrangement_faces(&[s1, s2, cross]), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # dp-geometry — exact bisector arrangements and figure rendering
+//!
+//! Section 2 of *Counting distance permutations* interprets the number of
+//! distance permutations as the number of cells in the arrangement of the
+//! C(k,2) site bisectors — a refinement of every order of Voronoi diagram
+//! (Figs 1–4).  This crate makes that interpretation executable:
+//!
+//! * [`rational`] — exact `i128` fraction arithmetic (no rounding, no
+//!   epsilons);
+//! * [`mod@line`] — canonicalised lines `ax + by = c` and perpendicular
+//!   bisectors of integer sites;
+//! * [`arrangement`] — exact cell counting for line arrangements via
+//!   `F = 1 + m + Σ_v (λ(v) − 1)`, correctly handling parallel, coincident
+//!   and concurrent lines (the forced coincidences
+//!   `a|x ∩ b|x = a|b ∩ b|x` of Theorem 7's proof);
+//! * [`oned`] — exact 1-D counts: distinct midpoints + 1, for every Lp;
+//! * [`faces`] — exact *enumeration* of the permutations themselves
+//!   (which permutation each cell carries), by rational slab sampling —
+//!   cross-validated against the Euler-formula count;
+//! * [`sampling`] — dense-grid permutation enumeration for arbitrary 2-D
+//!   metrics (how the paper's informal experiments and Fig 4's 18 cells
+//!   were obtained);
+//! * [`render`] — regenerates Figures 1–4 as PPM cell maps and SVG line
+//!   drawings.
+
+pub mod arrangement;
+pub mod faces;
+pub mod l1exact;
+pub mod line;
+pub mod oned;
+pub mod rational;
+pub mod render;
+pub mod sampling;
+
+pub use arrangement::{count_cells, euclidean_cells};
+pub use faces::{exact_permutations, exact_prefix_count, exact_unordered_prefix_count};
+pub use l1exact::{l1_cells, linf_cells};
+pub use line::Line;
+pub use oned::exact_count_1d;
+pub use rational::Rat;

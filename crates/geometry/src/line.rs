@@ -1,0 +1,191 @@
+//! Canonicalised lines and Euclidean perpendicular bisectors.
+//!
+//! A line is `a·x + b·y = c` with integer coefficients reduced by their gcd
+//! and sign-fixed, so coincident bisectors compare equal structurally —
+//! exactly what the arrangement counter needs to honour the paper's
+//! `a|x ∩ b|x = a|b ∩ b|x` coincidences.
+
+use crate::rational::Rat;
+
+/// A line `a·x + b·y = c` in canonical integer form.
+///
+/// Canonical means: gcd(a, b, c) = 1 and the first nonzero of (a, b) is
+/// positive.  Two [`Line`]s are equal iff they are the same point set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Line {
+    a: i128,
+    b: i128,
+    c: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Line {
+    /// Creates the canonical line `a·x + b·y = c`.
+    ///
+    /// # Panics
+    /// Panics if `a == b == 0` (not a line).
+    pub fn new(a: i128, b: i128, c: i128) -> Line {
+        assert!(a != 0 || b != 0, "degenerate line 0x + 0y = {c}");
+        let g = gcd(gcd(a, b), c).max(1);
+        let (mut a, mut b, mut c) = (a / g, b / g, c / g);
+        let lead = if a != 0 { a } else { b };
+        if lead < 0 {
+            a = -a;
+            b = -b;
+            c = -c;
+        }
+        Line { a, b, c }
+    }
+
+    /// Coefficient of x.
+    pub fn a(&self) -> i128 {
+        self.a
+    }
+
+    /// Coefficient of y.
+    pub fn b(&self) -> i128 {
+        self.b
+    }
+
+    /// Right-hand side.
+    pub fn c(&self) -> i128 {
+        self.c
+    }
+
+    /// The Euclidean perpendicular bisector of integer sites `p` and `q`:
+    /// the set where |z−p|² = |z−q|², i.e.
+    /// `2(qx−px)·x + 2(qy−py)·y = qx²+qy²−px²−py²`.
+    ///
+    /// # Panics
+    /// Panics if `p == q` (the bisector would be the whole plane).
+    pub fn bisector(p: (i64, i64), q: (i64, i64)) -> Line {
+        assert_ne!(p, q, "bisector of identical sites is the whole plane");
+        let (px, py) = (i128::from(p.0), i128::from(p.1));
+        let (qx, qy) = (i128::from(q.0), i128::from(q.1));
+        let a = 2 * (qx - px);
+        let b = 2 * (qy - py);
+        let c = qx * qx + qy * qy - px * px - py * py;
+        Line::new(a, b, c)
+    }
+
+    /// True iff the two lines are parallel (or coincident).
+    pub fn parallel(&self, other: &Line) -> bool {
+        self.a * other.b == other.a * self.b
+    }
+
+    /// Intersection point of two non-parallel lines, as exact rationals.
+    ///
+    /// Returns `None` for parallel or coincident lines.
+    pub fn intersect(&self, other: &Line) -> Option<(Rat, Rat)> {
+        let det = self.a * other.b - other.a * self.b;
+        if det == 0 {
+            return None;
+        }
+        // Cramer's rule.
+        let x = Rat::new(self.c * other.b - other.c * self.b, det);
+        let y = Rat::new(self.a * other.c - other.a * self.c, det);
+        Some((x, y))
+    }
+
+    /// Evaluates the signed expression `a·x + b·y − c` at a rational point.
+    pub fn eval(&self, x: Rat, y: Rat) -> Rat {
+        Rat::int(self.a) * x + Rat::int(self.b) * y - Rat::int(self.c)
+    }
+
+    /// True iff the point lies on the line.
+    pub fn contains(&self, x: Rat, y: Rat) -> bool {
+        self.eval(x, y).is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_dedupes_scalar_multiples() {
+        assert_eq!(Line::new(2, 4, 6), Line::new(1, 2, 3));
+        assert_eq!(Line::new(-1, -2, -3), Line::new(1, 2, 3));
+        assert_eq!(Line::new(0, -5, 10), Line::new(0, 1, -2));
+    }
+
+    #[test]
+    fn bisector_of_horizontal_pair_is_vertical() {
+        // Sites (0,0) and (2,0): bisector x = 1.
+        let l = Line::bisector((0, 0), (2, 0));
+        assert_eq!(l, Line::new(1, 0, 1));
+    }
+
+    #[test]
+    fn bisector_symmetric_in_arguments() {
+        let l1 = Line::bisector((1, 3), (4, -2));
+        let l2 = Line::bisector((4, -2), (1, 3));
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn bisector_contains_midpoint() {
+        let l = Line::bisector((0, 0), (3, 5));
+        assert!(l.contains(Rat::new(3, 2), Rat::new(5, 2)));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let lx = Line::new(1, 0, 1); // x = 1
+        let ly = Line::new(0, 1, 2); // y = 2
+        assert_eq!(lx.intersect(&ly), Some((Rat::int(1), Rat::int(2))));
+    }
+
+    #[test]
+    fn parallel_lines_do_not_intersect() {
+        let l1 = Line::new(1, 1, 0);
+        let l2 = Line::new(1, 1, 5);
+        assert!(l1.parallel(&l2));
+        assert_eq!(l1.intersect(&l2), None);
+        assert!(l1.parallel(&l1));
+    }
+
+    #[test]
+    fn transitive_bisector_concurrency() {
+        // The Theorem 7 coincidence: A|B, B|C and A|C meet at one point
+        // (the circumcentre) for non-collinear sites.
+        let a = (0, 0);
+        let b = (4, 0);
+        let c = (0, 6);
+        let ab = Line::bisector(a, b);
+        let bc = Line::bisector(b, c);
+        let ac = Line::bisector(a, c);
+        let p1 = ab.intersect(&bc).unwrap();
+        let p2 = ab.intersect(&ac).unwrap();
+        assert_eq!(p1, p2);
+        assert!(bc.contains(p1.0, p1.1));
+    }
+
+    #[test]
+    fn collinear_sites_give_parallel_bisectors() {
+        let ab = Line::bisector((0, 0), (2, 2));
+        let bc = Line::bisector((2, 2), (5, 5));
+        assert!(ab.parallel(&bc));
+        assert_ne!(ab, bc);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical sites")]
+    fn identical_sites_rejected() {
+        let _ = Line::bisector((1, 1), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_line_rejected() {
+        let _ = Line::new(0, 0, 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Exact distance-permutation counts on the real line.
+//!
+//! In one dimension every Lp metric is |x − y|, and the bisector of two
+//! sites is their midpoint.  Cutting the line at the distinct midpoints of
+//! the C(k,2) site pairs leaves exactly (#distinct midpoints + 1) cells —
+//! so the maximum C(k,2)+1 (= N_{1,p}(k) for every p, and also the tree
+//! bound of Theorem 4) is achieved iff all midpoints are distinct.
+
+use crate::rational::Rat;
+use std::collections::BTreeSet;
+
+/// Exact number of distance permutations of integer sites on the line.
+///
+/// # Panics
+/// Panics if two sites coincide.
+pub fn exact_count_1d(sites: &[i64]) -> u128 {
+    if sites.len() < 2 {
+        return 1;
+    }
+    let mut midpoints: BTreeSet<Rat> = BTreeSet::new();
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            assert_ne!(sites[i], sites[j], "duplicate site {}", sites[i]);
+            midpoints.insert(Rat::new(i128::from(sites[i]) + i128::from(sites[j]), 2));
+        }
+    }
+    midpoints.len() as u128 + 1
+}
+
+/// The distinct midpoints themselves (sorted), for boundary inspection.
+pub fn midpoints_1d(sites: &[i64]) -> Vec<Rat> {
+    let mut set: BTreeSet<Rat> = BTreeSet::new();
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            set.insert(Rat::new(i128::from(sites[i]) + i128::from(sites[j]), 2));
+        }
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metric::{Metric, L1, L2, LInf};
+    use dp_permutation::counter::count_distinct;
+    use dp_theory::{n_euclidean, tree_bound};
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(exact_count_1d(&[]), 1);
+        assert_eq!(exact_count_1d(&[5]), 1);
+        assert_eq!(exact_count_1d(&[0, 10]), 2);
+    }
+
+    #[test]
+    fn generic_sites_achieve_binomial_bound() {
+        // 0, 1, 3, 7: all pairwise midpoints distinct -> C(4,2)+1 = 7.
+        let sites = [0, 1, 3, 7];
+        assert_eq!(exact_count_1d(&sites), 7);
+        assert_eq!(exact_count_1d(&sites), tree_bound(4));
+        assert_eq!(exact_count_1d(&sites), n_euclidean(1, 4).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_progression_collapses_midpoints() {
+        // 0, 2, 4: midpoints 1, 2, 3 distinct -> 4 cells.  But 0, 2, 4, 6
+        // shares midpoint 3 = (0+6)/2 = (2+4)/2 -> 6+1-1 = 6 cells.
+        assert_eq!(exact_count_1d(&[0, 2, 4]), 4);
+        assert_eq!(exact_count_1d(&[0, 2, 4, 6]), 6);
+    }
+
+    #[test]
+    fn midpoints_sorted_and_deduped() {
+        let mids = midpoints_1d(&[0, 2, 4, 6]);
+        assert_eq!(mids.len(), 5);
+        assert!(mids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(mids[0], Rat::int(1));
+        assert_eq!(mids[4], Rat::int(5));
+    }
+
+    #[test]
+    fn dense_sweep_realises_exact_count_for_all_lp() {
+        // A dense 1-D database hits every cell; the empirical count must
+        // equal the exact midpoint count, identically for L1/L2/Linf.
+        let sites_i = [0i64, 1, 3, 7, 12];
+        let exact = exact_count_1d(&sites_i);
+        let sites: Vec<Vec<f64>> = sites_i.iter().map(|&s| vec![s as f64]).collect();
+        let db: Vec<Vec<f64>> = (-40..=560).map(|i| vec![i as f64 * 0.025]).collect();
+        for (name, count) in [
+            ("L1", count_distinct(&L1, &sites, &db)),
+            ("L2", count_distinct(&L2, &sites, &db)),
+            ("Linf", count_distinct(&LInf, &sites, &db)),
+        ] {
+            assert_eq!(count as u128, exact, "{name}");
+        }
+        // Silence the unused-import lint for Metric (used via trait call).
+        let _ = L2.distance(&[0.0][..], &[1.0][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate site")]
+    fn duplicate_sites_rejected() {
+        let _ = exact_count_1d(&[3, 3]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Bisector lines of integer sites have small integer coefficients, and
+//! pairwise line intersections have rational coordinates whose numerators
+//! and denominators stay minuscule compared to `i128` — so an
+//! overflow-*checked* fraction type gives exact arrangement combinatorics
+//! with no big-integer dependency.  Any overflow panics loudly rather than
+//! silently corrupting a count.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A reduced fraction `num/den` with `den > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den`, reduced, with positive denominator.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert_ne!(den, 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat { num: sign * num / g, den: (den / g).abs() }
+    }
+
+    /// An integer as a rational.
+    pub fn int(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
+    }
+
+    /// Numerator (after reduction; sign lives here).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// `f64` approximation for rendering only; combinatorics never uses it.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    fn checked_bin(self, other: Rat, f: impl Fn(i128, i128, i128, i128) -> Option<(i128, i128)>) -> Rat {
+        let (num, den) =
+            f(self.num, self.den, other.num, other.den).expect("rational arithmetic overflow");
+        Rat::new(num, den)
+    }
+}
+
+impl std::ops::Add for Rat {
+    type Output = Rat;
+
+    /// Checked addition (panics on i128 overflow rather than wrapping).
+    fn add(self, other: Rat) -> Rat {
+        self.checked_bin(other, |an, ad, bn, bd| {
+            let num = an.checked_mul(bd)?.checked_add(bn.checked_mul(ad)?)?;
+            Some((num, ad.checked_mul(bd)?))
+        })
+    }
+}
+
+impl std::ops::Sub for Rat {
+    type Output = Rat;
+
+    /// Checked subtraction.
+    fn sub(self, other: Rat) -> Rat {
+        self + (-other)
+    }
+}
+
+impl std::ops::Mul for Rat {
+    type Output = Rat;
+
+    /// Checked multiplication.
+    fn mul(self, other: Rat) -> Rat {
+        self.checked_bin(other, |an, ad, bn, bd| {
+            Some((an.checked_mul(bn)?, ad.checked_mul(bd)?))
+        })
+    }
+}
+
+impl std::ops::Div for Rat {
+    type Output = Rat;
+
+    /// Checked division.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    fn div(self, other: Rat) -> Rat {
+        assert!(!other.is_zero(), "division by zero rational");
+        self.checked_bin(other, |an, ad, bn, bd| {
+            Some((an.checked_mul(bd)?, ad.checked_mul(bn)?))
+        })
+    }
+}
+
+impl std::ops::Neg for Rat {
+    type Output = Rat;
+
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Cross-multiply with checked arithmetic; denominators positive.
+        let lhs = self.num.checked_mul(other.den).expect("rational compare overflow");
+        let rhs = other.num.checked_mul(self.den).expect("rational compare overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rat::new(6, -4);
+        assert_eq!(r.num(), -3);
+        assert_eq!(r.den(), 2);
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        let mut v = vec![Rat::new(3, 4), Rat::new(-1, 5), Rat::ONE, Rat::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Rat::new(-1, 5), Rat::ZERO, Rat::new(3, 4), Rat::ONE]);
+    }
+
+    #[test]
+    fn equality_is_canonical_for_hashing() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Rat::new(2, 4));
+        s.insert(Rat::new(1, 2));
+        s.insert(Rat::new(-3, -6));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(7, 1).to_string(), "7");
+        assert_eq!(Rat::new(-1, 3).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn to_f64_approximates() {
+        assert!((Rat::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_rejected() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_rejected() {
+        let _ = Rat::ONE / Rat::ZERO;
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_detected_not_wrapped() {
+        let huge = Rat::int(i128::MAX / 2);
+        let _ = huge * huge;
+    }
+}

@@ -1,0 +1,304 @@
+//! Regenerating the paper's Figures 1–4.
+//!
+//! * Fig 1 — nearest-neighbour Voronoi diagram (cells keyed by the first
+//!   element of the distance permutation);
+//! * Fig 2 — second-order Voronoi diagram (cells keyed by the *unordered*
+//!   pair of the two nearest sites);
+//! * Fig 3 — the full bisector arrangement under L2 (cells keyed by the
+//!   whole permutation), with the exact bisector lines drawable as SVG;
+//! * Fig 4 — the same under L1, where bisectors kink.
+//!
+//! Cell maps are emitted as binary PPM (P6) — dependency-free and viewable
+//! everywhere; the Euclidean line overlay is emitted as SVG.
+
+use crate::line::Line;
+use crate::sampling::{for_each_grid_permutation, BBox};
+use dp_metric::Metric;
+use dp_permutation::Permutation;
+
+/// Which aspect of the distance permutation defines a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKey {
+    /// First element only — Fig 1 (classical Voronoi).
+    Nearest,
+    /// Unordered two nearest — Fig 2 (second-order Voronoi).
+    TopTwoUnordered,
+    /// The entire permutation — Figs 3 and 4.
+    FullPermutation,
+}
+
+impl CellKey {
+    /// Maps a permutation to the cell identifier under this key.
+    pub fn key_of(self, p: &Permutation) -> u64 {
+        match self {
+            CellKey::Nearest => u64::from(p.get(0)),
+            CellKey::TopTwoUnordered => {
+                let (a, b) = (p.get(0), p.get(1));
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                (u64::from(lo) << 8) | u64::from(hi)
+            }
+            CellKey::FullPermutation => {
+                dp_permutation::lehmer::rank(p) as u64
+            }
+        }
+    }
+}
+
+/// An RGB raster image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major RGB bytes, `3 * width * height` long.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    fn new(width: usize, height: usize) -> Image {
+        Image { width, height, pixels: vec![255; 3 * width * height] }
+    }
+
+    fn put(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        let i = 3 * (y * self.width + x);
+        self.pixels[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Serialises as binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+}
+
+/// A visually well-spread colour for cell id `key` (golden-angle hue walk).
+fn cell_colour(key: u64) -> [u8; 3] {
+    // Scramble the key, then take a hue on the golden-angle spiral so
+    // adjacent ids land far apart on the colour wheel.
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let hue = (h >> 40) as f64 / (1u64 << 24) as f64; // [0,1)
+    let (r, g, b) = hsl_to_rgb(hue, 0.55, 0.72);
+    [r, g, b]
+}
+
+fn hsl_to_rgb(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
+    let c = (1.0 - (2.0 * l - 1.0).abs()) * s;
+    let hp = h * 6.0;
+    let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    let (r, g, b) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = l - c / 2.0;
+    (
+        ((r + m) * 255.0) as u8,
+        ((g + m) * 255.0) as u8,
+        ((b + m) * 255.0) as u8,
+    )
+}
+
+/// Renders the cell map of `sites` under `metric` into an RGB image.
+///
+/// Sites are stamped as black disks.  This is the generator for Figures
+/// 1–4 (select the figure via `key`/`metric`).
+pub fn render_cells<M: Metric<[f64]>>(
+    metric: &M,
+    sites: &[Vec<f64>],
+    bbox: BBox,
+    width: usize,
+    height: usize,
+    key: CellKey,
+) -> Image {
+    let mut img = Image::new(width, height);
+    for_each_grid_permutation(metric, sites, bbox, width, height, |x, y, p| {
+        // Flip y so the image has y increasing upwards like the figures.
+        img.put(x, height - 1 - y, cell_colour(key.key_of(&p)));
+    });
+    // Stamp the sites.
+    let r = (width.min(height) / 90).max(2) as isize;
+    for s in sites {
+        let px = ((s[0] - bbox.x_min) / (bbox.x_max - bbox.x_min) * width as f64) as isize;
+        let py = ((s[1] - bbox.y_min) / (bbox.y_max - bbox.y_min) * height as f64) as isize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dx * dx + dy * dy <= r * r {
+                    let (x, y) = (px + dx, height as isize - 1 - (py + dy));
+                    if x >= 0 && y >= 0 && (x as usize) < width && (y as usize) < height {
+                        img.put(x as usize, y as usize, [0, 0, 0]);
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// Renders the exact Euclidean bisector lines of integer sites as an SVG
+/// overlay (Fig 3's line drawing).
+pub fn svg_euclidean_bisectors(sites: &[(i64, i64)], bbox: BBox, size: f64) -> String {
+    let scale_x = size / (bbox.x_max - bbox.x_min);
+    let scale_y = size / (bbox.y_max - bbox.y_min);
+    let tx = |x: f64| (x - bbox.x_min) * scale_x;
+    let ty = |y: f64| size - (y - bbox.y_min) * scale_y;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{size}\" height=\"{size}\" \
+         viewBox=\"0 0 {size} {size}\">\n<rect width=\"{size}\" height=\"{size}\" \
+         fill=\"white\"/>\n"
+    ));
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            let line = Line::bisector(sites[i], sites[j]);
+            if let Some(((x1, y1), (x2, y2))) = clip_line_to_bbox(&line, bbox) {
+                svg.push_str(&format!(
+                    "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" \
+                     stroke=\"#333\" stroke-width=\"1\"/>\n",
+                    tx(x1),
+                    ty(y1),
+                    tx(x2),
+                    ty(y2)
+                ));
+            }
+        }
+    }
+    for &(x, y) in sites {
+        svg.push_str(&format!(
+            "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"4\" fill=\"black\"/>\n",
+            tx(x as f64),
+            ty(y as f64)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// A candidate chord: two endpoints plus the squared length between them.
+type Chord = ((f64, f64), (f64, f64), f64);
+
+/// Clips `a·x + b·y = c` to the box, returning the chord endpoints.
+fn clip_line_to_bbox(line: &Line, bbox: BBox) -> Option<((f64, f64), (f64, f64))> {
+    let (a, b, c) = (line.a() as f64, line.b() as f64, line.c() as f64);
+    let mut pts: Vec<(f64, f64)> = Vec::with_capacity(4);
+    let eps = 1e-9;
+    if b.abs() > eps {
+        for x in [bbox.x_min, bbox.x_max] {
+            let y = (c - a * x) / b;
+            if y >= bbox.y_min - eps && y <= bbox.y_max + eps {
+                pts.push((x, y));
+            }
+        }
+    }
+    if a.abs() > eps {
+        for y in [bbox.y_min, bbox.y_max] {
+            let x = (c - b * y) / a;
+            if x >= bbox.x_min - eps && x <= bbox.x_max + eps {
+                pts.push((x, y));
+            }
+        }
+    }
+    // Pick the two most distant candidates (duplicates arise at corners).
+    let mut best: Option<Chord> = None;
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            let d = (pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2);
+            if best.is_none_or(|(_, _, bd)| d > bd) {
+                best = Some((pts[i], pts[j], d));
+            }
+        }
+    }
+    best.filter(|&(_, _, d)| d > eps).map(|(p, q, _)| (p, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metric::{L1, L2};
+
+    fn sites() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.22, 0.45],
+            vec![0.58, 0.29],
+            vec![0.71, 0.62],
+            vec![0.40, 0.80],
+        ]
+    }
+
+    #[test]
+    fn ppm_has_correct_header_and_size() {
+        let img = render_cells(&L2, &sites(), BBox::unit(), 40, 30, CellKey::FullPermutation);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n40 30\n255\n"));
+        assert_eq!(ppm.len(), 13 + 3 * 40 * 30);
+    }
+
+    #[test]
+    fn nearest_key_has_at_most_k_colours() {
+        let img = render_cells(&L2, &sites(), BBox::unit(), 64, 64, CellKey::Nearest);
+        let mut colours = std::collections::HashSet::new();
+        for px in img.pixels.chunks(3) {
+            colours.insert([px[0], px[1], px[2]]);
+        }
+        // 4 cell colours + black site stamps.
+        assert!(colours.len() <= 5, "{} colours", colours.len());
+    }
+
+    #[test]
+    fn cell_keys_distinguish_modes() {
+        let p = Permutation::from_slice(&[2, 1, 0, 3]).unwrap();
+        let q = Permutation::from_slice(&[1, 2, 0, 3]).unwrap();
+        // Different nearest site.
+        assert_ne!(CellKey::Nearest.key_of(&p), CellKey::Nearest.key_of(&q));
+        // Same unordered top-two {1,2}.
+        assert_eq!(
+            CellKey::TopTwoUnordered.key_of(&p),
+            CellKey::TopTwoUnordered.key_of(&q)
+        );
+        assert_ne!(
+            CellKey::FullPermutation.key_of(&p),
+            CellKey::FullPermutation.key_of(&q)
+        );
+    }
+
+    #[test]
+    fn l1_render_works() {
+        let img = render_cells(&L1, &sites(), BBox::unit(), 32, 32, CellKey::FullPermutation);
+        assert_eq!(img.pixels.len(), 3 * 32 * 32);
+    }
+
+    #[test]
+    fn svg_contains_six_bisectors_and_four_sites() {
+        let int_sites = [(22, 45), (58, 29), (71, 62), (40, 80)];
+        let bb = BBox { x_min: 0.0, x_max: 100.0, y_min: 0.0, y_max: 100.0 };
+        let svg = svg_euclidean_bisectors(&int_sites, bb, 400.0);
+        assert_eq!(svg.matches("<line").count(), 6);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn clip_handles_vertical_and_horizontal_lines() {
+        let bb = BBox::unit();
+        let v = Line::new(1, 0, 0); // x = 0 boundary-grazing
+        let inside = Line::new(2, 0, 1); // x = 0.5
+        let h = Line::new(0, 2, 1); // y = 0.5
+        assert!(clip_line_to_bbox(&inside, bb).is_some());
+        assert!(clip_line_to_bbox(&h, bb).is_some());
+        let _ = clip_line_to_bbox(&v, bb); // boundary case must not panic
+        let outside = Line::new(1, 0, 5); // x = 5
+        assert!(clip_line_to_bbox(&outside, bb).is_none());
+    }
+
+    #[test]
+    fn colours_are_stable() {
+        assert_eq!(cell_colour(7), cell_colour(7));
+        assert_ne!(cell_colour(1), cell_colour(2));
+    }
+}

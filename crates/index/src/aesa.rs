@@ -1,0 +1,227 @@
+//! AESA (Vidal 1986): the full pairwise distance matrix.
+//!
+//! AESA answers queries with remarkably few metric evaluations by using
+//! every already-examined element as a pivot: for examined e with
+//! d(q, e) known, the triangle inequality gives the lower bound
+//! `|d(q,e) − d(e,x)| ≤ d(q,x)` for every candidate x, and candidates
+//! whose bound exceeds the current search radius are eliminated without
+//! being measured.  The price is the Θ(n²) precomputed matrix — the paper
+//! cites exactly this trade-off as the motivation for LAESA and for
+//! distance permutations.
+
+use crate::query::{KnnHeap, Neighbor};
+use dp_metric::{Distance, Metric};
+
+/// AESA index: owns the metric, the database and the full matrix.
+#[derive(Debug, Clone)]
+pub struct Aesa<P, M: Metric<P>> {
+    metric: M,
+    points: Vec<P>,
+    /// Row-major symmetric distance matrix, as exact distances.
+    matrix: Vec<M::Dist>,
+}
+
+impl<P, M: Metric<P>> Aesa<P, M> {
+    /// Builds the index with n(n−1)/2 metric evaluations.
+    pub fn build(metric: M, points: Vec<P>) -> Self {
+        let n = points.len();
+        let mut matrix = vec![M::Dist::ZERO; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = metric.distance(&points[i], &points[j]);
+                matrix[i * n + j] = d;
+                matrix[j * n + i] = d;
+            }
+        }
+        Self { metric, points, matrix }
+    }
+
+    /// Index storage in bits: the full n×n distance matrix.
+    pub fn storage_bits(&self) -> u64 {
+        (self.matrix.len() as u64) * (std::mem::size_of::<M::Dist>() as u64) * 8
+    }
+
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The owned metric (for evaluation counting).
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Stored distance between database elements `i` and `j`.
+    pub fn stored(&self, i: usize, j: usize) -> M::Dist {
+        self.matrix[i * self.points.len() + j]
+    }
+
+    /// The k nearest neighbours of `query`, identical to a linear scan's
+    /// answer but usually with far fewer metric evaluations.
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let n = self.points.len();
+        let mut heap = KnnHeap::new(k.min(n));
+        let mut lb = vec![0.0f64; n];
+        let mut alive = vec![true; n];
+        let mut examined = vec![false; n];
+
+        loop {
+            // Next candidate: smallest lower bound among alive unexamined.
+            let mut next: Option<(usize, f64)> = None;
+            for i in 0..n {
+                if alive[i] && !examined[i] && next.is_none_or(|(_, b)| lb[i] < b) {
+                    next = Some((i, lb[i]));
+                }
+            }
+            let Some((c, _)) = next else { break };
+            examined[c] = true;
+            let d = self.metric.distance(query, &self.points[c]);
+            heap.push(c, d);
+            let bound = heap.bound().map(Distance::to_f64);
+            let df = d.to_f64();
+            for i in 0..n {
+                if alive[i] && !examined[i] {
+                    let candidate_lb = (df - self.stored(c, i).to_f64()).abs();
+                    if candidate_lb > lb[i] {
+                        lb[i] = candidate_lb;
+                    }
+                    if let Some(b) = bound {
+                        if lb[i] > b {
+                            alive[i] = false;
+                        }
+                    }
+                }
+            }
+        }
+        heap.into_sorted()
+    }
+
+    /// All elements within `radius` of `query` (inclusive), sorted by
+    /// (distance, id).
+    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        let n = self.points.len();
+        let r = radius.to_f64();
+        let mut out = Vec::new();
+        let mut lb = vec![0.0f64; n];
+        let mut alive = vec![true; n];
+        let mut examined = vec![false; n];
+        loop {
+            let mut next: Option<(usize, f64)> = None;
+            for i in 0..n {
+                if alive[i] && !examined[i] && next.is_none_or(|(_, b)| lb[i] < b) {
+                    next = Some((i, lb[i]));
+                }
+            }
+            let Some((c, _)) = next else { break };
+            examined[c] = true;
+            let d = self.metric.distance(query, &self.points[c]);
+            if d <= radius {
+                out.push(Neighbor { id: c, dist: d });
+            }
+            let df = d.to_f64();
+            for i in 0..n {
+                if alive[i] && !examined[i] {
+                    let candidate_lb = (df - self.stored(c, i).to_f64()).abs();
+                    if candidate_lb > lb[i] {
+                        lb[i] = candidate_lb;
+                    }
+                    if lb[i] > r {
+                        alive[i] = false;
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingMetric;
+    use crate::linear::LinearScan;
+    use dp_metric::{F64Dist, Levenshtein, L2};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let pts = random_points(120, 3, 1);
+        let scan = LinearScan::new(pts.clone());
+        let aesa = Aesa::build(L2, pts);
+        let queries = random_points(25, 3, 2);
+        for q in &queries {
+            assert_eq!(aesa.knn(q, 5), scan.knn(&L2, q, 5));
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let pts = random_points(100, 2, 3);
+        let scan = LinearScan::new(pts.clone());
+        let aesa = Aesa::build(L2, pts);
+        for q in random_points(15, 2, 4) {
+            let r = F64Dist::new(0.3);
+            assert_eq!(aesa.range(&q, r), scan.range(&L2, &q, r));
+        }
+    }
+
+    #[test]
+    fn uses_fewer_evaluations_than_linear_scan() {
+        let pts = random_points(300, 2, 5);
+        let aesa = Aesa::build(CountingMetric::new(L2), pts);
+        aesa.metric().reset();
+        let mut total = 0u64;
+        let queries = random_points(20, 2, 6);
+        for q in &queries {
+            aesa.metric().reset();
+            let _ = aesa.knn(q, 1);
+            total += aesa.metric().count();
+        }
+        let mean = total as f64 / queries.len() as f64;
+        assert!(mean < 100.0, "AESA averaged {mean} evals on n=300 (linear = 300)");
+    }
+
+    #[test]
+    fn build_cost_is_quadratic() {
+        let pts = random_points(50, 2, 7);
+        let aesa = Aesa::build(CountingMetric::new(L2), pts);
+        assert_eq!(aesa.metric().count(), 50 * 49 / 2);
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let words: Vec<String> =
+            ["hello", "help", "hold", "world", "word", "house", "mouse", "moose"]
+                .map(String::from)
+                .to_vec();
+        let scan = LinearScan::new(words.clone());
+        let aesa = Aesa::build(Levenshtein, words);
+        let q = String::from("helm");
+        assert_eq!(aesa.knn(&q, 3), scan.knn(&Levenshtein, &q, 3));
+    }
+
+    #[test]
+    fn empty_and_tiny_databases() {
+        let aesa: Aesa<Vec<f64>, L2> = Aesa::build(L2, vec![]);
+        assert!(aesa.knn(&vec![0.0], 3).is_empty());
+        let one = Aesa::build(L2, vec![vec![1.0]]);
+        let out = one.knn(&vec![0.0], 3);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Burkhard–Keller tree for integer-valued metrics.
+//!
+//! The Table 2 dictionary databases live under Levenshtein distance,
+//! whose values are small integers — exactly the setting of the classic
+//! BK-tree (Burkhard & Keller 1973): each node stores one element and
+//! indexes its children by their *exact distance* to it, so a query at
+//! distance d from a node with search radius r can, by the triangle
+//! inequality, only have answers under child edges in [d−r, d+r].
+//!
+//! Included as the discrete-metric baseline alongside the distance-based
+//! structures ([`crate::VpTree`], [`crate::GhTree`]): on dictionaries it
+//! is the natural comparator for the permutation index's evaluation
+//! counts.
+
+use crate::counting::CountingMetric;
+use crate::query::{KnnHeap, Neighbor};
+use dp_metric::Metric;
+
+#[derive(Debug, Clone)]
+struct Node {
+    point: usize,
+    /// (edge distance to parent’s point, child node index), sorted by edge.
+    children: Vec<(u32, u32)>,
+}
+
+/// A BK-tree over an owned database with an integer metric.
+#[derive(Debug, Clone)]
+pub struct BkTree<P, M: Metric<P, Dist = u32>> {
+    metric: M,
+    points: Vec<P>,
+    nodes: Vec<Node>,
+}
+
+impl<P, M: Metric<P, Dist = u32>> BkTree<P, M> {
+    /// Builds the tree by inserting elements in database order.
+    ///
+    /// Expected build cost is O(n log n) metric evaluations on
+    /// discriminating metrics; duplicate-distance chains degrade towards
+    /// O(n²) exactly as in the original structure.
+    pub fn build(metric: M, points: Vec<P>) -> Self {
+        let mut tree = Self { metric, points, nodes: Vec::new() };
+        for i in 0..tree.points.len() {
+            tree.insert(i);
+        }
+        tree
+    }
+
+    fn insert(&mut self, point: usize) {
+        if self.nodes.is_empty() {
+            self.nodes.push(Node { point, children: Vec::new() });
+            return;
+        }
+        let mut at = 0usize;
+        loop {
+            let d = self.metric.distance(&self.points[self.nodes[at].point], &self.points[point]);
+            match self.nodes[at].children.binary_search_by_key(&d, |&(e, _)| e) {
+                Ok(pos) => at = self.nodes[at].children[pos].1 as usize,
+                Err(pos) => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node { point, children: Vec::new() });
+                    self.nodes[at].children.insert(pos, (d, idx));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The owned metric (for evaluation counting).
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// All elements within `radius` (inclusive; exact).
+    pub fn range(&self, query: &P, radius: u32) -> Vec<Neighbor<u32>> {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        let mut stack = vec![0usize];
+        while let Some(at) = stack.pop() {
+            let node = &self.nodes[at];
+            let d = self.metric.distance(&self.points[node.point], query);
+            if d <= radius {
+                out.push(Neighbor { id: node.point, dist: d });
+            }
+            let lo = d.saturating_sub(radius);
+            let hi = d.saturating_add(radius);
+            let start = node.children.partition_point(|&(e, _)| e < lo);
+            for &(e, child) in &node.children[start..] {
+                if e > hi {
+                    break;
+                }
+                stack.push(child as usize);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The k nearest neighbours (exact; identical to a linear scan).
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<u32>> {
+        if self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k.min(self.points.len()));
+        // Depth-first with the shrinking k-th-best bound; visiting the
+        // closest child edges first tightens the bound early.
+        self.knn_walk(0, query, &mut heap);
+        heap.into_sorted()
+    }
+
+    fn knn_walk(&self, at: usize, query: &P, heap: &mut KnnHeap<u32>) {
+        let node = &self.nodes[at];
+        let d = self.metric.distance(&self.points[node.point], query);
+        heap.push(node.point, d);
+        // Visit children by |edge − d| ascending: likeliest answers first.
+        let mut order: Vec<(u32, u32)> = node
+            .children
+            .iter()
+            .map(|&(e, child)| (e.abs_diff(d), child))
+            .collect();
+        order.sort_unstable();
+        for (gap, child) in order {
+            match heap.bound() {
+                Some(b) if gap > b => break,
+                _ => self.knn_walk(child as usize, query, heap),
+            }
+        }
+    }
+
+    /// Index storage in bits: one element id plus one (edge, child)
+    /// pair per edge — no stored distances to non-parents.
+    pub fn storage_bits(&self) -> u64 {
+        let edges = self.nodes.iter().map(|n| n.children.len() as u64).sum::<u64>();
+        (self.nodes.len() as u64) * 64 + edges * (32 + 32)
+    }
+}
+
+impl<P, M: Metric<P, Dist = u32>> BkTree<P, CountingMetric<M>> {
+    /// Metric evaluations performed since the wrapped counter's last
+    /// reset.
+    pub fn evaluations(&self) -> u64 {
+        self.metric.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use dp_metric::{Hamming, Levenshtein};
+
+    fn words() -> Vec<String> {
+        [
+            "book", "books", "boo", "boon", "cook", "cake", "cape", "cart", "care",
+            "case", "cast", "cat", "cut", "gut", "hut", "hat", "hot", "hop", "top",
+            "tops", "stop", "stoop", "troop", "loop", "look", "lock", "rock", "rack",
+        ]
+        .map(String::from)
+        .to_vec()
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let db = words();
+        let scan = LinearScan::new(db.clone());
+        let tree = BkTree::build(Levenshtein, db);
+        for q in ["bock", "tool", "caste", "zzzz", ""] {
+            let q = q.to_string();
+            for r in 0..=4u32 {
+                assert_eq!(tree.range(&q, r), scan.range(&Levenshtein, &q, r), "q={q} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let db = words();
+        let scan = LinearScan::new(db.clone());
+        let tree = BkTree::build(Levenshtein, db);
+        for q in ["bock", "stop", "carrot", ""] {
+            let q = q.to_string();
+            for k in [1usize, 3, 7] {
+                assert_eq!(tree.knn(&q, k), scan.knn(&Levenshtein, &q, k), "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_on_small_radii() {
+        let db: Vec<String> = (0..800)
+            .map(|i| format!("{:06b}{:04}", i % 64, i))
+            .collect();
+        let n = db.len() as u64;
+        let tree = BkTree::build(CountingMetric::new(Levenshtein), db);
+        tree.metric().reset();
+        let _ = tree.range(&"000000zzzz".to_string(), 2);
+        let evals = tree.evaluations();
+        assert!(evals < n, "no pruning: {evals} >= {n}");
+    }
+
+    #[test]
+    fn works_under_hamming() {
+        let db: Vec<String> = ["0000", "0001", "0011", "0111", "1111", "1000", "1100"]
+            .map(String::from)
+            .to_vec();
+        let scan = LinearScan::new(db.clone());
+        let tree = BkTree::build(Hamming, db);
+        let q = "0101".to_string();
+        assert_eq!(tree.range(&q, 2), scan.range(&Hamming, &q, 2));
+        assert_eq!(tree.knn(&q, 3), scan.knn(&Hamming, &q, 3));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let tree = BkTree::build(Levenshtein, Vec::<String>::new());
+        assert!(tree.is_empty());
+        assert!(tree.range(&"x".to_string(), 5).is_empty());
+        assert!(tree.knn(&"x".to_string(), 3).is_empty());
+        let tree = BkTree::build(Levenshtein, vec!["solo".to_string()]);
+        assert_eq!(tree.knn(&"sole".to_string(), 2).len(), 1);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_all_reported() {
+        let db = vec!["dup".to_string(), "dup".to_string(), "dup".to_string()];
+        let tree = BkTree::build(Levenshtein, db);
+        let hits = tree.range(&"dup".to_string(), 0);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|n| n.dist == 0));
+    }
+
+    #[test]
+    fn storage_accounts_nodes_and_edges() {
+        let db = words();
+        let n = db.len() as u64;
+        let tree = BkTree::build(Levenshtein, db);
+        let bits = tree.storage_bits();
+        // n node ids + (n − 1) edges of 64 bits each.
+        assert_eq!(bits, n * 64 + (n - 1) * 64);
+    }
+}

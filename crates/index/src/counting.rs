@@ -1,0 +1,88 @@
+//! Metric-evaluation counting.
+//!
+//! Proximity-search research assumes the metric dominates all other costs,
+//! so data structures are compared by evaluations per query.
+//! [`CountingMetric`] wraps any metric and counts calls through a
+//! [`std::cell::Cell`] (queries are single-threaded; experiment sweeps
+//! parallelise across *runs*, each with its own wrapper).
+
+use dp_metric::Metric;
+use std::cell::Cell;
+
+/// A metric wrapper that counts evaluations.
+#[derive(Debug, Default)]
+pub struct CountingMetric<M> {
+    inner: M,
+    count: Cell<u64>,
+}
+
+impl<M> CountingMetric<M> {
+    /// Wraps `inner` with a fresh zero counter.
+    pub fn new(inner: M) -> Self {
+        Self { inner, count: Cell::new(0) }
+    }
+
+    /// Evaluations since construction or the last [`Self::reset`].
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Resets the counter to zero and returns the previous value.
+    pub fn reset(&self) -> u64 {
+        self.count.replace(0)
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<P: ?Sized, M: Metric<P>> Metric<P> for CountingMetric<M> {
+    type Dist = M::Dist;
+
+    #[inline]
+    fn distance(&self, a: &P, b: &P) -> M::Dist {
+        self.count.set(self.count.get() + 1);
+        self.inner.distance(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metric::L2;
+
+    #[test]
+    fn counts_every_evaluation() {
+        let m = CountingMetric::new(L2);
+        let a = vec![0.0, 0.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(m.count(), 0);
+        let d = m.distance(&a, &b);
+        assert_eq!(d.get(), 5.0);
+        assert_eq!(m.count(), 1);
+        for _ in 0..9 {
+            let _ = m.distance(&a, &b);
+        }
+        assert_eq!(m.count(), 10);
+    }
+
+    #[test]
+    fn reset_returns_previous() {
+        let m = CountingMetric::new(L2);
+        let a = vec![0.0];
+        let _ = m.distance(&a, &a);
+        assert_eq!(m.reset(), 1);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn works_through_reference() {
+        let m = CountingMetric::new(L2);
+        let r = &m;
+        let a = vec![1.0];
+        let _ = Metric::distance(&r, &a, &a);
+        assert_eq!(m.count(), 1);
+    }
+}

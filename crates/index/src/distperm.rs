@@ -1,0 +1,452 @@
+//! The paper's `distperm` index: one distance permutation per element.
+//!
+//! A "minor modification of the library's `pivots` index type" (§5):
+//! instead of storing k pivot *distances* per element, store only the
+//! *permutation* of the sites sorted by distance.  Storage drops from
+//! O(nk log n) to O(nk log k) bits — and, via the permutation codebook,
+//! to ⌈log₂ N⌉ bits per element where N is the number of distinct
+//! permutations that actually occur (the paper's central quantity).
+//!
+//! Search follows Chávez–Figueroa–Navarro: order candidates by the
+//! Spearman footrule between their stored permutation and the query's,
+//! then measure true distances in that order.  Permutations carry no
+//! lower bound, so a budgeted scan is *approximate*; the full budget
+//! (`frac = 1.0`) is exact.
+
+use crate::laesa::{choose_pivots, PivotSelection};
+use crate::query::{KnnHeap, Neighbor};
+use dp_metric::Metric;
+use dp_permutation::encoding::Codebook;
+use dp_permutation::permdist::{cayley, kendall_tau, spearman_footrule, spearman_rho_sq};
+use dp_permutation::{DistPermComputer, Permutation, PermutationCounter};
+
+/// Permutation-similarity measures available for candidate ordering.
+///
+/// Chávez–Figueroa–Navarro use the Spearman footrule; rho and Kendall
+/// tau are the standard alternatives, and Cayley is the cheap
+/// coarse-grained one.  The `permdist_ablation` harness measures what
+/// the choice costs in recall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingKind {
+    /// Spearman footrule (CFN's choice; the default).
+    #[default]
+    Footrule,
+    /// Sum of squared rank displacements (Spearman rho, unnormalised).
+    RhoSq,
+    /// Kendall tau (discordant pairs).
+    KendallTau,
+    /// Cayley distance (transpositions).
+    Cayley,
+}
+
+impl OrderingKind {
+    /// Evaluates the measure between two permutations.
+    pub fn distance(self, a: &Permutation, b: &Permutation) -> u64 {
+        match self {
+            OrderingKind::Footrule => spearman_footrule(a, b),
+            OrderingKind::RhoSq => spearman_rho_sq(a, b),
+            OrderingKind::KendallTau => kendall_tau(a, b),
+            OrderingKind::Cayley => cayley(a, b),
+        }
+    }
+
+    /// All variants, for sweeps.
+    pub const ALL: [OrderingKind; 4] = [
+        OrderingKind::Footrule,
+        OrderingKind::RhoSq,
+        OrderingKind::KendallTau,
+        OrderingKind::Cayley,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrderingKind::Footrule => "footrule",
+            OrderingKind::RhoSq => "rho_sq",
+            OrderingKind::KendallTau => "kendall",
+            OrderingKind::Cayley => "cayley",
+        }
+    }
+}
+
+/// Distance-permutation index over an owned database.
+#[derive(Debug, Clone)]
+pub struct DistPermIndex<P, M: Metric<P>> {
+    metric: M,
+    points: Vec<P>,
+    site_ids: Vec<usize>,
+    perms: Vec<Permutation>,
+}
+
+impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
+    /// Builds the index: chooses `k` sites, then computes each element's
+    /// distance permutation (k·n metric evaluations, like LAESA's build).
+    pub fn build(metric: M, points: Vec<P>, k: usize, strategy: PivotSelection) -> Self {
+        let site_ids = choose_pivots(&metric, &points, k, strategy);
+        let sites: Vec<P> = site_ids.iter().map(|&i| points[i].clone()).collect();
+        let mut computer = DistPermComputer::new(k);
+        let perms = points.iter().map(|p| computer.compute(&metric, &sites, p)).collect();
+        Self { metric, points, site_ids, perms }
+    }
+
+    /// Builds with explicitly provided site ids (the Table 3 protocol:
+    /// random distinct database elements as sites).
+    pub fn build_with_sites(metric: M, points: Vec<P>, site_ids: Vec<usize>) -> Self {
+        assert!(site_ids.iter().all(|&i| i < points.len()), "site id out of range");
+        let sites: Vec<P> = site_ids.iter().map(|&i| points[i].clone()).collect();
+        let mut computer = DistPermComputer::new(site_ids.len());
+        let perms = points.iter().map(|p| computer.compute(&metric, &sites, p)).collect();
+        Self { metric, points, site_ids, perms }
+    }
+
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of sites k.
+    pub fn k(&self) -> usize {
+        self.site_ids.len()
+    }
+
+    /// The site element ids.
+    pub fn site_ids(&self) -> &[usize] {
+        &self.site_ids
+    }
+
+    /// The owned metric (for evaluation counting).
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The stored permutations, parallel to the database.
+    pub fn permutations(&self) -> &[Permutation] {
+        &self.perms
+    }
+
+    /// Occurrence counter over the stored permutations — the paper's
+    /// measurement (distinct count, occupancy).
+    pub fn counter(&self) -> PermutationCounter {
+        let mut c = PermutationCounter::new();
+        for &p in &self.perms {
+            c.insert(p);
+        }
+        c
+    }
+
+    /// Number of distinct permutations in the index
+    /// (|{Π_y : y ∈ database}|).
+    pub fn distinct_permutations(&self) -> usize {
+        self.counter().distinct()
+    }
+
+    /// A codebook over the stored permutations plus the id stream — the
+    /// paper's compact storage layout.
+    pub fn codebook(&self) -> (Codebook, Vec<u32>) {
+        let mut cb = Codebook::new();
+        let ids = self.perms.iter().map(|&p| cb.intern(p)).collect();
+        (cb, ids)
+    }
+
+    /// Raw permutation storage bits: n·k·⌈log₂ k⌉ (the CFN layout).
+    pub fn storage_bits_raw(&self) -> u64 {
+        use dp_permutation::encoding::element_bits;
+        self.len() as u64 * self.k() as u64 * u64::from(element_bits(self.k()))
+    }
+
+    /// Codebook storage bits: n·⌈log₂ N⌉ ids plus the N-permutation
+    /// table — the paper's improved layout (Θ(nd log k) in d-dimensional
+    /// Euclidean space by Corollary 8).
+    pub fn storage_bits_codebook(&self) -> u64 {
+        use dp_permutation::encoding::element_bits;
+        let n_distinct = self.distinct_permutations();
+        let ids = self.len() as u64 * u64::from(element_bits(n_distinct));
+        let table = n_distinct as u64 * self.k() as u64 * u64::from(element_bits(self.k()));
+        ids + table
+    }
+
+    /// ASCII export of the permutations, one per line in the order of the
+    /// database — the output format of the paper's `build-distperm-*`
+    /// programs (count distinct with `sort | uniq | wc -l`).
+    pub fn export_ascii(&self) -> String {
+        let mut out = String::with_capacity(self.perms.len() * (2 * self.k() + 1));
+        for p in &self.perms {
+            for (i, e) in p.as_slice().iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&(e + 1).to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The query's distance permutation (k metric evaluations).
+    pub fn query_permutation(&self, query: &P) -> Permutation {
+        let sites: Vec<P> = self.site_ids.iter().map(|&i| self.points[i].clone()).collect();
+        let mut computer = DistPermComputer::new(self.k());
+        computer.compute(&self.metric, &sites, query)
+    }
+
+    /// Approximate k-NN: measure the fraction `frac` of the database most
+    /// similar (by Spearman footrule) to the query's permutation.
+    ///
+    /// `frac = 1.0` measures everything and is exact.  Metric cost:
+    /// k + ⌈frac·n⌉ evaluations.
+    pub fn knn_approx(&self, query: &P, k: usize, frac: f64) -> Vec<Neighbor<M::Dist>> {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        self.knn_approx_ordered(query, k, frac, OrderingKind::Footrule)
+    }
+
+    /// [`Self::knn_approx`] with an explicit candidate-ordering measure.
+    pub fn knn_approx_ordered(
+        &self,
+        query: &P,
+        k: usize,
+        frac: f64,
+        ordering: OrderingKind,
+    ) -> Vec<Neighbor<M::Dist>> {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let order = self.candidate_order(query, ordering);
+        let budget = ((frac * self.points.len() as f64).ceil() as usize)
+            .clamp(k.min(self.points.len()), self.points.len());
+        let mut heap = KnnHeap::new(k.min(self.points.len()));
+        for &(_, i) in order.iter().take(budget) {
+            heap.push(i, self.metric.distance(query, &self.points[i]));
+        }
+        heap.into_sorted()
+    }
+
+    /// Approximate range query: report elements within `radius` among the
+    /// `frac` permutation-nearest fraction of the database.
+    ///
+    /// A subset of the true answer (no false positives — every reported
+    /// element is measured); `frac = 1.0` is exact.
+    pub fn range_approx(&self, query: &P, radius: M::Dist, frac: f64) -> Vec<Neighbor<M::Dist>> {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let order = self.candidate_order(query, OrderingKind::Footrule);
+        let budget = ((frac * self.points.len() as f64).ceil() as usize)
+            .min(self.points.len());
+        let mut out: Vec<Neighbor<M::Dist>> = order
+            .iter()
+            .take(budget)
+            .filter_map(|&(_, i)| {
+                let d = self.metric.distance(query, &self.points[i]);
+                (d <= radius).then_some(Neighbor { id: i, dist: d })
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Database ids ordered by permutation similarity to the query's
+    /// permutation under `ordering` (k metric evaluations).
+    fn candidate_order(&self, query: &P, ordering: OrderingKind) -> Vec<(u64, usize)> {
+        let qperm = self.query_permutation(query);
+        let mut order: Vec<(u64, usize)> = self
+            .perms
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ordering.distance(&qperm, p), i))
+            .collect();
+        order.sort_unstable();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingMetric;
+    use crate::linear::LinearScan;
+    use dp_metric::L2;
+    use dp_permutation::counter::count_distinct;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+    }
+
+    #[test]
+    fn distinct_count_matches_direct_computation() {
+        let pts = random_points(400, 2, 1);
+        let idx = DistPermIndex::build(L2, pts.clone(), 6, PivotSelection::Prefix);
+        let sites: Vec<Vec<f64>> = (0..6).map(|i| pts[i].clone()).collect();
+        assert_eq!(
+            idx.distinct_permutations(),
+            count_distinct(&L2, &sites, &pts)
+        );
+    }
+
+    #[test]
+    fn distinct_count_respects_euclidean_bound() {
+        // 2-D data, k = 5: at most N_{2,2}(5) = 46 distinct permutations.
+        let pts = random_points(3000, 2, 2);
+        let idx = DistPermIndex::build(L2, pts, 5, PivotSelection::MaxMin);
+        assert!(idx.distinct_permutations() <= 46);
+        assert!(idx.distinct_permutations() > 10, "suspiciously few cells hit");
+    }
+
+    #[test]
+    fn full_budget_knn_is_exact() {
+        let pts = random_points(200, 3, 3);
+        let scan = LinearScan::new(pts.clone());
+        let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
+        for q in random_points(10, 3, 4) {
+            assert_eq!(idx.knn_approx(&q, 5, 1.0), scan.knn(&L2, &q, 5));
+        }
+    }
+
+    #[test]
+    fn budgeted_knn_has_reasonable_recall() {
+        let pts = random_points(1000, 3, 5);
+        let scan = LinearScan::new(pts.clone());
+        let idx = DistPermIndex::build(L2, pts, 12, PivotSelection::MaxMin);
+        let queries = random_points(30, 3, 6);
+        let mut hits = 0usize;
+        for q in &queries {
+            let exact: Vec<usize> = scan.knn(&L2, q, 1).iter().map(|n| n.id).collect();
+            let approx: Vec<usize> = idx.knn_approx(q, 1, 0.1).iter().map(|n| n.id).collect();
+            hits += usize::from(exact == approx);
+        }
+        // Permutation ordering should find the true NN far more often than
+        // the 10% a random scan of the same budget would.
+        assert!(hits >= 20, "recall {hits}/30");
+    }
+
+    #[test]
+    fn budget_controls_evaluations() {
+        let pts = random_points(500, 2, 7);
+        let idx = DistPermIndex::build(CountingMetric::new(L2), pts, 10, PivotSelection::Prefix);
+        idx.metric().reset();
+        let q = vec![0.5, 0.5];
+        let _ = idx.knn_approx(&q, 3, 0.2);
+        // k site evaluations + ceil(0.2 * 500) = 10 + 100.
+        assert_eq!(idx.metric().count(), 10 + 100);
+    }
+
+    #[test]
+    fn export_ascii_is_one_based_lines() {
+        let pts = vec![vec![0.0], vec![1.0], vec![0.9]];
+        let idx = DistPermIndex::build(L2, pts, 2, PivotSelection::Prefix);
+        let text = idx.export_ascii();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "1 2");
+        assert_eq!(lines[1], "2 1");
+        assert_eq!(lines[2], "2 1");
+    }
+
+    #[test]
+    fn codebook_roundtrips() {
+        let pts = random_points(300, 2, 8);
+        let idx = DistPermIndex::build(L2, pts, 5, PivotSelection::MaxMin);
+        let (cb, ids) = idx.codebook();
+        assert_eq!(ids.len(), idx.len());
+        assert_eq!(cb.len(), idx.distinct_permutations());
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(cb.permutation(id), Some(&idx.permutations()[i]));
+        }
+    }
+
+    #[test]
+    fn range_approx_full_budget_matches_linear_scan() {
+        let pts = random_points(300, 2, 11);
+        let scan = LinearScan::new(pts.clone());
+        let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
+        for q in random_points(10, 2, 12) {
+            let radius = dp_metric::F64Dist::new(0.25);
+            assert_eq!(
+                idx.range_approx(&q, radius, 1.0),
+                scan.range(&L2, &q, radius)
+            );
+        }
+    }
+
+    #[test]
+    fn range_approx_budgeted_is_subset_of_truth() {
+        let pts = random_points(500, 3, 13);
+        let scan = LinearScan::new(pts.clone());
+        let idx = DistPermIndex::build(L2, pts, 10, PivotSelection::MaxMin);
+        for q in random_points(10, 3, 14) {
+            let radius = dp_metric::F64Dist::new(0.3);
+            let truth = scan.range(&L2, &q, radius);
+            let approx = idx.range_approx(&q, radius, 0.2);
+            assert!(approx.len() <= truth.len());
+            for n in &approx {
+                assert!(truth.contains(n), "false positive {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_ordering_kind_is_exact_at_full_budget() {
+        let pts = random_points(150, 3, 21);
+        let scan = LinearScan::new(pts.clone());
+        let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
+        for q in random_points(5, 3, 22) {
+            let truth = scan.knn(&L2, &q, 3);
+            for kind in OrderingKind::ALL {
+                assert_eq!(idx.knn_approx_ordered(&q, 3, 1.0, kind), truth, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_kinds_give_sane_budgeted_recall() {
+        let pts = random_points(800, 3, 23);
+        let scan = LinearScan::new(pts.clone());
+        let idx = DistPermIndex::build(L2, pts, 10, PivotSelection::MaxMin);
+        let queries = random_points(30, 3, 24);
+        for kind in OrderingKind::ALL {
+            let hits = queries
+                .iter()
+                .filter(|q| {
+                    let truth = scan.knn(&L2, q, 1)[0].id;
+                    idx.knn_approx_ordered(q, 1, 0.1, kind).first().map(|n| n.id)
+                        == Some(truth)
+                })
+                .count();
+            // All measures should massively beat the 10% random baseline.
+            assert!(hits >= 15, "{kind:?}: recall {hits}/30");
+        }
+    }
+
+    #[test]
+    fn ordering_kind_distances_match_permdist() {
+        use dp_permutation::permdist;
+        let a = Permutation::from_slice(&[2, 0, 3, 1]).unwrap();
+        let b = Permutation::from_slice(&[1, 3, 0, 2]).unwrap();
+        assert_eq!(OrderingKind::Footrule.distance(&a, &b), permdist::spearman_footrule(&a, &b));
+        assert_eq!(OrderingKind::RhoSq.distance(&a, &b), permdist::spearman_rho_sq(&a, &b));
+        assert_eq!(OrderingKind::KendallTau.distance(&a, &b), permdist::kendall_tau(&a, &b));
+        assert_eq!(OrderingKind::Cayley.distance(&a, &b), permdist::cayley(&a, &b));
+    }
+
+    #[test]
+    fn sites_have_identity_prefix_property() {
+        // A site's own permutation starts with itself.
+        let pts = random_points(50, 2, 9);
+        let idx = DistPermIndex::build(L2, pts, 6, PivotSelection::MaxMin);
+        for (rank, &sid) in idx.site_ids().iter().enumerate() {
+            assert_eq!(idx.permutations()[sid].get(0) as usize, rank, "site {rank}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Generalised-hyperplane tree (Uhlmann 1991).
+//!
+//! Each node holds two pivots; elements go to the side of the pivot they
+//! are closer to, and queries prune a side when the hyperplane margin
+//! `(d(q, far) − d(q, near)) / 2` exceeds the search radius.  The paper's
+//! §1 cites GH-trees (with VP-trees) as the tree-structured alternatives
+//! to the AESA family.
+
+use crate::query::{KnnHeap, Neighbor};
+use dp_metric::{Distance, Metric};
+
+const LEAF_SIZE: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { ids: Vec<usize> },
+    Inner { a: usize, b: usize, left: usize, right: usize },
+}
+
+/// GH-tree over an owned database.
+#[derive(Debug, Clone)]
+pub struct GhTree<P, M: Metric<P>> {
+    metric: M,
+    points: Vec<P>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl<P, M: Metric<P>> GhTree<P, M> {
+    /// Builds the tree.
+    pub fn build(metric: M, points: Vec<P>) -> Self {
+        let ids: Vec<usize> = (0..points.len()).collect();
+        let mut tree = Self { metric, points, nodes: Vec::new(), root: 0 };
+        tree.root = tree.build_node(ids);
+        tree
+    }
+
+    fn build_node(&mut self, mut ids: Vec<usize>) -> usize {
+        if ids.len() <= LEAF_SIZE.max(2) {
+            self.nodes.push(Node::Leaf { ids });
+            return self.nodes.len() - 1;
+        }
+        // Deterministic pivots: the first two ids.
+        let a = ids.remove(0);
+        let b = ids.remove(0);
+        let mut left_ids = Vec::new();
+        let mut right_ids = Vec::new();
+        for &i in &ids {
+            let da = self.metric.distance(&self.points[a], &self.points[i]);
+            let db = self.metric.distance(&self.points[b], &self.points[i]);
+            if da <= db {
+                left_ids.push(i);
+            } else {
+                right_ids.push(i);
+            }
+        }
+        // A lopsided split (e.g. b duplicates a) degenerates to a leaf.
+        if left_ids.is_empty() || right_ids.is_empty() {
+            let mut all = vec![a, b];
+            all.extend(left_ids);
+            all.extend(right_ids);
+            self.nodes.push(Node::Leaf { ids: all });
+            return self.nodes.len() - 1;
+        }
+        let left = self.build_node(left_ids);
+        let right = self.build_node(right_ids);
+        self.nodes.push(Node::Inner { a, b, left, right });
+        self.nodes.len() - 1
+    }
+
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The owned metric (for evaluation counting).
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Exact k nearest neighbours.
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k.min(self.points.len()));
+        self.knn_node(self.root, query, &mut heap);
+        heap.into_sorted()
+    }
+
+    fn knn_node(&self, node: usize, query: &P, heap: &mut KnnHeap<M::Dist>) {
+        match &self.nodes[node] {
+            Node::Leaf { ids } => {
+                for &i in ids {
+                    heap.push(i, self.metric.distance(query, &self.points[i]));
+                }
+            }
+            Node::Inner { a, b, left, right } => {
+                let da = self.metric.distance(query, &self.points[*a]);
+                let db = self.metric.distance(query, &self.points[*b]);
+                heap.push(*a, da);
+                heap.push(*b, db);
+                let (daf, dbf) = (da.to_f64(), db.to_f64());
+                let (first, second, margin) = if daf <= dbf {
+                    (*left, *right, (dbf - daf) / 2.0)
+                } else {
+                    (*right, *left, (daf - dbf) / 2.0)
+                };
+                self.knn_node(first, query, heap);
+                let tau = heap.bound().map_or(f64::INFINITY, |t| t.to_f64());
+                if margin <= tau {
+                    self.knn_node(second, query, heap);
+                }
+            }
+        }
+    }
+
+    /// All elements within `radius` (inclusive), sorted by (distance, id).
+    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        let mut out = Vec::new();
+        if !self.points.is_empty() {
+            self.range_node(self.root, query, radius, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn range_node(
+        &self,
+        node: usize,
+        query: &P,
+        radius: M::Dist,
+        out: &mut Vec<Neighbor<M::Dist>>,
+    ) {
+        match &self.nodes[node] {
+            Node::Leaf { ids } => {
+                for &i in ids {
+                    let d = self.metric.distance(query, &self.points[i]);
+                    if d <= radius {
+                        out.push(Neighbor { id: i, dist: d });
+                    }
+                }
+            }
+            Node::Inner { a, b, left, right } => {
+                let da = self.metric.distance(query, &self.points[*a]);
+                let db = self.metric.distance(query, &self.points[*b]);
+                if da <= radius {
+                    out.push(Neighbor { id: *a, dist: da });
+                }
+                if db <= radius {
+                    out.push(Neighbor { id: *b, dist: db });
+                }
+                let (daf, dbf) = (da.to_f64(), db.to_f64());
+                let r = radius.to_f64();
+                // For x on the a-side, d(q,x) >= (d(q,a) - d(q,b)) / 2;
+                // symmetrically for the b-side.
+                if (daf - dbf) / 2.0 <= r {
+                    self.range_node(*left, query, radius, out);
+                }
+                if (dbf - daf) / 2.0 <= r {
+                    self.range_node(*right, query, radius, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingMetric;
+    use crate::linear::LinearScan;
+    use dp_metric::{F64Dist, Levenshtein, L2};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let pts = random_points(350, 3, 1);
+        let scan = LinearScan::new(pts.clone());
+        let tree = GhTree::build(L2, pts);
+        for q in random_points(25, 3, 2) {
+            assert_eq!(tree.knn(&q, 4), scan.knn(&L2, &q, 4));
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let pts = random_points(250, 2, 3);
+        let scan = LinearScan::new(pts.clone());
+        let tree = GhTree::build(L2, pts);
+        for q in random_points(15, 2, 4) {
+            let radius = F64Dist::new(0.3);
+            assert_eq!(tree.range(&q, radius), scan.range(&L2, &q, radius));
+        }
+    }
+
+    #[test]
+    fn prunes_in_low_dimension() {
+        let pts = random_points(2000, 2, 5);
+        let tree = GhTree::build(CountingMetric::new(L2), pts);
+        let mut total = 0u64;
+        let queries = random_points(20, 2, 6);
+        for q in &queries {
+            tree.metric().reset();
+            let _ = tree.knn(q, 1);
+            total += tree.metric().count();
+        }
+        let mean = total as f64 / queries.len() as f64;
+        assert!(mean < 1200.0, "GH-tree averaged {mean} evals on n=2000");
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let words: Vec<String> = [
+            "north", "forth", "worth", "wordy", "wormy", "south", "mouth", "month",
+            "moth", "math", "myth", "mirth",
+        ]
+        .map(String::from)
+        .to_vec();
+        let scan = LinearScan::new(words.clone());
+        let tree = GhTree::build(Levenshtein, words);
+        let q = String::from("motha");
+        assert_eq!(tree.knn(&q, 4), scan.knn(&Levenshtein, &q, 4));
+    }
+
+    #[test]
+    fn duplicates_and_empty() {
+        let tree: GhTree<Vec<f64>, L2> = GhTree::build(L2, vec![]);
+        assert!(tree.knn(&vec![0.0], 1).is_empty());
+        let dup = GhTree::build(L2, vec![vec![1.0]; 30]);
+        let out = dup.knn(&vec![1.0], 5);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|n| n.dist.get() == 0.0));
+    }
+}

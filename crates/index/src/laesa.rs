@@ -1,0 +1,297 @@
+//! LAESA (Micó–Oncina–Vidal 1994): k pivot distances per element.
+//!
+//! LAESA keeps only the k rows of AESA's matrix that correspond to a fixed
+//! pivot set, cutting storage from Θ(n²) to Θ(kn) distances — the paper's
+//! §1 baseline, whose storage the distance-permutation representation then
+//! improves to Θ(nk log k) bits and (this paper) Θ(nd log k) bits in
+//! d-dimensional Euclidean space.  This is the SISAP `pivots` index type
+//! that the paper's `distperm` code modifies.
+
+use crate::query::{KnnHeap, Neighbor};
+use dp_metric::{Distance, Metric};
+
+/// Pivot selection strategies for [`Laesa::build`] and
+/// [`crate::DistPermIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotSelection {
+    /// Maximum-minimum-distance greedy ("farthest-first") from element 0 —
+    /// the classical LAESA choice.
+    MaxMin,
+    /// The first k elements; useful with pre-shuffled data and in tests.
+    Prefix,
+    /// k distinct uniformly random elements from the given seed — the
+    /// paper's Table 3 protocol ("random choice of sites").
+    Random(u64),
+    /// Greedy maximisation of *distinct distance permutations* over a data
+    /// sample — the selection objective this paper's analysis suggests:
+    /// sites are only as good as the number of permutation cells they
+    /// carve (§4's "little value in adding more sites" once cells stop
+    /// splitting).  See [`crate::pivots::perm_diversity_pivots`].
+    PermDiversity(u64),
+}
+
+/// Chooses `k` pivot ids from `points` under `strategy`.
+pub(crate) fn choose_pivots<P, M: Metric<P>>(
+    metric: &M,
+    points: &[P],
+    k: usize,
+    strategy: PivotSelection,
+) -> Vec<usize> {
+    assert!(k <= points.len(), "asked for {k} pivots from {} points", points.len());
+    match strategy {
+        PivotSelection::Prefix => (0..k).collect(),
+        PivotSelection::Random(seed) => crate::pivots::random_pivots(points.len(), k, seed),
+        PivotSelection::PermDiversity(seed) => {
+            crate::pivots::perm_diversity_pivots(metric, points, k, seed)
+        }
+        PivotSelection::MaxMin => {
+            let mut pivots = Vec::with_capacity(k);
+            if k == 0 {
+                return pivots;
+            }
+            pivots.push(0);
+            let mut min_dist: Vec<f64> = points
+                .iter()
+                .map(|p| metric.distance(&points[0], p).to_f64())
+                .collect();
+            while pivots.len() < k {
+                let (best, _) = min_dist
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("non-empty");
+                pivots.push(best);
+                for (i, md) in min_dist.iter_mut().enumerate() {
+                    let d = metric.distance(&points[best], &points[i]).to_f64();
+                    if d < *md {
+                        *md = d;
+                    }
+                }
+            }
+            pivots
+        }
+    }
+}
+
+/// LAESA index: k pivots and the k×n distance table.
+#[derive(Debug, Clone)]
+pub struct Laesa<P, M: Metric<P>> {
+    metric: M,
+    points: Vec<P>,
+    pivots: Vec<usize>,
+    /// `table[j * n + i]` = d(pivot_j, point_i).
+    table: Vec<M::Dist>,
+}
+
+impl<P, M: Metric<P>> Laesa<P, M> {
+    /// Builds the index with O(kn) metric evaluations.
+    pub fn build(metric: M, points: Vec<P>, k: usize, strategy: PivotSelection) -> Self {
+        let pivots = choose_pivots(&metric, &points, k, strategy);
+        let n = points.len();
+        let mut table = vec![M::Dist::ZERO; pivots.len() * n];
+        for (j, &pv) in pivots.iter().enumerate() {
+            for i in 0..n {
+                table[j * n + i] = metric.distance(&points[pv], &points[i]);
+            }
+        }
+        Self { metric, points, pivots, table }
+    }
+
+    /// Index storage in bits: the k×n distance table (the paper's
+    /// O(nk log n)-distance baseline, with log n ≈ the width of one
+    /// stored distance).
+    pub fn storage_bits(&self) -> u64 {
+        (self.table.len() as u64) * (std::mem::size_of::<M::Dist>() as u64) * 8
+    }
+
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The pivot element ids.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// The owned metric (for evaluation counting).
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Lower bounds for every element given the query-to-pivot distances.
+    fn lower_bounds(&self, dq: &[f64]) -> Vec<f64> {
+        let n = self.points.len();
+        let mut lb = vec![0.0f64; n];
+        for (j, &dqj) in dq.iter().enumerate() {
+            let row = &self.table[j * n..(j + 1) * n];
+            for (l, stored) in lb.iter_mut().zip(row) {
+                let b = (dqj - stored.to_f64()).abs();
+                if b > *l {
+                    *l = b;
+                }
+            }
+        }
+        lb
+    }
+
+    /// The k nearest neighbours (exact; identical to a linear scan).
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k.min(self.points.len()));
+        // Measure the pivots; they double as the first examined elements.
+        let dq: Vec<f64> = self
+            .pivots
+            .iter()
+            .map(|&pv| {
+                let d = self.metric.distance(query, &self.points[pv]);
+                heap.push(pv, d);
+                d.to_f64()
+            })
+            .collect();
+        let lb = self.lower_bounds(&dq);
+
+        // Examine the rest in increasing lower-bound order; once the bound
+        // exceeds the k-th best distance the remainder cannot qualify.
+        let mut order: Vec<usize> =
+            (0..self.points.len()).filter(|i| !self.pivots.contains(i)).collect();
+        order.sort_unstable_by(|&a, &b| lb[a].total_cmp(&lb[b]).then(a.cmp(&b)));
+        for &i in &order {
+            if let Some(b) = heap.bound() {
+                if lb[i] > b.to_f64() {
+                    break;
+                }
+            }
+            let d = self.metric.distance(query, &self.points[i]);
+            heap.push(i, d);
+        }
+        heap.into_sorted()
+    }
+
+    /// All elements within `radius` (inclusive; exact).
+    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        let r = radius.to_f64();
+        let mut out = Vec::new();
+        let dq: Vec<f64> = self
+            .pivots
+            .iter()
+            .map(|&pv| {
+                let d = self.metric.distance(query, &self.points[pv]);
+                if d <= radius {
+                    out.push(Neighbor { id: pv, dist: d });
+                }
+                d.to_f64()
+            })
+            .collect();
+        let lb = self.lower_bounds(&dq);
+        for (i, (point, &bound)) in self.points.iter().zip(&lb).enumerate() {
+            if self.pivots.contains(&i) || bound > r {
+                continue;
+            }
+            let d = self.metric.distance(query, point);
+            if d <= radius {
+                out.push(Neighbor { id: i, dist: d });
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingMetric;
+    use crate::linear::LinearScan;
+    use dp_metric::{F64Dist, Levenshtein, L2};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+    }
+
+    #[test]
+    fn maxmin_pivots_are_spread() {
+        let mut pts = random_points(60, 2, 1);
+        pts.push(vec![100.0, 100.0]); // an outlier must be picked early
+        let pivots = choose_pivots(&L2, &pts, 3, PivotSelection::MaxMin);
+        assert!(pivots.contains(&60), "outlier not chosen: {pivots:?}");
+        assert_eq!(pivots.len(), 3);
+        let set: std::collections::HashSet<_> = pivots.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let pts = random_points(150, 3, 2);
+        let scan = LinearScan::new(pts.clone());
+        let laesa = Laesa::build(L2, pts, 8, PivotSelection::MaxMin);
+        for q in random_points(25, 3, 3) {
+            assert_eq!(laesa.knn(&q, 4), scan.knn(&L2, &q, 4));
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let pts = random_points(120, 2, 4);
+        let scan = LinearScan::new(pts.clone());
+        let laesa = Laesa::build(L2, pts, 6, PivotSelection::MaxMin);
+        for q in random_points(15, 2, 5) {
+            let r = F64Dist::new(0.25);
+            assert_eq!(laesa.range(&q, r), scan.range(&L2, &q, r));
+        }
+    }
+
+    #[test]
+    fn prunes_compared_to_linear_scan() {
+        let pts = random_points(500, 2, 6);
+        let laesa = Laesa::build(CountingMetric::new(L2), pts, 12, PivotSelection::MaxMin);
+        let mut total = 0u64;
+        let queries = random_points(20, 2, 7);
+        for q in &queries {
+            laesa.metric().reset();
+            let _ = laesa.knn(q, 1);
+            total += laesa.metric().count();
+        }
+        let mean = total as f64 / queries.len() as f64;
+        assert!(mean < 250.0, "LAESA averaged {mean} evals on n=500");
+    }
+
+    #[test]
+    fn build_cost_is_k_times_n_plus_selection() {
+        let pts = random_points(80, 2, 8);
+        let laesa = Laesa::build(CountingMetric::new(L2), pts, 5, PivotSelection::Prefix);
+        // Prefix selection does no selection-time evaluations.
+        assert_eq!(laesa.metric().reset(), 5 * 80);
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let words: Vec<String> =
+            ["stone", "store", "stare", "spare", "space", "grace", "trace", "track"]
+                .map(String::from)
+                .to_vec();
+        let scan = LinearScan::new(words.clone());
+        let laesa = Laesa::build(Levenshtein, words, 3, PivotSelection::MaxMin);
+        let q = String::from("stack");
+        assert_eq!(laesa.knn(&q, 3), scan.knn(&Levenshtein, &q, 3));
+    }
+
+    #[test]
+    fn zero_pivots_degenerates_to_linear_scan() {
+        let pts = random_points(30, 2, 9);
+        let scan = LinearScan::new(pts.clone());
+        let laesa = Laesa::build(L2, pts, 0, PivotSelection::MaxMin);
+        let q = vec![0.5, 0.5];
+        assert_eq!(laesa.knn(&q, 3), scan.knn(&L2, &q, 3));
+    }
+}

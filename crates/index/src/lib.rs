@@ -1,0 +1,53 @@
+//! # dp-index — proximity-search index substrate
+//!
+//! A from-scratch reimplementation of the slice of the SISAP metric-space
+//! library that *Counting distance permutations* builds on (§5: "we
+//! implemented distance permutations for the SISAP library … as a new
+//! index type called `distperm`, a minor modification of the library's
+//! `pivots` index type").  The cost model is the field's: **count metric
+//! evaluations**, everything else is free.
+//!
+//! Index types:
+//!
+//! * [`LinearScan`] — the naive baseline (n evaluations per query);
+//! * [`Aesa`] — Vidal's AESA: the full O(n²) distance matrix, fewest
+//!   evaluations, impractical storage (the paper's framing in §1);
+//! * [`Laesa`] — Micó–Oncina–Vidal LAESA: k pivot distances per element
+//!   (the SISAP `pivots` type);
+//! * [`DistPermIndex`] — the paper's `distperm`: one distance permutation
+//!   per element; supports exporting/counting the permutation multiset
+//!   (the paper's measurement) and permutation-ordered approximate search
+//!   (Chávez–Figueroa–Navarro);
+//! * [`IAesa`] — improved AESA (Figueroa–Chávez–Navarro–Paredes): AESA
+//!   elimination with permutation-similarity candidate ordering;
+//! * [`VpTree`] / [`GhTree`] — classical metric trees (Uhlmann, Yianilos)
+//!   for comparison.
+//!
+//! Exact structures are property-tested to return *identical* answers to
+//! [`LinearScan`]; [`counting::CountingMetric`] instruments any metric so
+//! the harness can report evaluation counts per query.
+
+pub mod aesa;
+pub mod bktree;
+pub mod counting;
+pub mod distperm;
+pub mod ghtree;
+pub mod iaesa;
+pub mod laesa;
+pub mod linear;
+pub mod pivots;
+pub mod prefixindex;
+pub mod query;
+pub mod vptree;
+
+pub use aesa::Aesa;
+pub use bktree::BkTree;
+pub use counting::CountingMetric;
+pub use distperm::{DistPermIndex, OrderingKind};
+pub use ghtree::GhTree;
+pub use iaesa::IAesa;
+pub use laesa::{Laesa, PivotSelection};
+pub use linear::LinearScan;
+pub use prefixindex::PrefixPermIndex;
+pub use query::Neighbor;
+pub use vptree::VpTree;

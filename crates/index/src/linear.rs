@@ -1,0 +1,112 @@
+//! The naive baseline: measure the distance to everything.
+
+use crate::query::{KnnHeap, Neighbor};
+use dp_metric::Metric;
+
+/// Linear scan over an owned database; n metric evaluations per query.
+///
+/// Serves as ground truth for every other index in the crate's tests.
+#[derive(Debug, Clone)]
+pub struct LinearScan<P> {
+    points: Vec<P>,
+}
+
+impl<P> LinearScan<P> {
+    /// Wraps a database.
+    pub fn new(points: Vec<P>) -> Self {
+        Self { points }
+    }
+
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// All elements within distance `radius` of `query` (inclusive),
+    /// sorted by (distance, id).
+    pub fn range<M: Metric<P>>(&self, metric: &M, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        let mut out: Vec<Neighbor<M::Dist>> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter_map(|(id, p)| {
+                let d = metric.distance(query, p);
+                (d <= radius).then_some(Neighbor { id, dist: d })
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The k nearest neighbours of `query`, sorted by (distance, id).
+    pub fn knn<M: Metric<P>>(&self, metric: &M, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        let mut heap = KnnHeap::new(k.min(self.points.len()).max(1));
+        for (id, p) in self.points.iter().enumerate() {
+            heap.push(id, metric.distance(query, p));
+        }
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        heap.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingMetric;
+    use dp_metric::L2;
+
+    fn db() -> LinearScan<Vec<f64>> {
+        LinearScan::new(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![5.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let ids: Vec<usize> =
+            db().knn(&L2, &vec![0.1, 0.0], 3).iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let r = db().range(&L2, &vec![0.0, 0.0], dp_metric::F64Dist::new(2.0));
+        assert_eq!(r.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn knn_costs_exactly_n_evaluations() {
+        let m = CountingMetric::new(L2);
+        let s = db();
+        let _ = s.knn(&m, &vec![0.0, 0.0], 2);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn empty_database() {
+        let s: LinearScan<Vec<f64>> = LinearScan::new(vec![]);
+        assert!(s.is_empty());
+        assert!(s.knn(&L2, &vec![0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let out = db().knn(&L2, &vec![0.0, 0.0], 10);
+        assert_eq!(out.len(), 4);
+    }
+}

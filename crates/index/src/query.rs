@@ -1,0 +1,135 @@
+//! Query result types and shared k-NN bookkeeping.
+
+use dp_metric::Distance;
+use std::collections::BinaryHeap;
+
+/// One answer to a proximity query: a database id and its distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor<D> {
+    /// Index of the element in the database the index was built over.
+    pub id: usize,
+    /// Distance from the query.
+    pub dist: D,
+}
+
+impl<D: Distance> PartialOrd for Neighbor<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<D: Distance> Ord for Neighbor<D> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // (distance, id): deterministic total order mirrors the paper's
+        // distance-permutation tie-break.
+        self.dist.cmp(&other.dist).then(self.id.cmp(&other.id))
+    }
+}
+
+/// A bounded max-heap tracking the k nearest candidates seen so far.
+#[derive(Debug, Clone)]
+pub struct KnnHeap<D> {
+    k: usize,
+    heap: BinaryHeap<Neighbor<D>>,
+}
+
+impl<D: Distance> KnnHeap<D> {
+    /// Creates a collector for the `k` nearest neighbours.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k-NN with k = 0");
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a candidate.
+    pub fn push(&mut self, id: usize, dist: D) {
+        self.heap.push(Neighbor { id, dist });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// Current pruning bound: the k-th best distance, if k candidates have
+    /// been seen.
+    pub fn bound(&self) -> Option<D> {
+        (self.heap.len() == self.k).then(|| self.heap.peek().expect("non-empty").dist)
+    }
+
+    /// True iff a candidate at distance `d` could still enter the result.
+    pub fn admits(&self, d: D) -> bool {
+        match self.bound() {
+            None => true,
+            // Strict comparison on (dist, id) handled by callers; a tie on
+            // distance with a larger id loses, but admitting it is safe.
+            Some(b) => d <= b,
+        }
+    }
+
+    /// Finishes the query: neighbours sorted by (distance, id).
+    pub fn into_sorted(self) -> Vec<Neighbor<D>> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut h = KnnHeap::new(3);
+        for (id, d) in [(0, 50u64), (1, 10), (2, 40), (3, 20), (4, 30)] {
+            h.push(id, d);
+        }
+        let out = h.into_sorted();
+        assert_eq!(
+            out,
+            vec![
+                Neighbor { id: 1, dist: 10 },
+                Neighbor { id: 3, dist: 20 },
+                Neighbor { id: 4, dist: 30 }
+            ]
+        );
+    }
+
+    #[test]
+    fn bound_appears_once_full() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.bound(), None);
+        h.push(0, 5u64);
+        assert_eq!(h.bound(), None);
+        h.push(1, 9);
+        assert_eq!(h.bound(), Some(9));
+        h.push(2, 1);
+        assert_eq!(h.bound(), Some(5));
+    }
+
+    #[test]
+    fn ties_resolved_by_id() {
+        let mut h = KnnHeap::new(2);
+        h.push(7, 3u64);
+        h.push(2, 3);
+        h.push(5, 3);
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2, 5]);
+    }
+
+    #[test]
+    fn admits_respects_bound() {
+        let mut h = KnnHeap::new(1);
+        assert!(h.admits(100u64));
+        h.push(0, 10);
+        assert!(h.admits(10));
+        assert!(!h.admits(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 0")]
+    fn zero_k_rejected() {
+        let _ = KnnHeap::<u64>::new(0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Vantage-point tree (Uhlmann 1991, Yianilos 1993).
+//!
+//! One of the classical triangle-inequality tree indexes the paper's §1
+//! surveys (VP-trees and GH-trees "organise the points into trees and the
+//! search algorithm attempts to exclude subtrees").  Included as the
+//! tree-structured baseline next to the matrix-based AESA family.
+
+use crate::query::{KnnHeap, Neighbor};
+use dp_metric::{Distance, Metric};
+
+const LEAF_SIZE: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        ids: Vec<usize>,
+    },
+    Inner {
+        vantage: usize,
+        /// Median distance from the vantage point (inside iff d <= mu).
+        mu: f64,
+        inside: usize,
+        outside: usize,
+    },
+}
+
+/// Vantage-point tree over an owned database.
+#[derive(Debug, Clone)]
+pub struct VpTree<P, M: Metric<P>> {
+    metric: M,
+    points: Vec<P>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl<P, M: Metric<P>> VpTree<P, M> {
+    /// Builds the tree with O(n log n) expected metric evaluations.
+    pub fn build(metric: M, points: Vec<P>) -> Self {
+        let ids: Vec<usize> = (0..points.len()).collect();
+        let mut tree = Self { metric, points, nodes: Vec::new(), root: 0 };
+        tree.root = tree.build_node(ids);
+        tree
+    }
+
+    fn build_node(&mut self, mut ids: Vec<usize>) -> usize {
+        if ids.len() <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf { ids });
+            return self.nodes.len() - 1;
+        }
+        // Deterministic vantage: the first id of the subset.
+        let vantage = ids.remove(0);
+        let mut with_d: Vec<(f64, usize)> = ids
+            .iter()
+            .map(|&i| (self.metric.distance(&self.points[vantage], &self.points[i]).to_f64(), i))
+            .collect();
+        with_d.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mid = with_d.len() / 2;
+        let mu = with_d[mid.saturating_sub(1)].0;
+        let inside_ids: Vec<usize> =
+            with_d.iter().filter(|&&(d, _)| d <= mu).map(|&(_, i)| i).collect();
+        let outside_ids: Vec<usize> =
+            with_d.iter().filter(|&&(d, _)| d > mu).map(|&(_, i)| i).collect();
+        // Degenerate split (all equidistant): fall back to a leaf to
+        // guarantee termination.
+        if inside_ids.is_empty() || outside_ids.is_empty() {
+            let mut all = vec![vantage];
+            all.extend(inside_ids);
+            all.extend(outside_ids);
+            self.nodes.push(Node::Leaf { ids: all });
+            return self.nodes.len() - 1;
+        }
+        let inside = self.build_node(inside_ids);
+        let outside = self.build_node(outside_ids);
+        self.nodes.push(Node::Inner { vantage, mu, inside, outside });
+        self.nodes.len() - 1
+    }
+
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The owned metric (for evaluation counting).
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Exact k nearest neighbours.
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k.min(self.points.len()));
+        self.knn_node(self.root, query, &mut heap);
+        heap.into_sorted()
+    }
+
+    fn knn_node(&self, node: usize, query: &P, heap: &mut KnnHeap<M::Dist>) {
+        match &self.nodes[node] {
+            Node::Leaf { ids } => {
+                for &i in ids {
+                    heap.push(i, self.metric.distance(query, &self.points[i]));
+                }
+            }
+            Node::Inner { vantage, mu, inside, outside } => {
+                let d = self.metric.distance(query, &self.points[*vantage]);
+                heap.push(*vantage, d);
+                let df = d.to_f64();
+                let (first, second) = if df <= *mu { (*inside, *outside) } else { (*outside, *inside) };
+                self.knn_node(first, query, heap);
+                let tau = heap.bound().map_or(f64::INFINITY, |b| b.to_f64());
+                let second_viable = if second == *inside {
+                    df - tau <= *mu
+                } else {
+                    df + tau > *mu
+                };
+                if second_viable {
+                    self.knn_node(second, query, heap);
+                }
+            }
+        }
+    }
+
+    /// All elements within `radius` (inclusive), sorted by (distance, id).
+    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        let mut out = Vec::new();
+        if !self.points.is_empty() {
+            self.range_node(self.root, query, radius, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn range_node(
+        &self,
+        node: usize,
+        query: &P,
+        radius: M::Dist,
+        out: &mut Vec<Neighbor<M::Dist>>,
+    ) {
+        match &self.nodes[node] {
+            Node::Leaf { ids } => {
+                for &i in ids {
+                    let d = self.metric.distance(query, &self.points[i]);
+                    if d <= radius {
+                        out.push(Neighbor { id: i, dist: d });
+                    }
+                }
+            }
+            Node::Inner { vantage, mu, inside, outside } => {
+                let d = self.metric.distance(query, &self.points[*vantage]);
+                if d <= radius {
+                    out.push(Neighbor { id: *vantage, dist: d });
+                }
+                let df = d.to_f64();
+                let r = radius.to_f64();
+                if df - r <= *mu {
+                    self.range_node(*inside, query, radius, out);
+                }
+                if df + r > *mu {
+                    self.range_node(*outside, query, radius, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingMetric;
+    use crate::linear::LinearScan;
+    use dp_metric::{F64Dist, Levenshtein, L2};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let pts = random_points(400, 3, 1);
+        let scan = LinearScan::new(pts.clone());
+        let tree = VpTree::build(L2, pts);
+        for q in random_points(30, 3, 2) {
+            assert_eq!(tree.knn(&q, 5), scan.knn(&L2, &q, 5), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let pts = random_points(300, 2, 3);
+        let scan = LinearScan::new(pts.clone());
+        let tree = VpTree::build(L2, pts);
+        for q in random_points(20, 2, 4) {
+            for r in [0.05, 0.2, 0.6] {
+                let radius = F64Dist::new(r);
+                assert_eq!(tree.range(&q, radius), scan.range(&L2, &q, radius));
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_in_low_dimension() {
+        let pts = random_points(2000, 2, 5);
+        let tree = VpTree::build(CountingMetric::new(L2), pts);
+        let mut total = 0u64;
+        let queries = random_points(20, 2, 6);
+        for q in &queries {
+            tree.metric().reset();
+            let _ = tree.knn(q, 1);
+            total += tree.metric().count();
+        }
+        let mean = total as f64 / queries.len() as f64;
+        assert!(mean < 700.0, "VP-tree averaged {mean} evals on n=2000");
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let words: Vec<String> = [
+            "apple", "apply", "ample", "maple", "staple", "stable", "table", "cable",
+            "fable", "ladle", "paddle", "saddle",
+        ]
+        .map(String::from)
+        .to_vec();
+        let scan = LinearScan::new(words.clone());
+        let tree = VpTree::build(Levenshtein, words);
+        let q = String::from("sable");
+        assert_eq!(tree.knn(&q, 4), scan.knn(&Levenshtein, &q, 4));
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let mut pts = vec![vec![0.5, 0.5]; 40];
+        pts.extend(random_points(40, 2, 7));
+        let scan = LinearScan::new(pts.clone());
+        let tree = VpTree::build(L2, pts);
+        let q = vec![0.5, 0.5];
+        assert_eq!(tree.knn(&q, 3), scan.knn(&L2, &q, 3));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: VpTree<Vec<f64>, L2> = VpTree::build(L2, vec![]);
+        assert!(tree.knn(&vec![0.0], 1).is_empty());
+        assert!(tree.range(&vec![0.0], F64Dist::new(1.0)).is_empty());
+    }
+}

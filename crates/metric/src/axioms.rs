@@ -1,0 +1,172 @@
+//! Sampling-based metric axiom verification.
+//!
+//! Every metric implementation in the workspace is checked against the four
+//! metric axioms on representative samples.  Distances are compared through
+//! their exact `Ord`; the triangle inequality additionally needs *addition*,
+//! which is performed on the `f64` view with a caller-supplied tolerance
+//! (zero for integer metrics).
+
+use crate::{Distance, Metric};
+
+/// A reported violation of a metric axiom, with the witnessing indices into
+/// the sample slice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxiomViolation {
+    /// `d(x, x) != 0` at sample index `x`.
+    Identity { x: usize, d: f64 },
+    /// `d(x, y) != d(y, x)`.
+    Symmetry { x: usize, y: usize, dxy: f64, dyx: f64 },
+    /// `d(x, y) > d(x, z) + d(z, y) + tol`.
+    Triangle { x: usize, y: usize, z: usize, dxy: f64, dxz: f64, dzy: f64 },
+}
+
+impl std::fmt::Display for AxiomViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxiomViolation::Identity { x, d } => {
+                write!(f, "d(x{x}, x{x}) = {d} != 0")
+            }
+            AxiomViolation::Symmetry { x, y, dxy, dyx } => {
+                write!(f, "d(x{x}, x{y}) = {dxy} but d(x{y}, x{x}) = {dyx}")
+            }
+            AxiomViolation::Triangle { x, y, z, dxy, dxz, dzy } => {
+                write!(f, "d(x{x}, x{y}) = {dxy} > {dxz} + {dzy} via x{z}")
+            }
+        }
+    }
+}
+
+/// Checks identity, symmetry and the triangle inequality for `metric` over
+/// all pairs/triples of `points`.
+///
+/// `triangle_tol` absorbs floating-point rounding for real-valued metrics;
+/// pass `0.0` for integer-valued metrics.  O(n³) — intended for test-sized
+/// samples.
+pub fn check_metric<P, M: Metric<P>>(
+    metric: &M,
+    points: &[P],
+    triangle_tol: f64,
+) -> Result<(), AxiomViolation> {
+    let n = points.len();
+    // Precompute the matrix once: O(n^2) metric evaluations, not O(n^3).
+    let mut d = vec![0.0f64; n * n];
+    for x in 0..n {
+        for y in 0..n {
+            let dist = metric.distance(&points[x], &points[y]);
+            d[x * n + y] = dist.to_f64();
+            if x == y && dist != M::Dist::ZERO {
+                return Err(AxiomViolation::Identity { x, d: dist.to_f64() });
+            }
+        }
+    }
+    for x in 0..n {
+        for y in (x + 1)..n {
+            if d[x * n + y] != d[y * n + x] {
+                return Err(AxiomViolation::Symmetry {
+                    x,
+                    y,
+                    dxy: d[x * n + y],
+                    dyx: d[y * n + x],
+                });
+            }
+        }
+    }
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                if d[x * n + y] > d[x * n + z] + d[z * n + y] + triangle_tol {
+                    return Err(AxiomViolation::Triangle {
+                        x,
+                        y,
+                        z,
+                        dxy: d[x * n + y],
+                        dxz: d[x * n + z],
+                        dzy: d[z * n + y],
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::F64Dist;
+    use crate::{Hamming, Levenshtein, PrefixDistance, L1, L2, LInf, Lp};
+
+    fn vectors() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 2.0, -0.5],
+            vec![-3.0, 0.25, 4.0],
+            vec![0.1, 0.1, 0.1],
+            vec![10.0, -10.0, 5.0],
+        ]
+    }
+
+    #[test]
+    fn vector_metrics_satisfy_axioms() {
+        let pts = vectors();
+        assert_eq!(check_metric(&L1, &pts, 1e-9), Ok(()));
+        assert_eq!(check_metric(&L2, &pts, 1e-9), Ok(()));
+        assert_eq!(check_metric(&LInf, &pts, 1e-9), Ok(()));
+        assert_eq!(check_metric(&Lp::new(3.0), &pts, 1e-9), Ok(()));
+    }
+
+    #[test]
+    fn string_metrics_satisfy_axioms() {
+        let words: Vec<String> =
+            ["", "a", "ab", "abc", "abd", "zebra", "zebu", "hello"].map(String::from).to_vec();
+        assert_eq!(check_metric(&Levenshtein, &words, 0.0), Ok(()));
+        assert_eq!(check_metric(&PrefixDistance, &words, 0.0), Ok(()));
+        assert_eq!(check_metric(&Hamming, &words, 0.0), Ok(()));
+    }
+
+    #[test]
+    fn squared_euclidean_fails_triangle() {
+        // Documents why L2Squared is only for order-preserving use.
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let result = check_metric(&crate::L2Squared, &pts, 0.0);
+        assert!(matches!(result, Err(AxiomViolation::Triangle { .. })), "{result:?}");
+    }
+
+    #[test]
+    fn broken_symmetry_detected() {
+        struct Asym;
+        impl Metric<f64> for Asym {
+            type Dist = F64Dist;
+            fn distance(&self, a: &f64, b: &f64) -> F64Dist {
+                F64Dist::new(if a < b { b - a } else { 2.0 * (a - b) })
+            }
+        }
+        let pts = vec![0.0, 1.0];
+        assert!(matches!(
+            check_metric(&Asym, &pts, 0.0),
+            Err(AxiomViolation::Symmetry { .. })
+        ));
+    }
+
+    #[test]
+    fn broken_identity_detected() {
+        struct Off;
+        impl Metric<f64> for Off {
+            type Dist = F64Dist;
+            fn distance(&self, _: &f64, _: &f64) -> F64Dist {
+                F64Dist::new(1.0)
+            }
+        }
+        assert!(matches!(
+            check_metric(&Off, &[0.0], 0.0),
+            Err(AxiomViolation::Identity { .. })
+        ));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = AxiomViolation::Triangle { x: 0, y: 1, z: 2, dxy: 4.0, dxz: 1.0, dzy: 1.0 };
+        let s = v.to_string();
+        assert!(s.contains('4') && s.contains("via"));
+    }
+}

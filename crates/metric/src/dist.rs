@@ -1,0 +1,190 @@
+//! Totally ordered distance values.
+//!
+//! Distance permutations are defined by sorting sites on `(distance, site
+//! index)`; that sort is only deterministic if distances are *totally*
+//! ordered.  Integer-valued metrics (edit distance, tree path length,
+//! Hamming) use `u32`/`u64` directly; real-valued metrics use [`F64Dist`],
+//! a NaN-free total-order wrapper around `f64`.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A totally ordered, hashable, copyable distance value.
+///
+/// The `to_f64` view exists for *approximate* cross-metric comparisons and
+/// statistics (e.g. the intrinsic-dimensionality estimator ρ); ordering and
+/// equality decisions inside the library always use the exact `Ord`
+/// implementation.
+pub trait Distance: Copy + Eq + Ord + Hash + fmt::Debug {
+    /// The zero distance (d(x, x)).
+    const ZERO: Self;
+
+    /// Lossy conversion for statistics and display.
+    fn to_f64(self) -> f64;
+}
+
+impl Distance for u32 {
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Distance for u64 {
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Distance for u128 {
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// A non-NaN `f64` distance with a total order.
+///
+/// * NaN is rejected at construction (a metric never produces NaN on its
+///   domain; producing one is a bug we want surfaced, not ordered).
+/// * `-0.0` is normalised to `+0.0` so that `Eq`/`Hash`/`Ord` agree.
+/// * Ordering is `f64::total_cmp`, which on the remaining values coincides
+///   with the usual `<` order.
+#[derive(Copy, Clone, Default)]
+pub struct F64Dist(f64);
+
+impl F64Dist {
+    /// Wraps a finite (or infinite, but never NaN) distance value.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "distance must not be NaN");
+        // Normalise -0.0 so bitwise Eq/Hash agree with numeric equality.
+        Self(if value == 0.0 { 0.0 } else { value })
+    }
+
+    /// The raw `f64` value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64Dist {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl Eq for F64Dist {}
+
+impl PartialOrd for F64Dist {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Dist {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for F64Dist {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for F64Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for F64Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Distance for F64Dist {
+    const ZERO: Self = F64Dist(0.0);
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for F64Dist {
+    #[inline]
+    fn from(value: f64) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(d: F64Dist) -> u64 {
+        let mut h = DefaultHasher::new();
+        d.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn zero_is_normalised() {
+        assert_eq!(F64Dist::new(-0.0), F64Dist::new(0.0));
+        assert_eq!(hash_of(F64Dist::new(-0.0)), hash_of(F64Dist::new(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = F64Dist::new(f64::NAN);
+    }
+
+    #[test]
+    fn order_matches_f64_order() {
+        let a = F64Dist::new(1.5);
+        let b = F64Dist::new(2.5);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn infinity_is_ordered_last() {
+        assert!(F64Dist::new(f64::INFINITY) > F64Dist::new(1e300));
+    }
+
+    #[test]
+    fn integer_distances_have_zero() {
+        assert_eq!(<u32 as Distance>::ZERO, 0);
+        assert_eq!(<u64 as Distance>::ZERO, 0);
+        assert_eq!(42u64.to_f64(), 42.0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let d = F64Dist::new(0.25);
+        assert_eq!(format!("{d}"), "0.25");
+        assert_eq!(format!("{d:?}"), "0.25");
+    }
+}

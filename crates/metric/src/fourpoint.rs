@@ -1,0 +1,130 @@
+//! Buneman's four-point condition.
+//!
+//! A metric embeds in a (weighted) tree iff for every four points
+//! x, y, z, t:
+//!
+//! ```text
+//! d(x,y) + d(z,t) <= max( d(x,z) + d(y,t),  d(x,t) + d(y,z) )
+//! ```
+//!
+//! Section 3 of the paper cites this as the alternative characterisation of
+//! tree metrics; the workspace uses it to certify that the tree substrate
+//! really produces tree metrics and that ≥ 2-dimensional Lp spaces do not.
+
+use crate::{Distance, Metric};
+
+/// A quadruple witnessing failure of the four-point condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FourPointViolation {
+    /// Indices of the four witnessing points in the sample slice.
+    pub quad: [usize; 4],
+    /// The left side d(x,y) + d(z,t).
+    pub lhs: f64,
+    /// The larger of the two cross sums.
+    pub rhs: f64,
+}
+
+/// Checks the four-point condition for all quadruples of `points`.
+///
+/// `tol` absorbs floating-point rounding (use `0.0` for integer metrics).
+/// O(n⁴) over the sample — intended for test-sized inputs.
+pub fn check_four_point<P, M: Metric<P>>(
+    metric: &M,
+    points: &[P],
+    tol: f64,
+) -> Result<(), FourPointViolation> {
+    let n = points.len();
+    let mut d = vec![0.0f64; n * n];
+    for x in 0..n {
+        for y in 0..n {
+            d[x * n + y] = metric.distance(&points[x], &points[y]).to_f64();
+        }
+    }
+    let dd = |a: usize, b: usize| d[a * n + b];
+    for x in 0..n {
+        for y in (x + 1)..n {
+            for z in (y + 1)..n {
+                for t in (z + 1)..n {
+                    // All three pairings of {x,y,z,t} into two pairs; the
+                    // condition must hold with each pairing on the left.
+                    let s1 = dd(x, y) + dd(z, t);
+                    let s2 = dd(x, z) + dd(y, t);
+                    let s3 = dd(x, t) + dd(y, z);
+                    let sums = [s1, s2, s3];
+                    for (i, &lhs) in sums.iter().enumerate() {
+                        let rhs = sums
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .map(|(_, &s)| s)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        if lhs > rhs + tol {
+                            return Err(FourPointViolation { quad: [x, y, z, t], lhs, rhs });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience check over all distinct quadruples drawn from tree vertices.
+pub fn tree_satisfies_four_point(tree: &crate::Tree) -> bool {
+    let pts: Vec<usize> = tree.vertices().collect();
+    check_four_point(&tree.metric(), &pts, 0.0).is_ok()
+}
+
+/// The zero-distance sanity check used by tests: verifies `ZERO` behaves as
+/// the additive identity in `to_f64` space.
+pub fn zero_is_additive_identity<D: Distance>() -> bool {
+    D::ZERO.to_f64() == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PrefixDistance, Tree, L2};
+
+    #[test]
+    fn random_trees_satisfy_four_point() {
+        for seed in 0..4u64 {
+            let t = Tree::random(10, 5, seed);
+            assert!(tree_satisfies_four_point(&t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn prefix_metric_satisfies_four_point() {
+        let words: Vec<String> =
+            ["", "a", "ab", "abc", "abd", "b", "ba", "bb"].map(String::from).to_vec();
+        assert_eq!(check_four_point(&PrefixDistance, &words, 0.0), Ok(()));
+    }
+
+    #[test]
+    fn plane_euclidean_violates_four_point() {
+        // The unit square: diagonals sum to 2*sqrt(2) > 2 = both cross sums.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+        ];
+        let result = check_four_point(&L2, &pts, 1e-9);
+        assert!(result.is_err(), "{result:?}");
+    }
+
+    #[test]
+    fn line_euclidean_satisfies_four_point() {
+        // 1-D Euclidean is a tree metric (a path).
+        let pts = vec![vec![0.0], vec![1.5], vec![4.0], vec![9.25], vec![-2.0]];
+        assert_eq!(check_four_point(&L2, &pts, 1e-9), Ok(()));
+    }
+
+    #[test]
+    fn zero_identity_trait_helper() {
+        assert!(zero_is_additive_identity::<u32>());
+        assert!(zero_is_additive_identity::<u64>());
+        assert!(zero_is_additive_identity::<crate::F64Dist>());
+    }
+}

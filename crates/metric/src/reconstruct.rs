@@ -1,0 +1,334 @@
+//! Reconstructing a weighted tree from a finite tree metric.
+//!
+//! Section 3 of the paper leans on Buneman's theorem: a finite metric
+//! satisfies the four-point condition iff it embeds in a weighted tree
+//! (possibly with extra *Steiner* vertices).  This module makes the
+//! theorem constructive: [`reconstruct_tree`] builds the (unique minimal)
+//! tree realising a given finite tree metric, or reports the witness pair
+//! where realisation fails.
+//!
+//! Algorithm: incremental deepest-meet insertion.  Root the tree at point
+//! 0.  For a new point x, the Gromov product
+//! `g(x,u) = (d(r,x) + d(r,u) − d(u,x)) / 2` is the depth at which the
+//! paths r→x and r→u separate; the attachment point of x is the deepest
+//! such meet over all inserted u.  Splitting one edge there (creating a
+//! Steiner vertex if needed) and hanging x preserves all pairwise
+//! distances — if and only if the input is a tree metric, which a final
+//! O(n²) verification confirms.
+//!
+//! All arithmetic is on **doubled** distances so that half-integral meet
+//! depths (e.g. three leaves pairwise at distance 3 meet at depth 1.5)
+//! stay exact integers.
+
+use crate::tree::Tree;
+use crate::Metric;
+
+/// Why reconstruction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// The input has no points.
+    Empty,
+    /// d(i, j) differs in the reconstructed tree: the metric violates the
+    /// four-point condition (Buneman).
+    NotATreeMetric {
+        /// First witness point.
+        i: usize,
+        /// Second witness point.
+        j: usize,
+        /// 2·d(i,j) requested.
+        expected_doubled: u64,
+        /// 2·d(i,j) realised by the best tree.
+        actual_doubled: u64,
+    },
+    /// The metric is malformed (asymmetric or d(x,x) != 0).
+    NotAMetric,
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconstructError::Empty => write!(f, "no points to reconstruct from"),
+            ReconstructError::NotATreeMetric { i, j, expected_doubled, actual_doubled } => write!(
+                f,
+                "not a tree metric: d({i},{j}) = {}/2 but the tree realises {}/2",
+                expected_doubled, actual_doubled
+            ),
+            ReconstructError::NotAMetric => write!(f, "input is not a metric"),
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// A tree realising a finite tree metric, with the point → vertex map.
+///
+/// Edge weights in [`Self::tree`] are **doubled** (see module docs);
+/// [`Self::distance`] converts back to the original scale.
+#[derive(Debug, Clone)]
+pub struct ReconstructedTree {
+    /// The realising tree with doubled integer edge weights.
+    pub tree: Tree,
+    /// `vertex_of[i]` = the tree vertex carrying input point i.
+    pub vertex_of: Vec<usize>,
+    /// Number of Steiner (non-input) vertices added.
+    pub steiner_count: usize,
+}
+
+impl ReconstructedTree {
+    /// Distance between input points i and j on the original scale.
+    pub fn distance(&self, i: usize, j: usize) -> u64 {
+        self.tree.distance(self.vertex_of[i], self.vertex_of[j]) / 2
+    }
+}
+
+/// Reconstructs the minimal weighted tree realising the metric `d` over
+/// points `0..n`.
+///
+/// `d` is queried O(n²) times; it must be symmetric with zero diagonal.
+pub fn reconstruct_tree(
+    n: usize,
+    d: impl Fn(usize, usize) -> u64,
+) -> Result<ReconstructedTree, ReconstructError> {
+    if n == 0 {
+        return Err(ReconstructError::Empty);
+    }
+    // Doubled distances from the root (point 0) and the full matrix rows
+    // we need (distances to the root and pairwise among inserted points).
+    let dd = |i: usize, j: usize| 2 * d(i, j);
+    for i in 0..n {
+        if d(i, i) != 0 {
+            return Err(ReconstructError::NotAMetric);
+        }
+        if d(0, i) != d(i, 0) {
+            return Err(ReconstructError::NotAMetric);
+        }
+    }
+
+    // Mutable tree under construction: parent links with doubled weights.
+    // Vertex 0 is the root (point 0).
+    let mut parent: Vec<Option<(usize, u64)>> = vec![None];
+    let mut depth: Vec<u64> = vec![0];
+    let mut vertex_of: Vec<usize> = vec![0];
+
+    for x in 1..n {
+        // Deepest meet over inserted points.
+        let mut best_u = 0usize;
+        let mut best_g = 0i128;
+        for u in 0..x {
+            let g = (i128::from(dd(0, x)) + i128::from(dd(0, u)) - i128::from(dd(u, x))) / 2;
+            if g > best_g {
+                best_g = g;
+                best_u = u;
+            }
+        }
+        if best_g < 0 || best_g > i128::from(dd(0, x)) {
+            return Err(ReconstructError::NotAMetric);
+        }
+        let g = best_g as u64;
+
+        // Locate depth g on the path root -> vertex_of[best_u], splitting
+        // an edge if it falls strictly inside one.
+        let mut v = vertex_of[best_u];
+        let attach = loop {
+            if depth[v] == g {
+                break v;
+            }
+            let (p, w) = parent[v].expect("g <= depth(root path) by construction");
+            if depth[p] < g {
+                // Split edge p -- v at depth g with a Steiner vertex.
+                let s = depth.len();
+                depth.push(g);
+                parent.push(Some((p, g - depth[p])));
+                parent[v] = Some((s, depth[v] - g));
+                let _ = w;
+                break s;
+            }
+            v = p;
+        };
+
+        // Hang the new point (or identify it with the attachment vertex).
+        let pendant = dd(0, x) - g;
+        if pendant == 0 {
+            vertex_of.push(attach);
+        } else {
+            let nv = depth.len();
+            depth.push(g + pendant);
+            parent.push(Some((attach, pendant)));
+            vertex_of.push(nv);
+        }
+    }
+
+    // Materialise as a Tree and verify every pairwise distance.
+    let edges: Vec<(usize, usize, u64)> = parent
+        .iter()
+        .enumerate()
+        .filter_map(|(v, p)| p.map(|(pv, w)| (pv, v, w)))
+        .collect();
+    let tree = Tree::from_edges(depth.len(), &edges);
+    let steiner_count = depth.len() - {
+        let mut distinct: Vec<usize> = vertex_of.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    };
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let actual = tree.distance(vertex_of[i], vertex_of[j]);
+            if actual != dd(i, j) {
+                return Err(ReconstructError::NotATreeMetric {
+                    i,
+                    j,
+                    expected_doubled: dd(i, j),
+                    actual_doubled: actual,
+                });
+            }
+        }
+    }
+
+    Ok(ReconstructedTree { tree, vertex_of, steiner_count })
+}
+
+/// Convenience wrapper: reconstructs from points under any integer-valued
+/// [`Metric`].
+pub fn reconstruct_from_metric<P, M: Metric<P, Dist = u64>>(
+    metric: &M,
+    points: &[P],
+) -> Result<ReconstructedTree, ReconstructError> {
+    reconstruct_tree(points.len(), |i, j| metric.distance(&points[i], &points[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PrefixDistance, Tree};
+
+    fn verify_roundtrip(n: usize, d: impl Fn(usize, usize) -> u64 + Copy) {
+        let r = reconstruct_tree(n, d).expect("reconstruction succeeds");
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(r.distance(i, j), d(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_and_pair() {
+        let r = reconstruct_tree(1, |_, _| 0).unwrap();
+        assert_eq!(r.tree.len(), 1);
+        verify_roundtrip(2, |i, j| if i == j { 0 } else { 5 });
+    }
+
+    #[test]
+    fn star_metric_needs_a_steiner_point() {
+        // Three points pairwise at distance 2: the realising tree is a
+        // star with a central Steiner vertex at distance 1 from each.
+        let r = reconstruct_tree(3, |i, j| if i == j { 0 } else { 2 }).unwrap();
+        assert_eq!(r.steiner_count, 1);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(r.distance(i, j), if i == j { 0 } else { 2 });
+            }
+        }
+    }
+
+    #[test]
+    fn odd_distances_need_half_integral_steiner_positions() {
+        // Pairwise distance 3: centre sits at 1.5 — the doubled-weight
+        // representation keeps this exact.
+        verify_roundtrip(3, |i, j| if i == j { 0 } else { 3 });
+    }
+
+    #[test]
+    fn random_trees_roundtrip_over_all_vertices() {
+        for seed in 0..6u64 {
+            let t = Tree::random(40, 6, seed);
+            let d = |i: usize, j: usize| t.distance(i, j);
+            verify_roundtrip(t.len(), d);
+        }
+    }
+
+    #[test]
+    fn random_trees_roundtrip_over_leaves_only() {
+        // Leaf-restricted metrics force Steiner reconstruction of the
+        // interior.
+        for seed in 10..14u64 {
+            let t = Tree::random(60, 4, seed);
+            let leaves: Vec<usize> =
+                t.vertices().filter(|&v| t.neighbours(v).len() == 1).collect();
+            assert!(leaves.len() >= 3);
+            let d = |i: usize, j: usize| t.distance(leaves[i], leaves[j]);
+            let r = reconstruct_tree(leaves.len(), d).expect("leaf metric is a tree metric");
+            for i in 0..leaves.len() {
+                for j in 0..leaves.len() {
+                    assert_eq!(r.distance(i, j), d(i, j));
+                }
+            }
+            assert!(r.steiner_count > 0, "seed {seed}: interior vanished");
+        }
+    }
+
+    #[test]
+    fn prefix_metric_words_reconstruct_to_their_trie() {
+        let words: Vec<String> =
+            ["", "a", "ab", "abc", "abd", "b", "ba"].map(String::from).to_vec();
+        let d = |i: usize, j: usize| {
+            u64::from(crate::Metric::distance(&PrefixDistance, &words[i], &words[j]))
+        };
+        let r = reconstruct_tree(words.len(), d).unwrap();
+        // The trie on these strings has exactly the 7 words as vertices
+        // (every internal node is itself a word): no Steiner points.
+        assert_eq!(r.steiner_count, 0);
+        for i in 0..words.len() {
+            for j in 0..words.len() {
+                assert_eq!(r.distance(i, j), d(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_square_is_rejected() {
+        // Unit-square corners violate the four-point condition; scaled to
+        // integers: side 10, diagonal 14 (rounded) still violates.
+        let pts = [(0i64, 0i64), (10, 0), (10, 10), (0, 10)];
+        let d = |i: usize, j: usize| {
+            let (xi, yi) = pts[i];
+            let (xj, yj) = pts[j];
+            let dx = (xi - xj) as f64;
+            let dy = (yi - yj) as f64;
+            (dx * dx + dy * dy).sqrt().round() as u64
+        };
+        let err = reconstruct_tree(4, d).unwrap_err();
+        assert!(matches!(err, ReconstructError::NotATreeMetric { .. }), "{err}");
+    }
+
+    #[test]
+    fn asymmetric_input_rejected() {
+        let err = reconstruct_tree(2, |i, j| if i < j { 1 } else { 2 }).unwrap_err();
+        assert_eq!(err, ReconstructError::NotAMetric);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(reconstruct_tree(0, |_, _| 0).unwrap_err(), ReconstructError::Empty);
+    }
+
+    #[test]
+    fn reconstruct_from_metric_wrapper() {
+        let t = Tree::random(25, 3, 99);
+        let points: Vec<usize> = t.vertices().collect();
+        let m = t.metric();
+        let r = reconstruct_from_metric(&m, &points).unwrap();
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                assert_eq!(r.distance(i, j), t.distance(points[i], points[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_path_roundtrip() {
+        let t = Tree::weighted_path(&[5, 1, 9, 2, 2, 7]);
+        verify_roundtrip(t.len(), |i, j| t.distance(i, j));
+    }
+}

@@ -1,0 +1,196 @@
+//! Sparse vectors and the angular (cosine) distance used by the paper's
+//! document databases (`long` and `short` in Table 2).
+//!
+//! The SISAP document sets store TF-IDF-style term vectors and compare them
+//! with the *angle* between vectors, `acos` of the cosine similarity — the
+//! cosine itself is not a metric, but the angle is.
+
+use crate::dist::{Distance, F64Dist};
+use crate::Metric;
+
+/// A sparse non-negative vector with strictly increasing term indices,
+/// pre-normalised norm, as used by document databases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    norm: f64,
+}
+
+impl SparseVec {
+    /// Builds a sparse vector from `(term index, weight)` pairs.
+    ///
+    /// Pairs may arrive in any order; duplicate indices are summed and zero
+    /// weights dropped.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite.
+    pub fn new(mut pairs: Vec<(u32, f64)>) -> Self {
+        for &(_, v) in &pairs {
+            assert!(v.is_finite() && v >= 0.0, "term weight must be finite and >= 0, got {v}");
+        }
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if v == 0.0 {
+                continue;
+            }
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("values parallel to indices") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        let norm = values.iter().map(|v| v * v).sum::<f64>().sqrt();
+        Self { indices, values, norm }
+    }
+
+    /// Number of non-zero terms.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Euclidean norm of the vector.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Term indices (strictly increasing).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Term weights, parallel to [`Self::indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Dot product with another sparse vector (sorted-merge join).
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut sum = 0.0;
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += self.values[i] * other.values[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Cosine similarity in [0, 1]; zero vectors have similarity 0 with
+    /// everything except another zero vector (similarity 1, distance 0).
+    pub fn cosine_similarity(&self, other: &SparseVec) -> f64 {
+        if self.norm == 0.0 || other.norm == 0.0 {
+            return f64::from(u8::from(self.norm == other.norm));
+        }
+        (self.dot(other) / (self.norm * other.norm)).clamp(0.0, 1.0)
+    }
+}
+
+/// Angular distance `acos(cos θ)` between sparse vectors — a true metric on
+/// rays from the origin, with values in [0, π/2] for non-negative vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CosineDistance;
+
+impl Metric<SparseVec> for CosineDistance {
+    type Dist = F64Dist;
+
+    #[inline]
+    fn distance(&self, a: &SparseVec, b: &SparseVec) -> F64Dist {
+        // acos(dot/(|a||b|)) evaluates to ~1e-8 instead of 0 for a == b
+        // because the norm is rounded through sqrt; the identity axiom
+        // demands exact zero, so short-circuit structural equality.
+        if a == b {
+            return F64Dist::ZERO;
+        }
+        F64Dist::new(a.cosine_similarity(b).acos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::new(pairs.to_vec())
+    }
+
+    #[test]
+    fn construction_sorts_dedupes_and_drops_zeros() {
+        let v = sv(&[(5, 1.0), (2, 3.0), (5, 1.0), (9, 0.0)]);
+        assert_eq!(v.indices(), &[2, 5]);
+        assert_eq!(v.values(), &[3.0, 2.0]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_product_merge_join() {
+        let a = sv(&[(1, 2.0), (3, 1.0), (7, 4.0)]);
+        let b = sv(&[(3, 5.0), (7, 0.5), (9, 2.0)]);
+        assert_eq!(a.dot(&b), 1.0 * 5.0 + 4.0 * 0.5);
+    }
+
+    #[test]
+    fn identical_vectors_have_zero_distance() {
+        let a = sv(&[(1, 2.0), (3, 1.0)]);
+        assert_eq!(CosineDistance.distance(&a, &a).get(), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_vectors_are_at_right_angle() {
+        let a = sv(&[(1, 1.0)]);
+        let b = sv(&[(2, 1.0)]);
+        let d = CosineDistance.distance(&a, &b).get();
+        assert!((d - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_does_not_change_angle() {
+        let a = sv(&[(1, 1.0), (2, 2.0)]);
+        let b = sv(&[(1, 3.0), (2, 6.0)]);
+        assert!(CosineDistance.distance(&a, &b).get() < 1e-7);
+    }
+
+    #[test]
+    fn zero_vector_conventions() {
+        let z = sv(&[]);
+        let a = sv(&[(1, 1.0)]);
+        assert_eq!(CosineDistance.distance(&z, &z).get(), 0.0);
+        let d = CosineDistance.distance(&z, &a).get();
+        assert!((d - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let vs = [
+            sv(&[(0, 1.0), (1, 0.5)]),
+            sv(&[(1, 2.0), (2, 1.0)]),
+            sv(&[(0, 0.3), (2, 0.9), (5, 1.5)]),
+            sv(&[(4, 1.0)]),
+        ];
+        for x in &vs {
+            for y in &vs {
+                for z in &vs {
+                    let xy = CosineDistance.distance(x, y).get();
+                    let xz = CosineDistance.distance(x, z).get();
+                    let zy = CosineDistance.distance(z, y).get();
+                    assert!(xy <= xz + zy + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn negative_weight_rejected() {
+        let _ = sv(&[(0, -1.0)]);
+    }
+}

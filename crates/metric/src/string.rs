@@ -1,0 +1,224 @@
+//! String metrics.
+//!
+//! * [`Levenshtein`] — unit-cost edit distance; the metric of the SISAP
+//!   dictionary databases (Table 2's Dutch…Spanish rows) and of the
+//!   `listeria` gene-fragment database.
+//! * [`PrefixDistance`] — the paper's Definition 3: the minimal number of
+//!   single-letter edits at the *right-hand end*, i.e.
+//!   |x| + |y| − 2·|lcp(x, y)|.  This is the canonical practical tree
+//!   metric (Fig. 5): strings are vertices of the infinite trie and the
+//!   distance is the path length between them.
+//! * [`Hamming`] — per-position mismatch count, extended to unequal lengths
+//!   by counting the length difference as mismatches (so it remains a
+//!   metric on all strings).
+
+use crate::Metric;
+
+/// Unit-cost Levenshtein edit distance (insert / delete / substitute).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Levenshtein;
+
+/// The paper's prefix distance (Definition 3): edits add or remove one
+/// letter at the right-hand end, so
+/// `d(x, y) = |x| + |y| − 2 · |longest common prefix(x, y)|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixDistance;
+
+/// Hamming distance; unequal-length inputs contribute their length
+/// difference, which preserves the metric axioms on the space of all
+/// byte strings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hamming;
+
+/// Longest common prefix length of two byte strings.
+#[inline]
+pub fn lcp_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+impl Metric<[u8]> for Levenshtein {
+    type Dist = u32;
+
+    fn distance(&self, a: &[u8], b: &[u8]) -> u32 {
+        // Standard two-row DP; O(|a|·|b|) time, O(min) space.
+        let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        if short.is_empty() {
+            return long.len() as u32;
+        }
+        // Strip the common prefix and suffix: they never change the result
+        // and dictionary workloads are full of shared stems/endings.
+        let pre = lcp_len(short, long);
+        let (short, long) = (&short[pre..], &long[pre..]);
+        let suf = short
+            .iter()
+            .rev()
+            .zip(long.iter().rev())
+            .take_while(|(x, y)| x == y)
+            .count();
+        let short = &short[..short.len() - suf];
+        let long = &long[..long.len() - suf];
+        if short.is_empty() {
+            return long.len() as u32;
+        }
+
+        let mut prev: Vec<u32> = (0..=short.len() as u32).collect();
+        let mut cur = vec![0u32; short.len() + 1];
+        for (i, &lc) in long.iter().enumerate() {
+            cur[0] = i as u32 + 1;
+            for (j, &sc) in short.iter().enumerate() {
+                let sub = prev[j] + u32::from(lc != sc);
+                let del = prev[j + 1] + 1;
+                let ins = cur[j] + 1;
+                cur[j + 1] = sub.min(del).min(ins);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[short.len()]
+    }
+}
+
+impl Metric<[u8]> for PrefixDistance {
+    type Dist = u32;
+
+    #[inline]
+    fn distance(&self, a: &[u8], b: &[u8]) -> u32 {
+        let lcp = lcp_len(a, b);
+        (a.len() + b.len() - 2 * lcp) as u32
+    }
+}
+
+impl Metric<[u8]> for Hamming {
+    type Dist = u32;
+
+    #[inline]
+    fn distance(&self, a: &[u8], b: &[u8]) -> u32 {
+        let mismatches = a
+            .iter()
+            .zip(b.iter())
+            .filter(|(x, y)| x != y)
+            .count();
+        (mismatches + a.len().abs_diff(b.len())) as u32
+    }
+}
+
+macro_rules! impl_for_string_like {
+    ($($m:ty),*) => {$(
+        impl Metric<str> for $m {
+            type Dist = u32;
+
+            #[inline]
+            fn distance(&self, a: &str, b: &str) -> u32 {
+                Metric::<[u8]>::distance(self, a.as_bytes(), b.as_bytes())
+            }
+        }
+
+        impl Metric<String> for $m {
+            type Dist = u32;
+
+            #[inline]
+            fn distance(&self, a: &String, b: &String) -> u32 {
+                Metric::<[u8]>::distance(self, a.as_bytes(), b.as_bytes())
+            }
+        }
+
+        impl Metric<Vec<u8>> for $m {
+            type Dist = u32;
+
+            #[inline]
+            fn distance(&self, a: &Vec<u8>, b: &Vec<u8>) -> u32 {
+                Metric::<[u8]>::distance(self, a.as_slice(), b.as_slice())
+            }
+        }
+    )*};
+}
+
+impl_for_string_like!(Levenshtein, PrefixDistance, Hamming);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_classics() {
+        assert_eq!(Levenshtein.distance("kitten", "sitting"), 3);
+        assert_eq!(Levenshtein.distance("flaw", "lawn"), 2);
+        assert_eq!(Levenshtein.distance("", "abc"), 3);
+        assert_eq!(Levenshtein.distance("abc", ""), 3);
+        assert_eq!(Levenshtein.distance("abc", "abc"), 0);
+        assert_eq!(Levenshtein.distance("a", "b"), 1);
+    }
+
+    #[test]
+    fn levenshtein_prefix_suffix_stripping_is_transparent() {
+        // Shared stems/endings (stripped internally) must not change results.
+        assert_eq!(Levenshtein.distance("prefixkittensuffix", "prefixsittingsuffix"), 3);
+        assert_eq!(Levenshtein.distance("xyz", "xz"), 1);
+        assert_eq!(Levenshtein.distance("aaaa", "aa"), 2);
+    }
+
+    #[test]
+    fn levenshtein_symmetric() {
+        let pairs = [("abcdef", "azced"), ("", "x"), ("same", "same"), ("ab", "ba")];
+        for (a, b) in pairs {
+            assert_eq!(Levenshtein.distance(a, b), Levenshtein.distance(b, a));
+        }
+    }
+
+    #[test]
+    fn prefix_distance_definition3() {
+        // Fig. 5 example style: distance = sum of lengths - 2 * lcp.
+        assert_eq!(PrefixDistance.distance("abc", "abd"), 2);
+        assert_eq!(PrefixDistance.distance("abc", "ab"), 1);
+        assert_eq!(PrefixDistance.distance("abc", ""), 3);
+        assert_eq!(PrefixDistance.distance("abc", "xyz"), 6);
+        assert_eq!(PrefixDistance.distance("abc", "abc"), 0);
+        assert_eq!(PrefixDistance.distance("ab", "abxy"), 2);
+    }
+
+    #[test]
+    fn prefix_distance_is_tree_path_length() {
+        // Moving from "qa" to "qb" in the trie: remove 'a' (to "q"), add 'b'.
+        assert_eq!(PrefixDistance.distance("qa", "qb"), 2);
+        // "q" -> "qabc": add three letters.
+        assert_eq!(PrefixDistance.distance("q", "qabc"), 3);
+    }
+
+    #[test]
+    fn hamming_equal_and_unequal_lengths() {
+        assert_eq!(Hamming.distance("karolin", "kathrin"), 3);
+        assert_eq!(Hamming.distance("abc", "abcd"), 1);
+        assert_eq!(Hamming.distance("", "abcd"), 4);
+        assert_eq!(Hamming.distance("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn lcp_len_basics() {
+        assert_eq!(lcp_len(b"abc", b"abd"), 2);
+        assert_eq!(lcp_len(b"", b"abd"), 0);
+        assert_eq!(lcp_len(b"same", b"same"), 4);
+    }
+
+    #[test]
+    fn string_and_vec_impls_delegate() {
+        let a = String::from("kitten");
+        let b = String::from("sitting");
+        assert_eq!(Metric::<String>::distance(&Levenshtein, &a, &b), 3);
+        let av = a.clone().into_bytes();
+        let bv = b.clone().into_bytes();
+        assert_eq!(Metric::<Vec<u8>>::distance(&Levenshtein, &av, &bv), 3);
+    }
+
+    #[test]
+    fn levenshtein_never_exceeds_prefix_distance() {
+        // Prefix edits are a restricted edit model, so lev <= prefix always.
+        let words = ["", "a", "ab", "abc", "abd", "xbc", "hello", "help", "yelp"];
+        for x in words {
+            for y in words {
+                assert!(
+                    Levenshtein.distance(x, y) <= PrefixDistance.distance(x, y),
+                    "lev > prefix for ({x}, {y})"
+                );
+            }
+        }
+    }
+}

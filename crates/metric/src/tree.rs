@@ -1,0 +1,354 @@
+//! Weighted tree metric spaces (Definition 2 of the paper).
+//!
+//! A [`Tree`] holds a connected acyclic graph with positive integer edge
+//! weights; the induced [`TreeMetric`] measures the weight of the unique
+//! path between two vertices.  Distances are answered in O(log n) after
+//! O(n log n) preprocessing (binary-lifting LCA), with a BFS reference path
+//! retained for the test suite.
+//!
+//! Integer weights keep the metric exact, so distance-permutation
+//! tie-breaking matches the paper's definition with no floating-point
+//! ambiguity.  Unweighted trees are the all-weights-1 special case.
+//!
+//! Builders cover the shapes the paper's arguments use: [`Tree::path`]
+//! (Corollary 5's long path), [`Tree::star`], [`Tree::caterpillar`],
+//! [`Tree::random`] (random attachment, deterministic via seed), and
+//! [`Tree::from_edges`] for arbitrary trees.
+
+use crate::Metric;
+
+/// A tree on vertices `0..n` with positive integer edge weights.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    n: usize,
+    adj: Vec<Vec<(u32, u64)>>,
+    depth_w: Vec<u64>,
+    depth_e: Vec<u32>,
+    up: Vec<Vec<u32>>,
+    log: usize,
+}
+
+impl Tree {
+    /// Builds a tree from an edge list `(u, v, weight)` on vertices `0..n`.
+    ///
+    /// # Panics
+    /// Panics if the edges do not form a tree on `0..n` (wrong count, self
+    /// loops, out-of-range endpoints, disconnected, or a cycle) or if any
+    /// weight is zero.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, u64)]) -> Self {
+        assert!(n > 0, "a tree needs at least one vertex");
+        assert_eq!(edges.len(), n - 1, "a tree on {n} vertices has {} edges", n - 1);
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            assert_ne!(u, v, "self loop at {u}");
+            assert!(w > 0, "edge weights must be positive");
+            adj[u].push((v as u32, w));
+            adj[v].push((u as u32, w));
+        }
+
+        // Root at 0; BFS to assign parents and depths, verifying
+        // connectivity (n-1 edges + connected == tree).
+        let log = usize::BITS as usize - n.leading_zeros() as usize;
+        let mut up = vec![vec![0u32; n]; log.max(1)];
+        let mut depth_w = vec![0u64; n];
+        let mut depth_e = vec![0u32; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        seen[0] = true;
+        queue.push_back(0u32);
+        let mut visited = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &(v, w) in &adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    visited += 1;
+                    up[0][v as usize] = u;
+                    depth_w[v as usize] = depth_w[u as usize] + w;
+                    depth_e[v as usize] = depth_e[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert_eq!(visited, n, "edge list is disconnected (visited {visited} of {n})");
+
+        for level in 1..up.len() {
+            for v in 0..n {
+                let mid = up[level - 1][v] as usize;
+                up[level][v] = up[level - 1][mid];
+            }
+        }
+
+        let log = up.len();
+        Self { n, adj, depth_w, depth_e, up, log }
+    }
+
+    /// A path of `edges` unit-weight edges on vertices `0..=edges`
+    /// (Corollary 5 uses a path of `2^(k-1)` edges).
+    pub fn path(edges: usize) -> Self {
+        Self::weighted_path(&vec![1; edges])
+    }
+
+    /// A path whose i-th edge (between vertices i and i+1) has the given
+    /// weight.
+    pub fn weighted_path(weights: &[u64]) -> Self {
+        let edges: Vec<_> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i, i + 1, w))
+            .collect();
+        Self::from_edges(weights.len() + 1, &edges)
+    }
+
+    /// A star: vertex 0 joined to `leaves` leaves by unit edges.
+    pub fn star(leaves: usize) -> Self {
+        let edges: Vec<_> = (0..leaves).map(|i| (0, i + 1, 1)).collect();
+        Self::from_edges(leaves + 1, &edges)
+    }
+
+    /// A caterpillar: a unit path of `spine` vertices, each with `legs`
+    /// pendant leaves.
+    pub fn caterpillar(spine: usize, legs: usize) -> Self {
+        assert!(spine > 0);
+        let n = spine + spine * legs;
+        let mut edges = Vec::with_capacity(n - 1);
+        for i in 1..spine {
+            edges.push((i - 1, i, 1));
+        }
+        let mut next = spine;
+        for s in 0..spine {
+            for _ in 0..legs {
+                edges.push((s, next, 1));
+                next += 1;
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A deterministic pseudo-random tree: vertex v (v ≥ 1) attaches to a
+    /// uniformly chosen earlier vertex with weight in `1..=max_weight`.
+    ///
+    /// Uses a local SplitMix64 stream so this crate stays dependency-free;
+    /// the same seed always produces the same tree.
+    pub fn random(n: usize, max_weight: u64, seed: u64) -> Self {
+        assert!(n > 0 && max_weight > 0);
+        let mut state = seed;
+        let mut next = move || {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let edges: Vec<_> = (1..n)
+            .map(|v| {
+                let parent = (next() % v as u64) as usize;
+                let w = 1 + next() % max_weight;
+                (parent, v, w)
+            })
+            .collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the tree is the single-vertex tree (it always has ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> + '_ {
+        0..self.n
+    }
+
+    /// Neighbours of `v` with edge weights.
+    pub fn neighbours(&self, v: usize) -> &[(u32, u64)] {
+        &self.adj[v]
+    }
+
+    /// Lowest common ancestor of `u` and `v` under the root 0.
+    pub fn lca(&self, mut u: usize, mut v: usize) -> usize {
+        if self.depth_e[u] < self.depth_e[v] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        let mut diff = self.depth_e[u] - self.depth_e[v];
+        let mut level = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                u = self.up[level][u] as usize;
+            }
+            diff >>= 1;
+            level += 1;
+        }
+        if u == v {
+            return u;
+        }
+        for level in (0..self.log).rev() {
+            if self.up[level][u] != self.up[level][v] {
+                u = self.up[level][u] as usize;
+                v = self.up[level][v] as usize;
+            }
+        }
+        self.up[0][u] as usize
+    }
+
+    /// Path weight between `u` and `v` via the LCA decomposition.
+    #[inline]
+    pub fn distance(&self, u: usize, v: usize) -> u64 {
+        let a = self.lca(u, v);
+        self.depth_w[u] + self.depth_w[v] - 2 * self.depth_w[a]
+    }
+
+    /// Path weight by explicit BFS — O(n), used to cross-check
+    /// [`Self::distance`] in tests.
+    pub fn distance_bfs(&self, u: usize, v: usize) -> u64 {
+        if u == v {
+            return 0;
+        }
+        let mut dist = vec![u64::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[u] = 0;
+        queue.push_back(u as u32);
+        while let Some(x) = queue.pop_front() {
+            for &(y, w) in &self.adj[x as usize] {
+                if dist[y as usize] == u64::MAX {
+                    dist[y as usize] = dist[x as usize] + w;
+                    if y as usize == v {
+                        return dist[v];
+                    }
+                    queue.push_back(y);
+                }
+            }
+        }
+        unreachable!("tree is connected");
+    }
+
+    /// The metric view of this tree.
+    pub fn metric(&self) -> TreeMetric<'_> {
+        TreeMetric { tree: self }
+    }
+}
+
+/// [`Metric`] adapter over a [`Tree`]; points are vertex ids.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeMetric<'a> {
+    tree: &'a Tree,
+}
+
+impl Metric<usize> for TreeMetric<'_> {
+    type Dist = u64;
+
+    #[inline]
+    fn distance(&self, a: &usize, b: &usize) -> u64 {
+        self.tree.distance(*a, *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_distances() {
+        let t = Tree::path(5);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.distance(0, 5), 5);
+        assert_eq!(t.distance(2, 4), 2);
+        assert_eq!(t.distance(3, 3), 0);
+    }
+
+    #[test]
+    fn weighted_path_distances() {
+        let t = Tree::weighted_path(&[2, 3, 10]);
+        assert_eq!(t.distance(0, 3), 15);
+        assert_eq!(t.distance(1, 3), 13);
+        assert_eq!(t.distance(0, 1), 2);
+    }
+
+    #[test]
+    fn star_distances() {
+        let t = Tree::star(4);
+        assert_eq!(t.distance(1, 2), 2);
+        assert_eq!(t.distance(0, 3), 1);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = Tree::caterpillar(3, 2);
+        assert_eq!(t.len(), 9);
+        // Leg of spine 0 to leg of spine 2: 1 + 2 + 1.
+        assert_eq!(t.distance(3, 7), 4);
+    }
+
+    #[test]
+    fn lca_matches_bfs_on_random_trees() {
+        for seed in 0..5u64 {
+            let t = Tree::random(60, 7, seed);
+            for u in (0..t.len()).step_by(7) {
+                for v in (0..t.len()).step_by(5) {
+                    assert_eq!(
+                        t.distance(u, v),
+                        t.distance_bfs(u, v),
+                        "seed {seed} pair ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metric_adapter_and_symmetry() {
+        let t = Tree::random(40, 3, 42);
+        let m = t.metric();
+        for u in 0..10 {
+            for v in 0..10 {
+                assert_eq!(m.distance(&u, &v), m.distance(&v, &u));
+            }
+            assert_eq!(m.distance(&u, &u), 0);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let t = Tree::random(30, 9, 7);
+        for x in 0..t.len() {
+            for y in 0..t.len() {
+                for z in [0, 7, 13, 29] {
+                    assert!(t.distance(x, y) <= t.distance(x, z) + t.distance(z, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let t = Tree::from_edges(1, &[]);
+        assert_eq!(t.distance(0, 0), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_rejected() {
+        // 4 vertices, 3 edges, but one edge duplicates a pair creating a
+        // cycle and leaving vertex 3 unreachable.
+        let _ = Tree::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = Tree::from_edges(2, &[(0, 1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges")]
+    fn wrong_edge_count_rejected() {
+        let _ = Tree::from_edges(3, &[(0, 1, 1)]);
+    }
+}

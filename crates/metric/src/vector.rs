@@ -1,0 +1,247 @@
+//! Minkowski Lp metrics over real vectors.
+//!
+//! These are the spaces of Section 4 of the paper: for points
+//! x = ⟨x₁…x_d⟩ and y = ⟨y₁…y_d⟩,
+//!
+//! * `L1`  — Manhattan distance Σ|xᵢ−yᵢ| (bisectors are unions of ≤ 2^{2d}
+//!   hyperplanes, Theorem 9);
+//! * `L2`  — Euclidean distance (Theorem 7's exact recurrence);
+//! * `LInf` — Chebyshev distance max|xᵢ−yᵢ| (≤ 4d² hyperplanes, Theorem 9);
+//! * `Lp(p)` — general Minkowski distance for p ≥ 1.
+//!
+//! [`L2Squared`] compares equal to `L2` under any monotone use (such as
+//! distance permutations) while avoiding the square root; the workspace's
+//! counting experiments use it for speed and for exactness on integer
+//! coordinates.
+
+use crate::dist::F64Dist;
+use crate::Metric;
+
+/// Manhattan (L1) metric: Σᵢ |xᵢ − yᵢ|.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1;
+
+/// Euclidean (L2) metric: √(Σᵢ (xᵢ − yᵢ)²).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L2;
+
+/// Squared Euclidean distance: Σᵢ (xᵢ − yᵢ)².
+///
+/// Not itself a metric (it violates the triangle inequality) but strictly
+/// monotone in `L2`, so it induces **identical distance permutations** while
+/// being cheaper and exact on small-integer coordinates.  Use it wherever
+/// only relative order matters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L2Squared;
+
+/// Chebyshev (L∞) metric: maxᵢ |xᵢ − yᵢ|.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LInf;
+
+/// General Minkowski Lp metric, p ≥ 1: (Σᵢ |xᵢ − yᵢ|^p)^{1/p}.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lp {
+    p: f64,
+}
+
+impl Lp {
+    /// Creates an Lp metric.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` (the Minkowski form is not a metric for p < 1).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Lp requires p >= 1, got {p}");
+        Self { p }
+    }
+
+    /// The exponent p.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+#[inline]
+fn check_dims(a: &[f64], b: &[f64]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "vector metric applied to vectors of different dimension ({} vs {})",
+        a.len(),
+        b.len()
+    );
+}
+
+impl Metric<[f64]> for L1 {
+    type Dist = F64Dist;
+
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> F64Dist {
+        check_dims(a, b);
+        let mut sum = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            sum += (x - y).abs();
+        }
+        F64Dist::new(sum)
+    }
+}
+
+impl Metric<[f64]> for L2 {
+    type Dist = F64Dist;
+
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> F64Dist {
+        F64Dist::new(L2Squared.distance(a, b).get().sqrt())
+    }
+}
+
+impl Metric<[f64]> for L2Squared {
+    type Dist = F64Dist;
+
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> F64Dist {
+        check_dims(a, b);
+        let mut sum = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            let d = x - y;
+            sum += d * d;
+        }
+        F64Dist::new(sum)
+    }
+}
+
+impl Metric<[f64]> for LInf {
+    type Dist = F64Dist;
+
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> F64Dist {
+        check_dims(a, b);
+        let mut max = 0.0f64;
+        for (x, y) in a.iter().zip(b.iter()) {
+            max = max.max((x - y).abs());
+        }
+        F64Dist::new(max)
+    }
+}
+
+impl Metric<[f64]> for Lp {
+    type Dist = F64Dist;
+
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> F64Dist {
+        check_dims(a, b);
+        if self.p == 1.0 {
+            return L1.distance(a, b);
+        }
+        if self.p == 2.0 {
+            return L2.distance(a, b);
+        }
+        let mut sum = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            sum += (x - y).abs().powf(self.p);
+        }
+        F64Dist::new(sum.powf(1.0 / self.p))
+    }
+}
+
+macro_rules! impl_for_vec {
+    ($($m:ty),*) => {$(
+        impl Metric<Vec<f64>> for $m {
+            type Dist = F64Dist;
+
+            #[inline]
+            fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> F64Dist {
+                Metric::<[f64]>::distance(self, a.as_slice(), b.as_slice())
+            }
+        }
+    )*};
+}
+
+impl_for_vec!(L1, L2, L2Squared, LInf, Lp);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [0.0, 0.0, 0.0];
+    const B: [f64; 3] = [1.0, -2.0, 2.0];
+
+    #[test]
+    fn l1_distance() {
+        assert_eq!(L1.distance(&A[..], &B[..]).get(), 5.0);
+    }
+
+    #[test]
+    fn l2_distance() {
+        assert_eq!(L2.distance(&A[..], &B[..]).get(), 3.0);
+        assert_eq!(L2Squared.distance(&A[..], &B[..]).get(), 9.0);
+    }
+
+    #[test]
+    fn linf_distance() {
+        assert_eq!(LInf.distance(&A[..], &B[..]).get(), 2.0);
+    }
+
+    #[test]
+    fn lp_specialises_to_l1_l2() {
+        let a = [0.3, 0.7, -0.2];
+        let b = [1.1, 0.0, 0.4];
+        assert_eq!(Lp::new(1.0).distance(&a[..], &b[..]), L1.distance(&a[..], &b[..]));
+        assert_eq!(Lp::new(2.0).distance(&a[..], &b[..]), L2.distance(&a[..], &b[..]));
+    }
+
+    #[test]
+    fn lp_p4_matches_hand_computation() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let d = Lp::new(4.0).distance(&a[..], &b[..]).get();
+        assert!((d - 2.0f64.powf(0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_ordering_between_l1_and_linf() {
+        // For any pair, L1 >= Lp >= Linf when p >= 1.
+        let a = [0.1, 0.9, 0.4, 0.2];
+        let b = [0.8, 0.2, 0.6, 0.9];
+        let d1 = L1.distance(&a[..], &b[..]).get();
+        let d3 = Lp::new(3.0).distance(&a[..], &b[..]).get();
+        let di = LInf.distance(&a[..], &b[..]).get();
+        assert!(d1 >= d3 && d3 >= di);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let a = [0.5, -0.25, 3.0];
+        let b = [2.0, 1.0, -1.0];
+        for d in [
+            L1.distance(&a[..], &a[..]),
+            L2.distance(&a[..], &a[..]),
+            LInf.distance(&a[..], &a[..]),
+        ] {
+            assert_eq!(d.get(), 0.0);
+        }
+        assert_eq!(L1.distance(&a[..], &b[..]), L1.distance(&b[..], &a[..]));
+        assert_eq!(L2.distance(&a[..], &b[..]), L2.distance(&b[..], &a[..]));
+        assert_eq!(LInf.distance(&a[..], &b[..]), LInf.distance(&b[..], &a[..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimension")]
+    fn dimension_mismatch_panics() {
+        let _ = L1.distance(&[0.0][..], &[0.0, 1.0][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn lp_below_one_rejected() {
+        let _ = Lp::new(0.5);
+    }
+
+    #[test]
+    fn vec_impls_delegate() {
+        let a = vec![0.0, 1.0];
+        let b = vec![3.0, 5.0];
+        assert_eq!(L1.distance(&a, &b).get(), 7.0);
+        assert_eq!(L2.distance(&a, &b).get(), 5.0);
+        assert_eq!(LInf.distance(&a, &b).get(), 4.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! In-crate property tests for the metric substrate.
+
+use dp_metric::axioms::check_metric;
+use dp_metric::fourpoint::check_four_point;
+use dp_metric::{Levenshtein, Lp, Metric, PrefixDistance, Tree, L1, L2, LInf};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lp_axioms_hold_for_random_exponents(
+        p in 1.0f64..8.0,
+        points in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 3..6),
+    ) {
+        prop_assert!(check_metric(&Lp::new(p), &points, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn lp_converges_to_linf(points in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 4), 2..4)) {
+        // For large p, Lp approaches Linf from above.
+        let big = Lp::new(64.0);
+        for a in &points {
+            for b in &points {
+                let dp = big.distance(a, b).get();
+                let di = LInf.distance(a, b).get();
+                prop_assert!(dp >= di - 1e-9);
+                prop_assert!(dp <= di * 1.2 + 1e-9, "Lp64 {dp} vs Linf {di}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_lca_distance_matches_bfs(seed in 0u64..500, n in 2usize..40) {
+        let t = Tree::random(n, 5, seed);
+        for u in 0..n.min(8) {
+            for v in 0..n.min(8) {
+                prop_assert_eq!(t.distance(u, v), t.distance_bfs(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_metrics_satisfy_four_point(seed in 0u64..200) {
+        let t = Tree::random(9, 4, seed);
+        let pts: Vec<usize> = t.vertices().collect();
+        prop_assert!(check_four_point(&t.metric(), &pts, 0.0).is_ok());
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_length_difference_and_max_len(
+        a in "[a-e]{0,12}",
+        b in "[a-e]{0,12}",
+    ) {
+        let d = Levenshtein.distance(a.as_str(), b.as_str());
+        prop_assert!(d as usize >= a.len().abs_diff(b.len()));
+        prop_assert!(d as usize <= a.len().max(b.len()));
+        prop_assert!(u32::from(d == 0) == u32::from(a == b));
+    }
+
+    #[test]
+    fn prefix_distance_dominates_levenshtein(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+        prop_assert!(
+            Levenshtein.distance(a.as_str(), b.as_str())
+                <= PrefixDistance.distance(a.as_str(), b.as_str())
+        );
+    }
+
+    #[test]
+    fn vector_metric_translation_invariance(
+        a in prop::collection::vec(-20.0f64..20.0, 3),
+        b in prop::collection::vec(-20.0f64..20.0, 3),
+        t in prop::collection::vec(-20.0f64..20.0, 3),
+    ) {
+        let at: Vec<f64> = a.iter().zip(&t).map(|(x, s)| x + s).collect();
+        let bt: Vec<f64> = b.iter().zip(&t).map(|(x, s)| x + s).collect();
+        for (da, db) in [
+            (L1.distance(&a[..], &b[..]), L1.distance(&at[..], &bt[..])),
+            (LInf.distance(&a[..], &b[..]), LInf.distance(&at[..], &bt[..])),
+        ] {
+            prop_assert!((da.get() - db.get()).abs() < 1e-9);
+        }
+        let d2 = L2.distance(&a[..], &b[..]).get();
+        let d2t = L2.distance(&at[..], &bt[..]).get();
+        prop_assert!((d2 - d2t).abs() < 1e-9);
+    }
+}

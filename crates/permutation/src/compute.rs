@@ -1,0 +1,193 @@
+//! Computing distance permutations (the paper's Π_y).
+//!
+//! `Π_y` is the unique permutation sorting site indices by increasing
+//! distance from `y`, ties broken by increasing site index.  Sorting on the
+//! pair `(distance, index)` realises exactly that rule, and because
+//! [`dp_metric::Distance`] is totally ordered the result is deterministic.
+
+use crate::perm::{Permutation, MAX_K};
+use dp_metric::Metric;
+
+/// Computes the distance permutation of `query` with respect to `sites`.
+///
+/// Performs exactly `sites.len()` metric evaluations.  Convenience wrapper
+/// around [`DistPermComputer`] for one-off calls; bulk scans should reuse a
+/// computer to avoid per-call allocation.
+///
+/// # Panics
+/// Panics if `sites.len() > MAX_K`.
+pub fn distance_permutation<P, M: Metric<P>>(
+    metric: &M,
+    sites: &[P],
+    query: &P,
+) -> Permutation {
+    DistPermComputer::new(sites.len()).compute(metric, sites, query)
+}
+
+/// Reusable scratch state for computing distance permutations without
+/// per-call allocation.
+///
+/// The scratch is a `(distance, site index)` vector sorted per query; the
+/// index in the sort key implements the paper's tie-break.
+#[derive(Debug, Clone)]
+pub struct DistPermComputer<D> {
+    scratch: Vec<(D, u8)>,
+    k: usize,
+}
+
+impl<D: dp_metric::Distance> DistPermComputer<D> {
+    /// Creates a computer for `k` sites.
+    ///
+    /// # Panics
+    /// Panics if `k > MAX_K`.
+    pub fn new(k: usize) -> Self {
+        assert!(k <= MAX_K, "k = {k} exceeds MAX_K = {MAX_K}");
+        Self { scratch: Vec::with_capacity(k), k }
+    }
+
+    /// Number of sites this computer was sized for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Computes Π_query for `sites` (must have length `k`).
+    pub fn compute<P, M: Metric<P, Dist = D>>(
+        &mut self,
+        metric: &M,
+        sites: &[P],
+        query: &P,
+    ) -> Permutation {
+        assert_eq!(sites.len(), self.k, "site count changed under computer");
+        self.scratch.clear();
+        for (i, site) in sites.iter().enumerate() {
+            self.scratch.push((metric.distance(site, query), i as u8));
+        }
+        // (distance, site index) — the index component is the tie-break.
+        self.scratch.sort_unstable();
+        let mut items = [0u8; MAX_K];
+        for (slot, &(_, i)) in items.iter_mut().zip(self.scratch.iter()) {
+            *slot = i;
+        }
+        Permutation::from_sorted_indices(&items[..self.k])
+    }
+
+    /// Computes Π_query and also returns the sorted `(distance, site)`
+    /// pairs — used by index structures that need the distances anyway.
+    pub fn compute_with_distances<P, M: Metric<P, Dist = D>>(
+        &mut self,
+        metric: &M,
+        sites: &[P],
+        query: &P,
+    ) -> (Permutation, &[(D, u8)]) {
+        let perm = self.compute(metric, sites, query);
+        (perm, &self.scratch)
+    }
+}
+
+/// Computes the distance permutation of every database element.
+///
+/// This is the core of the paper's `distperm` index build: `k·n` metric
+/// evaluations producing one permutation per element.
+pub fn database_permutations<P, M: Metric<P>>(
+    metric: &M,
+    sites: &[P],
+    database: &[P],
+) -> Vec<Permutation> {
+    let mut computer = DistPermComputer::new(sites.len());
+    database
+        .iter()
+        .map(|y| computer.compute(metric, sites, y))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metric::{Levenshtein, L1, L2};
+
+    #[test]
+    fn permutation_sorts_sites_by_distance() {
+        // Sites on a line at 0, 10, 4; query at 3 -> nearest 4 (idx 2),
+        // then 0 (idx 0), then 10 (idx 1).
+        let sites = vec![vec![0.0], vec![10.0], vec![4.0]];
+        let q = vec![3.0];
+        let p = distance_permutation(&L2, &sites, &q);
+        assert_eq!(p.as_slice(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn tie_break_uses_smaller_site_index() {
+        // Sites at -1 and +1; query at 0 is equidistant: site 0 wins.
+        let sites = vec![vec![-1.0], vec![1.0]];
+        let p = distance_permutation(&L2, &sites, &vec![0.0]);
+        assert_eq!(p.as_slice(), &[0, 1]);
+
+        // Renumber the sites the other way; the tie still favours index 0,
+        // which is now the +1 site.
+        let sites = vec![vec![1.0], vec![-1.0]];
+        let p = distance_permutation(&L2, &sites, &vec![0.0]);
+        assert_eq!(p.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn query_at_a_site_puts_that_site_first() {
+        let sites = vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![-3.0, 2.0]];
+        for (i, s) in sites.iter().enumerate() {
+            let p = distance_permutation(&L1, &sites, s);
+            assert_eq!(p.get(0) as usize, i);
+        }
+    }
+
+    #[test]
+    fn works_for_string_metrics() {
+        let sites: Vec<String> = ["hello", "help", "world"].map(String::from).to_vec();
+        let q = String::from("helm");
+        let p = distance_permutation(&Levenshtein, &sites, &q);
+        // d(hello, helm)=2, d(help, helm)=1, d(world, helm)=4.
+        assert_eq!(p.as_slice(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn computer_reuse_matches_oneshot() {
+        let sites = vec![vec![0.0, 1.0], vec![2.0, -1.0], vec![0.5, 0.5], vec![9.0, 9.0]];
+        let queries = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![-5.0, 3.0]];
+        let mut computer = DistPermComputer::new(sites.len());
+        for q in &queries {
+            assert_eq!(
+                computer.compute(&L2, &sites, q),
+                distance_permutation(&L2, &sites, q)
+            );
+        }
+    }
+
+    #[test]
+    fn compute_with_distances_returns_sorted_pairs() {
+        let sites = vec![vec![0.0], vec![10.0], vec![4.0]];
+        let mut computer = DistPermComputer::new(3);
+        let (p, pairs) = computer.compute_with_distances(&L2, &sites, &vec![3.0]);
+        assert_eq!(p.as_slice(), &[2, 0, 1]);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(pairs[0].1, 2);
+    }
+
+    #[test]
+    fn database_permutations_bulk() {
+        let sites = vec![vec![0.0], vec![1.0]];
+        let db = vec![vec![-1.0], vec![0.4], vec![0.6], vec![2.0]];
+        let perms = database_permutations(&L2, &sites, &db);
+        assert_eq!(perms.len(), 4);
+        assert_eq!(perms[0].as_slice(), &[0, 1]);
+        assert_eq!(perms[1].as_slice(), &[0, 1]);
+        assert_eq!(perms[2].as_slice(), &[1, 0]);
+        assert_eq!(perms[3].as_slice(), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "site count changed")]
+    fn site_count_mismatch_panics() {
+        let mut computer: DistPermComputer<dp_metric::F64Dist> = DistPermComputer::new(2);
+        let sites = vec![vec![0.0]];
+        let _ = computer.compute(&L2, &sites, &vec![0.0]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Counting distinct distance permutations.
+//!
+//! This is the measurement the paper's experiments perform: enumerate the
+//! distance permutation of every database element and count the distinct
+//! values (`sort | uniq | wc` over the SISAP `build-distperm-*` output, §5).
+//! [`PermutationCounter`] does it in-memory with an Fx-hashed set and also
+//! tracks occupancy (how many elements map to each permutation), which
+//! Table 2's analysis uses ("about 10 database points per permutation").
+
+use crate::compute::DistPermComputer;
+use crate::fxhash::FxHashMap;
+use crate::perm::Permutation;
+use dp_metric::Metric;
+
+/// Accumulates distance permutations and distinct-count statistics.
+#[derive(Debug, Clone, Default)]
+pub struct PermutationCounter {
+    counts: FxHashMap<Permutation, u64>,
+    total: u64,
+}
+
+impl PermutationCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of `p`.
+    pub fn insert(&mut self, p: Permutation) {
+        *self.counts.entry(p).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of distinct permutations observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean occupancy: observations per distinct permutation.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.counts.len() as f64
+        }
+    }
+
+    /// Iterator over `(permutation, occurrence count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Permutation, &u64)> {
+        self.counts.iter()
+    }
+
+    /// The observed permutations, sorted lexicographically — a stable order
+    /// for codebook assignment and for diffing against other runs.
+    pub fn sorted_permutations(&self) -> Vec<Permutation> {
+        let mut v: Vec<Permutation> = self.counts.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &PermutationCounter) {
+        for (&p, &c) in other.counts.iter() {
+            *self.counts.entry(p).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Occupancy histogram: `histogram[i]` = number of permutations seen
+    /// exactly `i+1` times (Fig 7's "cells the database happens to miss"
+    /// analysis looks at the other side of this distribution).
+    pub fn occupancy_histogram(&self) -> Vec<u64> {
+        let max = self.counts.values().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0u64; max];
+        for &c in self.counts.values() {
+            hist[(c - 1) as usize] += 1;
+        }
+        hist
+    }
+
+    /// The most heavily occupied permutation and its count.
+    pub fn mode(&self) -> Option<(Permutation, u64)> {
+        self.counts
+            .iter()
+            .map(|(&p, &c)| (p, c))
+            .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)))
+    }
+}
+
+/// A fixed-universe distinct counter over permutation *ranks*: a bitmap of
+/// k! bits.
+///
+/// For small k (k ≤ 10, so k! ≤ 3,628,800 bits ≈ 450 KB) this is an exact
+/// alternative to the hash-set counter with zero per-insert allocation and
+/// perfect cache behaviour on dense universes — the ablation benchmark
+/// `counting_strategies` compares the two.
+#[derive(Debug, Clone)]
+pub struct RankBitmap {
+    k: usize,
+    words: Vec<u64>,
+    distinct: usize,
+    total: u64,
+}
+
+impl RankBitmap {
+    /// Creates a bitmap counter for permutations of length `k`.
+    ///
+    /// # Panics
+    /// Panics if `k > 12` (12! bits = 57 MB is the sensible ceiling).
+    pub fn new(k: usize) -> Self {
+        assert!(k <= 12, "k = {k}: k! bitmap would exceed memory budget");
+        let universe = crate::lehmer::factorial(k) as usize;
+        Self { k, words: vec![0u64; universe.div_ceil(64)], distinct: 0, total: 0 }
+    }
+
+    /// Records one occurrence of `p`.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != k`.
+    pub fn insert(&mut self, p: &Permutation) {
+        assert_eq!(p.len(), self.k, "permutation length mismatch");
+        let r = crate::lehmer::rank(p) as usize;
+        let (word, bit) = (r / 64, r % 64);
+        if self.words[word] & (1 << bit) == 0 {
+            self.words[word] |= 1 << bit;
+            self.distinct += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Number of distinct permutations seen.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// Total insertions.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Counts the distinct distance permutations of `database` w.r.t. `sites`.
+///
+/// The headline operation of the paper: |{Π_y : y ∈ database}|.
+pub fn count_distinct<P, M: Metric<P>>(
+    metric: &M,
+    sites: &[P],
+    database: &[P],
+) -> usize {
+    collect_counter(metric, sites, database).distinct()
+}
+
+/// Runs the full scan and returns the counter (distinct count + occupancy).
+pub fn collect_counter<P, M: Metric<P>>(
+    metric: &M,
+    sites: &[P],
+    database: &[P],
+) -> PermutationCounter {
+    let mut computer = DistPermComputer::new(sites.len());
+    let mut counter = PermutationCounter::new();
+    for y in database {
+        counter.insert(computer.compute(metric, sites, y));
+    }
+    counter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metric::L2;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = PermutationCounter::new();
+        let a = Permutation::identity(3);
+        let b = Permutation::from_slice(&[1, 0, 2]).unwrap();
+        c.insert(a);
+        c.insert(a);
+        c.insert(b);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.total(), 3);
+        assert!((c.mean_occupancy() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = PermutationCounter::new();
+        assert_eq!(c.distinct(), 0);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = PermutationCounter::new();
+        let mut b = PermutationCounter::new();
+        let p = Permutation::identity(2);
+        let q = Permutation::from_slice(&[1, 0]).unwrap();
+        a.insert(p);
+        b.insert(p);
+        b.insert(q);
+        a.merge(&b);
+        assert_eq!(a.distinct(), 2);
+        assert_eq!(a.total(), 3);
+        let pc = a.iter().find(|(x, _)| **x == p).map(|(_, c)| *c);
+        assert_eq!(pc, Some(2));
+    }
+
+    #[test]
+    fn one_dimensional_two_sites_yields_two_permutations() {
+        // Sites at 0 and 1; the bisector is the midpoint 0.5: points left
+        // of it see [0,1], points right see [1,0].
+        let sites = vec![vec![0.0], vec![1.0]];
+        let db: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 50.0 - 0.5]).collect();
+        assert_eq!(count_distinct(&L2, &sites, &db), 2);
+    }
+
+    #[test]
+    fn one_dimensional_count_bounded_by_theorem() {
+        // N_{1,2}(k) = C(k,2) + 1. With k=4 sites on a line, at most 7.
+        let sites: Vec<Vec<f64>> = vec![vec![0.0], vec![0.3], vec![0.55], vec![1.0]];
+        let db: Vec<Vec<f64>> = (0..2000).map(|i| vec![i as f64 / 1000.0 - 0.5]).collect();
+        let n = count_distinct(&L2, &sites, &db);
+        assert!(n <= 7, "got {n} > C(4,2)+1");
+        assert_eq!(n, 7, "a dense 1-D sweep should realise all cells");
+    }
+
+    #[test]
+    fn occupancy_histogram_and_mode() {
+        let mut c = PermutationCounter::new();
+        let a = Permutation::identity(3);
+        let b = Permutation::from_slice(&[1, 0, 2]).unwrap();
+        let d = Permutation::from_slice(&[2, 1, 0]).unwrap();
+        for _ in 0..3 {
+            c.insert(a);
+        }
+        c.insert(b);
+        c.insert(d);
+        // Two permutations seen once, one seen three times.
+        assert_eq!(c.occupancy_histogram(), vec![2, 0, 1]);
+        assert_eq!(c.mode(), Some((a, 3)));
+        let empty = PermutationCounter::new();
+        assert!(empty.occupancy_histogram().is_empty());
+        assert_eq!(empty.mode(), None);
+    }
+
+    #[test]
+    fn rank_bitmap_matches_hash_counter() {
+        let sites = vec![vec![0.0, 0.3], vec![0.9, 0.1], vec![0.5, 0.8], vec![0.2, 0.9]];
+        let db: Vec<Vec<f64>> = (0..800)
+            .map(|i| vec![(i % 40) as f64 / 40.0, (i / 40) as f64 / 20.0])
+            .collect();
+        let counter = collect_counter(&L2, &sites, &db);
+        let mut bitmap = RankBitmap::new(4);
+        let mut computer = crate::compute::DistPermComputer::new(4);
+        for y in &db {
+            bitmap.insert(&computer.compute(&L2, &sites, y));
+        }
+        assert_eq!(bitmap.distinct(), counter.distinct());
+        assert_eq!(bitmap.total(), counter.total());
+    }
+
+    #[test]
+    fn rank_bitmap_counts_duplicates_once() {
+        let mut bm = RankBitmap::new(3);
+        let p = Permutation::identity(3);
+        bm.insert(&p);
+        bm.insert(&p);
+        assert_eq!(bm.distinct(), 1);
+        assert_eq!(bm.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory budget")]
+    fn rank_bitmap_rejects_large_k() {
+        let _ = RankBitmap::new(13);
+    }
+
+    #[test]
+    fn sorted_permutations_is_sorted_and_complete() {
+        let sites = vec![vec![0.0], vec![0.4], vec![1.0]];
+        let db: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 / 250.0 - 0.5]).collect();
+        let counter = collect_counter(&L2, &sites, &db);
+        let sorted = counter.sorted_permutations();
+        assert_eq!(sorted.len(), counter.distinct());
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,341 @@
+//! Compact storage of distance permutations.
+//!
+//! The paper's storage argument (§1, §4): an unrestricted permutation of k
+//! sites needs Θ(k log k) bits, but when the space limits the achievable
+//! set to N permutations, "the bound can be achieved simply by storing the
+//! full permutations in a separate table and storing the index numbers into
+//! that table alongside the points".  [`Codebook`] is that table; in
+//! d-dimensional Euclidean space its ids take ⌈log₂ N_{d,2}(k)⌉ = Θ(d log k)
+//! bits each.
+//!
+//! [`pack`]/[`unpack`] provide the naive alternative (⌈log₂ k⌉ bits per
+//! element) so the two strategies can be compared byte-for-byte in the
+//! storage experiment (E13).
+
+use crate::fxhash::FxHashMap;
+use crate::perm::{Permutation, PermutationError};
+
+/// Bits needed per element for naive positional packing: ⌈log₂ k⌉ (k ≥ 2).
+pub fn element_bits(k: usize) -> u32 {
+    match k {
+        0 | 1 => 0,
+        _ => usize::BITS - (k - 1).leading_zeros(),
+    }
+}
+
+/// Packs a permutation into a little-endian bit string of
+/// `k * element_bits(k)` bits.
+pub fn pack(p: &Permutation) -> Vec<u8> {
+    let k = p.len();
+    let bits = element_bits(k) as usize;
+    let total_bits = k * bits;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    for (i, &e) in p.as_slice().iter().enumerate() {
+        let mut value = e as usize;
+        let mut pos = i * bits;
+        let mut remaining = bits;
+        while remaining > 0 {
+            let byte = pos / 8;
+            let bit = pos % 8;
+            let take = remaining.min(8 - bit);
+            out[byte] |= ((value & ((1 << take) - 1)) as u8) << bit;
+            value >>= take;
+            pos += take;
+            remaining -= take;
+        }
+    }
+    out
+}
+
+/// Unpacks a permutation of length `k` previously produced by [`pack`].
+pub fn unpack(bytes: &[u8], k: usize) -> Result<Permutation, PermutationError> {
+    let bits = element_bits(k) as usize;
+    let mut items = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut value = 0usize;
+        let mut pos = i * bits;
+        let mut got = 0;
+        while got < bits {
+            let byte = pos / 8;
+            let bit = pos % 8;
+            let take = (bits - got).min(8 - bit);
+            let chunk = (bytes.get(byte).copied().unwrap_or(0) >> bit) & ((1u16 << take) - 1) as u8;
+            value |= (chunk as usize) << got;
+            got += take;
+            pos += take;
+        }
+        items.push(value as u8);
+    }
+    if k == 1 {
+        // element_bits(1) = 0, so the single element is implicit.
+        return Permutation::from_slice(&[0]);
+    }
+    Permutation::from_slice(&items)
+}
+
+/// A permutation → small-integer-id table (the paper's storage strategy).
+///
+/// Ids are assigned in first-seen order; [`Codebook::id_bits`] is the
+/// per-element storage cost once the codebook is built.  Build one from a
+/// database scan with `collect()` (it implements `FromIterator`).
+#[derive(Debug, Clone, Default)]
+pub struct Codebook {
+    to_id: FxHashMap<Permutation, u32>,
+    from_id: Vec<Permutation>,
+}
+
+impl Codebook {
+    /// An empty codebook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `p`, inserting it if new.
+    pub fn intern(&mut self, p: Permutation) -> u32 {
+        if let Some(&id) = self.to_id.get(&p) {
+            return id;
+        }
+        let id = self.from_id.len() as u32;
+        self.to_id.insert(p, id);
+        self.from_id.push(p);
+        id
+    }
+
+    /// Looks up the id of `p` without inserting.
+    pub fn id_of(&self, p: &Permutation) -> Option<u32> {
+        self.to_id.get(p).copied()
+    }
+
+    /// The permutation with a given id.
+    pub fn permutation(&self, id: u32) -> Option<&Permutation> {
+        self.from_id.get(id as usize)
+    }
+
+    /// Number of distinct permutations interned.
+    pub fn len(&self) -> usize {
+        self.from_id.len()
+    }
+
+    /// True iff no permutation has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.from_id.is_empty()
+    }
+
+    /// Bits per element needed to store an id: ⌈log₂ len⌉.
+    pub fn id_bits(&self) -> u32 {
+        element_bits(self.len())
+    }
+
+    /// Encodes a database of permutations as ids.
+    ///
+    /// # Panics
+    /// Panics if any permutation was not interned.
+    pub fn encode_all(&self, perms: &[Permutation]) -> Vec<u32> {
+        perms
+            .iter()
+            .map(|p| self.id_of(p).expect("permutation missing from codebook"))
+            .collect()
+    }
+
+    /// Decodes ids back to permutations.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn decode_all(&self, ids: &[u32]) -> Vec<Permutation> {
+        ids.iter()
+            .map(|&id| *self.permutation(id).expect("id out of range"))
+            .collect()
+    }
+}
+
+impl FromIterator<Permutation> for Codebook {
+    fn from_iter<I: IntoIterator<Item = Permutation>>(perms: I) -> Self {
+        let mut cb = Self::new();
+        for p in perms {
+            cb.intern(p);
+        }
+        cb
+    }
+}
+
+/// Packs a stream of codebook ids into a little-endian bit string of
+/// `bits` bits per id — the physical layout of the paper's
+/// ⌈log₂ N⌉-bits-per-element index.
+///
+/// # Panics
+/// Panics if any id needs more than `bits` bits, or `bits > 32`.
+pub fn pack_ids(ids: &[u32], bits: u32) -> Vec<u8> {
+    assert!(bits <= 32);
+    let mask: u64 = if bits == 0 { 0 } else { (1u64 << bits) - 1 };
+    let mut out = vec![0u8; (ids.len() * bits as usize).div_ceil(8)];
+    for (i, &id) in ids.iter().enumerate() {
+        assert!(u64::from(id) <= mask, "id {id} does not fit in {bits} bits");
+        let mut value = u64::from(id);
+        let mut pos = i * bits as usize;
+        let mut remaining = bits as usize;
+        while remaining > 0 {
+            let byte = pos / 8;
+            let bit = pos % 8;
+            let take = remaining.min(8 - bit);
+            out[byte] |= ((value & ((1 << take) - 1)) as u8) << bit;
+            value >>= take;
+            pos += take;
+            remaining -= take;
+        }
+    }
+    out
+}
+
+/// Unpacks `count` ids of `bits` bits each from a [`pack_ids`] stream.
+pub fn unpack_ids(bytes: &[u8], bits: u32, count: usize) -> Vec<u32> {
+    assert!(bits <= 32);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut value = 0u64;
+        let mut pos = i * bits as usize;
+        let mut got = 0usize;
+        while got < bits as usize {
+            let byte = pos / 8;
+            let bit = pos % 8;
+            let take = (bits as usize - got).min(8 - bit);
+            let chunk =
+                (bytes.get(byte).copied().unwrap_or(0) >> bit) & ((1u16 << take) - 1) as u8;
+            value |= u64::from(chunk) << got;
+            got += take;
+            pos += take;
+        }
+        out.push(value as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_bits_values() {
+        assert_eq!(element_bits(0), 0);
+        assert_eq!(element_bits(1), 0);
+        assert_eq!(element_bits(2), 1);
+        assert_eq!(element_bits(3), 2);
+        assert_eq!(element_bits(4), 2);
+        assert_eq!(element_bits(5), 3);
+        assert_eq!(element_bits(8), 3);
+        assert_eq!(element_bits(9), 4);
+        assert_eq!(element_bits(32), 5);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_all_k5() {
+        for p in Permutation::all(5) {
+            let bytes = pack(&p);
+            assert_eq!(bytes.len(), (5 * 3usize).div_ceil(8));
+            assert_eq!(unpack(&bytes, 5).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_various_k() {
+        for k in [1usize, 2, 3, 4, 7, 8, 12, 16] {
+            let p = Permutation::identity(k);
+            assert_eq!(unpack(&pack(&p), k).unwrap(), p, "identity k={k}");
+            let rev: Vec<u8> = (0..k as u8).rev().collect();
+            let r = Permutation::from_slice(&rev).unwrap();
+            assert_eq!(unpack(&pack(&r), k).unwrap(), r, "reverse k={k}");
+        }
+    }
+
+    #[test]
+    fn packed_size_matches_formula() {
+        // k = 12: 12 * 4 bits = 48 bits = 6 bytes (vs 12 bytes naive).
+        let p = Permutation::identity(12);
+        assert_eq!(pack(&p).len(), 6);
+    }
+
+    #[test]
+    fn codebook_assigns_first_seen_ids() {
+        let a = Permutation::identity(3);
+        let b = Permutation::from_slice(&[2, 1, 0]).unwrap();
+        let mut cb = Codebook::new();
+        assert_eq!(cb.intern(a), 0);
+        assert_eq!(cb.intern(b), 1);
+        assert_eq!(cb.intern(a), 0);
+        assert_eq!(cb.len(), 2);
+        assert_eq!(cb.permutation(1), Some(&b));
+        assert_eq!(cb.id_of(&a), Some(0));
+    }
+
+    #[test]
+    fn codebook_id_bits_tracks_size() {
+        let mut cb = Codebook::new();
+        assert_eq!(cb.id_bits(), 0);
+        for (i, p) in Permutation::all(4).enumerate() {
+            cb.intern(p);
+            let expected = element_bits(i + 1);
+            assert_eq!(cb.id_bits(), expected);
+        }
+        assert_eq!(cb.len(), 24);
+        assert_eq!(cb.id_bits(), 5);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let perms: Vec<Permutation> = Permutation::all(4).step_by(3).collect();
+        let cb: Codebook = perms.iter().copied().collect();
+        let ids = cb.encode_all(&perms);
+        assert_eq!(cb.decode_all(&ids), perms);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from codebook")]
+    fn encode_unknown_panics() {
+        let cb = Codebook::new();
+        let _ = cb.encode_all(&[Permutation::identity(2)]);
+    }
+
+    #[test]
+    fn pack_ids_roundtrip_all_widths() {
+        for bits in 1..=17u32 {
+            let max = (1u64 << bits) - 1;
+            let ids: Vec<u32> = (0..100u64).map(|i| ((i * 37) % (max + 1)) as u32).collect();
+            let stream = pack_ids(&ids, bits);
+            assert_eq!(stream.len(), (100 * bits as usize).div_ceil(8), "bits={bits}");
+            assert_eq!(unpack_ids(&stream, bits, 100), ids, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn pack_ids_zero_bits_for_singleton_codebook() {
+        // A database where every element has the same permutation needs 0
+        // bits per element.
+        let ids = vec![0u32; 50];
+        let stream = pack_ids(&ids, 0);
+        assert!(stream.is_empty());
+        assert_eq!(unpack_ids(&stream, 0, 50), ids);
+    }
+
+    #[test]
+    fn packed_stream_matches_storage_formula() {
+        // 10,000 elements at 11 bits/id = 13,750 bytes.
+        let ids = vec![1234u32; 10_000];
+        assert_eq!(pack_ids(&ids, 11).len(), 13_750);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_id_rejected() {
+        let _ = pack_ids(&[8], 3);
+    }
+
+    #[test]
+    fn end_to_end_codebook_pipeline() {
+        // permutations -> codebook -> ids -> packed bits -> back.
+        let perms: Vec<Permutation> = Permutation::all(4).collect();
+        let mut cb = Codebook::new();
+        let ids: Vec<u32> = perms.iter().map(|&p| cb.intern(p)).collect();
+        let stream = pack_ids(&ids, cb.id_bits());
+        let restored = cb.decode_all(&unpack_ids(&stream, cb.id_bits(), ids.len()));
+        assert_eq!(restored, perms);
+    }
+}

@@ -1,0 +1,128 @@
+//! A local FxHash-style hasher for hot permutation-counting paths.
+//!
+//! Distinct-permutation counting hashes millions of 33-byte `Permutation`
+//! values; SipHash (std's default) is a measurable cost there, and HashDoS
+//! resistance is irrelevant for an offline counting experiment.  This is
+//! the well-known Firefox/rustc "Fx" multiply-rotate hash, implemented
+//! locally (~40 lines) rather than pulling a non-approved dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                chunk.try_into().expect("4-byte chunk"),
+            )));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::Permutation;
+    use std::hash::{BuildHasher, Hash};
+
+    fn fx_hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = Permutation::from_slice(&[1, 0, 2]).unwrap();
+        let b = Permutation::from_slice(&[1, 0, 2]).unwrap();
+        assert_eq!(fx_hash_of(&a), fx_hash_of(&b));
+    }
+
+    #[test]
+    fn different_values_usually_hash_differently() {
+        // All 120 permutations of 5 elements should map to 120 hashes; a
+        // single collision here would indicate a broken mixer.
+        let hashes: std::collections::HashSet<u64> =
+            Permutation::all(5).map(|p| fx_hash_of(&p)).collect();
+        assert_eq!(hashes.len(), 120);
+    }
+
+    #[test]
+    fn byte_stream_lengths_all_covered() {
+        // Exercise the 8/4/1-byte tails.
+        for len in 0..20usize {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h = FxHasher::default();
+            h.write(&bytes);
+            let _ = h.finish();
+        }
+    }
+
+    #[test]
+    fn fx_set_and_map_work() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        set.insert(42);
+        assert!(set.contains(&42));
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        assert_eq!(map.get(&1), Some(&"one"));
+    }
+}

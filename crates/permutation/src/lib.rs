@@ -1,0 +1,52 @@
+//! # dp-permutation — distance-permutation machinery
+//!
+//! Implements the object at the centre of *Counting distance permutations*
+//! (Skala, SISAP'08 / JDA 2009): given k fixed **sites** x₁…x_k in a metric
+//! space, the **distance permutation** Π_y of a point y is the permutation
+//! of site indices sorted by increasing distance from y, ties broken by
+//! smaller site index (the paper's Definition, §1).
+//!
+//! Provided here:
+//!
+//! * [`Permutation`] — a compact, copyable permutation of up to
+//!   [`MAX_K`] = 32 elements (the paper's experiments use k ≤ 12);
+//! * [`compute::distance_permutation`] and the allocation-free
+//!   [`compute::DistPermComputer`] for bulk database scans;
+//! * [`lehmer`] — factorial-base ranking/unranking (k ≤ 33 fits in `u128`);
+//! * [`permdist`] — Kendall tau, Spearman footrule and Spearman rho
+//!   permutation distances (used by the `distperm`/iAESA index types for
+//!   candidate ordering);
+//! * [`encoding`] — bit-packed codes and the [`encoding::Codebook`]
+//!   realising the paper's storage claim: once only N distinct permutations
+//!   occur, each element needs only ⌈log₂ N⌉ bits;
+//! * [`store`] — random-access physical layouts: [`store::RawPermStore`]
+//!   (k·⌈log₂ k⌉ bits/element) and [`store::PackedPermStore`]
+//!   (⌈log₂ N⌉ bits/element, the paper's strategy);
+//! * [`huffman`] — entropy coding of permutation streams, implementing
+//!   §4's "more sophisticated structure may be possible" remark;
+//! * [`prefix`] — truncated permutations ([`prefix::PrefixPermutation`])
+//!   and the induced top-ℓ footrule, the practical CFN index form;
+//! * [`counter::PermutationCounter`] — fast distinct counting (the paper's
+//!   `sort | uniq | wc` pipeline, in-memory);
+//! * [`bits`] — the LSB-first bit I/O under all the packed layouts;
+//! * [`fxhash`] — a local FxHash-style hasher for the hot counting path.
+
+pub mod bits;
+pub mod compute;
+pub mod counter;
+pub mod encoding;
+pub mod fxhash;
+pub mod huffman;
+pub mod lehmer;
+pub mod perm;
+pub mod permdist;
+pub mod prefix;
+pub mod store;
+
+pub use compute::{distance_permutation, DistPermComputer};
+pub use counter::PermutationCounter;
+pub use encoding::Codebook;
+pub use huffman::{HuffmanCode, HuffmanPermStore};
+pub use perm::{Permutation, PermutationError, MAX_K};
+pub use prefix::{prefix_footrule, PrefixPermutation};
+pub use store::{PackedPermStore, RawPermStore};

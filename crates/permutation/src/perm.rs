@@ -1,0 +1,340 @@
+//! The compact [`Permutation`] value type.
+//!
+//! Distance permutations in the paper's experiments never exceed k = 12
+//! sites, and the theory sections show the number of *distinct* ones is
+//! polynomial in k for fixed dimension — so a fixed-capacity inline array
+//! (no heap) is the right representation: O(1) copy, derive-able `Eq` +
+//! `Hash` for set membership, and 33 bytes per value.
+//!
+//! Site indices are **0-based** here (`0..k`), where the paper writes
+//! 1-based permutations; [`Permutation::display_one_based`] prints the
+//! paper's convention.
+
+use std::fmt;
+
+/// Maximum number of sites supported by the inline representation.
+///
+/// 32 comfortably exceeds any practical distance-permutation index (the
+/// paper's experiments stop at k = 12; beyond k ≈ 2d the permutations carry
+/// little extra information, §4) while keeping the type a cheap `Copy`.
+pub const MAX_K: usize = 32;
+
+/// Errors from permutation construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermutationError {
+    /// More than [`MAX_K`] elements.
+    TooLong(usize),
+    /// An element out of range or repeated.
+    NotAPermutation,
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermutationError::TooLong(k) => {
+                write!(f, "permutation length {k} exceeds MAX_K = {MAX_K}")
+            }
+            PermutationError::NotAPermutation => {
+                write!(f, "elements are not a permutation of 0..k")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+/// A permutation of `0..k` for `k <= MAX_K`, stored inline.
+///
+/// Unused trailing slots are zeroed so the derived `Eq`/`Hash`/`Ord` are
+/// well defined.  `Ord` sorts by length first, then lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Permutation {
+    len: u8,
+    items: [u8; MAX_K],
+}
+
+impl Permutation {
+    /// The identity permutation `0, 1, …, k-1`.
+    ///
+    /// # Panics
+    /// Panics if `k > MAX_K`.
+    pub fn identity(k: usize) -> Self {
+        assert!(k <= MAX_K, "k = {k} exceeds MAX_K = {MAX_K}");
+        let mut items = [0u8; MAX_K];
+        for (i, slot) in items.iter_mut().take(k).enumerate() {
+            *slot = i as u8;
+        }
+        Self { len: k as u8, items }
+    }
+
+    /// Builds a permutation from a slice of 0-based elements, validating it.
+    pub fn from_slice(elements: &[u8]) -> Result<Self, PermutationError> {
+        let k = elements.len();
+        if k > MAX_K {
+            return Err(PermutationError::TooLong(k));
+        }
+        let mut seen = 0u32;
+        for &e in elements {
+            if (e as usize) >= k || seen & (1 << e) != 0 {
+                return Err(PermutationError::NotAPermutation);
+            }
+            seen |= 1 << e;
+        }
+        let mut items = [0u8; MAX_K];
+        items[..k].copy_from_slice(elements);
+        Ok(Self { len: k as u8, items })
+    }
+
+    /// Builds a permutation from pre-validated elements.
+    ///
+    /// # Panics
+    /// Debug-asserts validity; intended for internal hot paths that have
+    /// just produced a valid ordering (e.g. a sort of `0..k`).
+    pub(crate) fn from_sorted_indices(elements: &[u8]) -> Self {
+        debug_assert!(Self::from_slice(elements).is_ok());
+        let mut items = [0u8; MAX_K];
+        items[..elements.len()].copy_from_slice(elements);
+        Self { len: elements.len() as u8, items }
+    }
+
+    /// Number of elements k.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff k = 0 (the empty permutation).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements as a slice (0-based site indices, nearest first).
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.items[..self.len as usize]
+    }
+
+    /// The element at rank `i` (the i-th closest site), 0-based.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        self.as_slice()[i]
+    }
+
+    /// The inverse permutation: `inv[e] = position of e in self`.
+    pub fn inverse(&self) -> Self {
+        let mut items = [0u8; MAX_K];
+        for (pos, &e) in self.as_slice().iter().enumerate() {
+            items[e as usize] = pos as u8;
+        }
+        Self { len: self.len, items }
+    }
+
+    /// Position (rank) of element `e`, i.e. how many sites are closer.
+    ///
+    /// O(k) scan; for repeated lookups take [`Self::inverse`] once.
+    pub fn position_of(&self, e: u8) -> Option<usize> {
+        self.as_slice().iter().position(|&x| x == e)
+    }
+
+    /// Composition `self ∘ other`: `(self ∘ other)(i) = self[other[i]]`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.len, other.len, "composing permutations of different length");
+        let mut items = [0u8; MAX_K];
+        for (i, &o) in other.as_slice().iter().enumerate() {
+            items[i] = self.items[o as usize];
+        }
+        Self { len: self.len, items }
+    }
+
+    /// Advances to the next permutation in lexicographic order, returning
+    /// `false` (and resetting to identity) after the last one.
+    ///
+    /// This is the allocation-free enumeration used by the theory tests to
+    /// sweep all k! permutations.
+    pub fn next_lex(&mut self) -> bool {
+        let k = self.len as usize;
+        let a = &mut self.items[..k];
+        if k < 2 {
+            return false;
+        }
+        // Find the longest non-increasing suffix.
+        let mut i = k - 1;
+        while i > 0 && a[i - 1] >= a[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            a.sort_unstable();
+            return false;
+        }
+        // Swap pivot with the rightmost element exceeding it, reverse suffix.
+        let pivot = a[i - 1];
+        let mut j = k - 1;
+        while a[j] <= pivot {
+            j -= 1;
+        }
+        a.swap(i - 1, j);
+        a[i..].reverse();
+        true
+    }
+
+    /// Iterator over all k! permutations in lexicographic order.
+    ///
+    /// # Panics
+    /// Panics if `k > 20` (enumerating more is never intended: 21! > 5·10¹⁹).
+    pub fn all(k: usize) -> AllPermutations {
+        assert!(k <= 20, "enumerating {k}! permutations is not supported");
+        AllPermutations { current: Some(Permutation::identity(k)) }
+    }
+
+    /// Formats with the paper's 1-based convention, e.g. `⟨2,1,3⟩`.
+    pub fn display_one_based(&self) -> String {
+        let parts: Vec<String> =
+            self.as_slice().iter().map(|&e| (e + 1).to_string()).collect();
+        format!("<{}>", parts.join(","))
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.as_slice().iter().map(|e| e.to_string()).collect();
+        write!(f, "[{}]", parts.join(","))
+    }
+}
+
+impl TryFrom<&[u8]> for Permutation {
+    type Error = PermutationError;
+
+    fn try_from(value: &[u8]) -> Result<Self, Self::Error> {
+        Self::from_slice(value)
+    }
+}
+
+/// Iterator produced by [`Permutation::all`].
+#[derive(Debug, Clone)]
+pub struct AllPermutations {
+    current: Option<Permutation>,
+}
+
+impl Iterator for AllPermutations {
+    type Item = Permutation;
+
+    fn next(&mut self) -> Option<Permutation> {
+        let out = self.current?;
+        let mut next = out;
+        self.current = next.next_lex().then_some(next);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn from_slice_validates() {
+        assert!(Permutation::from_slice(&[2, 0, 1]).is_ok());
+        assert_eq!(
+            Permutation::from_slice(&[0, 0, 1]),
+            Err(PermutationError::NotAPermutation)
+        );
+        assert_eq!(
+            Permutation::from_slice(&[0, 3]),
+            Err(PermutationError::NotAPermutation)
+        );
+        let too_long = vec![0u8; MAX_K + 1];
+        assert_eq!(
+            Permutation::from_slice(&too_long),
+            Err(PermutationError::TooLong(MAX_K + 1))
+        );
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::from_slice(&[]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p, Permutation::identity(0));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_storage() {
+        let a = Permutation::from_slice(&[1, 0]).unwrap();
+        let b = Permutation::from_slice(&[1, 0]).unwrap();
+        assert_eq!(a, b);
+        let c = Permutation::from_slice(&[1, 0, 2]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn inverse_is_involutive_on_composition() {
+        let p = Permutation::from_slice(&[2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        assert_eq!(p.compose(&inv), Permutation::identity(4));
+        assert_eq!(inv.compose(&p), Permutation::identity(4));
+    }
+
+    #[test]
+    fn position_of_matches_inverse() {
+        let p = Permutation::from_slice(&[2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        for e in 0..4u8 {
+            assert_eq!(p.position_of(e), Some(inv.as_slice()[e as usize] as usize));
+        }
+        assert_eq!(p.position_of(9), None);
+    }
+
+    #[test]
+    fn next_lex_enumerates_factorial_many() {
+        for k in 0..=6usize {
+            let count = Permutation::all(k).count();
+            let expected: usize = (1..=k).product();
+            assert_eq!(count, expected.max(1), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn all_permutations_distinct_and_ordered() {
+        let perms: Vec<Permutation> = Permutation::all(4).collect();
+        let set: HashSet<_> = perms.iter().copied().collect();
+        assert_eq!(set.len(), 24);
+        for w in perms.windows(2) {
+            assert!(w[0] < w[1], "not lexicographically increasing");
+        }
+        assert_eq!(perms[0], Permutation::identity(4));
+        assert_eq!(perms[23].as_slice(), &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn display_conventions() {
+        let p = Permutation::from_slice(&[1, 0, 2]).unwrap();
+        assert_eq!(p.to_string(), "[1,0,2]");
+        assert_eq!(p.display_one_based(), "<2,1,3>");
+    }
+
+    #[test]
+    fn compose_applies_right_then_left() {
+        // other maps 0->1, 1->2, 2->0; self maps 0->2, 1->0, 2->1.
+        let other = Permutation::from_slice(&[1, 2, 0]).unwrap();
+        let selfp = Permutation::from_slice(&[2, 0, 1]).unwrap();
+        assert_eq!(selfp.compose(&other), Permutation::identity(3));
+    }
+
+    #[test]
+    fn ord_sorts_by_length_then_lex() {
+        let short = Permutation::identity(2);
+        let long = Permutation::identity(3);
+        assert!(short < long);
+    }
+}

@@ -1,0 +1,274 @@
+//! Truncated distance permutations (top-ℓ prefixes).
+//!
+//! The paper's §4 observation — "once we have about twice as many sites as
+//! dimensions, there is little value in adding more sites; the distance
+//! permutation contains little more information" — suggests the dual
+//! economy: keep many sites for discrimination but *store only the first
+//! ℓ entries* of each permutation.  That truncated form is what
+//! Chávez–Figueroa–Navarro's implementations use in practice, and its
+//! distinct-count-per-ℓ is exactly the ordered-prefix refinement chain of
+//! §2 (Figs 1–2: ℓ = 1 is the nearest-neighbour Voronoi diagram, ℓ = k
+//! the full permutation diagram).
+//!
+//! [`PrefixPermutation`] stores the ℓ nearest site indices in order,
+//! remembering k; [`prefix_footrule`] is the induced footrule of
+//! Fagin–Kumar–Sivakumar (*Comparing top k lists*, SODA'03) with location
+//! parameter ℓ: sites absent from a prefix are charged position ℓ.
+
+use crate::perm::{Permutation, PermutationError, MAX_K};
+use std::fmt;
+
+/// The first ℓ entries of a distance permutation of `0..k`.
+///
+/// Unused trailing slots are zeroed so derived `Eq`/`Hash`/`Ord` are well
+/// defined; `Ord` sorts by (k, ℓ) first, then lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrefixPermutation {
+    k: u8,
+    len: u8,
+    items: [u8; MAX_K],
+}
+
+impl PrefixPermutation {
+    /// Truncates a full permutation to its first `len` entries.
+    ///
+    /// # Panics
+    /// Panics if `len > p.len()`.
+    pub fn from_permutation(p: &Permutation, len: usize) -> Self {
+        assert!(len <= p.len(), "prefix length {len} exceeds k = {}", p.len());
+        let mut items = [0u8; MAX_K];
+        items[..len].copy_from_slice(&p.as_slice()[..len]);
+        Self { k: p.len() as u8, len: len as u8, items }
+    }
+
+    /// Builds from raw entries: the `elements` must be distinct values in
+    /// `0..k`.
+    pub fn from_slice(k: usize, elements: &[u8]) -> Result<Self, PermutationError> {
+        if k > MAX_K {
+            return Err(PermutationError::TooLong(k));
+        }
+        if elements.len() > k {
+            return Err(PermutationError::NotAPermutation);
+        }
+        let mut seen = 0u32;
+        for &e in elements {
+            if (e as usize) >= k || seen & (1 << e) != 0 {
+                return Err(PermutationError::NotAPermutation);
+            }
+            seen |= 1 << e;
+        }
+        let mut items = [0u8; MAX_K];
+        items[..elements.len()].copy_from_slice(elements);
+        Ok(Self { k: k as u8, len: elements.len() as u8, items })
+    }
+
+    /// Number of sites k in the underlying space.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Prefix length ℓ.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff ℓ = 0.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stored entries (nearest site first).
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Rank of site `e` within the prefix, if present.
+    pub fn position_of(&self, e: u8) -> Option<usize> {
+        self.as_slice().iter().position(|&x| x == e)
+    }
+
+    /// Truncates further to the first `len` entries.
+    ///
+    /// # Panics
+    /// Panics if `len > self.len()`.
+    pub fn truncate(&self, len: usize) -> Self {
+        assert!(len <= self.len(), "cannot extend a prefix ({len} > {})", self.len());
+        let mut items = [0u8; MAX_K];
+        items[..len].copy_from_slice(&self.items[..len]);
+        Self { k: self.k, len: len as u8, items }
+    }
+
+    /// Promotes a full-length prefix (ℓ = k) back to a [`Permutation`].
+    pub fn to_permutation(&self) -> Option<Permutation> {
+        if self.len == self.k {
+            Permutation::from_slice(self.as_slice()).ok()
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for PrefixPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.as_slice().iter().map(|e| e.to_string()).collect();
+        write!(f, "[{}…/{}]", parts.join(","), self.k)
+    }
+}
+
+impl From<Permutation> for PrefixPermutation {
+    fn from(p: Permutation) -> Self {
+        Self::from_permutation(&p, p.len())
+    }
+}
+
+/// Induced Spearman footrule between two equal-shape prefixes
+/// (Fagin–Kumar–Sivakumar, location parameter ℓ).
+///
+/// Every site in either prefix contributes |rank in a − rank in b|, where
+/// a missing site is charged rank ℓ.  Sites in neither prefix contribute
+/// nothing.  For ℓ = k this equals [`crate::permdist::spearman_footrule`];
+/// for all ℓ it is a genuine metric on prefixes of a fixed shape
+/// (property-tested exhaustively for small k).
+///
+/// # Panics
+/// Panics if the two prefixes disagree on k or ℓ.
+pub fn prefix_footrule(a: &PrefixPermutation, b: &PrefixPermutation) -> u64 {
+    assert_eq!(a.k, b.k, "prefixes over different site counts ({} vs {})", a.k, b.k);
+    assert_eq!(a.len, b.len, "prefixes of different lengths ({} vs {})", a.len, b.len);
+    let l = a.len as usize;
+    let mut pos_a = [u8::MAX; MAX_K];
+    let mut pos_b = [u8::MAX; MAX_K];
+    for (i, &e) in a.as_slice().iter().enumerate() {
+        pos_a[e as usize] = i as u8;
+    }
+    for (i, &e) in b.as_slice().iter().enumerate() {
+        pos_b[e as usize] = i as u8;
+    }
+    let mut total = 0u64;
+    for e in 0..a.k as usize {
+        let ra = pos_a[e];
+        let rb = pos_b[e];
+        if ra == u8::MAX && rb == u8::MAX {
+            continue;
+        }
+        let ra = if ra == u8::MAX { l as u64 } else { u64::from(ra) };
+        let rb = if rb == u8::MAX { l as u64 } else { u64::from(rb) };
+        total += ra.abs_diff(rb);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permdist::spearman_footrule;
+
+    #[test]
+    fn truncation_keeps_nearest_sites() {
+        let p = Permutation::from_slice(&[3, 1, 4, 0, 2]).unwrap();
+        let pre = PrefixPermutation::from_permutation(&p, 3);
+        assert_eq!(pre.as_slice(), &[3, 1, 4]);
+        assert_eq!(pre.k(), 5);
+        assert_eq!(pre.len(), 3);
+        assert_eq!(pre.position_of(4), Some(2));
+        assert_eq!(pre.position_of(0), None);
+    }
+
+    #[test]
+    fn from_slice_validates() {
+        assert!(PrefixPermutation::from_slice(5, &[4, 0]).is_ok());
+        assert_eq!(
+            PrefixPermutation::from_slice(5, &[4, 4]),
+            Err(PermutationError::NotAPermutation)
+        );
+        assert_eq!(
+            PrefixPermutation::from_slice(3, &[3]),
+            Err(PermutationError::NotAPermutation)
+        );
+        assert_eq!(
+            PrefixPermutation::from_slice(2, &[0, 1, 1]),
+            Err(PermutationError::NotAPermutation)
+        );
+        assert_eq!(
+            PrefixPermutation::from_slice(MAX_K + 1, &[0]),
+            Err(PermutationError::TooLong(MAX_K + 1))
+        );
+    }
+
+    #[test]
+    fn full_length_prefix_roundtrips_to_permutation() {
+        let p = Permutation::from_slice(&[2, 0, 1]).unwrap();
+        let pre: PrefixPermutation = p.into();
+        assert_eq!(pre.to_permutation(), Some(p));
+        let shorter = pre.truncate(2);
+        assert_eq!(shorter.to_permutation(), None);
+    }
+
+    #[test]
+    fn footrule_reduces_to_spearman_at_full_length() {
+        let a = Permutation::from_slice(&[2, 0, 3, 1]).unwrap();
+        let b = Permutation::from_slice(&[1, 3, 0, 2]).unwrap();
+        let pa: PrefixPermutation = a.into();
+        let pb: PrefixPermutation = b.into();
+        assert_eq!(prefix_footrule(&pa, &pb), spearman_footrule(&a, &b));
+    }
+
+    #[test]
+    fn footrule_on_disjoint_prefixes_is_maximal() {
+        // Disjoint top-2 lists over 4 sites: each of the 4 involved sites
+        // pays |rank − ℓ|: (0→2)+(1→2)+(2←0)+(2←1) = 2+1+2+1 = 6.
+        let a = PrefixPermutation::from_slice(4, &[0, 1]).unwrap();
+        let b = PrefixPermutation::from_slice(4, &[2, 3]).unwrap();
+        assert_eq!(prefix_footrule(&a, &b), 6);
+    }
+
+    #[test]
+    fn footrule_identity_symmetry_triangle_exhaustive() {
+        // All length-2 prefixes over k = 4: exhaustive metric check.
+        let mut prefixes = Vec::new();
+        for p in Permutation::all(4) {
+            prefixes.push(PrefixPermutation::from_permutation(&p, 2));
+        }
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), 12); // 4·3 ordered pairs
+        for a in &prefixes {
+            for b in &prefixes {
+                let dab = prefix_footrule(a, b);
+                assert_eq!(dab, prefix_footrule(b, a), "symmetry");
+                assert_eq!(dab == 0, a == b, "identity of indiscernibles");
+                for c in &prefixes {
+                    let dac = prefix_footrule(a, c);
+                    let dcb = prefix_footrule(c, b);
+                    assert!(dab <= dac + dcb, "triangle: {a} {b} {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_shows_prefix_and_k() {
+        let pre = PrefixPermutation::from_slice(6, &[5, 0]).unwrap();
+        assert_eq!(pre.to_string(), "[5,0…/6]");
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn footrule_rejects_mismatched_lengths() {
+        let a = PrefixPermutation::from_slice(4, &[0, 1]).unwrap();
+        let b = PrefixPermutation::from_slice(4, &[0]).unwrap();
+        prefix_footrule(&a, &b);
+    }
+
+    #[test]
+    fn empty_prefix_distance_zero() {
+        let a = PrefixPermutation::from_slice(4, &[]).unwrap();
+        let b = PrefixPermutation::from_slice(4, &[]).unwrap();
+        assert!(a.is_empty());
+        assert_eq!(prefix_footrule(&a, &b), 0);
+    }
+}

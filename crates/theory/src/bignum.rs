@@ -1,0 +1,381 @@
+//! Minimal arbitrary-precision naturals for counting past `u128`.
+//!
+//! Theorem 7's recurrence is exact for every (d, k), but its values pass
+//! 2¹²⁸ around k ≈ 35 (N is close to k! once d ≥ k−1).  The workspace
+//! policy (DESIGN.md §5) avoids non-approved dependencies, and the
+//! recurrence needs only addition, multiplication by a small factor and
+//! comparison — so this module implements exactly that: an unsigned
+//! little-endian limb vector with schoolbook arithmetic, decimal
+//! rendering, and a bit-length query for storage costs.  It is not a
+//! general bignum; division only by the 10¹⁹ rendering base.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision natural number (unsigned).
+///
+/// Invariant: `limbs` is little-endian with no trailing zero limb; zero is
+/// the empty vector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigNat {
+    limbs: Vec<u64>,
+}
+
+impl BigNat {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self::from(1u64)
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = l.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self * m` for a small (single-limb) multiplier.
+    pub fn mul_u64(&self, m: u64) -> Self {
+        if m == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let prod = u128::from(l) * u128::from(m) + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        while carry > 0 {
+            out.push(carry as u64);
+            carry >>= 64;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Schoolbook `self * other`.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(out[i + j]) + u128::from(a) * u128::from(b) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + other.limbs.len();
+            while carry > 0 {
+                let cur = u128::from(out[idx]) + carry;
+                out[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = Self::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Number of bits in the binary representation (0 for zero).
+    ///
+    /// `bit_len() − 1 < log₂(self) ≤ bit_len()`; the storage analyses use
+    /// ⌈log₂ N⌉ = `(self − 1).bit_len()`, provided via [`Self::ceil_log2`].
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * 64 + u64::from(64 - top.leading_zeros())
+            }
+        }
+    }
+
+    /// ⌈log₂ self⌉, the bits needed to index `self` distinct values.
+    ///
+    /// # Panics
+    /// Panics on zero (no values to index).
+    pub fn ceil_log2(&self) -> u64 {
+        assert!(!self.is_zero(), "ceil_log2 of zero");
+        if self.limbs == [1] {
+            return 0;
+        }
+        // ⌈log₂ n⌉ = bit_len(n − 1) for n ≥ 2.
+        let mut minus_one = self.clone();
+        for limb in minus_one.limbs.iter_mut() {
+            if *limb > 0 {
+                *limb -= 1;
+                break;
+            }
+            *limb = u64::MAX;
+        }
+        minus_one.normalize();
+        minus_one.bit_len()
+    }
+
+    /// Approximate value as f64 (∞ if beyond range).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            acc = acc * 2.0f64.powi(64) + l as f64;
+        }
+        acc
+    }
+
+    /// Exact value if it fits in u128.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u128::from(self.limbs[0])),
+            2 => Some(u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Divides in place by a nonzero single-limb divisor, returning the
+    /// remainder.  Used by decimal rendering.
+    fn div_rem_u64(&mut self, div: u64) -> u64 {
+        assert!(div != 0, "division by zero");
+        let mut rem = 0u128;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | u128::from(*limb);
+            *limb = (cur / u128::from(div)) as u64;
+            rem = cur % u128::from(div);
+        }
+        self.normalize();
+        rem as u64
+    }
+}
+
+impl From<u64> for BigNat {
+    fn from(v: u64) -> Self {
+        let mut r = Self { limbs: vec![v] };
+        r.normalize();
+        r
+    }
+}
+
+impl From<u128> for BigNat {
+    fn from(v: u128) -> Self {
+        let mut r = Self { limbs: vec![v as u64, (v >> 64) as u64] };
+        r.normalize();
+        r
+    }
+}
+
+impl PartialOrd for BigNat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigNat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl fmt::Display for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        const BASE: u64 = 10_000_000_000_000_000_000; // 10^19
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            chunks.push(cur.div_rem_u64(BASE));
+        }
+        let mut s = chunks.last().expect("nonzero").to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{chunk:019}"));
+        }
+        write!(f, "{s}")
+    }
+}
+
+/// k! as a [`BigNat`], for any k.
+pub fn factorial_big(k: u32) -> BigNat {
+    let mut acc = BigNat::one();
+    for i in 2..=u64::from(k) {
+        acc = acc.mul_u64(i);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_zero() {
+        assert!(BigNat::zero().is_zero());
+        assert_eq!(BigNat::from(0u64), BigNat::zero());
+        assert_eq!(BigNat::from(0u128), BigNat::zero());
+        assert_eq!(BigNat::one().to_u128(), Some(1));
+    }
+
+    #[test]
+    fn add_matches_u128() {
+        let cases = [
+            (0u128, 0u128),
+            (1, u128::from(u64::MAX)),
+            (u128::from(u64::MAX), u128::from(u64::MAX)),
+            (1 << 100, (1 << 100) + 12345),
+        ];
+        for (a, b) in cases {
+            let got = BigNat::from(a).add(&BigNat::from(b));
+            assert_eq!(got.to_u128(), Some(a + b), "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn add_carries_past_u128() {
+        let a = BigNat::from(u128::MAX);
+        let sum = a.add(&BigNat::one());
+        assert_eq!(sum.to_u128(), None);
+        assert_eq!(sum.bit_len(), 129);
+        assert_eq!(sum.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [(0u128, 7u128), (12345, 67890), (1 << 64, 1 << 63)];
+        for (a, b) in cases {
+            let got = BigNat::from(a).mul(&BigNat::from(b));
+            assert_eq!(got.to_u128(), Some(a * b), "{a} * {b}");
+            let got_small = BigNat::from(a).mul_u64(b as u64);
+            if b <= u128::from(u64::MAX) {
+                assert_eq!(got_small.to_u128(), Some(a * b));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_checked_pow() {
+        for base in [2u128, 3, 10] {
+            for exp in [0u32, 1, 5, 20] {
+                let got = BigNat::from(base).pow(exp);
+                assert_eq!(got.to_u128(), base.checked_pow(exp), "{base}^{exp}");
+            }
+        }
+        // Past u128: 2^200.
+        let big = BigNat::from(2u64).pow(200);
+        assert_eq!(big.bit_len(), 201);
+        assert_eq!(big.ceil_log2(), 200);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut values: Vec<BigNat> = [0u128, 1, 2, u128::from(u64::MAX), 1 << 80, u128::MAX]
+            .into_iter()
+            .map(BigNat::from)
+            .collect();
+        values.push(BigNat::from(u128::MAX).add(&BigNat::one()));
+        for w in values.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn display_matches_u128_formatting() {
+        for v in [0u128, 9, 10, 12345678901234567890, u128::MAX] {
+            assert_eq!(BigNat::from(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn factorial_known_values() {
+        assert_eq!(factorial_big(0).to_u128(), Some(1));
+        assert_eq!(factorial_big(12).to_u128(), Some(479001600));
+        // 35! is the first factorial past u128 (34! ≈ 2.95·10³⁸ < 2¹²⁸).
+        assert!(factorial_big(34).to_u128().is_some());
+        assert_eq!(factorial_big(35).to_u128(), None);
+        // 50! from an external table.
+        assert_eq!(
+            factorial_big(50).to_string(),
+            "30414093201713378043612608166064768844377641568960512000000000000"
+        );
+    }
+
+    #[test]
+    fn ceil_log2_edge_cases() {
+        assert_eq!(BigNat::one().ceil_log2(), 0);
+        assert_eq!(BigNat::from(2u64).ceil_log2(), 1);
+        assert_eq!(BigNat::from(3u64).ceil_log2(), 2);
+        assert_eq!(BigNat::from(4u64).ceil_log2(), 2);
+        assert_eq!(BigNat::from(5u64).ceil_log2(), 3);
+        // Power-of-two boundary across a limb edge.
+        let p64 = BigNat::from(2u64).pow(64);
+        assert_eq!(p64.ceil_log2(), 64);
+        assert_eq!(p64.add(&BigNat::one()).ceil_log2(), 65);
+    }
+
+    #[test]
+    fn to_f64_tracks_magnitude() {
+        let v = BigNat::from(2u64).pow(100);
+        let rel = (v.to_f64() - 2f64.powi(100)).abs() / 2f64.powi(100);
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil_log2 of zero")]
+    fn ceil_log2_zero_panics() {
+        BigNat::zero().ceil_log2();
+    }
+}

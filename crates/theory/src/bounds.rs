@@ -1,0 +1,141 @@
+//! Theorem 9 (L1/L∞ upper bounds) and Theorem 6 (dimension threshold).
+//!
+//! For p ∈ {1, ∞} each bisector is contained in a union of flat
+//! hyperplanes whose number depends only on the dimension d:
+//!
+//! * L1:  each distance is one of 2^d signed linear forms, so a bisector
+//!   lies in ≤ 2^d · 2^d = 2^{2d} hyperplanes;
+//! * L∞:  each distance is one of 2d signed forms, giving ≤ 4d²
+//!   hyperplanes.
+//!
+//! Replacing every bisector by its full hyperplane set and assuming general
+//! position can only increase the number of cells, so N_{d,p}(k) is at most
+//! S_d(h(d)·C(k,2)) — all O(k^{2d}) for constant d.
+
+use crate::cake::{binomial, cake_pieces, cake_pieces_log2};
+
+/// Hyperplanes per bisector in d-dimensional L1 space: 2^{2d}.
+pub fn l1_hyperplanes_per_bisector(d: u32) -> Option<u128> {
+    1u128.checked_shl(2 * d)
+}
+
+/// Hyperplanes per bisector in d-dimensional L∞ space: 4d².
+pub fn linf_hyperplanes_per_bisector(d: u32) -> u128 {
+    4 * u128::from(d) * u128::from(d)
+}
+
+/// Theorem 9 bound for L1: S_d(2^{2d} · C(k,2)); `None` on overflow.
+pub fn l1_bound(d: u32, k: u32) -> Option<u128> {
+    let per = l1_hyperplanes_per_bisector(d)?;
+    let m = per.checked_mul(binomial(u64::from(k), 2)?)?;
+    cake_pieces(d, u64::try_from(m).ok()?)
+}
+
+/// Theorem 9 bound for L∞: S_d(4d² · C(k,2)); `None` on overflow.
+pub fn linf_bound(d: u32, k: u32) -> Option<u128> {
+    let m = linf_hyperplanes_per_bisector(d).checked_mul(binomial(u64::from(k), 2)?)?;
+    cake_pieces(d, u64::try_from(m).ok()?)
+}
+
+/// log₂ of the Theorem 9 L1 bound — usable far beyond u128 range.
+pub fn l1_bound_log2(d: u32, k: u32) -> f64 {
+    let m = (2.0f64.powi(2 * d as i32)) * (f64::from(k) * (f64::from(k) - 1.0) / 2.0);
+    cake_pieces_log2(d, m as u64)
+}
+
+/// Theorem 6: the minimum dimension in which k sites can realise all k!
+/// distance permutations is k − 1 (for any Lp metric).
+pub fn min_dimension_for_all_permutations(k: u32) -> u32 {
+    k.saturating_sub(1)
+}
+
+/// True iff Theorem 6 applies: in dimension `d` with `k` sites all k!
+/// permutations are achievable (d ≥ k−1).
+pub fn all_permutations_achievable(d: u32, k: u32) -> bool {
+    d >= min_dimension_for_all_permutations(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::n_euclidean;
+
+    #[test]
+    fn hyperplane_counts() {
+        assert_eq!(l1_hyperplanes_per_bisector(2), Some(16));
+        assert_eq!(l1_hyperplanes_per_bisector(3), Some(64));
+        assert_eq!(linf_hyperplanes_per_bisector(2), 16);
+        assert_eq!(linf_hyperplanes_per_bisector(3), 36);
+    }
+
+    #[test]
+    fn theorem9_bounds_dominate_euclidean_exact() {
+        // The L1/L∞ bounds are loose in d, but must dominate the exact
+        // Euclidean count (the same arrangement argument with more planes).
+        for d in 1..=4u32 {
+            for k in 2..=10u32 {
+                let e = n_euclidean(d, k).unwrap();
+                let b1 = l1_bound(d, k).unwrap();
+                let binf = linf_bound(d, k).unwrap();
+                assert!(b1 >= e, "L1 bound d={d} k={k}");
+                assert!(binf >= e, "Linf bound d={d} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem9_exceeds_known_l1_counterexample() {
+        // §5: 108 distance permutations observed in 3-D L1 with k=5; the
+        // Theorem 9 bound must (easily) accommodate that.
+        let bound = l1_bound(3, 5).unwrap();
+        assert!(bound >= 108, "bound {bound}");
+    }
+
+    #[test]
+    fn one_dimensional_bisectors_are_single_points() {
+        // In d=1, all Lp metrics coincide; the bounds still apply.
+        for k in 2..=12u32 {
+            assert!(l1_bound(1, k).unwrap() >= n_euclidean(1, k).unwrap());
+        }
+    }
+
+    #[test]
+    fn bounds_grow_as_k_2d_for_constant_d() {
+        // Doubling k should multiply the d=2 bound by about 2^{2d} = 16.
+        let small = l1_bound(2, 64).unwrap() as f64;
+        let big = l1_bound(2, 128).unwrap() as f64;
+        let ratio = big / small;
+        assert!((ratio - 16.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn log2_version_tracks_exact() {
+        for d in 1..=3u32 {
+            for k in [4u32, 8, 16] {
+                let exact = l1_bound(d, k).unwrap() as f64;
+                let log = l1_bound_log2(d, k);
+                assert!(
+                    (log - exact.log2()).abs() < 0.01,
+                    "d={d} k={k}: {log} vs {}",
+                    exact.log2()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem6_threshold() {
+        assert_eq!(min_dimension_for_all_permutations(1), 0);
+        assert_eq!(min_dimension_for_all_permutations(4), 3);
+        assert!(all_permutations_achievable(3, 4));
+        assert!(!all_permutations_achievable(2, 4));
+        // Matches the factorial triangle of Table 1.
+        for k in 2..=8u32 {
+            let fact: u128 = (1..=u128::from(k)).product();
+            assert_eq!(
+                n_euclidean(min_dimension_for_all_permutations(k), k),
+                Some(fact)
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Price's hyperplane "cake-cutting" numbers.
+//!
+//! S_d(m) is the maximum number of pieces into which m hyperplanes of
+//! dimension d−1 in general position cut d-dimensional Euclidean space.
+//! Price's recurrence (cited as \[23\] in the paper):
+//!
+//! ```text
+//! S_d(0) = S_0(m) = 1
+//! S_d(m) = S_d(m-1) + S_{d-1}(m-1)
+//! ```
+//!
+//! with the closed form S_d(m) = Σ_{i=0}^{d} C(m,i) = Θ(m^d).  The paper
+//! uses these as the outer bound for every bisector-arrangement count.
+
+/// Binomial coefficient C(n, k) with overflow checking.
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.checked_mul((n - i) as u128)?;
+        result /= (i + 1) as u128;
+    }
+    Some(result)
+}
+
+/// S_d(m) via the closed form Σ_{i=0}^{d} C(m,i); `None` on u128 overflow.
+pub fn cake_pieces(d: u32, m: u64) -> Option<u128> {
+    let mut total: u128 = 0;
+    for i in 0..=u64::from(d) {
+        total = total.checked_add(binomial(m, i)?)?;
+    }
+    Some(total)
+}
+
+/// S_d(m) by Price's recurrence — O(d·m) time, used to cross-check the
+/// closed form in tests.
+pub fn cake_pieces_recurrence(d: u32, m: u64) -> Option<u128> {
+    let d = d as usize;
+    let m = m as usize;
+    // row[j] = S_j(current m)
+    let mut row: Vec<u128> = vec![1; d + 1];
+    for _ in 1..=m {
+        // S_d(m) = S_d(m-1) + S_{d-1}(m-1): sweep from high d downwards so
+        // each slot still holds the previous-m value when read.
+        for j in (1..=d).rev() {
+            row[j] = row[j].checked_add(row[j - 1])?;
+        }
+        row[0] = 1;
+    }
+    Some(row[d])
+}
+
+/// log₂ S_d(m), computed in floating point for values beyond u128.
+pub fn cake_pieces_log2(d: u32, m: u64) -> f64 {
+    // log2 of a sum via the max term plus a correction.
+    let terms: Vec<f64> = (0..=u64::from(d)).map(|i| binomial_log2(m, i)).collect();
+    let max = terms.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    if max == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    let sum: f64 = terms.iter().map(|t| (t - max).exp2()).sum();
+    max + sum.log2()
+}
+
+/// log₂ C(n, k) via lgamma-free products (exact enough for bound tables).
+pub fn binomial_log2(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut log = 0.0f64;
+    for i in 0..k {
+        log += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(10, 0), Some(1));
+        assert_eq!(binomial(10, 10), Some(1));
+        assert_eq!(binomial(4, 7), Some(0));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+    }
+
+    #[test]
+    fn cake_small_values() {
+        // The classical lazy-caterer sequence in 2-D: 1, 2, 4, 7, 11, 16.
+        for (m, expected) in [(0u64, 1u128), (1, 2), (2, 4), (3, 7), (4, 11), (5, 16)] {
+            assert_eq!(cake_pieces(2, m), Some(expected), "m={m}");
+        }
+        // The 3-D cake numbers: 1, 2, 4, 8, 15, 26.
+        for (m, expected) in [(0u64, 1u128), (1, 2), (2, 4), (3, 8), (4, 15), (5, 26)] {
+            assert_eq!(cake_pieces(3, m), Some(expected), "m={m}");
+        }
+    }
+
+    #[test]
+    fn one_dimension_is_m_plus_one() {
+        for m in 0..50u64 {
+            assert_eq!(cake_pieces(1, m), Some(u128::from(m) + 1));
+        }
+    }
+
+    #[test]
+    fn zero_dimension_is_always_one() {
+        for m in 0..10u64 {
+            assert_eq!(cake_pieces(0, m), Some(1));
+        }
+    }
+
+    #[test]
+    fn high_dimension_saturates_at_2_pow_m() {
+        // With d >= m every subset of hyperplanes bounds a piece: 2^m.
+        for m in 0..20u64 {
+            assert_eq!(cake_pieces(m as u32, m), Some(1u128 << m));
+            assert_eq!(cake_pieces(m as u32 + 5, m), Some(1u128 << m));
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_recurrence() {
+        for d in 0..6u32 {
+            for m in 0..40u64 {
+                assert_eq!(
+                    cake_pieces(d, m),
+                    cake_pieces_recurrence(d, m),
+                    "d={d} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log2_matches_exact_for_moderate_values() {
+        for d in 1..5u32 {
+            for m in 1..30u64 {
+                let exact = cake_pieces(d, m).unwrap() as f64;
+                let log = cake_pieces_log2(d, m);
+                assert!(
+                    (log - exact.log2()).abs() < 1e-9,
+                    "d={d} m={m}: {log} vs {}",
+                    exact.log2()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growth_is_polynomial_in_m() {
+        // S_d(2m)/S_d(m) should approach 2^d for large m.
+        let d = 3u32;
+        let big = cake_pieces(d, 4000).unwrap() as f64;
+        let half = cake_pieces(d, 2000).unwrap() as f64;
+        let ratio = big / half;
+        assert!((ratio - 8.0).abs() < 0.1, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,328 @@
+//! The paper's two explicit constructions.
+//!
+//! **Theorem 6** — k sites in (k−1)-dimensional Lp space realising all k!
+//! distance permutations near the origin.  The sites are built by the
+//! proof's induction: two sites at ±1 on the first axis, then each new site
+//! k goes on a fresh axis at distance 1+ε/4 while ε shrinks by 4.  Witness
+//! points are recovered the way the proof finds them: sliding the new
+//! coordinate z from −ε/2 (site k farthest) to 3ε/4 (site k nearest) moves
+//! site k monotonically through every position, so a bisection on z lands
+//! it wherever the target permutation demands.
+//!
+//! **Corollary 5** — a path of 2^(k−1) unit edges with sites at labels
+//! 0, 2, 4, 8, …, 2^(k−1) realising exactly C(k,2)+1 distance permutations
+//! (the Theorem 4 maximum for tree metrics).
+
+use dp_metric::{Metric, Tree};
+use dp_permutation::{DistPermComputer, Permutation};
+
+/// The Theorem 6 sites: k points in (k−1)-dimensional space.
+///
+/// `eps` must lie in (0, 1/2) — the L∞ case of the proof (Note 1) requires
+/// ε < 1/2, and the statement for smaller ε implies it for larger.
+///
+/// # Panics
+/// Panics if `k < 2`, `k > 20`, or `eps` out of range.
+pub fn theorem6_sites(k: usize, eps: f64) -> Vec<Vec<f64>> {
+    assert!(k >= 2, "need at least two sites");
+    assert!(k <= 20, "k = {k} would enumerate k! > 2.4e18 permutations");
+    assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 1/2), got {eps}");
+    // eps at recursion level j (building site j+1) is eps / 4^(k-j).
+    let mut sites: Vec<Vec<f64>> = vec![vec![-1.0], vec![1.0]];
+    let mut level_eps = eps / 4f64.powi(k as i32 - 2);
+    for j in 3..=k {
+        level_eps *= 4.0;
+        for s in &mut sites {
+            s.push(0.0);
+        }
+        let mut new_site = vec![0.0; j - 1];
+        new_site[j - 2] = 1.0 + level_eps / 4.0;
+        sites.push(new_site);
+    }
+    sites
+}
+
+/// A witness point for every one of the k! permutations, paired with its
+/// permutation, under `metric`.
+///
+/// Every returned pair `(π, y)` satisfies `Π_y = π` — the function panics
+/// otherwise, so a successful return *is* the Theorem 6 verification.
+pub fn theorem6_witnesses<M>(k: usize, eps: f64, metric: &M) -> Vec<(Permutation, Vec<f64>)>
+where
+    M: Metric<[f64]>,
+{
+    assert!((2..=8).contains(&k), "enumerating k! witnesses is intended for 2 <= k <= 8");
+    let sites = theorem6_sites(k, eps);
+    let mut computer = DistPermComputer::new(k);
+    let site_slices: Vec<&[f64]> = sites.iter().map(|s| s.as_slice()).collect();
+
+    let mut out = Vec::new();
+    for target in Permutation::all(k) {
+        let y = witness_for(&site_slices, target, eps, metric, &mut computer);
+        out.push((target, y));
+    }
+    out
+}
+
+/// Recursively constructs a witness for `target` following the proof.
+fn witness_for<M>(
+    sites: &[&[f64]],
+    target: Permutation,
+    eps: f64,
+    metric: &M,
+    computer: &mut DistPermComputer<M::Dist>,
+) -> Vec<f64>
+where
+    M: Metric<[f64]>,
+{
+    let k = target.len();
+    if k == 2 {
+        // Basis case: y_12 = <-eps/2>, y_21 = <eps/2>.
+        return if target.get(0) == 0 { vec![-eps / 2.0] } else { vec![eps / 2.0] };
+    }
+
+    // Strip the last site (index k-1) from the target permutation.
+    let reduced_items: Vec<u8> =
+        target.as_slice().iter().copied().filter(|&e| e != (k - 1) as u8).collect();
+    let reduced =
+        Permutation::from_slice(&reduced_items).expect("removing one element keeps validity");
+    let reduced_sites: Vec<&[f64]> =
+        sites[..k - 1].iter().map(|s| &s[..k - 2]).collect();
+    let mut reduced_computer = DistPermComputer::new(k - 1);
+    let base = witness_for(&reduced_sites, reduced, eps / 4.0, metric, &mut reduced_computer);
+
+    // Slide the new coordinate z in [-eps/2, 3eps/4]; the position of site
+    // k-1 in the distance permutation moves monotonically from last (k-1)
+    // to first (0).  Bisect to the position `target` requires.
+    let target_pos = target
+        .position_of((k - 1) as u8)
+        .expect("target contains every site index");
+    let mut y = base;
+    y.push(0.0);
+    let zi = y.len() - 1;
+
+    let range_lo = -eps / 2.0;
+    let range_hi = 3.0 * eps / 4.0;
+    let mut pos_at = |y: &mut Vec<f64>, z: f64| {
+        y[zi] = z;
+        let perm = compute_on_slices(computer, metric, sites, y);
+        perm.position_of((k - 1) as u8).expect("site present")
+    };
+
+    // Phase 1: locate any z whose position equals target_pos.  The
+    // position is monotone non-increasing in z (the proof's sweep), from
+    // k-1 at range_lo to 0 at range_hi.
+    let mut lo = range_lo;
+    let mut hi = range_hi;
+    let mut found = None;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let pos = pos_at(&mut y, mid);
+        match pos.cmp(&target_pos) {
+            std::cmp::Ordering::Equal => {
+                found = Some(mid);
+                break;
+            }
+            std::cmp::Ordering::Greater => lo = mid, // site k-1 still too far
+            std::cmp::Ordering::Less => hi = mid,
+        }
+    }
+    let found = found.unwrap_or_else(|| {
+        panic!("bisection failed to place site {k} at position {target_pos} for {target}")
+    });
+
+    // Phase 2: centre z inside the target interval.  A first-hit z can sit
+    // arbitrarily close to a cell boundary, and a near-boundary witness
+    // makes two site distances nearly equal — which collapses the *next*
+    // level's target interval below f64 resolution.  Centring restores the
+    // proof's invariant (4) with a healthy margin at every level.
+    let (mut a, mut b) = (range_lo, found);
+    for _ in 0..80 {
+        let mid = 0.5 * (a + b);
+        if pos_at(&mut y, mid) == target_pos {
+            b = mid;
+        } else {
+            a = mid;
+        }
+    }
+    let lower_edge = b;
+    let (mut a, mut b) = (found, range_hi);
+    for _ in 0..80 {
+        let mid = 0.5 * (a + b);
+        if pos_at(&mut y, mid) == target_pos {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    let upper_edge = a;
+
+    y[zi] = 0.5 * (lower_edge + upper_edge);
+    let perm = compute_on_slices(computer, metric, sites, &y);
+    assert_eq!(
+        perm, target,
+        "construction invariant violated at z={} for {target}",
+        y[zi]
+    );
+    y
+}
+
+fn compute_on_slices<M>(
+    computer: &mut DistPermComputer<M::Dist>,
+    metric: &M,
+    sites: &[&[f64]],
+    y: &[f64],
+) -> Permutation
+where
+    M: Metric<[f64]>,
+{
+    // DistPermComputer wants a uniform point type; adapt through an
+    // indirection metric over indices into a temporary arena.
+    struct Slices<'a, M> {
+        metric: &'a M,
+    }
+    impl<M: Metric<[f64]>> Metric<&[f64]> for Slices<'_, M> {
+        type Dist = M::Dist;
+        fn distance(&self, a: &&[f64], b: &&[f64]) -> M::Dist {
+            self.metric.distance(a, b)
+        }
+    }
+    let adapter = Slices { metric };
+    let all: Vec<&[f64]> = sites.to_vec();
+    computer.compute(&adapter, &all, &y)
+}
+
+/// The Corollary 5 configuration: the unit path of 2^(k−1) edges and the
+/// site vertex labels 0, 2, 4, 8, …, 2^(k−1).
+///
+/// Counting distance permutations over *all* vertices of this tree yields
+/// exactly C(k,2)+1 — verified in this module's tests and regenerated by
+/// the `corollary5` bench binary.
+pub fn corollary5_path(k: u32) -> (Tree, Vec<usize>) {
+    assert!((1..=24).contains(&k), "k = {k} out of supported range");
+    let edges = crate::tree::corollary5_path_edges(k);
+    let tree = Tree::path(edges as usize);
+    let sites = crate::tree::corollary5_site_labels(k)
+        .into_iter()
+        .map(|s| s as usize)
+        .collect();
+    (tree, sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metric::{L1, L2, LInf};
+    use dp_permutation::counter::count_distinct;
+
+    #[test]
+    fn sites_have_expected_shape() {
+        let sites = theorem6_sites(5, 0.25);
+        assert_eq!(sites.len(), 5);
+        for s in &sites {
+            assert_eq!(s.len(), 4);
+        }
+        assert_eq!(sites[0], vec![-1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(sites[1], vec![1.0, 0.0, 0.0, 0.0]);
+        // Site j (j >= 3) sits on axis j-2 at 1 + eps_j/4.
+        assert_eq!(sites[4][3], 1.0 + 0.25 / 4.0);
+        assert!(sites[2][1] > 1.0 && sites[2][1] < 1.01);
+    }
+
+    #[test]
+    fn witnesses_realise_all_permutations_l2() {
+        for k in 2..=5usize {
+            let witnesses = theorem6_witnesses(k, 0.25, &L2);
+            let expected: usize = (1..=k).product();
+            assert_eq!(witnesses.len(), expected, "k={k}");
+            // witness_for already panics on mismatch; double-check
+            // distinctness of permutations.
+            let distinct: std::collections::HashSet<_> =
+                witnesses.iter().map(|(p, _)| *p).collect();
+            assert_eq!(distinct.len(), expected);
+        }
+    }
+
+    #[test]
+    fn witnesses_realise_all_permutations_l1_and_linf() {
+        for k in 2..=5usize {
+            assert_eq!(theorem6_witnesses(k, 0.2, &L1).len(), (1..=k).product());
+            assert_eq!(theorem6_witnesses(k, 0.2, &LInf).len(), (1..=k).product());
+        }
+    }
+
+    #[test]
+    fn witnesses_realise_all_permutations_general_lp() {
+        // Theorem 6 claims every Lp, p >= 1 — not just the three special
+        // cases; exercise fractional and large exponents.
+        use dp_metric::Lp;
+        for p in [1.5f64, 3.0, 7.0] {
+            for k in 2..=4usize {
+                assert_eq!(
+                    theorem6_witnesses(k, 0.2, &Lp::new(p)).len(),
+                    (1..=k).product::<usize>(),
+                    "p={p} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_stay_near_origin() {
+        // Invariant (2) of the proof: d(0, y) < eps.
+        let eps = 0.3;
+        for (_, y) in theorem6_witnesses(4, eps, &L2) {
+            let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(norm < eps, "witness at norm {norm}");
+        }
+    }
+
+    #[test]
+    fn witnesses_near_unit_distance_from_sites() {
+        // Invariant (3): |1 - d(x_i, y)| < eps.
+        let eps = 0.3;
+        let sites = theorem6_sites(4, eps);
+        for (_, y) in theorem6_witnesses(4, eps, &L2) {
+            for s in &sites {
+                let d = L2.distance(&s[..], &y[..]).get();
+                assert!((1.0 - d).abs() < eps, "site distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn six_sites_realise_720_permutations() {
+        let witnesses = theorem6_witnesses(6, 0.25, &L2);
+        assert_eq!(witnesses.len(), 720);
+    }
+
+    #[test]
+    fn corollary5_achieves_tree_bound_exactly() {
+        for k in 2..=9u32 {
+            let (tree, sites) = corollary5_path(k);
+            let metric = tree.metric();
+            let db: Vec<usize> = tree.vertices().collect();
+            let count = count_distinct(&metric, &sites, &db);
+            assert_eq!(
+                count as u128,
+                crate::tree::tree_bound(k),
+                "k={k}: expected C(k,2)+1"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary5_sites_are_vertices() {
+        let (tree, sites) = corollary5_path(6);
+        assert_eq!(sites.len(), 6);
+        for &s in &sites {
+            assert!(s < tree.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn eps_half_rejected() {
+        let _ = theorem6_sites(3, 0.5);
+    }
+}

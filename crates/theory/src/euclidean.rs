@@ -1,0 +1,331 @@
+//! Theorem 7: the exact count N_{d,2}(k) of distance permutations in
+//! d-dimensional Euclidean space, and the paper's Table 1.
+//!
+//! The recurrence extends Price's cake-cutting argument, correcting for the
+//! forced coincidences a|x ∩ b|x = a|b ∩ b|x among bisectors:
+//!
+//! ```text
+//! N_{0,2}(k) = N_{d,2}(1) = 1
+//! N_{d,2}(k) = N_{d,2}(k-1) + (k-1) · N_{d-1,2}(k-1)
+//! ```
+//!
+//! Corollary 8 gives N_{d,2}(k) ≤ k^{2d} and leading term k^{2d}/(2^d d!),
+//! hence Θ(d log k) storage bits per permutation.
+
+use crate::bignum::BigNat;
+use crate::cake::binomial;
+
+/// Exact N_{d,2}(k) by the Theorem 7 recurrence; `None` on u128 overflow.
+///
+/// Values relevant to the paper (d ≤ 10, k ≤ 12) are tiny; the table is
+/// computed row by row in O(d·k).
+pub fn n_euclidean(d: u32, k: u32) -> Option<u128> {
+    if d == 0 || k <= 1 {
+        return Some(1);
+    }
+    // row[j] holds N_{j,2}(current kk).
+    let d = d as usize;
+    let mut row: Vec<u128> = vec![1; d + 1];
+    for kk in 2..=u128::from(k) {
+        // Sweep high dimensions first so row[j-1] is still at kk-1.
+        for j in (1..=d).rev() {
+            let add = (kk - 1).checked_mul(row[j - 1])?;
+            row[j] = row[j].checked_add(add)?;
+        }
+        // j = 0: N_{0,2}(kk) = 1 already in place.
+    }
+    Some(row[d])
+}
+
+/// Corollary 8 upper bound k^{2d}; `None` on overflow.
+pub fn corollary8_upper(d: u32, k: u32) -> Option<u128> {
+    u128::from(k).checked_pow(2 * d)
+}
+
+/// Corollary 8 leading term k^{2d} / (2^d · d!), as f64.
+pub fn corollary8_leading_term(d: u32, k: u32) -> f64 {
+    let mut denom = 1.0f64;
+    for i in 1..=u64::from(d) {
+        denom *= 2.0 * i as f64;
+    }
+    (f64::from(k)).powi(2 * d as i32) / denom
+}
+
+/// Bits needed to store one Euclidean distance permutation exactly:
+/// ⌈log₂ N_{d,2}(k)⌉ (Corollary 8 shows this is Θ(d log k)).
+pub fn storage_bits(d: u32, k: u32) -> Option<u32> {
+    let n = n_euclidean(d, k)?;
+    Some(if n <= 1 { 0 } else { 128 - (n - 1).leading_zeros() })
+}
+
+/// The paper's Table 1 layout: rows d = 1..=10, columns k = 2..=12.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1 {
+    /// `values[d-1][k-2]` = N_{d,2}(k).
+    pub values: Vec<Vec<u128>>,
+}
+
+/// Dimensions covered by [`table1`] (d = 1..=10).
+pub const TABLE1_DIMS: std::ops::RangeInclusive<u32> = 1..=10;
+/// Site counts covered by [`table1`] (k = 2..=12).
+pub const TABLE1_KS: std::ops::RangeInclusive<u32> = 2..=12;
+
+/// Generates the paper's Table 1 exactly.
+pub fn table1() -> Table1 {
+    let values = TABLE1_DIMS
+        .map(|d| {
+            TABLE1_KS
+                .map(|k| n_euclidean(d, k).expect("Table 1 range fits in u128"))
+                .collect()
+        })
+        .collect();
+    Table1 { values }
+}
+
+impl Table1 {
+    /// N_{d,2}(k) from the generated table.
+    ///
+    /// # Panics
+    /// Panics if (d, k) is outside the published table's range.
+    pub fn get(&self, d: u32, k: u32) -> u128 {
+        assert!(TABLE1_DIMS.contains(&d) && TABLE1_KS.contains(&k));
+        self.values[(d - 1) as usize][(k - 2) as usize]
+    }
+
+    /// Renders the table in the paper's row/column layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("N_{d,2}(k): rows d=1..10, columns k=2..12\n");
+        out.push_str("  d\\k");
+        for k in TABLE1_KS {
+            out.push_str(&format!("{k:>12}"));
+        }
+        out.push('\n');
+        for (i, row) in self.values.iter().enumerate() {
+            out.push_str(&format!("{:>5}", i + 1));
+            for v in row {
+                out.push_str(&format!("{v:>12}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// In one dimension the recurrence collapses to C(k,2)+1, the same value
+/// as the tree-metric bound (the paper notes this coincidence).
+pub fn n_euclidean_1d(k: u32) -> u128 {
+    binomial(u64::from(k), 2).expect("C(k,2) fits u128") + 1
+}
+
+/// Exact N_{d,2}(k) in arbitrary precision — no overflow ceiling.
+///
+/// Past k ≈ 34 the lower-triangle values (= k!) exceed `u128` and
+/// [`n_euclidean`] returns `None`; this variant runs the same recurrence
+/// on [`BigNat`] limbs so Table 1 can be extended arbitrarily (the
+/// `table1 --extended` harness uses it).  For values that fit, the two
+/// agree exactly (tested).
+pub fn n_euclidean_big(d: u32, k: u32) -> BigNat {
+    if d == 0 || k <= 1 {
+        return BigNat::one();
+    }
+    let d = d as usize;
+    let mut row: Vec<BigNat> = vec![BigNat::one(); d + 1];
+    for kk in 2..=u64::from(k) {
+        for j in (1..=d).rev() {
+            row[j] = row[j].add(&row[j - 1].mul_u64(kk - 1));
+        }
+    }
+    row.swap_remove(d)
+}
+
+/// ⌈log₂ N_{d,2}(k)⌉ without an overflow ceiling.
+pub fn storage_bits_big(d: u32, k: u32) -> u64 {
+    n_euclidean_big(d, k).ceil_log2()
+}
+
+/// An extended Table 1: rows d = 1..=dmax, columns k = 2..=kmax, in
+/// arbitrary precision.
+pub fn table1_extended(dmax: u32, kmax: u32) -> Vec<Vec<BigNat>> {
+    assert!(kmax >= 2, "table needs k >= 2");
+    (1..=dmax)
+        .map(|d| (2..=kmax).map(|k| n_euclidean_big(d, k)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 of the paper, transcribed verbatim for k = 2..8.
+    const PAPER_TABLE_LEFT: [[u128; 7]; 10] = [
+        [2, 4, 7, 11, 16, 22, 29],
+        [2, 6, 18, 46, 101, 197, 351],
+        [2, 6, 24, 96, 326, 932, 2311],
+        [2, 6, 24, 120, 600, 2556, 9080],
+        [2, 6, 24, 120, 720, 4320, 22212],
+        [2, 6, 24, 120, 720, 5040, 35280],
+        [2, 6, 24, 120, 720, 5040, 40320],
+        [2, 6, 24, 120, 720, 5040, 40320],
+        [2, 6, 24, 120, 720, 5040, 40320],
+        [2, 6, 24, 120, 720, 5040, 40320],
+    ];
+
+    /// Table 1 of the paper, k = 9..12 block.
+    const PAPER_TABLE_RIGHT: [[u128; 4]; 10] = [
+        [37, 46, 56, 67],
+        [583, 916, 1376, 1992],
+        [5119, 10366, 19526, 34662],
+        [27568, 73639, 177299, 392085],
+        [94852, 342964, 1079354, 3029643],
+        [212976, 1066644, 4496284, 16369178],
+        [322560, 2239344, 12905784, 62364908],
+        [362880, 3265920, 25659360, 167622984],
+        [362880, 3628800, 36288000, 318540960],
+        [362880, 3628800, 39916800, 439084800],
+    ];
+
+    #[test]
+    fn reproduces_paper_table1_exactly() {
+        let t = table1();
+        for d in 1..=10u32 {
+            for k in 2..=8u32 {
+                assert_eq!(
+                    t.get(d, k),
+                    PAPER_TABLE_LEFT[(d - 1) as usize][(k - 2) as usize],
+                    "d={d} k={k}"
+                );
+            }
+            for k in 9..=12u32 {
+                assert_eq!(
+                    t.get(d, k),
+                    PAPER_TABLE_RIGHT[(d - 1) as usize][(k - 9) as usize],
+                    "d={d} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(n_euclidean(0, 5), Some(1));
+        assert_eq!(n_euclidean(7, 1), Some(1));
+        assert_eq!(n_euclidean(0, 1), Some(1));
+    }
+
+    #[test]
+    fn one_dimension_is_binomial_plus_one() {
+        for k in 1..=40u32 {
+            assert_eq!(n_euclidean(1, k), Some(n_euclidean_1d(k)));
+        }
+    }
+
+    #[test]
+    fn factorial_in_lower_triangle() {
+        // Theorem 6: for d >= k-1 every permutation occurs, N = k!.
+        for k in 2..=10u32 {
+            let fact: u128 = (1..=u128::from(k)).product();
+            for d in (k - 1)..=(k + 2) {
+                assert_eq!(n_euclidean(d, k), Some(fact), "d={d} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_both_arguments() {
+        for d in 1..8u32 {
+            for k in 2..10u32 {
+                let here = n_euclidean(d, k).unwrap();
+                assert!(n_euclidean(d + 1, k).unwrap() >= here);
+                assert!(n_euclidean(d, k + 1).unwrap() > here);
+            }
+        }
+    }
+
+    #[test]
+    fn corollary8_bound_holds() {
+        for d in 1..=6u32 {
+            for k in 2..=12u32 {
+                let n = n_euclidean(d, k).unwrap();
+                let bound = corollary8_upper(d, k).unwrap();
+                assert!(n <= bound, "d={d} k={k}: {n} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn corollary8_leading_term_converges() {
+        // N_{d,2}(k) / (k^{2d}/(2^d d!)) -> 1 as k grows; at d=2, k=4000
+        // the ratio should be within ~0.2% of 1.
+        let d = 2u32;
+        let k = 4000u32;
+        let n = n_euclidean(d, k).unwrap() as f64;
+        let lead = corollary8_leading_term(d, k);
+        let ratio = n / lead;
+        assert!((ratio - 1.0).abs() < 0.005, "ratio {ratio}");
+    }
+
+    #[test]
+    fn storage_bits_is_theta_d_log_k() {
+        // d=3, k=12: N = 34662 -> 16 bits, far below log2(12!) = 29 bits.
+        assert_eq!(storage_bits(3, 12), Some(16));
+        assert_eq!(storage_bits(1, 2), Some(1));
+        assert_eq!(storage_bits(0, 9), Some(0));
+    }
+
+    #[test]
+    fn render_contains_key_values() {
+        let s = table1().render();
+        assert!(s.contains("439084800"));
+        assert!(s.contains("392085"));
+    }
+
+    #[test]
+    fn overflow_reported_as_none() {
+        // Far outside any practical range: must not wrap silently.
+        assert_eq!(corollary8_upper(64, u32::MAX), None);
+    }
+
+    #[test]
+    fn big_recurrence_agrees_with_u128_in_range() {
+        for d in 0..=10u32 {
+            for k in 1..=14u32 {
+                assert_eq!(
+                    n_euclidean_big(d, k).to_u128(),
+                    n_euclidean(d, k),
+                    "d={d} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn big_recurrence_reaches_past_u128() {
+        // d = 39, k = 40 sits in the lower triangle, so N = 40! > 2^128.
+        use crate::bignum::factorial_big;
+        let n = n_euclidean_big(39, 40);
+        assert_eq!(n, factorial_big(40));
+        assert!(n.to_u128().is_none(), "40! must exceed u128");
+        // And u128 arithmetic correctly reports the overflow.
+        assert_eq!(n_euclidean(39, 40), None);
+    }
+
+    #[test]
+    fn big_storage_bits_match_small() {
+        for d in 1..=6u32 {
+            for k in 2..=12u32 {
+                assert_eq!(storage_bits_big(d, k), u64::from(storage_bits(d, k).unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn extended_table_shape_and_lower_triangle() {
+        use crate::bignum::factorial_big;
+        let t = table1_extended(12, 14);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t[0].len(), 13);
+        // Lower triangle is k!.
+        assert_eq!(t[11][2], factorial_big(4)); // d=12, k=4: d >= k-1
+    }
+}

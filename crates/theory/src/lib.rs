@@ -1,0 +1,41 @@
+//! # dp-theory — exact counts, bounds and constructions
+//!
+//! The theoretical results of *Counting distance permutations* (Skala,
+//! SISAP'08 / JDA 2009), as executable code:
+//!
+//! * [`cake`] — Price's classical hyperplane cake-cutting numbers S_d(m),
+//!   the scaffolding for every upper bound in the paper;
+//! * [`euclidean`] — Theorem 7's exact recurrence N_{d,2}(k) and the
+//!   generator for the paper's **Table 1**; Corollary 8's bounds;
+//! * [`tree`] — Theorem 4's bound C(k,2)+1 for tree metrics;
+//! * [`bounds`] — Theorem 9's piecewise-linear-bisector bounds for L1/L∞
+//!   and the dimension threshold of Theorem 6;
+//! * [`storage`] — the storage-space analysis of §1/§4: LAESA's
+//!   O(nk log n) bits vs unrestricted permutations' O(nk log k) bits vs the
+//!   paper's Θ(nd log k) bits via a permutation codebook;
+//! * [`construction`] — the two explicit constructions: Theorem 6's k sites
+//!   in (k−1)-space realising **all k! permutations** (with witness points
+//!   recovered by the proof's own monotone sweep), and Corollary 5's path
+//!   achieving the tree bound exactly;
+//! * [`bignum`] — arbitrary-precision naturals so the exact recurrence can
+//!   run past `u128` (k ≳ 34), powering the extended Table 1;
+//! * [`prefixes`] — ceilings for *truncated* permutations (top-ℓ
+//!   prefixes): combinatorial falling-factorial bounds meeting the
+//!   geometric N_{d,2}(k) ceiling.
+
+pub mod bignum;
+pub mod bounds;
+pub mod cake;
+pub mod construction;
+pub mod euclidean;
+pub mod prefixes;
+pub mod storage;
+pub mod tree;
+
+pub use bignum::BigNat;
+pub use bounds::{l1_bound, linf_bound, min_dimension_for_all_permutations};
+pub use cake::cake_pieces;
+pub use construction::{corollary5_path, theorem6_sites, theorem6_witnesses};
+pub use euclidean::{n_euclidean, n_euclidean_big, table1, table1_extended, Table1};
+pub use prefixes::{falling_factorial, ordered_prefix_bound, unordered_prefix_bound};
+pub use tree::tree_bound;

@@ -1,0 +1,155 @@
+//! Bounds on *truncated* distance permutations (top-ℓ prefixes).
+//!
+//! Section 2 presents the distance-permutation cells as the common
+//! refinement of every order of Voronoi diagram: the length-1 prefix is
+//! the classical nearest-neighbour diagram (Fig 1), unordered length-2
+//! prefixes give the second-order diagram (Fig 2), and length-k recovers
+//! the full bisector arrangement (Fig 3).  Indexes that store only a
+//! prefix (`dp-index`'s truncated `distperm`, after Chávez–Figueroa–
+//! Navarro) therefore admit two independent ceilings on how many distinct
+//! keys can occur:
+//!
+//! 1. **combinatorial** — an ordered ℓ-prefix is an ℓ-arrangement of k
+//!    sites, so at most k·(k−1)···(k−ℓ+1) (the falling factorial); an
+//!    unordered one at most C(k,ℓ);
+//! 2. **geometric** — every prefix class is a union of full-permutation
+//!    cells, so the space's N_{d,p}(k) ceiling applies unchanged.
+//!
+//! The usable bound is the minimum of the two; these functions package
+//! that for the Euclidean exact count (Theorem 7).
+
+use crate::cake::binomial;
+use crate::euclidean::n_euclidean;
+
+/// Falling factorial k·(k−1)···(k−ℓ+1): the number of ordered ℓ-prefixes
+/// of k sites, ignoring geometry; `None` on u128 overflow.
+///
+/// `falling_factorial(k, 0)` = 1 (the empty prefix).
+pub fn falling_factorial(k: u32, l: u32) -> Option<u128> {
+    if l > k {
+        return Some(0);
+    }
+    let mut acc: u128 = 1;
+    for i in 0..u128::from(l) {
+        acc = acc.checked_mul(u128::from(k) - i)?;
+    }
+    Some(acc)
+}
+
+/// Upper bound on distinct **ordered** ℓ-prefixes of distance
+/// permutations of k sites in d-dimensional Euclidean space:
+/// min(falling factorial, N_{d,2}(k)); `None` if both sides overflow.
+pub fn ordered_prefix_bound(d: u32, k: u32, l: u32) -> Option<u128> {
+    let comb = falling_factorial(k, l);
+    let geom = n_euclidean(d, k);
+    match (comb, geom) {
+        (Some(c), Some(g)) => Some(c.min(g)),
+        (Some(c), None) => Some(c),
+        (None, Some(g)) => Some(g),
+        (None, None) => None,
+    }
+}
+
+/// Upper bound on distinct **unordered** ℓ-prefixes (order-ℓ Voronoi
+/// cells occupied, Fig 2): min(C(k,ℓ), N_{d,2}(k)).
+pub fn unordered_prefix_bound(d: u32, k: u32, l: u32) -> Option<u128> {
+    let comb = binomial(u64::from(k), u64::from(l));
+    let geom = n_euclidean(d, k);
+    match (comb, geom) {
+        (Some(c), Some(g)) => Some(c.min(g)),
+        (Some(c), None) => Some(c),
+        (None, Some(g)) => Some(g),
+        (None, None) => None,
+    }
+}
+
+/// Bits to store an ordered ℓ-prefix under the codebook strategy:
+/// ⌈log₂ ordered_prefix_bound⌉.
+pub fn prefix_storage_bits(d: u32, k: u32, l: u32) -> Option<u32> {
+    let n = ordered_prefix_bound(d, k, l)?;
+    Some(if n <= 1 { 0 } else { 128 - (n - 1).leading_zeros() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falling_factorial_values() {
+        assert_eq!(falling_factorial(5, 0), Some(1));
+        assert_eq!(falling_factorial(5, 1), Some(5));
+        assert_eq!(falling_factorial(5, 2), Some(20));
+        assert_eq!(falling_factorial(5, 5), Some(120));
+        assert_eq!(falling_factorial(4, 5), Some(0));
+        assert_eq!(falling_factorial(12, 12), Some(479001600));
+    }
+
+    #[test]
+    fn full_length_ordered_bound_is_table1_entry() {
+        // At ℓ = k the combinatorial side is k!, so the bound is exactly
+        // min(k!, N_{d,2}(k)) = N_{d,2}(k) (N never exceeds k!).
+        for d in 1..=6u32 {
+            for k in 2..=10u32 {
+                assert_eq!(
+                    ordered_prefix_bound(d, k, k),
+                    n_euclidean(d, k),
+                    "d={d} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_bound_is_k() {
+        // The nearest-neighbour Voronoi diagram of k sites has exactly k
+        // cells (in any dimension >= 1), and the bound reflects it.
+        for k in 2..=12u32 {
+            assert_eq!(ordered_prefix_bound(3, k, 1), Some(u128::from(k)));
+            assert_eq!(unordered_prefix_bound(3, k, 1), Some(u128::from(k)));
+        }
+    }
+
+    #[test]
+    fn low_dimension_geometry_caps_the_combinatorics() {
+        // d = 1, k = 12: only C(12,2)+1 = 67 cells exist, far below the
+        // 12·11·10 = 1320 combinatorial prefixes of length 3.
+        assert_eq!(ordered_prefix_bound(1, 12, 3), Some(67));
+        assert_eq!(falling_factorial(12, 3), Some(1320));
+    }
+
+    #[test]
+    fn unordered_below_ordered() {
+        for d in 1..=4u32 {
+            for k in 2..=10u32 {
+                for l in 1..=k {
+                    let uo = unordered_prefix_bound(d, k, l).unwrap();
+                    let or = ordered_prefix_bound(d, k, l).unwrap();
+                    assert!(uo <= or, "d={d} k={k} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_monotone_in_prefix_length() {
+        // Longer ordered prefixes can only refine: the bound is
+        // non-decreasing in ℓ.
+        for k in 2..=10u32 {
+            let mut prev = 0u128;
+            for l in 1..=k {
+                let b = ordered_prefix_bound(4, k, l).unwrap();
+                assert!(b >= prev, "k={k} l={l}");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_storage_bits_examples() {
+        // d=3, k=12, l=2: min(132, 34662) = 132 -> 8 bits, versus 16 for
+        // the full permutation (Table 1's 34662).
+        assert_eq!(prefix_storage_bits(3, 12, 2), Some(8));
+        assert_eq!(prefix_storage_bits(3, 12, 12), Some(16));
+        assert_eq!(prefix_storage_bits(3, 12, 0), Some(0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Theorem 4: tree metrics admit at most C(k,2)+1 distance permutations.
+//!
+//! Every bisector in a tree is realised by a single cut edge, and cutting
+//! C(k,2) edges leaves at most C(k,2)+1 components — each component being
+//! one distance-permutation cell.
+
+use crate::cake::binomial;
+
+/// The Theorem 4 bound: C(k,2) + 1.
+pub fn tree_bound(k: u32) -> u128 {
+    binomial(u64::from(k), 2).expect("C(k,2) fits in u128") + 1
+}
+
+/// Length (in edges) of the path Corollary 5 uses to achieve the bound:
+/// 2^(k-1).
+///
+/// # Panics
+/// Panics if `k > 40` (the path would not fit in memory anyway).
+pub fn corollary5_path_edges(k: u32) -> u64 {
+    assert!(k <= 40, "corollary 5 path for k={k} is astronomically large");
+    1u64 << (k - 1)
+}
+
+/// The site labels of Corollary 5: 0, 2, 4, 8, …, 2^(k-1).
+pub fn corollary5_site_labels(k: u32) -> Vec<u64> {
+    assert!(k >= 1);
+    let mut sites = Vec::with_capacity(k as usize);
+    sites.push(0);
+    for i in 1..k {
+        sites.push(1u64 << i);
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_values() {
+        assert_eq!(tree_bound(1), 1);
+        assert_eq!(tree_bound(2), 2);
+        assert_eq!(tree_bound(3), 4);
+        assert_eq!(tree_bound(4), 7);
+        assert_eq!(tree_bound(12), 67);
+    }
+
+    #[test]
+    fn tree_bound_equals_euclidean_1d() {
+        // The paper notes N_{1,2}(k) = C(k,2)+1 = the tree bound.
+        for k in 1..=20u32 {
+            assert_eq!(tree_bound(k), crate::euclidean::n_euclidean(1, k).unwrap());
+        }
+    }
+
+    #[test]
+    fn corollary5_shapes() {
+        assert_eq!(corollary5_path_edges(2), 2);
+        assert_eq!(corollary5_path_edges(5), 16);
+        assert_eq!(corollary5_site_labels(4), vec![0, 2, 4, 8]);
+        assert_eq!(corollary5_site_labels(1), vec![0]);
+    }
+
+    #[test]
+    fn sites_fit_on_path() {
+        for k in 1..=16u32 {
+            let edges = corollary5_path_edges(k);
+            for &s in &corollary5_site_labels(k) {
+                assert!(s <= edges, "site {s} beyond path of {edges} edges");
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the arbitrary-precision naturals: every operation
+//! must agree with `u128` wherever `u128` can express the answer, and the
+//! Theorem 7 recurrences must agree wherever both run.
+
+use dp_theory::bignum::{factorial_big, BigNat};
+use dp_theory::euclidean::{n_euclidean, storage_bits};
+use dp_theory::n_euclidean_big;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..(1 << 126), b in 0u128..(1 << 126)) {
+        let got = BigNat::from(a).add(&BigNat::from(b));
+        prop_assert_eq!(got.to_u128(), Some(a + b));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u128..(1 << 63), b in 0u128..(1 << 63)) {
+        let got = BigNat::from(a).mul(&BigNat::from(b));
+        prop_assert_eq!(got.to_u128(), Some(a * b));
+        let small = BigNat::from(a).mul_u64(b as u64);
+        prop_assert_eq!(small.to_u128(), Some(a * b));
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(BigNat::from(a).cmp(&BigNat::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn display_matches_u128(v in any::<u128>()) {
+        prop_assert_eq!(BigNat::from(v).to_string(), v.to_string());
+    }
+
+    #[test]
+    fn ceil_log2_matches_element_bits(v in 1u128..(1 << 100)) {
+        // ⌈log₂ v⌉ computed the integer way.
+        let expected = 128 - (v - 1).leading_zeros();
+        let expected = if v == 1 { 0 } else { expected };
+        prop_assert_eq!(BigNat::from(v).ceil_log2(), u64::from(expected));
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative_past_u128(
+        a in any::<u128>(),
+        b in any::<u128>(),
+        c in any::<u128>()
+    ) {
+        let (x, y, z) = (BigNat::from(a), BigNat::from(b), BigNat::from(c));
+        prop_assert_eq!(x.add(&y), y.add(&x));
+        prop_assert_eq!(x.add(&y).add(&z), x.add(&y.add(&z)));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in 0u128..(1 << 90), b in 0u128..(1 << 90), m in 0u64..1000) {
+        let (x, y) = (BigNat::from(a), BigNat::from(b));
+        prop_assert_eq!(
+            x.add(&y).mul_u64(m),
+            x.mul_u64(m).add(&y.mul_u64(m))
+        );
+    }
+
+    #[test]
+    fn big_recurrence_agrees_with_u128_recurrence(d in 0u32..8, k in 1u32..16) {
+        prop_assert_eq!(n_euclidean_big(d, k).to_u128(), n_euclidean(d, k));
+    }
+
+    #[test]
+    fn big_storage_bits_agree(d in 1u32..7, k in 2u32..13) {
+        prop_assert_eq!(
+            n_euclidean_big(d, k).ceil_log2(),
+            u64::from(storage_bits(d, k).unwrap())
+        );
+    }
+}
+
+#[test]
+fn factorials_chain_multiplicatively() {
+    let mut acc = BigNat::one();
+    for k in 1..=60u32 {
+        acc = acc.mul_u64(u64::from(k));
+        assert_eq!(acc, factorial_big(k), "k = {k}");
+    }
+    // Spot value: 60! has 82 decimal digits.
+    assert_eq!(factorial_big(60).to_string().len(), 82);
+}

@@ -1,0 +1,42 @@
+//! Reproduces §5's most striking result: the Euclidean maximum N_{d,2}(k)
+//! is *not* a bound for other Lp metrics.  Verifies the paper's Eq. 12
+//! sites (3-D L1, k = 5, >96 permutations) and hunts for a fresh
+//! counterexample with the randomized protocol that found them.
+//!
+//! Run with: `cargo run --release --example counterexample_hunt`
+
+use distance_permutations::core::counterexample::{
+    eq12_sites, search_counterexample, verify_eq12, SearchMetric,
+};
+use distance_permutations::theory::n_euclidean;
+
+fn main() {
+    println!("the paper's Eq. 12 sites (3-D L1, k = 5):");
+    for (i, s) in eq12_sites().iter().enumerate() {
+        println!("  x{} = {:?}", i + 1, s);
+    }
+    let report = verify_eq12(500_000, 99, 8);
+    println!(
+        "\nsampled distinct permutations: {} > N_3,2(5) = {} -> Euclidean bound broken: {}",
+        report.observed,
+        report.euclidean_max,
+        report.exceeds_euclidean()
+    );
+    assert!(report.exceeds_euclidean(), "increase the sample size");
+
+    println!("\nhunting a fresh counterexample in 3-D L-infinity with k = 5 …");
+    let (sites, rep) = search_counterexample(SearchMetric::LInf, 3, 5, 40, 300_000, 7, 8);
+    println!(
+        "best found: {} permutations vs Euclidean max {}",
+        rep.observed,
+        n_euclidean(3, 5).expect("small")
+    );
+    if rep.exceeds_euclidean() {
+        println!("counterexample sites:");
+        for (i, s) in sites.iter().enumerate() {
+            println!("  x{} = {:?}", i + 1, s);
+        }
+    } else {
+        println!("none found in this budget — rerun with more trials/samples.");
+    }
+}

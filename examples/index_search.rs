@@ -1,0 +1,85 @@
+//! Proximity search over a dictionary with the paper's index family:
+//! build the `distperm` index on a synthetic word list under edit
+//! distance, run k-NN queries, and compare metric-evaluation costs with
+//! LAESA, iAESA and a linear scan — the §1 storyline (AESA → LAESA →
+//! distance permutations) on live data.
+//!
+//! Run with: `cargo run --release --example index_search`
+
+use distance_permutations::datasets::dictionary::{generate_words, language_profiles};
+use distance_permutations::index::laesa::PivotSelection;
+use distance_permutations::index::{CountingMetric, DistPermIndex, IAesa, Laesa, LinearScan};
+use distance_permutations::metric::Levenshtein;
+
+fn main() {
+    let n = 3_000;
+    let k = 12;
+    let profiles = language_profiles();
+    let words = generate_words(&profiles[1], n, 7); // synthetic English
+    let queries = generate_words(&profiles[1], 40, 8);
+
+    println!("database: {n} synthetic English words, Levenshtein metric, k = {k} sites\n");
+
+    // Ground truth.
+    let scan = LinearScan::new(words.clone());
+
+    // distperm: permutations only — the paper's storage-light index.
+    let dp = DistPermIndex::build(
+        CountingMetric::new(Levenshtein),
+        words.clone(),
+        k,
+        PivotSelection::MaxMin,
+    );
+    println!(
+        "distperm index: {} distinct permutations across {n} words; codebook id = {} bits/word",
+        dp.distinct_permutations(),
+        dp.codebook().0.id_bits()
+    );
+
+    // LAESA for comparison.
+    let laesa = Laesa::build(CountingMetric::new(Levenshtein), words.clone(), k, PivotSelection::MaxMin);
+    // iAESA (exact, matrix-backed, permutation-ordered).
+    let iaesa = IAesa::build(CountingMetric::new(Levenshtein), words.clone(), k, PivotSelection::MaxMin);
+
+    let mut dp_evals = 0u64;
+    let mut dp_hits = 0usize;
+    let mut laesa_evals = 0u64;
+    let mut iaesa_evals = 0u64;
+    for q in &queries {
+        let truth = scan.knn(&Levenshtein, q, 3);
+
+        dp.metric().reset();
+        let approx = dp.knn_approx(q, 3, 0.1);
+        dp_evals += dp.metric().count();
+        dp_hits += approx.iter().filter(|n| truth.iter().any(|t| t.id == n.id)).count();
+
+        laesa.metric().reset();
+        let exact = laesa.knn(q, 3);
+        laesa_evals += laesa.metric().count();
+        assert_eq!(exact, truth, "LAESA must be exact");
+
+        iaesa.metric().reset();
+        let exact2 = iaesa.knn(q, 3);
+        iaesa_evals += iaesa.metric().count();
+        assert_eq!(exact2, truth, "iAESA must be exact");
+    }
+
+    let nq = queries.len() as f64;
+    println!("\n3-NN query cost (metric evaluations per query, n = {n}):");
+    println!("  linear scan:              {n}");
+    println!("  LAESA (exact):            {:.0}", laesa_evals as f64 / nq);
+    println!("  iAESA (exact):            {:.0}", iaesa_evals as f64 / nq);
+    println!(
+        "  distperm (10% budget):    {:.0}  recall@3 = {:.2}",
+        dp_evals as f64 / nq,
+        dp_hits as f64 / (3.0 * nq)
+    );
+
+    // Show one query end to end.
+    let q = &queries[0];
+    let nn = scan.knn(&Levenshtein, q, 3);
+    println!("\nexample query {q:?}:");
+    for n in nn {
+        println!("  {:<18} distance {}", format!("{:?}", scan.points()[n.id]), n.dist);
+    }
+}

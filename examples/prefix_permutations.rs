@@ -1,0 +1,74 @@
+//! Truncated permutations: §2's refinement chain as an index knob.
+//!
+//! Storing only the ℓ nearest sites per element interpolates between the
+//! nearest-neighbour Voronoi diagram (ℓ = 1, Fig 1) and the full
+//! permutation diagram (ℓ = k, Fig 3).  This example sweeps ℓ and prints,
+//! for each length: the number of distinct stored keys (against the
+//! theory ceiling), the index size, and the recall of budgeted
+//! permutation-ordered 1-NN search — the storage/accuracy trade-off a
+//! deployment actually tunes.
+//!
+//! Run with: `cargo run --release --example prefix_permutations`
+
+use distance_permutations::core::orders::{count_distinct_prefixes, PrefixKind};
+use distance_permutations::index::laesa::PivotSelection;
+use distance_permutations::index::{LinearScan, PrefixPermIndex};
+use distance_permutations::datasets::uniform_unit_cube;
+use distance_permutations::metric::L2;
+use distance_permutations::theory::prefixes::ordered_prefix_bound;
+
+fn main() {
+    let (n, d, k) = (20_000usize, 3usize, 12usize);
+    let db = uniform_unit_cube(n, d, 99);
+    let queries = uniform_unit_cube(200, d, 100);
+    let scan = LinearScan::new(db.clone());
+    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(&L2, q, 1)[0].id).collect();
+
+    println!("n = {n}, d = {d}, k = {k} sites (MaxMin), 1-NN recall at 5% budget\n");
+    println!(
+        "{:>3} {:>10} {:>12} {:>12} {:>8}",
+        "l", "distinct", "bound", "bits/elem", "recall"
+    );
+    for l in 1..=k.min(8) {
+        let idx = PrefixPermIndex::build(L2, db.clone(), k, l, PivotSelection::MaxMin);
+        let distinct = idx.distinct_prefixes();
+        // Cross-check against the one-pass counter.
+        let sites: Vec<Vec<f64>> =
+            idx.site_ids().iter().map(|&i| db[i].clone()).collect();
+        assert_eq!(
+            distinct,
+            count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Ordered)
+        );
+        let bound = ordered_prefix_bound(d as u32, k as u32, l as u32).unwrap();
+        assert!(distinct as u128 <= bound, "count exceeds theory at l={l}");
+
+        let hits = queries
+            .iter()
+            .zip(&truth)
+            .filter(|(q, &t)| idx.knn_approx(q, 1, 0.05).first().map(|n| n.id) == Some(t))
+            .count();
+        println!(
+            "{l:>3} {distinct:>10} {bound:>12} {:>12.1} {:>7.1}%",
+            idx.storage_bits_raw() as f64 / n as f64,
+            100.0 * hits as f64 / queries.len() as f64
+        );
+    }
+    // The full-length column for comparison (l = k = 12 > 8 prefix-count
+    // cap, so report it separately).
+    let idx = PrefixPermIndex::build(L2, db.clone(), k, k, PivotSelection::MaxMin);
+    let hits = queries
+        .iter()
+        .zip(&truth)
+        .filter(|(q, &t)| idx.knn_approx(q, 1, 0.05).first().map(|n| n.id) == Some(t))
+        .count();
+    println!(
+        "{:>3} {:>10} {:>12} {:>12.1} {:>7.1}%  (full permutation)",
+        k,
+        idx.distinct_prefixes(),
+        distance_permutations::theory::n_euclidean(d as u32, k as u32).unwrap(),
+        idx.storage_bits_raw() as f64 / n as f64,
+        100.0 * hits as f64 / queries.len() as f64
+    );
+    println!("\nreading: most of the recall arrives by l ≈ 2d, matching §4's");
+    println!("observation that permutations carry little information past k ≈ 2d.");
+}

@@ -1,0 +1,64 @@
+//! Renders the generalized Voronoi diagrams of Figures 1–4 for a random
+//! site configuration: nearest-site cells, second-order cells, and the
+//! full distance-permutation cells under L2 and L1, plus the exact
+//! Euclidean cell count from the rational arrangement counter.
+//!
+//! Output: PPM images + one SVG in `figures-example/`.
+//!
+//! Run with: `cargo run --release --example voronoi_figures -- [seed]`
+
+use distance_permutations::geometry::arrangement::euclidean_cells;
+use distance_permutations::geometry::render::{render_cells, svg_euclidean_bisectors, CellKey};
+use distance_permutations::geometry::sampling::{grid_count, BBox};
+use distance_permutations::metric::{L1, L2};
+use distance_permutations::theory::n_euclidean;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fs;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let k = 5usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sites_i: Vec<(i64, i64)> = (0..k)
+        .map(|_| (rng.random_range(100..900), rng.random_range(100..900)))
+        .collect();
+    let sites: Vec<Vec<f64>> = sites_i
+        .iter()
+        .map(|&(x, y)| vec![x as f64 / 1000.0, y as f64 / 1000.0])
+        .collect();
+
+    let exact = euclidean_cells(&sites_i);
+    let emax = n_euclidean(2, k as u32).expect("small");
+    println!("sites (seed {seed}): {sites_i:?}");
+    println!("exact Euclidean cells: {exact} (maximum for k={k}: {emax})");
+
+    let bbox = BBox { x_min: -0.2, x_max: 1.2, y_min: -0.2, y_max: 1.2 };
+    let l1 = grid_count(&L1, &sites, bbox, 600, 600).distinct();
+    println!("L1 grid census: {l1} cells");
+
+    let dir = std::path::Path::new("figures-example");
+    fs::create_dir_all(dir).expect("create output dir");
+    let renders: [(&str, CellKey, bool); 4] = [
+        ("nearest.ppm", CellKey::Nearest, false),
+        ("second_order.ppm", CellKey::TopTwoUnordered, false),
+        ("full_l2.ppm", CellKey::FullPermutation, false),
+        ("full_l1.ppm", CellKey::FullPermutation, true),
+    ];
+    for (name, key, use_l1) in renders {
+        let img = if use_l1 {
+            render_cells(&L1, &sites, bbox, 512, 512, key)
+        } else {
+            render_cells(&L2, &sites, bbox, 512, 512, key)
+        };
+        fs::write(dir.join(name), img.to_ppm()).expect("write ppm");
+        println!("wrote figures-example/{name}");
+    }
+    let svg = svg_euclidean_bisectors(
+        &sites_i,
+        BBox { x_min: -200.0, x_max: 1200.0, y_min: -200.0, y_max: 1200.0 },
+        512.0,
+    );
+    fs::write(dir.join("bisectors.svg"), svg).expect("write svg");
+    println!("wrote figures-example/bisectors.svg");
+}

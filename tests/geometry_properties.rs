@@ -1,0 +1,89 @@
+//! Property-based tests tying the exact geometry to the exact theory:
+//! the arrangement counter can never exceed the Theorem 7 recurrence, and
+//! the 1-D midpoint counter can never exceed C(k,2)+1, for *any* site
+//! configuration — degenerate or not.
+
+use distance_permutations::geometry::arrangement::euclidean_cells;
+use distance_permutations::geometry::oned::{exact_count_1d, midpoints_1d};
+use distance_permutations::geometry::Line;
+use distance_permutations::theory::{cake_pieces, n_euclidean, tree_bound};
+use proptest::prelude::*;
+
+fn arb_sites(k: usize, spread: i64) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::btree_set((-spread..spread, -spread..spread), k)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn euclidean_cells_never_exceed_theorem7(sites in arb_sites(5, 50)) {
+        let cells = euclidean_cells(&sites);
+        let bound = n_euclidean(2, sites.len() as u32).unwrap();
+        prop_assert!(cells <= bound, "{cells} > {bound} for {sites:?}");
+        prop_assert!(cells >= 2, "two distinct sites always split the plane");
+    }
+
+    #[test]
+    fn euclidean_cells_monotone_under_site_addition(sites in arb_sites(6, 40)) {
+        // Adding a site (= adding bisectors) can never merge cells.
+        for k in 2..sites.len() {
+            prop_assert!(
+                euclidean_cells(&sites[..k]) <= euclidean_cells(&sites[..=k])
+            );
+        }
+    }
+
+    #[test]
+    fn one_d_count_bounded_and_consistent(sites in prop::collection::btree_set(-1000i64..1000, 2..9)) {
+        let sites: Vec<i64> = sites.into_iter().collect();
+        let count = exact_count_1d(&sites);
+        let k = sites.len() as u32;
+        prop_assert!(count <= tree_bound(k));
+        // Count is exactly #distinct midpoints + 1.
+        prop_assert_eq!(count, midpoints_1d(&sites).len() as u128 + 1);
+    }
+
+    #[test]
+    fn arrangement_count_bounded_by_cake_numbers(sites in arb_sites(5, 30)) {
+        // The raw cake bound S_2(C(k,2)) dominates the corrected count.
+        let k = sites.len() as u64;
+        let cells = euclidean_cells(&sites);
+        let cake = cake_pieces(2, k * (k - 1) / 2).unwrap();
+        prop_assert!(cells <= cake);
+    }
+
+    #[test]
+    fn bisector_canonicalisation_is_stable(
+        a in (-100i64..100, -100i64..100),
+        b in (-100i64..100, -100i64..100),
+    ) {
+        prop_assume!(a != b);
+        let l1 = Line::bisector(a, b);
+        let l2 = Line::bisector(b, a);
+        prop_assert_eq!(l1, l2);
+        // The midpoint (doubled coordinates to stay integral) lies on it.
+        let mx = distance_permutations::geometry::Rat::new((a.0 + b.0) as i128, 2);
+        let my = distance_permutations::geometry::Rat::new((a.1 + b.1) as i128, 2);
+        prop_assert!(l1.contains(mx, my));
+    }
+
+    #[test]
+    fn line_intersection_is_symmetric_and_on_both(
+        a in (1i128..50, -50i128..50, -50i128..50),
+        b in (1i128..50, -50i128..50, -50i128..50),
+    ) {
+        let la = Line::new(a.0, a.1, a.2);
+        let lb = Line::new(b.0, b.1, b.2);
+        match (la.intersect(&lb), lb.intersect(&la)) {
+            (Some(p), Some(q)) => {
+                prop_assert_eq!(p, q);
+                prop_assert!(la.contains(p.0, p.1));
+                prop_assert!(lb.contains(p.0, p.1));
+            }
+            (None, None) => prop_assert!(la.parallel(&lb)),
+            _ => prop_assert!(false, "asymmetric intersection"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate index consistency: every exact index must agree with the
+//! linear scan on every query, across point types and metrics; the
+//! distperm index's counting must agree with the direct counter.
+
+use distance_permutations::datasets::dictionary::{generate_words, language_profiles};
+use distance_permutations::datasets::documents::{generate_documents, long_profile};
+use distance_permutations::datasets::uniform_unit_cube;
+use distance_permutations::index::laesa::PivotSelection;
+use distance_permutations::index::{Aesa, DistPermIndex, GhTree, IAesa, Laesa, LinearScan, VpTree};
+use distance_permutations::metric::{CosineDistance, F64Dist, Levenshtein, L1, L2};
+use distance_permutations::permutation::counter::count_distinct;
+
+#[test]
+fn all_exact_indexes_agree_on_vectors() {
+    let pts = uniform_unit_cube(300, 3, 1);
+    let queries = uniform_unit_cube(20, 3, 2);
+    let scan = LinearScan::new(pts.clone());
+    let aesa = Aesa::build(L2, pts.clone());
+    let laesa = Laesa::build(L2, pts.clone(), 8, PivotSelection::MaxMin);
+    let iaesa = IAesa::build(L2, pts.clone(), 8, PivotSelection::MaxMin);
+    let vp = VpTree::build(L2, pts.clone());
+    let gh = GhTree::build(L2, pts.clone());
+    let dp = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
+    for q in &queries {
+        let truth = scan.knn(&L2, q, 4);
+        assert_eq!(aesa.knn(q, 4), truth, "AESA");
+        assert_eq!(laesa.knn(q, 4), truth, "LAESA");
+        assert_eq!(iaesa.knn(q, 4), truth, "iAESA");
+        assert_eq!(vp.knn(q, 4), truth, "VP-tree");
+        assert_eq!(gh.knn(q, 4), truth, "GH-tree");
+        assert_eq!(dp.knn_approx(q, 4, 1.0), truth, "distperm full budget");
+    }
+}
+
+#[test]
+fn all_exact_indexes_agree_on_range_queries_l1() {
+    let pts = uniform_unit_cube(250, 2, 3);
+    let queries = uniform_unit_cube(15, 2, 4);
+    let scan = LinearScan::new(pts.clone());
+    let aesa = Aesa::build(L1, pts.clone());
+    let laesa = Laesa::build(L1, pts.clone(), 6, PivotSelection::MaxMin);
+    let vp = VpTree::build(L1, pts.clone());
+    let gh = GhTree::build(L1, pts);
+    for q in &queries {
+        for r in [0.1, 0.3, 0.8] {
+            let radius = F64Dist::new(r);
+            let truth = scan.range(&L1, q, radius);
+            assert_eq!(aesa.range(q, radius), truth, "AESA r={r}");
+            assert_eq!(laesa.range(q, radius), truth, "LAESA r={r}");
+            assert_eq!(vp.range(q, radius), truth, "VP r={r}");
+            assert_eq!(gh.range(q, radius), truth, "GH r={r}");
+        }
+    }
+}
+
+#[test]
+fn indexes_agree_on_dictionaries() {
+    let words = generate_words(&language_profiles()[4], 300, 5);
+    let queries = generate_words(&language_profiles()[4], 15, 6);
+    let scan = LinearScan::new(words.clone());
+    let vp = VpTree::build(Levenshtein, words.clone());
+    let gh = GhTree::build(Levenshtein, words.clone());
+    let laesa = Laesa::build(Levenshtein, words, 6, PivotSelection::MaxMin);
+    for q in &queries {
+        let truth = scan.knn(&Levenshtein, q, 3);
+        assert_eq!(vp.knn(q, 3), truth);
+        assert_eq!(gh.knn(q, 3), truth);
+        assert_eq!(laesa.knn(q, 3), truth);
+    }
+}
+
+#[test]
+fn indexes_agree_on_documents() {
+    let docs = generate_documents(long_profile(), 150, 7);
+    let queries = generate_documents(long_profile(), 10, 8);
+    let scan = LinearScan::new(docs.clone());
+    let vp = VpTree::build(CosineDistance, docs.clone());
+    let aesa = Aesa::build(CosineDistance, docs);
+    for q in &queries {
+        let truth = scan.knn(&CosineDistance, q, 3);
+        assert_eq!(vp.knn(q, 3), truth);
+        assert_eq!(aesa.knn(q, 3), truth);
+    }
+}
+
+#[test]
+fn distperm_counting_is_consistent_with_direct_counter() {
+    let words = generate_words(&language_profiles()[0], 500, 9);
+    let idx =
+        DistPermIndex::build(Levenshtein, words.clone(), 7, PivotSelection::Prefix);
+    let sites: Vec<String> = words[..7].to_vec();
+    assert_eq!(
+        idx.distinct_permutations(),
+        count_distinct(&Levenshtein, &sites, &words)
+    );
+    // The ASCII export has one line per word and as many distinct lines
+    // as distinct permutations (the paper's sort|uniq|wc pipeline).
+    let text = idx.export_ascii();
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), words.len());
+    lines.sort_unstable();
+    lines.dedup();
+    assert_eq!(lines.len(), idx.distinct_permutations());
+}

@@ -1,0 +1,92 @@
+//! Cross-crate consistency of the truncated-permutation (prefix) layer:
+//! the one-pass counter in dp-core, the index in dp-index, and the
+//! ceilings in dp-theory must all agree on §2's refinement chain.
+
+use distance_permutations::core::orders::{count_distinct_prefixes, refinement_chain, PrefixKind};
+use distance_permutations::datasets::uniform_unit_cube;
+use distance_permutations::index::laesa::PivotSelection;
+use distance_permutations::index::PrefixPermIndex;
+use distance_permutations::metric::{L1, L2, LInf};
+use distance_permutations::theory::cake::binomial;
+use distance_permutations::theory::prefixes::{
+    falling_factorial, ordered_prefix_bound, unordered_prefix_bound,
+};
+
+fn setup(d: usize, n: usize, k: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let db = uniform_unit_cube(n, d, seed);
+    let sites: Vec<Vec<f64>> = db[..k].to_vec();
+    (db, sites)
+}
+
+#[test]
+fn core_counter_and_index_agree_at_every_length() {
+    let (db, _) = setup(3, 4_000, 7, 1);
+    for l in 1..=7usize {
+        let idx = PrefixPermIndex::build(L2, db.clone(), 7, l, PivotSelection::Prefix);
+        let sites: Vec<Vec<f64>> = idx.site_ids().iter().map(|&i| db[i].clone()).collect();
+        let direct = count_distinct_prefixes(&L2, &sites, &db, l.min(7), PrefixKind::Ordered);
+        assert_eq!(idx.distinct_prefixes(), direct, "l = {l}");
+    }
+}
+
+#[test]
+fn counts_respect_both_theory_ceilings() {
+    for d in 1..=3usize {
+        let (db, sites) = setup(d, 10_000, 8, d as u64 + 10);
+        for l in 1..=8usize {
+            let ordered = count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Ordered);
+            let unordered =
+                count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Unordered);
+            let ob = ordered_prefix_bound(d as u32, 8, l as u32).unwrap();
+            let ub = unordered_prefix_bound(d as u32, 8, l as u32).unwrap();
+            assert!(ordered as u128 <= ob, "d={d} l={l}: {ordered} > {ob}");
+            assert!(unordered as u128 <= ub, "d={d} l={l}: {unordered} > {ub}");
+            assert!(unordered <= ordered);
+            // Pure combinatorics: ordered count ≤ k·(k−1)···(k−l+1).
+            assert!(ordered as u128 <= falling_factorial(8, l as u32).unwrap());
+            assert!(unordered as u128 <= binomial(8, l as u64).unwrap());
+        }
+    }
+}
+
+#[test]
+fn chain_is_monotone_under_every_lp_metric() {
+    let (db, sites) = setup(2, 8_000, 6, 23);
+    let l2_chain = refinement_chain(&L2, &sites, &db, 6);
+    for chain in [
+        refinement_chain(&L1, &sites, &db, 6),
+        l2_chain.clone(),
+        refinement_chain(&LInf, &sites, &db, 6),
+    ] {
+        for w in chain.windows(2) {
+            assert!(w[0] <= w[1], "refinement must not merge cells: {chain:?}");
+        }
+        assert_eq!(chain[0], 6, "all six Voronoi cells occupied at this density");
+    }
+}
+
+#[test]
+fn one_dimensional_chain_saturates_at_c_k_2_plus_1() {
+    // In 1-D the full count is C(k,2)+1 (Theorem 7 row 1); the prefix
+    // chain must reach it and stop there.
+    let (db, sites) = setup(1, 20_000, 6, 9);
+    let chain = refinement_chain(&L2, &sites, &db, 6);
+    let full = *chain.last().unwrap();
+    assert!(full as u128 <= 16, "C(6,2)+1 = 16, got {full}");
+    assert!(full >= 14, "dense 1-D data should hit nearly all cells: {full}");
+}
+
+#[test]
+fn prefix_index_storage_never_exceeds_full_permutation_index() {
+    let db = uniform_unit_cube(5_000, 3, 31);
+    let full = PrefixPermIndex::build(L2, db.clone(), 10, 10, PivotSelection::Prefix);
+    let mut prev_raw = 0u64;
+    for l in 1..=10usize {
+        let idx = PrefixPermIndex::build(L2, db.clone(), 10, l, PivotSelection::Prefix);
+        assert!(idx.storage_bits_raw() >= prev_raw, "raw bits monotone in l");
+        assert!(idx.storage_bits_raw() <= full.storage_bits_raw());
+        assert!(idx.storage_bits_codebook() <= full.storage_bits_codebook() + 64,
+            "codebook bits essentially monotone (table rounding slack)");
+        prev_raw = idx.storage_bits_raw();
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use distance_permutations::metric::{
+    axioms::check_metric, Hamming, Levenshtein, Metric, PrefixDistance, L1, L2, LInf,
+};
+use distance_permutations::permutation::lehmer::{factorial, rank, unrank};
+use distance_permutations::permutation::permdist::{
+    kendall_tau, max_footrule, max_kendall, spearman_footrule,
+};
+use distance_permutations::permutation::{distance_permutation, Permutation};
+use proptest::prelude::*;
+
+fn arb_vector(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, d)
+}
+
+fn arb_permutation(k: usize) -> impl Strategy<Value = Permutation> {
+    Just(k).prop_perturb(move |k, mut rng| {
+        let mut items: Vec<u8> = (0..k as u8).collect();
+        for i in (1..items.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+        Permutation::from_slice(&items).expect("shuffled identity is a permutation")
+    })
+}
+
+proptest! {
+    #[test]
+    fn distance_permutation_is_always_valid(
+        sites in prop::collection::vec(arb_vector(3), 2..10),
+        query in arb_vector(3),
+    ) {
+        let p = distance_permutation(&L2, &sites, &query);
+        prop_assert_eq!(p.len(), sites.len());
+        // from_slice revalidates: round-trip must succeed.
+        prop_assert!(Permutation::from_slice(p.as_slice()).is_ok());
+        // Distances really are sorted.
+        let d = |i: u8| L2.distance(&sites[i as usize][..], &query[..]);
+        for w in p.as_slice().windows(2) {
+            prop_assert!(d(w[0]) <= d(w[1]));
+            if d(w[0]) == d(w[1]) {
+                prop_assert!(w[0] < w[1], "tie must break by index");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_of_permuted_sites_is_consistent(
+        sites in prop::collection::vec(arb_vector(2), 3..8),
+        query in arb_vector(2),
+    ) {
+        // Reversing the site list relabels the permutation accordingly
+        // (up to tie-breaking, which generic f64 data almost never hits).
+        let p = distance_permutation(&L2, &sites, &query);
+        let reversed: Vec<Vec<f64>> = sites.iter().rev().cloned().collect();
+        let q = distance_permutation(&L2, &reversed, &query);
+        let k = sites.len() as u8;
+        let relabeled: Vec<u8> = q.as_slice().iter().map(|&e| k - 1 - e).collect();
+        prop_assert_eq!(p.as_slice(), &relabeled[..]);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip(p in arb_permutation(9)) {
+        let r = rank(&p);
+        prop_assert!(r < factorial(9));
+        prop_assert_eq!(unrank(9, r), p);
+    }
+
+    #[test]
+    fn permutation_distances_are_metrics(
+        a in arb_permutation(7),
+        b in arb_permutation(7),
+        c in arb_permutation(7),
+    ) {
+        // Identity, symmetry, triangle, and range.
+        prop_assert_eq!(kendall_tau(&a, &a), 0);
+        prop_assert_eq!(spearman_footrule(&a, &a), 0);
+        prop_assert_eq!(kendall_tau(&a, &b), kendall_tau(&b, &a));
+        prop_assert_eq!(spearman_footrule(&a, &b), spearman_footrule(&b, &a));
+        prop_assert!(kendall_tau(&a, &b) <= kendall_tau(&a, &c) + kendall_tau(&c, &b));
+        prop_assert!(
+            spearman_footrule(&a, &b)
+                <= spearman_footrule(&a, &c) + spearman_footrule(&c, &b)
+        );
+        prop_assert!(kendall_tau(&a, &b) <= max_kendall(7));
+        prop_assert!(spearman_footrule(&a, &b) <= max_footrule(7));
+        // Diaconis–Graham: K <= F <= 2K.
+        let k = kendall_tau(&a, &b);
+        let f = spearman_footrule(&a, &b);
+        prop_assert!(k <= f && f <= 2 * k);
+    }
+
+    #[test]
+    fn vector_metric_axioms_hold(points in prop::collection::vec(arb_vector(4), 3..7)) {
+        prop_assert!(check_metric(&L1, &points, 1e-9).is_ok());
+        prop_assert!(check_metric(&L2, &points, 1e-9).is_ok());
+        prop_assert!(check_metric(&LInf, &points, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn string_metric_axioms_hold(
+        words in prop::collection::vec("[a-d]{0,8}", 3..7),
+    ) {
+        prop_assert!(check_metric(&Levenshtein, &words, 0.0).is_ok());
+        prop_assert!(check_metric(&PrefixDistance, &words, 0.0).is_ok());
+        prop_assert!(check_metric(&Hamming, &words, 0.0).is_ok());
+    }
+
+    #[test]
+    fn lp_metrics_are_ordered(a in arb_vector(5), b in arb_vector(5)) {
+        // L1 >= L2 >= Linf pointwise, and all are within d x Linf.
+        let d1 = L1.distance(&a[..], &b[..]).get();
+        let d2 = L2.distance(&a[..], &b[..]).get();
+        let di = LInf.distance(&a[..], &b[..]).get();
+        prop_assert!(d1 >= d2 - 1e-9);
+        prop_assert!(d2 >= di - 1e-9);
+        prop_assert!(d1 <= 5.0 * di + 1e-9);
+    }
+}

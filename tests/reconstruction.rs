@@ -1,0 +1,72 @@
+//! Cross-crate: Buneman reconstruction is transparent to the paper's
+//! measurement — a reconstructed tree realises the *same distance
+//! permutations* as the space it was rebuilt from, because it realises
+//! the same metric (doubled uniformly, which preserves every comparison
+//! and tie).
+
+use distance_permutations::metric::reconstruct::reconstruct_tree;
+use distance_permutations::metric::{PrefixDistance, Tree};
+use distance_permutations::metric::Metric;
+use distance_permutations::permutation::counter::count_distinct;
+use distance_permutations::permutation::distance_permutation;
+use distance_permutations::theory::tree_bound;
+
+#[test]
+fn reconstruction_preserves_distance_permutations_on_random_trees() {
+    for seed in [3u64, 17, 99] {
+        let t = Tree::random(300, 5, seed);
+        let leaves: Vec<usize> =
+            t.vertices().filter(|&v| t.neighbours(v).len() == 1).collect();
+        assert!(leaves.len() >= 8, "seed {seed} produced too few leaves");
+        let rec = reconstruct_tree(leaves.len(), |i, j| t.distance(leaves[i], leaves[j]))
+            .expect("leaf metric of a tree is a tree metric");
+
+        let k = 6usize;
+        let orig_sites: Vec<usize> = leaves[..k].to_vec();
+        let a = count_distinct(&t.metric(), &orig_sites, &leaves);
+
+        let rec_sites: Vec<usize> = (0..k).map(|i| rec.vertex_of[i]).collect();
+        let rec_db: Vec<usize> = (0..leaves.len()).map(|i| rec.vertex_of[i]).collect();
+        let b = count_distinct(&rec.tree.metric(), &rec_sites, &rec_db);
+
+        assert_eq!(a, b, "seed {seed}: reconstruction changed the count");
+        assert!(a as u128 <= tree_bound(k as u32));
+    }
+}
+
+#[test]
+fn reconstruction_preserves_individual_permutations_for_prefix_words() {
+    let words: Vec<String> = [
+        "", "a", "ab", "abc", "abd", "abde", "b", "ba", "bac", "c",
+    ]
+    .map(String::from)
+    .to_vec();
+    let d = |i: usize, j: usize| u64::from(PrefixDistance.distance(&words[i], &words[j]));
+    let rec = reconstruct_tree(words.len(), d).expect("prefix metric is a tree metric");
+
+    let site_idx = [0usize, 3, 6, 9];
+    let word_sites: Vec<String> = site_idx.iter().map(|&i| words[i].clone()).collect();
+    let tree_sites: Vec<usize> = site_idx.iter().map(|&i| rec.vertex_of[i]).collect();
+    let metric = rec.tree.metric();
+    for (i, w) in words.iter().enumerate() {
+        let p_direct = distance_permutation(&PrefixDistance, &word_sites, w);
+        let p_tree = distance_permutation(&metric, &tree_sites, &rec.vertex_of[i]);
+        assert_eq!(p_direct, p_tree, "word {w:?}");
+    }
+}
+
+#[test]
+fn corollary5_path_survives_reconstruction_roundtrip() {
+    // Rebuild the Corollary 5 path from its own metric and check the
+    // bound is still achieved exactly.
+    let (tree, sites) = distance_permutations::theory::corollary5_path(6);
+    let all: Vec<usize> = tree.vertices().collect();
+    let rec = reconstruct_tree(all.len(), |i, j| tree.distance(all[i], all[j]))
+        .expect("path metric is a tree metric");
+    // A path needs no Steiner vertices.
+    assert_eq!(rec.steiner_count, 0);
+    let rec_sites: Vec<usize> = sites.iter().map(|&s| rec.vertex_of[s]).collect();
+    let rec_db: Vec<usize> = all.iter().map(|&v| rec.vertex_of[v]).collect();
+    let count = count_distinct(&rec.tree.metric(), &rec_sites, &rec_db);
+    assert_eq!(count as u128, tree_bound(6));
+}
