@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dp_datasets::uniform_unit_cube;
-use dp_metric::{Metric, L2, L2Squared};
+use dp_metric::{L2Squared, Metric, L2};
 use dp_permutation::compute::{database_permutations, distance_permutation, DistPermComputer};
 use dp_permutation::counter::RankBitmap;
 use dp_permutation::fxhash::FxHashSet;
@@ -107,10 +107,7 @@ fn bench_l2_vs_squared(c: &mut Criterion) {
     // Guard: the two metrics really do induce the same permutations.
     let mut computer = DistPermComputer::new(8);
     for y in db.iter().take(64) {
-        assert_eq!(
-            computer.compute(&L2, &sites, y),
-            computer.compute(&L2Squared, &sites, y)
-        );
+        assert_eq!(computer.compute(&L2, &sites, y), computer.compute(&L2Squared, &sites, y));
     }
     let _ = L2.distance(&db[0][..], &db[1][..]);
     group.finish();

@@ -26,9 +26,7 @@ fn bench_euclidean_cells(c: &mut Criterion) {
     let mut group = c.benchmark_group("euclidean_cells");
     for k in [6usize, 10, 14] {
         let sites = random_sites(k, 10_000, k as u64);
-        group.bench_function(format!("k{k}"), |b| {
-            b.iter(|| black_box(euclidean_cells(&sites)))
-        });
+        group.bench_function(format!("k{k}"), |b| b.iter(|| black_box(euclidean_cells(&sites))));
     }
     group.finish();
 }
@@ -42,9 +40,7 @@ fn bench_oned(c: &mut Criterion) {
             sites.push(v);
         }
     }
-    c.bench_function("exact_count_1d_k64", |b| {
-        b.iter(|| black_box(exact_count_1d(&sites)))
-    });
+    c.bench_function("exact_count_1d_k64", |b| b.iter(|| black_box(exact_count_1d(&sites))));
 }
 
 fn bench_grid_count(c: &mut Criterion) {

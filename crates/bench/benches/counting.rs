@@ -3,8 +3,11 @@
 //! the codebook machinery behind the storage result.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dp_core::count::{count_permutations, count_permutations_parallel};
-use dp_datasets::uniform_unit_cube;
+use dp_core::count::{
+    count_permutations, count_permutations_flat, count_permutations_flat_parallel,
+    count_permutations_parallel,
+};
+use dp_datasets::{uniform_unit_cube, uniform_unit_cube_flat};
 use dp_metric::L2Squared;
 use dp_permutation::encoding::Codebook;
 use dp_permutation::{compute::database_permutations, PermutationCounter};
@@ -19,6 +22,14 @@ fn bench_count_distinct(c: &mut Criterion) {
         group.bench_function(format!("d{d}_k{k}"), |b| {
             b.iter(|| black_box(count_permutations(&L2Squared, &sites, &db).distinct))
         });
+        // Same coordinates through the flat batched engine.
+        let db_flat = uniform_unit_cube_flat(10_000, d, 1);
+        let sites_flat = uniform_unit_cube_flat(k, d, 2);
+        group.bench_function(format!("d{d}_k{k}_flat"), |b| {
+            b.iter(|| {
+                black_box(count_permutations_flat(&L2Squared, &sites_flat, &db_flat).distinct)
+            })
+        });
     }
     group.finish();
 }
@@ -28,10 +39,20 @@ fn bench_count_parallel(c: &mut Criterion) {
     group.sample_size(10);
     let db = uniform_unit_cube(50_000, 6, 3);
     let sites = uniform_unit_cube(12, 6, 4);
+    let db_flat = uniform_unit_cube_flat(50_000, 6, 3);
+    let sites_flat = uniform_unit_cube_flat(12, 6, 4);
     for threads in [1usize, 4, 8] {
         group.bench_function(format!("threads{threads}"), |b| {
             b.iter(|| {
                 black_box(count_permutations_parallel(&L2Squared, &sites, &db, threads).distinct)
+            })
+        });
+        group.bench_function(format!("threads{threads}_flat"), |b| {
+            b.iter(|| {
+                black_box(
+                    count_permutations_flat_parallel(&L2Squared, &sites_flat, &db_flat, threads)
+                        .distinct,
+                )
             })
         });
     }

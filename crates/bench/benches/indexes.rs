@@ -17,7 +17,7 @@ fn bench_knn(c: &mut Criterion) {
     let queries = uniform_unit_cube(256, D, 2);
     let scan = LinearScan::new(pts.clone());
     let laesa = Laesa::build(L2, pts.clone(), 12, PivotSelection::MaxMin);
-    let aesa = Aesa::build(L2, pts.clone(), );
+    let aesa = Aesa::build(L2, pts.clone());
     let vp = VpTree::build(L2, pts.clone());
     let gh = GhTree::build(L2, pts.clone());
     let dp = DistPermIndex::build(L2, pts, 12, PivotSelection::MaxMin);
@@ -78,9 +78,7 @@ fn bench_build(c: &mut Criterion) {
     let pts = uniform_unit_cube(N, D, 3);
     let mut group = c.benchmark_group("build_n2000_d4");
     group.sample_size(10);
-    group.bench_function("vp_tree", |b| {
-        b.iter(|| black_box(VpTree::build(L2, pts.clone()).len()))
-    });
+    group.bench_function("vp_tree", |b| b.iter(|| black_box(VpTree::build(L2, pts.clone()).len())));
     group.bench_function("distperm_k12", |b| {
         b.iter(|| {
             black_box(DistPermIndex::build(L2, pts.clone(), 12, PivotSelection::MaxMin).len())

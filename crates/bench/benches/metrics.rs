@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dp_datasets::dictionary::{generate_words, language_profiles};
 use dp_datasets::documents::{generate_documents, short_profile};
-use dp_metric::{CosineDistance, Levenshtein, Metric, PrefixDistance, L1, L2, LInf};
+use dp_metric::{CosineDistance, LInf, Levenshtein, Metric, PrefixDistance, L1, L2};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;

@@ -34,6 +34,29 @@ fn bench_distance_permutation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_database_permutations_flat(c: &mut Criterion) {
+    use dp_metric::TransposedSites;
+    use dp_permutation::compute::{database_permutations, database_permutations_flat};
+    let mut group = c.benchmark_group("database_permutations_n10k_d8");
+    group.sample_size(15);
+    for k in [4usize, 12] {
+        let db = random_points(10_000, 8, 5);
+        let sites = random_points(k, 8, 6);
+        group.bench_function(format!("nested_k{k}"), |b| {
+            b.iter(|| black_box(database_permutations(&L2Squared, &sites, &db).len()))
+        });
+        let db_flat: dp_datasets::VectorSet = db.iter().cloned().collect();
+        let sites_flat: dp_datasets::VectorSet = sites.iter().cloned().collect();
+        let sites_t = TransposedSites::from_rows(sites_flat.as_flat(), sites_flat.dim());
+        group.bench_function(format!("flat_k{k}"), |b| {
+            b.iter(|| {
+                black_box(database_permutations_flat(&L2Squared, &sites_t, db_flat.as_flat()).len())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_lehmer(c: &mut Criterion) {
     let perms: Vec<Permutation> = Permutation::all(8).collect();
     c.bench_function("lehmer_rank_k8", |b| {
@@ -91,6 +114,7 @@ fn bench_enumeration(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_distance_permutation,
+    bench_database_permutations_flat,
     bench_lehmer,
     bench_permutation_distances,
     bench_enumeration

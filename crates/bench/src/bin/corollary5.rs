@@ -20,7 +20,10 @@ fn main() {
     let max_k: u32 = args.get("max-k", 12);
 
     println!("Corollary 5 — the 2^(k-1) path achieves the tree-metric bound C(k,2)+1");
-    println!("{:>3} {:>12} {:>10} {:>10} {:>9}", "k", "path edges", "observed", "bound", "achieved");
+    println!(
+        "{:>3} {:>12} {:>10} {:>10} {:>9}",
+        "k", "path edges", "observed", "bound", "achieved"
+    );
     for k in 2..=max_k.min(16) {
         let (tree, sites) = corollary5_path(k);
         let db: Vec<usize> = tree.vertices().collect();

@@ -27,7 +27,11 @@ fn main() {
         "  observed {} distinct permutations over {samples} samples; Euclidean max = {} -> {}",
         report.observed,
         report.euclidean_max,
-        if report.exceeds_euclidean() { "EXCEEDED (paper: 108)" } else { "not exceeded (increase --samples)" }
+        if report.exceeds_euclidean() {
+            "EXCEEDED (paper: 108)"
+        } else {
+            "not exceeded (increase --samples)"
+        }
     );
 
     println!("\nrandomised search for further counterexamples (paper reports all three exist):");

@@ -24,10 +24,8 @@ fn main() {
     // Five generic sites in the unit square (integer-scaled for the exact
     // counter).
     let sites_i: Vec<(i64, i64)> = vec![(120, 210), (830, 330), (460, 940), (700, 690), (260, 620)];
-    let sites: Vec<Vec<f64>> = sites_i
-        .iter()
-        .map(|&(x, y)| vec![x as f64 / 1000.0, y as f64 / 1000.0])
-        .collect();
+    let sites: Vec<Vec<f64>> =
+        sites_i.iter().map(|&(x, y)| vec![x as f64 / 1000.0, y as f64 / 1000.0]).collect();
     let total = euclidean_cells(&sites_i);
     println!("exact number of cells over the whole plane: {total}");
     println!("(Euclidean maximum for k=5, d=2 is N_2,2(5) = 46)\n");

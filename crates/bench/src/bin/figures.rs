@@ -41,7 +41,11 @@ fn main() {
     // Grid census per metric.
     let l2_cells = grid_count(&L2, &sites_f, bbox, 800, 800);
     let l1_cells = grid_count(&L1, &sites_f, bbox, 800, 800);
-    println!("grid census (800x800): L2 = {} cells, L1 = {} cells", l2_cells.distinct(), l1_cells.distinct());
+    println!(
+        "grid census (800x800): L2 = {} cells, L1 = {} cells",
+        l2_cells.distinct(),
+        l1_cells.distinct()
+    );
     let same = l1_cells.sorted_permutations() == l2_cells.sorted_permutations();
     println!("L1 and L2 realise the same permutation sets: {same} (paper: false)");
 
@@ -74,7 +78,11 @@ fn main() {
         fs::write(&path, img.to_ppm()).expect("write figure");
         println!("wrote {}", path.display());
     }
-    let svg = svg_euclidean_bisectors(&sites_i, BBox { x_min: 0.0, x_max: 13000.0, y_min: 0.0, y_max: 13000.0 }, size as f64);
+    let svg = svg_euclidean_bisectors(
+        &sites_i,
+        BBox { x_min: 0.0, x_max: 13000.0, y_min: 0.0, y_max: 13000.0 },
+        size as f64,
+    );
     let path = out.join("fig3_bisectors.svg");
     fs::write(&path, svg).expect("write svg");
     println!("wrote {}", path.display());

@@ -24,8 +24,10 @@ fn main() {
     let trials: usize = args.get("trials", 200);
     let seed: u64 = args.get("seed", 2009);
 
-    println!("exact L1 count of the Fig 4 configuration: {:?} (paper, by pixels: 18)",
-             l1_cells(&[(9867, 5630), (3364, 5875), (4702, 8210), (8423, 3812)]));
+    println!(
+        "exact L1 count of the Fig 4 configuration: {:?} (paper, by pixels: 18)",
+        l1_cells(&[(9867, 5630), (3364, 5875), (4702, 8210), (8423, 3812)])
+    );
 
     println!("\nexact sweep over {trials} random integer configurations per k:");
     println!(

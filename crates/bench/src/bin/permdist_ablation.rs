@@ -16,20 +16,13 @@ use dp_index::laesa::PivotSelection;
 use dp_index::{DistPermIndex, LinearScan, OrderingKind};
 use dp_metric::{Levenshtein, Metric, L2};
 
-fn recall_sweep<P, M>(
-    label: &str,
-    metric: M,
-    db: Vec<P>,
-    queries: &[P],
-    k: usize,
-    frac: f64,
-) where
+fn recall_sweep<P, M>(label: &str, metric: M, db: Vec<P>, queries: &[P], k: usize, frac: f64)
+where
     P: Clone,
     M: Metric<P> + Clone,
 {
     let scan = LinearScan::new(db.clone());
-    let truth: Vec<usize> =
-        queries.iter().map(|q| scan.knn(&metric, q, 1)[0].id).collect();
+    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(&metric, q, 1)[0].id).collect();
     let idx = DistPermIndex::build(metric, db, k, PivotSelection::MaxMin);
     print!("{label:<22}");
     for kind in OrderingKind::ALL {
@@ -72,12 +65,5 @@ fn main() {
     let english = profiles.iter().find(|p| p.name == "english").expect("profile");
     let words = generate_words(english, n.min(10_000), seed);
     let queries = generate_words(english, n_queries, seed ^ 0xF00D);
-    recall_sweep(
-        &format!("english n={}", n.min(10_000)),
-        Levenshtein,
-        words,
-        &queries,
-        k,
-        frac,
-    );
+    recall_sweep(&format!("english n={}", n.min(10_000)), Levenshtein, words, &queries, k, frac);
 }

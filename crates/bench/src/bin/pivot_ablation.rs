@@ -37,10 +37,7 @@ fn main() {
          budget = {:.0}% of n, {seeds} seeds\n",
         frac * 100.0
     );
-    println!(
-        "{:<16} {:>10} {:>10} {:>8}",
-        "policy", "distinct", "max_dist", "recall"
-    );
+    println!("{:<16} {:>10} {:>10} {:>8}", "policy", "distinct", "max_dist", "recall");
 
     type PolicyCtor = fn(u64) -> PivotSelection;
     let policies: [(&str, PolicyCtor); 4] = [

@@ -42,8 +42,7 @@ fn main() {
 
     // BK-tree: discrete-metric baseline, strings only (needs Dist = u32).
     let scan = LinearScan::new(words.clone());
-    let truth: Vec<usize> =
-        queries_w.iter().map(|q| scan.knn(&Levenshtein, q, 1)[0].id).collect();
+    let truth: Vec<usize> = queries_w.iter().map(|q| scan.knn(&Levenshtein, q, 1)[0].id).collect();
     let bk = BkTree::build(CountingMetric::new(Levenshtein), words);
     let mut evals = 0u64;
     let mut correct = 0usize;
@@ -74,10 +73,7 @@ where
     let truth: Vec<usize> = qs.iter().map(|q| scan.knn(&metric, q, 1)[0].id).collect();
     let n = pts.len();
 
-    println!(
-        "  {:<22} {:>12} {:>9} {:>8}",
-        "index", "evals/query", "recall@1", "exact"
-    );
+    println!("  {:<22} {:>12} {:>9} {:>8}", "index", "evals/query", "recall@1", "exact");
     println!("  {:<22} {:>12} {:>9} {:>8}", "linear scan", n, "1.00", "yes");
 
     // LAESA.
@@ -140,7 +136,8 @@ where
     report("GH-tree", evals, correct, qs.len(), true);
 
     // distperm at several budgets.
-    let dp = DistPermIndex::build(CountingMetric::new(metric), pts.to_vec(), k, PivotSelection::MaxMin);
+    let dp =
+        DistPermIndex::build(CountingMetric::new(metric), pts.to_vec(), k, PivotSelection::MaxMin);
     for frac in [0.05f64, 0.1, 0.2] {
         let mut evals = 0u64;
         let mut correct = 0usize;

@@ -9,21 +9,18 @@
 //! far below the 29 bits of an unrestricted 12-element permutation.
 
 use dp_bench::Args;
+use dp_datasets::uniform_unit_cube;
 use dp_index::laesa::PivotSelection;
 use dp_index::DistPermIndex;
 use dp_metric::L2;
 use dp_theory::storage::{render_table, storage_row};
-use dp_datasets::uniform_unit_cube;
 
 fn main() {
     let args = Args::parse();
     let n: usize = args.get("points", 100_000);
 
     println!("storage comparison (bits per database element)\n");
-    println!(
-        "{}",
-        render_table(&[1, 2, 3, 4, 6, 8, 10], &[4, 8, 12, 16, 24], n as u64)
-    );
+    println!("{}", render_table(&[1, 2, 3, 4, 6, 8, 10], &[4, 8, 12, 16, 24], n as u64));
 
     println!("asymptotics along k at fixed d = 3 (codebook grows ~ 6 log2 k, rank ~ k log2 k):");
     for k in [4u32, 8, 16, 32] {

@@ -16,9 +16,9 @@
 
 use dp_bench::Args;
 use dp_core::count::count_permutations_parallel;
+use dp_datasets::intrinsic_dimensionality;
 use dp_datasets::table2::{table2_roster, Table2Data};
 use dp_datasets::vectors::choose_distinct_indices;
-use dp_datasets::intrinsic_dimensionality;
 use dp_metric::{CosineDistance, Levenshtein, L2};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +33,10 @@ fn main() {
     let seed: u64 = args.get("seed", 20080411); // SISAP'08 workshop date
 
     println!("Table 2 — distance permutations in (synthetic) SISAP sample databases");
-    println!("scale: {}", if full { "paper cardinalities".into() } else { format!("capped at n = {cap}") });
+    println!(
+        "scale: {}",
+        if full { "paper cardinalities".into() } else { format!("capped at n = {cap}") }
+    );
     print!("{:<11} {:>8} {:>8}", "database", "n", "rho");
     for k in KS {
         print!(" {:>8}", format!("k={k}"));

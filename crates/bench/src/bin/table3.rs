@@ -17,9 +17,9 @@
 
 use dp_bench::Args;
 use dp_core::experiments::{uniform_experiment, MetricKind};
-use dp_datasets::vectors::uniform_unit_cube;
 use dp_datasets::rho::intrinsic_dimensionality;
-use dp_metric::{L1, L2, LInf};
+use dp_datasets::vectors::uniform_unit_cube;
+use dp_metric::{LInf, L1, L2};
 
 fn main() {
     let args = Args::parse();

@@ -8,7 +8,7 @@
 //! every witness's permutation is checked against its target.
 
 use dp_bench::Args;
-use dp_metric::{L1, L2, LInf, Metric};
+use dp_metric::{LInf, Metric, L1, L2};
 use dp_theory::theorem6_witnesses;
 use std::time::Instant;
 

@@ -92,8 +92,7 @@ impl ParsedArgs {
 
     /// Required string option.
     pub fn require_str(&self, key: &str) -> Result<&str, CliError> {
-        self.str_opt(key)
-            .ok_or_else(|| CliError::usage(format!("missing required option --{key}")))
+        self.str_opt(key).ok_or_else(|| CliError::usage(format!("missing required option --{key}")))
     }
 
     fn parse_as<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError>

@@ -3,11 +3,14 @@
 use crate::args::ParsedArgs;
 use crate::data::{self, Database, StringMetricSpec, VectorMetricSpec};
 use crate::CliError;
-use dp_core::{count_permutations_parallel, CountReport};
-use dp_core::{count_distinct_prefixes, PrefixKind};
 use dp_core::dimension::min_euclidean_dimension;
+use dp_core::{count_distinct_prefixes, PrefixKind};
+use dp_core::{count_permutations_flat_parallel, count_permutations_parallel, CountReport};
 use dp_datasets::vectors::choose_distinct_indices;
-use dp_metric::{Hamming, Levenshtein, Lp, Metric, PrefixDistance, L1, L2, LInf};
+use dp_datasets::VectorSet;
+use dp_metric::{
+    BatchDistance, Hamming, LInf, Levenshtein, Lp, Metric, PrefixDistance, SliceRefMetric, L1, L2,
+};
 use dp_permutation::MAX_K;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,8 +35,31 @@ where
 {
     let sites: Vec<P> = site_ids.iter().map(|&i| data[i].clone()).collect();
     let report = count_permutations_parallel(metric, &sites, data, threads);
+    let prefix_distinct = prefix_len
+        .map(|l| (l, count_distinct_prefixes(metric, &sites, data, l, PrefixKind::Ordered)));
+    CountOutcome { report, site_ids, prefix_distinct }
+}
+
+/// Vector databases run through the flat batched engine; the optional
+/// prefix count reuses the generic per-point path over row views.
+fn measure_flat<M>(
+    metric: &M,
+    data: &VectorSet,
+    site_ids: Vec<usize>,
+    threads: usize,
+    prefix_len: Option<usize>,
+) -> CountOutcome
+where
+    M: BatchDistance + Sync,
+{
+    let sites = data.gather(&site_ids);
+    let report = count_permutations_flat_parallel(metric, &sites, data, threads);
     let prefix_distinct = prefix_len.map(|l| {
-        (l, count_distinct_prefixes(metric, &sites, data, l, PrefixKind::Ordered))
+        // Borrow rows as slice views: no copy of the database.
+        let rows: Vec<&[f64]> = data.rows().collect();
+        let site_rows: Vec<&[f64]> = site_ids.iter().map(|&i| data.row(i)).collect();
+        let adapter = SliceRefMetric(metric);
+        (l, count_distinct_prefixes(&adapter, &site_rows, &rows, l, PrefixKind::Ordered))
     });
     CountOutcome { report, site_ids, prefix_distinct }
 }
@@ -66,9 +92,8 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
     let prefix_len = match parsed.str_opt("prefix-len") {
         None => None,
         Some(s) => {
-            let l: usize = s
-                .parse()
-                .map_err(|e| CliError::usage(format!("bad --prefix-len: {e}")))?;
+            let l: usize =
+                s.parse().map_err(|e| CliError::usage(format!("bad --prefix-len: {e}")))?;
             if l == 0 || l > k || l > 8 {
                 return Err(CliError::usage(format!(
                     "--prefix-len must be in 1..=min(k, 8), got {l}"
@@ -89,11 +114,11 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
 
     let outcome = match &db {
         Database::Vectors { data, metric, .. } => match metric {
-            VectorMetricSpec::L1 => measure(&L1, data, site_ids, threads, prefix_len),
-            VectorMetricSpec::L2 => measure(&L2, data, site_ids, threads, prefix_len),
-            VectorMetricSpec::LInf => measure(&LInf, data, site_ids, threads, prefix_len),
+            VectorMetricSpec::L1 => measure_flat(&L1, data, site_ids, threads, prefix_len),
+            VectorMetricSpec::L2 => measure_flat(&L2, data, site_ids, threads, prefix_len),
+            VectorMetricSpec::LInf => measure_flat(&LInf, data, site_ids, threads, prefix_len),
             VectorMetricSpec::Lp(p) => {
-                measure(&Lp::new(*p), data, site_ids, threads, prefix_len)
+                measure_flat(&Lp::new(*p), data, site_ids, threads, prefix_len)
             }
         },
         Database::Strings { data, metric } => match metric {

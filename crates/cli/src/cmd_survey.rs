@@ -5,7 +5,7 @@ use crate::data::{self, Database, StringMetricSpec, VectorMetricSpec};
 use crate::CliError;
 use dp_core::dimension::ReferenceProfile;
 use dp_core::{survey_database, SurveyConfig};
-use dp_metric::{Hamming, Levenshtein, Lp, Metric, PrefixDistance, L1, L2, LInf};
+use dp_metric::{Hamming, LInf, Levenshtein, Lp, Metric, PrefixDistance, L1, L2};
 use dp_permutation::MAX_K;
 use std::io::Write;
 
@@ -50,12 +50,18 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
     let cfg = SurveyConfig { ks, seed, rho_pairs, reference };
 
     let report = match &db {
-        Database::Vectors { data, metric, .. } => match metric {
-            VectorMetricSpec::L1 => survey(&L1, data, &cfg),
-            VectorMetricSpec::L2 => survey(&L2, data, &cfg),
-            VectorMetricSpec::LInf => survey(&LInf, data, &cfg),
-            VectorMetricSpec::Lp(p) => survey(&Lp::new(*p), data, &cfg),
-        },
+        Database::Vectors { data, metric, .. } => {
+            // The survey pipeline is generic over per-point storage; give
+            // it owned rows (converting the flat engine's survey path is
+            // a ROADMAP follow-up).
+            let nested = data.to_nested();
+            match metric {
+                VectorMetricSpec::L1 => survey(&L1, &nested, &cfg),
+                VectorMetricSpec::L2 => survey(&L2, &nested, &cfg),
+                VectorMetricSpec::LInf => survey(&LInf, &nested, &cfg),
+                VectorMetricSpec::Lp(p) => survey(&Lp::new(*p), &nested, &cfg),
+            }
+        }
         Database::Strings { data, metric } => match metric {
             StringMetricSpec::Levenshtein => survey(&Levenshtein, data, &cfg),
             StringMetricSpec::Hamming => survey(&Hamming, data, &cfg),

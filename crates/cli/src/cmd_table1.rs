@@ -28,13 +28,7 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
         .iter()
         .enumerate()
         .map(|(j, k)| {
-            rendered
-                .iter()
-                .map(|row| row[j].len())
-                .max()
-                .unwrap_or(0)
-                .max(k.to_string().len())
-                + 2
+            rendered.iter().map(|row| row[j].len()).max().unwrap_or(0).max(k.to_string().len()) + 2
         })
         .collect();
 

@@ -9,6 +9,7 @@
 use crate::args::ParsedArgs;
 use crate::CliError;
 use dp_datasets::sisap_io;
+use dp_datasets::VectorSet;
 
 /// Which Minkowski metric to use on vectors.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,14 +36,17 @@ pub enum StringMetricSpec {
 }
 
 /// A loaded database plus its metric choice.
+///
+/// Vector data loads straight into flat [`VectorSet`] storage, so the
+/// counting commands run through the batched permutation engine.
 #[derive(Debug)]
 pub enum Database {
-    /// Real vectors of a fixed dimension.
+    /// Real vectors of a fixed dimension, flat row-major storage.
     Vectors {
         /// Vector dimension from the file header.
         dim: usize,
         /// The points.
-        data: Vec<Vec<f64>>,
+        data: VectorSet,
         /// Chosen metric.
         metric: VectorMetricSpec,
     },
@@ -129,15 +133,13 @@ pub fn load(parsed: &ParsedArgs) -> Result<Database, CliError> {
     let vectors = parsed.str_opt("vectors").map(str::to_string);
     let strings = parsed.str_opt("strings").map(str::to_string);
     match (vectors, strings) {
-        (Some(_), Some(_)) => {
-            Err(CliError::usage("give either --vectors or --strings, not both"))
-        }
+        (Some(_), Some(_)) => Err(CliError::usage("give either --vectors or --strings, not both")),
         (None, None) => Err(CliError::usage("missing input: --vectors <file> or --strings <file>")),
         (Some(path), None) => {
             let metric = parse_vector_metric(&parsed.str_or("metric", "l2"))?;
-            let (dim, data) = sisap_io::read_vectors_file(&path)
+            let data = sisap_io::read_vectors_file_flat(&path)
                 .map_err(|e| CliError::data(format!("{path}: {e}")))?;
-            Ok(Database::Vectors { dim, data, metric })
+            Ok(Database::Vectors { dim: data.dim(), data, metric })
         }
         (None, Some(path)) => {
             let metric = parse_string_metric(&parsed.str_or("metric", "levenshtein"))?;
@@ -156,10 +158,8 @@ pub fn parse_sites(parsed: &ParsedArgs, n: usize) -> Result<Option<Vec<usize>>, 
     };
     let mut ids = Vec::new();
     for tok in list.split(',') {
-        let id: usize = tok
-            .trim()
-            .parse()
-            .map_err(|e| CliError::usage(format!("bad site id `{tok}`: {e}")))?;
+        let id: usize =
+            tok.trim().parse().map_err(|e| CliError::usage(format!("bad site id `{tok}`: {e}")))?;
         if id >= n {
             return Err(CliError::usage(format!("site id {id} out of range (n = {n})")));
         }
@@ -209,15 +209,13 @@ mod tests {
     fn load_requires_exactly_one_input() {
         let args = ParsedArgs::parse(&["count"]).unwrap();
         assert!(load(&args).is_err());
-        let args =
-            ParsedArgs::parse(&["count", "--vectors", "a", "--strings", "b"]).unwrap();
+        let args = ParsedArgs::parse(&["count", "--vectors", "a", "--strings", "b"]).unwrap();
         assert!(load(&args).is_err());
     }
 
     #[test]
     fn load_reports_missing_file_as_data_error() {
-        let args =
-            ParsedArgs::parse(&["count", "--vectors", "/nonexistent/file"]).unwrap();
+        let args = ParsedArgs::parse(&["count", "--vectors", "/nonexistent/file"]).unwrap();
         match load(&args) {
             Err(CliError::Data(msg)) => assert!(msg.contains("/nonexistent/file")),
             other => panic!("expected data error, got {other:?}"),

@@ -122,9 +122,9 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("count") => cmd_count::run(&parsed, out),
         Some("survey") => cmd_survey::run(&parsed, out),
         Some("figures") => cmd_figures::run(&parsed, out),
-        Some(other) => Err(CliError::usage(format!(
-            "unknown command `{other}`; run `distperm help`"
-        ))),
+        Some(other) => {
+            Err(CliError::usage(format!("unknown command `{other}`; run `distperm help`")))
+        }
     }
 }
 
@@ -169,8 +169,7 @@ mod tests {
     #[test]
     fn table1_extended_goes_past_u128() {
         // k = 40, d = 39 ⇒ 40! ≈ 8.16·10⁴⁷ — needs the big path.
-        let text =
-            run_to_string(&["table1", "--dmax", "39", "--kmax", "40"]).unwrap();
+        let text = run_to_string(&["table1", "--dmax", "39", "--kmax", "40"]).unwrap();
         assert!(text.contains("815915283247897734345611269596115894272000000000"), "{text}");
     }
 
@@ -193,7 +192,13 @@ mod tests {
     fn count_respects_euclidean_bound_end_to_end() {
         let path = temp_vectors_file("count");
         let text = run_to_string(&[
-            "count", "--vectors", path.to_str().unwrap(), "--k", "5", "--threads", "1",
+            "count",
+            "--vectors",
+            path.to_str().unwrap(),
+            "--k",
+            "5",
+            "--threads",
+            "1",
         ])
         .unwrap();
         let distinct: usize = text
@@ -214,10 +219,8 @@ mod tests {
         let err =
             run_to_string(&["count", "--vectors", f, "--k", "3", "--sites", "0,1"]).unwrap_err();
         assert!(err.to_string().contains("disagrees"), "{err}");
-        let err = run_to_string(&[
-            "count", "--vectors", f, "--k", "5", "--prefix-len", "9",
-        ])
-        .unwrap_err();
+        let err =
+            run_to_string(&["count", "--vectors", f, "--k", "5", "--prefix-len", "9"]).unwrap_err();
         assert!(err.to_string().contains("prefix-len"), "{err}");
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
@@ -226,7 +229,13 @@ mod tests {
     fn survey_reports_storage_columns() {
         let path = temp_vectors_file("survey");
         let text = run_to_string(&[
-            "survey", "--vectors", path.to_str().unwrap(), "--ks", "4", "--rho-pairs", "500",
+            "survey",
+            "--vectors",
+            path.to_str().unwrap(),
+            "--ks",
+            "4",
+            "--rho-pairs",
+            "500",
         ])
         .unwrap();
         assert!(text.contains("metric: L2"), "{text}");
@@ -237,13 +246,18 @@ mod tests {
 
     #[test]
     fn generate_validates_kind_and_language() {
-        let err = run_to_string(&[
-            "generate", "--kind", "blobs", "--n", "5", "--out", "/tmp/x",
-        ])
-        .unwrap_err();
+        let err = run_to_string(&["generate", "--kind", "blobs", "--n", "5", "--out", "/tmp/x"])
+            .unwrap_err();
         assert!(err.to_string().contains("unknown kind"), "{err}");
         let err = run_to_string(&[
-            "generate", "--kind", "dictionary", "--language", "klingon", "--n", "5", "--out",
+            "generate",
+            "--kind",
+            "dictionary",
+            "--language",
+            "klingon",
+            "--n",
+            "5",
+            "--out",
             "/tmp/x",
         ])
         .unwrap_err();

@@ -4,10 +4,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn distperm(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_distperm"))
-        .args(args)
-        .output()
-        .expect("spawn distperm")
+    Command::new(env!("CARGO_BIN_EXE_distperm")).args(args).output().expect("spawn distperm")
 }
 
 fn stdout(o: &Output) -> String {
@@ -38,9 +35,8 @@ fn generate_count_survey_pipeline_on_vectors() {
     ]));
     assert!(text.contains("wrote 4000"), "{text}");
 
-    let text = stdout(&distperm(&[
-        "count", "--vectors", f, "--k", "5", "--seed", "3", "--threads", "2",
-    ]));
+    let text =
+        stdout(&distperm(&["count", "--vectors", f, "--k", "5", "--seed", "3", "--threads", "2"]));
     assert!(text.contains("distinct distance permutations:"), "{text}");
     // 2-D L2 with k = 5: the count may not exceed N_{2,2}(5) = 46.
     let distinct: usize = text
@@ -66,11 +62,26 @@ fn dictionary_pipeline_with_explicit_sites_and_prefixes() {
     let f = file.to_str().unwrap();
 
     stdout(&distperm(&[
-        "generate", "--kind", "dictionary", "--language", "english", "--n", "800", "--seed", "2",
-        "--out", f,
+        "generate",
+        "--kind",
+        "dictionary",
+        "--language",
+        "english",
+        "--n",
+        "800",
+        "--seed",
+        "2",
+        "--out",
+        f,
     ]));
     let text = stdout(&distperm(&[
-        "count", "--strings", f, "--sites", "0,17,99,256,511", "--prefix-len", "2",
+        "count",
+        "--strings",
+        f,
+        "--sites",
+        "0,17,99,256,511",
+        "--prefix-len",
+        "2",
     ]));
     assert!(text.contains("sites (k = 5): [0, 17, 99, 256, 511]"), "{text}");
     assert!(text.contains("distinct ordered prefixes (l = 2):"), "{text}");

@@ -10,7 +10,7 @@
 
 use crate::count::count_permutations_parallel;
 use dp_datasets::uniform_unit_cube;
-use dp_metric::{Metric, L1, LInf};
+use dp_metric::{LInf, Metric, L1};
 use dp_theory::n_euclidean;
 
 /// The five 3-D sites of Eq. 12, exactly as printed in the paper.
@@ -81,9 +81,7 @@ pub fn search_counterexample(
         let sites = uniform_unit_cube(k, d, seed ^ (0xC0FFEE + t as u64));
         let observed = match metric {
             SearchMetric::L1 => count_permutations_parallel(&L1, &sites, &db, threads).distinct,
-            SearchMetric::LInf => {
-                count_permutations_parallel(&LInf, &sites, &db, threads).distinct
-            }
+            SearchMetric::LInf => count_permutations_parallel(&LInf, &sites, &db, threads).distinct,
         };
         if best.as_ref().is_none_or(|&(_, b)| observed > b) {
             best = Some((sites, observed));
@@ -132,11 +130,7 @@ mod tests {
         // 108 at 10^6).
         let report = verify_eq12(200_000, 42, 4);
         assert_eq!(report.euclidean_max, 96);
-        assert!(
-            report.exceeds_euclidean(),
-            "only {} permutations observed",
-            report.observed
-        );
+        assert!(report.exceeds_euclidean(), "only {} permutations observed", report.observed);
     }
 
     #[test]

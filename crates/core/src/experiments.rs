@@ -7,9 +7,10 @@
 //! protocol with the scale (n, runs) as parameters; runs execute in
 //! parallel via crossbeam scoped threads.
 
-use crate::count::count_permutations;
-use dp_datasets::vectors::{choose_distinct_indices, uniform_unit_cube};
-use dp_metric::{L1, L2Squared, LInf};
+use crate::count::count_permutations_flat;
+use dp_datasets::vectors::{choose_distinct_indices, uniform_unit_cube_flat};
+use dp_datasets::VectorSet;
+use dp_metric::{L2Squared, LInf, L1};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,11 +38,11 @@ impl MetricKind {
         }
     }
 
-    fn count(self, sites: &[Vec<f64>], db: &[Vec<f64>]) -> usize {
+    fn count(self, sites: &VectorSet, db: &VectorSet) -> usize {
         match self {
-            MetricKind::L1 => count_permutations(&L1, sites, db).distinct,
-            MetricKind::L2 => count_permutations(&L2Squared, sites, db).distinct,
-            MetricKind::LInf => count_permutations(&LInf, sites, db).distinct,
+            MetricKind::L1 => count_permutations_flat(&L1, sites, db).distinct,
+            MetricKind::L2 => count_permutations_flat(&L2Squared, sites, db).distinct,
+            MetricKind::LInf => count_permutations_flat(&LInf, sites, db).distinct,
         }
     }
 }
@@ -124,10 +125,10 @@ fn run_counts(
 }
 
 fn single_run(d: usize, metric: MetricKind, k: usize, n: usize, seed: u64) -> usize {
-    let db = uniform_unit_cube(n, d, seed);
+    let db = uniform_unit_cube_flat(n, d, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD15_7AB1E);
     let site_ids = choose_distinct_indices(n, k, &mut rng);
-    let sites: Vec<Vec<f64>> = site_ids.iter().map(|&i| db[i].clone()).collect();
+    let sites = db.gather(&site_ids);
     metric.count(&sites, &db)
 }
 

@@ -34,7 +34,10 @@ pub mod orders;
 pub mod spaces;
 pub mod survey;
 
-pub use count::{count_permutations, count_permutations_parallel, CountReport};
+pub use count::{
+    count_permutations, count_permutations_flat, count_permutations_flat_parallel,
+    count_permutations_parallel, CountReport,
+};
 pub use counterexample::{eq12_sites, verify_eq12};
 pub use dimension::{estimate_dimension, ReferenceProfile};
 pub use experiments::{uniform_experiment, MetricKind, UniformExperiment};

@@ -98,10 +98,7 @@ mod tests {
         assert!(cells <= 5);
         assert!(cells >= 4, "a dense uniform sample hits almost every Voronoi cell");
         // Ordered and unordered coincide at length 1.
-        assert_eq!(
-            cells,
-            count_distinct_prefixes(&L2, &sites, &db, 1, PrefixKind::Unordered)
-        );
+        assert_eq!(cells, count_distinct_prefixes(&L2, &sites, &db, 1, PrefixKind::Unordered));
     }
 
     #[test]

@@ -219,9 +219,8 @@ mod tests {
 
     #[test]
     fn survey_runs_on_strings() {
-        let words: Vec<String> = (0..300)
-            .map(|i| format!("w{:03}{}", i % 50, "x".repeat(i % 7)))
-            .collect();
+        let words: Vec<String> =
+            (0..300).map(|i| format!("w{:03}{}", i % 50, "x".repeat(i % 7))).collect();
         let cfg = SurveyConfig { ks: vec![5], rho_pairs: 2000, ..Default::default() };
         let s = survey_database(&Levenshtein, &words, &cfg);
         assert!(s.per_k[0].report.distinct >= 1);
@@ -247,7 +246,12 @@ mod tests {
     fn dimension_estimate_absent_when_k_mismatch() {
         let profile = ReferenceProfile::from_curve(7, 100, vec![(1, 10.0), (2, 50.0)]);
         let db = uniform_unit_cube(500, 2, 3);
-        let cfg = SurveyConfig { ks: vec![4], reference: Some(profile), rho_pairs: 1000, ..Default::default() };
+        let cfg = SurveyConfig {
+            ks: vec![4],
+            reference: Some(profile),
+            rho_pairs: 1000,
+            ..Default::default()
+        };
         assert!(survey_database(&L2, &db, &cfg).dimension_estimate.is_none());
     }
 

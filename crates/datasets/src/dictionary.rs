@@ -34,13 +34,62 @@ pub struct LanguageProfile {
 /// (e.g. German/Dutch longer compounds, Italian/Spanish vowel-rich).
 pub fn language_profiles() -> Vec<LanguageProfile> {
     vec![
-        LanguageProfile { name: "dutch", mean_len: 9.5, len_std: 3.0, vowel_after_consonant: 0.75, vowel_after_vowel: 0.30, stream: 101 },
-        LanguageProfile { name: "english", mean_len: 8.0, len_std: 2.6, vowel_after_consonant: 0.70, vowel_after_vowel: 0.18, stream: 102 },
-        LanguageProfile { name: "french", mean_len: 8.8, len_std: 2.7, vowel_after_consonant: 0.78, vowel_after_vowel: 0.28, stream: 103 },
-        LanguageProfile { name: "german", mean_len: 10.5, len_std: 3.4, vowel_after_consonant: 0.68, vowel_after_vowel: 0.14, stream: 104 },
-        LanguageProfile { name: "italian", mean_len: 8.6, len_std: 2.5, vowel_after_consonant: 0.85, vowel_after_vowel: 0.22, stream: 105 },
-        LanguageProfile { name: "norwegian", mean_len: 8.2, len_std: 2.8, vowel_after_consonant: 0.72, vowel_after_vowel: 0.20, stream: 106 },
-        LanguageProfile { name: "spanish", mean_len: 8.9, len_std: 2.6, vowel_after_consonant: 0.82, vowel_after_vowel: 0.20, stream: 107 },
+        LanguageProfile {
+            name: "dutch",
+            mean_len: 9.5,
+            len_std: 3.0,
+            vowel_after_consonant: 0.68,
+            vowel_after_vowel: 0.26,
+            stream: 101,
+        },
+        LanguageProfile {
+            name: "english",
+            mean_len: 8.0,
+            len_std: 2.6,
+            vowel_after_consonant: 0.70,
+            vowel_after_vowel: 0.18,
+            stream: 102,
+        },
+        LanguageProfile {
+            name: "french",
+            mean_len: 8.8,
+            len_std: 2.7,
+            vowel_after_consonant: 0.78,
+            vowel_after_vowel: 0.28,
+            stream: 103,
+        },
+        LanguageProfile {
+            name: "german",
+            mean_len: 10.5,
+            len_std: 3.4,
+            vowel_after_consonant: 0.68,
+            vowel_after_vowel: 0.14,
+            stream: 104,
+        },
+        LanguageProfile {
+            name: "italian",
+            mean_len: 8.6,
+            len_std: 2.5,
+            vowel_after_consonant: 0.88,
+            vowel_after_vowel: 0.32,
+            stream: 105,
+        },
+        LanguageProfile {
+            name: "norwegian",
+            mean_len: 8.2,
+            len_std: 2.8,
+            vowel_after_consonant: 0.72,
+            vowel_after_vowel: 0.20,
+            stream: 106,
+        },
+        LanguageProfile {
+            name: "spanish",
+            mean_len: 8.9,
+            len_std: 2.6,
+            vowel_after_consonant: 0.82,
+            vowel_after_vowel: 0.20,
+            stream: 107,
+        },
     ]
 }
 
@@ -68,11 +117,8 @@ pub fn generate_words(profile: &LanguageProfile, n: usize, seed: u64) -> Vec<Str
             .clamp(2.0, 24.0) as usize;
         let mut prev_vowel = rng.random_bool(0.4);
         for _ in 0..len {
-            let vowel_p = if prev_vowel {
-                profile.vowel_after_vowel
-            } else {
-                profile.vowel_after_consonant
-            };
+            let vowel_p =
+                if prev_vowel { profile.vowel_after_vowel } else { profile.vowel_after_consonant };
             let is_vowel = rng.random_bool(vowel_p);
             let c = if is_vowel {
                 VOWELS[weighted_index(&vowel_w, &mut rng)]
@@ -115,7 +161,7 @@ fn weighted_index(cdf: &[f64], rng: &mut StdRng) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dp_metric::{Metric, Levenshtein};
+    use dp_metric::{Levenshtein, Metric};
 
     #[test]
     fn words_are_distinct_and_sized() {
@@ -162,7 +208,8 @@ mod tests {
         let profiles = language_profiles();
         let german = generate_words(&profiles[3], 2000, 3);
         let english = generate_words(&profiles[1], 2000, 3);
-        let mean = |ws: &[String]| ws.iter().map(|w| w.len()).sum::<usize>() as f64 / ws.len() as f64;
+        let mean =
+            |ws: &[String]| ws.iter().map(|w| w.len()).sum::<usize>() as f64 / ws.len() as f64;
         assert!(mean(&german) > mean(&english) + 1.0);
     }
 

@@ -53,11 +53,8 @@ pub fn generate_documents(profile: DocProfile, n: usize, seed: u64) -> Vec<Spars
                 // the topic's offset (same-topic documents share heavy
                 // terms), 30% global head terms.
                 let topical = rng.random_bool(0.7);
-                let (base, span) = if topical {
-                    (topic, 150.0)
-                } else {
-                    (0, profile.vocab as f64 / 3.0)
-                };
+                let (base, span) =
+                    if topical { (topic, 150.0) } else { (0, profile.vocab as f64 / 3.0) };
                 let rank = sample_zipf(span, profile.zipf_s, &mut rng);
                 let idx = (base + rank).min(profile.vocab - 1);
                 // Topic terms carry more weight (they are the document's
@@ -107,9 +104,8 @@ mod tests {
     fn long_documents_are_denser_than_short() {
         let long = generate_documents(long_profile(), 100, 5);
         let short = generate_documents(short_profile(), 100, 5);
-        let mean_nnz = |ds: &[SparseVec]| {
-            ds.iter().map(|d| d.nnz()).sum::<usize>() as f64 / ds.len() as f64
-        };
+        let mean_nnz =
+            |ds: &[SparseVec]| ds.iter().map(|d| d.nnz()).sum::<usize>() as f64 / ds.len() as f64;
         assert!(mean_nnz(&long) > 4.0 * mean_nnz(&short));
     }
 
@@ -127,11 +123,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let samples: Vec<u32> = (0..20_000).map(|_| sample_zipf(10_000.0, 1.1, &mut rng)).collect();
         let head = samples.iter().filter(|&&x| x < 100).count();
-        assert!(
-            head > samples.len() / 3,
-            "head {head} of {} — Zipf head too light",
-            samples.len()
-        );
+        assert!(head > samples.len() / 3, "head {head} of {} — Zipf head too light", samples.len());
         assert!(samples.iter().any(|&x| x > 1000), "no tail at all");
     }
 

@@ -22,6 +22,16 @@
 //!
 //! All generators are deterministic in their seed.
 //!
+//! For bulk vector workloads, [`flat::VectorSet`] stores a whole database
+//! as one contiguous row-major `Vec<f64>` — `row(i)` views are free, the
+//! data streams linearly through the batched permutation kernels, and the
+//! `*_flat` generator variants in [`vectors`] produce coordinates
+//! identical to their nested counterparts (same seed, same RNG stream).
+//! Prefer `VectorSet` for anything that scans the database (index builds,
+//! permutation counting, Table 3 experiments); the nested `Vec<Vec<f64>>`
+//! forms remain as a compatibility shim for per-point ownership and for
+//! the string/sparse workloads.
+//!
 //! [`sisap_io`] reads and writes the SISAP library's ASCII file formats,
 //! so synthetic sets can be exported and — when available — the original
 //! archives loaded into the same harness.
@@ -29,6 +39,7 @@
 pub mod colors;
 pub mod dictionary;
 pub mod documents;
+pub mod flat;
 pub mod genes;
 pub mod nasa;
 pub mod rho;
@@ -36,6 +47,7 @@ pub mod sisap_io;
 pub mod table2;
 pub mod vectors;
 
+pub use flat::VectorSet;
 pub use rho::intrinsic_dimensionality;
 pub use table2::{table2_roster, Table2Entry, Table2Kind};
-pub use vectors::uniform_unit_cube;
+pub use vectors::{uniform_unit_cube, uniform_unit_cube_flat};

@@ -28,8 +28,7 @@ pub fn generate_features(n: usize, seed: u64) -> Vec<Vec<f64>> {
                 (0..NASA_LATENT).map(|_| crate::vectors::sample_normal(&mut rng)).collect();
             (0..NASA_DIMS)
                 .map(|j| {
-                    let signal: f64 =
-                        (0..NASA_LATENT).map(|i| latent[i] * embed[i][j]).sum();
+                    let signal: f64 = (0..NASA_LATENT).map(|i| latent[i] * embed[i][j]).sum();
                     signal + 0.05 * crate::vectors::sample_normal(&mut rng)
                 })
                 .collect()

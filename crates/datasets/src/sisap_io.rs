@@ -154,6 +154,95 @@ pub fn read_vectors<R: BufRead>(r: &mut R) -> Result<(usize, Vec<Vec<f64>>), Sis
     Ok((dim, vectors))
 }
 
+/// [`write_vectors`] for flat storage — same on-disk format.
+pub fn write_vectors_flat<W: Write>(w: &mut W, vectors: &crate::VectorSet) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{} {}", vectors.dim(), vectors.len())?;
+    for row in vectors.rows() {
+        let mut first = true;
+        for &x in row {
+            assert!(x.is_finite(), "non-finite coordinate {x}");
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{x:.17e}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// [`read_vectors`] straight into flat storage: one contiguous buffer,
+/// no per-row allocation.  Returns the same coordinates bit-for-bit.
+pub fn read_vectors_flat<R: BufRead>(r: &mut R) -> Result<crate::VectorSet, SisapIoError> {
+    let (dim, vectors) = read_vectors_raw(r)?;
+    Ok(crate::VectorSet::from_raw(dim, vectors))
+}
+
+fn read_vectors_raw<R: BufRead>(r: &mut R) -> Result<(usize, Vec<f64>), SisapIoError> {
+    let mut lines = r.lines().enumerate();
+    let (header_no, header) = loop {
+        match lines.next() {
+            None => return Err(parse_err(0, "empty file: missing `dim n` header")),
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let dim: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(header_no, "missing dim in header"))?
+        .parse()
+        .map_err(|e| parse_err(header_no, format!("bad dim: {e}")))?;
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(header_no, "missing n in header"))?
+        .parse()
+        .map_err(|e| parse_err(header_no, format!("bad n: {e}")))?;
+    if parts.next().is_some() {
+        return Err(parse_err(header_no, "header has trailing tokens (want `dim n`)"));
+    }
+
+    let mut data: Vec<f64> = Vec::with_capacity(n * dim);
+    let mut rows = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let before = data.len();
+        for tok in line.split_whitespace() {
+            let x: f64 = tok
+                .parse()
+                .map_err(|e| parse_err(line_no, format!("bad coordinate `{tok}`: {e}")))?;
+            if !x.is_finite() {
+                return Err(parse_err(line_no, format!("non-finite coordinate {x}")));
+            }
+            data.push(x);
+        }
+        if data.len() - before != dim {
+            return Err(parse_err(
+                line_no,
+                format!("row has {} coordinates, expected {dim}", data.len() - before),
+            ));
+        }
+        rows += 1;
+        if rows > n {
+            return Err(parse_err(line_no, format!("more than the declared {n} rows")));
+        }
+    }
+    if rows != n {
+        return Err(parse_err(0, format!("header declared {n} rows, found {rows}")));
+    }
+    Ok((dim, data))
+}
+
 /// Writes a string database, one string per line.
 ///
 /// # Panics
@@ -201,6 +290,12 @@ pub fn read_vectors_file<Q: AsRef<Path>>(path: Q) -> Result<(usize, Vec<Vec<f64>
     read_vectors(&mut r)
 }
 
+/// [`read_vectors_flat`] from a file path.
+pub fn read_vectors_file_flat<Q: AsRef<Path>>(path: Q) -> Result<crate::VectorSet, SisapIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_vectors_flat(&mut r)
+}
+
 /// [`write_strings`] to a file path.
 pub fn write_strings_file<Q: AsRef<Path>>(path: Q, strings: &[String]) -> io::Result<()> {
     let mut f = File::create(path)?;
@@ -220,6 +315,22 @@ mod tests {
     use std::io::Cursor;
 
     #[test]
+    fn flat_io_matches_nested_io() {
+        let vecs = uniform_unit_cube(60, 3, 78);
+        let flat = crate::VectorSet::from_nested(&vecs);
+        let mut nested_buf = Vec::new();
+        write_vectors(&mut nested_buf, 3, &vecs).unwrap();
+        let mut flat_buf = Vec::new();
+        write_vectors_flat(&mut flat_buf, &flat).unwrap();
+        assert_eq!(nested_buf, flat_buf, "identical bytes on disk");
+        let back = read_vectors_flat(&mut Cursor::new(&nested_buf)).unwrap();
+        assert_eq!(back, flat, "bit-exact flat roundtrip");
+        let (dim, nested_back) = read_vectors(&mut Cursor::new(&flat_buf)).unwrap();
+        assert_eq!(dim, 3);
+        assert_eq!(nested_back, vecs);
+    }
+
+    #[test]
     fn vectors_roundtrip_losslessly() {
         let vecs = uniform_unit_cube(50, 4, 77);
         let mut buf = Vec::new();
@@ -231,10 +342,7 @@ mod tests {
 
     #[test]
     fn vectors_roundtrip_extreme_values() {
-        let vecs = vec![
-            vec![0.0, -0.0, 1e-300],
-            vec![f64::MIN_POSITIVE, -1e300, 0.1 + 0.2],
-        ];
+        let vecs = vec![vec![0.0, -0.0, 1e-300], vec![f64::MIN_POSITIVE, -1e300, 0.1 + 0.2]];
         let mut buf = Vec::new();
         write_vectors(&mut buf, 3, &vecs).unwrap();
         let (_, back) = read_vectors(&mut Cursor::new(&buf)).unwrap();
@@ -279,7 +387,10 @@ mod tests {
         let err = read_vectors(&mut Cursor::new(b"1 1\ninf\n" as &[u8])).unwrap_err();
         assert!(err.to_string().contains("non-finite"), "{err}");
         let err = read_vectors(&mut Cursor::new(b"1 1\nNaN\n" as &[u8])).unwrap_err();
-        assert!(err.to_string().contains("bad coordinate") || err.to_string().contains("non-finite"), "{err}");
+        assert!(
+            err.to_string().contains("bad coordinate") || err.to_string().contains("non-finite"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -292,8 +403,7 @@ mod tests {
 
     #[test]
     fn blank_lines_are_ignored() {
-        let (dim, vecs) =
-            read_vectors(&mut Cursor::new(b"\n2 2\n0 1\n\n2 3\n" as &[u8])).unwrap();
+        let (dim, vecs) = read_vectors(&mut Cursor::new(b"\n2 2\n0 1\n\n2 3\n" as &[u8])).unwrap();
         assert_eq!(dim, 2);
         assert_eq!(vecs, vec![vec![0.0, 1.0], vec![2.0, 3.0]]);
     }

@@ -42,16 +42,56 @@ pub struct Table2Entry {
 /// All twelve Table 2 databases with the paper's cardinalities.
 pub fn table2_roster() -> Vec<Table2Entry> {
     vec![
-        Table2Entry { name: "Dutch", n: 229_328, paper_rho: 7.159, kind: Table2Kind::Dictionary(0) },
-        Table2Entry { name: "English", n: 69_069, paper_rho: 8.492, kind: Table2Kind::Dictionary(1) },
-        Table2Entry { name: "French", n: 138_257, paper_rho: 10.510, kind: Table2Kind::Dictionary(2) },
-        Table2Entry { name: "German", n: 75_086, paper_rho: 7.383, kind: Table2Kind::Dictionary(3) },
-        Table2Entry { name: "Italian", n: 116_879, paper_rho: 10.436, kind: Table2Kind::Dictionary(4) },
-        Table2Entry { name: "Norwegian", n: 85_637, paper_rho: 5.503, kind: Table2Kind::Dictionary(5) },
-        Table2Entry { name: "Spanish", n: 86_061, paper_rho: 8.722, kind: Table2Kind::Dictionary(6) },
+        Table2Entry {
+            name: "Dutch",
+            n: 229_328,
+            paper_rho: 7.159,
+            kind: Table2Kind::Dictionary(0),
+        },
+        Table2Entry {
+            name: "English",
+            n: 69_069,
+            paper_rho: 8.492,
+            kind: Table2Kind::Dictionary(1),
+        },
+        Table2Entry {
+            name: "French",
+            n: 138_257,
+            paper_rho: 10.510,
+            kind: Table2Kind::Dictionary(2),
+        },
+        Table2Entry {
+            name: "German",
+            n: 75_086,
+            paper_rho: 7.383,
+            kind: Table2Kind::Dictionary(3),
+        },
+        Table2Entry {
+            name: "Italian",
+            n: 116_879,
+            paper_rho: 10.436,
+            kind: Table2Kind::Dictionary(4),
+        },
+        Table2Entry {
+            name: "Norwegian",
+            n: 85_637,
+            paper_rho: 5.503,
+            kind: Table2Kind::Dictionary(5),
+        },
+        Table2Entry {
+            name: "Spanish",
+            n: 86_061,
+            paper_rho: 8.722,
+            kind: Table2Kind::Dictionary(6),
+        },
         Table2Entry { name: "listeria", n: 20_660, paper_rho: 0.894, kind: Table2Kind::Genes },
         Table2Entry { name: "long", n: 1_265, paper_rho: 2.603, kind: Table2Kind::LongDocuments },
-        Table2Entry { name: "short", n: 25_276, paper_rho: 808.739, kind: Table2Kind::ShortDocuments },
+        Table2Entry {
+            name: "short",
+            n: 25_276,
+            paper_rho: 808.739,
+            kind: Table2Kind::ShortDocuments,
+        },
         Table2Entry { name: "colors", n: 112_544, paper_rho: 2.745, kind: Table2Kind::Colors },
         Table2Entry { name: "nasa", n: 40_150, paper_rho: 5.186, kind: Table2Kind::Nasa },
     ]
@@ -77,12 +117,16 @@ impl Table2Entry {
                 Table2Data::Strings(dictionary::generate_words(&profiles[lang], n, seed))
             }
             Table2Kind::Genes => Table2Data::Strings(genes::generate_fragments(n, 400, seed)),
-            Table2Kind::LongDocuments => {
-                Table2Data::Documents(documents::generate_documents(documents::long_profile(), n, seed))
-            }
-            Table2Kind::ShortDocuments => Table2Data::Documents(
-                documents::generate_documents(documents::short_profile(), n, seed),
-            ),
+            Table2Kind::LongDocuments => Table2Data::Documents(documents::generate_documents(
+                documents::long_profile(),
+                n,
+                seed,
+            )),
+            Table2Kind::ShortDocuments => Table2Data::Documents(documents::generate_documents(
+                documents::short_profile(),
+                n,
+                seed,
+            )),
             Table2Kind::Colors => Table2Data::Vectors(colors::generate_histograms(n, seed)),
             Table2Kind::Nasa => Table2Data::Vectors(nasa::generate_features(n, seed)),
         }
@@ -118,17 +162,8 @@ mod tests {
     #[test]
     fn kinds_route_to_expected_representations() {
         let roster = table2_roster();
-        assert!(matches!(
-            roster[0].generate(5, 1),
-            Table2Data::Strings(_)
-        ));
-        assert!(matches!(
-            roster[8].generate(5, 1),
-            Table2Data::Documents(_)
-        ));
-        assert!(matches!(
-            roster[10].generate(5, 1),
-            Table2Data::Vectors(_)
-        ));
+        assert!(matches!(roster[0].generate(5, 1), Table2Data::Strings(_)));
+        assert!(matches!(roster[8].generate(5, 1), Table2Data::Documents(_)));
+        assert!(matches!(roster[10].generate(5, 1), Table2Data::Vectors(_)));
     }
 }

@@ -6,24 +6,57 @@
 //! give data whose intrinsic dimensionality differs from its embedding
 //! dimension.
 
+use crate::flat::VectorSet;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// n points uniform in the unit cube \[0,1\]^d (the paper's Table 3 data).
 pub fn uniform_unit_cube(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
-        .collect()
+    (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+}
+
+/// [`uniform_unit_cube`] into flat storage: same seed, same RNG stream,
+/// identical coordinates — `uniform_unit_cube_flat(n, d, s).row(i)`
+/// equals `uniform_unit_cube(n, d, s)[i]`.
+pub fn uniform_unit_cube_flat(n: usize, d: usize, seed: u64) -> VectorSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    VectorSet::generate(n, d, |_, row| {
+        for slot in row.iter_mut() {
+            *slot = rng.random::<f64>();
+        }
+    })
+}
+
+/// [`gaussian`] into flat storage (same stream, identical coordinates).
+pub fn gaussian_flat(n: usize, d: usize, std_dev: f64, seed: u64) -> VectorSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    VectorSet::generate(n, d, |_, row| {
+        for slot in row.iter_mut() {
+            *slot = 0.5 + std_dev * sample_normal(&mut rng);
+        }
+    })
+}
+
+/// [`clustered`] into flat storage (same stream, identical coordinates).
+pub fn clustered_flat(n: usize, d: usize, clusters: usize, spread: f64, seed: u64) -> VectorSet {
+    assert!(clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centres: Vec<Vec<f64>> =
+        (0..clusters).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect();
+    VectorSet::generate(n, d, |i, row| {
+        let c = &centres[i % clusters];
+        for (slot, &x) in row.iter_mut().zip(c.iter()) {
+            *slot = x + spread * sample_normal(&mut rng);
+        }
+    })
 }
 
 /// n points from an isotropic Gaussian with the given standard deviation,
 /// centred at 0.5^d (so it overlaps the unit cube).
 pub fn gaussian(n: usize, d: usize, std_dev: f64, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (0..d).map(|_| 0.5 + std_dev * sample_normal(&mut rng)).collect())
-        .collect()
+    (0..n).map(|_| (0..d).map(|_| 0.5 + std_dev * sample_normal(&mut rng)).collect()).collect()
 }
 
 /// n points in `clusters` Gaussian blobs with centres uniform in the unit
@@ -31,9 +64,8 @@ pub fn gaussian(n: usize, d: usize, std_dev: f64, seed: u64) -> Vec<Vec<f64>> {
 pub fn clustered(n: usize, d: usize, clusters: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
     assert!(clusters > 0);
     let mut rng = StdRng::seed_from_u64(seed);
-    let centres: Vec<Vec<f64>> = (0..clusters)
-        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
-        .collect();
+    let centres: Vec<Vec<f64>> =
+        (0..clusters).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect();
     (0..n)
         .map(|i| {
             let c = &centres[i % clusters];
@@ -109,6 +141,13 @@ mod tests {
     fn deterministic_in_seed() {
         assert_eq!(uniform_unit_cube(50, 3, 7), uniform_unit_cube(50, 3, 7));
         assert_ne!(uniform_unit_cube(50, 3, 7), uniform_unit_cube(50, 3, 8));
+    }
+
+    #[test]
+    fn flat_generators_match_nested_exactly() {
+        assert_eq!(uniform_unit_cube_flat(120, 5, 9).to_nested(), uniform_unit_cube(120, 5, 9));
+        assert_eq!(gaussian_flat(80, 3, 0.2, 11).to_nested(), gaussian(80, 3, 0.2, 11));
+        assert_eq!(clustered_flat(90, 4, 7, 0.05, 13).to_nested(), clustered(90, 4, 7, 0.05, 13));
     }
 
     #[test]

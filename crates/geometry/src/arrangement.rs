@@ -107,12 +107,8 @@ mod tests {
     #[test]
     fn grid_arrangement() {
         // 2 horizontals x 2 verticals: 9 faces.
-        let lines = [
-            Line::new(1, 0, 0),
-            Line::new(1, 0, 1),
-            Line::new(0, 1, 0),
-            Line::new(0, 1, 1),
-        ];
+        let lines =
+            [Line::new(1, 0, 0), Line::new(1, 0, 1), Line::new(0, 1, 0), Line::new(0, 1, 1)];
         assert_eq!(count_cells(&lines), 9);
     }
 
@@ -147,22 +143,11 @@ mod tests {
     fn generic_sites_match_table1_row2() {
         // Pseudo-random integer sites (large spread => almost surely
         // generic): the exact arrangement count must equal N_{2,2}(k).
-        let sites = [
-            (13, 907),
-            (411, 203),
-            (-655, 541),
-            (871, -333),
-            (-245, -797),
-            (509, 650),
-            (-37, 150),
-        ];
+        let sites =
+            [(13, 907), (411, 203), (-655, 541), (871, -333), (-245, -797), (509, 650), (-37, 150)];
         for k in 2..=sites.len() {
             let count = euclidean_cells(&sites[..k]);
-            assert_eq!(
-                count,
-                n_euclidean(2, k as u32).unwrap(),
-                "k={k}: degenerate site set?"
-            );
+            assert_eq!(count, n_euclidean(2, k as u32).unwrap(), "k={k}: degenerate site set?");
         }
     }
 
@@ -180,9 +165,9 @@ mod tests {
     fn never_exceeds_euclidean_recurrence() {
         // Degenerate or not, the exact count is bounded by Theorem 7.
         let site_sets: Vec<Vec<(i64, i64)>> = vec![
-            vec![(0, 0), (1, 0), (2, 0), (3, 0)],       // collinear
-            vec![(0, 0), (2, 0), (2, 2), (0, 2)],       // square
-            vec![(0, 0), (4, 0), (2, 3), (2, -3)],      // kite
+            vec![(0, 0), (1, 0), (2, 0), (3, 0)],         // collinear
+            vec![(0, 0), (2, 0), (2, 2), (0, 2)],         // square
+            vec![(0, 0), (4, 0), (2, 3), (2, -3)],        // kite
             vec![(0, 0), (6, 0), (3, 5), (3, 1), (3, 9)], // mixed
         ];
         for sites in &site_sets {

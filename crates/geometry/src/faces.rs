@@ -262,7 +262,7 @@ mod tests {
         let sites: Vec<(i64, i64)> = vec![(0, 0), (7, 0), (19, 0), (40, 0)];
         let perms = exact_permutations(&sites);
         assert_eq!(perms.len(), 7); // C(4,2)+1
-        // Evenly spaced sites force coincident bisectors — fewer cells.
+                                    // Evenly spaced sites force coincident bisectors — fewer cells.
         let even: Vec<(i64, i64)> = vec![(0, 0), (10, 0), (20, 0), (30, 0)];
         let perms_even = exact_permutations(&even);
         assert!(perms_even.len() < 7, "coincident bisectors must merge cells");

@@ -160,10 +160,7 @@ fn param(line: &Line, p: (Rat, Rat)) -> Rat {
 /// Point on a canonical line at parameter t.
 fn point_at(line: &Line, t: Rat) -> (Rat, Rat) {
     let n = Rat::int(line.a() * line.a() + line.b() * line.b());
-    let p0 = (
-        Rat::new(line.a() * line.c(), 1) / n,
-        Rat::new(line.b() * line.c(), 1) / n,
-    );
+    let p0 = (Rat::new(line.a() * line.c(), 1) / n, Rat::new(line.b() * line.c(), 1) / n);
     let s = t / n;
     (p0.0 + s * Rat::int(line.b()), p0.1 - s * Rat::int(line.a()))
 }
@@ -301,11 +298,7 @@ pub fn l1_cells(sites: &[(i64, i64)]) -> Result<u128, L1ExactError> {
     // Box beyond every site and every bisector feature: bisector kinks
     // and pairwise intersections live within the sites' coordinate span
     // (plus half-spans); 4·(span+1) is comfortably beyond.
-    let max_abs = sites
-        .iter()
-        .flat_map(|&(x, y)| [x.abs(), y.abs()])
-        .max()
-        .expect("non-empty");
+    let max_abs = sites.iter().flat_map(|&(x, y)| [x.abs(), y.abs()]).max().expect("non-empty");
     let m = 4 * (i128::from(max_abs) + 1);
 
     let mut segments: Vec<RatSeg> = Vec::new();
@@ -314,8 +307,8 @@ pub fn l1_cells(sites: &[(i64, i64)]) -> Result<u128, L1ExactError> {
             if sites[i] == sites[j] {
                 return Err(L1ExactError::DuplicateSites(i, j));
             }
-            let pieces = l1_bisector(sites[i], sites[j])
-                .map_err(|()| L1ExactError::DegeneratePair(i, j))?;
+            let pieces =
+                l1_bisector(sites[i], sites[j]).map_err(|()| L1ExactError::DegeneratePair(i, j))?;
             for piece in &pieces {
                 segments.push(clip(piece, m));
             }
@@ -342,14 +335,12 @@ pub fn linf_cells(sites: &[(i64, i64)]) -> Result<u128, L1ExactError> {
 mod tests {
     use super::*;
     use crate::sampling::{adaptive_count, BBox};
-    use dp_metric::{L1, LInf};
+    use dp_metric::{LInf, L1};
     use dp_theory::n_euclidean;
 
     fn census_l1(sites_i: &[(i64, i64)], scale: f64) -> usize {
-        let sites: Vec<Vec<f64>> = sites_i
-            .iter()
-            .map(|&(x, y)| vec![x as f64 / scale, y as f64 / scale])
-            .collect();
+        let sites: Vec<Vec<f64>> =
+            sites_i.iter().map(|&(x, y)| vec![x as f64 / scale, y as f64 / scale]).collect();
         let span = 3.0;
         let bbox = BBox { x_min: -span, x_max: span + 1.0, y_min: -span, y_max: span + 1.0 };
         adaptive_count(&L1, &sites, bbox, 64, 7).distinct()
@@ -383,10 +374,7 @@ mod tests {
                 let (a, b) = clip(&piece, 1000);
                 for num in 0..=4i128 {
                     let t = Rat::new(num, 4);
-                    let pt = (
-                        a.0 + t * (b.0 - a.0),
-                        a.1 + t * (b.1 - a.1),
-                    );
+                    let pt = (a.0 + t * (b.0 - a.0), a.1 + t * (b.1 - a.1));
                     assert_eq!(
                         l1_rat(pt, pr),
                         l1_rat(pt, qr),
@@ -405,22 +393,13 @@ mod tests {
 
     #[test]
     fn diagonal_pair_rejected() {
-        assert_eq!(
-            l1_cells(&[(0, 0), (3, 3)]),
-            Err(L1ExactError::DegeneratePair(0, 1))
-        );
-        assert_eq!(
-            l1_cells(&[(0, 0), (4, -4)]),
-            Err(L1ExactError::DegeneratePair(0, 1))
-        );
+        assert_eq!(l1_cells(&[(0, 0), (3, 3)]), Err(L1ExactError::DegeneratePair(0, 1)));
+        assert_eq!(l1_cells(&[(0, 0), (4, -4)]), Err(L1ExactError::DegeneratePair(0, 1)));
     }
 
     #[test]
     fn duplicate_sites_rejected() {
-        assert_eq!(
-            l1_cells(&[(1, 1), (1, 1)]),
-            Err(L1ExactError::DuplicateSites(0, 1))
-        );
+        assert_eq!(l1_cells(&[(1, 1), (1, 1)]), Err(L1ExactError::DuplicateSites(0, 1)));
     }
 
     #[test]
@@ -437,10 +416,7 @@ mod tests {
         // the count equals the 1-D midpoint count.
         let xs = [0i64, 3, 10, 21];
         let sites: Vec<(i64, i64)> = xs.iter().map(|&x| (x, 0)).collect();
-        assert_eq!(
-            l1_cells(&sites).unwrap(),
-            crate::oned::exact_count_1d(&xs)
-        );
+        assert_eq!(l1_cells(&sites).unwrap(), crate::oned::exact_count_1d(&xs));
     }
 
     #[test]
@@ -471,10 +447,8 @@ mod tests {
     fn linf_transform_matches_direct_census() {
         let sites = [(12i64, 31), (87, 44), (51, 90), (70, 13)];
         let exact = linf_cells(&sites).unwrap();
-        let sites_f: Vec<Vec<f64>> = sites
-            .iter()
-            .map(|&(x, y)| vec![x as f64 / 50.0, y as f64 / 50.0])
-            .collect();
+        let sites_f: Vec<Vec<f64>> =
+            sites.iter().map(|&(x, y)| vec![x as f64 / 50.0, y as f64 / 50.0]).collect();
         let bbox = BBox { x_min: -3.0, x_max: 4.0, y_min: -3.0, y_max: 4.0 };
         let census = adaptive_count(&LInf, &sites_f, bbox, 64, 7).distinct();
         assert_eq!(census as u128, exact);
@@ -483,10 +457,7 @@ mod tests {
     #[test]
     fn linf_rejects_axis_aligned_pairs() {
         // (0,0)-(4,0): rotated to (4,4)-difference — diagonal in L1 space.
-        assert!(matches!(
-            linf_cells(&[(0, 0), (4, 0)]),
-            Err(L1ExactError::DegeneratePair(0, 1))
-        ));
+        assert!(matches!(linf_cells(&[(0, 0), (4, 0)]), Err(L1ExactError::DegeneratePair(0, 1))));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub fn midpoints_1d(sites: &[i64]) -> Vec<Rat> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dp_metric::{Metric, L1, L2, LInf};
+    use dp_metric::{LInf, Metric, L1, L2};
     use dp_permutation::counter::count_distinct;
     use dp_theory::{n_euclidean, tree_bound};
 

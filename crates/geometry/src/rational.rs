@@ -68,7 +68,11 @@ impl Rat {
         self.num == 0
     }
 
-    fn checked_bin(self, other: Rat, f: impl Fn(i128, i128, i128, i128) -> Option<(i128, i128)>) -> Rat {
+    fn checked_bin(
+        self,
+        other: Rat,
+        f: impl Fn(i128, i128, i128, i128) -> Option<(i128, i128)>,
+    ) -> Rat {
         let (num, den) =
             f(self.num, self.den, other.num, other.den).expect("rational arithmetic overflow");
         Rat::new(num, den)
@@ -101,9 +105,7 @@ impl std::ops::Mul for Rat {
 
     /// Checked multiplication.
     fn mul(self, other: Rat) -> Rat {
-        self.checked_bin(other, |an, ad, bn, bd| {
-            Some((an.checked_mul(bn)?, ad.checked_mul(bd)?))
-        })
+        self.checked_bin(other, |an, ad, bn, bd| Some((an.checked_mul(bn)?, ad.checked_mul(bd)?)))
     }
 }
 
@@ -116,9 +118,7 @@ impl std::ops::Div for Rat {
     /// Panics if `other` is zero.
     fn div(self, other: Rat) -> Rat {
         assert!(!other.is_zero(), "division by zero rational");
-        self.checked_bin(other, |an, ad, bn, bd| {
-            Some((an.checked_mul(bd)?, ad.checked_mul(bn)?))
-        })
+        self.checked_bin(other, |an, ad, bn, bd| Some((an.checked_mul(bd)?, ad.checked_mul(bn)?)))
     }
 }
 

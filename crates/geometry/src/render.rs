@@ -37,9 +37,7 @@ impl CellKey {
                 let (lo, hi) = if a < b { (a, b) } else { (b, a) };
                 (u64::from(lo) << 8) | u64::from(hi)
             }
-            CellKey::FullPermutation => {
-                dp_permutation::lehmer::rank(p) as u64
-            }
+            CellKey::FullPermutation => dp_permutation::lehmer::rank(p) as u64,
         }
     }
 }
@@ -96,11 +94,7 @@ fn hsl_to_rgb(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
         _ => (c, 0.0, x),
     };
     let m = l - c / 2.0;
-    (
-        ((r + m) * 255.0) as u8,
-        ((g + m) * 255.0) as u8,
-        ((b + m) * 255.0) as u8,
-    )
+    (((r + m) * 255.0) as u8, ((g + m) * 255.0) as u8, ((b + m) * 255.0) as u8)
 }
 
 /// Renders the cell map of `sites` under `metric` into an RGB image.
@@ -222,12 +216,7 @@ mod tests {
     use dp_metric::{L1, L2};
 
     fn sites() -> Vec<Vec<f64>> {
-        vec![
-            vec![0.22, 0.45],
-            vec![0.58, 0.29],
-            vec![0.71, 0.62],
-            vec![0.40, 0.80],
-        ]
+        vec![vec![0.22, 0.45], vec![0.58, 0.29], vec![0.71, 0.62], vec![0.40, 0.80]]
     }
 
     #[test]
@@ -256,14 +245,8 @@ mod tests {
         // Different nearest site.
         assert_ne!(CellKey::Nearest.key_of(&p), CellKey::Nearest.key_of(&q));
         // Same unordered top-two {1,2}.
-        assert_eq!(
-            CellKey::TopTwoUnordered.key_of(&p),
-            CellKey::TopTwoUnordered.key_of(&q)
-        );
-        assert_ne!(
-            CellKey::FullPermutation.key_of(&p),
-            CellKey::FullPermutation.key_of(&q)
-        );
+        assert_eq!(CellKey::TopTwoUnordered.key_of(&p), CellKey::TopTwoUnordered.key_of(&q));
+        assert_ne!(CellKey::FullPermutation.key_of(&p), CellKey::FullPermutation.key_of(&q));
     }
 
     #[test]

@@ -137,23 +137,15 @@ pub fn adaptive_count<M: Metric<[f64]>>(
     let mut lattice = vec![vec![Permutation::identity(sites.len()); base + 1]; base + 1];
     for (i, row) in lattice.iter_mut().enumerate() {
         for (j, slot) in row.iter_mut().enumerate() {
-            *slot = eval(
-                bbox.x_min + i as f64 * dx,
-                bbox.y_min + j as f64 * dy,
-                &mut counter,
-            );
+            *slot = eval(bbox.x_min + i as f64 * dx, bbox.y_min + j as f64 * dy, &mut counter);
         }
     }
     // Work stack: (x0, y0, size_x, size_y, corner perms, depth).
     let mut stack: Vec<(f64, f64, f64, f64, [Permutation; 4], u32)> = Vec::new();
     for i in 0..base {
         for j in 0..base {
-            let corners = [
-                lattice[i][j],
-                lattice[i + 1][j],
-                lattice[i][j + 1],
-                lattice[i + 1][j + 1],
-            ];
+            let corners =
+                [lattice[i][j], lattice[i + 1][j], lattice[i][j + 1], lattice[i + 1][j + 1]];
             if corners.iter().any(|&c| c != corners[0]) {
                 stack.push((
                     bbox.x_min + i as f64 * dx,
@@ -211,18 +203,13 @@ impl<M: Metric<[f64]>> Metric<&[f64]> for SliceMetric<'_, M> {
 mod tests {
     use super::*;
     use crate::arrangement::euclidean_cells;
-    use dp_metric::{L1, L2, LInf};
+    use dp_metric::{LInf, L1, L2};
 
     fn fig_sites() -> Vec<Vec<f64>> {
         // Four sites in general position chosen (by randomized search) so
         // that both the L1 and L2 bisector systems yield the full 18 cells
         // — the configuration class of the paper's Figs 3 and 4.
-        vec![
-            vec![0.9867, 0.5630],
-            vec![0.3364, 0.5875],
-            vec![0.4702, 0.8210],
-            vec![0.8423, 0.3812],
-        ]
+        vec![vec![0.9867, 0.5630], vec![0.3364, 0.5875], vec![0.4702, 0.8210], vec![0.8423, 0.3812]]
     }
 
     #[test]
@@ -233,10 +220,8 @@ mod tests {
         let exact = euclidean_cells(&int_sites);
         assert_eq!(exact, 18);
 
-        let sites: Vec<Vec<f64>> = int_sites
-            .iter()
-            .map(|&(x, y)| vec![x as f64 / 100.0, y as f64 / 100.0])
-            .collect();
+        let sites: Vec<Vec<f64>> =
+            int_sites.iter().map(|&(x, y)| vec![x as f64 / 100.0, y as f64 / 100.0]).collect();
         let bbox = BBox { x_min: -1.0, x_max: 2.0, y_min: -1.0, y_max: 2.0 };
         let counter = grid_count(&L2, &sites, bbox, 500, 500);
         assert_eq!(counter.distinct() as u128, exact);
@@ -299,11 +284,7 @@ mod tests {
         let bbox = BBox { x_min: -1.5, x_max: 2.5, y_min: -1.5, y_max: 2.5 };
         let l2 = crate::sampling::adaptive_count(&L2, &sites, bbox, 24, 6);
         assert_eq!(l2.distinct(), 18, "L2 adaptive");
-        assert!(
-            l2.total() < 100_000,
-            "adaptive budget exploded: {} samples",
-            l2.total()
-        );
+        assert!(l2.total() < 100_000, "adaptive budget exploded: {} samples", l2.total());
         let l1 = crate::sampling::adaptive_count(&L1, &sites, bbox, 24, 6);
         assert_eq!(l1.distinct(), 18, "L1 adaptive");
     }

@@ -124,11 +124,8 @@ impl<P, M: Metric<P, Dist = u32>> BkTree<P, M> {
         let d = self.metric.distance(&self.points[node.point], query);
         heap.push(node.point, d);
         // Visit children by |edge − d| ascending: likeliest answers first.
-        let mut order: Vec<(u32, u32)> = node
-            .children
-            .iter()
-            .map(|&(e, child)| (e.abs_diff(d), child))
-            .collect();
+        let mut order: Vec<(u32, u32)> =
+            node.children.iter().map(|&(e, child)| (e.abs_diff(d), child)).collect();
         order.sort_unstable();
         for (gap, child) in order {
             match heap.bound() {
@@ -162,9 +159,9 @@ mod tests {
 
     fn words() -> Vec<String> {
         [
-            "book", "books", "boo", "boon", "cook", "cake", "cape", "cart", "care",
-            "case", "cast", "cat", "cut", "gut", "hut", "hat", "hot", "hop", "top",
-            "tops", "stop", "stoop", "troop", "loop", "look", "lock", "rock", "rack",
+            "book", "books", "boo", "boon", "cook", "cake", "cape", "cart", "care", "case", "cast",
+            "cat", "cut", "gut", "hut", "hat", "hot", "hop", "top", "tops", "stop", "stoop",
+            "troop", "loop", "look", "lock", "rock", "rack",
         ]
         .map(String::from)
         .to_vec()
@@ -198,9 +195,7 @@ mod tests {
 
     #[test]
     fn prunes_on_small_radii() {
-        let db: Vec<String> = (0..800)
-            .map(|i| format!("{:06b}{:04}", i % 64, i))
-            .collect();
+        let db: Vec<String> = (0..800).map(|i| format!("{:06b}{:04}", i % 64, i)).collect();
         let n = db.len() as u64;
         let tree = BkTree::build(CountingMetric::new(Levenshtein), db);
         tree.metric().reset();
@@ -211,9 +206,8 @@ mod tests {
 
     #[test]
     fn works_under_hamming() {
-        let db: Vec<String> = ["0000", "0001", "0011", "0111", "1111", "1000", "1100"]
-            .map(String::from)
-            .to_vec();
+        let db: Vec<String> =
+            ["0000", "0001", "0011", "0111", "1111", "1000", "1100"].map(String::from).to_vec();
         let scan = LinearScan::new(db.clone());
         let tree = BkTree::build(Hamming, db);
         let q = "0101".to_string();

@@ -70,11 +70,18 @@ impl OrderingKind {
 }
 
 /// Distance-permutation index over an owned database.
+///
+/// The k site points are **materialised once at build time** (`sites`),
+/// so a query costs exactly k metric evaluations plus permutation
+/// comparisons — no per-query cloning.  For bulk query streams,
+/// [`Self::searcher`] additionally reuses the permutation scratch and the
+/// candidate-order buffer across queries.
 #[derive(Debug, Clone)]
 pub struct DistPermIndex<P, M: Metric<P>> {
     metric: M,
     points: Vec<P>,
     site_ids: Vec<usize>,
+    sites: Vec<P>,
     perms: Vec<Permutation>,
 }
 
@@ -83,10 +90,7 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
     /// distance permutation (k·n metric evaluations, like LAESA's build).
     pub fn build(metric: M, points: Vec<P>, k: usize, strategy: PivotSelection) -> Self {
         let site_ids = choose_pivots(&metric, &points, k, strategy);
-        let sites: Vec<P> = site_ids.iter().map(|&i| points[i].clone()).collect();
-        let mut computer = DistPermComputer::new(k);
-        let perms = points.iter().map(|p| computer.compute(&metric, &sites, p)).collect();
-        Self { metric, points, site_ids, perms }
+        Self::build_with_sites(metric, points, site_ids)
     }
 
     /// Builds with explicitly provided site ids (the Table 3 protocol:
@@ -96,7 +100,7 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
         let sites: Vec<P> = site_ids.iter().map(|&i| points[i].clone()).collect();
         let mut computer = DistPermComputer::new(site_ids.len());
         let perms = points.iter().map(|p| computer.compute(&metric, &sites, p)).collect();
-        Self { metric, points, site_ids, perms }
+        Self { metric, points, site_ids, sites, perms }
     }
 
     /// Database size.
@@ -187,11 +191,27 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
         out
     }
 
-    /// The query's distance permutation (k metric evaluations).
+    /// The cached site points, parallel to [`Self::site_ids`].
+    pub fn sites(&self) -> &[P] {
+        &self.sites
+    }
+
+    /// The query's distance permutation (k metric evaluations, against
+    /// the sites cached at build time).
     pub fn query_permutation(&self, query: &P) -> Permutation {
-        let sites: Vec<P> = self.site_ids.iter().map(|&i| self.points[i].clone()).collect();
         let mut computer = DistPermComputer::new(self.k());
-        computer.compute(&self.metric, &sites, query)
+        computer.compute(&self.metric, &self.sites, query)
+    }
+
+    /// A reusable query cursor borrowing this index: permutation scratch
+    /// and candidate buffers are allocated once and reused across
+    /// queries, which is the right shape for serving query streams.
+    pub fn searcher(&self) -> DistPermSearcher<'_, P, M> {
+        DistPermSearcher {
+            index: self,
+            computer: DistPermComputer::new(self.k()),
+            order: Vec::new(),
+        }
     }
 
     /// Approximate k-NN: measure the fraction `frac` of the database most
@@ -200,11 +220,7 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
     /// `frac = 1.0` measures everything and is exact.  Metric cost:
     /// k + ⌈frac·n⌉ evaluations.
     pub fn knn_approx(&self, query: &P, k: usize, frac: f64) -> Vec<Neighbor<M::Dist>> {
-        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
-        if self.points.is_empty() {
-            return Vec::new();
-        }
-        self.knn_approx_ordered(query, k, frac, OrderingKind::Footrule)
+        self.searcher().knn_approx(query, k, frac)
     }
 
     /// [`Self::knn_approx`] with an explicit candidate-ordering measure.
@@ -215,18 +231,7 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
         frac: f64,
         ordering: OrderingKind,
     ) -> Vec<Neighbor<M::Dist>> {
-        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
-        if self.points.is_empty() {
-            return Vec::new();
-        }
-        let order = self.candidate_order(query, ordering);
-        let budget = ((frac * self.points.len() as f64).ceil() as usize)
-            .clamp(k.min(self.points.len()), self.points.len());
-        let mut heap = KnnHeap::new(k.min(self.points.len()));
-        for &(_, i) in order.iter().take(budget) {
-            heap.push(i, self.metric.distance(query, &self.points[i]));
-        }
-        heap.into_sorted()
+        self.searcher().knn_approx_ordered(query, k, frac, ordering)
     }
 
     /// Approximate range query: report elements within `radius` among the
@@ -235,18 +240,82 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
     /// A subset of the true answer (no false positives — every reported
     /// element is measured); `frac = 1.0` is exact.
     pub fn range_approx(&self, query: &P, radius: M::Dist, frac: f64) -> Vec<Neighbor<M::Dist>> {
+        self.searcher().range_approx(query, radius, frac)
+    }
+}
+
+/// Reusable query cursor over a [`DistPermIndex`].
+///
+/// Holds the permutation scratch and the candidate-order buffer so a
+/// stream of queries performs no per-query allocation beyond the result
+/// vector.  Obtained from [`DistPermIndex::searcher`]; each thread of a
+/// query-serving loop should own one.
+#[derive(Debug, Clone)]
+pub struct DistPermSearcher<'a, P, M: Metric<P>> {
+    index: &'a DistPermIndex<P, M>,
+    computer: DistPermComputer<M::Dist>,
+    order: Vec<(u64, usize)>,
+}
+
+impl<P: Clone, M: Metric<P>> DistPermSearcher<'_, P, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &DistPermIndex<P, M> {
+        self.index
+    }
+
+    /// The query's distance permutation (k metric evaluations), using
+    /// the cursor's scratch.
+    pub fn query_permutation(&mut self, query: &P) -> Permutation {
+        self.computer.compute(&self.index.metric, &self.index.sites, query)
+    }
+
+    /// See [`DistPermIndex::knn_approx`].
+    pub fn knn_approx(&mut self, query: &P, k: usize, frac: f64) -> Vec<Neighbor<M::Dist>> {
+        self.knn_approx_ordered(query, k, frac, OrderingKind::Footrule)
+    }
+
+    /// See [`DistPermIndex::knn_approx_ordered`].
+    pub fn knn_approx_ordered(
+        &mut self,
+        query: &P,
+        k: usize,
+        frac: f64,
+        ordering: OrderingKind,
+    ) -> Vec<Neighbor<M::Dist>> {
         assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
-        if self.points.is_empty() {
+        let n = self.index.points.len();
+        if n == 0 {
             return Vec::new();
         }
-        let order = self.candidate_order(query, OrderingKind::Footrule);
-        let budget = ((frac * self.points.len() as f64).ceil() as usize)
-            .min(self.points.len());
-        let mut out: Vec<Neighbor<M::Dist>> = order
+        let budget = ((frac * n as f64).ceil() as usize).clamp(k.min(n), n);
+        self.candidate_order(query, ordering, budget);
+        let mut heap = KnnHeap::new(k.min(n));
+        for &(_, i) in self.order.iter().take(budget) {
+            heap.push(i, self.index.metric.distance(query, &self.index.points[i]));
+        }
+        heap.into_sorted()
+    }
+
+    /// See [`DistPermIndex::range_approx`].
+    pub fn range_approx(
+        &mut self,
+        query: &P,
+        radius: M::Dist,
+        frac: f64,
+    ) -> Vec<Neighbor<M::Dist>> {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+        let n = self.index.points.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let budget = ((frac * n as f64).ceil() as usize).min(n);
+        self.candidate_order(query, OrderingKind::Footrule, budget);
+        let mut out: Vec<Neighbor<M::Dist>> = self
+            .order
             .iter()
             .take(budget)
             .filter_map(|&(_, i)| {
-                let d = self.metric.distance(query, &self.points[i]);
+                let d = self.index.metric.distance(query, &self.index.points[i]);
                 (d <= radius).then_some(Neighbor { id: i, dist: d })
             })
             .collect();
@@ -254,18 +323,39 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
         out
     }
 
-    /// Database ids ordered by permutation similarity to the query's
-    /// permutation under `ordering` (k metric evaluations).
-    fn candidate_order(&self, query: &P, ordering: OrderingKind) -> Vec<(u64, usize)> {
+    fn candidate_order(&mut self, query: &P, ordering: OrderingKind, budget: usize) {
         let qperm = self.query_permutation(query);
-        let mut order: Vec<(u64, usize)> = self
-            .perms
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (ordering.distance(&qperm, p), i))
-            .collect();
+        order_candidates(self.index.permutations(), &qperm, ordering, budget, &mut self.order);
+    }
+}
+
+/// Fills `order` so that its first `budget` entries are the budget
+/// permutation-nearest database ids in full-sort order — the shared
+/// budget fast path of [`DistPermSearcher`] and
+/// [`crate::flatperm::FlatDistPermSearcher`].
+///
+/// Keys are `(permutation distance, id)`, which are distinct, so
+/// partitioning with `select_nth_unstable` and sorting only the prefix
+/// yields **exactly** the same prefix as sorting all n —
+/// O(n + budget·log budget) instead of O(n·log n) when the scan budget
+/// is below n.
+pub(crate) fn order_candidates(
+    perms: &[Permutation],
+    qperm: &Permutation,
+    ordering: OrderingKind,
+    budget: usize,
+    order: &mut Vec<(u64, usize)>,
+) {
+    order.clear();
+    order.extend(perms.iter().enumerate().map(|(i, p)| (ordering.distance(qperm, p), i)));
+    if budget == 0 {
+        return;
+    }
+    if budget < order.len() {
+        order.select_nth_unstable(budget - 1);
+        order[..budget].sort_unstable();
+    } else {
         order.sort_unstable();
-        order
     }
 }
 
@@ -289,10 +379,7 @@ mod tests {
         let pts = random_points(400, 2, 1);
         let idx = DistPermIndex::build(L2, pts.clone(), 6, PivotSelection::Prefix);
         let sites: Vec<Vec<f64>> = (0..6).map(|i| pts[i].clone()).collect();
-        assert_eq!(
-            idx.distinct_permutations(),
-            count_distinct(&L2, &sites, &pts)
-        );
+        assert_eq!(idx.distinct_permutations(), count_distinct(&L2, &sites, &pts));
     }
 
     #[test]
@@ -373,10 +460,7 @@ mod tests {
         let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
         for q in random_points(10, 2, 12) {
             let radius = dp_metric::F64Dist::new(0.25);
-            assert_eq!(
-                idx.range_approx(&q, radius, 1.0),
-                scan.range(&L2, &q, radius)
-            );
+            assert_eq!(idx.range_approx(&q, radius, 1.0), scan.range(&L2, &q, radius));
         }
     }
 
@@ -420,8 +504,7 @@ mod tests {
                 .iter()
                 .filter(|q| {
                     let truth = scan.knn(&L2, q, 1)[0].id;
-                    idx.knn_approx_ordered(q, 1, 0.1, kind).first().map(|n| n.id)
-                        == Some(truth)
+                    idx.knn_approx_ordered(q, 1, 0.1, kind).first().map(|n| n.id) == Some(truth)
                 })
                 .count();
             // All measures should massively beat the 10% random baseline.
@@ -438,6 +521,60 @@ mod tests {
         assert_eq!(OrderingKind::RhoSq.distance(&a, &b), permdist::spearman_rho_sq(&a, &b));
         assert_eq!(OrderingKind::KendallTau.distance(&a, &b), permdist::kendall_tau(&a, &b));
         assert_eq!(OrderingKind::Cayley.distance(&a, &b), permdist::cayley(&a, &b));
+    }
+
+    #[test]
+    fn budgeted_order_matches_full_sort_prefix() {
+        // The select_nth fast path must scan exactly the same candidates,
+        // in the same order, as a full sort truncated to the budget.
+        let pts = random_points(700, 3, 31);
+        let idx = DistPermIndex::build(L2, pts.clone(), 9, PivotSelection::MaxMin);
+        for (qi, q) in random_points(8, 3, 32).iter().enumerate() {
+            let qperm = idx.query_permutation(q);
+            for kind in OrderingKind::ALL {
+                // Reference: full sort of (distance, id), then truncate.
+                let mut full: Vec<(u64, usize)> = idx
+                    .permutations()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (kind.distance(&qperm, p), i))
+                    .collect();
+                full.sort_unstable();
+                for budget_frac in [0.05f64, 0.33, 0.8] {
+                    let budget = ((budget_frac * 700.0).ceil() as usize).max(3);
+                    let expected: Vec<Neighbor<_>> = {
+                        let mut heap = KnnHeap::new(3);
+                        for &(_, i) in full.iter().take(budget) {
+                            heap.push(i, L2.distance(q, &pts[i]));
+                        }
+                        heap.into_sorted()
+                    };
+                    let got = idx.knn_approx_ordered(q, 3, budget_frac, kind);
+                    assert_eq!(got, expected, "query {qi}, {kind:?}, frac {budget_frac}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn searcher_reuse_matches_one_shot_queries() {
+        let pts = random_points(400, 2, 33);
+        let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
+        let mut searcher = idx.searcher();
+        for q in random_points(12, 2, 34) {
+            assert_eq!(searcher.knn_approx(&q, 4, 0.25), idx.knn_approx(&q, 4, 0.25));
+            assert_eq!(searcher.query_permutation(&q), idx.query_permutation(&q));
+            let radius = dp_metric::F64Dist::new(0.2);
+            assert_eq!(searcher.range_approx(&q, radius, 0.5), idx.range_approx(&q, radius, 0.5));
+        }
+    }
+
+    #[test]
+    fn cached_sites_match_site_ids() {
+        let pts = random_points(100, 2, 35);
+        let idx = DistPermIndex::build(L2, pts.clone(), 5, PivotSelection::MaxMin);
+        let expected: Vec<Vec<f64>> = idx.site_ids().iter().map(|&i| pts[i].clone()).collect();
+        assert_eq!(idx.sites(), &expected[..]);
     }
 
     #[test]

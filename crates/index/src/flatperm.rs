@@ -1,0 +1,332 @@
+//! The `distperm` index over flat [`VectorSet`] storage.
+//!
+//! [`FlatDistPermIndex`] is the vector-workload specialisation of
+//! [`crate::DistPermIndex`]: points live in one contiguous row-major
+//! buffer, the build runs through the batched site-transposed kernels
+//! (`dp_permutation::compute::database_permutations_flat_parallel`), and
+//! queries reuse the same vectorized distance kernel for the k site
+//! evaluations.  Permutations, candidate ordering and budget semantics
+//! are **identical** to the generic index on the same data — only the
+//! storage layout and throughput differ.
+//!
+//! The generic `DistPermIndex` remains the path for strings, trees and
+//! any non-`f64` point type.
+
+use crate::distperm::OrderingKind;
+use crate::laesa::{choose_pivots, PivotSelection};
+use crate::query::{KnnHeap, Neighbor};
+use dp_datasets::VectorSet;
+use dp_metric::{BatchDistance, Distance, F64Dist, SliceRefMetric, TransposedSites};
+use dp_permutation::compute::database_permutations_flat_parallel;
+use dp_permutation::{Permutation, PermutationCounter, MAX_K};
+
+/// Distance-permutation index over flat vector storage.
+#[derive(Debug, Clone)]
+pub struct FlatDistPermIndex<M: BatchDistance> {
+    metric: M,
+    points: VectorSet,
+    site_ids: Vec<usize>,
+    sites: VectorSet,
+    sites_t: TransposedSites,
+    perms: Vec<Permutation>,
+}
+
+impl<M: BatchDistance + Sync> FlatDistPermIndex<M> {
+    /// Builds the index: chooses `k` sites with `strategy`, then computes
+    /// every row's permutation on `threads` workers through the batched
+    /// kernel (k·n metric evaluations, deterministic in thread count).
+    pub fn build(
+        metric: M,
+        points: VectorSet,
+        k: usize,
+        strategy: PivotSelection,
+        threads: usize,
+    ) -> Self {
+        let rows: Vec<&[f64]> = points.rows().collect();
+        let site_ids = choose_pivots(&SliceRefMetric(&metric), &rows, k, strategy);
+        drop(rows);
+        Self::build_with_sites(metric, points, site_ids, threads)
+    }
+
+    /// Builds with explicitly provided site ids.
+    ///
+    /// # Panics
+    /// Panics if a site id is out of range or `site_ids.len() > MAX_K`.
+    pub fn build_with_sites(
+        metric: M,
+        points: VectorSet,
+        site_ids: Vec<usize>,
+        threads: usize,
+    ) -> Self {
+        assert!(site_ids.iter().all(|&i| i < points.len()), "site id out of range");
+        assert!(site_ids.len() <= MAX_K, "k = {} exceeds MAX_K = {MAX_K}", site_ids.len());
+        let sites = points.gather(&site_ids);
+        let sites_t = TransposedSites::from_rows(sites.as_flat(), sites.dim());
+        let perms =
+            database_permutations_flat_parallel(&metric, &sites_t, points.as_flat(), threads);
+        Self { metric, points, site_ids, sites, sites_t, perms }
+    }
+}
+
+impl<M: BatchDistance> FlatDistPermIndex<M> {
+    /// Database size.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of sites k.
+    pub fn k(&self) -> usize {
+        self.site_ids.len()
+    }
+
+    /// The site element ids.
+    pub fn site_ids(&self) -> &[usize] {
+        &self.site_ids
+    }
+
+    /// The materialised site rows.
+    pub fn sites(&self) -> &VectorSet {
+        &self.sites
+    }
+
+    /// The owned metric.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &VectorSet {
+        &self.points
+    }
+
+    /// The stored permutations, parallel to the database.
+    pub fn permutations(&self) -> &[Permutation] {
+        &self.perms
+    }
+
+    /// Occurrence counter over the stored permutations (the paper's
+    /// measurement).
+    pub fn counter(&self) -> PermutationCounter {
+        let mut c = PermutationCounter::new();
+        for &p in &self.perms {
+            c.insert(p);
+        }
+        c
+    }
+
+    /// Number of distinct permutations in the index.
+    pub fn distinct_permutations(&self) -> usize {
+        self.counter().distinct()
+    }
+
+    /// The query's distance permutation: k metric evaluations through
+    /// the batched kernel.
+    pub fn query_permutation(&self, query: &[f64]) -> Permutation {
+        self.searcher().query_permutation(query)
+    }
+
+    /// A reusable query cursor (scratch allocated once).
+    pub fn searcher(&self) -> FlatDistPermSearcher<'_, M> {
+        FlatDistPermSearcher { index: self, dists: vec![0.0; self.k()], order: Vec::new() }
+    }
+
+    /// Approximate k-NN over the `frac` permutation-nearest fraction
+    /// (Spearman footrule ordering; `frac = 1.0` is exact).
+    pub fn knn_approx(&self, query: &[f64], k: usize, frac: f64) -> Vec<Neighbor<F64Dist>> {
+        self.searcher().knn_approx(query, k, frac)
+    }
+
+    /// [`Self::knn_approx`] with an explicit ordering measure.
+    pub fn knn_approx_ordered(
+        &self,
+        query: &[f64],
+        k: usize,
+        frac: f64,
+        ordering: OrderingKind,
+    ) -> Vec<Neighbor<F64Dist>> {
+        self.searcher().knn_approx_ordered(query, k, frac, ordering)
+    }
+
+    /// Approximate range query over the `frac` permutation-nearest
+    /// fraction (subset of the true answer; `frac = 1.0` is exact).
+    pub fn range_approx(
+        &self,
+        query: &[f64],
+        radius: F64Dist,
+        frac: f64,
+    ) -> Vec<Neighbor<F64Dist>> {
+        self.searcher().range_approx(query, radius, frac)
+    }
+}
+
+/// Reusable query cursor over a [`FlatDistPermIndex`].
+#[derive(Debug, Clone)]
+pub struct FlatDistPermSearcher<'a, M: BatchDistance> {
+    index: &'a FlatDistPermIndex<M>,
+    dists: Vec<f64>,
+    order: Vec<(u64, usize)>,
+}
+
+impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &FlatDistPermIndex<M> {
+        self.index
+    }
+
+    /// The query's distance permutation (k batched metric evaluations).
+    pub fn query_permutation(&mut self, query: &[f64]) -> Permutation {
+        let k = self.index.k();
+        self.index.metric.batch_distances(query, &self.index.sites_t, &mut self.dists);
+        let mut pairs = [(F64Dist::ZERO, 0u8); MAX_K];
+        for (j, (&d, pair)) in self.dists.iter().zip(pairs.iter_mut()).enumerate() {
+            *pair = (F64Dist::new(d), j as u8);
+        }
+        pairs[..k].sort_unstable();
+        let mut items = [0u8; MAX_K];
+        for (slot, &(_, j)) in items.iter_mut().zip(pairs[..k].iter()) {
+            *slot = j;
+        }
+        Permutation::from_slice(&items[..k]).expect("ranks form a permutation")
+    }
+
+    /// See [`FlatDistPermIndex::knn_approx`].
+    pub fn knn_approx(&mut self, query: &[f64], k: usize, frac: f64) -> Vec<Neighbor<F64Dist>> {
+        self.knn_approx_ordered(query, k, frac, OrderingKind::Footrule)
+    }
+
+    /// See [`FlatDistPermIndex::knn_approx_ordered`].
+    pub fn knn_approx_ordered(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        frac: f64,
+        ordering: OrderingKind,
+    ) -> Vec<Neighbor<F64Dist>> {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+        let n = self.index.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let budget = ((frac * n as f64).ceil() as usize).clamp(k.min(n), n);
+        self.candidate_order(query, ordering, budget);
+        let mut heap = KnnHeap::new(k.min(n));
+        for &(_, i) in self.order.iter().take(budget) {
+            heap.push(i, self.index.metric.distance(query, self.index.points.row(i)));
+        }
+        heap.into_sorted()
+    }
+
+    /// See [`FlatDistPermIndex::range_approx`].
+    pub fn range_approx(
+        &mut self,
+        query: &[f64],
+        radius: F64Dist,
+        frac: f64,
+    ) -> Vec<Neighbor<F64Dist>> {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+        let n = self.index.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let budget = ((frac * n as f64).ceil() as usize).min(n);
+        self.candidate_order(query, OrderingKind::Footrule, budget);
+        let mut out: Vec<Neighbor<F64Dist>> = self
+            .order
+            .iter()
+            .take(budget)
+            .filter_map(|&(_, i)| {
+                let d = self.index.metric.distance(query, self.index.points.row(i));
+                (d <= radius).then_some(Neighbor { id: i, dist: d })
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Budget-aware candidate ordering — the select-then-sort-prefix
+    /// fast path shared with the generic searcher.
+    fn candidate_order(&mut self, query: &[f64], ordering: OrderingKind, budget: usize) {
+        let qperm = self.query_permutation(query);
+        crate::distperm::order_candidates(
+            &self.index.perms,
+            &qperm,
+            ordering,
+            budget,
+            &mut self.order,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distperm::DistPermIndex;
+    use dp_metric::{L2Squared, L2};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+    }
+
+    #[test]
+    fn flat_index_matches_generic_index() {
+        let nested = random_points(600, 3, 41);
+        let flat = VectorSet::from_nested(&nested);
+        let site_ids: Vec<usize> = vec![17, 3, 99, 250, 4, 511];
+        let generic = DistPermIndex::build_with_sites(L2, nested.clone(), site_ids.clone());
+        let flat_idx = FlatDistPermIndex::build_with_sites(L2, flat, site_ids, 4);
+        assert_eq!(flat_idx.permutations(), generic.permutations());
+        assert_eq!(flat_idx.distinct_permutations(), generic.distinct_permutations());
+        for q in random_points(10, 3, 42) {
+            assert_eq!(flat_idx.query_permutation(&q), generic.query_permutation(&q));
+            assert_eq!(flat_idx.knn_approx(&q, 5, 0.2), generic.knn_approx(&q, 5, 0.2));
+            assert_eq!(flat_idx.knn_approx(&q, 5, 1.0), generic.knn_approx(&q, 5, 1.0));
+            let radius = F64Dist::new(0.3);
+            assert_eq!(
+                flat_idx.range_approx(&q, radius, 0.5),
+                generic.range_approx(&q, radius, 0.5)
+            );
+        }
+    }
+
+    #[test]
+    fn build_strategies_match_generic_choice() {
+        let nested = random_points(300, 2, 43);
+        let flat = VectorSet::from_nested(&nested);
+        for strategy in [
+            PivotSelection::Prefix,
+            PivotSelection::MaxMin,
+            PivotSelection::Random(7),
+            PivotSelection::PermDiversity(7),
+        ] {
+            let generic = DistPermIndex::build(L2Squared, nested.clone(), 5, strategy);
+            let flat_idx = FlatDistPermIndex::build(L2Squared, flat.clone(), 5, strategy, 2);
+            assert_eq!(flat_idx.site_ids(), generic.site_ids(), "{strategy:?}");
+            assert_eq!(flat_idx.permutations(), generic.permutations(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn searcher_reuse_matches_one_shot() {
+        let flat = VectorSet::from_nested(&random_points(400, 3, 44));
+        let idx = FlatDistPermIndex::build(L2, flat, 8, PivotSelection::MaxMin, 2);
+        let mut searcher = idx.searcher();
+        for q in random_points(8, 3, 45) {
+            assert_eq!(searcher.knn_approx(&q, 3, 0.15), idx.knn_approx(&q, 3, 0.15));
+        }
+    }
+
+    #[test]
+    fn empty_index_yields_empty_answers() {
+        let idx = FlatDistPermIndex::build_with_sites(L2, VectorSet::new(2), vec![], 1);
+        assert!(idx.is_empty());
+        assert!(idx.knn_approx(&[0.0, 0.0], 3, 1.0).is_empty());
+    }
+}

@@ -223,8 +223,8 @@ mod tests {
     #[test]
     fn works_on_strings() {
         let words: Vec<String> = [
-            "north", "forth", "worth", "wordy", "wormy", "south", "mouth", "month",
-            "moth", "math", "myth", "mirth",
+            "north", "forth", "worth", "wordy", "wormy", "south", "mouth", "month", "moth", "math",
+            "myth", "mirth",
         ]
         .map(String::from)
         .to_vec();

@@ -95,9 +95,7 @@ impl<P: Clone, M: Metric<P>> IAesa<P, M> {
                 if alive[i] && !examined[i] {
                     let better = match next {
                         None => true,
-                        Some((_, s, b)) => {
-                            similarity[i] < s || (similarity[i] == s && lb[i] < b)
-                        }
+                        Some((_, s, b)) => similarity[i] < s || (similarity[i] == s && lb[i] < b),
                     };
                     if better {
                         next = Some((i, similarity[i], lb[i]));

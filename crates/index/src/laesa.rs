@@ -50,10 +50,8 @@ pub(crate) fn choose_pivots<P, M: Metric<P>>(
                 return pivots;
             }
             pivots.push(0);
-            let mut min_dist: Vec<f64> = points
-                .iter()
-                .map(|p| metric.distance(&points[0], p).to_f64())
-                .collect();
+            let mut min_dist: Vec<f64> =
+                points.iter().map(|p| metric.distance(&points[0], p).to_f64()).collect();
             while pivots.len() < k {
                 let (best, _) = min_dist
                     .iter()

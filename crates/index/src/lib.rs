@@ -31,6 +31,7 @@ pub mod aesa;
 pub mod bktree;
 pub mod counting;
 pub mod distperm;
+pub mod flatperm;
 pub mod ghtree;
 pub mod iaesa;
 pub mod laesa;
@@ -43,7 +44,8 @@ pub mod vptree;
 pub use aesa::Aesa;
 pub use bktree::BkTree;
 pub use counting::CountingMetric;
-pub use distperm::{DistPermIndex, OrderingKind};
+pub use distperm::{DistPermIndex, DistPermSearcher, OrderingKind};
+pub use flatperm::{FlatDistPermIndex, FlatDistPermSearcher};
 pub use ghtree::GhTree;
 pub use iaesa::IAesa;
 pub use laesa::{Laesa, PivotSelection};

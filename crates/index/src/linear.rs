@@ -34,7 +34,12 @@ impl<P> LinearScan<P> {
 
     /// All elements within distance `radius` of `query` (inclusive),
     /// sorted by (distance, id).
-    pub fn range<M: Metric<P>>(&self, metric: &M, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+    pub fn range<M: Metric<P>>(
+        &self,
+        metric: &M,
+        query: &P,
+        radius: M::Dist,
+    ) -> Vec<Neighbor<M::Dist>> {
         let mut out: Vec<Neighbor<M::Dist>> = self
             .points
             .iter()
@@ -68,18 +73,12 @@ mod tests {
     use dp_metric::L2;
 
     fn db() -> LinearScan<Vec<f64>> {
-        LinearScan::new(vec![
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![5.0, 5.0],
-        ])
+        LinearScan::new(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![5.0, 5.0]])
     }
 
     #[test]
     fn knn_orders_by_distance() {
-        let ids: Vec<usize> =
-            db().knn(&L2, &vec![0.1, 0.0], 3).iter().map(|n| n.id).collect();
+        let ids: Vec<usize> = db().knn(&L2, &vec![0.1, 0.0], 3).iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 

@@ -85,10 +85,7 @@ pub fn perm_diversity_pivots<P, M: Metric<P>>(
     let dist: Vec<Vec<f64>> = candidates
         .iter()
         .map(|&c| {
-            sample_ids
-                .iter()
-                .map(|&s| metric.distance(&points[c], &points[s]).to_f64())
-                .collect()
+            sample_ids.iter().map(|&s| metric.distance(&points[c], &points[s]).to_f64()).collect()
         })
         .collect();
 
@@ -113,9 +110,7 @@ pub fn perm_diversity_pivots<P, M: Metric<P>>(
             }
             let better = match best {
                 None => true,
-                Some((bd, bc)) => {
-                    seen.len() > bd || (seen.len() == bd && cid < candidates[bc])
-                }
+                Some((bd, bc)) => seen.len() > bd || (seen.len() == bd && cid < candidates[bc]),
             };
             if better {
                 best = Some((seen.len(), ci));

@@ -122,8 +122,7 @@ impl<P: Clone, M: Metric<P>> PrefixPermIndex<P, M> {
     pub fn storage_bits_codebook(&self) -> u64 {
         let n_distinct = self.distinct_prefixes();
         let ids = self.len() as u64 * u64::from(element_bits(n_distinct));
-        let table =
-            n_distinct as u64 * self.prefix_len as u64 * u64::from(element_bits(self.k()));
+        let table = n_distinct as u64 * self.prefix_len as u64 * u64::from(element_bits(self.k()));
         ids + table
     }
 
@@ -144,12 +143,8 @@ impl<P: Clone, M: Metric<P>> PrefixPermIndex<P, M> {
             return Vec::new();
         }
         let qpre = self.query_prefix(query);
-        let mut order: Vec<(u64, usize)> = self
-            .prefixes
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (prefix_footrule(&qpre, p), i))
-            .collect();
+        let mut order: Vec<(u64, usize)> =
+            self.prefixes.iter().enumerate().map(|(i, p)| (prefix_footrule(&qpre, p), i)).collect();
         order.sort_unstable();
         let budget = ((frac * self.points.len() as f64).ceil() as usize)
             .clamp(k.min(self.points.len()), self.points.len());
@@ -188,8 +183,7 @@ mod tests {
         let pts = random_points(2000, 3, 2);
         let mut prev = 0usize;
         for l in 1..=6usize {
-            let idx =
-                PrefixPermIndex::build(L2, pts.clone(), 6, l, PivotSelection::Prefix);
+            let idx = PrefixPermIndex::build(L2, pts.clone(), 6, l, PivotSelection::Prefix);
             let n = idx.distinct_prefixes();
             assert!(n >= prev, "chain not monotone at l={l}: {n} < {prev}");
             prev = n;
@@ -221,8 +215,7 @@ mod tests {
         let scan = LinearScan::new(pts.clone());
         let queries = random_points(40, 3, 7);
         let recall = |l: usize| {
-            let idx =
-                PrefixPermIndex::build(L2, pts.clone(), 12, l, PivotSelection::MaxMin);
+            let idx = PrefixPermIndex::build(L2, pts.clone(), 12, l, PivotSelection::MaxMin);
             queries
                 .iter()
                 .filter(|q| {
@@ -233,10 +226,7 @@ mod tests {
         };
         let short = recall(2);
         let long = recall(12);
-        assert!(
-            long >= short,
-            "longer prefixes should not hurt recall: l=12 {long} < l=2 {short}"
-        );
+        assert!(long >= short, "longer prefixes should not hurt recall: l=12 {long} < l=2 {short}");
         assert!(long >= 30, "full-permutation recall too low: {long}/40");
     }
 

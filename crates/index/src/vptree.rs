@@ -111,14 +111,12 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 let d = self.metric.distance(query, &self.points[*vantage]);
                 heap.push(*vantage, d);
                 let df = d.to_f64();
-                let (first, second) = if df <= *mu { (*inside, *outside) } else { (*outside, *inside) };
+                let (first, second) =
+                    if df <= *mu { (*inside, *outside) } else { (*outside, *inside) };
                 self.knn_node(first, query, heap);
                 let tau = heap.bound().map_or(f64::INFINITY, |b| b.to_f64());
-                let second_viable = if second == *inside {
-                    df - tau <= *mu
-                } else {
-                    df + tau > *mu
-                };
+                let second_viable =
+                    if second == *inside { df - tau <= *mu } else { df + tau > *mu };
                 if second_viable {
                     self.knn_node(second, query, heap);
                 }
@@ -225,8 +223,8 @@ mod tests {
     #[test]
     fn works_on_strings() {
         let words: Vec<String> = [
-            "apple", "apply", "ample", "maple", "staple", "stable", "table", "cable",
-            "fable", "ladle", "paddle", "saddle",
+            "apple", "apply", "ample", "maple", "staple", "stable", "table", "cable", "fable",
+            "ladle", "paddle", "saddle",
         ]
         .map(String::from)
         .to_vec();

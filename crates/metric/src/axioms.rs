@@ -94,7 +94,7 @@ pub fn check_metric<P, M: Metric<P>>(
 mod tests {
     use super::*;
     use crate::dist::F64Dist;
-    use crate::{Hamming, Levenshtein, PrefixDistance, L1, L2, LInf, Lp};
+    use crate::{Hamming, LInf, Levenshtein, Lp, PrefixDistance, L1, L2};
 
     fn vectors() -> Vec<Vec<f64>> {
         vec![
@@ -142,10 +142,7 @@ mod tests {
             }
         }
         let pts = vec![0.0, 1.0];
-        assert!(matches!(
-            check_metric(&Asym, &pts, 0.0),
-            Err(AxiomViolation::Symmetry { .. })
-        ));
+        assert!(matches!(check_metric(&Asym, &pts, 0.0), Err(AxiomViolation::Symmetry { .. })));
     }
 
     #[test]
@@ -157,10 +154,7 @@ mod tests {
                 F64Dist::new(1.0)
             }
         }
-        assert!(matches!(
-            check_metric(&Off, &[0.0], 0.0),
-            Err(AxiomViolation::Identity { .. })
-        ));
+        assert!(matches!(check_metric(&Off, &[0.0], 0.0), Err(AxiomViolation::Identity { .. })));
     }
 
     #[test]

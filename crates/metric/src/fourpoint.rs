@@ -104,12 +104,7 @@ mod tests {
     #[test]
     fn plane_euclidean_violates_four_point() {
         // The unit square: diagonals sum to 2*sqrt(2) > 2 = both cross sums.
-        let pts = vec![
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![0.0, 1.0],
-        ];
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![1.0, 1.0], vec![0.0, 1.0]];
         let result = check_four_point(&L2, &pts, 1e-9);
         assert!(result.is_err(), "{result:?}");
     }

@@ -24,6 +24,7 @@
 //! normalising `-0.0` and rejecting NaN.
 
 pub mod axioms;
+pub mod batch;
 pub mod dist;
 pub mod fourpoint;
 pub mod reconstruct;
@@ -32,12 +33,13 @@ pub mod string;
 pub mod tree;
 pub mod vector;
 
+pub use batch::{BatchDistance, TransposedSites};
 pub use dist::{Distance, F64Dist};
 pub use reconstruct::{reconstruct_tree, ReconstructedTree};
 pub use sparse::{CosineDistance, SparseVec};
 pub use string::{Hamming, Levenshtein, PrefixDistance};
 pub use tree::{Tree, TreeMetric};
-pub use vector::{L1, L2, L2Squared, LInf, Lp};
+pub use vector::{L2Squared, LInf, Lp, SliceRefMetric, L1, L2};
 
 /// A metric (distance function) over points of type `P`.
 ///

@@ -159,11 +159,8 @@ pub fn reconstruct_tree(
     }
 
     // Materialise as a Tree and verify every pairwise distance.
-    let edges: Vec<(usize, usize, u64)> = parent
-        .iter()
-        .enumerate()
-        .filter_map(|(v, p)| p.map(|(pv, w)| (pv, v, w)))
-        .collect();
+    let edges: Vec<(usize, usize, u64)> =
+        parent.iter().enumerate().filter_map(|(v, p)| p.map(|(pv, w)| (pv, v, w))).collect();
     let tree = Tree::from_edges(depth.len(), &edges);
     let steiner_count = depth.len() - {
         let mut distinct: Vec<usize> = vertex_of.clone();
@@ -254,8 +251,7 @@ mod tests {
         // interior.
         for seed in 10..14u64 {
             let t = Tree::random(60, 4, seed);
-            let leaves: Vec<usize> =
-                t.vertices().filter(|&v| t.neighbours(v).len() == 1).collect();
+            let leaves: Vec<usize> = t.vertices().filter(|&v| t.neighbours(v).len() == 1).collect();
             assert!(leaves.len() >= 3);
             let d = |i: usize, j: usize| t.distance(leaves[i], leaves[j]);
             let r = reconstruct_tree(leaves.len(), d).expect("leaf metric is a tree metric");

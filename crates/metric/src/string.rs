@@ -49,12 +49,7 @@ impl Metric<[u8]> for Levenshtein {
         // and dictionary workloads are full of shared stems/endings.
         let pre = lcp_len(short, long);
         let (short, long) = (&short[pre..], &long[pre..]);
-        let suf = short
-            .iter()
-            .rev()
-            .zip(long.iter().rev())
-            .take_while(|(x, y)| x == y)
-            .count();
+        let suf = short.iter().rev().zip(long.iter().rev()).take_while(|(x, y)| x == y).count();
         let short = &short[..short.len() - suf];
         let long = &long[..long.len() - suf];
         if short.is_empty() {
@@ -92,11 +87,7 @@ impl Metric<[u8]> for Hamming {
 
     #[inline]
     fn distance(&self, a: &[u8], b: &[u8]) -> u32 {
-        let mismatches = a
-            .iter()
-            .zip(b.iter())
-            .filter(|(x, y)| x != y)
-            .count();
+        let mismatches = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
         (mismatches + a.len().abs_diff(b.len())) as u32
     }
 }

@@ -92,11 +92,7 @@ impl Tree {
     /// A path whose i-th edge (between vertices i and i+1) has the given
     /// weight.
     pub fn weighted_path(weights: &[u64]) -> Self {
-        let edges: Vec<_> = weights
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| (i, i + 1, w))
-            .collect();
+        let edges: Vec<_> = weights.iter().enumerate().map(|(i, &w)| (i, i + 1, w)).collect();
         Self::from_edges(weights.len() + 1, &edges)
     }
 

@@ -143,6 +143,21 @@ impl Metric<[f64]> for Lp {
     }
 }
 
+/// Adapts a `Metric<[f64]>` to slice-reference points (`&[f64]`), so
+/// code generic over a *sized* point type can run directly on borrowed
+/// rows of flat storage without copying them into owned vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceRefMetric<'m, M>(pub &'m M);
+
+impl<M: Metric<[f64]>> Metric<&[f64]> for SliceRefMetric<'_, M> {
+    type Dist = M::Dist;
+
+    #[inline]
+    fn distance(&self, a: &&[f64], b: &&[f64]) -> M::Dist {
+        self.0.distance(a, b)
+    }
+}
+
 macro_rules! impl_for_vec {
     ($($m:ty),*) => {$(
         impl Metric<Vec<f64>> for $m {

@@ -2,7 +2,7 @@
 
 use dp_metric::axioms::check_metric;
 use dp_metric::fourpoint::check_four_point;
-use dp_metric::{Levenshtein, Lp, Metric, PrefixDistance, Tree, L1, L2, LInf};
+use dp_metric::{LInf, Levenshtein, Lp, Metric, PrefixDistance, Tree, L1, L2};
 use proptest::prelude::*;
 
 proptest! {

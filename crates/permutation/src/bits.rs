@@ -190,8 +190,7 @@ mod tests {
     #[test]
     fn random_access_matches_sequential() {
         let mut w = BitWriter::new();
-        let values: Vec<(u64, u32)> =
-            (0..50u64).map(|i| (i * 37 % 61, 6)).collect();
+        let values: Vec<(u64, u32)> = (0..50u64).map(|i| (i * 37 % 61, 6)).collect();
         for &(v, b) in &values {
             w.write(v, b);
         }

@@ -5,8 +5,9 @@
 //! pair `(distance, index)` realises exactly that rule, and because
 //! [`dp_metric::Distance`] is totally ordered the result is deterministic.
 
+use crate::counter::{PackedPermutationCounter, PermutationCounter};
 use crate::perm::{Permutation, MAX_K};
-use dp_metric::Metric;
+use dp_metric::{BatchDistance, Metric, TransposedSites};
 
 /// Computes the distance permutation of `query` with respect to `sites`.
 ///
@@ -16,11 +17,7 @@ use dp_metric::Metric;
 ///
 /// # Panics
 /// Panics if `sites.len() > MAX_K`.
-pub fn distance_permutation<P, M: Metric<P>>(
-    metric: &M,
-    sites: &[P],
-    query: &P,
-) -> Permutation {
+pub fn distance_permutation<P, M: Metric<P>>(metric: &M, sites: &[P], query: &P) -> Permutation {
     DistPermComputer::new(sites.len()).compute(metric, sites, query)
 }
 
@@ -94,10 +91,204 @@ pub fn database_permutations<P, M: Metric<P>>(
     database: &[P],
 ) -> Vec<Permutation> {
     let mut computer = DistPermComputer::new(sites.len());
-    database
-        .iter()
-        .map(|y| computer.compute(metric, sites, y))
-        .collect()
+    database.iter().map(|y| computer.compute(metric, sites, y)).collect()
+}
+
+/// Rows scanned per batched-kernel call: large enough to amortise loop
+/// overhead, small enough that the `block × k` distance buffer stays in
+/// L1 while the k site vectors stay resident throughout.
+const FLAT_BLOCK_ROWS: usize = 64;
+
+/// Computes Π_y for every row of a flat row-major database.
+///
+/// The batched equivalent of [`database_permutations`]: distances come
+/// from [`BatchDistance::batch_distances`] (site-transposed, vectorizable
+/// across the k accumulators) in blocks of [`FLAT_BLOCK_ROWS`] rows, and
+/// each row's sort runs on a stack scratch — no per-row allocation.
+/// Results are **identical** (bit-for-bit distances, same tie-break) to
+/// the per-point path.
+///
+/// # Panics
+/// Panics if `sites.k() > MAX_K`, if `db_rows` is not a multiple of
+/// `sites.dim()`, or if any distance is NaN.
+pub fn database_permutations_flat<M: BatchDistance>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+) -> Vec<Permutation> {
+    let mut out = Vec::new();
+    flat_scan(metric, sites, db_rows, |p| out.push(p));
+    out
+}
+
+/// Parallel [`database_permutations_flat`] over crossbeam-style scoped
+/// threads.  Deterministic: the output is independent of `threads`.
+pub fn database_permutations_flat_parallel<M: BatchDistance + Sync>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+    threads: usize,
+) -> Vec<Permutation> {
+    let dim = sites.dim().max(1);
+    assert_eq!(db_rows.len() % dim, 0, "database rows not a multiple of dim");
+    let n = db_rows.len() / dim;
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        return database_permutations_flat(metric, sites, db_rows);
+    }
+    let rows_per = n.div_ceil(threads);
+    let mut perms = vec![Permutation::identity(0); n];
+    crossbeam::thread::scope(|scope| {
+        for (rows, slots) in db_rows.chunks(rows_per * dim).zip(perms.chunks_mut(rows_per)) {
+            scope.spawn(move |_| {
+                let mut slot = slots.iter_mut();
+                flat_scan(metric, sites, rows, |p| {
+                    *slot.next().expect("chunk sizes agree") = p;
+                });
+            });
+        }
+    })
+    .expect("flat permutation scope");
+    perms
+}
+
+/// Counts permutation occurrences over a flat database — the batched
+/// core of the paper's measurement, feeding a [`PermutationCounter`]
+/// without materialising the permutation vector.
+pub fn collect_counter_flat<M: BatchDistance>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+) -> PermutationCounter {
+    let mut counter = PermutationCounter::new();
+    flat_scan(metric, sites, db_rows, |p| counter.insert(p));
+    counter
+}
+
+/// Largest k whose permutations pack into a u64 key (5 bits per
+/// element) — covers every configuration the paper's experiments use.
+pub const PACKED_MAX_K: usize = 12;
+
+/// Branchless distance-permutation ranking.
+///
+/// `ranks[i]` receives the position of site `i` in Π (the number of
+/// sites strictly closer, ties to the smaller index — `d_i <= d_j` with
+/// `i < j` resolves ties exactly like sorting `(distance, index)` pairs).
+/// k²/2 branch-free comparisons beat a comparison sort on this workload:
+/// sorting 12 random keys mispredicts a branch every few comparisons,
+/// which costs more than the extra arithmetic.
+///
+/// Distances must be non-NaN (checked by the callers); on that domain
+/// plain `<=` coincides with the `F64Dist` total order.
+#[inline]
+fn rank_row(row_dists: &[f64], ranks: &mut [u8; MAX_K]) {
+    let k = row_dists.len();
+    ranks[..k].fill(0);
+    for i in 0..k {
+        let di = row_dists[i];
+        // Accumulate site i's rank in a register; only ranks[j] (j > i)
+        // touch memory, and that loop is branch-free and vectorizable.
+        let mut ri = ranks[i];
+        for (rj, &dj) in ranks[i + 1..k].iter_mut().zip(row_dists[i + 1..].iter()) {
+            let farther_or_tie = u8::from(di <= dj);
+            *rj += farther_or_tie;
+            ri += 1 - farther_or_tie;
+        }
+        ranks[i] = ri;
+    }
+}
+
+/// Shared block driver for the flat kernels: computes batched distances
+/// and hands each row's rank vector (`ranks[site] = position`) to `emit`.
+fn flat_scan_ranks<M: BatchDistance>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+    mut emit: impl FnMut(&[u8; MAX_K], usize),
+) {
+    let k = sites.k();
+    assert!(k <= MAX_K, "k = {k} exceeds MAX_K = {MAX_K}");
+    let dim = sites.dim();
+    // Zero-dim flat storage cannot represent a non-empty database (n
+    // rows of width 0 are 0 floats) — row count would be unrecoverable.
+    assert!(
+        dim > 0 || db_rows.is_empty(),
+        "sites declare dim 0 but the database has coordinates; build the \
+         TransposedSites with the database's dimension"
+    );
+    let dim = dim.max(1);
+    assert_eq!(db_rows.len() % dim, 0, "database rows not a multiple of dim");
+    let ranks = &mut [0u8; MAX_K];
+    if k == 0 {
+        for _ in 0..db_rows.len() / dim {
+            emit(ranks, 0);
+        }
+        return;
+    }
+    let mut dists = vec![0.0f64; FLAT_BLOCK_ROWS * k];
+    for block in db_rows.chunks(FLAT_BLOCK_ROWS * dim) {
+        let rows_in_block = block.len() / dim;
+        let block_dists = &mut dists[..rows_in_block * k];
+        metric.batch_distances(block, sites, block_dists);
+        let any_nan = block_dists.iter().fold(false, |acc, &d| acc | d.is_nan());
+        assert!(!any_nan, "distance must not be NaN");
+        for row_dists in block_dists.chunks_exact(k) {
+            rank_row(row_dists, ranks);
+            emit(ranks, k);
+        }
+    }
+}
+
+/// Builds the permutation value from a rank vector.
+#[inline]
+fn permutation_from_ranks(ranks: &[u8; MAX_K], k: usize) -> Permutation {
+    let mut items = [0u8; MAX_K];
+    for (i, &r) in ranks[..k].iter().enumerate() {
+        items[r as usize] = i as u8;
+    }
+    Permutation::from_sorted_indices(&items[..k])
+}
+
+/// Packs a rank vector into the 5-bits-per-element u64 key
+/// (requires `k <= PACKED_MAX_K`): element at position `p` of Π occupies
+/// bits `5p..5p+5`.  Injective, so distinct keys ⇔ distinct permutations.
+#[inline]
+fn packed_key_from_ranks(ranks: &[u8; MAX_K], k: usize) -> u64 {
+    debug_assert!(k <= PACKED_MAX_K);
+    let mut key = 0u64;
+    for (i, &r) in ranks[..k].iter().enumerate() {
+        key |= (i as u64) << (5 * r);
+    }
+    key
+}
+
+fn flat_scan<M: BatchDistance>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+    mut emit: impl FnMut(Permutation),
+) {
+    flat_scan_ranks(metric, sites, db_rows, |ranks, k| emit(permutation_from_ranks(ranks, k)));
+}
+
+/// Counts permutation occurrences over a flat database into a
+/// [`PackedPermutationCounter`] — the fastest counting path: no
+/// permutation value is materialised, keys are single u64s.
+///
+/// # Panics
+/// Panics if `sites.k() > PACKED_MAX_K`.
+pub fn collect_packed_flat<M: BatchDistance>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+) -> PackedPermutationCounter {
+    assert!(sites.k() <= PACKED_MAX_K, "k = {} exceeds PACKED_MAX_K = {PACKED_MAX_K}", sites.k());
+    let n = db_rows.len() / sites.dim().max(1);
+    let mut counter = PackedPermutationCounter::with_capacity(sites.k(), n);
+    flat_scan_ranks(metric, sites, db_rows, |ranks, k| {
+        counter.insert_key(packed_key_from_ranks(ranks, k));
+    });
+    counter
 }
 
 #[cfg(test)]
@@ -153,10 +344,7 @@ mod tests {
         let queries = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![-5.0, 3.0]];
         let mut computer = DistPermComputer::new(sites.len());
         for q in &queries {
-            assert_eq!(
-                computer.compute(&L2, &sites, q),
-                distance_permutation(&L2, &sites, q)
-            );
+            assert_eq!(computer.compute(&L2, &sites, q), distance_permutation(&L2, &sites, q));
         }
     }
 
@@ -189,5 +377,74 @@ mod tests {
         let mut computer: DistPermComputer<dp_metric::F64Dist> = DistPermComputer::new(2);
         let sites = vec![vec![0.0]];
         let _ = computer.compute(&L2, &sites, &vec![0.0]);
+    }
+
+    fn weyl_rows(n: usize, dim: usize, salt: u64) -> Vec<f64> {
+        (0..n * dim)
+            .map(|i| {
+                ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ salt) >> 11) as f64
+                    / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_kernel_matches_per_point_path() {
+        use dp_metric::{L2Squared, LInf};
+        let (n, k, dim) = (517, 9, 5); // odd n exercises the partial block
+        let db = weyl_rows(n, dim, 1);
+        let site_rows = weyl_rows(k, dim, 2);
+        let sites_t = TransposedSites::from_rows(&site_rows, dim);
+        let nested_db: Vec<Vec<f64>> = db.chunks_exact(dim).map(<[f64]>::to_vec).collect();
+        let nested_sites: Vec<Vec<f64>> =
+            site_rows.chunks_exact(dim).map(<[f64]>::to_vec).collect();
+        let flat = database_permutations_flat(&L2Squared, &sites_t, &db);
+        let nested = database_permutations(&L2Squared, &nested_sites, &nested_db);
+        assert_eq!(flat, nested);
+        let flat_linf = database_permutations_flat(&LInf, &sites_t, &db);
+        let nested_linf = database_permutations(&LInf, &nested_sites, &nested_db);
+        assert_eq!(flat_linf, nested_linf);
+    }
+
+    #[test]
+    fn flat_parallel_is_deterministic_in_thread_count() {
+        use dp_metric::L2Squared;
+        let (n, k, dim) = (5000, 7, 3);
+        let db = weyl_rows(n, dim, 3);
+        let sites_t = TransposedSites::from_rows(&weyl_rows(k, dim, 4), dim);
+        let seq = database_permutations_flat(&L2Squared, &sites_t, &db);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                database_permutations_flat_parallel(&L2Squared, &sites_t, &db, threads),
+                seq,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_counter_agrees_with_permutation_stream() {
+        use dp_metric::L1;
+        let (n, k, dim) = (800, 6, 2);
+        let db = weyl_rows(n, dim, 5);
+        let sites_t = TransposedSites::from_rows(&weyl_rows(k, dim, 6), dim);
+        let counter = collect_counter_flat(&L1, &sites_t, &db);
+        let perms = database_permutations_flat(&L1, &sites_t, &db);
+        let mut direct = PermutationCounter::new();
+        for &p in &perms {
+            direct.insert(p);
+        }
+        assert_eq!(counter.distinct(), direct.distinct());
+        assert_eq!(counter.total(), direct.total());
+        assert_eq!(counter.total(), n as u64);
+    }
+
+    #[test]
+    fn flat_kernel_handles_empty_inputs() {
+        let sites_t = TransposedSites::from_rows(&[0.25, 0.75], 1);
+        assert!(database_permutations_flat(&L2, &sites_t, &[]).is_empty());
+        let no_sites = TransposedSites::from_rows(&[], 0);
+        let perms = database_permutations_flat(&L2, &no_sites, &[]);
+        assert!(perms.is_empty());
     }
 }

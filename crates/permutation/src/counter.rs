@@ -85,10 +85,167 @@ impl PermutationCounter {
 
     /// The most heavily occupied permutation and its count.
     pub fn mode(&self) -> Option<(Permutation, u64)> {
-        self.counts
-            .iter()
-            .map(|(&p, &c)| (p, c))
-            .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)))
+        self.counts.iter().map(|(&p, &c)| (p, c)).max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)))
+    }
+}
+
+/// Occurrence counter keyed on packed u64 permutation codes
+/// (5 bits per element, so k ≤ [`crate::compute::PACKED_MAX_K`]).
+///
+/// The fast engine behind flat counting.  Inserts only append to a key
+/// buffer (no hashing, no per-insert cache miss — crucial when most
+/// permutations are distinct and a hash table would take a DRAM miss per
+/// probe); distinct-counting happens once, in [`Self::finalize`], as a
+/// cache-friendly sort + run scan.  Packing is injective, so the distinct
+/// count equals the distinct count of the underlying permutations
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct PackedPermutationCounter {
+    k: usize,
+    keys: Vec<u64>,
+}
+
+impl PackedPermutationCounter {
+    /// An empty counter for permutations of length `k`.
+    ///
+    /// # Panics
+    /// Panics if `k > PACKED_MAX_K`.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k <= crate::compute::PACKED_MAX_K,
+            "k = {k} exceeds PACKED_MAX_K = {}",
+            crate::compute::PACKED_MAX_K
+        );
+        Self { k, keys: Vec::new() }
+    }
+
+    /// [`Self::new`] with room for `n` observations (avoids growth
+    /// reallocations on bulk scans of known size).
+    pub fn with_capacity(k: usize, n: usize) -> Self {
+        let mut c = Self::new(k);
+        c.keys.reserve_exact(n);
+        c
+    }
+
+    /// Permutation length k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Records one occurrence of a packed key (element at position `p`
+    /// in bits `5p..5p+5`).
+    #[inline]
+    pub fn insert_key(&mut self, key: u64) {
+        self.keys.push(key);
+    }
+
+    /// Records one occurrence of a permutation value.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != k`.
+    pub fn insert(&mut self, p: &Permutation) {
+        assert_eq!(p.len(), self.k, "permutation length mismatch");
+        let mut key = 0u64;
+        for (pos, &site) in p.as_slice().iter().enumerate() {
+            key |= u64::from(site) << (5 * pos);
+        }
+        self.insert_key(key);
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// Merges another counter into this one (O(other.total) append).
+    ///
+    /// # Panics
+    /// Panics if the two counters disagree on k.
+    pub fn merge(&mut self, other: &PackedPermutationCounter) {
+        assert_eq!(self.k, other.k, "merging counters of different k");
+        self.keys.extend_from_slice(&other.keys);
+    }
+
+    /// Sorts the key buffer and produces the summary statistics.
+    pub fn finalize(mut self) -> PackedCountSummary {
+        self.keys.sort_unstable();
+        let mut occupancies = Vec::new();
+        let mut run = 0u64;
+        let mut prev: Option<u64> = None;
+        for &key in &self.keys {
+            match prev {
+                Some(p) if p == key => run += 1,
+                Some(_) => {
+                    occupancies.push(run);
+                    run = 1;
+                }
+                None => run = 1,
+            }
+            prev = Some(key);
+        }
+        if prev.is_some() {
+            occupancies.push(run);
+        }
+        PackedCountSummary { k: self.k, keys: self.keys, occupancies }
+    }
+}
+
+/// Finalized statistics of a [`PackedPermutationCounter`].
+#[derive(Debug, Clone)]
+pub struct PackedCountSummary {
+    k: usize,
+    keys: Vec<u64>,
+    occupancies: Vec<u64>,
+}
+
+impl PackedCountSummary {
+    /// Number of distinct permutations observed.
+    pub fn distinct(&self) -> usize {
+        self.occupancies.len()
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// Mean occupancy: observations per distinct permutation.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancies.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.distinct() as f64
+        }
+    }
+
+    /// The distinct permutations, decoded, sorted by packed key.
+    pub fn permutations(&self) -> Vec<Permutation> {
+        let mut out = Vec::with_capacity(self.distinct());
+        let mut prev = None;
+        for &key in &self.keys {
+            if prev != Some(key) {
+                out.push(self.decode(key));
+                prev = Some(key);
+            }
+        }
+        out
+    }
+
+    /// Expands into an ordinary [`PermutationCounter`] (same counts).
+    pub fn unpack(&self) -> PermutationCounter {
+        let mut out = PermutationCounter::new();
+        for &key in &self.keys {
+            out.insert(self.decode(key));
+        }
+        out
+    }
+
+    fn decode(&self, key: u64) -> Permutation {
+        let mut items = [0u8; crate::perm::MAX_K];
+        for (pos, slot) in items[..self.k].iter_mut().enumerate() {
+            *slot = ((key >> (5 * pos)) & 0x1F) as u8;
+        }
+        Permutation::from_slice(&items[..self.k]).expect("packed key decodes to a permutation")
     }
 }
 
@@ -147,11 +304,7 @@ impl RankBitmap {
 /// Counts the distinct distance permutations of `database` w.r.t. `sites`.
 ///
 /// The headline operation of the paper: |{Π_y : y ∈ database}|.
-pub fn count_distinct<P, M: Metric<P>>(
-    metric: &M,
-    sites: &[P],
-    database: &[P],
-) -> usize {
+pub fn count_distinct<P, M: Metric<P>>(metric: &M, sites: &[P], database: &[P]) -> usize {
     collect_counter(metric, sites, database).distinct()
 }
 
@@ -252,9 +405,8 @@ mod tests {
     #[test]
     fn rank_bitmap_matches_hash_counter() {
         let sites = vec![vec![0.0, 0.3], vec![0.9, 0.1], vec![0.5, 0.8], vec![0.2, 0.9]];
-        let db: Vec<Vec<f64>> = (0..800)
-            .map(|i| vec![(i % 40) as f64 / 40.0, (i / 40) as f64 / 20.0])
-            .collect();
+        let db: Vec<Vec<f64>> =
+            (0..800).map(|i| vec![(i % 40) as f64 / 40.0, (i / 40) as f64 / 20.0]).collect();
         let counter = collect_counter(&L2, &sites, &db);
         let mut bitmap = RankBitmap::new(4);
         let mut computer = crate::compute::DistPermComputer::new(4);

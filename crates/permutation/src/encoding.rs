@@ -131,10 +131,7 @@ impl Codebook {
     /// # Panics
     /// Panics if any permutation was not interned.
     pub fn encode_all(&self, perms: &[Permutation]) -> Vec<u32> {
-        perms
-            .iter()
-            .map(|p| self.id_of(p).expect("permutation missing from codebook"))
-            .collect()
+        perms.iter().map(|p| self.id_of(p).expect("permutation missing from codebook")).collect()
     }
 
     /// Decodes ids back to permutations.
@@ -142,9 +139,7 @@ impl Codebook {
     /// # Panics
     /// Panics if any id is out of range.
     pub fn decode_all(&self, ids: &[u32]) -> Vec<Permutation> {
-        ids.iter()
-            .map(|&id| *self.permutation(id).expect("id out of range"))
-            .collect()
+        ids.iter().map(|&id| *self.permutation(id).expect("id out of range")).collect()
     }
 }
 
@@ -198,8 +193,7 @@ pub fn unpack_ids(bytes: &[u8], bits: u32, count: usize) -> Vec<u32> {
             let byte = pos / 8;
             let bit = pos % 8;
             let take = (bits as usize - got).min(8 - bit);
-            let chunk =
-                (bytes.get(byte).copied().unwrap_or(0) >> bit) & ((1u16 << take) - 1) as u8;
+            let chunk = (bytes.get(byte).copied().unwrap_or(0) >> bit) & ((1u16 << take) - 1) as u8;
             value |= u64::from(chunk) << got;
             got += take;
             pos += take;

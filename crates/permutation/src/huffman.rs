@@ -84,15 +84,10 @@ impl HuffmanCode {
     }
 
     fn from_lengths(lengths: Vec<u8>) -> Self {
-        let mut sorted_symbols: Vec<u32> = (0..lengths.len() as u32)
-            .filter(|&s| lengths[s as usize] > 0)
-            .collect();
+        let mut sorted_symbols: Vec<u32> =
+            (0..lengths.len() as u32).filter(|&s| lengths[s as usize] > 0).collect();
         sorted_symbols.sort_unstable_by_key(|&s| (lengths[s as usize], s));
-        let max_len = sorted_symbols
-            .iter()
-            .map(|&s| lengths[s as usize])
-            .max()
-            .unwrap_or(0);
+        let max_len = sorted_symbols.iter().map(|&s| lengths[s as usize]).max().unwrap_or(0);
 
         let mut codes = vec![0u64; lengths.len()];
         let mut decode_rows = vec![(0u64, 0u32, 0u32); max_len as usize + 1];
@@ -176,9 +171,7 @@ impl HuffmanCode {
             .iter()
             .enumerate()
             .filter(|&(_, &f)| f > 0)
-            .map(|(s, &f)| {
-                f * u64::from(self.length(s as u32).expect("frequency without code"))
-            })
+            .map(|(s, &f)| f * u64::from(self.length(s as u32).expect("frequency without code")))
             .sum()
     }
 
@@ -201,8 +194,7 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
-    let present: Vec<u32> =
-        (0..freqs.len() as u32).filter(|&s| freqs[s as usize] > 0).collect();
+    let present: Vec<u32> = (0..freqs.len() as u32).filter(|&s| freqs[s as usize] > 0).collect();
     let mut lengths = vec![0u8; freqs.len()];
     match present.len() {
         0 => return lengths,
@@ -217,11 +209,8 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
     // Internal nodes: (left, right) children as indices into `nodes`;
     // leaves are symbol indices < present.len().
     let mut nodes: Vec<(u32, u32)> = Vec::with_capacity(present.len());
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = present
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| Reverse((freqs[s as usize], i as u32)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+        present.iter().enumerate().map(|(i, &s)| Reverse((freqs[s as usize], i as u32))).collect();
     let leaf_count = present.len() as u32;
     while heap.len() > 1 {
         let Reverse((fa, a)) = heap.pop().expect("len > 1");
@@ -440,11 +429,7 @@ mod tests {
         let decoded: Vec<_> = store.iter().collect();
         assert_eq!(decoded, perms);
         let flat_bits = f64::from(element_bits(store.distinct()));
-        assert!(
-            store.mean_bits() < flat_bits,
-            "huffman {} >= flat {flat_bits}",
-            store.mean_bits()
-        );
+        assert!(store.mean_bits() < flat_bits, "huffman {} >= flat {flat_bits}", store.mean_bits());
     }
 
     #[test]

@@ -29,8 +29,7 @@ pub fn rank(p: &Permutation) -> u128 {
     // right of position i contribute (count) * (k-1-i)!.
     let mut used = [false; MAX_K];
     for (i, &e) in a.iter().enumerate() {
-        let smaller_unused =
-            (0..e).filter(|&s| !used[s as usize]).count() as u128;
+        let smaller_unused = (0..e).filter(|&s| !used[s as usize]).count() as u128;
         r += smaller_unused * factorial(k - 1 - i);
         used[e as usize] = true;
     }

@@ -11,7 +11,10 @@
 //! * [`Permutation`] — a compact, copyable permutation of up to
 //!   [`MAX_K`] = 32 elements (the paper's experiments use k ≤ 12);
 //! * [`compute::distance_permutation`] and the allocation-free
-//!   [`compute::DistPermComputer`] for bulk database scans;
+//!   [`compute::DistPermComputer`] for per-point scans, plus the batched
+//!   flat-storage kernels [`compute::database_permutations_flat`] /
+//!   [`compute::collect_counter_flat`] (site-transposed, block-resident,
+//!   optionally parallel, bit-identical to the per-point path);
 //! * [`lehmer`] — factorial-base ranking/unranking (k ≤ 33 fits in `u128`);
 //! * [`permdist`] — Kendall tau, Spearman footrule and Spearman rho
 //!   permutation distances (used by the `distperm`/iAESA index types for
@@ -43,8 +46,11 @@ pub mod permdist;
 pub mod prefix;
 pub mod store;
 
-pub use compute::{distance_permutation, DistPermComputer};
-pub use counter::PermutationCounter;
+pub use compute::{
+    collect_counter_flat, collect_packed_flat, database_permutations_flat,
+    database_permutations_flat_parallel, distance_permutation, DistPermComputer, PACKED_MAX_K,
+};
+pub use counter::{PackedCountSummary, PackedPermutationCounter, PermutationCounter};
 pub use encoding::Codebook;
 pub use huffman::{HuffmanCode, HuffmanPermStore};
 pub use perm::{Permutation, PermutationError, MAX_K};

@@ -192,8 +192,7 @@ impl Permutation {
 
     /// Formats with the paper's 1-based convention, e.g. `⟨2,1,3⟩`.
     pub fn display_one_based(&self) -> String {
-        let parts: Vec<String> =
-            self.as_slice().iter().map(|&e| (e + 1).to_string()).collect();
+        let parts: Vec<String> = self.as_slice().iter().map(|&e| (e + 1).to_string()).collect();
         format!("<{}>", parts.join(","))
     }
 }
@@ -246,19 +245,10 @@ mod tests {
     #[test]
     fn from_slice_validates() {
         assert!(Permutation::from_slice(&[2, 0, 1]).is_ok());
-        assert_eq!(
-            Permutation::from_slice(&[0, 0, 1]),
-            Err(PermutationError::NotAPermutation)
-        );
-        assert_eq!(
-            Permutation::from_slice(&[0, 3]),
-            Err(PermutationError::NotAPermutation)
-        );
+        assert_eq!(Permutation::from_slice(&[0, 0, 1]), Err(PermutationError::NotAPermutation));
+        assert_eq!(Permutation::from_slice(&[0, 3]), Err(PermutationError::NotAPermutation));
         let too_long = vec![0u8; MAX_K + 1];
-        assert_eq!(
-            Permutation::from_slice(&too_long),
-            Err(PermutationError::TooLong(MAX_K + 1))
-        );
+        assert_eq!(Permutation::from_slice(&too_long), Err(PermutationError::TooLong(MAX_K + 1)));
     }
 
     #[test]

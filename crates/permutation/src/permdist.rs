@@ -32,11 +32,7 @@ pub fn spearman_footrule(a: &Permutation, b: &Permutation) -> u64 {
     check_same_len(a, b);
     let ia = a.inverse();
     let ib = b.inverse();
-    ia.as_slice()
-        .iter()
-        .zip(ib.as_slice())
-        .map(|(&x, &y)| u64::from(x.abs_diff(y)))
-        .sum()
+    ia.as_slice().iter().zip(ib.as_slice()).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum()
 }
 
 /// Sum of squared rank displacements (the Spearman-rho statistic without
@@ -63,11 +59,7 @@ pub fn kendall_tau(a: &Permutation, b: &Permutation) -> u64 {
     // Kendall tau is then the inversion count of sigma; k <= 32 so the
     // quadratic count is faster than merge-sort bookkeeping.
     let ib = b.inverse();
-    let sigma: Vec<u8> = a
-        .as_slice()
-        .iter()
-        .map(|&e| ib.as_slice()[e as usize])
-        .collect();
+    let sigma: Vec<u8> = a.as_slice().iter().map(|&e| ib.as_slice()[e as usize]).collect();
     let mut inversions = 0u64;
     for i in 0..sigma.len() {
         for j in (i + 1)..sigma.len() {

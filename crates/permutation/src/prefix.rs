@@ -185,10 +185,7 @@ mod tests {
             PrefixPermutation::from_slice(5, &[4, 4]),
             Err(PermutationError::NotAPermutation)
         );
-        assert_eq!(
-            PrefixPermutation::from_slice(3, &[3]),
-            Err(PermutationError::NotAPermutation)
-        );
+        assert_eq!(PrefixPermutation::from_slice(3, &[3]), Err(PermutationError::NotAPermutation));
         assert_eq!(
             PrefixPermutation::from_slice(2, &[0, 1, 1]),
             Err(PermutationError::NotAPermutation)

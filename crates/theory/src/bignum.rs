@@ -137,9 +137,7 @@ impl BigNat {
     pub fn bit_len(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64 - 1) * 64 + u64::from(64 - top.leading_zeros())
-            }
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + u64::from(64 - top.leading_zeros()),
         }
     }
 

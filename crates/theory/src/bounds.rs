@@ -132,10 +132,7 @@ mod tests {
         // Matches the factorial triangle of Table 1.
         for k in 2..=8u32 {
             let fact: u128 = (1..=u128::from(k)).product();
-            assert_eq!(
-                n_euclidean(min_dimension_for_all_permutations(k), k),
-                Some(fact)
-            );
+            assert_eq!(n_euclidean(min_dimension_for_all_permutations(k), k), Some(fact));
         }
     }
 }

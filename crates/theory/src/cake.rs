@@ -130,11 +130,7 @@ mod tests {
     fn closed_form_matches_recurrence() {
         for d in 0..6u32 {
             for m in 0..40u64 {
-                assert_eq!(
-                    cake_pieces(d, m),
-                    cake_pieces_recurrence(d, m),
-                    "d={d} m={m}"
-                );
+                assert_eq!(cake_pieces(d, m), cake_pieces_recurrence(d, m), "d={d} m={m}");
             }
         }
     }

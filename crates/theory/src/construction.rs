@@ -86,17 +86,14 @@ where
         target.as_slice().iter().copied().filter(|&e| e != (k - 1) as u8).collect();
     let reduced =
         Permutation::from_slice(&reduced_items).expect("removing one element keeps validity");
-    let reduced_sites: Vec<&[f64]> =
-        sites[..k - 1].iter().map(|s| &s[..k - 2]).collect();
+    let reduced_sites: Vec<&[f64]> = sites[..k - 1].iter().map(|s| &s[..k - 2]).collect();
     let mut reduced_computer = DistPermComputer::new(k - 1);
     let base = witness_for(&reduced_sites, reduced, eps / 4.0, metric, &mut reduced_computer);
 
     // Slide the new coordinate z in [-eps/2, 3eps/4]; the position of site
     // k-1 in the distance permutation moves monotonically from last (k-1)
     // to first (0).  Bisect to the position `target` requires.
-    let target_pos = target
-        .position_of((k - 1) as u8)
-        .expect("target contains every site index");
+    let target_pos = target.position_of((k - 1) as u8).expect("target contains every site index");
     let mut y = base;
     y.push(0.0);
     let zi = y.len() - 1;
@@ -159,11 +156,7 @@ where
 
     y[zi] = 0.5 * (lower_edge + upper_edge);
     let perm = compute_on_slices(computer, metric, sites, &y);
-    assert_eq!(
-        perm, target,
-        "construction invariant violated at z={} for {target}",
-        y[zi]
-    );
+    assert_eq!(perm, target, "construction invariant violated at z={} for {target}", y[zi]);
     y
 }
 
@@ -202,17 +195,14 @@ pub fn corollary5_path(k: u32) -> (Tree, Vec<usize>) {
     assert!((1..=24).contains(&k), "k = {k} out of supported range");
     let edges = crate::tree::corollary5_path_edges(k);
     let tree = Tree::path(edges as usize);
-    let sites = crate::tree::corollary5_site_labels(k)
-        .into_iter()
-        .map(|s| s as usize)
-        .collect();
+    let sites = crate::tree::corollary5_site_labels(k).into_iter().map(|s| s as usize).collect();
     (tree, sites)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dp_metric::{L1, L2, LInf};
+    use dp_metric::{LInf, L1, L2};
     use dp_permutation::counter::count_distinct;
 
     #[test]
@@ -303,11 +293,7 @@ mod tests {
             let metric = tree.metric();
             let db: Vec<usize> = tree.vertices().collect();
             let count = count_distinct(&metric, &sites, &db);
-            assert_eq!(
-                count as u128,
-                crate::tree::tree_bound(k),
-                "k={k}: expected C(k,2)+1"
-            );
+            assert_eq!(count as u128, crate::tree::tree_bound(k), "k={k}: expected C(k,2)+1");
         }
     }
 

@@ -74,9 +74,7 @@ pub const TABLE1_KS: std::ops::RangeInclusive<u32> = 2..=12;
 pub fn table1() -> Table1 {
     let values = TABLE1_DIMS
         .map(|d| {
-            TABLE1_KS
-                .map(|k| n_euclidean(d, k).expect("Table 1 range fits in u128"))
-                .collect()
+            TABLE1_KS.map(|k| n_euclidean(d, k).expect("Table 1 range fits in u128")).collect()
         })
         .collect();
     Table1 { values }
@@ -148,9 +146,7 @@ pub fn storage_bits_big(d: u32, k: u32) -> u64 {
 /// arbitrary precision.
 pub fn table1_extended(dmax: u32, kmax: u32) -> Vec<Vec<BigNat>> {
     assert!(kmax >= 2, "table needs k >= 2");
-    (1..=dmax)
-        .map(|d| (2..=kmax).map(|k| n_euclidean_big(d, k)).collect())
-        .collect()
+    (1..=dmax).map(|d| (2..=kmax).map(|k| n_euclidean_big(d, k)).collect()).collect()
 }
 
 #[cfg(test)]
@@ -290,11 +286,7 @@ mod tests {
     fn big_recurrence_agrees_with_u128_in_range() {
         for d in 0..=10u32 {
             for k in 1..=14u32 {
-                assert_eq!(
-                    n_euclidean_big(d, k).to_u128(),
-                    n_euclidean(d, k),
-                    "d={d} k={k}"
-                );
+                assert_eq!(n_euclidean_big(d, k).to_u128(), n_euclidean(d, k), "d={d} k={k}");
             }
         }
     }

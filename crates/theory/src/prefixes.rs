@@ -90,11 +90,7 @@ mod tests {
         // min(k!, N_{d,2}(k)) = N_{d,2}(k) (N never exceeds k!).
         for d in 1..=6u32 {
             for k in 2..=10u32 {
-                assert_eq!(
-                    ordered_prefix_bound(d, k, k),
-                    n_euclidean(d, k),
-                    "d={d} k={k}"
-                );
+                assert_eq!(ordered_prefix_bound(d, k, k), n_euclidean(d, k), "d={d} k={k}");
             }
         }
     }

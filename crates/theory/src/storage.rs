@@ -81,9 +81,7 @@ pub fn storage_row(d: u32, k: u32, n: u64) -> StorageRow {
 /// Renders a storage comparison table over the given d and k ranges.
 pub fn render_table(ds: &[u32], ks: &[u32], n: u64) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "bits per element (n = {n}): LAESA | perm-rank | packed | codebook\n"
-    ));
+    out.push_str(&format!("bits per element (n = {n}): LAESA | perm-rank | packed | codebook\n"));
     for &d in ds {
         for &k in ks {
             let r = storage_row(d, k, n);

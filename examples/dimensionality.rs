@@ -10,9 +10,9 @@
 
 use distance_permutations::core::count::count_permutations;
 use distance_permutations::core::dimension::{estimate_dimension, ReferenceProfile};
+use distance_permutations::datasets::intrinsic_dimensionality;
 use distance_permutations::datasets::vectors::{clustered, curve_embedded, uniform_unit_cube};
 use distance_permutations::datasets::{colors, nasa};
-use distance_permutations::datasets::intrinsic_dimensionality;
 use distance_permutations::metric::L2;
 
 const K: usize = 8;
@@ -35,10 +35,7 @@ fn main() {
         ("nasa analogue (20-D, rank ~5)", nasa::generate_features(N, 6)),
     ];
 
-    println!(
-        "{:<36} {:>10} {:>12} {:>10}",
-        "database", "perms", "perm-dim", "rho"
-    );
+    println!("{:<36} {:>10} {:>12} {:>10}", "database", "perms", "perm-dim", "rho");
     for (name, db) in cases {
         let sites: Vec<Vec<f64>> = db[..K].to_vec();
         let observed = count_permutations(&L2, &sites, &db).distinct;

@@ -37,9 +37,11 @@ fn main() {
     );
 
     // LAESA for comparison.
-    let laesa = Laesa::build(CountingMetric::new(Levenshtein), words.clone(), k, PivotSelection::MaxMin);
+    let laesa =
+        Laesa::build(CountingMetric::new(Levenshtein), words.clone(), k, PivotSelection::MaxMin);
     // iAESA (exact, matrix-backed, permutation-ordered).
-    let iaesa = IAesa::build(CountingMetric::new(Levenshtein), words.clone(), k, PivotSelection::MaxMin);
+    let iaesa =
+        IAesa::build(CountingMetric::new(Levenshtein), words.clone(), k, PivotSelection::MaxMin);
 
     let mut dp_evals = 0u64;
     let mut dp_hits = 0usize;

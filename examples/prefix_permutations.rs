@@ -11,9 +11,9 @@
 //! Run with: `cargo run --release --example prefix_permutations`
 
 use distance_permutations::core::orders::{count_distinct_prefixes, PrefixKind};
+use distance_permutations::datasets::uniform_unit_cube;
 use distance_permutations::index::laesa::PivotSelection;
 use distance_permutations::index::{LinearScan, PrefixPermIndex};
-use distance_permutations::datasets::uniform_unit_cube;
 use distance_permutations::metric::L2;
 use distance_permutations::theory::prefixes::ordered_prefix_bound;
 
@@ -25,20 +25,13 @@ fn main() {
     let truth: Vec<usize> = queries.iter().map(|q| scan.knn(&L2, q, 1)[0].id).collect();
 
     println!("n = {n}, d = {d}, k = {k} sites (MaxMin), 1-NN recall at 5% budget\n");
-    println!(
-        "{:>3} {:>10} {:>12} {:>12} {:>8}",
-        "l", "distinct", "bound", "bits/elem", "recall"
-    );
+    println!("{:>3} {:>10} {:>12} {:>12} {:>8}", "l", "distinct", "bound", "bits/elem", "recall");
     for l in 1..=k.min(8) {
         let idx = PrefixPermIndex::build(L2, db.clone(), k, l, PivotSelection::MaxMin);
         let distinct = idx.distinct_prefixes();
         // Cross-check against the one-pass counter.
-        let sites: Vec<Vec<f64>> =
-            idx.site_ids().iter().map(|&i| db[i].clone()).collect();
-        assert_eq!(
-            distinct,
-            count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Ordered)
-        );
+        let sites: Vec<Vec<f64>> = idx.site_ids().iter().map(|&i| db[i].clone()).collect();
+        assert_eq!(distinct, count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Ordered));
         let bound = ordered_prefix_bound(d as u32, k as u32, l as u32).unwrap();
         assert!(distinct as u128 <= bound, "count exceeds theory at l={l}");
 

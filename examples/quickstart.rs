@@ -21,7 +21,10 @@ fn main() {
     // The distance permutation of one point: sites ordered by distance.
     let y = &db[100];
     let perm = distance_permutation(&L2, &sites, y);
-    println!("distance permutation of db[100]: {perm} (paper notation {})", perm.display_one_based());
+    println!(
+        "distance permutation of db[100]: {perm} (paper notation {})",
+        perm.display_one_based()
+    );
 
     // The paper's central quantity: how many distinct permutations occur?
     let report = count_permutations(&L2, &sites, &db);

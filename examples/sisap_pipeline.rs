@@ -65,10 +65,7 @@ fn main() {
         counter.distinct()
     );
     assert!((counter.distinct() as u64) < kfact);
-    println!(
-        "mean occupancy: {:.1} words per permutation",
-        counter.mean_occupancy()
-    );
+    println!("mean occupancy: {:.1} words per permutation", counter.mean_occupancy());
 
     std::fs::remove_dir_all(&dir).ok();
 }

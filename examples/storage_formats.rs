@@ -31,8 +31,7 @@ fn main() {
     let sites: Vec<Vec<f64>> = db[..k].to_vec();
 
     // The permutation column.
-    let perms: Vec<Permutation> =
-        db.iter().map(|y| distance_permutation(&L2, &sites, y)).collect();
+    let perms: Vec<Permutation> = db.iter().map(|y| distance_permutation(&L2, &sites, y)).collect();
     let report = count_permutations(&L2, &sites, &db);
     println!("database: n = {n}, d = {d}, k = {k}");
     println!(

@@ -14,8 +14,16 @@ fn main() {
     // Fig 5's idea: items in a hierarchy keyed by call-number-like
     // strings; longer common prefix = more closely related.
     let shelf: Vec<String> = [
-        "qa76", "qa76.9", "qa76.9.d3", "qa76.9.d35", "qa76.76", "qa9", "qa9.58", "z699",
-        "z699.35", "z699.5",
+        "qa76",
+        "qa76.9",
+        "qa76.9.d3",
+        "qa76.9.d35",
+        "qa76.76",
+        "qa9",
+        "qa9.58",
+        "z699",
+        "z699.35",
+        "z699.5",
     ]
     .map(String::from)
     .to_vec();
@@ -27,8 +35,7 @@ fn main() {
     }
 
     // Distance permutations in the prefix-metric tree, with 4 sites.
-    let sites: Vec<String> =
-        ["qa76.9", "qa9", "z699", "qa76.76"].map(String::from).to_vec();
+    let sites: Vec<String> = ["qa76.9", "qa9", "z699", "qa76.76"].map(String::from).to_vec();
     println!("\ndistance permutations of the shelf w.r.t. 4 call-number sites:");
     for item in &shelf {
         let p = distance_permutation(&PrefixDistance, &sites, item);

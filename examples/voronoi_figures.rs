@@ -20,13 +20,10 @@ fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let k = 5usize;
     let mut rng = StdRng::seed_from_u64(seed);
-    let sites_i: Vec<(i64, i64)> = (0..k)
-        .map(|_| (rng.random_range(100..900), rng.random_range(100..900)))
-        .collect();
-    let sites: Vec<Vec<f64>> = sites_i
-        .iter()
-        .map(|&(x, y)| vec![x as f64 / 1000.0, y as f64 / 1000.0])
-        .collect();
+    let sites_i: Vec<(i64, i64)> =
+        (0..k).map(|_| (rng.random_range(100..900), rng.random_range(100..900))).collect();
+    let sites: Vec<Vec<f64>> =
+        sites_i.iter().map(|&(x, y)| vec![x as f64 / 1000.0, y as f64 / 1000.0]).collect();
 
     let exact = euclidean_cells(&sites_i);
     let emax = n_euclidean(2, k as u32).expect("small");

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Workspace gate: formatting, lints, tests, and bench compilation.
+#
+# Run from the repository root.  Mirrors what a CI job would run; every
+# PR should pass this locally before review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test --workspace"
+cargo test --workspace -q
+
+echo "== cargo bench --no-run (bench code must keep compiling)"
+cargo bench -p dp-bench --no-run
+
+echo "All checks passed."

@@ -7,7 +7,7 @@ use distance_permutations::core::spaces::{theoretical_max, SpaceKind};
 use distance_permutations::datasets::dictionary::{generate_words, language_profiles};
 use distance_permutations::datasets::documents::{generate_documents, short_profile};
 use distance_permutations::datasets::uniform_unit_cube;
-use distance_permutations::metric::{CosineDistance, Levenshtein, Tree, L1, L2, LInf};
+use distance_permutations::metric::{CosineDistance, LInf, Levenshtein, Tree, L1, L2};
 use distance_permutations::permutation::counter::count_distinct;
 use distance_permutations::theory::tree_bound;
 
@@ -19,10 +19,7 @@ fn euclidean_counts_respect_theorem7_in_every_dimension() {
             let sites: Vec<Vec<f64>> = db[..k].to_vec();
             let observed = count_permutations(&L2, &sites, &db).distinct;
             let max = theoretical_max(SpaceKind::Euclidean { d: d as u32 }, k as u32).unwrap();
-            assert!(
-                observed as u128 <= max,
-                "d={d} k={k}: {observed} > {max}"
-            );
+            assert!(observed as u128 <= max, "d={d} k={k}: {observed} > {max}");
         }
     }
 }
@@ -64,7 +61,8 @@ fn random_trees_respect_theorem4() {
     for seed in 0..6u64 {
         let tree = Tree::random(2_000, 5, seed);
         let k = 4 + (seed as usize % 5);
-        let sites: Vec<usize> = (0..k).map(|i| (i * 397 + seed as usize * 31) % tree.len()).collect();
+        let sites: Vec<usize> =
+            (0..k).map(|i| (i * 397 + seed as usize * 31) % tree.len()).collect();
         let db: Vec<usize> = tree.vertices().collect();
         let observed = count_distinct(&tree.metric(), &sites, &db);
         assert!(

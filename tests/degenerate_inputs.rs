@@ -44,10 +44,7 @@ fn k_equals_one_always_identity() {
     let db: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, -(i as f64)]).collect();
     let r = count_permutations(&L2, &sites, &db);
     assert_eq!(r.distinct, 1);
-    assert_eq!(
-        distance_permutation(&L2, &sites, &db[7]),
-        Permutation::identity(1)
-    );
+    assert_eq!(distance_permutation(&L2, &sites, &db[7]), Permutation::identity(1));
 }
 
 #[test]
@@ -63,9 +60,8 @@ fn all_identical_database_yields_one_permutation() {
 fn colinear_equidistant_grid_ties_are_deterministic() {
     // An integer grid with sites placed symmetrically: masses of exact
     // ties; the count must be reproducible run to run.
-    let db: Vec<Vec<f64>> = (0..20)
-        .flat_map(|x| (0..20).map(move |y| vec![x as f64, y as f64]))
-        .collect();
+    let db: Vec<Vec<f64>> =
+        (0..20).flat_map(|x| (0..20).map(move |y| vec![x as f64, y as f64])).collect();
     let sites = vec![vec![5.0, 5.0], vec![14.0, 5.0], vec![5.0, 14.0], vec![14.0, 14.0]];
     let a = count_permutations(&L2, &sites, &db).distinct;
     let b = count_permutations(&L2, &sites, &db).distinct;
@@ -133,9 +129,8 @@ fn survey_handles_two_point_database() {
 fn unit_distance_ties_under_levenshtein_stay_within_factorial() {
     // Short strings over a tiny alphabet: distances take few values, so
     // ties dominate; counts must respect k! regardless.
-    let db: Vec<String> = (0..200)
-        .map(|i| format!("{}{}", ["a", "b"][i % 2], ["x", "y", "z"][i % 3]))
-        .collect();
+    let db: Vec<String> =
+        (0..200).map(|i| format!("{}{}", ["a", "b"][i % 2], ["x", "y", "z"][i % 3])).collect();
     let sites: Vec<String> = db[..5].to_vec();
     let r = count_permutations(&Levenshtein, &sites, &db);
     assert!(r.distinct <= 120);

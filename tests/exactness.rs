@@ -21,7 +21,8 @@ fn random_generic_sites_hit_table1_row2_exactly() {
     for trial in 0..5 {
         let mut sites: Vec<(i64, i64)> = Vec::new();
         while sites.len() < 7 {
-            let p = (rng.random_range(-100_000i64..100_000), rng.random_range(-100_000i64..100_000));
+            let p =
+                (rng.random_range(-100_000i64..100_000), rng.random_range(-100_000i64..100_000));
             if !sites.contains(&p) {
                 sites.push(p);
             }
@@ -105,10 +106,8 @@ fn exact_enumeration_agrees_with_grid_sampling_and_euler_count() {
     // count, and the dense grid census must agree on the 18 cells — and
     // the grid census must find exactly the same *set* of permutations.
     let sites_i: Vec<(i64, i64)> = vec![(9867, 5630), (3364, 5875), (4702, 8210), (8423, 3812)];
-    let sites_f: Vec<Vec<f64>> = sites_i
-        .iter()
-        .map(|&(x, y)| vec![x as f64 / 10_000.0, y as f64 / 10_000.0])
-        .collect();
+    let sites_f: Vec<Vec<f64>> =
+        sites_i.iter().map(|&(x, y)| vec![x as f64 / 10_000.0, y as f64 / 10_000.0]).collect();
 
     let exact = exact_permutations(&sites_i);
     assert_eq!(exact.len(), 18);
@@ -126,11 +125,12 @@ fn exact_enumeration_agrees_with_grid_sampling_and_euler_count() {
 #[test]
 fn exact_prefix_chain_matches_empirical_prefix_counts() {
     use distance_permutations::core::orders::{count_distinct_prefixes, PrefixKind};
-    use distance_permutations::geometry::faces::{exact_prefix_count, exact_unordered_prefix_count};
+    use distance_permutations::geometry::faces::{
+        exact_prefix_count, exact_unordered_prefix_count,
+    };
 
     let sites_i: Vec<(i64, i64)> = vec![(11, 71), (83, 23), (37, 97), (89, 79), (13, 17)];
-    let sites_f: Vec<Vec<f64>> =
-        sites_i.iter().map(|&(x, y)| vec![x as f64, y as f64]).collect();
+    let sites_f: Vec<Vec<f64>> = sites_i.iter().map(|&(x, y)| vec![x as f64, y as f64]).collect();
     // Two scales of uniform sampling: dense near the sites (small cells)
     // plus a wide sweep (unbounded cells resolve by direction far out).
     // A single bounded range misses distant cells — the paper's Fig 7

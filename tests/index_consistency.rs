@@ -86,13 +86,9 @@ fn indexes_agree_on_documents() {
 #[test]
 fn distperm_counting_is_consistent_with_direct_counter() {
     let words = generate_words(&language_profiles()[0], 500, 9);
-    let idx =
-        DistPermIndex::build(Levenshtein, words.clone(), 7, PivotSelection::Prefix);
+    let idx = DistPermIndex::build(Levenshtein, words.clone(), 7, PivotSelection::Prefix);
     let sites: Vec<String> = words[..7].to_vec();
-    assert_eq!(
-        idx.distinct_permutations(),
-        count_distinct(&Levenshtein, &sites, &words)
-    );
+    assert_eq!(idx.distinct_permutations(), count_distinct(&Levenshtein, &sites, &words));
     // The ASCII export has one line per word and as many distinct lines
     // as distinct permutations (the paper's sort|uniq|wc pipeline).
     let text = idx.export_ascii();

@@ -57,10 +57,7 @@ fn storage_improvement_chain_holds() {
         let r = storage_row(d, k, n);
         assert!(r.laesa_bits > u64::from(r.packed_bits));
         assert!(u64::from(r.packed_bits) >= u64::from(r.codebook_bits));
-        assert!(
-            u64::from(r.full_perm_bits) > u64::from(r.codebook_bits),
-            "d={d} k={k}"
-        );
+        assert!(u64::from(r.full_perm_bits) > u64::from(r.codebook_bits), "d={d} k={k}");
     }
 }
 
@@ -86,10 +83,7 @@ fn general_spaces_allow_all_factorial_permutations() {
     for k in 2..=9u32 {
         let fact: u128 = (1..=u128::from(k)).product();
         assert_eq!(theoretical_max(SpaceKind::General, k), Some(fact));
-        assert_eq!(
-            theoretical_max(SpaceKind::Euclidean { d: k - 1 }, k),
-            Some(fact)
-        );
+        assert_eq!(theoretical_max(SpaceKind::Euclidean { d: k - 1 }, k), Some(fact));
     }
 }
 
@@ -105,10 +99,8 @@ fn figure3_vs_figure4_same_count_different_permutations() {
     use distance_permutations::metric::L1;
 
     let sites_i: Vec<(i64, i64)> = vec![(9867, 5630), (3364, 5875), (4702, 8210), (8423, 3812)];
-    let sites_f: Vec<Vec<f64>> = sites_i
-        .iter()
-        .map(|&(x, y)| vec![x as f64 / 10_000.0, y as f64 / 10_000.0])
-        .collect();
+    let sites_f: Vec<Vec<f64>> =
+        sites_i.iter().map(|&(x, y)| vec![x as f64 / 10_000.0, y as f64 / 10_000.0]).collect();
     let l2_exact = exact_permutations(&sites_i);
     assert_eq!(l2_exact.len(), 18);
     let bbox = BBox { x_min: -2.0, x_max: 3.0, y_min: -2.0, y_max: 3.0 };

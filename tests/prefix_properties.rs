@@ -6,7 +6,7 @@ use distance_permutations::core::orders::{count_distinct_prefixes, refinement_ch
 use distance_permutations::datasets::uniform_unit_cube;
 use distance_permutations::index::laesa::PivotSelection;
 use distance_permutations::index::PrefixPermIndex;
-use distance_permutations::metric::{L1, L2, LInf};
+use distance_permutations::metric::{LInf, L1, L2};
 use distance_permutations::theory::cake::binomial;
 use distance_permutations::theory::prefixes::{
     falling_factorial, ordered_prefix_bound, unordered_prefix_bound,
@@ -35,8 +35,7 @@ fn counts_respect_both_theory_ceilings() {
         let (db, sites) = setup(d, 10_000, 8, d as u64 + 10);
         for l in 1..=8usize {
             let ordered = count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Ordered);
-            let unordered =
-                count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Unordered);
+            let unordered = count_distinct_prefixes(&L2, &sites, &db, l, PrefixKind::Unordered);
             let ob = ordered_prefix_bound(d as u32, 8, l as u32).unwrap();
             let ub = unordered_prefix_bound(d as u32, 8, l as u32).unwrap();
             assert!(ordered as u128 <= ob, "d={d} l={l}: {ordered} > {ob}");
@@ -85,8 +84,10 @@ fn prefix_index_storage_never_exceeds_full_permutation_index() {
         let idx = PrefixPermIndex::build(L2, db.clone(), 10, l, PivotSelection::Prefix);
         assert!(idx.storage_bits_raw() >= prev_raw, "raw bits monotone in l");
         assert!(idx.storage_bits_raw() <= full.storage_bits_raw());
-        assert!(idx.storage_bits_codebook() <= full.storage_bits_codebook() + 64,
-            "codebook bits essentially monotone (table rounding slack)");
+        assert!(
+            idx.storage_bits_codebook() <= full.storage_bits_codebook() + 64,
+            "codebook bits essentially monotone (table rounding slack)"
+        );
         prev_raw = idx.storage_bits_raw();
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the workspace's core invariants.
 
 use distance_permutations::metric::{
-    axioms::check_metric, Hamming, Levenshtein, Metric, PrefixDistance, L1, L2, LInf,
+    axioms::check_metric, Hamming, LInf, Levenshtein, Metric, PrefixDistance, L1, L2,
 };
 use distance_permutations::permutation::lehmer::{factorial, rank, unrank};
 use distance_permutations::permutation::permdist::{

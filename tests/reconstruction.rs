@@ -5,8 +5,8 @@
 //! and tie).
 
 use distance_permutations::metric::reconstruct::reconstruct_tree;
-use distance_permutations::metric::{PrefixDistance, Tree};
 use distance_permutations::metric::Metric;
+use distance_permutations::metric::{PrefixDistance, Tree};
 use distance_permutations::permutation::counter::count_distinct;
 use distance_permutations::permutation::distance_permutation;
 use distance_permutations::theory::tree_bound;
@@ -15,8 +15,7 @@ use distance_permutations::theory::tree_bound;
 fn reconstruction_preserves_distance_permutations_on_random_trees() {
     for seed in [3u64, 17, 99] {
         let t = Tree::random(300, 5, seed);
-        let leaves: Vec<usize> =
-            t.vertices().filter(|&v| t.neighbours(v).len() == 1).collect();
+        let leaves: Vec<usize> = t.vertices().filter(|&v| t.neighbours(v).len() == 1).collect();
         assert!(leaves.len() >= 8, "seed {seed} produced too few leaves");
         let rec = reconstruct_tree(leaves.len(), |i, j| t.distance(leaves[i], leaves[j]))
             .expect("leaf metric of a tree is a tree metric");
@@ -36,11 +35,8 @@ fn reconstruction_preserves_distance_permutations_on_random_trees() {
 
 #[test]
 fn reconstruction_preserves_individual_permutations_for_prefix_words() {
-    let words: Vec<String> = [
-        "", "a", "ab", "abc", "abd", "abde", "b", "ba", "bac", "c",
-    ]
-    .map(String::from)
-    .to_vec();
+    let words: Vec<String> =
+        ["", "a", "ab", "abc", "abd", "abde", "b", "ba", "bac", "c"].map(String::from).to_vec();
     let d = |i: usize, j: usize| u64::from(PrefixDistance.distance(&words[i], &words[j]));
     let rec = reconstruct_tree(words.len(), d).expect("prefix metric is a tree metric");
 

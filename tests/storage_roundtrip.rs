@@ -63,8 +63,7 @@ fn survey_agrees_with_hand_built_stores() {
 
     // Rebuild the same column from the survey's own site choice.
     let sites: Vec<Vec<f64>> = k6.site_ids.iter().map(|&i| db[i].clone()).collect();
-    let perms: Vec<Permutation> =
-        db.iter().map(|y| distance_permutation(&L2, &sites, y)).collect();
+    let perms: Vec<Permutation> = db.iter().map(|y| distance_permutation(&L2, &sites, y)).collect();
     let packed = PackedPermStore::from_permutations(&perms);
     let huff = HuffmanPermStore::from_permutations(&perms);
 

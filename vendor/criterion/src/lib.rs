@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! median-of-samples wall-clock harness instead of criterion's full
+//! statistical machinery.
+//!
+//! Behavioural notes:
+//!
+//! * Each benchmark runs a short warm-up, then `sample_size` timed
+//!   samples; the median per-iteration time is reported on stdout.
+//! * Set `CRITERION_JSON=<path>` to append one JSON line per benchmark
+//!   (`{"name": …, "median_ns": …, "throughput_elems": …}`) — the
+//!   workspace's `BENCH_*.json` baselines are recorded this way.
+//! * A single positional CLI argument filters benchmarks by substring
+//!   (like criterion); `--bench`/`--test` flags from cargo are ignored.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            // cargo passes --bench; a user-supplied bare token filters.
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, json_path: std::env::var("CRITERION_JSON").ok() }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_benchmark(self, &name, 20, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Annotates the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in this harness; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    // Calibrate iterations so one sample lasts ≳ 10 ms (or a single
+    // iteration, whichever is longer), capped to keep total time sane.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(10);
+    let iters = if once >= target {
+        1
+    } else {
+        (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64
+    };
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(f64::total_cmp);
+    let median = samples_ns[samples_ns.len() / 2];
+    let (elems, throughput_txt) = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (median * 1e-9);
+            (Some(n), format!("  {:.3} Melem/s", rate / 1e6))
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (median * 1e-9);
+            (None, format!("  {:.3} MiB/s", rate / (1024.0 * 1024.0)))
+        }
+        None => (None, String::new()),
+    };
+    println!("{name:<60} {:>12.1} ns/iter{throughput_txt}", median);
+    if let Some(path) = &criterion.json_path {
+        let line = match elems {
+            Some(n) => format!(
+                "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"throughput_elems\":{n}}}\n"
+            ),
+            None => format!("{{\"name\":\"{name}\",\"median_ns\":{median:.1}}}\n"),
+        };
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = super::Criterion { filter: None, json_path: None };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+        });
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3).throughput(super::Throughput::Elements(10));
+        group.bench_function("inner", |b| {
+            ran += 1;
+            b.iter(|| std::hint::black_box(2 * 2));
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = super::Criterion { filter: Some("nomatch".into()), json_path: None };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the workspace's parallel counting
+//! kernels use crossbeam-style scoped threads, which std has supported
+//! natively since 1.63.  This shim keeps the crossbeam calling convention
+//! (`scope(|s| …)` returning `Result`, spawn closures taking a scope
+//! argument) while delegating to [`std::thread::scope`].
+
+pub mod thread {
+    //! Scoped threads in the crossbeam calling convention.
+
+    use std::marker::PhantomData;
+
+    /// Error type of [`scope`]: the payload of a panicked child thread.
+    ///
+    /// With std scopes a child panic propagates when its handle is joined
+    /// (or at scope exit), so `scope` itself only returns `Ok` — matching
+    /// crossbeam's behaviour of surfacing child panics through
+    /// [`ScopedJoinHandle::join`].
+    pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle; `spawn` borrows it like crossbeam's `Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, yielding its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread.  The closure receives the scope (so
+        /// crossbeam-style `|_|` closures work) and may borrow from the
+        /// enclosing environment.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let scope = Scope { inner: inner_scope, _marker: PhantomData };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow local data.
+    ///
+    /// All spawned threads are joined before `scope` returns.  Returns
+    /// `Ok(result_of_closure)`; child panics surface through
+    /// [`ScopedJoinHandle::join`] exactly as with crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s, _marker: PhantomData };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut results = Vec::new();
+        crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("worker"));
+            }
+        })
+        .expect("scope");
+        assert_eq!(results.iter().sum::<u64>(), 36);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let out = crate::thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().expect("inner") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+}

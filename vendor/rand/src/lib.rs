@@ -1,0 +1,326 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides exactly the surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 (the same construction the real `rand` documents for
+//!   `seed_from_u64`, though the streams differ — all workspace results
+//!   are keyed to *this* stream and are reproducible across platforms);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`RngCore`] (`next_u32` / `next_u64` / `fill_bytes`);
+//! * [`RngExt`] — `random`, `random_range`, `random_bool`, the subset of
+//!   the real crate's `Rng` extension trait this workspace calls.
+//!
+//! Statistical quality matters here: the workspace's tests assert moments
+//! of generated distributions and recall rates of randomized index
+//! structures.  xoshiro256++ passes BigCrush and is more than adequate.
+
+/// Core generator interface: a source of uniformly distributed bits.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an `RngCore` (the real crate's
+/// `StandardUniform` distribution, folded into the type).
+pub trait UniformSample: Sized {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl UniformSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $next:ident),* $(,)?) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$next() as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, i8 => next_u32,
+             i16 => next_u32, i32 => next_u32, u64 => next_u64, i64 => next_u64,
+             usize => next_u64, isize => next_u64);
+
+impl UniformSample for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+/// Types uniformly samplable from a bounded range (mirrors the real
+/// crate's `SampleUniform`; a single blanket [`SampleRange`] impl keeps
+/// `rng.random_range(0..4)` inferring the target type from context).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! uniform_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let width = (hi as i128)
+                    .wrapping_sub(lo as i128) as u128
+                    + u128::from(inclusive);
+                let draw = widening_mul_hi(rng, width);
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `0..width` via 64×64→128 multiply-shift (width ≤ 2⁶⁴).
+#[inline]
+fn widening_mul_hi<R: RngCore + ?Sized>(rng: &mut R, width: u128) -> u64 {
+    debug_assert!(width > 0 && width <= u128::from(u64::MAX) + 1);
+    ((u128::from(rng.next_u64()) * width) >> 64) as u64
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        let u = if inclusive {
+            (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+        } else {
+            f64::sample(rng)
+        };
+        lo + (hi - lo) * u
+    }
+}
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "empty range in random_range");
+        T::sample_between(start, end, true, rng)
+    }
+}
+
+/// The convenience sampling methods the workspace uses (`rand`'s `Rng`
+/// extension trait, renamed to avoid implying full compatibility).
+pub trait RngExt: RngCore {
+    /// A uniform sample of `T` (reals in [0, 1), integers over the full
+    /// domain).
+    #[inline]
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range`.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// True with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in [0, 1].
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    ///
+    /// Not the real crate's ChaCha12-based `StdRng`; streams differ, but
+    /// every use in this workspace only requires determinism-in-seed and
+    /// statistical quality, both of which hold.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the standard seeding recipe for
+            // xoshiro family generators.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_hit_bounds_and_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = rng.random_range(0..4usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let f = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+    }
+}
