@@ -1,11 +1,15 @@
 //! Benchmarks for the index substrate: wall-clock per 1-NN query.
 //! (Evaluation *counts* — the field's cost model — are reported by the
 //! `search_eval` binary; criterion measures time.)
+//!
+//! Every structure is built by [`IndexSpec`] and queried through one
+//! reused `ProximityIndex` searcher session, so this file is one loop
+//! over specs instead of one hand-written benchmark per type.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dp_datasets::uniform_unit_cube;
 use dp_index::laesa::PivotSelection;
-use dp_index::{Aesa, DistPermIndex, GhTree, Laesa, LinearScan, VpTree};
+use dp_index::{AnyIndex, ApproxSearcher, IndexSpec, ProximityIndex, Searcher};
 use dp_metric::L2;
 use std::hint::black_box;
 
@@ -15,60 +19,38 @@ const D: usize = 4;
 fn bench_knn(c: &mut Criterion) {
     let pts = uniform_unit_cube(N, D, 1);
     let queries = uniform_unit_cube(256, D, 2);
-    let scan = LinearScan::new(pts.clone());
-    let laesa = Laesa::build(L2, pts.clone(), 12, PivotSelection::MaxMin);
-    let aesa = Aesa::build(L2, pts.clone());
-    let vp = VpTree::build(L2, pts.clone());
-    let gh = GhTree::build(L2, pts.clone());
-    let dp = DistPermIndex::build(L2, pts, 12, PivotSelection::MaxMin);
 
     let mut group = c.benchmark_group("knn1_n2000_d4");
-    group.bench_function("linear_scan", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let q = &queries[i & 255];
-            i += 1;
-            black_box(scan.knn(&L2, q, 1))
-        })
-    });
-    group.bench_function("laesa_k12", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let q = &queries[i & 255];
-            i += 1;
-            black_box(laesa.knn(q, 1))
-        })
-    });
-    group.bench_function("aesa", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let q = &queries[i & 255];
-            i += 1;
-            black_box(aesa.knn(q, 1))
-        })
-    });
-    group.bench_function("vp_tree", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let q = &queries[i & 255];
-            i += 1;
-            black_box(vp.knn(q, 1))
-        })
-    });
-    group.bench_function("gh_tree", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let q = &queries[i & 255];
-            i += 1;
-            black_box(gh.knn(q, 1))
-        })
-    });
+    let cases = [
+        ("linear_scan", IndexSpec::Linear),
+        ("laesa_k12", IndexSpec::Laesa { k: 12 }),
+        ("aesa", IndexSpec::Aesa),
+        ("vp_tree", IndexSpec::VpTree),
+        ("gh_tree", IndexSpec::GhTree),
+    ];
+    for (name, spec) in cases {
+        let idx =
+            AnyIndex::build(spec, L2, pts.clone(), PivotSelection::MaxMin).expect("generic spec");
+        group.bench_function(name, |b| {
+            let mut searcher = idx.searcher();
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i & 255];
+                i += 1;
+                black_box(searcher.knn(q, 1))
+            })
+        });
+    }
+
+    let dp = AnyIndex::build(IndexSpec::DistPerm { k: 12 }, L2, pts, PivotSelection::MaxMin)
+        .expect("distperm spec");
     group.bench_function("distperm_frac0.1", |b| {
+        let mut searcher = dp.searcher();
         let mut i = 0usize;
         b.iter(|| {
             let q = &queries[i & 255];
             i += 1;
-            black_box(dp.knn_approx(q, 1, 0.1))
+            black_box(searcher.knn_approx(q, 1, 0.1))
         })
     });
     group.finish();
@@ -78,12 +60,17 @@ fn bench_build(c: &mut Criterion) {
     let pts = uniform_unit_cube(N, D, 3);
     let mut group = c.benchmark_group("build_n2000_d4");
     group.sample_size(10);
-    group.bench_function("vp_tree", |b| b.iter(|| black_box(VpTree::build(L2, pts.clone()).len())));
-    group.bench_function("distperm_k12", |b| {
-        b.iter(|| {
-            black_box(DistPermIndex::build(L2, pts.clone(), 12, PivotSelection::MaxMin).len())
-        })
-    });
+    for (name, spec) in
+        [("vp_tree", IndexSpec::VpTree), ("distperm_k12", IndexSpec::DistPerm { k: 12 })]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let idx = AnyIndex::build(spec, L2, pts.clone(), PivotSelection::MaxMin)
+                    .expect("generic spec");
+                black_box(idx.len())
+            })
+        });
+    }
     group.finish();
 }
 

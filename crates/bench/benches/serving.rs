@@ -1,0 +1,53 @@
+//! Parallel batch-serving throughput over the flat distperm engine.
+//!
+//! Measures `serve::query_batch_parallel` on a [`FlatDistPermIndex`] at
+//! 1 vs N worker threads — the ROADMAP's "thread-parallel query serving"
+//! baseline.  One searcher session per worker, contiguous chunks,
+//! deterministic output; the property suite guarantees every thread
+//! count returns bit-identical answers, so this bench is purely about
+//! wall-clock.
+//!
+//! Record the baseline with:
+//! `CRITERION_JSON=BENCH_serving.json cargo bench -p dp-bench --bench serving`
+//!
+//! Note: the speedup at N threads is bounded by the cores the machine
+//! actually grants; on a single-core container all rows collapse to ~1×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_datasets::uniform_unit_cube_flat;
+use dp_index::laesa::PivotSelection;
+use dp_index::serve::{query_batch_parallel, Request};
+use dp_index::FlatDistPermIndex;
+use dp_metric::L2;
+use std::hint::black_box;
+
+const N: usize = 20_000;
+const D: usize = 8;
+const K: usize = 12;
+const BATCH: usize = 64;
+
+fn bench_serving(c: &mut Criterion) {
+    let points = uniform_unit_cube_flat(N, D, 1);
+    let queries = uniform_unit_cube_flat(BATCH, D, 2);
+    let index = FlatDistPermIndex::build(L2, points, K, PivotSelection::MaxMin, 4);
+    let rows: Vec<&[f64]> = queries.rows().collect();
+
+    let mut group = c.benchmark_group(format!("serve_knn3_n{N}_batch{BATCH}"));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                black_box(query_batch_parallel::<[f64], _, _>(
+                    &index,
+                    &rows,
+                    Request::Knn { k: 3 },
+                    threads,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

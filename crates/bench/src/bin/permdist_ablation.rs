@@ -21,8 +21,8 @@ where
     P: Clone,
     M: Metric<P> + Clone,
 {
-    let scan = LinearScan::new(db.clone());
-    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(&metric, q, 1)[0].id).collect();
+    let scan = LinearScan::new(metric.clone(), db.clone());
+    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(q, 1)[0].id).collect();
     let idx = DistPermIndex::build(metric, db, k, PivotSelection::MaxMin);
     print!("{label:<22}");
     for kind in OrderingKind::ALL {

@@ -55,13 +55,13 @@ fn main() {
         for seed in 0..seeds {
             let db = uniform_unit_cube(n, d, 7_000 + seed);
             let queries = uniform_unit_cube(n_queries, d, 9_000 + seed);
-            let scan = LinearScan::new(db.clone());
+            let scan = LinearScan::new(L2, db.clone());
             let idx = DistPermIndex::build(L2, db, k, make(seed));
             let distinct = idx.distinct_permutations();
             distinct_sum += distinct;
             distinct_max = distinct_max.max(distinct);
             for q in &queries {
-                let truth = scan.knn(&L2, q, 1)[0].id;
+                let truth = scan.knn(q, 1)[0].id;
                 if idx.knn_approx(q, 1, frac).first().map(|nb| nb.id) == Some(truth) {
                     hits += 1;
                 }

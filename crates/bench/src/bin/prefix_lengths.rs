@@ -29,8 +29,8 @@ fn main() {
 
     let db = uniform_unit_cube(n, d, seed);
     let queries = uniform_unit_cube(n_queries, d, seed ^ 0xABCD);
-    let scan = LinearScan::new(db.clone());
-    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(&L2, q, 1)[0].id).collect();
+    let scan = LinearScan::new(L2, db.clone());
+    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(q, 1)[0].id).collect();
 
     println!(
         "prefix-length sweep: n = {n}, d = {d}, k = {k} (MaxMin sites), \

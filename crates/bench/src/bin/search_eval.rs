@@ -10,13 +10,18 @@
 //!
 //! The distperm rows are approximate (budgeted scan) and also report
 //! recall against ground truth; exact structures are marked exact.
+//!
+//! Every index is driven through the `ProximityIndex` trait: one generic
+//! harness per query shape replaces the former ten per-type loops, and
+//! evaluation counts come from the native `QueryStats` instead of a
+//! counting metric wrapper.
 
 use dp_bench::Args;
 use dp_datasets::dictionary::{generate_words, language_profiles};
 use dp_datasets::uniform_unit_cube;
-use dp_index::laesa::PivotSelection;
 use dp_index::{
-    Aesa, BkTree, CountingMetric, DistPermIndex, GhTree, IAesa, Laesa, LinearScan, VpTree,
+    AnyIndex, ApproxSearcher, BkTree, IndexSpec, LinearScan, PivotSelection, ProximityIndex,
+    Searcher,
 };
 use dp_metric::{Levenshtein, Metric, L2};
 
@@ -40,114 +45,79 @@ fn main() {
     let queries_w = generate_words(&language_profiles()[1], queries, 4);
     evaluate(&words, &queries_w, k, Levenshtein);
 
-    // BK-tree: discrete-metric baseline, strings only (needs Dist = u32).
-    let scan = LinearScan::new(words.clone());
-    let truth: Vec<usize> = queries_w.iter().map(|q| scan.knn(&Levenshtein, q, 1)[0].id).collect();
-    let bk = BkTree::build(CountingMetric::new(Levenshtein), words);
-    let mut evals = 0u64;
-    let mut correct = 0usize;
-    for (q, &t) in queries_w.iter().zip(&truth) {
-        bk.metric().reset();
-        let got = bk.knn(q, 1)[0].id;
-        evals += bk.metric().count();
-        correct += usize::from(got == t);
-    }
-    println!(
-        "  {:<22} {:>12.1} {:>9.2} {:>8}",
-        "BK-tree",
-        evals as f64 / queries_w.len() as f64,
-        correct as f64 / queries_w.len() as f64,
-        "yes"
-    );
+    // BK-tree: discrete-metric baseline, strings only (needs Dist = u32);
+    // same harness, concrete build.
+    let scan = LinearScan::new(Levenshtein, words.clone());
+    let truth: Vec<usize> = queries_w.iter().map(|q| scan.knn(q, 1)[0].id).collect();
+    let bk = BkTree::build(Levenshtein, words);
+    report_exact("BK-tree", &bk, &queries_w, &truth);
 
     println!("\nexpected shape: AESA fewest evaluations; iAESA comparable or better;");
     println!("LAESA and distperm(frac=0.05..0.2) in between; linear scan = n.");
 }
 
+/// The one generic exact-query harness: 1-NN through a reused trait
+/// searcher, native evaluation counts, recall against ground truth.
+fn report_exact<P, I: ProximityIndex<P>>(name: &str, index: &I, qs: &[P], truth: &[usize]) {
+    let mut searcher = index.searcher();
+    let mut evals = 0u64;
+    let mut correct = 0usize;
+    for (q, &t) in qs.iter().zip(truth) {
+        let (nn, stats) = searcher.knn(q, 1);
+        evals += stats.metric_evals;
+        correct += usize::from(nn[0].id == t);
+    }
+    report(name, evals, correct, qs.len(), true);
+}
+
+/// The budgeted counterpart, for the permutation family.
+fn report_budgeted<'i, P, I>(name: &str, index: &'i I, frac: f64, qs: &[P], truth: &[usize])
+where
+    I: ProximityIndex<P>,
+    I::Searcher<'i>: ApproxSearcher<P>,
+{
+    let mut searcher = index.searcher();
+    let mut evals = 0u64;
+    let mut correct = 0usize;
+    for (q, &t) in qs.iter().zip(truth) {
+        let (nn, stats) = searcher.knn_approx(q, 1, frac);
+        evals += stats.metric_evals;
+        correct += usize::from(nn[0].id == t);
+    }
+    report(name, evals, correct, qs.len(), false);
+}
+
 fn evaluate<P, M>(pts: &[P], qs: &[P], k: usize, metric: M)
 where
-    P: Clone + PartialEq,
-    M: Metric<P> + Copy,
+    P: Clone + Sync,
+    M: Metric<P> + Sync + Copy,
 {
-    let scan = LinearScan::new(pts.to_vec());
-    let truth: Vec<usize> = qs.iter().map(|q| scan.knn(&metric, q, 1)[0].id).collect();
-    let n = pts.len();
+    let scan = LinearScan::new(metric, pts.to_vec());
+    let truth: Vec<usize> = qs.iter().map(|q| scan.knn(q, 1)[0].id).collect();
 
     println!("  {:<22} {:>12} {:>9} {:>8}", "index", "evals/query", "recall@1", "exact");
-    println!("  {:<22} {:>12} {:>9} {:>8}", "linear scan", n, "1.00", "yes");
 
-    // LAESA.
-    let laesa = Laesa::build(CountingMetric::new(metric), pts.to_vec(), k, PivotSelection::MaxMin);
-    let mut evals = 0u64;
-    let mut correct = 0usize;
-    for (q, &t) in qs.iter().zip(&truth) {
-        laesa.metric().reset();
-        let got = laesa.knn(q, 1)[0].id;
-        evals += laesa.metric().count();
-        correct += usize::from(got == t);
+    // Every exact structure builds by spec and runs through the same loop.
+    let specs = [
+        IndexSpec::Linear,
+        IndexSpec::Laesa { k },
+        IndexSpec::Aesa,
+        IndexSpec::IAesa { k },
+        IndexSpec::VpTree,
+        IndexSpec::GhTree,
+    ];
+    for spec in specs {
+        let idx = AnyIndex::build(spec, metric, pts.to_vec(), PivotSelection::MaxMin)
+            .expect("generic spec");
+        report_exact(&spec.name(), &idx, qs, &truth);
     }
-    report("LAESA", evals, correct, qs.len(), true);
-
-    // AESA.
-    let aesa = Aesa::build(CountingMetric::new(metric), pts.to_vec());
-    let mut evals = 0u64;
-    let mut correct = 0usize;
-    for (q, &t) in qs.iter().zip(&truth) {
-        aesa.metric().reset();
-        let got = aesa.knn(q, 1)[0].id;
-        evals += aesa.metric().count();
-        correct += usize::from(got == t);
-    }
-    report("AESA", evals, correct, qs.len(), true);
-
-    // iAESA.
-    let iaesa = IAesa::build(CountingMetric::new(metric), pts.to_vec(), k, PivotSelection::MaxMin);
-    let mut evals = 0u64;
-    let mut correct = 0usize;
-    for (q, &t) in qs.iter().zip(&truth) {
-        iaesa.metric().reset();
-        let got = iaesa.knn(q, 1)[0].id;
-        evals += iaesa.metric().count();
-        correct += usize::from(got == t);
-    }
-    report("iAESA", evals, correct, qs.len(), true);
-
-    // VP-tree and GH-tree.
-    let vp = VpTree::build(CountingMetric::new(metric), pts.to_vec());
-    let mut evals = 0u64;
-    let mut correct = 0usize;
-    for (q, &t) in qs.iter().zip(&truth) {
-        vp.metric().reset();
-        let got = vp.knn(q, 1)[0].id;
-        evals += vp.metric().count();
-        correct += usize::from(got == t);
-    }
-    report("VP-tree", evals, correct, qs.len(), true);
-
-    let gh = GhTree::build(CountingMetric::new(metric), pts.to_vec());
-    let mut evals = 0u64;
-    let mut correct = 0usize;
-    for (q, &t) in qs.iter().zip(&truth) {
-        gh.metric().reset();
-        let got = gh.knn(q, 1)[0].id;
-        evals += gh.metric().count();
-        correct += usize::from(got == t);
-    }
-    report("GH-tree", evals, correct, qs.len(), true);
 
     // distperm at several budgets.
     let dp =
-        DistPermIndex::build(CountingMetric::new(metric), pts.to_vec(), k, PivotSelection::MaxMin);
+        AnyIndex::build(IndexSpec::DistPerm { k }, metric, pts.to_vec(), PivotSelection::MaxMin)
+            .expect("distperm spec");
     for frac in [0.05f64, 0.1, 0.2] {
-        let mut evals = 0u64;
-        let mut correct = 0usize;
-        for (q, &t) in qs.iter().zip(&truth) {
-            dp.metric().reset();
-            let got = dp.knn_approx(q, 1, frac)[0].id;
-            evals += dp.metric().count();
-            correct += usize::from(got == t);
-        }
-        report(&format!("distperm frac={frac}"), evals, correct, qs.len(), false);
+        report_budgeted(&format!("distperm frac={frac}"), &dp, frac, qs, &truth);
     }
 }
 

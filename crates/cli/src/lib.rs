@@ -6,6 +6,7 @@
 //! ```text
 //! distperm generate --kind uniform --n 100000 --dim 4 --seed 1 --out db.vec
 //! distperm count    --vectors db.vec --metric l2 --k 8
+//! distperm search   --vectors db.vec --queries q.vec --index flatperm:12 --knn 5 --threads 8
 //! distperm survey   --vectors db.vec --metric l2 --ks 4,8,12
 //! distperm theory   --d 4 --k 8
 //! distperm table1   --dmax 10 --kmax 12
@@ -23,6 +24,7 @@ pub mod args;
 mod cmd_count;
 mod cmd_figures;
 mod cmd_generate;
+mod cmd_search;
 mod cmd_survey;
 mod cmd_table1;
 mod cmd_theory;
@@ -102,6 +104,12 @@ COMMANDS:
   survey    full report: rho, counts, storage costs, dimension estimates
             --vectors <file>|--strings <file> [--metric …] [--ks 4,8,12]
             [--seed <s>] [--rho-pairs 20000]
+  search    build an index by spec and serve a query file in parallel
+            --vectors <db>|--strings <db> --queries <file> --index <spec>
+            [--metric …] [--knn 1 | --radius <r>] [--frac 1.0]
+            [--threads 4] [--quiet]
+            specs: linear aesa laesa[:k] iaesa[:k] distperm[:k]
+                   prefixperm[:k[:l]] flatperm[:k] vptree ghtree bktree
   figures   regenerate the paper's Figures 1–4 (PPM + SVG)
             [--out figures/] [--size 640]
   help      this text
@@ -120,6 +128,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("table1") => cmd_table1::run(&parsed, out),
         Some("generate") => cmd_generate::run(&parsed, out),
         Some("count") => cmd_count::run(&parsed, out),
+        Some("search") => cmd_search::run(&parsed, out),
         Some("survey") => cmd_survey::run(&parsed, out),
         Some("figures") => cmd_figures::run(&parsed, out),
         Some(other) => {

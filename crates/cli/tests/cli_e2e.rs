@@ -91,6 +91,186 @@ fn dictionary_pipeline_with_explicit_sites_and_prefixes() {
 }
 
 #[test]
+fn search_serves_vector_queries_in_parallel() {
+    let dir = temp_dir("search");
+    let db = dir.join("db.vec");
+    let qs = dir.join("q.vec");
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "2000",
+        "--dim",
+        "3",
+        "--seed",
+        "5",
+        "--out",
+        db.to_str().unwrap(),
+    ]));
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "12",
+        "--dim",
+        "3",
+        "--seed",
+        "6",
+        "--out",
+        qs.to_str().unwrap(),
+    ]));
+
+    // Exact serving through the flat engine, 4 worker threads.
+    let text = stdout(&distperm(&[
+        "search",
+        "--vectors",
+        db.to_str().unwrap(),
+        "--queries",
+        qs.to_str().unwrap(),
+        "--index",
+        "flatperm:8",
+        "--knn",
+        "3",
+        "--threads",
+        "4",
+    ]));
+    assert!(text.contains("index flatperm:8 over n = 2000"), "{text}");
+    assert!(text.contains("query 0:"), "{text}");
+    assert!(text.contains("query 11:"), "{text}");
+    // Exact flatperm scans everything: 8 sites + 2000 candidates.
+    assert!(text.contains("2008.0 per query"), "{text}");
+
+    // The same queries through an exact tree must return the same ids.
+    let tree_text = stdout(&distperm(&[
+        "search",
+        "--vectors",
+        db.to_str().unwrap(),
+        "--queries",
+        qs.to_str().unwrap(),
+        "--index",
+        "vptree",
+        "--knn",
+        "3",
+        "--threads",
+        "2",
+    ]));
+    let answers = |s: &str| -> Vec<String> {
+        s.lines().filter(|l| l.starts_with("query ")).map(String::from).collect()
+    };
+    assert_eq!(answers(&text), answers(&tree_text), "flatperm vs vptree answers");
+
+    // Budgeted serving reports fewer evaluations.
+    let budget_text = stdout(&distperm(&[
+        "search",
+        "--vectors",
+        db.to_str().unwrap(),
+        "--queries",
+        qs.to_str().unwrap(),
+        "--index",
+        "distperm:8",
+        "--frac",
+        "0.05",
+        "--quiet",
+    ]));
+    assert!(budget_text.contains("108.0 per query"), "{budget_text}");
+    assert!(!budget_text.contains("query 0:"), "--quiet must suppress rows: {budget_text}");
+
+    // Unknown index specs are usage errors.
+    let o = distperm(&[
+        "search",
+        "--vectors",
+        db.to_str().unwrap(),
+        "--queries",
+        qs.to_str().unwrap(),
+        "--index",
+        "frobtree",
+    ]);
+    assert_eq!(o.status.code(), Some(2));
+
+    // More pivots than points is a usage error on every spec, including
+    // the flatperm fast path (never a library panic).
+    for spec in ["flatperm:32", "laesa:32"] {
+        let o = distperm(&[
+            "search",
+            "--vectors",
+            qs.to_str().unwrap(), // the 12-point file as the database
+            "--queries",
+            qs.to_str().unwrap(),
+            "--index",
+            spec,
+        ]);
+        assert_eq!(o.status.code(), Some(2), "{spec}");
+        let err = String::from_utf8_lossy(&o.stderr);
+        assert!(err.contains("pivots"), "{spec}: {err}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn search_serves_string_queries_with_bktree() {
+    let dir = temp_dir("search_str");
+    let db = dir.join("words.txt");
+    let qs = dir.join("queries.txt");
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "dictionary",
+        "--language",
+        "english",
+        "--n",
+        "600",
+        "--seed",
+        "3",
+        "--out",
+        db.to_str().unwrap(),
+    ]));
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "dictionary",
+        "--language",
+        "english",
+        "--n",
+        "5",
+        "--seed",
+        "4",
+        "--out",
+        qs.to_str().unwrap(),
+    ]));
+    let bk = stdout(&distperm(&[
+        "search",
+        "--strings",
+        db.to_str().unwrap(),
+        "--queries",
+        qs.to_str().unwrap(),
+        "--index",
+        "bktree",
+        "--radius",
+        "2",
+    ]));
+    assert!(bk.contains("index bktree over n = 600"), "{bk}");
+    let linear = stdout(&distperm(&[
+        "search",
+        "--strings",
+        db.to_str().unwrap(),
+        "--queries",
+        qs.to_str().unwrap(),
+        "--index",
+        "linear",
+        "--radius",
+        "2",
+    ]));
+    let answers = |s: &str| -> Vec<String> {
+        s.lines().filter(|l| l.starts_with("query ")).map(String::from).collect()
+    };
+    assert_eq!(answers(&bk), answers(&linear), "bktree vs linear scan answers");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn figures_command_writes_files() {
     let dir = temp_dir("figs");
     let d = dir.to_str().unwrap();

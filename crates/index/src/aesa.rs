@@ -9,7 +9,8 @@
 //! cites exactly this trade-off as the motivation for LAESA and for
 //! distance permutations.
 
-use crate::query::{KnnHeap, Neighbor};
+use crate::api::{ProximityIndex, Searcher};
+use crate::query::{KnnHeap, Neighbor, QueryStats};
 use dp_metric::{Distance, Metric};
 
 /// AESA index: owns the metric, the database and the full matrix.
@@ -61,86 +62,153 @@ impl<P, M: Metric<P>> Aesa<P, M> {
         self.matrix[i * self.points.len() + j]
     }
 
+    /// A reusable query session: the elimination state (lower bounds,
+    /// liveness flags) is allocated once and reused across queries.
+    pub fn session(&self) -> AesaSearcher<'_, P, M> {
+        AesaSearcher { index: self, lb: Vec::new(), alive: Vec::new(), examined: Vec::new() }
+    }
+
     /// The k nearest neighbours of `query`, identical to a linear scan's
     /// answer but usually with far fewer metric evaluations.
     pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
-        if self.points.is_empty() {
-            return Vec::new();
-        }
-        let n = self.points.len();
-        let mut heap = KnnHeap::new(k.min(n));
-        let mut lb = vec![0.0f64; n];
-        let mut alive = vec![true; n];
-        let mut examined = vec![false; n];
-
-        loop {
-            // Next candidate: smallest lower bound among alive unexamined.
-            let mut next: Option<(usize, f64)> = None;
-            for i in 0..n {
-                if alive[i] && !examined[i] && next.is_none_or(|(_, b)| lb[i] < b) {
-                    next = Some((i, lb[i]));
-                }
-            }
-            let Some((c, _)) = next else { break };
-            examined[c] = true;
-            let d = self.metric.distance(query, &self.points[c]);
-            heap.push(c, d);
-            let bound = heap.bound().map(Distance::to_f64);
-            let df = d.to_f64();
-            for i in 0..n {
-                if alive[i] && !examined[i] {
-                    let candidate_lb = (df - self.stored(c, i).to_f64()).abs();
-                    if candidate_lb > lb[i] {
-                        lb[i] = candidate_lb;
-                    }
-                    if let Some(b) = bound {
-                        if lb[i] > b {
-                            alive[i] = false;
-                        }
-                    }
-                }
-            }
-        }
-        heap.into_sorted()
+        self.session().knn(query, k).0
     }
 
     /// All elements within `radius` of `query` (inclusive), sorted by
     /// (distance, id).
     pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
-        let n = self.points.len();
-        let r = radius.to_f64();
-        let mut out = Vec::new();
-        let mut lb = vec![0.0f64; n];
-        let mut alive = vec![true; n];
-        let mut examined = vec![false; n];
-        loop {
-            let mut next: Option<(usize, f64)> = None;
+        self.session().range(query, radius).0
+    }
+}
+
+/// Query session over an [`Aesa`] index, reusing elimination scratch.
+#[derive(Debug, Clone)]
+pub struct AesaSearcher<'a, P, M: Metric<P>> {
+    index: &'a Aesa<P, M>,
+    lb: Vec<f64>,
+    alive: Vec<bool>,
+    examined: Vec<bool>,
+}
+
+impl<P, M: Metric<P>> AesaSearcher<'_, P, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &Aesa<P, M> {
+        self.index
+    }
+
+    fn reset(&mut self) {
+        let n = self.index.points.len();
+        self.lb.clear();
+        self.lb.resize(n, 0.0);
+        self.alive.clear();
+        self.alive.resize(n, true);
+        self.examined.clear();
+        self.examined.resize(n, false);
+    }
+
+    /// Next candidate: smallest lower bound among alive unexamined.
+    fn next_candidate(&self) -> Option<usize> {
+        let mut next: Option<(usize, f64)> = None;
+        for i in 0..self.lb.len() {
+            if self.alive[i] && !self.examined[i] && next.is_none_or(|(_, b)| self.lb[i] < b) {
+                next = Some((i, self.lb[i]));
+            }
+        }
+        next.map(|(i, _)| i)
+    }
+
+    /// Exact k-NN with AESA elimination.
+    pub fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        if index.points.is_empty() || k == 0 {
+            return (Vec::new(), QueryStats::default());
+        }
+        self.reset();
+        let n = index.points.len();
+        let mut heap = KnnHeap::new(k.min(n));
+        let mut evals = 0u64;
+        while let Some(c) = self.next_candidate() {
+            self.examined[c] = true;
+            evals += 1;
+            let d = index.metric.distance(query, &index.points[c]);
+            heap.push(c, d);
+            let bound = heap.bound().map(Distance::to_f64);
+            let df = d.to_f64();
             for i in 0..n {
-                if alive[i] && !examined[i] && next.is_none_or(|(_, b)| lb[i] < b) {
-                    next = Some((i, lb[i]));
+                if self.alive[i] && !self.examined[i] {
+                    let candidate_lb = (df - index.stored(c, i).to_f64()).abs();
+                    if candidate_lb > self.lb[i] {
+                        self.lb[i] = candidate_lb;
+                    }
+                    if let Some(b) = bound {
+                        if self.lb[i] > b {
+                            self.alive[i] = false;
+                        }
+                    }
                 }
             }
-            let Some((c, _)) = next else { break };
-            examined[c] = true;
-            let d = self.metric.distance(query, &self.points[c]);
+        }
+        (heap.into_sorted(), QueryStats::new(evals))
+    }
+
+    /// Exact range query with AESA elimination.
+    pub fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        self.reset();
+        let n = index.points.len();
+        let r = radius.to_f64();
+        let mut out = Vec::new();
+        let mut evals = 0u64;
+        while let Some(c) = self.next_candidate() {
+            self.examined[c] = true;
+            evals += 1;
+            let d = index.metric.distance(query, &index.points[c]);
             if d <= radius {
                 out.push(Neighbor { id: c, dist: d });
             }
             let df = d.to_f64();
             for i in 0..n {
-                if alive[i] && !examined[i] {
-                    let candidate_lb = (df - self.stored(c, i).to_f64()).abs();
-                    if candidate_lb > lb[i] {
-                        lb[i] = candidate_lb;
+                if self.alive[i] && !self.examined[i] {
+                    let candidate_lb = (df - index.stored(c, i).to_f64()).abs();
+                    if candidate_lb > self.lb[i] {
+                        self.lb[i] = candidate_lb;
                     }
-                    if lb[i] > r {
-                        alive[i] = false;
+                    if self.lb[i] > r {
+                        self.alive[i] = false;
                     }
                 }
             }
         }
         out.sort_unstable();
-        out
+        (out, QueryStats::new(evals))
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ProximityIndex<P> for Aesa<P, M> {
+    type Dist = M::Dist;
+    type Searcher<'s>
+        = AesaSearcher<'s, P, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn searcher(&self) -> AesaSearcher<'_, P, M> {
+        self.session()
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> Searcher<P> for AesaSearcher<'_, P, M> {
+    type Dist = M::Dist;
+
+    fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        AesaSearcher::knn(self, query, k)
+    }
+
+    fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        AesaSearcher::range(self, query, radius)
     }
 }
 
@@ -161,39 +229,52 @@ mod tests {
     #[test]
     fn knn_matches_linear_scan() {
         let pts = random_points(120, 3, 1);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let aesa = Aesa::build(L2, pts);
         let queries = random_points(25, 3, 2);
         for q in &queries {
-            assert_eq!(aesa.knn(q, 5), scan.knn(&L2, q, 5));
+            assert_eq!(aesa.knn(q, 5), scan.knn(q, 5));
         }
     }
 
     #[test]
     fn range_matches_linear_scan() {
         let pts = random_points(100, 2, 3);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let aesa = Aesa::build(L2, pts);
         for q in random_points(15, 2, 4) {
             let r = F64Dist::new(0.3);
-            assert_eq!(aesa.range(&q, r), scan.range(&L2, &q, r));
+            assert_eq!(aesa.range(&q, r), scan.range(&q, r));
         }
     }
 
     #[test]
-    fn uses_fewer_evaluations_than_linear_scan() {
+    fn native_stats_use_fewer_evaluations_than_linear_scan() {
         let pts = random_points(300, 2, 5);
-        let aesa = Aesa::build(CountingMetric::new(L2), pts);
-        aesa.metric().reset();
-        let mut total = 0u64;
+        let aesa = Aesa::build(L2, pts);
+        let mut total = QueryStats::default();
         let queries = random_points(20, 2, 6);
+        let mut session = aesa.session();
         for q in &queries {
-            aesa.metric().reset();
-            let _ = aesa.knn(q, 1);
-            total += aesa.metric().count();
+            let (_, stats) = session.knn(q, 1);
+            total.merge(stats);
         }
-        let mean = total as f64 / queries.len() as f64;
+        let mean = total.metric_evals as f64 / queries.len() as f64;
         assert!(mean < 100.0, "AESA averaged {mean} evals on n=300 (linear = 300)");
+    }
+
+    #[test]
+    fn native_stats_agree_with_counting_metric() {
+        let pts = random_points(150, 2, 8);
+        let aesa = Aesa::build(CountingMetric::new(L2), pts);
+        for q in random_points(10, 2, 9) {
+            aesa.metric().reset();
+            let (_, stats) = aesa.session().knn(&q, 3);
+            assert_eq!(stats.metric_evals, aesa.metric().count());
+            aesa.metric().reset();
+            let (_, stats) = aesa.session().range(&q, F64Dist::new(0.25));
+            assert_eq!(stats.metric_evals, aesa.metric().count());
+        }
     }
 
     #[test]
@@ -209,10 +290,10 @@ mod tests {
             ["hello", "help", "hold", "world", "word", "house", "mouse", "moose"]
                 .map(String::from)
                 .to_vec();
-        let scan = LinearScan::new(words.clone());
+        let scan = LinearScan::new(Levenshtein, words.clone());
         let aesa = Aesa::build(Levenshtein, words);
         let q = String::from("helm");
-        assert_eq!(aesa.knn(&q, 3), scan.knn(&Levenshtein, &q, 3));
+        assert_eq!(aesa.knn(&q, 3), scan.knn(&q, 3));
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! is the natural comparator for the permutation index's evaluation
 //! counts.
 
+use crate::api::{ProximityIndex, Searcher};
 use crate::counting::CountingMetric;
-use crate::query::{KnnHeap, Neighbor};
+use crate::query::{KnnHeap, Neighbor, QueryStats};
 use dp_metric::Metric;
 
 #[derive(Debug, Clone)]
@@ -80,47 +81,25 @@ impl<P, M: Metric<P, Dist = u32>> BkTree<P, M> {
         &self.metric
     }
 
+    /// A reusable query session: the traversal stack is allocated once
+    /// and reused across queries.
+    pub fn session(&self) -> BkSearcher<'_, P, M> {
+        BkSearcher { index: self, stack: Vec::new() }
+    }
+
     /// All elements within `radius` (inclusive; exact).
     pub fn range(&self, query: &P, radius: u32) -> Vec<Neighbor<u32>> {
-        let mut out = Vec::new();
-        if self.nodes.is_empty() {
-            return out;
-        }
-        let mut stack = vec![0usize];
-        while let Some(at) = stack.pop() {
-            let node = &self.nodes[at];
-            let d = self.metric.distance(&self.points[node.point], query);
-            if d <= radius {
-                out.push(Neighbor { id: node.point, dist: d });
-            }
-            let lo = d.saturating_sub(radius);
-            let hi = d.saturating_add(radius);
-            let start = node.children.partition_point(|&(e, _)| e < lo);
-            for &(e, child) in &node.children[start..] {
-                if e > hi {
-                    break;
-                }
-                stack.push(child as usize);
-            }
-        }
-        out.sort_unstable();
-        out
+        self.session().range(query, radius).0
     }
 
     /// The k nearest neighbours (exact; identical to a linear scan).
     pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<u32>> {
-        if self.nodes.is_empty() {
-            return Vec::new();
-        }
-        let mut heap = KnnHeap::new(k.min(self.points.len()));
-        // Depth-first with the shrinking k-th-best bound; visiting the
-        // closest child edges first tightens the bound early.
-        self.knn_walk(0, query, &mut heap);
-        heap.into_sorted()
+        self.session().knn(query, k).0
     }
 
-    fn knn_walk(&self, at: usize, query: &P, heap: &mut KnnHeap<u32>) {
+    fn knn_walk(&self, at: usize, query: &P, heap: &mut KnnHeap<u32>, evals: &mut u64) {
         let node = &self.nodes[at];
+        *evals += 1;
         let d = self.metric.distance(&self.points[node.point], query);
         heap.push(node.point, d);
         // Visit children by |edge − d| ascending: likeliest answers first.
@@ -130,7 +109,7 @@ impl<P, M: Metric<P, Dist = u32>> BkTree<P, M> {
         for (gap, child) in order {
             match heap.bound() {
                 Some(b) if gap > b => break,
-                _ => self.knn_walk(child as usize, query, heap),
+                _ => self.knn_walk(child as usize, query, heap, evals),
             }
         }
     }
@@ -148,6 +127,93 @@ impl<P, M: Metric<P, Dist = u32>> BkTree<P, CountingMetric<M>> {
     /// reset.
     pub fn evaluations(&self) -> u64 {
         self.metric.count()
+    }
+}
+
+/// Query session over a [`BkTree`].
+#[derive(Debug, Clone)]
+pub struct BkSearcher<'a, P, M: Metric<P, Dist = u32>> {
+    index: &'a BkTree<P, M>,
+    stack: Vec<usize>,
+}
+
+impl<P, M: Metric<P, Dist = u32>> BkSearcher<'_, P, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &BkTree<P, M> {
+        self.index
+    }
+
+    /// Exact k-NN with triangle-inequality edge pruning.
+    pub fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<u32>>, QueryStats) {
+        let index = self.index;
+        if index.nodes.is_empty() || k == 0 {
+            return (Vec::new(), QueryStats::default());
+        }
+        let mut heap = KnnHeap::new(k.min(index.points.len()));
+        let mut evals = 0u64;
+        // Depth-first with the shrinking k-th-best bound; visiting the
+        // closest child edges first tightens the bound early.
+        index.knn_walk(0, query, &mut heap, &mut evals);
+        (heap.into_sorted(), QueryStats::new(evals))
+    }
+
+    /// Exact range query with triangle-inequality edge pruning.
+    pub fn range(&mut self, query: &P, radius: u32) -> (Vec<Neighbor<u32>>, QueryStats) {
+        let index = self.index;
+        let mut out = Vec::new();
+        if index.nodes.is_empty() {
+            return (out, QueryStats::default());
+        }
+        let mut evals = 0u64;
+        self.stack.clear();
+        self.stack.push(0);
+        while let Some(at) = self.stack.pop() {
+            let node = &index.nodes[at];
+            evals += 1;
+            let d = index.metric.distance(&index.points[node.point], query);
+            if d <= radius {
+                out.push(Neighbor { id: node.point, dist: d });
+            }
+            let lo = d.saturating_sub(radius);
+            let hi = d.saturating_add(radius);
+            let start = node.children.partition_point(|&(e, _)| e < lo);
+            for &(e, child) in &node.children[start..] {
+                if e > hi {
+                    break;
+                }
+                self.stack.push(child as usize);
+            }
+        }
+        out.sort_unstable();
+        (out, QueryStats::new(evals))
+    }
+}
+
+impl<P: Sync, M: Metric<P, Dist = u32> + Sync> ProximityIndex<P> for BkTree<P, M> {
+    type Dist = u32;
+    type Searcher<'s>
+        = BkSearcher<'s, P, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn searcher(&self) -> BkSearcher<'_, P, M> {
+        self.session()
+    }
+}
+
+impl<P: Sync, M: Metric<P, Dist = u32> + Sync> Searcher<P> for BkSearcher<'_, P, M> {
+    type Dist = u32;
+
+    fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<u32>>, QueryStats) {
+        BkSearcher::knn(self, query, k)
+    }
+
+    fn range(&mut self, query: &P, radius: u32) -> (Vec<Neighbor<u32>>, QueryStats) {
+        BkSearcher::range(self, query, radius)
     }
 }
 
@@ -170,12 +236,12 @@ mod tests {
     #[test]
     fn range_matches_linear_scan() {
         let db = words();
-        let scan = LinearScan::new(db.clone());
+        let scan = LinearScan::new(Levenshtein, db.clone());
         let tree = BkTree::build(Levenshtein, db);
         for q in ["bock", "tool", "caste", "zzzz", ""] {
             let q = q.to_string();
             for r in 0..=4u32 {
-                assert_eq!(tree.range(&q, r), scan.range(&Levenshtein, &q, r), "q={q} r={r}");
+                assert_eq!(tree.range(&q, r), scan.range(&q, r), "q={q} r={r}");
             }
         }
     }
@@ -183,36 +249,49 @@ mod tests {
     #[test]
     fn knn_matches_linear_scan() {
         let db = words();
-        let scan = LinearScan::new(db.clone());
+        let scan = LinearScan::new(Levenshtein, db.clone());
         let tree = BkTree::build(Levenshtein, db);
         for q in ["bock", "stop", "carrot", ""] {
             let q = q.to_string();
             for k in [1usize, 3, 7] {
-                assert_eq!(tree.knn(&q, k), scan.knn(&Levenshtein, &q, k), "q={q} k={k}");
+                assert_eq!(tree.knn(&q, k), scan.knn(&q, k), "q={q} k={k}");
             }
         }
     }
 
     #[test]
-    fn prunes_on_small_radii() {
+    fn native_stats_prune_on_small_radii() {
         let db: Vec<String> = (0..800).map(|i| format!("{:06b}{:04}", i % 64, i)).collect();
         let n = db.len() as u64;
+        let tree = BkTree::build(Levenshtein, db);
+        let (_, stats) = tree.session().range(&"000000zzzz".to_string(), 2);
+        assert!(stats.metric_evals < n, "no pruning: {} >= {n}", stats.metric_evals);
+    }
+
+    #[test]
+    fn native_stats_agree_with_counting_metric() {
+        let db = words();
         let tree = BkTree::build(CountingMetric::new(Levenshtein), db);
-        tree.metric().reset();
-        let _ = tree.range(&"000000zzzz".to_string(), 2);
-        let evals = tree.evaluations();
-        assert!(evals < n, "no pruning: {evals} >= {n}");
+        for q in ["bock", "stop", ""] {
+            let q = q.to_string();
+            tree.metric().reset();
+            let (_, stats) = tree.session().knn(&q, 3);
+            assert_eq!(stats.metric_evals, tree.evaluations());
+            tree.metric().reset();
+            let (_, stats) = tree.session().range(&q, 2);
+            assert_eq!(stats.metric_evals, tree.evaluations());
+        }
     }
 
     #[test]
     fn works_under_hamming() {
         let db: Vec<String> =
             ["0000", "0001", "0011", "0111", "1111", "1000", "1100"].map(String::from).to_vec();
-        let scan = LinearScan::new(db.clone());
+        let scan = LinearScan::new(Hamming, db.clone());
         let tree = BkTree::build(Hamming, db);
         let q = "0101".to_string();
-        assert_eq!(tree.range(&q, 2), scan.range(&Hamming, &q, 2));
-        assert_eq!(tree.knn(&q, 3), scan.knn(&Hamming, &q, 3));
+        assert_eq!(tree.range(&q, 2), scan.range(&q, 2));
+        assert_eq!(tree.knn(&q, 3), scan.knn(&q, 3));
     }
 
     #[test]

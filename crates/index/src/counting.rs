@@ -1,10 +1,16 @@
-//! Metric-evaluation counting.
+//! Metric-evaluation counting for *build* costs.
 //!
 //! Proximity-search research assumes the metric dominates all other costs,
-//! so data structures are compared by evaluations per query.
-//! [`CountingMetric`] wraps any metric and counts calls through a
-//! [`std::cell::Cell`] (queries are single-threaded; experiment sweeps
-//! parallelise across *runs*, each with its own wrapper).
+//! so data structures are compared by evaluations per query.  **Query**
+//! costs are counted natively by every [`crate::Searcher`] and returned
+//! in [`crate::QueryStats`] — no wrapper on the hot path, and nothing
+//! `!Sync` in a serving session.  [`CountingMetric`] remains for the
+//! costs the searcher cannot see: index *construction* (`build` takes
+//! the metric by value, so wrap it to count build evaluations) and
+//! ad-hoc instrumentation in tests.  It counts through a
+//! [`std::cell::Cell`], which deliberately makes it `!Sync`: an index
+//! wrapped in it cannot enter the [`crate::ProximityIndex`] family, so
+//! the legacy wrapper can never leak into parallel serving.
 
 use dp_metric::Metric;
 use std::cell::Cell;

@@ -11,10 +11,13 @@
 //! Spearman footrule between their stored permutation and the query's,
 //! then measure true distances in that order.  Permutations carry no
 //! lower bound, so a budgeted scan is *approximate*; the full budget
-//! (`frac = 1.0`) is exact.
+//! (`frac = 1.0`) is exact — which is how the index satisfies the exact
+//! [`crate::ProximityIndex`] contract while also implementing the
+//! budgeted [`crate::ApproxSearcher`] surface.
 
+use crate::api::{ApproxIndex, ApproxSearcher, ProximityIndex, Searcher};
 use crate::laesa::{choose_pivots, PivotSelection};
-use crate::query::{KnnHeap, Neighbor};
+use crate::query::{budgeted_knn_scan, budgeted_order, budgeted_range_scan, Neighbor, QueryStats};
 use dp_metric::Metric;
 use dp_permutation::encoding::Codebook;
 use dp_permutation::permdist::{cayley, kendall_tau, spearman_footrule, spearman_rho_sq};
@@ -102,7 +105,9 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
         let perms = points.iter().map(|p| computer.compute(&metric, &sites, p)).collect();
         Self { metric, points, site_ids, sites, perms }
     }
+}
 
+impl<P, M: Metric<P>> DistPermIndex<P, M> {
     /// Database size.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -206,7 +211,7 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
     /// A reusable query cursor borrowing this index: permutation scratch
     /// and candidate buffers are allocated once and reused across
     /// queries, which is the right shape for serving query streams.
-    pub fn searcher(&self) -> DistPermSearcher<'_, P, M> {
+    pub fn session(&self) -> DistPermSearcher<'_, P, M> {
         DistPermSearcher {
             index: self,
             computer: DistPermComputer::new(self.k()),
@@ -220,7 +225,7 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
     /// `frac = 1.0` measures everything and is exact.  Metric cost:
     /// k + ⌈frac·n⌉ evaluations.
     pub fn knn_approx(&self, query: &P, k: usize, frac: f64) -> Vec<Neighbor<M::Dist>> {
-        self.searcher().knn_approx(query, k, frac)
+        self.session().knn_approx(query, k, frac).0
     }
 
     /// [`Self::knn_approx`] with an explicit candidate-ordering measure.
@@ -231,7 +236,7 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
         frac: f64,
         ordering: OrderingKind,
     ) -> Vec<Neighbor<M::Dist>> {
-        self.searcher().knn_approx_ordered(query, k, frac, ordering)
+        self.session().knn_approx_ordered(query, k, frac, ordering).0
     }
 
     /// Approximate range query: report elements within `radius` among the
@@ -240,7 +245,7 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
     /// A subset of the true answer (no false positives — every reported
     /// element is measured); `frac = 1.0` is exact.
     pub fn range_approx(&self, query: &P, radius: M::Dist, frac: f64) -> Vec<Neighbor<M::Dist>> {
-        self.searcher().range_approx(query, radius, frac)
+        self.session().range_approx(query, radius, frac).0
     }
 }
 
@@ -248,8 +253,8 @@ impl<P: Clone, M: Metric<P>> DistPermIndex<P, M> {
 ///
 /// Holds the permutation scratch and the candidate-order buffer so a
 /// stream of queries performs no per-query allocation beyond the result
-/// vector.  Obtained from [`DistPermIndex::searcher`]; each thread of a
-/// query-serving loop should own one.
+/// vector.  Obtained from [`DistPermIndex::session`] (or the trait's
+/// `searcher`); each thread of a query-serving loop should own one.
 #[derive(Debug, Clone)]
 pub struct DistPermSearcher<'a, P, M: Metric<P>> {
     index: &'a DistPermIndex<P, M>,
@@ -257,7 +262,7 @@ pub struct DistPermSearcher<'a, P, M: Metric<P>> {
     order: Vec<(u64, usize)>,
 }
 
-impl<P: Clone, M: Metric<P>> DistPermSearcher<'_, P, M> {
+impl<P, M: Metric<P>> DistPermSearcher<'_, P, M> {
     /// The underlying index.
     pub fn index(&self) -> &DistPermIndex<P, M> {
         self.index
@@ -269,76 +274,72 @@ impl<P: Clone, M: Metric<P>> DistPermSearcher<'_, P, M> {
         self.computer.compute(&self.index.metric, &self.index.sites, query)
     }
 
-    /// See [`DistPermIndex::knn_approx`].
-    pub fn knn_approx(&mut self, query: &P, k: usize, frac: f64) -> Vec<Neighbor<M::Dist>> {
+    /// Budgeted k-NN with the default footrule ordering; returns the
+    /// neighbours and the native evaluation count (k + budget).
+    pub fn knn_approx(
+        &mut self,
+        query: &P,
+        k: usize,
+        frac: f64,
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
         self.knn_approx_ordered(query, k, frac, OrderingKind::Footrule)
     }
 
-    /// See [`DistPermIndex::knn_approx_ordered`].
+    /// [`Self::knn_approx`] with an explicit candidate-ordering measure.
     pub fn knn_approx_ordered(
         &mut self,
         query: &P,
         k: usize,
         frac: f64,
         ordering: OrderingKind,
-    ) -> Vec<Neighbor<M::Dist>> {
-        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
-        let n = self.index.points.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let budget = ((frac * n as f64).ceil() as usize).clamp(k.min(n), n);
-        self.candidate_order(query, ordering, budget);
-        let mut heap = KnnHeap::new(k.min(n));
-        for &(_, i) in self.order.iter().take(budget) {
-            heap.push(i, self.index.metric.distance(query, &self.index.points[i]));
-        }
-        heap.into_sorted()
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        let computer = &mut self.computer;
+        budgeted_knn_scan(
+            index.points.len(),
+            k,
+            frac,
+            index.k(),
+            &mut self.order,
+            |budget, order| {
+                let qperm = computer.compute(&index.metric, &index.sites, query);
+                order_candidates(&index.perms, &qperm, ordering, budget, order);
+            },
+            |i| index.metric.distance(query, &index.points[i]),
+        )
     }
 
-    /// See [`DistPermIndex::range_approx`].
+    /// Budgeted range query; a subset of the true answer, exact at
+    /// `frac = 1.0`.
     pub fn range_approx(
         &mut self,
         query: &P,
         radius: M::Dist,
         frac: f64,
-    ) -> Vec<Neighbor<M::Dist>> {
-        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
-        let n = self.index.points.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let budget = ((frac * n as f64).ceil() as usize).min(n);
-        self.candidate_order(query, OrderingKind::Footrule, budget);
-        let mut out: Vec<Neighbor<M::Dist>> = self
-            .order
-            .iter()
-            .take(budget)
-            .filter_map(|&(_, i)| {
-                let d = self.index.metric.distance(query, &self.index.points[i]);
-                (d <= radius).then_some(Neighbor { id: i, dist: d })
-            })
-            .collect();
-        out.sort_unstable();
-        out
-    }
-
-    fn candidate_order(&mut self, query: &P, ordering: OrderingKind, budget: usize) {
-        let qperm = self.query_permutation(query);
-        order_candidates(self.index.permutations(), &qperm, ordering, budget, &mut self.order);
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        let computer = &mut self.computer;
+        budgeted_range_scan(
+            index.points.len(),
+            frac,
+            index.k(),
+            radius,
+            &mut self.order,
+            |budget, order| {
+                let qperm = computer.compute(&index.metric, &index.sites, query);
+                order_candidates(&index.perms, &qperm, OrderingKind::Footrule, budget, order);
+            },
+            |i| index.metric.distance(query, &index.points[i]),
+        )
     }
 }
 
 /// Fills `order` so that its first `budget` entries are the budget
 /// permutation-nearest database ids in full-sort order — the shared
 /// budget fast path of [`DistPermSearcher`] and
-/// [`crate::flatperm::FlatDistPermSearcher`].
-///
-/// Keys are `(permutation distance, id)`, which are distinct, so
-/// partitioning with `select_nth_unstable` and sorting only the prefix
-/// yields **exactly** the same prefix as sorting all n —
-/// O(n + budget·log budget) instead of O(n·log n) when the scan budget
-/// is below n.
+/// [`crate::flatperm::FlatDistPermSearcher`]; see
+/// [`crate::query`]'s `budgeted_order` for the select-then-sort-prefix
+/// argument.
 pub(crate) fn order_candidates(
     perms: &[Permutation],
     qperm: &Permutation,
@@ -346,24 +347,67 @@ pub(crate) fn order_candidates(
     budget: usize,
     order: &mut Vec<(u64, usize)>,
 ) {
-    order.clear();
-    order.extend(perms.iter().enumerate().map(|(i, p)| (ordering.distance(qperm, p), i)));
-    if budget == 0 {
-        return;
+    budgeted_order(perms.iter().map(|p| ordering.distance(qperm, p)), budget, order);
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ProximityIndex<P> for DistPermIndex<P, M> {
+    type Dist = M::Dist;
+    type Searcher<'s>
+        = DistPermSearcher<'s, P, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
     }
-    if budget < order.len() {
-        order.select_nth_unstable(budget - 1);
-        order[..budget].sort_unstable();
-    } else {
-        order.sort_unstable();
+
+    fn searcher(&self) -> DistPermSearcher<'_, P, M> {
+        self.session()
     }
 }
+
+impl<P: Sync, M: Metric<P> + Sync> Searcher<P> for DistPermSearcher<'_, P, M> {
+    type Dist = M::Dist;
+
+    /// Exact k-NN as the full-budget scan (k + n evaluations).
+    fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        self.knn_approx(query, k, 1.0)
+    }
+
+    /// Exact range query as the full-budget scan (k + n evaluations).
+    fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        DistPermSearcher::range_approx(self, query, radius, 1.0)
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ApproxSearcher<P> for DistPermSearcher<'_, P, M> {
+    fn knn_approx(
+        &mut self,
+        query: &P,
+        k: usize,
+        frac: f64,
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        DistPermSearcher::knn_approx(self, query, k, frac)
+    }
+
+    fn range_approx(
+        &mut self,
+        query: &P,
+        radius: M::Dist,
+        frac: f64,
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        DistPermSearcher::range_approx(self, query, radius, frac)
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ApproxIndex<P> for DistPermIndex<P, M> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::counting::CountingMetric;
     use crate::linear::LinearScan;
+    use crate::query::KnnHeap;
     use dp_metric::L2;
     use dp_permutation::counter::count_distinct;
     use rand::rngs::StdRng;
@@ -394,22 +438,22 @@ mod tests {
     #[test]
     fn full_budget_knn_is_exact() {
         let pts = random_points(200, 3, 3);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
         for q in random_points(10, 3, 4) {
-            assert_eq!(idx.knn_approx(&q, 5, 1.0), scan.knn(&L2, &q, 5));
+            assert_eq!(idx.knn_approx(&q, 5, 1.0), scan.knn(&q, 5));
         }
     }
 
     #[test]
     fn budgeted_knn_has_reasonable_recall() {
         let pts = random_points(1000, 3, 5);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let idx = DistPermIndex::build(L2, pts, 12, PivotSelection::MaxMin);
         let queries = random_points(30, 3, 6);
         let mut hits = 0usize;
         for q in &queries {
-            let exact: Vec<usize> = scan.knn(&L2, q, 1).iter().map(|n| n.id).collect();
+            let exact: Vec<usize> = scan.knn(q, 1).iter().map(|n| n.id).collect();
             let approx: Vec<usize> = idx.knn_approx(q, 1, 0.1).iter().map(|n| n.id).collect();
             hits += usize::from(exact == approx);
         }
@@ -419,13 +463,15 @@ mod tests {
     }
 
     #[test]
-    fn budget_controls_evaluations() {
+    fn native_stats_count_budget_plus_sites() {
         let pts = random_points(500, 2, 7);
         let idx = DistPermIndex::build(CountingMetric::new(L2), pts, 10, PivotSelection::Prefix);
         idx.metric().reset();
         let q = vec![0.5, 0.5];
-        let _ = idx.knn_approx(&q, 3, 0.2);
-        // k site evaluations + ceil(0.2 * 500) = 10 + 100.
+        let (_, stats) = idx.session().knn_approx(&q, 3, 0.2);
+        // k site evaluations + ceil(0.2 * 500) = 10 + 100, natively and
+        // through the legacy counting wrapper alike.
+        assert_eq!(stats, QueryStats::new(10 + 100));
         assert_eq!(idx.metric().count(), 10 + 100);
     }
 
@@ -456,22 +502,22 @@ mod tests {
     #[test]
     fn range_approx_full_budget_matches_linear_scan() {
         let pts = random_points(300, 2, 11);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
         for q in random_points(10, 2, 12) {
             let radius = dp_metric::F64Dist::new(0.25);
-            assert_eq!(idx.range_approx(&q, radius, 1.0), scan.range(&L2, &q, radius));
+            assert_eq!(idx.range_approx(&q, radius, 1.0), scan.range(&q, radius));
         }
     }
 
     #[test]
     fn range_approx_budgeted_is_subset_of_truth() {
         let pts = random_points(500, 3, 13);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let idx = DistPermIndex::build(L2, pts, 10, PivotSelection::MaxMin);
         for q in random_points(10, 3, 14) {
             let radius = dp_metric::F64Dist::new(0.3);
-            let truth = scan.range(&L2, &q, radius);
+            let truth = scan.range(&q, radius);
             let approx = idx.range_approx(&q, radius, 0.2);
             assert!(approx.len() <= truth.len());
             for n in &approx {
@@ -483,10 +529,10 @@ mod tests {
     #[test]
     fn every_ordering_kind_is_exact_at_full_budget() {
         let pts = random_points(150, 3, 21);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
         for q in random_points(5, 3, 22) {
-            let truth = scan.knn(&L2, &q, 3);
+            let truth = scan.knn(&q, 3);
             for kind in OrderingKind::ALL {
                 assert_eq!(idx.knn_approx_ordered(&q, 3, 1.0, kind), truth, "{kind:?}");
             }
@@ -496,14 +542,14 @@ mod tests {
     #[test]
     fn ordering_kinds_give_sane_budgeted_recall() {
         let pts = random_points(800, 3, 23);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let idx = DistPermIndex::build(L2, pts, 10, PivotSelection::MaxMin);
         let queries = random_points(30, 3, 24);
         for kind in OrderingKind::ALL {
             let hits = queries
                 .iter()
                 .filter(|q| {
-                    let truth = scan.knn(&L2, q, 1)[0].id;
+                    let truth = scan.knn(q, 1)[0].id;
                     idx.knn_approx_ordered(q, 1, 0.1, kind).first().map(|n| n.id) == Some(truth)
                 })
                 .count();
@@ -560,12 +606,27 @@ mod tests {
     fn searcher_reuse_matches_one_shot_queries() {
         let pts = random_points(400, 2, 33);
         let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
-        let mut searcher = idx.searcher();
+        let mut searcher = idx.session();
         for q in random_points(12, 2, 34) {
-            assert_eq!(searcher.knn_approx(&q, 4, 0.25), idx.knn_approx(&q, 4, 0.25));
+            assert_eq!(searcher.knn_approx(&q, 4, 0.25).0, idx.knn_approx(&q, 4, 0.25));
             assert_eq!(searcher.query_permutation(&q), idx.query_permutation(&q));
             let radius = dp_metric::F64Dist::new(0.2);
-            assert_eq!(searcher.range_approx(&q, radius, 0.5), idx.range_approx(&q, radius, 0.5));
+            assert_eq!(searcher.range_approx(&q, radius, 0.5).0, idx.range_approx(&q, radius, 0.5));
+        }
+    }
+
+    #[test]
+    fn trait_surface_is_exact_and_counts_full_scan() {
+        let pts = random_points(120, 2, 36);
+        let scan = LinearScan::new(L2, pts.clone());
+        let idx = DistPermIndex::build(L2, pts, 6, PivotSelection::MaxMin);
+        for q in random_points(6, 2, 37) {
+            let (got, stats) = idx.query_knn(&q, 4);
+            assert_eq!(got, scan.knn(&q, 4));
+            assert_eq!(stats, QueryStats::new(6 + 120));
+            let radius = dp_metric::F64Dist::new(0.3);
+            let (got, _) = idx.query_range(&q, radius);
+            assert_eq!(got, scan.range(&q, radius));
         }
     }
 

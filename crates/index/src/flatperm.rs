@@ -10,11 +10,15 @@
 //! storage layout and throughput differ.
 //!
 //! The generic `DistPermIndex` remains the path for strings, trees and
-//! any non-`f64` point type.
+//! any non-`f64` point type.  Through the trait family this index is a
+//! `ProximityIndex<[f64]>`: queries are plain `&[f64]` rows, which is
+//! what makes it the natural engine under
+//! [`crate::serve::query_batch_parallel`].
 
+use crate::api::{ApproxIndex, ApproxSearcher, ProximityIndex, Searcher};
 use crate::distperm::OrderingKind;
 use crate::laesa::{choose_pivots, PivotSelection};
-use crate::query::{KnnHeap, Neighbor};
+use crate::query::{budgeted_knn_scan, budgeted_range_scan, Neighbor, QueryStats};
 use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, Distance, F64Dist, SliceRefMetric, TransposedSites};
 use dp_permutation::compute::database_permutations_flat_parallel;
@@ -127,18 +131,18 @@ impl<M: BatchDistance> FlatDistPermIndex<M> {
     /// The query's distance permutation: k metric evaluations through
     /// the batched kernel.
     pub fn query_permutation(&self, query: &[f64]) -> Permutation {
-        self.searcher().query_permutation(query)
+        self.session().query_permutation(query)
     }
 
     /// A reusable query cursor (scratch allocated once).
-    pub fn searcher(&self) -> FlatDistPermSearcher<'_, M> {
+    pub fn session(&self) -> FlatDistPermSearcher<'_, M> {
         FlatDistPermSearcher { index: self, dists: vec![0.0; self.k()], order: Vec::new() }
     }
 
     /// Approximate k-NN over the `frac` permutation-nearest fraction
     /// (Spearman footrule ordering; `frac = 1.0` is exact).
     pub fn knn_approx(&self, query: &[f64], k: usize, frac: f64) -> Vec<Neighbor<F64Dist>> {
-        self.searcher().knn_approx(query, k, frac)
+        self.session().knn_approx(query, k, frac).0
     }
 
     /// [`Self::knn_approx`] with an explicit ordering measure.
@@ -149,7 +153,7 @@ impl<M: BatchDistance> FlatDistPermIndex<M> {
         frac: f64,
         ordering: OrderingKind,
     ) -> Vec<Neighbor<F64Dist>> {
-        self.searcher().knn_approx_ordered(query, k, frac, ordering)
+        self.session().knn_approx_ordered(query, k, frac, ordering).0
     }
 
     /// Approximate range query over the `frac` permutation-nearest
@@ -160,7 +164,7 @@ impl<M: BatchDistance> FlatDistPermIndex<M> {
         radius: F64Dist,
         frac: f64,
     ) -> Vec<Neighbor<F64Dist>> {
-        self.searcher().range_approx(query, radius, frac)
+        self.session().range_approx(query, radius, frac).0
     }
 }
 
@@ -180,87 +184,146 @@ impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
 
     /// The query's distance permutation (k batched metric evaluations).
     pub fn query_permutation(&mut self, query: &[f64]) -> Permutation {
-        let k = self.index.k();
-        self.index.metric.batch_distances(query, &self.index.sites_t, &mut self.dists);
-        let mut pairs = [(F64Dist::ZERO, 0u8); MAX_K];
-        for (j, (&d, pair)) in self.dists.iter().zip(pairs.iter_mut()).enumerate() {
-            *pair = (F64Dist::new(d), j as u8);
-        }
-        pairs[..k].sort_unstable();
-        let mut items = [0u8; MAX_K];
-        for (slot, &(_, j)) in items.iter_mut().zip(pairs[..k].iter()) {
-            *slot = j;
-        }
-        Permutation::from_slice(&items[..k]).expect("ranks form a permutation")
+        query_permutation_into(self.index, &mut self.dists, query)
     }
 
-    /// See [`FlatDistPermIndex::knn_approx`].
-    pub fn knn_approx(&mut self, query: &[f64], k: usize, frac: f64) -> Vec<Neighbor<F64Dist>> {
+    /// Budgeted k-NN with the default footrule ordering.
+    pub fn knn_approx(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        frac: f64,
+    ) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
         self.knn_approx_ordered(query, k, frac, OrderingKind::Footrule)
     }
 
-    /// See [`FlatDistPermIndex::knn_approx_ordered`].
+    /// [`Self::knn_approx`] with an explicit ordering measure.
     pub fn knn_approx_ordered(
         &mut self,
         query: &[f64],
         k: usize,
         frac: f64,
         ordering: OrderingKind,
-    ) -> Vec<Neighbor<F64Dist>> {
-        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
-        let n = self.index.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let budget = ((frac * n as f64).ceil() as usize).clamp(k.min(n), n);
-        self.candidate_order(query, ordering, budget);
-        let mut heap = KnnHeap::new(k.min(n));
-        for &(_, i) in self.order.iter().take(budget) {
-            heap.push(i, self.index.metric.distance(query, self.index.points.row(i)));
-        }
-        heap.into_sorted()
+    ) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
+        let index = self.index;
+        let dists = &mut self.dists;
+        budgeted_knn_scan(
+            index.len(),
+            k,
+            frac,
+            index.k(),
+            &mut self.order,
+            |budget, order| {
+                let qperm = query_permutation_into(index, dists, query);
+                crate::distperm::order_candidates(&index.perms, &qperm, ordering, budget, order);
+            },
+            |i| index.metric.distance(query, index.points.row(i)),
+        )
     }
 
-    /// See [`FlatDistPermIndex::range_approx`].
+    /// Budgeted range query; a subset of the true answer, exact at
+    /// `frac = 1.0`.
     pub fn range_approx(
         &mut self,
         query: &[f64],
         radius: F64Dist,
         frac: f64,
-    ) -> Vec<Neighbor<F64Dist>> {
-        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
-        let n = self.index.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let budget = ((frac * n as f64).ceil() as usize).min(n);
-        self.candidate_order(query, OrderingKind::Footrule, budget);
-        let mut out: Vec<Neighbor<F64Dist>> = self
-            .order
-            .iter()
-            .take(budget)
-            .filter_map(|&(_, i)| {
-                let d = self.index.metric.distance(query, self.index.points.row(i));
-                (d <= radius).then_some(Neighbor { id: i, dist: d })
-            })
-            .collect();
-        out.sort_unstable();
-        out
-    }
-
-    /// Budget-aware candidate ordering — the select-then-sort-prefix
-    /// fast path shared with the generic searcher.
-    fn candidate_order(&mut self, query: &[f64], ordering: OrderingKind, budget: usize) {
-        let qperm = self.query_permutation(query);
-        crate::distperm::order_candidates(
-            &self.index.perms,
-            &qperm,
-            ordering,
-            budget,
+    ) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
+        let index = self.index;
+        let dists = &mut self.dists;
+        budgeted_range_scan(
+            index.len(),
+            frac,
+            index.k(),
+            radius,
             &mut self.order,
-        );
+            |budget, order| {
+                let qperm = query_permutation_into(index, dists, query);
+                crate::distperm::order_candidates(
+                    &index.perms,
+                    &qperm,
+                    OrderingKind::Footrule,
+                    budget,
+                    order,
+                );
+            },
+            |i| index.metric.distance(query, index.points.row(i)),
+        )
     }
 }
+
+/// The batched query-permutation kernel, taking the searcher's scratch
+/// by parts so the budgeted-scan closures can borrow disjoint fields.
+fn query_permutation_into<M: BatchDistance>(
+    index: &FlatDistPermIndex<M>,
+    dists: &mut [f64],
+    query: &[f64],
+) -> Permutation {
+    let k = index.k();
+    index.metric.batch_distances(query, &index.sites_t, dists);
+    let mut pairs = [(F64Dist::ZERO, 0u8); MAX_K];
+    for (j, (&d, pair)) in dists.iter().zip(pairs.iter_mut()).enumerate() {
+        *pair = (F64Dist::new(d), j as u8);
+    }
+    pairs[..k].sort_unstable();
+    let mut items = [0u8; MAX_K];
+    for (slot, &(_, j)) in items.iter_mut().zip(pairs[..k].iter()) {
+        *slot = j;
+    }
+    Permutation::from_slice(&items[..k]).expect("ranks form a permutation")
+}
+
+impl<M: BatchDistance + Sync> ProximityIndex<[f64]> for FlatDistPermIndex<M> {
+    type Dist = F64Dist;
+    type Searcher<'s>
+        = FlatDistPermSearcher<'s, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn searcher(&self) -> FlatDistPermSearcher<'_, M> {
+        self.session()
+    }
+}
+
+impl<M: BatchDistance + Sync> Searcher<[f64]> for FlatDistPermSearcher<'_, M> {
+    type Dist = F64Dist;
+
+    /// Exact k-NN as the full-budget scan (k + n evaluations).
+    fn knn(&mut self, query: &[f64], k: usize) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
+        self.knn_approx(query, k, 1.0)
+    }
+
+    /// Exact range query as the full-budget scan (k + n evaluations).
+    fn range(&mut self, query: &[f64], radius: F64Dist) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
+        FlatDistPermSearcher::range_approx(self, query, radius, 1.0)
+    }
+}
+
+impl<M: BatchDistance + Sync> ApproxSearcher<[f64]> for FlatDistPermSearcher<'_, M> {
+    fn knn_approx(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        frac: f64,
+    ) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
+        FlatDistPermSearcher::knn_approx(self, query, k, frac)
+    }
+
+    fn range_approx(
+        &mut self,
+        query: &[f64],
+        radius: F64Dist,
+        frac: f64,
+    ) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
+        FlatDistPermSearcher::range_approx(self, query, radius, frac)
+    }
+}
+
+impl<M: BatchDistance + Sync> ApproxIndex<[f64]> for FlatDistPermIndex<M> {}
 
 #[cfg(test)]
 mod tests {
@@ -317,10 +380,21 @@ mod tests {
     fn searcher_reuse_matches_one_shot() {
         let flat = VectorSet::from_nested(&random_points(400, 3, 44));
         let idx = FlatDistPermIndex::build(L2, flat, 8, PivotSelection::MaxMin, 2);
-        let mut searcher = idx.searcher();
+        let mut searcher = idx.session();
         for q in random_points(8, 3, 45) {
-            assert_eq!(searcher.knn_approx(&q, 3, 0.15), idx.knn_approx(&q, 3, 0.15));
+            assert_eq!(searcher.knn_approx(&q, 3, 0.15).0, idx.knn_approx(&q, 3, 0.15));
         }
+    }
+
+    #[test]
+    fn trait_stats_count_sites_plus_budget() {
+        let flat = VectorSet::from_nested(&random_points(200, 2, 46));
+        let idx = FlatDistPermIndex::build(L2, flat, 10, PivotSelection::MaxMin, 1);
+        let q = [0.5, 0.5];
+        let (_, stats) = idx.query_knn(&q[..], 3);
+        assert_eq!(stats, QueryStats::new(10 + 200));
+        let (_, stats) = idx.session().knn_approx(&q, 3, 0.25);
+        assert_eq!(stats, QueryStats::new(10 + 50));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! §1 cites GH-trees (with VP-trees) as the tree-structured alternatives
 //! to the AESA family.
 
-use crate::query::{KnnHeap, Neighbor};
+use crate::api::{ProximityIndex, Searcher};
+use crate::query::{KnnHeap, Neighbor, QueryStats};
 use dp_metric::{Distance, Metric};
 
 const LEAF_SIZE: usize = 8;
@@ -83,24 +84,32 @@ impl<P, M: Metric<P>> GhTree<P, M> {
         &self.metric
     }
 
-    /// Exact k nearest neighbours.
-    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
-        if self.points.is_empty() {
-            return Vec::new();
-        }
-        let mut heap = KnnHeap::new(k.min(self.points.len()));
-        self.knn_node(self.root, query, &mut heap);
-        heap.into_sorted()
+    /// A reusable query session (the traversal lives on the call stack;
+    /// the session carries the native evaluation counter).
+    pub fn session(&self) -> GhSearcher<'_, P, M> {
+        GhSearcher { index: self }
     }
 
-    fn knn_node(&self, node: usize, query: &P, heap: &mut KnnHeap<M::Dist>) {
+    /// Exact k nearest neighbours.
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        self.session().knn(query, k).0
+    }
+
+    /// All elements within `radius` (inclusive), sorted by (distance, id).
+    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        self.session().range(query, radius).0
+    }
+
+    fn knn_node(&self, node: usize, query: &P, heap: &mut KnnHeap<M::Dist>, evals: &mut u64) {
         match &self.nodes[node] {
             Node::Leaf { ids } => {
                 for &i in ids {
+                    *evals += 1;
                     heap.push(i, self.metric.distance(query, &self.points[i]));
                 }
             }
             Node::Inner { a, b, left, right } => {
+                *evals += 2;
                 let da = self.metric.distance(query, &self.points[*a]);
                 let db = self.metric.distance(query, &self.points[*b]);
                 heap.push(*a, da);
@@ -111,23 +120,13 @@ impl<P, M: Metric<P>> GhTree<P, M> {
                 } else {
                     (*right, *left, (daf - dbf) / 2.0)
                 };
-                self.knn_node(first, query, heap);
+                self.knn_node(first, query, heap, evals);
                 let tau = heap.bound().map_or(f64::INFINITY, |t| t.to_f64());
                 if margin <= tau {
-                    self.knn_node(second, query, heap);
+                    self.knn_node(second, query, heap, evals);
                 }
             }
         }
-    }
-
-    /// All elements within `radius` (inclusive), sorted by (distance, id).
-    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
-        let mut out = Vec::new();
-        if !self.points.is_empty() {
-            self.range_node(self.root, query, radius, &mut out);
-        }
-        out.sort_unstable();
-        out
     }
 
     fn range_node(
@@ -136,10 +135,12 @@ impl<P, M: Metric<P>> GhTree<P, M> {
         query: &P,
         radius: M::Dist,
         out: &mut Vec<Neighbor<M::Dist>>,
+        evals: &mut u64,
     ) {
         match &self.nodes[node] {
             Node::Leaf { ids } => {
                 for &i in ids {
+                    *evals += 1;
                     let d = self.metric.distance(query, &self.points[i]);
                     if d <= radius {
                         out.push(Neighbor { id: i, dist: d });
@@ -147,6 +148,7 @@ impl<P, M: Metric<P>> GhTree<P, M> {
                 }
             }
             Node::Inner { a, b, left, right } => {
+                *evals += 2;
                 let da = self.metric.distance(query, &self.points[*a]);
                 let db = self.metric.distance(query, &self.points[*b]);
                 if da <= radius {
@@ -160,13 +162,78 @@ impl<P, M: Metric<P>> GhTree<P, M> {
                 // For x on the a-side, d(q,x) >= (d(q,a) - d(q,b)) / 2;
                 // symmetrically for the b-side.
                 if (daf - dbf) / 2.0 <= r {
-                    self.range_node(*left, query, radius, out);
+                    self.range_node(*left, query, radius, out, evals);
                 }
                 if (dbf - daf) / 2.0 <= r {
-                    self.range_node(*right, query, radius, out);
+                    self.range_node(*right, query, radius, out, evals);
                 }
             }
         }
+    }
+}
+
+/// Query session over a [`GhTree`].
+#[derive(Debug, Clone)]
+pub struct GhSearcher<'a, P, M: Metric<P>> {
+    index: &'a GhTree<P, M>,
+}
+
+impl<P, M: Metric<P>> GhSearcher<'_, P, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &GhTree<P, M> {
+        self.index
+    }
+
+    /// Exact k-NN with hyperplane pruning.
+    pub fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        if index.points.is_empty() || k == 0 {
+            return (Vec::new(), QueryStats::default());
+        }
+        let mut heap = KnnHeap::new(k.min(index.points.len()));
+        let mut evals = 0u64;
+        index.knn_node(index.root, query, &mut heap, &mut evals);
+        (heap.into_sorted(), QueryStats::new(evals))
+    }
+
+    /// Exact range query with hyperplane pruning.
+    pub fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        let mut out = Vec::new();
+        let mut evals = 0u64;
+        if !index.points.is_empty() {
+            index.range_node(index.root, query, radius, &mut out, &mut evals);
+        }
+        out.sort_unstable();
+        (out, QueryStats::new(evals))
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ProximityIndex<P> for GhTree<P, M> {
+    type Dist = M::Dist;
+    type Searcher<'s>
+        = GhSearcher<'s, P, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn searcher(&self) -> GhSearcher<'_, P, M> {
+        self.session()
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> Searcher<P> for GhSearcher<'_, P, M> {
+    type Dist = M::Dist;
+
+    fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        GhSearcher::knn(self, query, k)
+    }
+
+    fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        GhSearcher::range(self, query, radius)
     }
 }
 
@@ -187,37 +254,47 @@ mod tests {
     #[test]
     fn knn_matches_linear_scan() {
         let pts = random_points(350, 3, 1);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let tree = GhTree::build(L2, pts);
         for q in random_points(25, 3, 2) {
-            assert_eq!(tree.knn(&q, 4), scan.knn(&L2, &q, 4));
+            assert_eq!(tree.knn(&q, 4), scan.knn(&q, 4));
         }
     }
 
     #[test]
     fn range_matches_linear_scan() {
         let pts = random_points(250, 2, 3);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let tree = GhTree::build(L2, pts);
         for q in random_points(15, 2, 4) {
             let radius = F64Dist::new(0.3);
-            assert_eq!(tree.range(&q, radius), scan.range(&L2, &q, radius));
+            assert_eq!(tree.range(&q, radius), scan.range(&q, radius));
         }
     }
 
     #[test]
-    fn prunes_in_low_dimension() {
+    fn native_stats_prune_in_low_dimension() {
         let pts = random_points(2000, 2, 5);
-        let tree = GhTree::build(CountingMetric::new(L2), pts);
-        let mut total = 0u64;
+        let tree = GhTree::build(L2, pts);
         let queries = random_points(20, 2, 6);
-        for q in &queries {
-            tree.metric().reset();
-            let _ = tree.knn(q, 1);
-            total += tree.metric().count();
-        }
+        let mut session = tree.session();
+        let total: u64 = queries.iter().map(|q| session.knn(q, 1).1.metric_evals).sum();
         let mean = total as f64 / queries.len() as f64;
         assert!(mean < 1200.0, "GH-tree averaged {mean} evals on n=2000");
+    }
+
+    #[test]
+    fn native_stats_agree_with_counting_metric() {
+        let pts = random_points(300, 2, 8);
+        let tree = GhTree::build(CountingMetric::new(L2), pts);
+        for q in random_points(10, 2, 9) {
+            tree.metric().reset();
+            let (_, stats) = tree.session().knn(&q, 2);
+            assert_eq!(stats.metric_evals, tree.metric().count());
+            tree.metric().reset();
+            let (_, stats) = tree.session().range(&q, F64Dist::new(0.2));
+            assert_eq!(stats.metric_evals, tree.metric().count());
+        }
     }
 
     #[test]
@@ -228,10 +305,10 @@ mod tests {
         ]
         .map(String::from)
         .to_vec();
-        let scan = LinearScan::new(words.clone());
+        let scan = LinearScan::new(Levenshtein, words.clone());
         let tree = GhTree::build(Levenshtein, words);
         let q = String::from("motha");
-        assert_eq!(tree.knn(&q, 4), scan.knn(&Levenshtein, &q, 4));
+        assert_eq!(tree.knn(&q, 4), scan.knn(&q, 4));
     }
 
     #[test]

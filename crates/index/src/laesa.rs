@@ -7,7 +7,8 @@
 //! d-dimensional Euclidean space.  This is the SISAP `pivots` index type
 //! that the paper's `distperm` code modifies.
 
-use crate::query::{KnnHeap, Neighbor};
+use crate::api::{ProximityIndex, Searcher};
+use crate::query::{KnnHeap, Neighbor, QueryStats};
 use dp_metric::{Distance, Metric};
 
 /// Pivot selection strategies for [`Laesa::build`] and
@@ -122,84 +123,148 @@ impl<P, M: Metric<P>> Laesa<P, M> {
         &self.metric
     }
 
-    /// Lower bounds for every element given the query-to-pivot distances.
-    fn lower_bounds(&self, dq: &[f64]) -> Vec<f64> {
-        let n = self.points.len();
-        let mut lb = vec![0.0f64; n];
-        for (j, &dqj) in dq.iter().enumerate() {
-            let row = &self.table[j * n..(j + 1) * n];
-            for (l, stored) in lb.iter_mut().zip(row) {
+    /// A reusable query session: pivot-distance and lower-bound arrays
+    /// are allocated once and reused across queries.
+    pub fn session(&self) -> LaesaSearcher<'_, P, M> {
+        LaesaSearcher { index: self, dq: Vec::new(), lb: Vec::new(), order: Vec::new() }
+    }
+
+    /// The k nearest neighbours (exact; identical to a linear scan).
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        self.session().knn(query, k).0
+    }
+
+    /// All elements within `radius` (inclusive; exact).
+    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        self.session().range(query, radius).0
+    }
+}
+
+/// Query session over a [`Laesa`] index, reusing bound scratch.
+#[derive(Debug, Clone)]
+pub struct LaesaSearcher<'a, P, M: Metric<P>> {
+    index: &'a Laesa<P, M>,
+    dq: Vec<f64>,
+    lb: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl<P, M: Metric<P>> LaesaSearcher<'_, P, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &Laesa<P, M> {
+        self.index
+    }
+
+    /// Lower bounds for every element given the query-to-pivot distances
+    /// in `self.dq`.
+    fn lower_bounds(&mut self) {
+        let n = self.index.points.len();
+        self.lb.clear();
+        self.lb.resize(n, 0.0);
+        for (j, &dqj) in self.dq.iter().enumerate() {
+            let row = &self.index.table[j * n..(j + 1) * n];
+            for (l, stored) in self.lb.iter_mut().zip(row) {
                 let b = (dqj - stored.to_f64()).abs();
                 if b > *l {
                     *l = b;
                 }
             }
         }
-        lb
     }
 
-    /// The k nearest neighbours (exact; identical to a linear scan).
-    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
-        if self.points.is_empty() {
-            return Vec::new();
+    /// Exact k-NN with pivot-based elimination.
+    pub fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        if index.points.is_empty() || k == 0 {
+            return (Vec::new(), QueryStats::default());
         }
-        let mut heap = KnnHeap::new(k.min(self.points.len()));
+        let mut evals = 0u64;
+        let mut heap = KnnHeap::new(k.min(index.points.len()));
         // Measure the pivots; they double as the first examined elements.
-        let dq: Vec<f64> = self
-            .pivots
-            .iter()
-            .map(|&pv| {
-                let d = self.metric.distance(query, &self.points[pv]);
-                heap.push(pv, d);
-                d.to_f64()
-            })
-            .collect();
-        let lb = self.lower_bounds(&dq);
+        self.dq.clear();
+        for &pv in &index.pivots {
+            evals += 1;
+            let d = index.metric.distance(query, &index.points[pv]);
+            heap.push(pv, d);
+            self.dq.push(d.to_f64());
+        }
+        self.lower_bounds();
 
         // Examine the rest in increasing lower-bound order; once the bound
         // exceeds the k-th best distance the remainder cannot qualify.
-        let mut order: Vec<usize> =
-            (0..self.points.len()).filter(|i| !self.pivots.contains(i)).collect();
-        order.sort_unstable_by(|&a, &b| lb[a].total_cmp(&lb[b]).then(a.cmp(&b)));
-        for &i in &order {
+        self.order.clear();
+        self.order.extend((0..index.points.len()).filter(|i| !index.pivots.contains(i)));
+        let lb = &self.lb;
+        self.order.sort_unstable_by(|&a, &b| lb[a].total_cmp(&lb[b]).then(a.cmp(&b)));
+        for &i in &self.order {
             if let Some(b) = heap.bound() {
-                if lb[i] > b.to_f64() {
+                if self.lb[i] > b.to_f64() {
                     break;
                 }
             }
-            let d = self.metric.distance(query, &self.points[i]);
+            evals += 1;
+            let d = index.metric.distance(query, &index.points[i]);
             heap.push(i, d);
         }
-        heap.into_sorted()
+        (heap.into_sorted(), QueryStats::new(evals))
     }
 
-    /// All elements within `radius` (inclusive; exact).
-    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+    /// Exact range query with pivot-based elimination.
+    pub fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
         let r = radius.to_f64();
+        let mut evals = 0u64;
         let mut out = Vec::new();
-        let dq: Vec<f64> = self
-            .pivots
-            .iter()
-            .map(|&pv| {
-                let d = self.metric.distance(query, &self.points[pv]);
-                if d <= radius {
-                    out.push(Neighbor { id: pv, dist: d });
-                }
-                d.to_f64()
-            })
-            .collect();
-        let lb = self.lower_bounds(&dq);
-        for (i, (point, &bound)) in self.points.iter().zip(&lb).enumerate() {
-            if self.pivots.contains(&i) || bound > r {
+        self.dq.clear();
+        for &pv in &index.pivots {
+            evals += 1;
+            let d = index.metric.distance(query, &index.points[pv]);
+            if d <= radius {
+                out.push(Neighbor { id: pv, dist: d });
+            }
+            self.dq.push(d.to_f64());
+        }
+        self.lower_bounds();
+        for (i, (point, &bound)) in index.points.iter().zip(&self.lb).enumerate() {
+            if index.pivots.contains(&i) || bound > r {
                 continue;
             }
-            let d = self.metric.distance(query, point);
+            evals += 1;
+            let d = index.metric.distance(query, point);
             if d <= radius {
                 out.push(Neighbor { id: i, dist: d });
             }
         }
         out.sort_unstable();
-        out
+        (out, QueryStats::new(evals))
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ProximityIndex<P> for Laesa<P, M> {
+    type Dist = M::Dist;
+    type Searcher<'s>
+        = LaesaSearcher<'s, P, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn searcher(&self) -> LaesaSearcher<'_, P, M> {
+        self.session()
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> Searcher<P> for LaesaSearcher<'_, P, M> {
+    type Dist = M::Dist;
+
+    fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        LaesaSearcher::knn(self, query, k)
+    }
+
+    fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        LaesaSearcher::range(self, query, radius)
     }
 }
 
@@ -231,37 +296,48 @@ mod tests {
     #[test]
     fn knn_matches_linear_scan() {
         let pts = random_points(150, 3, 2);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let laesa = Laesa::build(L2, pts, 8, PivotSelection::MaxMin);
         for q in random_points(25, 3, 3) {
-            assert_eq!(laesa.knn(&q, 4), scan.knn(&L2, &q, 4));
+            assert_eq!(laesa.knn(&q, 4), scan.knn(&q, 4));
         }
     }
 
     #[test]
     fn range_matches_linear_scan() {
         let pts = random_points(120, 2, 4);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let laesa = Laesa::build(L2, pts, 6, PivotSelection::MaxMin);
         for q in random_points(15, 2, 5) {
             let r = F64Dist::new(0.25);
-            assert_eq!(laesa.range(&q, r), scan.range(&L2, &q, r));
+            assert_eq!(laesa.range(&q, r), scan.range(&q, r));
         }
     }
 
     #[test]
-    fn prunes_compared_to_linear_scan() {
+    fn native_stats_prune_compared_to_linear_scan() {
         let pts = random_points(500, 2, 6);
-        let laesa = Laesa::build(CountingMetric::new(L2), pts, 12, PivotSelection::MaxMin);
-        let mut total = 0u64;
+        let laesa = Laesa::build(L2, pts, 12, PivotSelection::MaxMin);
         let queries = random_points(20, 2, 7);
-        for q in &queries {
-            laesa.metric().reset();
-            let _ = laesa.knn(q, 1);
-            total += laesa.metric().count();
-        }
+        let mut session = laesa.session();
+        let total: u64 = queries.iter().map(|q| session.knn(q, 1).1.metric_evals).sum();
         let mean = total as f64 / queries.len() as f64;
         assert!(mean < 250.0, "LAESA averaged {mean} evals on n=500");
+    }
+
+    #[test]
+    fn native_stats_agree_with_counting_metric() {
+        let pts = random_points(200, 2, 10);
+        let laesa = Laesa::build(CountingMetric::new(L2), pts, 7, PivotSelection::Prefix);
+        let mut session = laesa.session();
+        for q in random_points(8, 2, 11) {
+            laesa.metric().reset();
+            let (_, stats) = session.knn(&q, 2);
+            assert_eq!(stats.metric_evals, laesa.metric().count());
+            laesa.metric().reset();
+            let (_, stats) = session.range(&q, F64Dist::new(0.2));
+            assert_eq!(stats.metric_evals, laesa.metric().count());
+        }
     }
 
     #[test]
@@ -278,18 +354,18 @@ mod tests {
             ["stone", "store", "stare", "spare", "space", "grace", "trace", "track"]
                 .map(String::from)
                 .to_vec();
-        let scan = LinearScan::new(words.clone());
+        let scan = LinearScan::new(Levenshtein, words.clone());
         let laesa = Laesa::build(Levenshtein, words, 3, PivotSelection::MaxMin);
         let q = String::from("stack");
-        assert_eq!(laesa.knn(&q, 3), scan.knn(&Levenshtein, &q, 3));
+        assert_eq!(laesa.knn(&q, 3), scan.knn(&q, 3));
     }
 
     #[test]
     fn zero_pivots_degenerates_to_linear_scan() {
         let pts = random_points(30, 2, 9);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let laesa = Laesa::build(L2, pts, 0, PivotSelection::MaxMin);
         let q = vec![0.5, 0.5];
-        assert_eq!(laesa.knn(&q, 3), scan.knn(&L2, &q, 3));
+        assert_eq!(laesa.knn(&q, 3), scan.knn(&q, 3));
     }
 }

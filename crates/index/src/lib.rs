@@ -7,7 +7,27 @@
 //! `pivots` index type").  The cost model is the field's: **count metric
 //! evaluations**, everything else is free.
 //!
-//! Index types:
+//! ## The unified query API
+//!
+//! Every index type answers queries through the same trait family
+//! ([`api`]):
+//!
+//! * [`ProximityIndex`] — the immutable, `Sync` build product; exact
+//!   `knn`/`range` with answers identical to [`LinearScan`];
+//! * [`Searcher`] — a per-session cursor from
+//!   [`ProximityIndex::searcher`] that owns all per-query scratch, is
+//!   `Send`, and counts metric evaluations natively: every query returns
+//!   `(Vec<Neighbor>, QueryStats)`;
+//! * [`ApproxIndex`] / [`ApproxSearcher`] — the budgeted surface of the
+//!   permutation family (`knn_approx`/`range_approx` with a scan
+//!   fraction; `frac = 1.0` is exact).
+//!
+//! On top of the traits sit [`spec`] — build any index by name
+//! ([`IndexSpec`] → [`AnyIndex`]) — and [`serve`] — deterministic batch
+//! serving, sequentially or across scoped worker threads with one
+//! searcher per worker ([`serve::query_batch_parallel`]).
+//!
+//! ## Index types
 //!
 //! * [`LinearScan`] — the naive baseline (n evaluations per query);
 //! * [`Aesa`] — Vidal's AESA: the full O(n²) distance matrix, fewest
@@ -18,16 +38,22 @@
 //!   per element; supports exporting/counting the permutation multiset
 //!   (the paper's measurement) and permutation-ordered approximate search
 //!   (Chávez–Figueroa–Navarro);
+//! * [`FlatDistPermIndex`] — `distperm` over flat
+//!   [`dp_datasets::VectorSet`] storage with batched distance kernels;
+//! * [`PrefixPermIndex`] — truncated permutations (length-ℓ prefixes);
 //! * [`IAesa`] — improved AESA (Figueroa–Chávez–Navarro–Paredes): AESA
 //!   elimination with permutation-similarity candidate ordering;
 //! * [`VpTree`] / [`GhTree`] — classical metric trees (Uhlmann, Yianilos)
-//!   for comparison.
+//!   for comparison;
+//! * [`BkTree`] — Burkhard–Keller tree for integer-valued metrics.
 //!
 //! Exact structures are property-tested to return *identical* answers to
-//! [`LinearScan`]; [`counting::CountingMetric`] instruments any metric so
-//! the harness can report evaluation counts per query.
+//! [`LinearScan`] through the trait surface.  [`counting::CountingMetric`]
+//! remains for instrumenting *build* costs; query costs ride in
+//! [`QueryStats`].
 
 pub mod aesa;
+pub mod api;
 pub mod bktree;
 pub mod counting;
 pub mod distperm;
@@ -39,17 +65,21 @@ pub mod linear;
 pub mod pivots;
 pub mod prefixindex;
 pub mod query;
+pub mod serve;
+pub mod spec;
 pub mod vptree;
 
-pub use aesa::Aesa;
-pub use bktree::BkTree;
+pub use aesa::{Aesa, AesaSearcher};
+pub use api::{ApproxIndex, ApproxSearcher, ProximityIndex, Searcher};
+pub use bktree::{BkSearcher, BkTree};
 pub use counting::CountingMetric;
 pub use distperm::{DistPermIndex, DistPermSearcher, OrderingKind};
 pub use flatperm::{FlatDistPermIndex, FlatDistPermSearcher};
-pub use ghtree::GhTree;
-pub use iaesa::IAesa;
-pub use laesa::{Laesa, PivotSelection};
-pub use linear::LinearScan;
-pub use prefixindex::PrefixPermIndex;
-pub use query::Neighbor;
-pub use vptree::VpTree;
+pub use ghtree::{GhSearcher, GhTree};
+pub use iaesa::{IAesa, IAesaSearcher};
+pub use laesa::{Laesa, LaesaSearcher, PivotSelection};
+pub use linear::{LinearScan, LinearSearcher};
+pub use prefixindex::{PrefixPermIndex, PrefixPermSearcher};
+pub use query::{Neighbor, QueryStats};
+pub use spec::{AnyIndex, AnySearcher, IndexSpec, SpecError};
+pub use vptree::{VpSearcher, VpTree};

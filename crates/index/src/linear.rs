@@ -1,20 +1,24 @@
 //! The naive baseline: measure the distance to everything.
 
-use crate::query::{KnnHeap, Neighbor};
+use crate::api::{ProximityIndex, Searcher};
+use crate::query::{KnnHeap, Neighbor, QueryStats};
 use dp_metric::Metric;
 
 /// Linear scan over an owned database; n metric evaluations per query.
 ///
-/// Serves as ground truth for every other index in the crate's tests.
+/// Serves as ground truth for every other index in the crate's tests:
+/// the [`ProximityIndex`] contract is "identical answers to
+/// [`LinearScan`], hopefully with fewer evaluations".
 #[derive(Debug, Clone)]
-pub struct LinearScan<P> {
+pub struct LinearScan<P, M: Metric<P>> {
+    metric: M,
     points: Vec<P>,
 }
 
-impl<P> LinearScan<P> {
-    /// Wraps a database.
-    pub fn new(points: Vec<P>) -> Self {
-        Self { points }
+impl<P, M: Metric<P>> LinearScan<P, M> {
+    /// Wraps a database and its metric.
+    pub fn new(metric: M, points: Vec<P>) -> Self {
+        Self { metric, points }
     }
 
     /// Database size.
@@ -32,37 +36,95 @@ impl<P> LinearScan<P> {
         &self.points
     }
 
+    /// The owned metric.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// A reusable query session (the linear scan needs no scratch, but
+    /// the session carries the native evaluation counter).
+    pub fn session(&self) -> LinearSearcher<'_, P, M> {
+        LinearSearcher { index: self }
+    }
+
     /// All elements within distance `radius` of `query` (inclusive),
     /// sorted by (distance, id).
-    pub fn range<M: Metric<P>>(
-        &self,
-        metric: &M,
-        query: &P,
-        radius: M::Dist,
-    ) -> Vec<Neighbor<M::Dist>> {
-        let mut out: Vec<Neighbor<M::Dist>> = self
-            .points
+    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        self.session().range(query, radius).0
+    }
+
+    /// The k nearest neighbours of `query`, sorted by (distance, id).
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        self.session().knn(query, k).0
+    }
+}
+
+/// Query session over a [`LinearScan`].
+#[derive(Debug, Clone)]
+pub struct LinearSearcher<'a, P, M: Metric<P>> {
+    index: &'a LinearScan<P, M>,
+}
+
+impl<P, M: Metric<P>> LinearSearcher<'_, P, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &LinearScan<P, M> {
+        self.index
+    }
+
+    /// Exact k-NN; always n metric evaluations.
+    pub fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let points = &self.index.points;
+        if points.is_empty() || k == 0 {
+            return (Vec::new(), QueryStats::default());
+        }
+        let mut heap = KnnHeap::new(k.min(points.len()));
+        for (id, p) in points.iter().enumerate() {
+            heap.push(id, self.index.metric.distance(query, p));
+        }
+        (heap.into_sorted(), QueryStats::new(points.len() as u64))
+    }
+
+    /// Exact range query; always n metric evaluations.
+    pub fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let points = &self.index.points;
+        let mut out: Vec<Neighbor<M::Dist>> = points
             .iter()
             .enumerate()
             .filter_map(|(id, p)| {
-                let d = metric.distance(query, p);
+                let d = self.index.metric.distance(query, p);
                 (d <= radius).then_some(Neighbor { id, dist: d })
             })
             .collect();
         out.sort_unstable();
-        out
+        (out, QueryStats::new(points.len() as u64))
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ProximityIndex<P> for LinearScan<P, M> {
+    type Dist = M::Dist;
+    type Searcher<'s>
+        = LinearSearcher<'s, P, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
     }
 
-    /// The k nearest neighbours of `query`, sorted by (distance, id).
-    pub fn knn<M: Metric<P>>(&self, metric: &M, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
-        let mut heap = KnnHeap::new(k.min(self.points.len()).max(1));
-        for (id, p) in self.points.iter().enumerate() {
-            heap.push(id, metric.distance(query, p));
-        }
-        if self.points.is_empty() {
-            return Vec::new();
-        }
-        heap.into_sorted()
+    fn searcher(&self) -> LinearSearcher<'_, P, M> {
+        self.session()
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> Searcher<P> for LinearSearcher<'_, P, M> {
+    type Dist = M::Dist;
+
+    fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        LinearSearcher::knn(self, query, k)
+    }
+
+    fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        LinearSearcher::range(self, query, radius)
     }
 }
 
@@ -72,40 +134,52 @@ mod tests {
     use crate::counting::CountingMetric;
     use dp_metric::L2;
 
-    fn db() -> LinearScan<Vec<f64>> {
-        LinearScan::new(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![5.0, 5.0]])
+    fn db() -> LinearScan<Vec<f64>, L2> {
+        LinearScan::new(L2, vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![5.0, 5.0]])
     }
 
     #[test]
     fn knn_orders_by_distance() {
-        let ids: Vec<usize> = db().knn(&L2, &vec![0.1, 0.0], 3).iter().map(|n| n.id).collect();
+        let ids: Vec<usize> = db().knn(&vec![0.1, 0.0], 3).iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 
     #[test]
     fn range_is_inclusive() {
-        let r = db().range(&L2, &vec![0.0, 0.0], dp_metric::F64Dist::new(2.0));
+        let r = db().range(&vec![0.0, 0.0], dp_metric::F64Dist::new(2.0));
         assert_eq!(r.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]
-    fn knn_costs_exactly_n_evaluations() {
-        let m = CountingMetric::new(L2);
-        let s = db();
-        let _ = s.knn(&m, &vec![0.0, 0.0], 2);
-        assert_eq!(m.count(), 4);
+    fn stats_report_exactly_n_evaluations() {
+        let (out, stats) = db().query_knn(&vec![0.0, 0.0], 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats, QueryStats::new(4));
+        let (_, stats) = db().query_range(&vec![0.0, 0.0], dp_metric::F64Dist::new(1.0));
+        assert_eq!(stats.metric_evals, 4);
+    }
+
+    #[test]
+    fn counting_metric_agrees_with_native_stats() {
+        let s = LinearScan::new(
+            CountingMetric::new(L2),
+            vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![5.0, 5.0]],
+        );
+        let _ = s.knn(&vec![0.0, 0.0], 2);
+        assert_eq!(s.metric().count(), 4);
     }
 
     #[test]
     fn empty_database() {
-        let s: LinearScan<Vec<f64>> = LinearScan::new(vec![]);
+        let s: LinearScan<Vec<f64>, L2> = LinearScan::new(L2, vec![]);
         assert!(s.is_empty());
-        assert!(s.knn(&L2, &vec![0.0], 3).is_empty());
+        assert!(s.knn(&vec![0.0], 3).is_empty());
+        assert_eq!(s.query_knn(&vec![0.0], 3).1, QueryStats::default());
     }
 
     #[test]
     fn k_larger_than_n_returns_all() {
-        let out = db().knn(&L2, &vec![0.0, 0.0], 10);
+        let out = db().knn(&vec![0.0, 0.0], 10);
         assert_eq!(out.len(), 4);
     }
 }

@@ -9,8 +9,9 @@
 //! blunter candidate ordering.  [`PrefixPermIndex`] makes that trade-off
 //! measurable against the full-permutation [`crate::DistPermIndex`].
 
+use crate::api::{ApproxIndex, ApproxSearcher, ProximityIndex, Searcher};
 use crate::laesa::{choose_pivots, PivotSelection};
-use crate::query::{KnnHeap, Neighbor};
+use crate::query::{budgeted_knn_scan, budgeted_order, budgeted_range_scan, Neighbor, QueryStats};
 use dp_metric::Metric;
 use dp_permutation::encoding::element_bits;
 use dp_permutation::fxhash::FxHashSet;
@@ -18,11 +19,15 @@ use dp_permutation::prefix::{prefix_footrule, PrefixPermutation};
 use dp_permutation::DistPermComputer;
 
 /// Distance-permutation index storing length-ℓ prefixes.
+///
+/// Sites are materialised once at build time, so a query costs k metric
+/// evaluations plus prefix comparisons.
 #[derive(Debug, Clone)]
 pub struct PrefixPermIndex<P, M: Metric<P>> {
     metric: M,
     points: Vec<P>,
     site_ids: Vec<usize>,
+    sites: Vec<P>,
     prefixes: Vec<PrefixPermutation>,
     prefix_len: usize,
 }
@@ -67,9 +72,11 @@ impl<P: Clone, M: Metric<P>> PrefixPermIndex<P, M> {
                 PrefixPermutation::from_permutation(&full, prefix_len)
             })
             .collect();
-        Self { metric, points, site_ids, prefixes, prefix_len }
+        Self { metric, points, site_ids, sites, prefixes, prefix_len }
     }
+}
 
+impl<P, M: Metric<P>> PrefixPermIndex<P, M> {
     /// Database size.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -93,6 +100,11 @@ impl<P: Clone, M: Metric<P>> PrefixPermIndex<P, M> {
     /// The site element ids.
     pub fn site_ids(&self) -> &[usize] {
         &self.site_ids
+    }
+
+    /// The cached site points, parallel to [`Self::site_ids`].
+    pub fn sites(&self) -> &[P] {
+        &self.sites
     }
 
     /// The owned metric (for evaluation counting).
@@ -128,33 +140,176 @@ impl<P: Clone, M: Metric<P>> PrefixPermIndex<P, M> {
 
     /// The query's length-ℓ prefix (k metric evaluations).
     pub fn query_prefix(&self, query: &P) -> PrefixPermutation {
-        let sites: Vec<P> = self.site_ids.iter().map(|&i| self.points[i].clone()).collect();
-        let mut computer = DistPermComputer::new(self.k());
-        let full = computer.compute(&self.metric, &sites, query);
-        PrefixPermutation::from_permutation(&full, self.prefix_len)
+        self.session().query_prefix(query)
+    }
+
+    /// A reusable query cursor (permutation scratch and candidate buffer
+    /// allocated once).
+    pub fn session(&self) -> PrefixPermSearcher<'_, P, M> {
+        PrefixPermSearcher {
+            index: self,
+            computer: DistPermComputer::new(self.k()),
+            order: Vec::new(),
+        }
     }
 
     /// Approximate k-NN: measure the `frac` fraction of the database
     /// whose stored prefix is most similar (induced footrule) to the
     /// query's.  `frac = 1.0` measures everything and is exact.
     pub fn knn_approx(&self, query: &P, k: usize, frac: f64) -> Vec<Neighbor<M::Dist>> {
-        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
-        if self.points.is_empty() {
-            return Vec::new();
-        }
-        let qpre = self.query_prefix(query);
-        let mut order: Vec<(u64, usize)> =
-            self.prefixes.iter().enumerate().map(|(i, p)| (prefix_footrule(&qpre, p), i)).collect();
-        order.sort_unstable();
-        let budget = ((frac * self.points.len() as f64).ceil() as usize)
-            .clamp(k.min(self.points.len()), self.points.len());
-        let mut heap = KnnHeap::new(k.min(self.points.len()));
-        for &(_, i) in order.iter().take(budget) {
-            heap.push(i, self.metric.distance(query, &self.points[i]));
-        }
-        heap.into_sorted()
+        self.session().knn_approx(query, k, frac).0
+    }
+
+    /// Approximate range query over the `frac` prefix-nearest fraction
+    /// (subset of the true answer; `frac = 1.0` is exact).
+    pub fn range_approx(&self, query: &P, radius: M::Dist, frac: f64) -> Vec<Neighbor<M::Dist>> {
+        self.session().range_approx(query, radius, frac).0
     }
 }
+
+/// Reusable query cursor over a [`PrefixPermIndex`].
+#[derive(Debug, Clone)]
+pub struct PrefixPermSearcher<'a, P, M: Metric<P>> {
+    index: &'a PrefixPermIndex<P, M>,
+    computer: DistPermComputer<M::Dist>,
+    order: Vec<(u64, usize)>,
+}
+
+impl<P, M: Metric<P>> PrefixPermSearcher<'_, P, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &PrefixPermIndex<P, M> {
+        self.index
+    }
+
+    /// The query's length-ℓ prefix (k metric evaluations), using the
+    /// cursor's scratch.
+    pub fn query_prefix(&mut self, query: &P) -> PrefixPermutation {
+        query_prefix_with(self.index, &mut self.computer, query)
+    }
+
+    /// Budgeted k-NN over the `frac` prefix-nearest fraction.
+    ///
+    /// Candidate ordering is by induced prefix footrule, through the
+    /// same select-then-sort-prefix fast path as the full-permutation
+    /// searchers (keys `(footrule, id)` are distinct, so the prefix
+    /// equals the full sort's).
+    pub fn knn_approx(
+        &mut self,
+        query: &P,
+        k: usize,
+        frac: f64,
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        let computer = &mut self.computer;
+        budgeted_knn_scan(
+            index.points.len(),
+            k,
+            frac,
+            index.k(),
+            &mut self.order,
+            |budget, order| {
+                let qpre = query_prefix_with(index, computer, query);
+                budgeted_order(
+                    index.prefixes.iter().map(|p| prefix_footrule(&qpre, p)),
+                    budget,
+                    order,
+                );
+            },
+            |i| index.metric.distance(query, &index.points[i]),
+        )
+    }
+
+    /// Budgeted range query; a subset of the true answer, exact at
+    /// `frac = 1.0`.
+    pub fn range_approx(
+        &mut self,
+        query: &P,
+        radius: M::Dist,
+        frac: f64,
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        let computer = &mut self.computer;
+        budgeted_range_scan(
+            index.points.len(),
+            frac,
+            index.k(),
+            radius,
+            &mut self.order,
+            |budget, order| {
+                let qpre = query_prefix_with(index, computer, query);
+                budgeted_order(
+                    index.prefixes.iter().map(|p| prefix_footrule(&qpre, p)),
+                    budget,
+                    order,
+                );
+            },
+            |i| index.metric.distance(query, &index.points[i]),
+        )
+    }
+}
+
+/// The prefix computation, taking the searcher's scratch by parts so
+/// the budgeted-scan closures can borrow disjoint fields.
+fn query_prefix_with<P, M: Metric<P>>(
+    index: &PrefixPermIndex<P, M>,
+    computer: &mut DistPermComputer<M::Dist>,
+    query: &P,
+) -> PrefixPermutation {
+    let full = computer.compute(&index.metric, &index.sites, query);
+    PrefixPermutation::from_permutation(&full, index.prefix_len)
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ProximityIndex<P> for PrefixPermIndex<P, M> {
+    type Dist = M::Dist;
+    type Searcher<'s>
+        = PrefixPermSearcher<'s, P, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn searcher(&self) -> PrefixPermSearcher<'_, P, M> {
+        self.session()
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> Searcher<P> for PrefixPermSearcher<'_, P, M> {
+    type Dist = M::Dist;
+
+    /// Exact k-NN as the full-budget scan (k + n evaluations).
+    fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        self.knn_approx(query, k, 1.0)
+    }
+
+    /// Exact range query as the full-budget scan (k + n evaluations).
+    fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        PrefixPermSearcher::range_approx(self, query, radius, 1.0)
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ApproxSearcher<P> for PrefixPermSearcher<'_, P, M> {
+    fn knn_approx(
+        &mut self,
+        query: &P,
+        k: usize,
+        frac: f64,
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        PrefixPermSearcher::knn_approx(self, query, k, frac)
+    }
+
+    fn range_approx(
+        &mut self,
+        query: &P,
+        radius: M::Dist,
+        frac: f64,
+    ) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        PrefixPermSearcher::range_approx(self, query, radius, frac)
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ApproxIndex<P> for PrefixPermIndex<P, M> {}
 
 #[cfg(test)]
 mod tests {
@@ -202,24 +357,49 @@ mod tests {
     #[test]
     fn full_budget_knn_is_exact() {
         let pts = random_points(300, 3, 4);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let idx = PrefixPermIndex::build(L2, pts, 8, 3, PivotSelection::MaxMin);
         for q in random_points(10, 3, 5) {
-            assert_eq!(idx.knn_approx(&q, 4, 1.0), scan.knn(&L2, &q, 4));
+            assert_eq!(idx.knn_approx(&q, 4, 1.0), scan.knn(&q, 4));
+        }
+    }
+
+    #[test]
+    fn range_approx_full_budget_matches_linear_scan() {
+        let pts = random_points(250, 2, 11);
+        let scan = LinearScan::new(L2, pts.clone());
+        let idx = PrefixPermIndex::build(L2, pts, 8, 4, PivotSelection::MaxMin);
+        for q in random_points(8, 2, 12) {
+            let radius = dp_metric::F64Dist::new(0.25);
+            assert_eq!(idx.range_approx(&q, radius, 1.0), scan.range(&q, radius));
+        }
+    }
+
+    #[test]
+    fn range_approx_budgeted_is_subset_of_truth() {
+        let pts = random_points(400, 3, 13);
+        let scan = LinearScan::new(L2, pts.clone());
+        let idx = PrefixPermIndex::build(L2, pts, 10, 5, PivotSelection::MaxMin);
+        for q in random_points(8, 3, 14) {
+            let radius = dp_metric::F64Dist::new(0.3);
+            let truth = scan.range(&q, radius);
+            for n in &idx.range_approx(&q, radius, 0.2) {
+                assert!(truth.contains(n), "false positive {n:?}");
+            }
         }
     }
 
     #[test]
     fn budgeted_knn_recall_grows_with_prefix_length() {
         let pts = random_points(1500, 3, 6);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let queries = random_points(40, 3, 7);
         let recall = |l: usize| {
             let idx = PrefixPermIndex::build(L2, pts.clone(), 12, l, PivotSelection::MaxMin);
             queries
                 .iter()
                 .filter(|q| {
-                    let truth = scan.knn(&L2, q, 1)[0].id;
+                    let truth = scan.knn(q, 1)[0].id;
                     idx.knn_approx(q, 1, 0.08).first().map(|n| n.id) == Some(truth)
                 })
                 .count()
@@ -247,6 +427,18 @@ mod tests {
         let idx = PrefixPermIndex::build(L2, pts.clone(), 5, 2, PivotSelection::Prefix);
         for (i, p) in pts.iter().enumerate().step_by(13) {
             assert_eq!(idx.query_prefix(p), idx.prefixes()[i]);
+        }
+    }
+
+    #[test]
+    fn searcher_reuse_matches_one_shot_and_counts_evals() {
+        let pts = random_points(300, 2, 15);
+        let idx = PrefixPermIndex::build(L2, pts, 6, 3, PivotSelection::MaxMin);
+        let mut searcher = idx.session();
+        for q in random_points(8, 2, 16) {
+            let (got, stats) = searcher.knn_approx(&q, 3, 0.1);
+            assert_eq!(got, idx.knn_approx(&q, 3, 0.1));
+            assert_eq!(stats, QueryStats::new(6 + 30));
         }
     }
 

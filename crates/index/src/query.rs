@@ -1,4 +1,4 @@
-//! Query result types and shared k-NN bookkeeping.
+//! Query result types, per-query statistics and shared k-NN bookkeeping.
 
 use dp_metric::Distance;
 use std::collections::BinaryHeap;
@@ -23,6 +23,47 @@ impl<D: Distance> Ord for Neighbor<D> {
         // (distance, id): deterministic total order mirrors the paper's
         // distance-permutation tie-break.
         self.dist.cmp(&other.dist).then(self.id.cmp(&other.id))
+    }
+}
+
+/// Cost accounting for one proximity query.
+///
+/// Proximity-search research compares index structures by **metric
+/// evaluations per query** — the metric is assumed to dominate every
+/// other cost.  Each [`crate::Searcher`] counts its own evaluations with
+/// a plain integer and returns them here, so the count rides along with
+/// the answer instead of living in a shared-interior-mutability wrapper
+/// ([`crate::CountingMetric`] remains for instrumenting *build* costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Metric (distance-function) evaluations performed for this query.
+    pub metric_evals: u64,
+}
+
+impl QueryStats {
+    /// Stats for a query that performed `metric_evals` evaluations.
+    pub const fn new(metric_evals: u64) -> Self {
+        Self { metric_evals }
+    }
+
+    /// Accumulates another query's stats into this one.
+    pub fn merge(&mut self, other: QueryStats) {
+        self.metric_evals += other.metric_evals;
+    }
+}
+
+impl std::ops::Add for QueryStats {
+    type Output = QueryStats;
+
+    fn add(mut self, rhs: QueryStats) -> QueryStats {
+        self.merge(rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for QueryStats {
+    fn sum<I: Iterator<Item = QueryStats>>(iter: I) -> QueryStats {
+        iter.fold(QueryStats::default(), |acc, s| acc + s)
     }
 }
 
@@ -58,11 +99,24 @@ impl<D: Distance> KnnHeap<D> {
     }
 
     /// True iff a candidate at distance `d` could still enter the result.
+    ///
+    /// **Contract: deliberately inclusive on distance ties.**  The heap
+    /// orders candidates by `(distance, id)`, so when the heap is full a
+    /// candidate at exactly the bound distance displaces the incumbent
+    /// only if its id is smaller; with a larger id, [`Self::push`]
+    /// immediately pops it back out and [`Self::into_sorted`] never sees
+    /// it.  `admits` cannot know the candidate's id, so it must say *yes*
+    /// to every distance tie:
+    ///
+    /// * admitting a tie that loses is harmless (one wasted evaluation —
+    ///   the push is a no-op for the final answer);
+    /// * **rejecting** a tie would be a correctness bug: a smaller-id tie
+    ///   must be able to enter, or exact indexes would disagree with
+    ///   [`crate::LinearScan`]'s `(distance, id)` order on tied
+    ///   distances.
     pub fn admits(&self, d: D) -> bool {
         match self.bound() {
             None => true,
-            // Strict comparison on (dist, id) handled by callers; a tie on
-            // distance with a larger id loses, but admitting it is safe.
             Some(b) => d <= b,
         }
     }
@@ -73,6 +127,94 @@ impl<D: Distance> KnnHeap<D> {
         v.sort_unstable();
         v
     }
+}
+
+/// Fills `order` with `(key, id)` pairs from `keys` so that the first
+/// `budget` entries equal the first `budget` entries of a full sort —
+/// the budgeted candidate-ordering fast path shared by the
+/// permutation-family searchers.
+///
+/// Keys are `(key, id)`, which are distinct, so partitioning with
+/// `select_nth_unstable` and sorting only the prefix yields **exactly**
+/// the same prefix as sorting all n — O(n + budget·log budget) instead
+/// of O(n·log n) when the scan budget is below n.
+pub(crate) fn budgeted_order(
+    keys: impl Iterator<Item = u64>,
+    budget: usize,
+    order: &mut Vec<(u64, usize)>,
+) {
+    order.clear();
+    order.extend(keys.enumerate().map(|(i, key)| (key, i)));
+    if budget == 0 {
+        return;
+    }
+    if budget < order.len() {
+        order.select_nth_unstable(budget - 1);
+        order[..budget].sort_unstable();
+    } else {
+        order.sort_unstable();
+    }
+}
+
+/// The shared budgeted k-NN scan of the permutation-family searchers
+/// ([`crate::DistPermSearcher`], [`crate::FlatDistPermSearcher`],
+/// [`crate::PrefixPermSearcher`]): validate `frac`, clamp the budget to
+/// `[min(k, n), n]`, fill the candidate order via `order_with(budget,
+/// order)`, measure the first `budget` candidates with `dist`, and
+/// account `sites_k + budget` metric evaluations.
+///
+/// `n == 0` and `k == 0` short-circuit to an empty answer with zero
+/// evaluations (before any candidate ordering runs).
+pub(crate) fn budgeted_knn_scan<D: Distance>(
+    n: usize,
+    k: usize,
+    frac: f64,
+    sites_k: usize,
+    order: &mut Vec<(u64, usize)>,
+    order_with: impl FnOnce(usize, &mut Vec<(u64, usize)>),
+    mut dist: impl FnMut(usize) -> D,
+) -> (Vec<Neighbor<D>>, QueryStats) {
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+    if n == 0 || k == 0 {
+        return (Vec::new(), QueryStats::default());
+    }
+    let budget = ((frac * n as f64).ceil() as usize).clamp(k.min(n), n);
+    order_with(budget, order);
+    let mut heap = KnnHeap::new(k.min(n));
+    for &(_, i) in order.iter().take(budget) {
+        heap.push(i, dist(i));
+    }
+    (heap.into_sorted(), QueryStats::new((sites_k + budget) as u64))
+}
+
+/// The budgeted range-query counterpart of [`budgeted_knn_scan`]:
+/// budget is `⌈frac·n⌉` (no k floor), every measured candidate within
+/// `radius` is reported, sorted by `(distance, id)`.
+pub(crate) fn budgeted_range_scan<D: Distance>(
+    n: usize,
+    frac: f64,
+    sites_k: usize,
+    radius: D,
+    order: &mut Vec<(u64, usize)>,
+    order_with: impl FnOnce(usize, &mut Vec<(u64, usize)>),
+    mut dist: impl FnMut(usize) -> D,
+) -> (Vec<Neighbor<D>>, QueryStats) {
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+    if n == 0 {
+        return (Vec::new(), QueryStats::default());
+    }
+    let budget = ((frac * n as f64).ceil() as usize).min(n);
+    order_with(budget, order);
+    let mut out: Vec<Neighbor<D>> = order
+        .iter()
+        .take(budget)
+        .filter_map(|&(_, i)| {
+            let d = dist(i);
+            (d <= radius).then_some(Neighbor { id: i, dist: d })
+        })
+        .collect();
+    out.sort_unstable();
+    (out, QueryStats::new((sites_k + budget) as u64))
 }
 
 #[cfg(test)]
@@ -128,8 +270,51 @@ mod tests {
     }
 
     #[test]
+    fn admits_is_inclusive_on_ties_and_push_resolves_them_by_id() {
+        // Regression test for the admits/into_sorted contract: a full heap
+        // admits every candidate at exactly the bound distance, but only
+        // smaller-id ties actually displace the incumbent.
+        let mut h = KnnHeap::new(2);
+        h.push(3, 5u64);
+        h.push(6, 5);
+        assert_eq!(h.bound(), Some(5));
+        assert!(h.admits(5), "distance ties must be admitted");
+
+        // Larger-id tie: admitted, pushed, silently dropped.
+        h.push(9, 5);
+        assert_eq!(h.clone().into_sorted().iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 6]);
+
+        // Smaller-id tie: admitted and *must* displace the largest-id
+        // incumbent — this is why admits cannot use a strict comparison.
+        h.push(1, 5);
+        assert_eq!(h.into_sorted().iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
     #[should_panic(expected = "k = 0")]
     fn zero_k_rejected() {
         let _ = KnnHeap::<u64>::new(0);
+    }
+
+    #[test]
+    fn query_stats_sum_and_merge() {
+        let total: QueryStats =
+            [QueryStats::new(3), QueryStats::new(4), QueryStats::default()].into_iter().sum();
+        assert_eq!(total, QueryStats::new(7));
+        let mut s = QueryStats::new(1);
+        s.merge(QueryStats::new(2));
+        assert_eq!(s + QueryStats::new(10), QueryStats::new(13));
+    }
+
+    #[test]
+    fn budgeted_order_matches_full_sort_prefix() {
+        let keys: Vec<u64> = (0..97).map(|i| (i * 7919) % 1000).collect();
+        let mut full = Vec::new();
+        budgeted_order(keys.iter().copied(), keys.len(), &mut full);
+        for budget in [0usize, 1, 13, 96, 97] {
+            let mut got = Vec::new();
+            budgeted_order(keys.iter().copied(), budget, &mut got);
+            assert_eq!(&got[..budget], &full[..budget], "budget {budget}");
+        }
     }
 }

@@ -5,7 +5,8 @@
 //! search algorithm attempts to exclude subtrees").  Included as the
 //! tree-structured baseline next to the matrix-based AESA family.
 
-use crate::query::{KnnHeap, Neighbor};
+use crate::api::{ProximityIndex, Searcher};
+use crate::query::{KnnHeap, Neighbor, QueryStats};
 use dp_metric::{Distance, Metric};
 
 const LEAF_SIZE: usize = 8;
@@ -90,48 +91,46 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         &self.metric
     }
 
-    /// Exact k nearest neighbours.
-    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
-        if self.points.is_empty() {
-            return Vec::new();
-        }
-        let mut heap = KnnHeap::new(k.min(self.points.len()));
-        self.knn_node(self.root, query, &mut heap);
-        heap.into_sorted()
+    /// A reusable query session (the traversal lives on the call stack;
+    /// the session carries the native evaluation counter).
+    pub fn session(&self) -> VpSearcher<'_, P, M> {
+        VpSearcher { index: self }
     }
 
-    fn knn_node(&self, node: usize, query: &P, heap: &mut KnnHeap<M::Dist>) {
+    /// Exact k nearest neighbours.
+    pub fn knn(&self, query: &P, k: usize) -> Vec<Neighbor<M::Dist>> {
+        self.session().knn(query, k).0
+    }
+
+    /// All elements within `radius` (inclusive), sorted by (distance, id).
+    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
+        self.session().range(query, radius).0
+    }
+
+    fn knn_node(&self, node: usize, query: &P, heap: &mut KnnHeap<M::Dist>, evals: &mut u64) {
         match &self.nodes[node] {
             Node::Leaf { ids } => {
                 for &i in ids {
+                    *evals += 1;
                     heap.push(i, self.metric.distance(query, &self.points[i]));
                 }
             }
             Node::Inner { vantage, mu, inside, outside } => {
+                *evals += 1;
                 let d = self.metric.distance(query, &self.points[*vantage]);
                 heap.push(*vantage, d);
                 let df = d.to_f64();
                 let (first, second) =
                     if df <= *mu { (*inside, *outside) } else { (*outside, *inside) };
-                self.knn_node(first, query, heap);
+                self.knn_node(first, query, heap, evals);
                 let tau = heap.bound().map_or(f64::INFINITY, |b| b.to_f64());
                 let second_viable =
                     if second == *inside { df - tau <= *mu } else { df + tau > *mu };
                 if second_viable {
-                    self.knn_node(second, query, heap);
+                    self.knn_node(second, query, heap, evals);
                 }
             }
         }
-    }
-
-    /// All elements within `radius` (inclusive), sorted by (distance, id).
-    pub fn range(&self, query: &P, radius: M::Dist) -> Vec<Neighbor<M::Dist>> {
-        let mut out = Vec::new();
-        if !self.points.is_empty() {
-            self.range_node(self.root, query, radius, &mut out);
-        }
-        out.sort_unstable();
-        out
     }
 
     fn range_node(
@@ -140,10 +139,12 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         query: &P,
         radius: M::Dist,
         out: &mut Vec<Neighbor<M::Dist>>,
+        evals: &mut u64,
     ) {
         match &self.nodes[node] {
             Node::Leaf { ids } => {
                 for &i in ids {
+                    *evals += 1;
                     let d = self.metric.distance(query, &self.points[i]);
                     if d <= radius {
                         out.push(Neighbor { id: i, dist: d });
@@ -151,6 +152,7 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 }
             }
             Node::Inner { vantage, mu, inside, outside } => {
+                *evals += 1;
                 let d = self.metric.distance(query, &self.points[*vantage]);
                 if d <= radius {
                     out.push(Neighbor { id: *vantage, dist: d });
@@ -158,13 +160,78 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 let df = d.to_f64();
                 let r = radius.to_f64();
                 if df - r <= *mu {
-                    self.range_node(*inside, query, radius, out);
+                    self.range_node(*inside, query, radius, out, evals);
                 }
                 if df + r > *mu {
-                    self.range_node(*outside, query, radius, out);
+                    self.range_node(*outside, query, radius, out, evals);
                 }
             }
         }
+    }
+}
+
+/// Query session over a [`VpTree`].
+#[derive(Debug, Clone)]
+pub struct VpSearcher<'a, P, M: Metric<P>> {
+    index: &'a VpTree<P, M>,
+}
+
+impl<P, M: Metric<P>> VpSearcher<'_, P, M> {
+    /// The underlying index.
+    pub fn index(&self) -> &VpTree<P, M> {
+        self.index
+    }
+
+    /// Exact k-NN with subtree pruning.
+    pub fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        if index.points.is_empty() || k == 0 {
+            return (Vec::new(), QueryStats::default());
+        }
+        let mut heap = KnnHeap::new(k.min(index.points.len()));
+        let mut evals = 0u64;
+        index.knn_node(index.root, query, &mut heap, &mut evals);
+        (heap.into_sorted(), QueryStats::new(evals))
+    }
+
+    /// Exact range query with subtree pruning.
+    pub fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        let index = self.index;
+        let mut out = Vec::new();
+        let mut evals = 0u64;
+        if !index.points.is_empty() {
+            index.range_node(index.root, query, radius, &mut out, &mut evals);
+        }
+        out.sort_unstable();
+        (out, QueryStats::new(evals))
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> ProximityIndex<P> for VpTree<P, M> {
+    type Dist = M::Dist;
+    type Searcher<'s>
+        = VpSearcher<'s, P, M>
+    where
+        Self: 's;
+
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn searcher(&self) -> VpSearcher<'_, P, M> {
+        self.session()
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> Searcher<P> for VpSearcher<'_, P, M> {
+    type Dist = M::Dist;
+
+    fn knn(&mut self, query: &P, k: usize) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        VpSearcher::knn(self, query, k)
+    }
+
+    fn range(&mut self, query: &P, radius: M::Dist) -> (Vec<Neighbor<M::Dist>>, QueryStats) {
+        VpSearcher::range(self, query, radius)
     }
 }
 
@@ -185,39 +252,49 @@ mod tests {
     #[test]
     fn knn_matches_linear_scan() {
         let pts = random_points(400, 3, 1);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let tree = VpTree::build(L2, pts);
         for q in random_points(30, 3, 2) {
-            assert_eq!(tree.knn(&q, 5), scan.knn(&L2, &q, 5), "query {q:?}");
+            assert_eq!(tree.knn(&q, 5), scan.knn(&q, 5), "query {q:?}");
         }
     }
 
     #[test]
     fn range_matches_linear_scan() {
         let pts = random_points(300, 2, 3);
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let tree = VpTree::build(L2, pts);
         for q in random_points(20, 2, 4) {
             for r in [0.05, 0.2, 0.6] {
                 let radius = F64Dist::new(r);
-                assert_eq!(tree.range(&q, radius), scan.range(&L2, &q, radius));
+                assert_eq!(tree.range(&q, radius), scan.range(&q, radius));
             }
         }
     }
 
     #[test]
-    fn prunes_in_low_dimension() {
+    fn native_stats_prune_in_low_dimension() {
         let pts = random_points(2000, 2, 5);
-        let tree = VpTree::build(CountingMetric::new(L2), pts);
-        let mut total = 0u64;
+        let tree = VpTree::build(L2, pts);
         let queries = random_points(20, 2, 6);
-        for q in &queries {
-            tree.metric().reset();
-            let _ = tree.knn(q, 1);
-            total += tree.metric().count();
-        }
+        let mut session = tree.session();
+        let total: u64 = queries.iter().map(|q| session.knn(q, 1).1.metric_evals).sum();
         let mean = total as f64 / queries.len() as f64;
         assert!(mean < 700.0, "VP-tree averaged {mean} evals on n=2000");
+    }
+
+    #[test]
+    fn native_stats_agree_with_counting_metric() {
+        let pts = random_points(400, 2, 8);
+        let tree = VpTree::build(CountingMetric::new(L2), pts);
+        for q in random_points(10, 2, 9) {
+            tree.metric().reset();
+            let (_, stats) = tree.session().knn(&q, 3);
+            assert_eq!(stats.metric_evals, tree.metric().count());
+            tree.metric().reset();
+            let (_, stats) = tree.session().range(&q, F64Dist::new(0.15));
+            assert_eq!(stats.metric_evals, tree.metric().count());
+        }
     }
 
     #[test]
@@ -228,20 +305,20 @@ mod tests {
         ]
         .map(String::from)
         .to_vec();
-        let scan = LinearScan::new(words.clone());
+        let scan = LinearScan::new(Levenshtein, words.clone());
         let tree = VpTree::build(Levenshtein, words);
         let q = String::from("sable");
-        assert_eq!(tree.knn(&q, 4), scan.knn(&Levenshtein, &q, 4));
+        assert_eq!(tree.knn(&q, 4), scan.knn(&q, 4));
     }
 
     #[test]
     fn duplicate_points_handled() {
         let mut pts = vec![vec![0.5, 0.5]; 40];
         pts.extend(random_points(40, 2, 7));
-        let scan = LinearScan::new(pts.clone());
+        let scan = LinearScan::new(L2, pts.clone());
         let tree = VpTree::build(L2, pts);
         let q = vec![0.5, 0.5];
-        assert_eq!(tree.knn(&q, 3), scan.knn(&L2, &q, 3));
+        assert_eq!(tree.knn(&q, 3), scan.knn(&q, 3));
     }
 
     #[test]

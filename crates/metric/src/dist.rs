@@ -15,7 +15,11 @@ use std::hash::{Hash, Hasher};
 /// statistics (e.g. the intrinsic-dimensionality estimator ρ); ordering and
 /// equality decisions inside the library always use the exact `Ord`
 /// implementation.
-pub trait Distance: Copy + Eq + Ord + Hash + fmt::Debug {
+///
+/// Distances are plain values (`Send + Sync`) so that query results can
+/// cross thread boundaries — the contract `dp-index`'s parallel batch
+/// serving relies on.
+pub trait Distance: Copy + Eq + Ord + Hash + fmt::Debug + Send + Sync + 'static {
     /// The zero distance (d(x, x)).
     const ZERO: Self;
 

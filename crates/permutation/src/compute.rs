@@ -103,7 +103,7 @@ const FLAT_BLOCK_ROWS: usize = 64;
 ///
 /// The batched equivalent of [`database_permutations`]: distances come
 /// from [`BatchDistance::batch_distances`] (site-transposed, vectorizable
-/// across the k accumulators) in blocks of [`FLAT_BLOCK_ROWS`] rows, and
+/// across the k accumulators) in blocks of 64 rows, and
 /// each row's sort runs on a stack scratch — no per-row allocation.
 /// Results are **identical** (bit-for-bit distances, same tie-break) to
 /// the per-point path.

@@ -4,11 +4,15 @@
 //! LAESA, iAESA and a linear scan — the §1 storyline (AESA → LAESA →
 //! distance permutations) on live data.
 //!
+//! Costs come from the unified query API: every index serves through a
+//! `ProximityIndex` searcher session whose answers carry native
+//! `QueryStats`, so no counting wrapper is involved.
+//!
 //! Run with: `cargo run --release --example index_search`
 
 use distance_permutations::datasets::dictionary::{generate_words, language_profiles};
 use distance_permutations::index::laesa::PivotSelection;
-use distance_permutations::index::{CountingMetric, DistPermIndex, IAesa, Laesa, LinearScan};
+use distance_permutations::index::{DistPermIndex, IAesa, Laesa, LinearScan, ProximityIndex};
 use distance_permutations::metric::Levenshtein;
 
 fn main() {
@@ -21,15 +25,10 @@ fn main() {
     println!("database: {n} synthetic English words, Levenshtein metric, k = {k} sites\n");
 
     // Ground truth.
-    let scan = LinearScan::new(words.clone());
+    let scan = LinearScan::new(Levenshtein, words.clone());
 
     // distperm: permutations only — the paper's storage-light index.
-    let dp = DistPermIndex::build(
-        CountingMetric::new(Levenshtein),
-        words.clone(),
-        k,
-        PivotSelection::MaxMin,
-    );
+    let dp = DistPermIndex::build(Levenshtein, words.clone(), k, PivotSelection::MaxMin);
     println!(
         "distperm index: {} distinct permutations across {n} words; codebook id = {} bits/word",
         dp.distinct_permutations(),
@@ -37,32 +36,32 @@ fn main() {
     );
 
     // LAESA for comparison.
-    let laesa =
-        Laesa::build(CountingMetric::new(Levenshtein), words.clone(), k, PivotSelection::MaxMin);
+    let laesa = Laesa::build(Levenshtein, words.clone(), k, PivotSelection::MaxMin);
     // iAESA (exact, matrix-backed, permutation-ordered).
-    let iaesa =
-        IAesa::build(CountingMetric::new(Levenshtein), words.clone(), k, PivotSelection::MaxMin);
+    let iaesa = IAesa::build(Levenshtein, words.clone(), k, PivotSelection::MaxMin);
+
+    // One reusable searcher session per index — the serving shape.
+    let mut dp_session = dp.searcher();
+    let mut laesa_session = laesa.searcher();
+    let mut iaesa_session = iaesa.searcher();
 
     let mut dp_evals = 0u64;
     let mut dp_hits = 0usize;
     let mut laesa_evals = 0u64;
     let mut iaesa_evals = 0u64;
     for q in &queries {
-        let truth = scan.knn(&Levenshtein, q, 3);
+        let truth = scan.knn(q, 3);
 
-        dp.metric().reset();
-        let approx = dp.knn_approx(q, 3, 0.1);
-        dp_evals += dp.metric().count();
+        let (approx, stats) = dp_session.knn_approx(q, 3, 0.1);
+        dp_evals += stats.metric_evals;
         dp_hits += approx.iter().filter(|n| truth.iter().any(|t| t.id == n.id)).count();
 
-        laesa.metric().reset();
-        let exact = laesa.knn(q, 3);
-        laesa_evals += laesa.metric().count();
+        let (exact, stats) = laesa_session.knn(q, 3);
+        laesa_evals += stats.metric_evals;
         assert_eq!(exact, truth, "LAESA must be exact");
 
-        iaesa.metric().reset();
-        let exact2 = iaesa.knn(q, 3);
-        iaesa_evals += iaesa.metric().count();
+        let (exact2, stats) = iaesa_session.knn(q, 3);
+        iaesa_evals += stats.metric_evals;
         assert_eq!(exact2, truth, "iAESA must be exact");
     }
 
@@ -79,7 +78,7 @@ fn main() {
 
     // Show one query end to end.
     let q = &queries[0];
-    let nn = scan.knn(&Levenshtein, q, 3);
+    let nn = scan.knn(q, 3);
     println!("\nexample query {q:?}:");
     for n in nn {
         println!("  {:<18} distance {}", format!("{:?}", scan.points()[n.id]), n.dist);

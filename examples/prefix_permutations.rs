@@ -21,8 +21,8 @@ fn main() {
     let (n, d, k) = (20_000usize, 3usize, 12usize);
     let db = uniform_unit_cube(n, d, 99);
     let queries = uniform_unit_cube(200, d, 100);
-    let scan = LinearScan::new(db.clone());
-    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(&L2, q, 1)[0].id).collect();
+    let scan = LinearScan::new(L2, db.clone());
+    let truth: Vec<usize> = queries.iter().map(|q| scan.knn(q, 1)[0].id).collect();
 
     println!("n = {n}, d = {d}, k = {k} sites (MaxMin), 1-NN recall at 5% budget\n");
     println!("{:>3} {:>10} {:>12} {:>12} {:>8}", "l", "distinct", "bound", "bits/elem", "recall");

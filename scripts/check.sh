@@ -18,6 +18,9 @@ cargo build --release
 echo "== cargo test --workspace"
 cargo test --workspace -q
 
+echo "== cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo bench --no-run (bench code must keep compiling)"
 cargo bench -p dp-bench --no-run
 

@@ -20,8 +20,11 @@
 //! * [`theory`] (dp-theory) — Theorems 4–9 as executable code
 //! * [`geometry`] (dp-geometry) — exact bisector arrangements, figures
 //! * [`datasets`] (dp-datasets) — synthetic SISAP-style databases
-//! * [`index`] (dp-index) — LinearScan/AESA/LAESA/distperm (four candidate
-//!   orderings)/truncated-prefix/iAESA/VP/GH/BK trees, pivot selection
+//! * [`index`] (dp-index) — the unified proximity-query API
+//!   (`ProximityIndex`/`Searcher` with native per-query stats, parallel
+//!   batch serving, build-by-spec) over LinearScan/AESA/LAESA/distperm
+//!   (four candidate orderings)/truncated-prefix/iAESA/VP/GH/BK trees,
+//!   pivot selection
 //! * [`core`] (dp-core) — counting, experiments, dimension estimation,
 //!   the one-call database survey
 //!

@@ -95,24 +95,24 @@ fn empty_strings_are_valid_points() {
 fn indexes_accept_duplicate_heavy_databases() {
     let mut db = vec![vec![0.5, 0.5]; 40];
     db.extend((0..10).map(|i| vec![i as f64 / 10.0, 0.1]));
-    let scan = LinearScan::new(db.clone());
+    let scan = LinearScan::new(L2, db.clone());
     let idx = DistPermIndex::build(L2, db.clone(), 4, PivotSelection::MaxMin);
     let pre = PrefixPermIndex::build(L2, db, 4, 2, PivotSelection::MaxMin);
     let q = vec![0.49, 0.51];
-    assert_eq!(idx.knn_approx(&q, 5, 1.0), scan.knn(&L2, &q, 5));
-    assert_eq!(pre.knn_approx(&q, 5, 1.0), scan.knn(&L2, &q, 5));
+    assert_eq!(idx.knn_approx(&q, 5, 1.0), scan.knn(&q, 5));
+    assert_eq!(pre.knn_approx(&q, 5, 1.0), scan.knn(&q, 5));
 }
 
 #[test]
 fn zero_length_prefix_index_degenerates_gracefully() {
     let db = vec![vec![0.0], vec![0.4], vec![0.9], vec![1.3]];
-    let scan = LinearScan::new(db.clone());
+    let scan = LinearScan::new(L2, db.clone());
     let pre = PrefixPermIndex::build(L2, db, 2, 0, PivotSelection::Prefix);
     assert_eq!(pre.distinct_prefixes(), 1, "empty prefixes are all equal");
     assert_eq!(pre.storage_bits_raw(), 0);
     // Full-budget search stays exact even with an uninformative index.
     let q = vec![0.5];
-    assert_eq!(pre.knn_approx(&q, 2, 1.0), scan.knn(&L2, &q, 2));
+    assert_eq!(pre.knn_approx(&q, 2, 1.0), scan.knn(&q, 2));
 }
 
 #[test]
