@@ -4,7 +4,7 @@ use crate::args::ParsedArgs;
 use crate::data::{self, Database, StringMetricSpec, VectorMetricSpec};
 use crate::CliError;
 use dp_core::dimension::ReferenceProfile;
-use dp_core::{survey_database, SurveyConfig};
+use dp_core::{survey_database, survey_database_flat_parallel, SurveyConfig};
 use dp_metric::{Hamming, LInf, Levenshtein, Lp, Metric, PrefixDistance, L1, L2};
 use dp_permutation::MAX_K;
 use std::io::Write;
@@ -37,6 +37,7 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
     let seed = parsed.u64_or("seed", 0x5EED)?;
     let rho_pairs = parsed.usize_or("rho-pairs", 20_000)?.max(1);
     let with_reference = parsed.flag("with-reference");
+    let threads = parsed.usize_or("threads", 1)?.max(1);
     parsed.finish()?;
 
     let reference = if with_reference {
@@ -51,15 +52,16 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
 
     let report = match &db {
         Database::Vectors { data, metric, .. } => {
-            // The survey pipeline is generic over per-point storage; give
-            // it owned rows (converting the flat engine's survey path is
-            // a ROADMAP follow-up).
-            let nested = data.to_nested();
+            // Vector databases are already stored flat, so the survey
+            // runs straight through the batched engine — same report,
+            // bit for bit, as the generic per-point path.
             match metric {
-                VectorMetricSpec::L1 => survey(&L1, &nested, &cfg),
-                VectorMetricSpec::L2 => survey(&L2, &nested, &cfg),
-                VectorMetricSpec::LInf => survey(&LInf, &nested, &cfg),
-                VectorMetricSpec::Lp(p) => survey(&Lp::new(*p), &nested, &cfg),
+                VectorMetricSpec::L1 => survey_database_flat_parallel(&L1, data, &cfg, threads),
+                VectorMetricSpec::L2 => survey_database_flat_parallel(&L2, data, &cfg, threads),
+                VectorMetricSpec::LInf => survey_database_flat_parallel(&LInf, data, &cfg, threads),
+                VectorMetricSpec::Lp(p) => {
+                    survey_database_flat_parallel(&Lp::new(*p), data, &cfg, threads)
+                }
             }
         }
         Database::Strings { data, metric } => match metric {

@@ -102,8 +102,9 @@ COMMANDS:
             [--metric l2|l1|linf|lp:<p>|levenshtein|hamming|prefix]
             [--seed <s>] [--sites 0,5,9] [--threads <t>] [--prefix-len <l>]
   survey    full report: rho, counts, storage costs, dimension estimates
+            (vector databases run through the flat batched engine)
             --vectors <file>|--strings <file> [--metric …] [--ks 4,8,12]
-            [--seed <s>] [--rho-pairs 20000]
+            [--seed <s>] [--rho-pairs 20000] [--threads 1  (vectors only)]
   search    build an index by spec and serve a query file in parallel
             --vectors <db>|--strings <db> --queries <file> --index <spec>
             [--metric …] [--knn 1 | --radius <r>] [--frac 1.0]

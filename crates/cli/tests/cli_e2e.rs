@@ -56,6 +56,74 @@ fn generate_count_survey_pipeline_on_vectors() {
 }
 
 #[test]
+fn survey_on_flat_vectors_matches_pre_refactor_output_exactly() {
+    // Frozen golden transcripts, captured from the generic per-point
+    // survey engine *before* `cmd_survey` switched vector databases to
+    // the flat batched path.  The flat engine is bit-identical, so the
+    // report text — every ρ digit, every Huffman/entropy decimal —
+    // must not move.  Any diff here means the refactor changed answers.
+    const GOLDEN_L2: &str = "\
+metric: L2
+database survey: n = 3000, rho = 3.501
+   k   distinct     occup    naive      raw  codebook   huffman   entropy  minEd
+   4         16    187.50        5        8         4     3.470     3.436      2
+   7        193     15.54       13       21         8     6.477     6.451      2
+";
+    const GOLDEN_L1: &str = "\
+metric: L1
+database survey: n = 3000, rho = 3.163
+   k   distinct     occup    naive      raw  codebook   huffman   entropy  minEd
+   5         42     71.43        7       15         6     4.746     4.710      2
+";
+    let dir = temp_dir("survey_golden");
+    let file = dir.join("g.vec");
+    let f = file.to_str().unwrap();
+    stdout(&distperm(&[
+        "generate", "--kind", "uniform", "--n", "3000", "--dim", "3", "--seed", "41", "--out", f,
+    ]));
+    let l2 = stdout(&distperm(&[
+        "survey",
+        "--vectors",
+        f,
+        "--ks",
+        "4,7",
+        "--rho-pairs",
+        "3000",
+        "--seed",
+        "77",
+    ]));
+    assert_eq!(l2, GOLDEN_L2, "L2 survey text drifted from the pre-refactor transcript");
+    // The parallel counting path must render the identical report too.
+    let l2_t4 = stdout(&distperm(&[
+        "survey",
+        "--vectors",
+        f,
+        "--ks",
+        "4,7",
+        "--rho-pairs",
+        "3000",
+        "--seed",
+        "77",
+        "--threads",
+        "4",
+    ]));
+    assert_eq!(l2_t4, GOLDEN_L2, "--threads changed the survey text");
+    let l1 = stdout(&distperm(&[
+        "survey",
+        "--vectors",
+        f,
+        "--metric",
+        "l1",
+        "--ks",
+        "5",
+        "--rho-pairs",
+        "2000",
+    ]));
+    assert_eq!(l1, GOLDEN_L1, "L1 survey text drifted from the pre-refactor transcript");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn dictionary_pipeline_with_explicit_sites_and_prefixes() {
     let dir = temp_dir("dict");
     let file = dir.join("words.txt");

@@ -11,11 +11,12 @@
 
 use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, Metric, TransposedSites};
-use dp_permutation::compute::{collect_counter_flat, collect_packed_flat, PACKED_MAX_K};
-use dp_permutation::counter::collect_counter;
-use dp_permutation::{
-    DistPermComputer, PackedCountSummary, PackedPermutationCounter, PermutationCounter,
+use dp_permutation::compute::{
+    collect_counter_flat, collect_counter_flat_parallel, collect_packed_flat,
+    collect_packed_flat_parallel, PACKED_MAX_K,
 };
+use dp_permutation::counter::collect_counter;
+use dp_permutation::{DistPermComputer, PackedCountSummary, PermutationCounter};
 
 /// Summary of one counting run.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,50 +120,15 @@ pub fn count_permutations_flat_parallel<M: BatchDistance + Sync>(
     database: &VectorSet,
     threads: usize,
 ) -> CountReport {
-    let n = database.len();
-    let threads = threads.max(1).min(n.max(1));
-    if threads <= 1 || n < 1024 {
-        return count_permutations_flat(metric, sites, database);
-    }
     check_flat_dims(sites, database);
     let sites_t = transpose_sites(sites, database);
-    let dim = database.dim().max(1);
-    let rows_per = n.div_ceil(threads);
-    let (sites_t, flat) = (&sites_t, database.as_flat());
+    let flat = database.as_flat();
     if sites.len() <= PACKED_MAX_K {
-        let mut counters: Vec<PackedPermutationCounter> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = flat
-                .chunks(rows_per * dim)
-                .map(|rows| scope.spawn(move |_| collect_packed_flat(metric, sites_t, rows)))
-                .collect();
-            for h in handles {
-                counters.push(h.join().expect("flat counting worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        let mut merged = PackedPermutationCounter::new(sites.len());
-        for c in &counters {
-            merged.merge(c);
-        }
-        return CountReport::from(&merged.finalize());
+        let counter = collect_packed_flat_parallel(metric, &sites_t, flat, threads);
+        CountReport::from(&counter.finalize())
+    } else {
+        CountReport::from(&collect_counter_flat_parallel(metric, &sites_t, flat, threads))
     }
-    let mut counters: Vec<PermutationCounter> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = flat
-            .chunks(rows_per * dim)
-            .map(|rows| scope.spawn(move |_| collect_counter_flat(metric, sites_t, rows)))
-            .collect();
-        for h in handles {
-            counters.push(h.join().expect("flat counting worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    let mut merged = PermutationCounter::new();
-    for c in &counters {
-        merged.merge(c);
-    }
-    CountReport::from(&merged)
 }
 
 fn flat_counter<M: BatchDistance>(
@@ -179,7 +145,7 @@ fn flat_counter<M: BatchDistance>(
     }
 }
 
-fn check_flat_dims(sites: &VectorSet, database: &VectorSet) {
+pub(crate) fn check_flat_dims(sites: &VectorSet, database: &VectorSet) {
     assert!(
         sites.is_empty() || database.is_empty() || sites.dim() == database.dim(),
         "site dimension {} != database dimension {}",
@@ -190,7 +156,7 @@ fn check_flat_dims(sites: &VectorSet, database: &VectorSet) {
 
 /// Sites transposed with a definite dimension: an empty site set adopts
 /// the database's dimension so the kernels can still split rows.
-fn transpose_sites(sites: &VectorSet, database: &VectorSet) -> TransposedSites {
+pub(crate) fn transpose_sites(sites: &VectorSet, database: &VectorSet) -> TransposedSites {
     let dim = if sites.is_empty() { database.dim() } else { sites.dim() };
     TransposedSites::from_rows(sites.as_flat(), dim)
 }

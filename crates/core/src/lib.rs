@@ -24,7 +24,18 @@
 //!   Voronoi (Fig 2) and ordered-prefix cell counts from the same
 //!   permutation scan;
 //! * [`survey`] — the §5 analysis as one call: ρ, per-k permutation
-//!   counts, every storage layout's cost, and the dimension estimates.
+//!   counts, every storage layout's cost, and the dimension estimates;
+//! * [`survey_flat`] — the same survey on flat [`dp_datasets::VectorSet`]
+//!   storage through the batched site-transposed kernels and packed-u64
+//!   counting (bit-identical report, several times the throughput; this
+//!   is the engine the CLI uses for vector databases).
+//!
+//! Both the counting and survey measurements come in two equivalent
+//! engines: the generic per-point path for any metric over any point
+//! type, and the flat batched path for real-vector data.  The flat path
+//! is not an approximation — distances, counts and derived statistics
+//! are bit-for-bit equal (enforced by the workspace property suites),
+//! so callers may pick purely on storage layout.
 
 pub mod count;
 pub mod counterexample;
@@ -33,6 +44,7 @@ pub mod experiments;
 pub mod orders;
 pub mod spaces;
 pub mod survey;
+pub mod survey_flat;
 
 pub use count::{
     count_permutations, count_permutations_flat, count_permutations_flat_parallel,
@@ -44,3 +56,4 @@ pub use experiments::{uniform_experiment, MetricKind, UniformExperiment};
 pub use orders::{count_distinct_prefixes, refinement_chain, PrefixKind};
 pub use spaces::{theoretical_max, SpaceKind};
 pub use survey::{survey_database, DatabaseSurvey, SurveyConfig};
+pub use survey_flat::{survey_database_flat, survey_database_flat_parallel};

@@ -12,6 +12,12 @@
 //!
 //! The `Display` rendering is a plain-text report, the thing a downstream
 //! user actually wants from the paper.
+//!
+//! This module is the generic per-point engine, usable with any metric
+//! over any point type.  Real-vector databases in flat storage should
+//! prefer [`crate::survey_flat::survey_database_flat`], which produces
+//! the identical `DatabaseSurvey` (bit for bit) through the batched
+//! kernels several times faster.
 
 use crate::count::CountReport;
 use crate::dimension::{estimate_dimension, min_euclidean_dimension, ReferenceProfile};
@@ -20,6 +26,7 @@ use dp_permutation::counter::collect_counter;
 use dp_permutation::encoding::element_bits;
 use dp_permutation::huffman::{entropy_bits, HuffmanCode};
 use dp_permutation::Codebook;
+use dp_permutation::PermutationCounter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -111,33 +118,57 @@ where
         let site_ids = dp_datasets::vectors::choose_distinct_indices(database.len(), k, &mut rng);
         let sites: Vec<P> = site_ids.iter().map(|&i| database[i].clone()).collect();
         let counter = collect_counter(metric, &sites, database);
-
-        let codebook: Codebook = counter.sorted_permutations().into_iter().collect();
-        let mut freqs = vec![0u64; codebook.len()];
-        for (p, &c) in counter.iter() {
-            freqs[codebook.id_of(p).expect("interned") as usize] = c;
-        }
-        let huffman = HuffmanCode::from_frequencies(&freqs);
         let report = CountReport::from(&counter);
-        per_k.push(KSurvey {
-            k,
-            site_ids,
-            naive_bits: naive_permutation_bits(k),
-            raw_bits: k as u32 * element_bits(k),
-            codebook_bits: element_bits(report.distinct),
-            huffman_bits: huffman.mean_bits(&freqs),
-            entropy_bits: entropy_bits(&freqs),
-            min_euclidean_dim: min_euclidean_dimension(report.distinct, k as u32),
-            report,
-        });
+        per_k.push(build_ksurvey(k, site_ids, report, &counter_freqs(&counter)));
     }
-    let dimension_estimate = config.reference.as_ref().and_then(|profile| {
+    let dimension_estimate = dimension_estimate(&per_k, config);
+    DatabaseSurvey { n: database.len(), rho, per_k, dimension_estimate }
+}
+
+/// The occupancy distribution of a counter, indexed by codebook id —
+/// i.e. ordered by the lexicographic rank of each distinct permutation.
+/// Both survey engines produce their frequency tables in this order, so
+/// the entropy/Huffman sums run over identical vectors (bit-identical
+/// results).
+pub(crate) fn counter_freqs(counter: &PermutationCounter) -> Vec<u64> {
+    let codebook: Codebook = counter.sorted_permutations().into_iter().collect();
+    let mut freqs = vec![0u64; codebook.len()];
+    for (p, &c) in counter.iter() {
+        freqs[codebook.id_of(p).expect("interned") as usize] = c;
+    }
+    freqs
+}
+
+/// Assembles one [`KSurvey`] row from a counting result and its
+/// frequency table (the shared tail of both survey engines).
+pub(crate) fn build_ksurvey(
+    k: usize,
+    site_ids: Vec<usize>,
+    report: CountReport,
+    freqs: &[u64],
+) -> KSurvey {
+    let huffman = HuffmanCode::from_frequencies(freqs);
+    KSurvey {
+        k,
+        site_ids,
+        naive_bits: naive_permutation_bits(k),
+        raw_bits: k as u32 * element_bits(k),
+        codebook_bits: element_bits(report.distinct),
+        huffman_bits: huffman.mean_bits(freqs),
+        entropy_bits: entropy_bits(freqs),
+        min_euclidean_dim: min_euclidean_dimension(report.distinct, k as u32),
+        report,
+    }
+}
+
+/// Resolves the fractional dimension estimate against the measured rows.
+pub(crate) fn dimension_estimate(per_k: &[KSurvey], config: &SurveyConfig) -> Option<f64> {
+    config.reference.as_ref().and_then(|profile| {
         per_k
             .iter()
             .find(|s| s.k == profile.k)
             .map(|s| estimate_dimension(s.report.distinct, profile))
-    });
-    DatabaseSurvey { n: database.len(), rho, per_k, dimension_estimate }
+    })
 }
 
 /// ⌈log₂ k!⌉: bits for an unrestricted permutation of k sites.

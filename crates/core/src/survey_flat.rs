@@ -1,0 +1,171 @@
+//! The §5 survey on the flat batched engine — same report, several
+//! times the throughput.
+//!
+//! [`survey_database_flat`] is the [`crate::survey::survey_database`]
+//! protocol specialised to [`VectorSet`] storage: ρ sampling runs over
+//! row views with the identical pair stream, and every per-k counting
+//! pass runs through the site-transposed [`BatchDistance`] kernels with
+//! the branchless k²/2 ranking — packed-u64 sort+scan counting for
+//! k ≤ [`PACKED_MAX_K`], the hash counter beyond.  Distances, counts,
+//! frequency tables and therefore **every field of the returned
+//! [`DatabaseSurvey`] are bit-for-bit identical** to the generic
+//! per-point path; the workspace property suite
+//! (`tests/survey_equivalence.rs`) enforces that, and the
+//! `survey` bench records the speedup (`BENCH_survey.json`).
+//!
+//! [`survey_database_flat_parallel`] splits each counting scan across
+//! crossbeam-scoped workers; merged counts are independent of the
+//! split, so the report is also identical at any thread count.
+
+use crate::count::CountReport;
+use crate::survey::{
+    build_ksurvey, counter_freqs, dimension_estimate, DatabaseSurvey, KSurvey, SurveyConfig,
+};
+use dp_datasets::VectorSet;
+use dp_metric::BatchDistance;
+use dp_permutation::compute::{
+    collect_counter_flat_parallel, collect_packed_flat_parallel, PACKED_MAX_K,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// [`crate::survey::survey_database`] over flat vector storage: ρ plus
+/// per-k permutation counts and storage costs through the batched
+/// engine.  Bit-identical to the generic path on equal coordinates.
+///
+/// # Panics
+/// Panics if the database has fewer than two points or any `k` exceeds
+/// the database size or [`dp_permutation::MAX_K`].
+pub fn survey_database_flat<M: BatchDistance + Sync>(
+    metric: &M,
+    database: &VectorSet,
+    config: &SurveyConfig,
+) -> DatabaseSurvey {
+    survey_database_flat_parallel(metric, database, config, 1)
+}
+
+/// Parallel [`survey_database_flat`]: each per-k counting scan is split
+/// across `threads` scoped workers.  Deterministic — the survey is
+/// independent of the thread count.
+pub fn survey_database_flat_parallel<M: BatchDistance + Sync>(
+    metric: &M,
+    database: &VectorSet,
+    config: &SurveyConfig,
+    threads: usize,
+) -> DatabaseSurvey {
+    assert!(database.len() >= 2, "survey needs at least two points");
+    let rho = dp_datasets::intrinsic_dimensionality_flat(
+        metric,
+        database,
+        config.rho_pairs,
+        config.seed ^ 0x9E37_79B9,
+    );
+    let mut per_k = Vec::with_capacity(config.ks.len());
+    for (i, &k) in config.ks.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+        let site_ids = dp_datasets::vectors::choose_distinct_indices(database.len(), k, &mut rng);
+        let sites = database.gather(&site_ids);
+        per_k.push(survey_one_k(metric, database, &sites, k, site_ids, threads));
+    }
+    let dimension_estimate = dimension_estimate(&per_k, config);
+    DatabaseSurvey { n: database.len(), rho, per_k, dimension_estimate }
+}
+
+/// One per-k measurement through the flat engine.  For k within the
+/// packed range the distinct/occupancy scan is the sort+scan counter
+/// and the frequency table comes from
+/// [`dp_permutation::PackedCountSummary::lexicographic_counts`], which
+/// matches the generic path's codebook order exactly without decoding a
+/// single permutation; beyond the packed range the hash counter feeds
+/// the same codebook construction the generic path uses.
+fn survey_one_k<M: BatchDistance + Sync>(
+    metric: &M,
+    database: &VectorSet,
+    sites: &VectorSet,
+    k: usize,
+    site_ids: Vec<usize>,
+    threads: usize,
+) -> KSurvey {
+    crate::count::check_flat_dims(sites, database);
+    let sites_t = crate::count::transpose_sites(sites, database);
+    if k <= PACKED_MAX_K {
+        let summary =
+            collect_packed_flat_parallel(metric, &sites_t, database.as_flat(), threads).finalize();
+        let report = CountReport::from(&summary);
+        build_ksurvey(k, site_ids, report, &summary.lexicographic_counts())
+    } else {
+        let counter = collect_counter_flat_parallel(metric, &sites_t, database.as_flat(), threads);
+        let report = CountReport::from(&counter);
+        build_ksurvey(k, site_ids, report, &counter_freqs(&counter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::survey_database;
+    use dp_datasets::vectors::{uniform_unit_cube, uniform_unit_cube_flat};
+    use dp_metric::L2;
+
+    /// Field-by-field bit comparison (f64s by `to_bits`).
+    fn assert_surveys_identical(a: &DatabaseSurvey, b: &DatabaseSurvey) {
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.rho.to_bits(), b.rho.to_bits(), "rho differs");
+        assert_eq!(a.dimension_estimate.map(f64::to_bits), b.dimension_estimate.map(f64::to_bits));
+        assert_eq!(a.per_k.len(), b.per_k.len());
+        for (x, y) in a.per_k.iter().zip(b.per_k.iter()) {
+            assert_eq!(x.k, y.k);
+            assert_eq!(x.site_ids, y.site_ids, "k = {}", x.k);
+            assert_eq!(x.report.distinct, y.report.distinct, "k = {}", x.k);
+            assert_eq!(x.report.total, y.report.total);
+            assert_eq!(x.report.mean_occupancy.to_bits(), y.report.mean_occupancy.to_bits());
+            assert_eq!(x.naive_bits, y.naive_bits);
+            assert_eq!(x.raw_bits, y.raw_bits);
+            assert_eq!(x.codebook_bits, y.codebook_bits);
+            assert_eq!(x.huffman_bits.to_bits(), y.huffman_bits.to_bits(), "k = {}", x.k);
+            assert_eq!(x.entropy_bits.to_bits(), y.entropy_bits.to_bits(), "k = {}", x.k);
+            assert_eq!(x.min_euclidean_dim, y.min_euclidean_dim);
+        }
+    }
+
+    #[test]
+    fn flat_survey_matches_generic_bit_for_bit() {
+        let nested = uniform_unit_cube(2500, 3, 23);
+        let flat = uniform_unit_cube_flat(2500, 3, 23);
+        let cfg = SurveyConfig { ks: vec![4, 7, 12], rho_pairs: 4000, ..Default::default() };
+        let generic = survey_database(&L2, &nested, &cfg);
+        let fast = survey_database_flat(&L2, &flat, &cfg);
+        assert_surveys_identical(&generic, &fast);
+    }
+
+    #[test]
+    fn parallel_flat_survey_is_thread_count_invariant() {
+        let flat = uniform_unit_cube_flat(3000, 2, 29);
+        let cfg = SurveyConfig { ks: vec![5], rho_pairs: 2000, ..Default::default() };
+        let seq = survey_database_flat(&L2, &flat, &cfg);
+        for threads in [2, 3, 8] {
+            let par = survey_database_flat_parallel(&L2, &flat, &cfg, threads);
+            assert_surveys_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn flat_survey_crosses_the_packed_boundary() {
+        // k = 13 exceeds PACKED_MAX_K: the hash-counter arm must produce
+        // the same report the generic path does.
+        let nested = uniform_unit_cube(1500, 4, 31);
+        let flat = uniform_unit_cube_flat(1500, 4, 31);
+        let cfg = SurveyConfig { ks: vec![12, 13], rho_pairs: 1500, ..Default::default() };
+        assert_surveys_identical(
+            &survey_database(&L2, &nested, &cfg),
+            &survey_database_flat(&L2, &flat, &cfg),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn tiny_flat_database_rejected() {
+        let db = uniform_unit_cube_flat(1, 2, 1);
+        survey_database_flat(&L2, &db, &SurveyConfig::default());
+    }
+}

@@ -48,6 +48,6 @@ pub mod table2;
 pub mod vectors;
 
 pub use flat::VectorSet;
-pub use rho::intrinsic_dimensionality;
+pub use rho::{intrinsic_dimensionality, intrinsic_dimensionality_flat};
 pub use table2::{table2_roster, Table2Entry, Table2Kind};
 pub use vectors::{uniform_unit_cube, uniform_unit_cube_flat};

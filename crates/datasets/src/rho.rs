@@ -7,6 +7,7 @@
 //! both statistics are provided so the experiments can show exactly that
 //! contrast.
 
+use crate::VectorSet;
 use dp_metric::{Distance, Metric};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -21,7 +22,25 @@ pub fn intrinsic_dimensionality<P, M: Metric<P>>(
     pairs: usize,
     seed: u64,
 ) -> f64 {
-    let (mean, var) = distance_moments(metric, points, pairs, seed);
+    rho_from_moments(distance_moments(metric, points, pairs, seed))
+}
+
+/// [`intrinsic_dimensionality`] over flat [`VectorSet`] storage.
+///
+/// Samples the same pair stream (same `seed` ⇒ same indices) and
+/// evaluates the same slice-level metric code, so the estimate is
+/// **bit-identical** to the nested path on equal coordinates — the flat
+/// survey pipeline depends on that.
+pub fn intrinsic_dimensionality_flat<M: Metric<[f64]>>(
+    metric: &M,
+    points: &VectorSet,
+    pairs: usize,
+    seed: u64,
+) -> f64 {
+    rho_from_moments(distance_moments_flat(metric, points, pairs, seed))
+}
+
+fn rho_from_moments((mean, var): (f64, f64)) -> f64 {
     if var == 0.0 {
         return f64::INFINITY;
     }
@@ -35,18 +54,43 @@ pub fn distance_moments<P, M: Metric<P>>(
     pairs: usize,
     seed: u64,
 ) -> (f64, f64) {
-    assert!(points.len() >= 2, "need at least two points");
+    moments_impl(points.len(), pairs, seed, |i, j| metric.distance(&points[i], &points[j]).to_f64())
+}
+
+/// [`distance_moments`] over flat [`VectorSet`] storage (bit-identical
+/// sampling, see [`intrinsic_dimensionality_flat`]).
+pub fn distance_moments_flat<M: Metric<[f64]>>(
+    metric: &M,
+    points: &VectorSet,
+    pairs: usize,
+    seed: u64,
+) -> (f64, f64) {
+    moments_impl(points.len(), pairs, seed, |i, j| {
+        metric.distance(points.row(i), points.row(j)).to_f64()
+    })
+}
+
+/// Shared sampling core: both storage layouts draw the identical pair
+/// stream and accumulate in the identical order, which is what makes the
+/// flat and nested estimates bit-for-bit equal.
+fn moments_impl(
+    n: usize,
+    pairs: usize,
+    seed: u64,
+    dist: impl Fn(usize, usize) -> f64,
+) -> (f64, f64) {
+    assert!(n >= 2, "need at least two points");
     assert!(pairs > 0, "need at least one pair");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sum = 0.0f64;
     let mut sum_sq = 0.0f64;
     for _ in 0..pairs {
-        let i = rng.random_range(0..points.len());
-        let mut j = rng.random_range(0..points.len() - 1);
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n - 1);
         if j >= i {
             j += 1;
         }
-        let d = metric.distance(&points[i], &points[j]).to_f64();
+        let d = dist(i, j);
         sum += d;
         sum_sq += d * d;
     }
@@ -76,6 +120,19 @@ mod tests {
         assert!(rhos[0] < rhos[1] && rhos[1] < rhos[2], "{rhos:?}");
         // 1-D uniform: rho = mu^2/(2 sigma^2) = (1/3)^2 / (2/18) = 1.
         assert!((rhos[0] - 1.0).abs() < 0.15, "rho_1d = {}", rhos[0]);
+    }
+
+    #[test]
+    fn flat_rho_is_bit_identical_to_nested() {
+        use crate::vectors::uniform_unit_cube_flat;
+        let nested = uniform_unit_cube(700, 4, 19);
+        let flat = uniform_unit_cube_flat(700, 4, 19);
+        let a = intrinsic_dimensionality(&L2, &nested, 3000, 5);
+        let b = intrinsic_dimensionality_flat(&L2, &flat, 3000, 5);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let (m1, v1) = distance_moments(&dp_metric::L1, &nested, 2000, 6);
+        let (m2, v2) = distance_moments_flat(&dp_metric::L1, &flat, 2000, 6);
+        assert_eq!((m1.to_bits(), v1.to_bits()), (m2.to_bits(), v2.to_bits()));
     }
 
     #[test]

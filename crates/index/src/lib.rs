@@ -81,5 +81,5 @@ pub use laesa::{Laesa, LaesaSearcher, PivotSelection};
 pub use linear::{LinearScan, LinearSearcher};
 pub use prefixindex::{PrefixPermIndex, PrefixPermSearcher};
 pub use query::{Neighbor, QueryStats};
-pub use spec::{AnyIndex, AnySearcher, IndexSpec, SpecError};
+pub use spec::{AnyIndex, AnySearcher, IndexSpec, SpecError, DEFAULT_K};
 pub use vptree::{VpSearcher, VpTree};

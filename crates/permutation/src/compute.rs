@@ -165,6 +165,41 @@ pub fn collect_counter_flat<M: BatchDistance>(
     counter
 }
 
+/// Parallel [`collect_counter_flat`]: splits the rows across `threads`
+/// crossbeam-scoped workers and merges the per-chunk counters.
+/// Deterministic — the merged counts are independent of the split.
+pub fn collect_counter_flat_parallel<M: BatchDistance + Sync>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+    threads: usize,
+) -> PermutationCounter {
+    let dim = sites.dim().max(1);
+    assert_eq!(db_rows.len() % dim, 0, "database rows not a multiple of dim");
+    let n = db_rows.len() / dim;
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        return collect_counter_flat(metric, sites, db_rows);
+    }
+    let rows_per = n.div_ceil(threads);
+    let mut counters: Vec<PermutationCounter> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = db_rows
+            .chunks(rows_per * dim)
+            .map(|rows| scope.spawn(move |_| collect_counter_flat(metric, sites, rows)))
+            .collect();
+        for h in handles {
+            counters.push(h.join().expect("flat counting worker panicked"));
+        }
+    })
+    .expect("flat counting scope");
+    let mut merged = PermutationCounter::new();
+    for c in &counters {
+        merged.merge(c);
+    }
+    merged
+}
+
 /// Largest k whose permutations pack into a u64 key (5 bits per
 /// element) — covers every configuration the paper's experiments use.
 pub const PACKED_MAX_K: usize = 12;
@@ -289,6 +324,46 @@ pub fn collect_packed_flat<M: BatchDistance>(
         counter.insert_key(packed_key_from_ranks(ranks, k));
     });
     counter
+}
+
+/// Parallel [`collect_packed_flat`]: splits the rows across `threads`
+/// crossbeam-scoped workers and merges the per-chunk key buffers
+/// (appends — keys are only sorted at `finalize`).  Deterministic: the
+/// finalized summary is independent of the split.
+///
+/// # Panics
+/// Panics if `sites.k() > PACKED_MAX_K`.
+pub fn collect_packed_flat_parallel<M: BatchDistance + Sync>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+    threads: usize,
+) -> PackedPermutationCounter {
+    assert!(sites.k() <= PACKED_MAX_K, "k = {} exceeds PACKED_MAX_K = {PACKED_MAX_K}", sites.k());
+    let dim = sites.dim().max(1);
+    assert_eq!(db_rows.len() % dim, 0, "database rows not a multiple of dim");
+    let n = db_rows.len() / dim;
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        return collect_packed_flat(metric, sites, db_rows);
+    }
+    let rows_per = n.div_ceil(threads);
+    let mut counters: Vec<PackedPermutationCounter> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = db_rows
+            .chunks(rows_per * dim)
+            .map(|rows| scope.spawn(move |_| collect_packed_flat(metric, sites, rows)))
+            .collect();
+        for h in handles {
+            counters.push(h.join().expect("flat counting worker panicked"));
+        }
+    })
+    .expect("flat counting scope");
+    let mut merged = PackedPermutationCounter::with_capacity(sites.k(), n);
+    for c in &counters {
+        merged.merge(c);
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -437,6 +512,25 @@ mod tests {
         assert_eq!(counter.distinct(), direct.distinct());
         assert_eq!(counter.total(), direct.total());
         assert_eq!(counter.total(), n as u64);
+    }
+
+    #[test]
+    fn parallel_collectors_match_sequential_collectors() {
+        use dp_metric::L2Squared;
+        let (n, k, dim) = (6000, 8, 3);
+        let db = weyl_rows(n, dim, 7);
+        let sites_t = TransposedSites::from_rows(&weyl_rows(k, dim, 8), dim);
+        let seq_packed = collect_packed_flat(&L2Squared, &sites_t, &db).finalize();
+        let seq_hash = collect_counter_flat(&L2Squared, &sites_t, &db);
+        for threads in [1, 2, 3, 8] {
+            let par = collect_packed_flat_parallel(&L2Squared, &sites_t, &db, threads).finalize();
+            assert_eq!(par.distinct(), seq_packed.distinct(), "threads = {threads}");
+            assert_eq!(par.total(), seq_packed.total());
+            assert_eq!(par.permutations(), seq_packed.permutations());
+            let par_hash = collect_counter_flat_parallel(&L2Squared, &sites_t, &db, threads);
+            assert_eq!(par_hash.distinct(), seq_hash.distinct(), "threads = {threads}");
+            assert_eq!(par_hash.sorted_permutations(), seq_hash.sorted_permutations());
+        }
     }
 
     #[test]

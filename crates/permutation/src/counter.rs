@@ -231,6 +231,47 @@ impl PackedCountSummary {
         out
     }
 
+    /// Iterator over `(permutation, occurrence count)`, in packed-key
+    /// order.  The counterpart of [`PermutationCounter::iter`] — the
+    /// flat survey path uses it to recover the occupancy distribution
+    /// without re-hashing every observation.
+    pub fn iter(&self) -> impl Iterator<Item = (Permutation, u64)> + '_ {
+        self.occupancies.iter().scan(0usize, move |pos, &count| {
+            let key = self.keys[*pos];
+            *pos += count as usize;
+            Some((self.decode(key), count))
+        })
+    }
+
+    /// Occurrence counts ordered by the **lexicographic** rank of each
+    /// distinct permutation — the order a codebook built from
+    /// [`PermutationCounter::sorted_permutations`] assigns ids in, so a
+    /// frequency table built from this vector is element-for-element
+    /// identical to the hash-counter path's.
+    ///
+    /// Packed keys sort by the *last* position first (position `p` lives
+    /// in bits `5p..5p+5`), so this re-sorts by the group-reversed key
+    /// (position 0 most significant) — a u64 sort, no permutation is
+    /// decoded or compared.
+    pub fn lexicographic_counts(&self) -> Vec<u64> {
+        let mut pos = 0usize;
+        let mut by_lex: Vec<(u64, u64)> = self
+            .occupancies
+            .iter()
+            .map(|&count| {
+                let key = self.keys[pos];
+                pos += count as usize;
+                let mut lex = 0u64;
+                for p in 0..self.k {
+                    lex |= ((key >> (5 * p)) & 0x1F) << (5 * (self.k - 1 - p));
+                }
+                (lex, count)
+            })
+            .collect();
+        by_lex.sort_unstable();
+        by_lex.into_iter().map(|(_, c)| c).collect()
+    }
+
     /// Expands into an ordinary [`PermutationCounter`] (same counts).
     pub fn unpack(&self) -> PermutationCounter {
         let mut out = PermutationCounter::new();
@@ -431,6 +472,54 @@ mod tests {
     #[should_panic(expected = "memory budget")]
     fn rank_bitmap_rejects_large_k() {
         let _ = RankBitmap::new(13);
+    }
+
+    #[test]
+    fn packed_summary_iter_matches_hash_counter() {
+        let mut packed = PackedPermutationCounter::new(3);
+        let mut hash = PermutationCounter::new();
+        let perms = [
+            Permutation::identity(3),
+            Permutation::from_slice(&[1, 0, 2]).unwrap(),
+            Permutation::from_slice(&[2, 1, 0]).unwrap(),
+        ];
+        for (i, p) in perms.iter().enumerate() {
+            for _ in 0..=i {
+                packed.insert(p);
+                hash.insert(*p);
+            }
+        }
+        let summary = packed.finalize();
+        let mut pairs: Vec<(Permutation, u64)> = summary.iter().collect();
+        pairs.sort_unstable();
+        let mut expected: Vec<(Permutation, u64)> = hash.iter().map(|(&p, &c)| (p, c)).collect();
+        expected.sort_unstable();
+        assert_eq!(pairs, expected);
+        // Counts align with the decoded permutations, not just the totals.
+        assert_eq!(summary.iter().map(|(_, c)| c).sum::<u64>(), summary.total());
+        assert!(PackedPermutationCounter::new(2).finalize().iter().next().is_none());
+    }
+
+    #[test]
+    fn lexicographic_counts_match_permutation_sorted_pairs() {
+        // Fill a packed counter with an irregular multiset of k = 4
+        // permutations covering every tie of first vs last position.
+        let mut packed = PackedPermutationCounter::new(4);
+        let perms: Vec<Permutation> =
+            [[0u8, 1, 2, 3], [0, 1, 3, 2], [3, 0, 1, 2], [1, 0, 2, 3], [3, 2, 1, 0], [0, 2, 1, 3]]
+                .iter()
+                .map(|s| Permutation::from_slice(s).unwrap())
+                .collect();
+        for (i, p) in perms.iter().enumerate() {
+            for _ in 0..(7 - i) {
+                packed.insert(p);
+            }
+        }
+        let summary = packed.finalize();
+        let mut pairs: Vec<(Permutation, u64)> = summary.iter().collect();
+        pairs.sort_unstable_by_key(|&(p, _)| p);
+        let expected: Vec<u64> = pairs.into_iter().map(|(_, c)| c).collect();
+        assert_eq!(summary.lexicographic_counts(), expected);
     }
 
     #[test]

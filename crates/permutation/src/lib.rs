@@ -47,8 +47,9 @@ pub mod prefix;
 pub mod store;
 
 pub use compute::{
-    collect_counter_flat, collect_packed_flat, database_permutations_flat,
-    database_permutations_flat_parallel, distance_permutation, DistPermComputer, PACKED_MAX_K,
+    collect_counter_flat, collect_counter_flat_parallel, collect_packed_flat,
+    collect_packed_flat_parallel, database_permutations_flat, database_permutations_flat_parallel,
+    distance_permutation, DistPermComputer, PACKED_MAX_K,
 };
 pub use counter::{PackedCountSummary, PackedPermutationCounter, PermutationCounter};
 pub use encoding::Codebook;

@@ -18,6 +18,12 @@ cargo build --release
 echo "== cargo test --workspace"
 cargo test --workspace -q
 
+# The survey equivalence suite asserts bit-for-bit floating-point and
+# integer-overflow behaviour; debug-only runs have missed overflow-class
+# bugs before, so it must also pass under release codegen.
+echo "== cargo test --release --test survey_equivalence (release-mode property run)"
+cargo test -p distance-permutations --release -q --test survey_equivalence
+
 echo "== cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -1,0 +1,114 @@
+//! `IndexSpec::parse` contract tests: every spec the parser can emit
+//! round-trips through its canonical name, and malformed specs fail
+//! with errors that tell the user what was wrong *and* which spec
+//! string caused it (the CLI surfaces these verbatim).
+
+use distance_permutations::index::{IndexSpec, DEFAULT_K};
+use distance_permutations::permutation::MAX_K;
+use proptest::prelude::*;
+
+/// Any structurally valid spec value (respecting the MAX_K and
+/// prefix-length invariants the parser enforces).
+fn arb_spec() -> impl Strategy<Value = IndexSpec> {
+    (0usize..10).prop_perturb(|variant, mut rng| {
+        let k = 1 + (rng.next_u64() as usize) % MAX_K;
+        match variant {
+            0 => IndexSpec::Linear,
+            1 => IndexSpec::Aesa,
+            2 => IndexSpec::VpTree,
+            3 => IndexSpec::GhTree,
+            4 => IndexSpec::BkTree,
+            // Pivot counts on laesa are unconstrained by MAX_K;
+            // exercise a wider range there.
+            5 => IndexSpec::Laesa { k: 1 + (rng.next_u64() as usize) % 96 },
+            6 => IndexSpec::IAesa { k },
+            7 => IndexSpec::DistPerm { k },
+            8 => IndexSpec::FlatDistPerm { k },
+            _ => IndexSpec::PrefixPerm { k, prefix_len: (rng.next_u64() as usize) % (k + 1) },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // name() → parse() is the identity on every valid spec.
+    #[test]
+    fn canonical_name_round_trips(spec in arb_spec()) {
+        let name = spec.name();
+        let reparsed = IndexSpec::parse(&name)
+            .unwrap_or_else(|e| panic!("canonical name `{name}` failed to parse: {e}"));
+        prop_assert_eq!(reparsed, spec);
+        // And the canonical name is a fixed point.
+        prop_assert_eq!(reparsed.name(), name);
+    }
+
+    // Unknown structure names are rejected, the error names the bad
+    // input, and it lists the accepted structures.
+    #[test]
+    fn unknown_names_produce_actionable_errors(name in "[a-eg-km-uw-z][a-z]{0,10}") {
+        // The generated name avoids f/l/v prefixes only by accident —
+        // skip the ones that happen to be real structure names/aliases.
+        prop_assume!(IndexSpec::parse(&name).is_err());
+        let err = IndexSpec::parse(&name).unwrap_err().to_string();
+        prop_assert!(err.contains(&name), "error `{}` does not name the input", err);
+        prop_assert!(err.contains("distperm"), "error `{}` does not list alternatives", err);
+    }
+
+    // Non-numeric parameters are rejected with the spec string and the
+    // parameter's role in the message.
+    #[test]
+    fn bad_numeric_parameters_are_reported_in_context(junk in "[a-z?!]{1,6}") {
+        prop_assume!(junk.parse::<usize>().is_err());
+        for stem in ["laesa", "iaesa", "distperm", "prefixperm", "flatperm"] {
+            let spec = format!("{stem}:{junk}");
+            let err = IndexSpec::parse(&spec).unwrap_err().to_string();
+            prop_assert!(err.contains(&spec), "error `{}` does not quote `{}`", err, spec);
+            prop_assert!(err.contains("site count"), "error `{}` lacks the role", err);
+        }
+    }
+}
+
+#[test]
+fn every_index_name_parses_with_and_without_defaults() {
+    // Every accepted structure name and alias, bare (defaults applied).
+    for (name, expect) in [
+        ("linear", IndexSpec::Linear),
+        ("scan", IndexSpec::Linear),
+        ("aesa", IndexSpec::Aesa),
+        ("laesa", IndexSpec::Laesa { k: DEFAULT_K }),
+        ("iaesa", IndexSpec::IAesa { k: DEFAULT_K }),
+        ("distperm", IndexSpec::DistPerm { k: DEFAULT_K }),
+        ("prefixperm", IndexSpec::PrefixPerm { k: DEFAULT_K, prefix_len: DEFAULT_K.div_ceil(2) }),
+        ("flatperm", IndexSpec::FlatDistPerm { k: DEFAULT_K }),
+        ("vptree", IndexSpec::VpTree),
+        ("vp", IndexSpec::VpTree),
+        ("ghtree", IndexSpec::GhTree),
+        ("gh", IndexSpec::GhTree),
+        ("bktree", IndexSpec::BkTree),
+        ("bk", IndexSpec::BkTree),
+    ] {
+        assert_eq!(IndexSpec::parse(name).unwrap(), expect, "{name}");
+    }
+}
+
+#[test]
+fn structural_violations_report_the_offending_numbers() {
+    // k above MAX_K on every permutation-family spec.
+    for stem in ["iaesa", "distperm", "flatperm", "prefixperm"] {
+        let spec = format!("{stem}:{}", MAX_K + 1);
+        let err = IndexSpec::parse(&spec).unwrap_err().to_string();
+        assert!(err.contains(&format!("{}", MAX_K + 1)), "{spec}: {err}");
+        assert!(err.contains("MAX_K"), "{spec}: {err}");
+    }
+    // Prefix length exceeding the site count.
+    let err = IndexSpec::parse("prefixperm:6:7").unwrap_err().to_string();
+    assert!(err.contains("prefix length 7"), "{err}");
+    assert!(err.contains("site count 6"), "{err}");
+    // Too many parameters on parameterless and one-parameter specs.
+    for spec in ["linear:3", "aesa:1", "vptree:2", "laesa:4:4", "flatperm:4:4:4"] {
+        let err = IndexSpec::parse(spec).unwrap_err().to_string();
+        assert!(err.contains("too many parameters"), "{spec}: {err}");
+        assert!(err.contains(spec), "{spec} not quoted: {err}");
+    }
+}
