@@ -144,6 +144,21 @@ impl ParsedArgs {
         }
     }
 
+    /// The `--threads` worker count with a default.
+    ///
+    /// Rejects 0 with an actionable message — every parallel command
+    /// shares this validation, so `--threads 0` cannot silently mean
+    /// "sequential" in one command and panic in another.
+    pub fn threads_or(&self, default: usize) -> Result<usize, CliError> {
+        let threads = self.usize_or("threads", default)?;
+        if threads == 0 {
+            return Err(CliError::usage(
+                "--threads must be at least 1 (use --threads 1 for a sequential run)",
+            ));
+        }
+        Ok(threads)
+    }
+
     /// Boolean flag presence.
     pub fn flag(&self, key: &str) -> bool {
         self.touch(key);

@@ -88,7 +88,7 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
         )));
     }
     let seed = parsed.u64_or("seed", 0x5EED)?;
-    let threads = parsed.usize_or("threads", 4)?;
+    let threads = parsed.threads_or(4)?;
     let prefix_len = match parsed.str_opt("prefix-len") {
         None => None,
         Some(s) => {

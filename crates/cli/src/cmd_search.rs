@@ -72,10 +72,7 @@ fn parse_options(parsed: &ParsedArgs) -> Result<SearchOptions, CliError> {
     if !(0.0..=1.0).contains(&frac) {
         return Err(CliError::usage(format!("--frac must be in [0,1], got {frac}")));
     }
-    let threads = parsed.usize_or("threads", 4)?;
-    if threads == 0 {
-        return Err(CliError::usage("--threads must be at least 1"));
-    }
+    let threads = parsed.threads_or(4)?;
     Ok(SearchOptions { spec, mode, frac, threads, quiet: parsed.flag("quiet") })
 }
 

@@ -37,7 +37,7 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
     let seed = parsed.u64_or("seed", 0x5EED)?;
     let rho_pairs = parsed.usize_or("rho-pairs", 20_000)?.max(1);
     let with_reference = parsed.flag("with-reference");
-    let threads = parsed.usize_or("threads", 1)?.max(1);
+    let threads = parsed.threads_or(1)?;
     parsed.finish()?;
 
     let reference = if with_reference {

@@ -368,6 +368,32 @@ fn usage_errors_exit_2_with_stderr() {
 }
 
 #[test]
+fn threads_zero_is_a_usage_error_everywhere() {
+    // Regression: `count` and `survey` used to accept --threads 0
+    // silently (clamping it to 1) while `search` rejected it; all three
+    // must now fail fast with the same actionable message.
+    let dir = temp_dir("threads0");
+    let file = dir.join("tiny.vec");
+    let f = file.to_str().unwrap();
+    stdout(&distperm(&[
+        "generate", "--kind", "uniform", "--n", "64", "--dim", "2", "--seed", "1", "--out", f,
+    ]));
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["count", "--vectors", f, "--k", "4", "--threads", "0"],
+        vec!["survey", "--vectors", f, "--ks", "4", "--threads", "0"],
+        vec!["search", "--vectors", f, "--queries", f, "--index", "linear", "--threads", "0"],
+    ];
+    for case in &cases {
+        let o = distperm(case);
+        assert_eq!(o.status.code(), Some(2), "{case:?} must be a usage error");
+        let err = String::from_utf8_lossy(&o.stderr);
+        assert!(err.contains("--threads must be at least 1"), "{case:?}: {err}");
+        assert!(err.contains("--threads 1"), "{case:?} must suggest the fix: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn data_errors_exit_1() {
     let o = distperm(&["count", "--vectors", "/no/such/file", "--k", "4"]);
     assert_eq!(o.status.code(), Some(1));

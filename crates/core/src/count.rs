@@ -5,9 +5,10 @@
 //! * the generic per-point path ([`count_permutations`]) for any metric
 //!   over any point type (strings, trees, sparse vectors, …);
 //! * the flat batched path ([`count_permutations_flat`]) for real-vector
-//!   data in [`VectorSet`] storage — site-transposed vectorized distance
-//!   kernels, identical results, several times the throughput.  This is
-//!   the engine behind the Table 3 protocol in [`crate::experiments`].
+//!   data in [`VectorSet`] storage — site-transposed, 4-wide strip-mined
+//!   distance kernels with register-tiled accumulators, identical
+//!   results, several times the throughput.  This is the engine behind
+//!   the Table 3 protocol in [`crate::experiments`].
 
 use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, Metric, TransposedSites};

@@ -4,7 +4,8 @@
 //! [`survey_database_flat`] is the [`crate::survey::survey_database`]
 //! protocol specialised to [`VectorSet`] storage: ρ sampling runs over
 //! row views with the identical pair stream, and every per-k counting
-//! pass runs through the site-transposed [`BatchDistance`] kernels with
+//! pass runs through the site-transposed, 4-wide strip-mined
+//! [`BatchDistance`] kernels with
 //! the branchless k²/2 ranking — packed-u64 sort+scan counting for
 //! k ≤ [`PACKED_MAX_K`], the hash counter beyond.  Distances, counts,
 //! frequency tables and therefore **every field of the returned

@@ -90,67 +90,18 @@ pub fn write_vectors<W: Write>(w: &mut W, dim: usize, vectors: &[Vec<f64>]) -> i
 /// Reads a vector database written by [`write_vectors`] (or by the SISAP
 /// library's tools).  Returns `(dim, vectors)`.
 ///
-/// Blank lines are ignored; every row must have exactly `dim` finite
-/// coordinates and the row count must match the header.
+/// Blank lines (including a trailing newline or CRLF line endings) are
+/// tolerated; every row must have exactly `dim` finite coordinates and
+/// the row count must match the header — a truncated file is an error,
+/// never a silently shorter database.
+///
+/// Shares its parser with [`read_vectors_flat`], so the nested and flat
+/// readers are **byte-equivalent by construction**: the same input
+/// yields the same coordinates (bit-for-bit) or the same error at the
+/// same line.
 pub fn read_vectors<R: BufRead>(r: &mut R) -> Result<(usize, Vec<Vec<f64>>), SisapIoError> {
-    let mut lines = r.lines().enumerate();
-    let (header_no, header) = loop {
-        match lines.next() {
-            None => return Err(parse_err(0, "empty file: missing `dim n` header")),
-            Some((i, line)) => {
-                let line = line?;
-                if !line.trim().is_empty() {
-                    break (i + 1, line);
-                }
-            }
-        }
-    };
-    let mut parts = header.split_whitespace();
-    let dim: usize = parts
-        .next()
-        .ok_or_else(|| parse_err(header_no, "missing dim in header"))?
-        .parse()
-        .map_err(|e| parse_err(header_no, format!("bad dim: {e}")))?;
-    let n: usize = parts
-        .next()
-        .ok_or_else(|| parse_err(header_no, "missing n in header"))?
-        .parse()
-        .map_err(|e| parse_err(header_no, format!("bad n: {e}")))?;
-    if parts.next().is_some() {
-        return Err(parse_err(header_no, "header has trailing tokens (want `dim n`)"));
-    }
-
-    let mut vectors = Vec::with_capacity(n);
-    for (i, line) in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let line_no = i + 1;
-        let mut row = Vec::with_capacity(dim);
-        for tok in line.split_whitespace() {
-            let x: f64 = tok
-                .parse()
-                .map_err(|e| parse_err(line_no, format!("bad coordinate `{tok}`: {e}")))?;
-            if !x.is_finite() {
-                return Err(parse_err(line_no, format!("non-finite coordinate {x}")));
-            }
-            row.push(x);
-        }
-        if row.len() != dim {
-            return Err(parse_err(
-                line_no,
-                format!("row has {} coordinates, expected {dim}", row.len()),
-            ));
-        }
-        vectors.push(row);
-        if vectors.len() > n {
-            return Err(parse_err(line_no, format!("more than the declared {n} rows")));
-        }
-    }
-    if vectors.len() != n {
-        return Err(parse_err(0, format!("header declared {n} rows, found {}", vectors.len())));
-    }
+    let (dim, data) = read_vectors_raw(r)?;
+    let vectors = data.chunks_exact(dim.max(1)).map(<[f64]>::to_vec).collect();
     Ok((dim, vectors))
 }
 
@@ -174,12 +125,15 @@ pub fn write_vectors_flat<W: Write>(w: &mut W, vectors: &crate::VectorSet) -> io
 }
 
 /// [`read_vectors`] straight into flat storage: one contiguous buffer,
-/// no per-row allocation.  Returns the same coordinates bit-for-bit.
+/// no per-row allocation.  Same parser as the nested reader, so both
+/// accept and reject exactly the same bytes.
 pub fn read_vectors_flat<R: BufRead>(r: &mut R) -> Result<crate::VectorSet, SisapIoError> {
     let (dim, vectors) = read_vectors_raw(r)?;
     Ok(crate::VectorSet::from_raw(dim, vectors))
 }
 
+/// The one vector-database parser behind [`read_vectors`] and
+/// [`read_vectors_flat`].
 fn read_vectors_raw<R: BufRead>(r: &mut R) -> Result<(usize, Vec<f64>), SisapIoError> {
     let mut lines = r.lines().enumerate();
     let (header_no, header) = loop {
@@ -399,6 +353,75 @@ mod tests {
         assert!(err.to_string().contains("declared 2 rows, found 1"), "{err}");
         let err = read_vectors(&mut Cursor::new(b"1 1\n0.5\n0.6\n" as &[u8])).unwrap_err();
         assert!(err.to_string().contains("more than the declared"), "{err}");
+    }
+
+    /// Both readers over the same bytes: same `(dim, rows)` bit-for-bit,
+    /// or the same error (line and message).
+    fn assert_readers_agree(bytes: &[u8]) -> Result<(usize, usize), String> {
+        let nested = read_vectors(&mut Cursor::new(bytes));
+        let flat = read_vectors_flat(&mut Cursor::new(bytes));
+        match (nested, flat) {
+            (Ok((dim, rows)), Ok(set)) => {
+                assert_eq!(dim, set.dim(), "dim disagrees");
+                assert_eq!(rows.len(), set.len(), "row count disagrees");
+                for (i, row) in rows.iter().enumerate() {
+                    for (a, b) in row.iter().zip(set.row(i)) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "row {i} disagrees");
+                    }
+                }
+                Ok((dim, rows.len()))
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "errors disagree");
+                Err(a.to_string())
+            }
+            (nested, flat) => panic!(
+                "readers disagree: nested {:?}, flat {:?}",
+                nested.map(|(d, v)| (d, v.len())).map_err(|e| e.to_string()),
+                flat.map(|v| v.len()).map_err(|e| e.to_string())
+            ),
+        }
+    }
+
+    #[test]
+    fn readers_tolerate_trailing_newlines_identically() {
+        for tail in ["", "\n", "\n\n", "\n \n"] {
+            let text = format!("2 2\n0 1\n2 3{tail}");
+            let got = assert_readers_agree(text.as_bytes());
+            assert_eq!(got, Ok((2, 2)), "tail {tail:?}");
+        }
+    }
+
+    #[test]
+    fn readers_tolerate_crlf_identically() {
+        // CRLF everywhere, including a trailing blank CRLF line.
+        let got = assert_readers_agree(b"2 2\r\n0.5 1.5\r\n2.5 3.5\r\n\r\n");
+        assert_eq!(got, Ok((2, 2)));
+        // Mixed endings.
+        let got = assert_readers_agree(b"2 2\r\n0.5 1.5\n2.5 3.5\r\n");
+        assert_eq!(got, Ok((2, 2)));
+    }
+
+    #[test]
+    fn readers_reject_truncated_rows_identically() {
+        // File cut off mid-row: the final row has too few coordinates.
+        let err = assert_readers_agree(b"2 3\n0 1\n2 3\n4").unwrap_err();
+        assert!(err.contains("line 4") && err.contains("expected 2"), "{err}");
+        // File cut off between rows: fewer rows than the header declared
+        // must error, not silently yield a shorter database.
+        let err = assert_readers_agree(b"2 3\n0 1\n2 3\n").unwrap_err();
+        assert!(err.contains("declared 3 rows, found 2"), "{err}");
+        // Truncation with a CRLF tail behaves the same.
+        let err = assert_readers_agree(b"2 3\r\n0 1\r\n2 3\r\n").unwrap_err();
+        assert!(err.contains("declared 3 rows, found 2"), "{err}");
+    }
+
+    #[test]
+    fn readers_reject_malformed_input_identically() {
+        for bad in [&b""[..], b"2", b"x 3\n", b"2 2\n0 1\n2 3\n4 5\n", b"1 1\nfoo\n", b"1 1\ninf\n"]
+        {
+            assert_readers_agree(bad).unwrap_err();
+        }
     }
 
     #[test]

@@ -18,11 +18,17 @@
 use crate::api::{ApproxIndex, ApproxSearcher, ProximityIndex, Searcher};
 use crate::distperm::OrderingKind;
 use crate::laesa::{choose_pivots, PivotSelection};
-use crate::query::{budgeted_knn_scan, budgeted_range_scan, Neighbor, QueryStats};
+use crate::query::{assert_frac, knn_budget, range_budget, KnnHeap, Neighbor, QueryStats};
 use dp_datasets::VectorSet;
-use dp_metric::{BatchDistance, Distance, F64Dist, SliceRefMetric, TransposedSites};
+use dp_metric::{BatchDistance, Distance, F64Dist, SliceRefMetric, TransposedSites, STRIP_POINTS};
 use dp_permutation::compute::database_permutations_flat_parallel;
 use dp_permutation::{Permutation, PermutationCounter, MAX_K};
+
+/// Candidate rows gathered per batched distance call in the budgeted
+/// scans: a multiple of [`STRIP_POINTS`] so full blocks stay on the
+/// strip-mined kernel path, small enough that the gather buffer and its
+/// distances stay in L1.
+const CANDIDATE_BLOCK_ROWS: usize = 16 * STRIP_POINTS;
 
 /// Distance-permutation index over flat vector storage.
 #[derive(Debug, Clone)]
@@ -134,9 +140,19 @@ impl<M: BatchDistance> FlatDistPermIndex<M> {
         self.session().query_permutation(query)
     }
 
-    /// A reusable query cursor (scratch allocated once).
+    /// A reusable query cursor (scratch allocated once): site-distance
+    /// buffer, candidate order, and the gather/distance blocks of the
+    /// batched candidate measurement — sized in whole
+    /// [`STRIP_POINTS`]-strips so serving never re-allocates.
     pub fn session(&self) -> FlatDistPermSearcher<'_, M> {
-        FlatDistPermSearcher { index: self, dists: vec![0.0; self.k()], order: Vec::new() }
+        FlatDistPermSearcher {
+            index: self,
+            dists: vec![0.0; self.k()],
+            order: Vec::new(),
+            query_site: TransposedSites::from_rows(&[], 0),
+            gather: Vec::with_capacity(CANDIDATE_BLOCK_ROWS * self.points.dim()),
+            cand_dists: vec![0.0; CANDIDATE_BLOCK_ROWS],
+        }
     }
 
     /// Approximate k-NN over the `frac` permutation-nearest fraction
@@ -174,6 +190,9 @@ pub struct FlatDistPermSearcher<'a, M: BatchDistance> {
     index: &'a FlatDistPermIndex<M>,
     dists: Vec<f64>,
     order: Vec<(u64, usize)>,
+    query_site: TransposedSites,
+    gather: Vec<f64>,
+    cand_dists: Vec<f64>,
 }
 
 impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
@@ -198,6 +217,14 @@ impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
     }
 
     /// [`Self::knn_approx`] with an explicit ordering measure.
+    ///
+    /// Candidate measurement runs through the strip-mined batched kernel
+    /// (the query acts as a 1-site transposed set, candidates are
+    /// gathered in 64-row blocks), which for every
+    /// supported metric produces the same bits as the per-point
+    /// `metric.distance(query, row)` — `|x − s|`, `(x − s)²` and
+    /// `|x − s|^p` are all exactly symmetric — so answers are identical
+    /// to the generic [`crate::DistPermIndex`] on the same data.
     pub fn knn_approx_ordered(
         &mut self,
         query: &[f64],
@@ -206,23 +233,30 @@ impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
         ordering: OrderingKind,
     ) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
         let index = self.index;
-        let dists = &mut self.dists;
-        budgeted_knn_scan(
-            index.len(),
-            k,
-            frac,
-            index.k(),
-            &mut self.order,
-            |budget, order| {
-                let qperm = query_permutation_into(index, dists, query);
-                crate::distperm::order_candidates(&index.perms, &qperm, ordering, budget, order);
-            },
-            |i| index.metric.distance(query, index.points.row(i)),
-        )
+        assert_frac(frac);
+        let n = index.len();
+        if n == 0 || k == 0 {
+            return (Vec::new(), QueryStats::default());
+        }
+        let budget = knn_budget(n, k, frac);
+        let qperm = query_permutation_into(index, &mut self.dists, query);
+        crate::distperm::order_candidates(&index.perms, &qperm, ordering, budget, &mut self.order);
+        let mut heap = KnnHeap::new(k.min(n));
+        measure_candidates(
+            index,
+            &self.order[..budget],
+            query,
+            &mut self.query_site,
+            &mut self.gather,
+            &mut self.cand_dists,
+            |i, d| heap.push(i, d),
+        );
+        (heap.into_sorted(), QueryStats::new((index.k() + budget) as u64))
     }
 
     /// Budgeted range query; a subset of the true answer, exact at
-    /// `frac = 1.0`.
+    /// `frac = 1.0`.  Candidates are measured through the batched kernel
+    /// exactly as in [`Self::knn_approx_ordered`].
     pub fn range_approx(
         &mut self,
         query: &[f64],
@@ -230,25 +264,71 @@ impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
         frac: f64,
     ) -> (Vec<Neighbor<F64Dist>>, QueryStats) {
         let index = self.index;
-        let dists = &mut self.dists;
-        budgeted_range_scan(
-            index.len(),
-            frac,
-            index.k(),
-            radius,
+        assert_frac(frac);
+        let n = index.len();
+        if n == 0 {
+            return (Vec::new(), QueryStats::default());
+        }
+        let budget = range_budget(n, frac);
+        let qperm = query_permutation_into(index, &mut self.dists, query);
+        crate::distperm::order_candidates(
+            &index.perms,
+            &qperm,
+            OrderingKind::Footrule,
+            budget,
             &mut self.order,
-            |budget, order| {
-                let qperm = query_permutation_into(index, dists, query);
-                crate::distperm::order_candidates(
-                    &index.perms,
-                    &qperm,
-                    OrderingKind::Footrule,
-                    budget,
-                    order,
-                );
+        );
+        let mut out: Vec<Neighbor<F64Dist>> = Vec::new();
+        measure_candidates(
+            index,
+            &self.order[..budget],
+            query,
+            &mut self.query_site,
+            &mut self.gather,
+            &mut self.cand_dists,
+            |i, d| {
+                if d <= radius {
+                    out.push(Neighbor { id: i, dist: d });
+                }
             },
-            |i| index.metric.distance(query, index.points.row(i)),
-        )
+        );
+        out.sort_unstable();
+        (out, QueryStats::new((index.k() + budget) as u64))
+    }
+}
+
+/// Measures the ordered candidates against `query` through the batched
+/// kernel: gathers [`CANDIDATE_BLOCK_ROWS`] candidate rows at a time and
+/// treats the query as a single transposed site, feeding each `(id,
+/// distance)` pair to `sink` in candidate order.  NaN distances panic
+/// (at `F64Dist::new`) exactly like the scalar path.
+fn measure_candidates<M: BatchDistance>(
+    index: &FlatDistPermIndex<M>,
+    candidates: &[(u64, usize)],
+    query: &[f64],
+    query_site: &mut TransposedSites,
+    gather: &mut Vec<f64>,
+    cand_dists: &mut [f64],
+    mut sink: impl FnMut(usize, F64Dist),
+) {
+    let dim = index.points.dim();
+    assert_eq!(
+        query.len(),
+        dim,
+        "vector metric applied to vectors of different dimension ({} vs {dim})",
+        query.len()
+    );
+    query_site.assign_rows(query, dim);
+    for block in candidates.chunks(CANDIDATE_BLOCK_ROWS) {
+        gather.clear();
+        for &(_, i) in block {
+            gather.extend_from_slice(index.points.row(i));
+        }
+        let out = &mut cand_dists[..block.len()];
+        index.metric.batch_distances(gather, query_site, out);
+        for (&(_, i), &d) in block.iter().zip(out.iter()) {
+            sink(i, F64Dist::new(d));
+        }
     }
 }
 

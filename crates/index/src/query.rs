@@ -145,6 +145,12 @@ pub(crate) fn budgeted_order(
 ) {
     order.clear();
     order.extend(keys.enumerate().map(|(i, key)| (key, i)));
+    // Defensive clamp, pinning the contract the branches below already
+    // satisfy: a budget at or above the candidate count (including
+    // budget > 0 over an empty candidate list) degrades to a plain full
+    // sort.  The select_nth_unstable pivot below must stay in range even
+    // if the branch conditions are ever reshuffled.
+    let budget = budget.min(order.len());
     if budget == 0 {
         return;
     }
@@ -154,6 +160,25 @@ pub(crate) fn budgeted_order(
     } else {
         order.sort_unstable();
     }
+}
+
+/// Validates a scan-budget fraction (shared by every budgeted scan).
+#[inline]
+pub(crate) fn assert_frac(frac: f64) {
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+}
+
+/// Scan budget for budgeted k-NN: `⌈frac·n⌉` clamped to `[min(k, n), n]`.
+#[inline]
+pub(crate) fn knn_budget(n: usize, k: usize, frac: f64) -> usize {
+    ((frac * n as f64).ceil() as usize).clamp(k.min(n), n)
+}
+
+/// Scan budget for budgeted range queries: `⌈frac·n⌉` clamped to `n`
+/// (no k floor).
+#[inline]
+pub(crate) fn range_budget(n: usize, frac: f64) -> usize {
+    ((frac * n as f64).ceil() as usize).min(n)
 }
 
 /// The shared budgeted k-NN scan of the permutation-family searchers
@@ -174,11 +199,11 @@ pub(crate) fn budgeted_knn_scan<D: Distance>(
     order_with: impl FnOnce(usize, &mut Vec<(u64, usize)>),
     mut dist: impl FnMut(usize) -> D,
 ) -> (Vec<Neighbor<D>>, QueryStats) {
-    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+    assert_frac(frac);
     if n == 0 || k == 0 {
         return (Vec::new(), QueryStats::default());
     }
-    let budget = ((frac * n as f64).ceil() as usize).clamp(k.min(n), n);
+    let budget = knn_budget(n, k, frac);
     order_with(budget, order);
     let mut heap = KnnHeap::new(k.min(n));
     for &(_, i) in order.iter().take(budget) {
@@ -199,11 +224,11 @@ pub(crate) fn budgeted_range_scan<D: Distance>(
     order_with: impl FnOnce(usize, &mut Vec<(u64, usize)>),
     mut dist: impl FnMut(usize) -> D,
 ) -> (Vec<Neighbor<D>>, QueryStats) {
-    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1], got {frac}");
+    assert_frac(frac);
     if n == 0 {
         return (Vec::new(), QueryStats::default());
     }
-    let budget = ((frac * n as f64).ceil() as usize).min(n);
+    let budget = range_budget(n, frac);
     order_with(budget, order);
     let mut out: Vec<Neighbor<D>> = order
         .iter()
@@ -304,6 +329,41 @@ mod tests {
         let mut s = QueryStats::new(1);
         s.merge(QueryStats::new(2));
         assert_eq!(s + QueryStats::new(10), QueryStats::new(13));
+    }
+
+    #[test]
+    fn budgeted_order_clamps_budget_to_candidate_count() {
+        // Regression suite for the select_nth_unstable pivot: budgets at
+        // n − 1, n, and n + 1 must all produce the full-sort prefix, and
+        // an empty candidate list must accept any budget.
+        let keys: Vec<u64> = (0..10).map(|i| (i * 37) % 11).collect();
+        let n = keys.len();
+        let mut full = Vec::new();
+        budgeted_order(keys.iter().copied(), n, &mut full);
+        full.sort_unstable();
+        for budget in [n - 1, n, n + 1, n + 100] {
+            let mut got = Vec::new();
+            budgeted_order(keys.iter().copied(), budget, &mut got);
+            let shown = budget.min(n);
+            assert_eq!(&got[..shown], &full[..shown], "budget {budget}");
+        }
+        // n = 0: every budget is fine and yields an empty order.
+        for budget in [0usize, 1, 5] {
+            let mut got = vec![(0u64, 0usize)];
+            budgeted_order(std::iter::empty(), budget, &mut got);
+            assert!(got.is_empty(), "budget {budget} over empty candidates");
+        }
+    }
+
+    #[test]
+    fn budget_helpers_clamp_to_database_size() {
+        assert_eq!(knn_budget(10, 3, 1.0), 10);
+        assert_eq!(knn_budget(10, 3, 0.0), 3);
+        assert_eq!(knn_budget(10, 25, 0.0), 10, "k > n floors at n");
+        assert_eq!(knn_budget(10, 25, 1.0), 10);
+        assert_eq!(range_budget(10, 1.0), 10);
+        assert_eq!(range_budget(10, 0.0), 0);
+        assert_eq!(range_budget(3, 0.5), 2);
     }
 
     #[test]

@@ -82,6 +82,12 @@ fn run_one_approx<P: ?Sized, S: ApproxSearcher<P>>(
 
 /// Splits `n` queries into at most `threads` contiguous chunks of
 /// near-equal size; returns the chunk length (0 for an empty batch).
+///
+/// The worker count is clamped to `max(1, min(threads, n))`: `threads`
+/// = 0 serves sequentially, and `threads` > n spawns exactly n workers —
+/// never an empty chunk, so oversubscribed batches cannot panic a
+/// serving worker (and, by the chunks-in-order construction, results
+/// stay bit-identical under the clamp).
 fn chunk_len(n: usize, threads: usize) -> usize {
     let workers = threads.clamp(1, n.max(1));
     n.div_ceil(workers)
@@ -274,6 +280,54 @@ mod tests {
         let one = random_points(1, 2, 10);
         let out = query_batch_parallel(&tree, &one, Request::Knn { k: 1 }, 8);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn worker_clamp_keeps_results_bit_identical() {
+        // Regression suite for the worker-count clamp: threads = 0,
+        // threads > queries, and absurd oversubscription must all return
+        // exactly the sequential answers and stats, for both the exact
+        // and the budgeted serving surfaces.
+        let pts = random_points(120, 3, 12);
+        let flat = VectorSet::from_nested(&pts);
+        let idx = FlatDistPermIndex::build(L2, flat, 6, PivotSelection::MaxMin, 1);
+        for nq in [0usize, 1, 2, 7] {
+            let queries = random_points(nq, 3, 13 + nq as u64);
+            let rows: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+            let seq = query_batch::<[f64], _, _>(&idx, &rows, Request::Knn { k: 3 });
+            let approx_req = ApproxRequest::Knn { k: 3, frac: 0.4 };
+            let seq_approx = query_batch_approx::<[f64], _, _>(&idx, &rows, approx_req);
+            for threads in [0usize, 1, nq, nq + 1, 1000] {
+                let par = query_batch_parallel::<[f64], _, _>(
+                    &idx,
+                    &rows,
+                    Request::Knn { k: 3 },
+                    threads,
+                );
+                assert_eq!(par, seq, "exact: {nq} queries, {threads} threads");
+                let par_approx =
+                    query_batch_parallel_approx::<[f64], _, _>(&idx, &rows, approx_req, threads);
+                assert_eq!(par_approx, seq_approx, "approx: {nq} queries, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_len_never_produces_empty_chunks() {
+        for n in [0usize, 1, 2, 5, 64] {
+            for threads in [0usize, 1, 2, n, n + 1, 1000] {
+                let chunk = chunk_len(n, threads);
+                if n == 0 {
+                    assert_eq!(chunk, 0);
+                    continue;
+                }
+                assert!(chunk >= 1, "n={n} threads={threads}");
+                // At most `threads.max(1)` chunks, each non-empty.
+                let chunks = n.div_ceil(chunk);
+                assert!(chunks <= threads.max(1).min(n));
+                assert!(chunk * chunks >= n);
+            }
+        }
     }
 
     #[test]

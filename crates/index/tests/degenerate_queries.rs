@@ -1,0 +1,72 @@
+//! Degenerate-input regression tests for the query and serving paths:
+//! every combination a serving worker can receive — k = 0, k > n, empty
+//! databases, empty batches, thread counts of 0 or far beyond the batch
+//! — must answer (or error) without panicking.
+
+use dp_datasets::VectorSet;
+use dp_index::serve::{query_batch_parallel, Request};
+use dp_index::{DistPermIndex, FlatDistPermIndex, PivotSelection, ProximityIndex};
+use dp_metric::L2;
+
+fn pts(n: usize, d: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| (0..d).map(|j| ((i * d + j) as f64).sin()).collect()).collect()
+}
+
+#[test]
+fn knn_with_k_beyond_database_size() {
+    let p = pts(5, 2);
+    let idx = DistPermIndex::build(L2, p.clone(), 3, PivotSelection::Prefix);
+    let flat =
+        FlatDistPermIndex::build(L2, VectorSet::from_nested(&p), 3, PivotSelection::Prefix, 1);
+    for k in [4usize, 5, 6, 100] {
+        let out = idx.knn_approx(&vec![0.0, 0.0], k, 1.0);
+        assert_eq!(out.len(), 5.min(k), "k = {k}");
+        assert_eq!(flat.knn_approx(&[0.0, 0.0], k, 1.0), out, "flat, k = {k}");
+    }
+}
+
+#[test]
+fn knn_with_tiny_fraction_on_tiny_database() {
+    let p = pts(3, 2);
+    let idx = DistPermIndex::build(L2, p, 2, PivotSelection::Prefix);
+    assert_eq!(idx.knn_approx(&vec![0.0, 0.0], 1, 0.0001).len(), 1);
+}
+
+#[test]
+fn empty_databases_answer_empty() {
+    let idx = DistPermIndex::build_with_sites(L2, Vec::<Vec<f64>>::new(), vec![]);
+    assert!(idx.knn_approx(&vec![0.0, 0.0], 3, 0.5).is_empty());
+    let flat = FlatDistPermIndex::build_with_sites(L2, VectorSet::new(2), vec![], 1);
+    assert!(flat.knn_approx(&[0.0, 0.0], 3, 0.5).is_empty());
+}
+
+#[test]
+fn k_zero_queries_answer_empty() {
+    let p = pts(5, 2);
+    let idx = DistPermIndex::build(L2, p.clone(), 3, PivotSelection::Prefix);
+    let (out, stats) = idx.query_knn(&vec![0.0, 0.0], 0);
+    assert!(out.is_empty());
+    assert_eq!(stats.metric_evals, 0);
+    let flat =
+        FlatDistPermIndex::build(L2, VectorSet::from_nested(&p), 3, PivotSelection::Prefix, 1);
+    let (out, stats) = flat.session().knn_approx(&[0.0, 0.0], 0, 0.5);
+    assert!(out.is_empty());
+    assert_eq!(stats.metric_evals, 0);
+}
+
+#[test]
+fn serving_degenerate_thread_and_batch_combinations() {
+    let p = pts(3, 2);
+    let idx = DistPermIndex::build(L2, p, 2, PivotSelection::Prefix);
+    let queries = pts(2, 2);
+    let seq = query_batch_parallel(&idx, &queries, Request::Knn { k: 1 }, 1);
+    for threads in [0usize, 7, 100] {
+        assert_eq!(
+            query_batch_parallel(&idx, &queries, Request::Knn { k: 1 }, threads),
+            seq,
+            "threads = {threads}"
+        );
+    }
+    let none: Vec<Vec<f64>> = Vec::new();
+    assert!(query_batch_parallel(&idx, &none, Request::Knn { k: 1 }, 8).is_empty());
+}

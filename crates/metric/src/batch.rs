@@ -8,21 +8,65 @@
 //! chain the compiler must not reorder), and every site is re-walked per
 //! point.
 //!
-//! [`BatchDistance::batch_distances`] restructures the loop: sites are
-//! held **transposed** ([`TransposedSites`]: coordinate-major, so all k
-//! j-th coordinates are adjacent) and the inner loop runs *across sites*
-//! for one coordinate of one point.  The k accumulators are independent,
-//! so the loop vectorizes cleanly, while each accumulator still sums its
-//! coordinates in exactly the same order as [`Metric::distance`] —
-//! results are **bit-for-bit identical** to the scalar path, which the
-//! flat/nested equivalence property tests rely on.
+//! # Strip-mined layout
 //!
-//! Implemented for [`L1`], [`L2`], [`L2Squared`], [`LInf`] and [`Lp`];
-//! every implementation is checked against the scalar metric by tests in
-//! this module and by workspace-level property tests.
+//! [`BatchDistance::batch_distances`] restructures the loop around two
+//! levels of blocking:
+//!
+//! * **Sites are transposed** ([`TransposedSites`]: coordinate-major, so
+//!   all k j-th coordinates are adjacent) — the per-coordinate site loop
+//!   is a contiguous read of k values.
+//! * **Points are strip-mined [`STRIP_POINTS`] (= 4) at a time.**  For
+//!   each strip the kernel walks 4 × 4 (point × site) tiles whose 16
+//!   accumulators live in locals of a fixed-size array — small and
+//!   constant enough for the compiler to keep them **in registers** for
+//!   the whole coordinate loop.  The inner step is 16 independent
+//!   fused updates per coordinate: the compiler vectorizes across
+//!   *sites* (the 4 site coordinates are contiguous) and pipelines
+//!   across *points* (4 independent dependency chains), and — unlike a
+//!   one-row-at-a-time kernel with a `k`-length accumulator array —
+//!   no accumulator traffic touches memory until the tile is done.
+//!   Site-count remainders (k mod 4) run a register tile of 4 × 1;
+//!   point-count remainders (n mod 4) fall back to the row-at-a-time
+//!   kernel.
+//!
+//! # Bit-identity
+//!
+//! Every accumulator — tiled, remainder, or row-at-a-time — belongs to
+//! exactly one (point, site) pair and folds that pair's coordinates in
+//! ascending coordinate order, which is precisely the order
+//! [`Metric::distance`] uses.  Blocking changes *which* accumulators are
+//! live concurrently, never the sequence of operations any single
+//! accumulator performs, so `out[r*k + j]` is the same `f64`, to the
+//! bit, that `self.distance(row_r, site_j)` produces, for every
+//! representable (non-NaN) result — ±∞ included.  NaN results agree in
+//! NaN-ness but not necessarily in payload bits (scalar and vector
+//! instruction selections generate different quiet-NaN patterns); that
+//! is immaterial to callers because every public consumer rejects NaN
+//! distances with a panic ([`F64Dist::new`], the flat scan's NaN
+//! check).  The flat/nested equivalence property suites
+//! (`tests/kernel_equivalence.rs` at the workspace root, run under
+//! `--release` by `scripts/check.sh`) pin exactly this contract.
+//!
+//! [`BatchDistance::batch_distances_rowwise`] keeps the one-row-at-a-time
+//! kernel callable as the in-tree reference: the equivalence tests pin
+//! strip == rowwise == scalar, and the `kernels` Criterion bench measures
+//! what the strip layout buys over it.
+//!
+//! Implemented for [`L1`], [`L2`], [`L2Squared`], [`LInf`] and [`Lp`].
 
 use crate::vector::{L2Squared, LInf, Lp, L1, L2};
 use crate::{F64Dist, Metric};
+
+/// Query points processed per strip by the strip-mined kernels.
+///
+/// Block sizes fed to [`BatchDistance::batch_distances`] should be a
+/// multiple of this so full blocks never take the remainder path.
+pub const STRIP_POINTS: usize = 4;
+
+/// Sites per register tile inside one strip (4 points × 4 sites = 16
+/// register accumulators; on x86-64 that is 8 SSE2 / 4 AVX2 vectors).
+const SITE_TILE: usize = 4;
 
 /// k sites stored coordinate-major: `data[c*k + j]` is coordinate `c` of
 /// site `j`.
@@ -44,6 +88,19 @@ impl TransposedSites {
     /// Panics if `rows.len()` is not a multiple of `dim` (with `dim = 0`
     /// only an empty `rows` is accepted).
     pub fn from_rows(rows: &[f64], dim: usize) -> Self {
+        let mut t = TransposedSites { k: 0, dim: 0, data: Vec::new() };
+        t.assign_rows(rows, dim);
+        t
+    }
+
+    /// Refills this transposed buffer from a new set of row-major sites,
+    /// reusing the existing allocation — the per-query path of the flat
+    /// searchers turns one query point into a 1-site set this way without
+    /// allocating.
+    ///
+    /// # Panics
+    /// As [`Self::from_rows`].
+    pub fn assign_rows(&mut self, rows: &[f64], dim: usize) {
         let k = if dim == 0 {
             assert!(rows.is_empty(), "dim = 0 with non-empty site data");
             0
@@ -51,13 +108,15 @@ impl TransposedSites {
             assert_eq!(rows.len() % dim, 0, "site data not a multiple of dim = {dim}");
             rows.len() / dim
         };
-        let mut data = vec![0.0; rows.len()];
+        self.data.clear();
+        self.data.resize(rows.len(), 0.0);
         for (j, row) in rows.chunks_exact(dim.max(1)).enumerate() {
             for (c, &x) in row.iter().enumerate() {
-                data[c * k + j] = x;
+                self.data[c * k + j] = x;
             }
         }
-        TransposedSites { k, dim, data }
+        self.k = k;
+        self.dim = dim;
     }
 
     /// Number of sites k.
@@ -79,23 +138,81 @@ impl TransposedSites {
 
 /// Vector metrics with a batched site-transposed kernel.
 ///
-/// The contract: `out[r*k + j]` receives the same `f64` that
-/// `self.distance(row_r, site_j)` would produce — same value, same
-/// floating-point rounding, since both sum coordinates in ascending
-/// order.  `out` must hold `rows_count * k` elements.
+/// The contract, for both methods: `out[r*k + j]` receives the same
+/// `f64` — same value, same floating-point rounding, bit for bit — that
+/// `self.distance(row_r, site_j)` would produce, because every
+/// accumulator sums its pair's coordinates in ascending order.  `out`
+/// must hold `rows_count * k` elements.
 pub trait BatchDistance: Metric<[f64], Dist = F64Dist> {
-    /// Computes all `rows × sites` distances into `out`, row-major.
+    /// Computes all `rows × sites` distances into `out`, row-major,
+    /// through the strip-mined register-tiled kernel (see the module
+    /// docs).
     ///
     /// # Panics
     /// Panics if `rows.len()` is not a multiple of `sites.dim()` or
     /// `out` is shorter than `rows_count * sites.k()`.
     fn batch_distances(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]);
+
+    /// The one-row-at-a-time reference kernel: identical contract and
+    /// identical bits, k memory-resident accumulators per row instead of
+    /// the register-tiled strip.  Kept callable so the equivalence tests
+    /// and the `kernels` bench can pin the strip kernel against it.
+    fn batch_distances_rowwise(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]);
 }
 
-/// Shared driver: initialise k accumulators, fold every coordinate with
-/// `step`, then map each accumulator through `finish`.
+/// Handles the `dim = 0` / `k = 0` degenerate shapes shared by both
+/// drivers: every distance is the empty fold `finish(init)`.  Returns
+/// `true` if the call was fully handled.
 #[inline(always)]
-fn accumulate_rows(
+fn degenerate_fill(rows: &[f64], sites: &TransposedSites, out: &mut [f64], value: f64) -> bool {
+    let (k, dim) = (sites.k(), sites.dim());
+    if dim > 0 && k > 0 {
+        return false;
+    }
+    // Width-0 rows are not representable in flat storage, so a zero-dim
+    // site set only ever meets an empty row buffer.
+    assert!(dim > 0 || rows.is_empty(), "dim = 0 with non-empty row data");
+    let n = rows.len().checked_div(dim).unwrap_or(0);
+    out[..n * k].fill(value);
+    true
+}
+
+/// Validates the shared shape contract and returns `(n, k, dim)`.
+#[inline(always)]
+fn checked_shape(rows: &[f64], sites: &TransposedSites, out: &[f64]) -> (usize, usize, usize) {
+    let (k, dim) = (sites.k(), sites.dim());
+    assert_eq!(rows.len() % dim, 0, "row data not a multiple of dim = {dim}");
+    let n = rows.len() / dim;
+    assert!(out.len() >= n * k, "output buffer too small");
+    (n, k, dim)
+}
+
+/// One row's k accumulators, folded coordinate-by-coordinate — the
+/// scalar-remainder and reference kernel body.
+#[inline(always)]
+fn accumulate_one(
+    row: &[f64],
+    sites: &TransposedSites,
+    acc: &mut [f64],
+    init: f64,
+    step: impl Fn(f64, f64, f64) -> f64 + Copy,
+    finish: impl Fn(f64) -> f64 + Copy,
+) {
+    acc.fill(init);
+    for (c, &x) in row.iter().enumerate() {
+        let coords = sites.coordinate(c);
+        for (a, &s) in acc.iter_mut().zip(coords.iter()) {
+            *a = step(*a, x, s);
+        }
+    }
+    for a in acc.iter_mut() {
+        *a = finish(*a);
+    }
+}
+
+/// Row-at-a-time driver (the reference kernel).
+#[inline(always)]
+fn rowwise_rows(
     rows: &[f64],
     sites: &TransposedSites,
     out: &mut [f64],
@@ -103,53 +220,133 @@ fn accumulate_rows(
     step: impl Fn(f64, f64, f64) -> f64 + Copy,
     finish: impl Fn(f64) -> f64 + Copy,
 ) {
-    let (k, dim) = (sites.k(), sites.dim());
-    if dim == 0 || k == 0 {
-        // Width-0 rows are not representable in flat storage, so a
-        // zero-dim site set only ever meets an empty row buffer.
-        assert!(dim > 0 || rows.is_empty(), "dim = 0 with non-empty row data");
-        let n = rows.len().checked_div(dim).unwrap_or(0);
-        out[..n * k].fill(finish(init));
+    if degenerate_fill(rows, sites, out, finish(init)) {
         return;
     }
-    assert_eq!(rows.len() % dim, 0, "row data not a multiple of dim = {dim}");
-    let n = rows.len() / dim;
-    assert!(out.len() >= n * k, "output buffer too small");
+    let (_, k, dim) = checked_shape(rows, sites, out);
     for (row, acc) in rows.chunks_exact(dim).zip(out.chunks_exact_mut(k)) {
-        acc.fill(init);
-        for (c, &x) in row.iter().enumerate() {
-            let coords = sites.coordinate(c);
-            for (a, &s) in acc.iter_mut().zip(coords.iter()) {
-                *a = step(*a, x, s);
+        accumulate_one(row, sites, acc, init, step, finish);
+    }
+}
+
+/// One strip of [`STRIP_POINTS`] rows: 4 × [`SITE_TILE`] register tiles
+/// over the site axis, 4 × 1 register columns for the site remainder.
+#[inline(always)]
+fn accumulate_strip(
+    quad: &[f64],
+    sites: &TransposedSites,
+    oquad: &mut [f64],
+    init: f64,
+    step: impl Fn(f64, f64, f64) -> f64 + Copy,
+    finish: impl Fn(f64) -> f64 + Copy,
+) {
+    let (k, dim) = (sites.k(), sites.dim());
+    let (r0, rest) = quad.split_at(dim);
+    let (r1, rest) = rest.split_at(dim);
+    let (r2, r3) = rest.split_at(dim);
+    let mut j = 0;
+    while j + SITE_TILE <= k {
+        // 16 accumulators in a fixed-size local: register-resident for
+        // the whole coordinate loop, no memory traffic until the stores.
+        let mut acc = [[init; SITE_TILE]; STRIP_POINTS];
+        for c in 0..dim {
+            let coords = &sites.coordinate(c)[j..j + SITE_TILE];
+            let (x0, x1, x2, x3) = (r0[c], r1[c], r2[c], r3[c]);
+            for (t, &s) in coords.iter().enumerate() {
+                acc[0][t] = step(acc[0][t], x0, s);
+                acc[1][t] = step(acc[1][t], x1, s);
+                acc[2][t] = step(acc[2][t], x2, s);
+                acc[3][t] = step(acc[3][t], x3, s);
             }
         }
-        for a in acc.iter_mut() {
-            *a = finish(*a);
+        for (p, tile) in acc.iter().enumerate() {
+            for (t, &a) in tile.iter().enumerate() {
+                oquad[p * k + j + t] = finish(a);
+            }
         }
+        j += SITE_TILE;
+    }
+    while j < k {
+        let mut acc = [init; STRIP_POINTS];
+        for c in 0..dim {
+            let s = sites.coordinate(c)[j];
+            acc[0] = step(acc[0], r0[c], s);
+            acc[1] = step(acc[1], r1[c], s);
+            acc[2] = step(acc[2], r2[c], s);
+            acc[3] = step(acc[3], r3[c], s);
+        }
+        for (p, &a) in acc.iter().enumerate() {
+            oquad[p * k + j] = finish(a);
+        }
+        j += 1;
+    }
+}
+
+/// Strip-mined driver: full strips through the register tiles, the
+/// n mod [`STRIP_POINTS`] tail through the row-at-a-time kernel.
+#[inline(always)]
+fn strip_rows(
+    rows: &[f64],
+    sites: &TransposedSites,
+    out: &mut [f64],
+    init: f64,
+    step: impl Fn(f64, f64, f64) -> f64 + Copy,
+    finish: impl Fn(f64) -> f64 + Copy,
+) {
+    if degenerate_fill(rows, sites, out, finish(init)) {
+        return;
+    }
+    let (n, k, dim) = checked_shape(rows, sites, out);
+    let out = &mut out[..n * k];
+    let mut quads = rows.chunks_exact(STRIP_POINTS * dim);
+    let mut oquads = out.chunks_exact_mut(STRIP_POINTS * k);
+    for (quad, oquad) in quads.by_ref().zip(oquads.by_ref()) {
+        accumulate_strip(quad, sites, oquad, init, step, finish);
+    }
+    let tail = quads.remainder();
+    let otail = oquads.into_remainder();
+    for (row, acc) in tail.chunks_exact(dim).zip(otail.chunks_exact_mut(k)) {
+        accumulate_one(row, sites, acc, init, step, finish);
     }
 }
 
 impl BatchDistance for L1 {
     fn batch_distances(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
-        accumulate_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s).abs(), |a| a);
+        strip_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s).abs(), |a| a);
+    }
+
+    fn batch_distances_rowwise(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
+        rowwise_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s).abs(), |a| a);
     }
 }
 
 impl BatchDistance for L2Squared {
     fn batch_distances(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
-        accumulate_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s) * (x - s), |a| a);
+        strip_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s) * (x - s), |a| a);
+    }
+
+    fn batch_distances_rowwise(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
+        rowwise_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s) * (x - s), |a| a);
     }
 }
 
 impl BatchDistance for L2 {
     fn batch_distances(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
-        accumulate_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s) * (x - s), f64::sqrt);
+        strip_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s) * (x - s), f64::sqrt);
+    }
+
+    fn batch_distances_rowwise(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
+        rowwise_rows(rows, sites, out, 0.0, |a, x, s| a + (x - s) * (x - s), f64::sqrt);
     }
 }
 
 impl BatchDistance for LInf {
     fn batch_distances(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
-        accumulate_rows(rows, sites, out, 0.0, |a, x, s| a.max((x - s).abs()), |a| a);
+        strip_rows(rows, sites, out, 0.0, |a, x, s| a.max((x - s).abs()), |a| a);
+    }
+
+    fn batch_distances_rowwise(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
+        rowwise_rows(rows, sites, out, 0.0, |a, x, s| a.max((x - s).abs()), |a| a);
     }
 }
 
@@ -163,7 +360,25 @@ impl BatchDistance for Lp {
         if p == 2.0 {
             return L2.batch_distances(rows, sites, out);
         }
-        accumulate_rows(
+        strip_rows(
+            rows,
+            sites,
+            out,
+            0.0,
+            move |a, x, s| a + (x - s).abs().powf(p),
+            move |a| a.powf(1.0 / p),
+        );
+    }
+
+    fn batch_distances_rowwise(&self, rows: &[f64], sites: &TransposedSites, out: &mut [f64]) {
+        let p = self.p();
+        if p == 1.0 {
+            return L1.batch_distances_rowwise(rows, sites, out);
+        }
+        if p == 2.0 {
+            return L2.batch_distances_rowwise(rows, sites, out);
+        }
+        rowwise_rows(
             rows,
             sites,
             out,
@@ -195,18 +410,35 @@ mod tests {
         let sites = TransposedSites::from_rows(&site_rows, dim);
         let mut out = vec![f64::NAN; n * k];
         metric.batch_distances(&rows, &sites, &mut out);
+        let mut out_ref = vec![f64::NAN; n * k];
+        metric.batch_distances_rowwise(&rows, &sites, &mut out_ref);
         for r in 0..n {
             for j in 0..k {
                 let scalar = metric
                     .distance(&rows[r * dim..(r + 1) * dim], &site_rows[j * dim..(j + 1) * dim]);
-                assert_eq!(F64Dist::new(out[r * k + j]), scalar, "mismatch at row {r}, site {j}");
+                assert_eq!(F64Dist::new(out[r * k + j]), scalar, "strip: row {r}, site {j}");
+                assert_eq!(
+                    out[r * k + j].to_bits(),
+                    out_ref[r * k + j].to_bits(),
+                    "strip vs rowwise: row {r}, site {j}"
+                );
             }
         }
     }
 
     #[test]
     fn all_metrics_match_scalar_bit_for_bit() {
-        for &(n, k, dim) in &[(17usize, 5usize, 3usize), (8, 12, 7), (3, 1, 1), (20, 4, 16)] {
+        // Shapes straddle every remainder combination: n mod 4 ∈
+        // {0,1,2,3} and k mod 4 ∈ {0,1,2,3}.
+        for &(n, k, dim) in &[
+            (17usize, 5usize, 3usize),
+            (8, 12, 7),
+            (3, 1, 1),
+            (20, 4, 16),
+            (6, 7, 2),
+            (5, 6, 4),
+            (4, 3, 9),
+        ] {
             check_matches_scalar(&L1, n, k, dim);
             check_matches_scalar(&L2, n, k, dim);
             check_matches_scalar(&L2Squared, n, k, dim);
@@ -229,10 +461,27 @@ mod tests {
     }
 
     #[test]
+    fn assign_rows_reuses_buffer_and_matches_fresh_transpose() {
+        let mut t = TransposedSites::from_rows(&[1.0, 2.0, 3.0, 4.0], 2);
+        // Shrink to a single site of different dimension, then grow again.
+        t.assign_rows(&[7.0, 8.0, 9.0], 3);
+        assert_eq!(t.k(), 1);
+        assert_eq!(t.dim(), 3);
+        assert_eq!(t.coordinate(1), &[8.0]);
+        let rows = deterministic_rows(3, 2, 9);
+        t.assign_rows(&rows, 2);
+        let fresh = TransposedSites::from_rows(&rows, 2);
+        assert_eq!(t.k(), fresh.k());
+        assert_eq!(t.coordinate(0), fresh.coordinate(0));
+        assert_eq!(t.coordinate(1), fresh.coordinate(1));
+    }
+
+    #[test]
     fn empty_rows_produce_no_output() {
         let sites = TransposedSites::from_rows(&[0.0, 1.0], 2);
         let mut out = [f64::NAN; 0];
         L2.batch_distances(&[], &sites, &mut out);
+        L2.batch_distances_rowwise(&[], &sites, &mut out);
     }
 
     #[test]
@@ -241,5 +490,38 @@ mod tests {
         let sites = TransposedSites::from_rows(&[0.0, 1.0], 2);
         let mut out = [0.0; 2];
         L2.batch_distances(&[1.0, 2.0, 3.0], &sites, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer too small")]
+    fn short_output_rejected() {
+        let sites = TransposedSites::from_rows(&[0.0, 1.0], 1);
+        let mut out = [0.0; 3];
+        L2.batch_distances(&[1.0, 2.0], &sites, &mut out);
+    }
+
+    #[test]
+    fn non_finite_inputs_propagate_identically() {
+        let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.5];
+        // 5 rows of dim 2 sweeping special values against 5 sites.
+        let rows: Vec<f64> = specials.iter().flat_map(|&x| [x, 1.0]).collect();
+        let site_rows: Vec<f64> = specials.iter().flat_map(|&s| [0.5, s]).collect();
+        let sites = TransposedSites::from_rows(&site_rows, 2);
+        for p in [1.5f64, 3.0] {
+            let metric = Lp::new(p);
+            let mut strip = vec![0.0; 25];
+            let mut rowwise = vec![0.0; 25];
+            metric.batch_distances(&rows, &sites, &mut strip);
+            metric.batch_distances_rowwise(&rows, &sites, &mut rowwise);
+            for (a, b) in strip.iter().zip(rowwise.iter()) {
+                // NaN payload bits are codegen-defined; everything else
+                // (including ±∞) must agree to the bit.
+                if a.is_nan() || b.is_nan() {
+                    assert!(a.is_nan() && b.is_nan());
+                } else {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 }

@@ -33,7 +33,7 @@ pub mod string;
 pub mod tree;
 pub mod vector;
 
-pub use batch::{BatchDistance, TransposedSites};
+pub use batch::{BatchDistance, TransposedSites, STRIP_POINTS};
 pub use dist::{Distance, F64Dist};
 pub use reconstruct::{reconstruct_tree, ReconstructedTree};
 pub use sparse::{CosineDistance, SparseVec};

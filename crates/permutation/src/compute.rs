@@ -96,15 +96,20 @@ pub fn database_permutations<P, M: Metric<P>>(
 
 /// Rows scanned per batched-kernel call: large enough to amortise loop
 /// overhead, small enough that the `block × k` distance buffer stays in
-/// L1 while the k site vectors stay resident throughout.
-const FLAT_BLOCK_ROWS: usize = 64;
+/// L1 while the k site vectors stay resident throughout.  A whole
+/// multiple of the kernel's strip width, so full blocks run entirely on
+/// the register-tiled strip path and only the final partial block ever
+/// reaches the row-at-a-time remainder.
+const FLAT_BLOCK_ROWS: usize = 64 * dp_metric::STRIP_POINTS;
+const _: () = assert!(FLAT_BLOCK_ROWS.is_multiple_of(dp_metric::STRIP_POINTS));
 
 /// Computes Π_y for every row of a flat row-major database.
 ///
 /// The batched equivalent of [`database_permutations`]: distances come
-/// from [`BatchDistance::batch_distances`] (site-transposed, vectorizable
-/// across the k accumulators) in blocks of 64 rows, and
-/// each row's sort runs on a stack scratch — no per-row allocation.
+/// from [`BatchDistance::batch_distances`] (site-transposed, strip-mined
+/// four points per pass with register-tiled accumulators) in blocks of
+/// 256 rows, and each row's ranking runs on a stack
+/// scratch — no per-row allocation.
 /// Results are **identical** (bit-for-bit distances, same tie-break) to
 /// the per-point path.
 ///

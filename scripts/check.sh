@@ -18,11 +18,16 @@ cargo build --release
 echo "== cargo test --workspace"
 cargo test --workspace -q
 
-# The survey equivalence suite asserts bit-for-bit floating-point and
-# integer-overflow behaviour; debug-only runs have missed overflow-class
-# bugs before, so it must also pass under release codegen.
+# The survey and kernel equivalence suites assert bit-for-bit
+# floating-point and integer-overflow behaviour; debug-only runs have
+# missed overflow-class bugs before, and the strip-mined kernel tiles
+# only vectorize under optimized codegen — which is exactly where their
+# bit-identity could break — so both must also pass under release.
 echo "== cargo test --release --test survey_equivalence (release-mode property run)"
 cargo test -p distance-permutations --release -q --test survey_equivalence
+
+echo "== cargo test --release --test kernel_equivalence (release-mode property run)"
+cargo test -p distance-permutations --release -q --test kernel_equivalence
 
 echo "== cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
