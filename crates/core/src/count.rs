@@ -6,9 +6,12 @@
 //!   over any point type (strings, trees, sparse vectors, …);
 //! * the flat batched path ([`count_permutations_flat`]) for real-vector
 //!   data in [`VectorSet`] storage — site-transposed, 4-wide strip-mined
-//!   distance kernels with register-tiled accumulators, identical
-//!   results, several times the throughput.  This is the engine behind
-//!   the Table 3 protocol in [`crate::experiments`].
+//!   distance kernels feeding the packed-u64 sorted-run counter (LSD
+//!   radix sort over the `5k` significant key bits, run-length scan; the
+//!   parallel variant radix-sorts per-chunk key buffers in the workers
+//!   and merges the sorted runs), identical results, several times the
+//!   throughput.  This is the engine behind the Table 3 protocol in
+//!   [`crate::experiments`].
 
 use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, Metric, TransposedSites};

@@ -25,7 +25,6 @@ use dp_metric::Metric;
 use dp_permutation::counter::collect_counter;
 use dp_permutation::encoding::element_bits;
 use dp_permutation::huffman::{entropy_bits, HuffmanCode};
-use dp_permutation::Codebook;
 use dp_permutation::PermutationCounter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -130,13 +129,12 @@ where
 /// Both survey engines produce their frequency tables in this order, so
 /// the entropy/Huffman sums run over identical vectors (bit-identical
 /// results).
+///
+/// [`PermutationCounter::sorted_counts`] emits exactly this order (ids
+/// of a codebook interned from the sorted permutations are `0..N` in
+/// sequence), so no codebook — flat or hashed — needs to be built here.
 pub(crate) fn counter_freqs(counter: &PermutationCounter) -> Vec<u64> {
-    let codebook: Codebook = counter.sorted_permutations().into_iter().collect();
-    let mut freqs = vec![0u64; codebook.len()];
-    for (p, &c) in counter.iter() {
-        freqs[codebook.id_of(p).expect("interned") as usize] = c;
-    }
-    freqs
+    counter.sorted_counts().into_iter().map(|(_, c)| c).collect()
 }
 
 /// Assembles one [`KSurvey`] row from a counting result and its

@@ -27,6 +27,7 @@ use dp_metric::BatchDistance;
 use dp_permutation::compute::{
     collect_counter_flat_parallel, collect_packed_flat_parallel, PACKED_MAX_K,
 };
+use dp_permutation::RadixSorter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,23 +63,26 @@ pub fn survey_database_flat_parallel<M: BatchDistance + Sync>(
         config.seed ^ 0x9E37_79B9,
     );
     let mut per_k = Vec::with_capacity(config.ks.len());
+    // One radix scratch buffer serves every per-k finalize and
+    // codebook-order sort in this survey.
+    let mut sorter = RadixSorter::new();
     for (i, &k) in config.ks.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
         let site_ids = dp_datasets::vectors::choose_distinct_indices(database.len(), k, &mut rng);
         let sites = database.gather(&site_ids);
-        per_k.push(survey_one_k(metric, database, &sites, k, site_ids, threads));
+        per_k.push(survey_one_k(metric, database, &sites, k, site_ids, threads, &mut sorter));
     }
     let dimension_estimate = dimension_estimate(&per_k, config);
     DatabaseSurvey { n: database.len(), rho, per_k, dimension_estimate }
 }
 
 /// One per-k measurement through the flat engine.  For k within the
-/// packed range the distinct/occupancy scan is the sort+scan counter
-/// and the frequency table comes from
+/// packed range the distinct/occupancy scan is the radix-sorted-run
+/// counter and the frequency table comes from
 /// [`dp_permutation::PackedCountSummary::lexicographic_counts`], which
 /// matches the generic path's codebook order exactly without decoding a
 /// single permutation; beyond the packed range the hash counter feeds
-/// the same codebook construction the generic path uses.
+/// the same sorted-count frequency table the generic path uses.
 fn survey_one_k<M: BatchDistance + Sync>(
     metric: &M,
     database: &VectorSet,
@@ -86,14 +90,15 @@ fn survey_one_k<M: BatchDistance + Sync>(
     k: usize,
     site_ids: Vec<usize>,
     threads: usize,
+    sorter: &mut RadixSorter,
 ) -> KSurvey {
     crate::count::check_flat_dims(sites, database);
     let sites_t = crate::count::transpose_sites(sites, database);
     if k <= PACKED_MAX_K {
-        let summary =
-            collect_packed_flat_parallel(metric, &sites_t, database.as_flat(), threads).finalize();
+        let summary = collect_packed_flat_parallel(metric, &sites_t, database.as_flat(), threads)
+            .finalize_with(sorter);
         let report = CountReport::from(&summary);
-        build_ksurvey(k, site_ids, report, &summary.lexicographic_counts())
+        build_ksurvey(k, site_ids, report, &summary.lexicographic_counts_with(sorter))
     } else {
         let counter = collect_counter_flat_parallel(metric, &sites_t, database.as_flat(), threads);
         let report = CountReport::from(&counter);

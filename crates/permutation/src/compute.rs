@@ -223,18 +223,83 @@ pub const PACKED_MAX_K: usize = 12;
 #[inline]
 fn rank_row(row_dists: &[f64], ranks: &mut [u8; MAX_K]) {
     let k = row_dists.len();
-    ranks[..k].fill(0);
     for i in 0..k {
         let di = row_dists[i];
-        // Accumulate site i's rank in a register; only ranks[j] (j > i)
-        // touch memory, and that loop is branch-free and vectorizable.
-        let mut ri = ranks[i];
-        for (rj, &dj) in ranks[i + 1..k].iter_mut().zip(row_dists[i + 1..].iter()) {
-            let farther_or_tie = u8::from(di <= dj);
-            *rj += farther_or_tie;
-            ri += 1 - farther_or_tie;
+        // Site i's rank = closer-or-tied earlier sites + strictly closer
+        // later ones: two pure reductions with no cross-iteration memory
+        // traffic, which the vectorizer turns into masked lane sums.
+        let mut r = 0u8;
+        for &dj in &row_dists[..i] {
+            r += u8::from(dj <= di);
         }
-        ranks[i] = ri;
+        for &dj in &row_dists[i + 1..k] {
+            r += u8::from(dj < di);
+        }
+        ranks[i] = r;
+    }
+}
+
+/// Rows ranked per tile by [`rank_rows`]: the comparison loops run
+/// lane-wise across this many rows at once, so every `(i, j)` site pair
+/// costs one vector compare instead of `RANK_LANES` scalar ones.
+const RANK_LANES: usize = 4;
+
+/// Ranks a tile of [`RANK_LANES`] rows at once.
+///
+/// The tile is transposed site-major (`cols[site][lane]`) so each
+/// `(i, j)` site comparison is one `f64×LANES` vector compare; the
+/// boolean masks accumulate as i64 lanes (`vcmppd` + `vpsubq` on AVX2 —
+/// no scalar booleans anywhere in the hot loop).  Tie-break and output
+/// are exactly [`rank_row`]'s, row by row.
+#[inline]
+fn rank_rows_tile(tile: &[f64], k: usize, rank_lanes: &mut [[i64; RANK_LANES]; MAX_K]) {
+    debug_assert_eq!(tile.len(), RANK_LANES * k);
+    let mut cols = [[0.0f64; RANK_LANES]; MAX_K];
+    for (lane, row) in tile.chunks_exact(k).enumerate() {
+        for (col, &d) in cols[..k].iter_mut().zip(row.iter()) {
+            col[lane] = d;
+        }
+    }
+    for i in 0..k {
+        let ci = cols[i];
+        let mut acc = [0i64; RANK_LANES];
+        for cj in &cols[..i] {
+            for (a, (&dj, &di)) in acc.iter_mut().zip(cj.iter().zip(ci.iter())) {
+                *a += i64::from(dj <= di);
+            }
+        }
+        for cj in &cols[i + 1..k] {
+            for (a, (&dj, &di)) in acc.iter_mut().zip(cj.iter().zip(ci.iter())) {
+                *a += i64::from(dj < di);
+            }
+        }
+        rank_lanes[i] = acc;
+    }
+}
+
+/// Ranks every `k`-wide row of a distance block, emitting one rank
+/// vector per row in order — full tiles through [`rank_rows_tile`], the
+/// remainder through [`rank_row`] (identical results; the tile is just
+/// the vectorized schedule).
+#[inline]
+fn rank_rows(block_dists: &[f64], k: usize, mut emit: impl FnMut(&[u8; MAX_K])) {
+    debug_assert!(k > 0);
+    let ranks = &mut [0u8; MAX_K];
+    let tiles = block_dists.chunks_exact(RANK_LANES * k);
+    let remainder = tiles.remainder();
+    let mut rank_lanes = [[0i64; RANK_LANES]; MAX_K];
+    for tile in tiles {
+        rank_rows_tile(tile, k, &mut rank_lanes);
+        for lane in 0..RANK_LANES {
+            for (r, lanes) in ranks[..k].iter_mut().zip(rank_lanes.iter()) {
+                *r = lanes[lane] as u8;
+            }
+            emit(ranks);
+        }
+    }
+    for row_dists in remainder.chunks_exact(k) {
+        rank_row(row_dists, ranks);
+        emit(ranks);
     }
 }
 
@@ -258,8 +323,8 @@ fn flat_scan_ranks<M: BatchDistance>(
     );
     let dim = dim.max(1);
     assert_eq!(db_rows.len() % dim, 0, "database rows not a multiple of dim");
-    let ranks = &mut [0u8; MAX_K];
     if k == 0 {
+        let ranks = &[0u8; MAX_K];
         for _ in 0..db_rows.len() / dim {
             emit(ranks, 0);
         }
@@ -272,10 +337,7 @@ fn flat_scan_ranks<M: BatchDistance>(
         metric.batch_distances(block, sites, block_dists);
         let any_nan = block_dists.iter().fold(false, |acc, &d| acc | d.is_nan());
         assert!(!any_nan, "distance must not be NaN");
-        for row_dists in block_dists.chunks_exact(k) {
-            rank_row(row_dists, ranks);
-            emit(ranks, k);
-        }
+        rank_rows(block_dists, k, |ranks| emit(ranks, k));
     }
 }
 
@@ -311,6 +373,44 @@ fn flat_scan<M: BatchDistance>(
     flat_scan_ranks(metric, sites, db_rows, |ranks, k| emit(permutation_from_ranks(ranks, k)));
 }
 
+/// Computes the packed u64 permutation key of every row — the
+/// distance + ranking phases of the counting pipeline with no sort and
+/// no counter, in database order.  [`collect_packed_flat`] is exactly
+/// this buffer wrapped in a [`PackedPermutationCounter`]; the
+/// `counting_phases` bench measures the phases separately through it.
+///
+/// # Panics
+/// Panics if `sites.k() > PACKED_MAX_K`.
+pub fn packed_keys_flat<M: BatchDistance>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+) -> Vec<u64> {
+    assert!(sites.k() <= PACKED_MAX_K, "k = {} exceeds PACKED_MAX_K = {PACKED_MAX_K}", sites.k());
+    let n = db_rows.len() / sites.dim().max(1);
+    let mut keys = Vec::with_capacity(n);
+    flat_scan_ranks(metric, sites, db_rows, |ranks, k| keys.push(packed_key_from_ranks(ranks, k)));
+    keys
+}
+
+/// Ranks every row of an `n × k` distance buffer into packed keys — the
+/// ranking phase in isolation (the pipeline normally interleaves it with
+/// blocked distance computation; this entry point exists so the phase
+/// benchmarks can time it against a precomputed buffer).
+///
+/// # Panics
+/// Panics if `k` is 0 or exceeds `PACKED_MAX_K`, if the buffer is not a
+/// whole number of rows, or if any distance is NaN.
+pub fn rank_distance_rows_packed(row_dists: &[f64], k: usize) -> Vec<u64> {
+    assert!((1..=PACKED_MAX_K).contains(&k), "k = {k} outside 1..=PACKED_MAX_K");
+    assert_eq!(row_dists.len() % k, 0, "distance buffer not a multiple of k");
+    let any_nan = row_dists.iter().fold(false, |acc, &d| acc | d.is_nan());
+    assert!(!any_nan, "distance must not be NaN");
+    let mut keys = Vec::with_capacity(row_dists.len() / k);
+    rank_rows(row_dists, k, |ranks| keys.push(packed_key_from_ranks(ranks, k)));
+    keys
+}
+
 /// Counts permutation occurrences over a flat database into a
 /// [`PackedPermutationCounter`] — the fastest counting path: no
 /// permutation value is materialised, keys are single u64s.
@@ -322,19 +422,16 @@ pub fn collect_packed_flat<M: BatchDistance>(
     sites: &TransposedSites,
     db_rows: &[f64],
 ) -> PackedPermutationCounter {
-    assert!(sites.k() <= PACKED_MAX_K, "k = {} exceeds PACKED_MAX_K = {PACKED_MAX_K}", sites.k());
-    let n = db_rows.len() / sites.dim().max(1);
-    let mut counter = PackedPermutationCounter::with_capacity(sites.k(), n);
-    flat_scan_ranks(metric, sites, db_rows, |ranks, k| {
-        counter.insert_key(packed_key_from_ranks(ranks, k));
-    });
-    counter
+    PackedPermutationCounter::from_keys(sites.k(), packed_keys_flat(metric, sites, db_rows))
 }
 
 /// Parallel [`collect_packed_flat`]: splits the rows across `threads`
-/// crossbeam-scoped workers and merges the per-chunk key buffers
-/// (appends — keys are only sorted at `finalize`).  Deterministic: the
-/// finalized summary is independent of the split.
+/// crossbeam-scoped workers, radix-sorts each per-chunk key buffer
+/// inside its worker, and merges the **sorted** runs — so the returned
+/// counter's later `finalize` hits the sorted fast path instead of
+/// re-sorting from scratch.  Deterministic: the finalized summary is
+/// independent of the split (a merge of sorted chunk multisets is the
+/// sorted multiset of the concatenation).
 ///
 /// # Panics
 /// Panics if `sites.k() > PACKED_MAX_K`.
@@ -353,22 +450,58 @@ pub fn collect_packed_flat_parallel<M: BatchDistance + Sync>(
         return collect_packed_flat(metric, sites, db_rows);
     }
     let rows_per = n.div_ceil(threads);
-    let mut counters: Vec<PackedPermutationCounter> = Vec::new();
+    let mut runs: Vec<Vec<u64>> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = db_rows
             .chunks(rows_per * dim)
-            .map(|rows| scope.spawn(move |_| collect_packed_flat(metric, sites, rows)))
+            .map(|rows| {
+                scope.spawn(move |_| {
+                    let mut counter = collect_packed_flat(metric, sites, rows);
+                    counter.sort_keys(&mut crate::radix::RadixSorter::new());
+                    counter.into_keys()
+                })
+            })
             .collect();
         for h in handles {
-            counters.push(h.join().expect("flat counting worker panicked"));
+            runs.push(h.join().expect("flat counting worker panicked"));
         }
     })
     .expect("flat counting scope");
-    let mut merged = PackedPermutationCounter::with_capacity(sites.k(), n);
-    for c in &counters {
-        merged.merge(c);
+    PackedPermutationCounter::from_keys(sites.k(), merge_sorted_runs(runs))
+}
+
+/// Merges sorted runs pairwise until one remains — `O(n log t)` for `t`
+/// runs, each round a cache-friendly linear two-way merge.
+fn merge_sorted_runs(mut runs: Vec<Vec<u64>>) -> Vec<u64> {
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(&a, &b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
     }
-    merged
+    runs.pop().unwrap_or_default()
+}
+
+fn merge_two(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 #[cfg(test)]

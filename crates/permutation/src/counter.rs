@@ -3,14 +3,47 @@
 //! This is the measurement the paper's experiments perform: enumerate the
 //! distance permutation of every database element and count the distinct
 //! values (`sort | uniq | wc` over the SISAP `build-distperm-*` output, §5).
-//! [`PermutationCounter`] does it in-memory with an Fx-hashed set and also
-//! tracks occupancy (how many elements map to each permutation), which
-//! Table 2's analysis uses ("about 10 database points per permutation").
+//! Two counters implement it:
+//!
+//! * [`PermutationCounter`] — an Fx-hashed multiset for arbitrary k and
+//!   point streams; also tracks occupancy (how many elements map to each
+//!   permutation), which Table 2's analysis uses ("about 10 database
+//!   points per permutation").
+//! * [`PackedPermutationCounter`] — the sorted-run pipeline behind the
+//!   flat engine: inserts append a packed u64 key, [`finalize`]
+//!   (radix-)sorts the buffer once and [`count_sorted_runs`] turns the
+//!   sorted runs into occupancies.  No hashing anywhere on the hot path.
+//!
+//! [`finalize`]: PackedPermutationCounter::finalize
 
 use crate::compute::DistPermComputer;
 use crate::fxhash::FxHashMap;
 use crate::perm::Permutation;
+use crate::radix::RadixSorter;
 use dp_metric::Metric;
+
+/// Run lengths of consecutive equal values in a sorted (or at least
+/// run-grouped) slice: `[3, 3, 3, 7, 9, 9]` → `[3, 1, 2]`.
+///
+/// The shared scan under every sort-then-dedup consumer in this crate —
+/// [`PackedPermutationCounter::finalize`] derives occupancies from it,
+/// [`PermutationCounter::sorted_counts`] collapses its sorted key stream
+/// with it, and the flat codebooks in [`crate::encoding`] locate run
+/// starts through it.
+pub fn count_sorted_runs<T: PartialEq>(sorted: &[T]) -> Vec<u64> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for i in 1..sorted.len() {
+        if sorted[i] != sorted[start] {
+            runs.push((i - start) as u64);
+            start = i;
+        }
+    }
+    if start < sorted.len() {
+        runs.push((sorted.len() - start) as u64);
+    }
+    runs
+}
 
 /// Accumulates distance permutations and distinct-count statistics.
 #[derive(Debug, Clone, Default)]
@@ -61,6 +94,32 @@ impl PermutationCounter {
         let mut v: Vec<Permutation> = self.counts.keys().copied().collect();
         v.sort_unstable();
         v
+    }
+
+    /// `(permutation, occurrence count)` pairs sorted lexicographically —
+    /// the order a codebook built from [`Self::sorted_permutations`]
+    /// assigns ids in, so mapping this to its counts *is* the frequency
+    /// table both survey engines emit.
+    ///
+    /// For a uniform permutation length `k ≤ PACKED_MAX_K` the sort runs
+    /// as a radix sort over group-reversed packed keys (no `Permutation`
+    /// is compared); mixed or longer lengths fall back to a comparison
+    /// sort with identical output.
+    pub fn sorted_counts(&self) -> Vec<(Permutation, u64)> {
+        let uniform_k = self.counts.keys().next().map(|p| p.len()).filter(|&k| {
+            k <= crate::compute::PACKED_MAX_K && self.counts.keys().all(|p| p.len() == k)
+        });
+        if let Some(k) = uniform_k {
+            let mut pairs: Vec<(u64, u64)> =
+                self.counts.iter().map(|(p, &c)| (lex_key(p, k), c)).collect();
+            RadixSorter::new().sort_pairs(&mut pairs, 5 * k as u32);
+            pairs.into_iter().map(|(key, c)| (decode_lex_key(key, k), c)).collect()
+        } else {
+            let mut v: Vec<(Permutation, u64)> =
+                self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+            v.sort_unstable_by_key(|&(p, _)| p);
+            v
+        }
     }
 
     /// Merges another counter into this one.
@@ -119,14 +178,6 @@ impl PackedPermutationCounter {
         Self { k, keys: Vec::new() }
     }
 
-    /// [`Self::new`] with room for `n` observations (avoids growth
-    /// reallocations on bulk scans of known size).
-    pub fn with_capacity(k: usize, n: usize) -> Self {
-        let mut c = Self::new(k);
-        c.keys.reserve_exact(n);
-        c
-    }
-
     /// Permutation length k.
     pub fn k(&self) -> usize {
         self.k
@@ -145,11 +196,7 @@ impl PackedPermutationCounter {
     /// Panics if `p.len() != k`.
     pub fn insert(&mut self, p: &Permutation) {
         assert_eq!(p.len(), self.k, "permutation length mismatch");
-        let mut key = 0u64;
-        for (pos, &site) in p.as_slice().iter().enumerate() {
-            key |= u64::from(site) << (5 * pos);
-        }
-        self.insert_key(key);
+        self.insert_key(pack_perm(p));
     }
 
     /// Total number of observations.
@@ -157,37 +204,71 @@ impl PackedPermutationCounter {
         self.keys.len() as u64
     }
 
-    /// Merges another counter into this one (O(other.total) append).
+    /// Sorts the key buffer (LSD radix over the `5·k` significant bits)
+    /// and produces the summary statistics.
     ///
-    /// # Panics
-    /// Panics if the two counters disagree on k.
-    pub fn merge(&mut self, other: &PackedPermutationCounter) {
-        assert_eq!(self.k, other.k, "merging counters of different k");
-        self.keys.extend_from_slice(&other.keys);
+    /// Allocates one scratch buffer; loops that finalize repeatedly
+    /// should reuse a sorter through [`Self::finalize_with`].
+    pub fn finalize(self) -> PackedCountSummary {
+        self.finalize_with(&mut RadixSorter::new())
     }
 
-    /// Sorts the key buffer and produces the summary statistics.
-    pub fn finalize(mut self) -> PackedCountSummary {
-        self.keys.sort_unstable();
-        let mut occupancies = Vec::new();
-        let mut run = 0u64;
-        let mut prev: Option<u64> = None;
-        for &key in &self.keys {
-            match prev {
-                Some(p) if p == key => run += 1,
-                Some(_) => {
-                    occupancies.push(run);
-                    run = 1;
-                }
-                None => run = 1,
-            }
-            prev = Some(key);
-        }
-        if prev.is_some() {
-            occupancies.push(run);
-        }
+    /// [`Self::finalize`] through a caller-owned [`RadixSorter`], so
+    /// repeated finalizes (the per-k survey loop) share one scratch
+    /// buffer instead of reallocating.
+    pub fn finalize_with(mut self, sorter: &mut RadixSorter) -> PackedCountSummary {
+        sorter.sort_keys(&mut self.keys, 5 * self.k as u32);
+        let occupancies = count_sorted_runs(&self.keys);
         PackedCountSummary { k: self.k, keys: self.keys, occupancies }
     }
+
+    /// Wraps an already-collected key buffer (the batched scans build the
+    /// buffer directly and only then enter counter land).
+    ///
+    /// # Panics
+    /// Panics if `k > PACKED_MAX_K`.
+    pub(crate) fn from_keys(k: usize, keys: Vec<u64>) -> Self {
+        let mut c = Self::new(k);
+        c.keys = keys;
+        c
+    }
+
+    /// The raw key buffer, consumed (sorted only if the collector sorted
+    /// it — [`Self::finalize`] handles either state).
+    pub(crate) fn into_keys(self) -> Vec<u64> {
+        self.keys
+    }
+
+    /// Radix-sorts the key buffer in place now, so a later
+    /// [`Self::finalize`] hits the sorted fast path — the parallel
+    /// collectors sort per-chunk buffers inside their workers and merge
+    /// the sorted runs.
+    pub(crate) fn sort_keys(&mut self, sorter: &mut RadixSorter) {
+        sorter.sort_keys(&mut self.keys, 5 * self.k as u32);
+    }
+}
+
+/// Packs a permutation into its **lexicographic** u64 key: position 0 in
+/// the most significant 5-bit group, so u64 order coincides with
+/// [`Permutation`] order at fixed length.
+fn lex_key(p: &Permutation, k: usize) -> u64 {
+    group_reverse(pack_perm(p), k)
+}
+
+/// Reverses the 5-bit groups of a packed key: packed order (position 0
+/// least significant) → lexicographic order (position 0 most
+/// significant).  A u64 permutation of bit groups — no decode.
+pub(crate) fn group_reverse(key: u64, k: usize) -> u64 {
+    let mut lex = 0u64;
+    for p in 0..k {
+        lex |= ((key >> (5 * p)) & 0x1F) << (5 * (k - 1 - p));
+    }
+    lex
+}
+
+/// Inverse of [`lex_key`].
+fn decode_lex_key(key: u64, k: usize) -> Permutation {
+    decode_packed(group_reverse(key, k), k)
 }
 
 /// Finalized statistics of a [`PackedPermutationCounter`].
@@ -218,17 +299,24 @@ impl PackedCountSummary {
         }
     }
 
+    /// Permutation length k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
     /// The distinct permutations, decoded, sorted by packed key.
     pub fn permutations(&self) -> Vec<Permutation> {
-        let mut out = Vec::with_capacity(self.distinct());
-        let mut prev = None;
-        for &key in &self.keys {
-            if prev != Some(key) {
-                out.push(self.decode(key));
-                prev = Some(key);
-            }
-        }
-        out
+        self.distinct_keys().map(|key| self.decode(key)).collect()
+    }
+
+    /// The distinct packed keys in sorted (packed) order — one run start
+    /// per occupancy entry.
+    pub fn distinct_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.occupancies.iter().scan(0usize, move |pos, &count| {
+            let key = self.keys[*pos];
+            *pos += count as usize;
+            Some(key)
+        })
     }
 
     /// Iterator over `(permutation, occurrence count)`, in packed-key
@@ -254,6 +342,12 @@ impl PackedCountSummary {
     /// (position 0 most significant) — a u64 sort, no permutation is
     /// decoded or compared.
     pub fn lexicographic_counts(&self) -> Vec<u64> {
+        self.lexicographic_counts_with(&mut RadixSorter::new())
+    }
+
+    /// [`Self::lexicographic_counts`] through a caller-owned
+    /// [`RadixSorter`] (the survey loop reuses the finalize scratch).
+    pub fn lexicographic_counts_with(&self, sorter: &mut RadixSorter) -> Vec<u64> {
         let mut pos = 0usize;
         let mut by_lex: Vec<(u64, u64)> = self
             .occupancies
@@ -261,14 +355,10 @@ impl PackedCountSummary {
             .map(|&count| {
                 let key = self.keys[pos];
                 pos += count as usize;
-                let mut lex = 0u64;
-                for p in 0..self.k {
-                    lex |= ((key >> (5 * p)) & 0x1F) << (5 * (self.k - 1 - p));
-                }
-                (lex, count)
+                (group_reverse(key, self.k), count)
             })
             .collect();
-        by_lex.sort_unstable();
+        sorter.sort_pairs(&mut by_lex, 5 * self.k as u32);
         by_lex.into_iter().map(|(_, c)| c).collect()
     }
 
@@ -282,12 +372,27 @@ impl PackedCountSummary {
     }
 
     fn decode(&self, key: u64) -> Permutation {
-        let mut items = [0u8; crate::perm::MAX_K];
-        for (pos, slot) in items[..self.k].iter_mut().enumerate() {
-            *slot = ((key >> (5 * pos)) & 0x1F) as u8;
-        }
-        Permutation::from_slice(&items[..self.k]).expect("packed key decodes to a permutation")
+        decode_packed(key, self.k)
     }
+}
+
+/// Packs a permutation into the 5-bits-per-element u64 key (position `p`
+/// in bits `5p..5p+5`) — the [`PackedPermutationCounter`] key layout.
+pub(crate) fn pack_perm(p: &Permutation) -> u64 {
+    let mut key = 0u64;
+    for (pos, &site) in p.as_slice().iter().enumerate() {
+        key |= u64::from(site) << (5 * pos);
+    }
+    key
+}
+
+/// Inverse of [`pack_perm`] for a known length `k`.
+pub(crate) fn decode_packed(key: u64, k: usize) -> Permutation {
+    let mut items = [0u8; crate::perm::MAX_K];
+    for (pos, slot) in items[..k].iter_mut().enumerate() {
+        *slot = ((key >> (5 * pos)) & 0x1F) as u8;
+    }
+    Permutation::from_slice(&items[..k]).expect("packed key decodes to a permutation")
 }
 
 /// A fixed-universe distinct counter over permutation *ranks*: a bitmap of
@@ -530,5 +635,58 @@ mod tests {
         let sorted = counter.sorted_permutations();
         assert_eq!(sorted.len(), counter.distinct());
         assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn count_sorted_runs_examples() {
+        assert_eq!(count_sorted_runs::<u64>(&[]), Vec::<u64>::new());
+        assert_eq!(count_sorted_runs(&[5]), vec![1]);
+        assert_eq!(count_sorted_runs(&[3, 3, 3, 7, 9, 9]), vec![3, 1, 2]);
+        assert_eq!(count_sorted_runs(&[1, 2, 3]), vec![1, 1, 1]);
+        assert_eq!(count_sorted_runs(&[4u8; 100]), vec![100]);
+    }
+
+    #[test]
+    fn count_sorted_runs_matches_finalize_occupancies() {
+        let mut keys: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E37) % 37).collect();
+        keys.sort_unstable();
+        let runs = count_sorted_runs(&keys);
+        assert_eq!(runs.iter().sum::<u64>(), 500);
+        assert_eq!(runs.len(), 37.min(keys.len()));
+    }
+
+    #[test]
+    fn sorted_counts_matches_sorted_permutations_and_counts() {
+        let sites = vec![vec![0.0, 0.3], vec![0.9, 0.1], vec![0.5, 0.8], vec![0.2, 0.9]];
+        let db: Vec<Vec<f64>> =
+            (0..900).map(|i| vec![(i % 30) as f64 / 30.0, (i / 30) as f64 / 30.0]).collect();
+        let counter = collect_counter(&L2, &sites, &db);
+        let pairs = counter.sorted_counts();
+        let perms: Vec<Permutation> = pairs.iter().map(|&(p, _)| p).collect();
+        assert_eq!(perms, counter.sorted_permutations());
+        for (p, c) in &pairs {
+            let direct = counter.iter().find(|(q, _)| *q == p).map(|(_, &c)| c);
+            assert_eq!(direct, Some(*c));
+        }
+        assert!(PermutationCounter::new().sorted_counts().is_empty());
+    }
+
+    #[test]
+    fn sorted_counts_mixed_lengths_fall_back_to_comparison_order() {
+        let mut c = PermutationCounter::new();
+        c.insert(Permutation::identity(3));
+        c.insert(Permutation::identity(2));
+        c.insert(Permutation::from_slice(&[1, 0]).unwrap());
+        let pairs = c.sorted_counts();
+        let perms: Vec<Permutation> = pairs.iter().map(|&(p, _)| p).collect();
+        assert_eq!(perms, c.sorted_permutations());
+    }
+
+    #[test]
+    fn group_reverse_round_trips() {
+        for k in [1usize, 5, 12] {
+            let key = (0..k as u64).fold(0u64, |acc, p| acc | ((p % 12) << (5 * p)));
+            assert_eq!(group_reverse(group_reverse(key, k), k), key, "k = {k}");
+        }
     }
 }

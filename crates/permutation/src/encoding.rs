@@ -11,9 +11,25 @@
 //! [`pack`]/[`unpack`] provide the naive alternative (⌈log₂ k⌉ bits per
 //! element) so the two strategies can be compared byte-for-byte in the
 //! storage experiment (E13).
+//!
+//! Three codebook shapes, one id assignment where it matters:
+//!
+//! * [`Codebook`] — hash-interned, ids in first-seen order; the general
+//!   incremental form (any insertion stream, any k).
+//! * [`FlatCodebook`] — a sorted array, ids = lexicographic ranks,
+//!   lookup by binary search; what a codebook built by interning a
+//!   *sorted* permutation run comes out as, with no hash table.
+//! * [`PackedCodebook`] — [`FlatCodebook`] for the packed-u64 counting
+//!   pipeline: built straight off a [`PackedCountSummary`]'s sorted
+//!   distinct keys (one radix sort of group-reversed keys, no
+//!   permutation decoded), same lexicographic ids.
 
+use crate::counter::{
+    count_sorted_runs, decode_packed, group_reverse, pack_perm, PackedCountSummary,
+};
 use crate::fxhash::FxHashMap;
 use crate::perm::{Permutation, PermutationError};
+use crate::radix::RadixSorter;
 
 /// Bits needed per element for naive positional packing: ⌈log₂ k⌉ (k ≥ 2).
 pub fn element_bits(k: usize) -> u32 {
@@ -150,6 +166,199 @@ impl FromIterator<Permutation> for Codebook {
             cb.intern(p);
         }
         cb
+    }
+}
+
+/// A flat (sorted-array) permutation → id table — the hash-free codebook.
+///
+/// Ids are **lexicographic ranks**: building one is a sort + run scan,
+/// and the result is id-for-id identical to interning
+/// [`crate::counter::PermutationCounter::sorted_permutations`] into a
+/// [`Codebook`] in order.  Lookup is a binary search over the sorted
+/// table (no hash table, no per-entry heap box), decoding is an array
+/// index.
+#[derive(Debug, Clone, Default)]
+pub struct FlatCodebook {
+    perms: Vec<Permutation>,
+}
+
+impl FlatCodebook {
+    /// Builds the codebook from an arbitrary permutation stream
+    /// (sorts a copy, collapses runs).
+    pub fn from_permutations(perms: &[Permutation]) -> Self {
+        Self::from_permutations_with_counts(perms).0
+    }
+
+    /// [`Self::from_permutations`], also returning the occurrence count
+    /// of each distinct permutation **indexed by id** — the frequency
+    /// table entropy/Huffman analyses want, produced by the same single
+    /// sorted-run scan ([`count_sorted_runs`]).
+    pub fn from_permutations_with_counts(perms: &[Permutation]) -> (Self, Vec<u64>) {
+        let mut sorted = perms.to_vec();
+        sorted.sort_unstable();
+        let counts = count_sorted_runs(&sorted);
+        let mut uniq = Vec::with_capacity(counts.len());
+        let mut pos = 0usize;
+        for &c in &counts {
+            uniq.push(sorted[pos]);
+            pos += c as usize;
+        }
+        (Self { perms: uniq }, counts)
+    }
+
+    /// Wraps an already strictly-sorted run of distinct permutations.
+    ///
+    /// # Panics
+    /// Panics if the input is not strictly ascending.
+    pub fn from_sorted_unique(perms: Vec<Permutation>) -> Self {
+        assert!(
+            perms.windows(2).all(|w| w[0] < w[1]),
+            "FlatCodebook input must be strictly sorted"
+        );
+        Self { perms }
+    }
+
+    /// The id of `p`: its lexicographic rank among the distinct
+    /// permutations, or `None` if absent.
+    pub fn id_of(&self, p: &Permutation) -> Option<u32> {
+        self.perms.binary_search(p).ok().map(|i| i as u32)
+    }
+
+    /// The permutation with a given id.
+    pub fn permutation(&self, id: u32) -> Option<&Permutation> {
+        self.perms.get(id as usize)
+    }
+
+    /// Number of distinct permutations.
+    pub fn len(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.perms.is_empty()
+    }
+
+    /// Bits per element needed to store an id: ⌈log₂ len⌉.
+    pub fn id_bits(&self) -> u32 {
+        element_bits(self.len())
+    }
+
+    /// The distinct permutations in id (= lexicographic) order.
+    pub fn as_slice(&self) -> &[Permutation] {
+        &self.perms
+    }
+
+    /// Encodes a database of permutations as ids.
+    ///
+    /// # Panics
+    /// Panics if any permutation is absent.
+    pub fn encode_all(&self, perms: &[Permutation]) -> Vec<u32> {
+        perms.iter().map(|p| self.id_of(p).expect("permutation missing from codebook")).collect()
+    }
+
+    /// Decodes ids back to permutations.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn decode_all(&self, ids: &[u32]) -> Vec<Permutation> {
+        ids.iter().map(|&id| *self.permutation(id).expect("id out of range")).collect()
+    }
+}
+
+impl FromIterator<Permutation> for FlatCodebook {
+    fn from_iter<I: IntoIterator<Item = Permutation>>(perms: I) -> Self {
+        let collected: Vec<Permutation> = perms.into_iter().collect();
+        Self::from_permutations(&collected)
+    }
+}
+
+/// The flat codebook of the packed-u64 counting pipeline: built straight
+/// off a [`PackedCountSummary`]'s sorted distinct keys with **no hash
+/// interning and no permutation decode** — one radix sort of the
+/// group-reversed (lexicographic) keys assigns the ids.
+///
+/// Ids are the same lexicographic ranks [`FlatCodebook`] assigns, so
+/// frequency tables indexed by either agree element for element (the
+/// survey equivalence suite pins this across engines).
+#[derive(Debug, Clone)]
+pub struct PackedCodebook {
+    k: usize,
+    /// Distinct packed keys, ascending in **packed** order (the summary's
+    /// native sort order) — the binary-search lookup side.
+    packed_keys: Vec<u64>,
+    /// `lex_ids[i]` = codebook id of `packed_keys[i]`.
+    lex_ids: Vec<u32>,
+    /// `keys_by_id[id]` = packed key of that id — the decode side.
+    keys_by_id: Vec<u64>,
+}
+
+impl PackedCodebook {
+    /// Builds the codebook from a finalized counting summary.
+    pub fn from_summary(summary: &PackedCountSummary) -> Self {
+        let k = summary.k();
+        let packed_keys: Vec<u64> = summary.distinct_keys().collect();
+        let mut pairs: Vec<(u64, u64)> = packed_keys
+            .iter()
+            .enumerate()
+            .map(|(rank, &key)| (group_reverse(key, k), rank as u64))
+            .collect();
+        RadixSorter::new().sort_pairs(&mut pairs, 5 * k as u32);
+        let mut lex_ids = vec![0u32; packed_keys.len()];
+        let mut keys_by_id = Vec::with_capacity(packed_keys.len());
+        for (id, &(_, rank)) in pairs.iter().enumerate() {
+            lex_ids[rank as usize] = id as u32;
+            keys_by_id.push(packed_keys[rank as usize]);
+        }
+        Self { k, packed_keys, lex_ids, keys_by_id }
+    }
+
+    /// Permutation length k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The id of a packed key (binary search over the sorted distinct
+    /// keys, then the precomputed rank → id table).
+    pub fn id_of_key(&self, key: u64) -> Option<u32> {
+        self.packed_keys.binary_search(&key).ok().map(|rank| self.lex_ids[rank])
+    }
+
+    /// The id of a permutation value (packs, then [`Self::id_of_key`]).
+    /// `None` for absent permutations or a length other than k.
+    pub fn id_of(&self, p: &Permutation) -> Option<u32> {
+        if p.len() != self.k {
+            return None;
+        }
+        self.id_of_key(pack_perm(p))
+    }
+
+    /// The permutation with a given id, decoded.
+    pub fn permutation(&self, id: u32) -> Option<Permutation> {
+        self.keys_by_id.get(id as usize).map(|&key| decode_packed(key, self.k))
+    }
+
+    /// Number of distinct permutations.
+    pub fn len(&self) -> usize {
+        self.packed_keys.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.packed_keys.is_empty()
+    }
+
+    /// Bits per element needed to store an id: ⌈log₂ len⌉.
+    pub fn id_bits(&self) -> u32 {
+        element_bits(self.len())
+    }
+
+    /// Expands into a [`FlatCodebook`] (identical ids), decoding each
+    /// distinct permutation once.
+    pub fn to_flat(&self) -> FlatCodebook {
+        FlatCodebook::from_sorted_unique(
+            self.keys_by_id.iter().map(|&key| decode_packed(key, self.k)).collect(),
+        )
     }
 }
 
@@ -320,6 +529,93 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn oversized_id_rejected() {
         let _ = pack_ids(&[8], 3);
+    }
+
+    fn sample_perms() -> Vec<Permutation> {
+        // An irregular multiset of k = 4 permutations.
+        let base: Vec<Permutation> =
+            [[0u8, 1, 2, 3], [3, 0, 1, 2], [1, 0, 2, 3], [3, 2, 1, 0], [0, 2, 1, 3]]
+                .iter()
+                .map(|s| Permutation::from_slice(s).unwrap())
+                .collect();
+        (0..40).map(|i| base[(i * 7) % base.len()]).collect()
+    }
+
+    #[test]
+    fn flat_codebook_matches_hash_codebook_on_sorted_interning() {
+        let perms = sample_perms();
+        let flat = FlatCodebook::from_permutations(&perms);
+        let mut sorted = perms.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let hash: Codebook = sorted.into_iter().collect();
+        assert_eq!(flat.len(), hash.len());
+        for p in &perms {
+            assert_eq!(flat.id_of(p), hash.id_of(p), "{p}");
+        }
+        for id in 0..flat.len() as u32 {
+            assert_eq!(flat.permutation(id), hash.permutation(id));
+        }
+        assert_eq!(flat.id_bits(), hash.id_bits());
+        assert_eq!(flat.id_of(&Permutation::identity(4)), Some(0));
+        assert!(flat.id_of(&Permutation::identity(5)).is_none());
+    }
+
+    #[test]
+    fn flat_codebook_counts_are_the_frequency_table() {
+        let perms = sample_perms();
+        let (flat, counts) = FlatCodebook::from_permutations_with_counts(&perms);
+        assert_eq!(counts.len(), flat.len());
+        assert_eq!(counts.iter().sum::<u64>(), perms.len() as u64);
+        for (id, &c) in counts.iter().enumerate() {
+            let p = flat.permutation(id as u32).unwrap();
+            let direct = perms.iter().filter(|q| *q == p).count() as u64;
+            assert_eq!(c, direct, "id {id}");
+        }
+    }
+
+    #[test]
+    fn flat_codebook_roundtrips_and_collects() {
+        let perms = sample_perms();
+        let flat: FlatCodebook = perms.iter().copied().collect();
+        let ids = flat.encode_all(&perms);
+        assert_eq!(flat.decode_all(&ids), perms);
+        assert!(FlatCodebook::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn flat_codebook_rejects_unsorted_input() {
+        let _ = FlatCodebook::from_sorted_unique(vec![
+            Permutation::from_slice(&[1, 0]).unwrap(),
+            Permutation::identity(2),
+        ]);
+    }
+
+    #[test]
+    fn packed_codebook_assigns_flat_codebook_ids() {
+        use crate::counter::PackedPermutationCounter;
+        let perms = sample_perms();
+        let mut counter = PackedPermutationCounter::new(4);
+        for p in &perms {
+            counter.insert(p);
+        }
+        let summary = counter.finalize();
+        let packed = PackedCodebook::from_summary(&summary);
+        let flat = FlatCodebook::from_permutations(&perms);
+        assert_eq!(packed.len(), flat.len());
+        assert_eq!(packed.id_bits(), flat.id_bits());
+        for p in &perms {
+            assert_eq!(packed.id_of(p), flat.id_of(p), "{p}");
+        }
+        for id in 0..packed.len() as u32 {
+            assert_eq!(packed.permutation(id).as_ref(), flat.permutation(id));
+        }
+        // Absent key / wrong length.
+        assert!(packed.id_of(&Permutation::from_slice(&[2, 3, 0, 1]).unwrap()).is_none());
+        assert!(packed.id_of(&Permutation::identity(3)).is_none());
+        // Full expansion agrees.
+        assert_eq!(packed.to_flat().as_slice(), flat.as_slice());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::bits::{BitReader, BitWriter};
 use crate::counter::PermutationCounter;
-use crate::encoding::Codebook;
+use crate::encoding::{Codebook, FlatCodebook};
 use crate::perm::Permutation;
 
 /// Empirical entropy of a frequency table, in bits per symbol.
@@ -243,7 +243,7 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
 /// scan — which is the price of beating the flat ⌈log₂ N⌉ layout.
 #[derive(Debug, Clone)]
 pub struct HuffmanPermStore {
-    codebook: Codebook,
+    codebook: FlatCodebook,
     code: HuffmanCode,
     data: Vec<u8>,
     len_bits: usize,
@@ -253,13 +253,16 @@ pub struct HuffmanPermStore {
 impl HuffmanPermStore {
     /// Builds the store from a permutation stream (two passes: count,
     /// then encode).
+    ///
+    /// The codebook is a [`FlatCodebook`] — ids are lexicographic ranks
+    /// from one sorted-run scan, no hash interning — and the frequency
+    /// table falls out of the same scan.  Any Huffman code built on a
+    /// permuted frequency table is equally optimal, so the per-stream
+    /// cost ([`Self::mean_bits`]) is the same as the old first-seen-id
+    /// layout; only the id numbering inside the stream differs.
     pub fn from_permutations(perms: &[Permutation]) -> Self {
-        let mut counter = PermutationCounter::new();
-        let codebook: Codebook = perms.iter().copied().collect();
-        for p in perms {
-            counter.insert(*p);
-        }
-        let code = HuffmanCode::from_counter(&counter, &codebook);
+        let (codebook, freqs) = FlatCodebook::from_permutations_with_counts(perms);
+        let code = HuffmanCode::from_frequencies(&freqs);
         let mut w = BitWriter::new();
         for p in perms {
             let id = codebook.id_of(p).expect("interned");

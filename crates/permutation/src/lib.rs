@@ -29,10 +29,21 @@
 //!   §4's "more sophisticated structure may be possible" remark;
 //! * [`prefix`] — truncated permutations ([`prefix::PrefixPermutation`])
 //!   and the induced top-ℓ footrule, the practical CFN index form;
-//! * [`counter::PermutationCounter`] — fast distinct counting (the paper's
-//!   `sort | uniq | wc` pipeline, in-memory);
+//! * [`counter`] — distinct counting (the paper's `sort | uniq | wc`
+//!   pipeline, in-memory).  The flat engine's counting path is a
+//!   **sorted-run pipeline**: the batched kernels emit one packed u64 key
+//!   per database row ([`compute::packed_keys_flat`]), [`radix`] sorts
+//!   the key buffer in at most ⌈5k/12⌉ LSD 12-bit-digit passes,
+//!   [`counter::count_sorted_runs`] collapses the sorted runs into
+//!   occupancies, and [`encoding::PackedCodebook`] /
+//!   [`encoding::FlatCodebook`] assign codebook ids straight off the
+//!   sorted distinct keys — no hash table anywhere;
+//! * [`radix`] — the LSD radix sort specialized for packed permutation
+//!   keys (digit-histogram skip, sorted-input fast path, reusable
+//!   scratch);
 //! * [`bits`] — the LSB-first bit I/O under all the packed layouts;
-//! * [`fxhash`] — a local FxHash-style hasher for the hot counting path.
+//! * [`fxhash`] — a local FxHash-style hasher for the generic
+//!   (arbitrary-k, arbitrary-point) counting path.
 
 pub mod bits;
 pub mod compute;
@@ -44,16 +55,20 @@ pub mod lehmer;
 pub mod perm;
 pub mod permdist;
 pub mod prefix;
+pub mod radix;
 pub mod store;
 
 pub use compute::{
     collect_counter_flat, collect_counter_flat_parallel, collect_packed_flat,
     collect_packed_flat_parallel, database_permutations_flat, database_permutations_flat_parallel,
-    distance_permutation, DistPermComputer, PACKED_MAX_K,
+    distance_permutation, packed_keys_flat, DistPermComputer, PACKED_MAX_K,
 };
-pub use counter::{PackedCountSummary, PackedPermutationCounter, PermutationCounter};
-pub use encoding::Codebook;
+pub use counter::{
+    count_sorted_runs, PackedCountSummary, PackedPermutationCounter, PermutationCounter,
+};
+pub use encoding::{Codebook, FlatCodebook, PackedCodebook};
 pub use huffman::{HuffmanCode, HuffmanPermStore};
 pub use perm::{Permutation, PermutationError, MAX_K};
 pub use prefix::{prefix_footrule, PrefixPermutation};
+pub use radix::RadixSorter;
 pub use store::{PackedPermStore, RawPermStore};

@@ -1,0 +1,263 @@
+//! LSD radix sort specialized for packed permutation keys.
+//!
+//! The packed counting pipeline ([`crate::counter::PackedPermutationCounter`])
+//! reduces "count distinct distance permutations" to "sort a `Vec<u64>` and
+//! scan runs".  After the strip-mined distance kernels and the tiled
+//! ranking, that sort is a large slice of the 100k-point count — and the
+//! keys are far from arbitrary u64s: a permutation of `k ≤ 12` sites
+//! occupies only the low `5·k` bits (5 bits per position,
+//! [`crate::compute::PACKED_MAX_K`]), so a comparison sort's `n log n`
+//! branchy compares can be replaced by at most `⌈5k/12⌉` branch-free
+//! counting-sort passes.
+//!
+//! [`RadixSorter`] is that sort:
+//!
+//! * **LSD 12-bit passes** — 4096-bucket counting sort per digit, least
+//!   significant first, ping-ponging between the input and a scratch
+//!   buffer.  Equal keys need no tie-break (they are *identical* u64s), so
+//!   the result is exactly what `sort_unstable` produces.  Twelve bits is
+//!   the sweet spot for this workload: k = 12 keys sort in 5 passes
+//!   (vs 8 byte passes), and the live histogram set stays L1/L2-resident.
+//! * **Digit-histogram skip** — all histograms are built in one pre-pass;
+//!   any digit on which every key agrees (the high digits for small `k`,
+//!   or any constant digit of a skewed distribution) costs nothing.  The
+//!   `significant_bits` bound skips the constant high digits without even
+//!   histogramming them.
+//! * **Sorted-input fast path** — an `O(n)` check returns immediately on
+//!   already-sorted input, which is how the parallel collectors hand over
+//!   pre-merged sorted runs for free.
+//! * **Reusable scratch** — the sorter owns its scratch and histogram
+//!   buffers, so repeated finalizes (the per-k survey loop) never
+//!   reallocate.
+//!
+//! The property suite (`tests/radix_properties.rs`) pins
+//! `radix == sort_unstable` over adversarial distributions; the
+//! `counting_phases` bench records the phase-level speedup.
+
+/// Bits consumed per counting-sort pass.
+const DIGIT_BITS: u32 = 12;
+/// Buckets per pass: 4096 `u32` counters = 16 KiB per digit.
+const BUCKETS: usize = 1 << DIGIT_BITS;
+/// Below this length a comparison sort beats the histogram pre-pass.
+const SMALL_SORT: usize = 512;
+
+/// Reusable scratch state for [`radix sorting`](self) u64 keys and
+/// key-tagged pairs.
+///
+/// Sorting through a sorter amortises the scratch allocation across
+/// calls; a fresh sorter per call is still faster than `sort_unstable`
+/// on large inputs, it just pays the allocations once.
+#[derive(Debug, Clone, Default)]
+pub struct RadixSorter {
+    keys: Vec<u64>,
+    pairs: Vec<(u64, u64)>,
+    hist: Vec<u32>,
+}
+
+impl RadixSorter {
+    /// A sorter with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorts `keys` ascending — output identical to `sort_unstable`.
+    ///
+    /// `significant_bits` bounds the highest set bit across all keys
+    /// (pass 64 when unknown); digits above the bound are never
+    /// histogrammed or scattered.  Packed permutation keys of length `k`
+    /// use `5·k` significant bits.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a key exceeds the declared bound.
+    pub fn sort_keys(&mut self, keys: &mut [u64], significant_bits: u32) {
+        debug_assert!(bound_holds(keys.iter().copied(), significant_bits));
+        if keys.len() < SMALL_SORT {
+            keys.sort_unstable();
+            return;
+        }
+        if keys.windows(2).all(|w| w[0] <= w[1]) {
+            return;
+        }
+        // Grow-only: the scatter overwrites every slot it reads, so the
+        // existing contents (and any zero-fill) are irrelevant.
+        if self.keys.len() < keys.len() {
+            self.keys.resize(keys.len(), 0);
+        }
+        let scratch = &mut self.keys[..keys.len()];
+        lsd_passes(keys, scratch, &mut self.hist, significant_bits, |&k| k);
+    }
+
+    /// Sorts `(key, value)` pairs ascending by `key` — identical to
+    /// `sort_unstable` whenever the keys are distinct (equal keys keep
+    /// their input order instead of comparing values).
+    ///
+    /// `significant_bits` bounds the keys as in [`Self::sort_keys`].
+    pub fn sort_pairs(&mut self, pairs: &mut [(u64, u64)], significant_bits: u32) {
+        debug_assert!(bound_holds(pairs.iter().map(|p| p.0), significant_bits));
+        if pairs.len() < SMALL_SORT {
+            // Stable, like the radix passes — the order contract must
+            // not depend on which side of the size cutoff a call lands.
+            pairs.sort_by_key(|p| p.0);
+            return;
+        }
+        if pairs.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return;
+        }
+        if self.pairs.len() < pairs.len() {
+            self.pairs.resize(pairs.len(), (0, 0));
+        }
+        let scratch = &mut self.pairs[..pairs.len()];
+        lsd_passes(pairs, scratch, &mut self.hist, significant_bits, |p| p.0);
+    }
+}
+
+fn bound_holds(keys: impl IntoIterator<Item = u64>, significant_bits: u32) -> bool {
+    let limit = match significant_bits {
+        0 => 0,
+        64.. => u64::MAX,
+        b => (1u64 << b) - 1,
+    };
+    keys.into_iter().all(|k| k <= limit)
+}
+
+/// The LSD engine: histogram every candidate digit in one pre-pass, then
+/// run one stable counting-sort pass per non-constant digit, ping-ponging
+/// `data` and `scratch`.  `scratch` must be the same length as `data`.
+/// Stability makes equal-key pairs keep input order.
+fn lsd_passes<T: Copy>(
+    data: &mut [T],
+    scratch: &mut [T],
+    hist: &mut Vec<u32>,
+    significant_bits: u32,
+    key: impl Fn(&T) -> u64,
+) {
+    let n = data.len();
+    debug_assert_eq!(n, scratch.len());
+    assert!(n <= u32::MAX as usize, "radix histogram counts are u32");
+    let digits = (significant_bits.min(64).div_ceil(DIGIT_BITS) as usize).max(1);
+    hist.clear();
+    hist.resize(digits * BUCKETS, 0);
+    let mask = (BUCKETS - 1) as u64;
+    for item in data.iter() {
+        let k = key(item);
+        for (d, h) in hist.chunks_exact_mut(BUCKETS).enumerate() {
+            h[((k >> (DIGIT_BITS * d as u32)) & mask) as usize] += 1;
+        }
+    }
+    // Ping-pong: the source flips between `data` and `scratch`; a pass
+    // is skipped entirely when one bucket holds every key (constant
+    // digit).  The histogram slice is prefix-summed in place into the
+    // pass's scatter offsets.
+    let mut in_data = true;
+    for (d, h) in hist.chunks_exact_mut(BUCKETS).enumerate() {
+        if h.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        let mut sum = 0u32;
+        for c in h.iter_mut() {
+            let count = *c;
+            *c = sum;
+            sum += count;
+        }
+        let shift = DIGIT_BITS * d as u32;
+        let (src, dst): (&[T], &mut [T]) =
+            if in_data { (&*data, &mut *scratch) } else { (&*scratch, &mut *data) };
+        for item in src.iter() {
+            let digit = ((key(item) >> shift) & mask) as usize;
+            dst[h[digit] as usize] = *item;
+            h[digit] += 1;
+        }
+        in_data = !in_data;
+    }
+    if !in_data {
+        data.copy_from_slice(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_matches_std(mut keys: Vec<u64>, bits: u32) {
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        RadixSorter::new().sort_keys(&mut keys, bits);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_matches_std(vec![], 64);
+        assert_matches_std(vec![42], 64);
+        assert_matches_std(vec![0, 0], 0);
+    }
+
+    #[test]
+    fn small_falls_back_to_comparison_sort() {
+        assert_matches_std((0..SMALL_SORT as u64 - 1).rev().collect(), 64);
+    }
+
+    #[test]
+    fn large_random_full_width() {
+        let keys: Vec<u64> =
+            (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)).collect();
+        assert_matches_std(keys, 64);
+    }
+
+    #[test]
+    fn bounded_bits_skip_high_digits() {
+        // 5·4 = 20 significant bits: only two 12-bit passes may run.
+        let keys: Vec<u64> = (0..5_000u64).map(|i| (i * 2654435761) % (1 << 20)).collect();
+        assert_matches_std(keys, 20);
+    }
+
+    #[test]
+    fn all_equal_and_presorted_short_circuit() {
+        assert_matches_std(vec![7; 4096], 64);
+        assert_matches_std((0..4096).collect(), 64);
+        assert_matches_std((0..4096).rev().collect(), 64);
+    }
+
+    #[test]
+    fn keys_differing_only_in_the_top_byte() {
+        let keys: Vec<u64> =
+            (0..2_000u64).map(|i| ((i * 37) % 251) << 56 | 0x00AA_BBCC_DDEE_FF11).collect();
+        assert_matches_std(keys, 64);
+    }
+
+    #[test]
+    fn pairs_sort_by_key_and_keep_payload() {
+        let mut pairs: Vec<(u64, u64)> =
+            (0..3_000u64).map(|i| (i.wrapping_mul(0x9E37_79B9) % 4096, i)).collect();
+        let mut expected = pairs.clone();
+        expected.sort_by_key(|p| p.0); // stable, like the radix passes
+        RadixSorter::new().sort_pairs(&mut pairs, 64);
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn small_pairs_with_duplicate_keys_stay_stable() {
+        // Below SMALL_SORT the fallback must keep the radix passes'
+        // stability contract: equal keys preserve input order.
+        let mut pairs: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 4, i)).collect();
+        let mut expected = pairs.clone();
+        expected.sort_by_key(|p| p.0);
+        RadixSorter::new().sort_pairs(&mut pairs, 64);
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn sorter_reuse_across_widths() {
+        let mut sorter = RadixSorter::new();
+        for k in 2..=12u32 {
+            let bits = 5 * k;
+            let mut keys: Vec<u64> = (0..1_500u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << bits) - 1))
+                .collect();
+            let mut expected = keys.clone();
+            expected.sort_unstable();
+            sorter.sort_keys(&mut keys, bits);
+            assert_eq!(keys, expected, "k = {k}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property suite pinning `radix == sort_unstable` over adversarial key
+//! distributions.
+//!
+//! The radix sorter underpins the whole packed counting pipeline
+//! (finalize, codebook ordering, parallel chunk merge), so its contract
+//! is exact output equality with the comparison sort — checked here over
+//! all-equal keys, pre-sorted and reverse-sorted input, single/empty
+//! buffers, keys differing only in the top byte, genuine packed
+//! permutation keys for every k in 2..=12, and arbitrary u64 soup.
+//! `scripts/check.sh` also runs this file under `--release`, where the
+//! vectorized histogram loops actually engage.
+
+use dp_permutation::{PackedPermutationCounter, Permutation, RadixSorter};
+use proptest::prelude::*;
+
+fn assert_radix_matches_std(keys: &[u64], significant_bits: u32) {
+    let mut radixed = keys.to_vec();
+    let mut expected = keys.to_vec();
+    expected.sort_unstable();
+    RadixSorter::new().sort_keys(&mut radixed, significant_bits);
+    assert_eq!(radixed, expected, "bits = {significant_bits}, n = {}", keys.len());
+}
+
+/// A pseudo-random permutation of 0..k from a seed (Fisher–Yates with a
+/// splitmix-style stream; no external RNG needed).
+fn perm_from_seed(k: usize, mut seed: u64) -> Permutation {
+    let mut items: Vec<u8> = (0..k as u8).collect();
+    for i in (1..k).rev() {
+        seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x2545_F491_4F6C_DD1D);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+    Permutation::from_slice(&items).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_u64_keys(keys in prop::collection::vec(any::<u64>(), 0..3000)) {
+        assert_radix_matches_std(&keys, 64);
+    }
+
+    #[test]
+    fn all_equal_keys(key in any::<u64>(), n in 0usize..3000) {
+        assert_radix_matches_std(&vec![key; n], 64);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted(
+        keys in prop::collection::vec(any::<u64>(), 0..3000),
+    ) {
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        assert_radix_matches_std(&sorted, 64);
+        sorted.reverse();
+        assert_radix_matches_std(&sorted, 64);
+    }
+
+    #[test]
+    fn keys_differing_only_in_the_top_byte(
+        tops in prop::collection::vec(any::<u8>(), 0..3000),
+        low in any::<u64>(),
+    ) {
+        let low = low & 0x00FF_FFFF_FFFF_FFFF;
+        let keys: Vec<u64> = tops.iter().map(|&t| (u64::from(t) << 56) | low).collect();
+        assert_radix_matches_std(&keys, 64);
+    }
+
+    #[test]
+    fn packed_permutation_keys_every_k(
+        seeds in prop::collection::vec(any::<u64>(), 1..2000),
+    ) {
+        // The finalize pipeline (radix sort + run scan) must agree with
+        // a std-sorted reference run scan for every packed k.
+        for k in 2usize..=12 {
+            let mut counter = PackedPermutationCounter::new(k);
+            for &s in &seeds {
+                counter.insert(&perm_from_seed(k, s));
+            }
+            let summary = counter.finalize();
+            let mut got: Vec<(Permutation, u64)> = summary.iter().collect();
+            got.sort_unstable();
+            let mut sorted: Vec<Permutation> =
+                seeds.iter().map(|&s| perm_from_seed(k, s)).collect();
+            sorted.sort_unstable();
+            let mut expected: Vec<(Permutation, u64)> = Vec::new();
+            for p in sorted {
+                match expected.last_mut() {
+                    Some((q, c)) if *q == p => *c += 1,
+                    _ => expected.push((p, 1)),
+                }
+            }
+            prop_assert_eq!(got, expected, "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn pairs_sort_matches_std_on_distinct_keys(
+        keys in prop::collection::btree_set(any::<u64>(), 0..2000),
+    ) {
+        let mut pairs: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        // Shuffle deterministically so the input is not pre-sorted.
+        let n = pairs.len();
+        for i in (1..n).rev() {
+            let j = (keys.len() as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                .rotate_left(i as u32) as usize
+                % (i + 1);
+            pairs.swap(i, j);
+        }
+        let mut expected = pairs.clone();
+        expected.sort_unstable();
+        RadixSorter::new().sort_pairs(&mut pairs, 64);
+        prop_assert_eq!(pairs, expected);
+    }
+}
+
+#[test]
+fn empty_and_singleton_buffers() {
+    assert_radix_matches_std(&[], 64);
+    assert_radix_matches_std(&[0], 64);
+    assert_radix_matches_std(&[u64::MAX], 64);
+    assert_radix_matches_std(&[], 0);
+}
+
+#[test]
+fn packed_keys_respect_declared_significant_bits() {
+    // A radix sort told "5k bits" must agree with std on keys that
+    // actually use all 5k bits, for every k the packed counter accepts.
+    for k in 2usize..=12 {
+        let bits = 5 * k as u32;
+        let keys: Vec<u64> = (0..1500u64)
+            .map(|i| {
+                let p = perm_from_seed(k, i.wrapping_mul(0xA24B_AED4_963E_E407));
+                p.as_slice()
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (pos, &s)| acc | (u64::from(s) << (5 * pos)))
+            })
+            .collect();
+        assert_radix_matches_std(&keys, bits);
+    }
+}

@@ -29,6 +29,30 @@ cargo test -p distance-permutations --release -q --test survey_equivalence
 echo "== cargo test --release --test kernel_equivalence (release-mode property run)"
 cargo test -p distance-permutations --release -q --test kernel_equivalence
 
+# The radix sorter's contract is exact equality with sort_unstable; its
+# histogram/scatter loops only vectorize under optimized codegen, so the
+# adversarial-distribution property suite must also pass under release.
+echo "== cargo test --release --test radix_properties (release-mode property run)"
+cargo test -p dp-permutation --release -q --test radix_properties
+
+# Every BENCH_*.json the ROADMAP cites must exist and parse as JSON
+# lines — a stale rename once broke a baseline reference silently.
+echo "== ROADMAP bench baselines exist and parse"
+command -v jq > /dev/null || {
+    echo "jq is required to validate bench baselines" >&2
+    exit 1
+}
+for f in $(grep -o 'BENCH_[A-Za-z0-9_]*\.json' ROADMAP.md | sort -u); do
+    if [[ ! -f "$f" ]]; then
+        echo "missing bench baseline: $f (referenced in ROADMAP.md)" >&2
+        exit 1
+    fi
+    if ! jq -e . "$f" > /dev/null 2>&1; then
+        echo "bench baseline $f is not valid JSON lines" >&2
+        exit 1
+    fi
+done
+
 echo "== cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
