@@ -16,7 +16,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dp_datasets::uniform_unit_cube_flat;
 use dp_index::laesa::PivotSelection;
-use dp_index::serve::{query_batch_parallel, Request};
+use dp_index::serve::{
+    query_batch_parallel, serve_resilient, ApproxRequest, BatchOptions, FaultPlan, Request,
+    ServeRequest,
+};
 use dp_index::FlatDistPermIndex;
 use dp_metric::L2;
 use std::hint::black_box;
@@ -49,5 +52,45 @@ fn bench_serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serving);
+/// Work-stealing vs contiguous chunking on a cost-skewed batch: one
+/// query in eight carries a full scan budget, the rest are cheap.
+/// Contiguous splits strand whole chunks behind the expensive queries;
+/// the atomic-cursor engine (chunk 1) rebalances.  Run single-threaded
+/// the two dispatchers are equivalent, so the gap only opens with real
+/// cores (see the single-core note above).
+fn bench_serving_steal(c: &mut Criterion) {
+    const STEAL_BATCH: usize = 128;
+    const THREADS: usize = 4;
+    let points = uniform_unit_cube_flat(N, D, 3);
+    let queries = uniform_unit_cube_flat(STEAL_BATCH, D, 4);
+    let index = FlatDistPermIndex::build(L2, points, K, PivotSelection::MaxMin, 4);
+    let rows: Vec<&[f64]> = queries.rows().collect();
+    // Skew: every eighth query scans the full database, the rest 2%.
+    let request_of = |i: usize| {
+        let frac = if i.is_multiple_of(8) { 1.0 } else { 0.02 };
+        ServeRequest::Approx(ApproxRequest::Knn { k: 3, frac })
+    };
+
+    let mut group = c.benchmark_group(format!("serve_steal_skewed_batch{STEAL_BATCH}"));
+    group.sample_size(10);
+    // Contiguous chunking: one cursor bump claims a worker-sized run.
+    let contiguous = STEAL_BATCH.div_ceil(THREADS);
+    for (label, chunk) in [("stealing_chunk1", 1), ("contiguous", contiguous)] {
+        let options = BatchOptions::with_threads(THREADS).chunk(chunk);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(serve_resilient::<[f64], _, _, _>(
+                    &index,
+                    &rows,
+                    request_of,
+                    &options,
+                    &FaultPlan::none(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving, bench_serving_steal);
 criterion_main!(benches);

@@ -25,6 +25,7 @@ mod cmd_count;
 mod cmd_figures;
 mod cmd_generate;
 mod cmd_search;
+mod cmd_serve;
 mod cmd_survey;
 mod cmd_table1;
 mod cmd_theory;
@@ -111,10 +112,32 @@ COMMANDS:
             [--threads 4] [--quiet]
             specs: linear aesa laesa[:k] iaesa[:k] distperm[:k]
                    prefixperm[:k[:l]] flatperm[:k] vptree ghtree bktree
+  serve     persistent fault-tolerant query service over stdin/stdout
+            --vectors <db> --index <spec> [--metric …] [--threads 2]
+            [--queue 4] [--max-batch 4096] [--deadline-ms <ms>]
+            [--degrade-frac 0.25] [--steal-chunk 1]
+            protocol: `begin <id> [deadline-ms=…] [frac=…]`, then
+            `knn <k> <coords…>` / `range <r> <coords…>`, then `end`;
+            EOF shuts down cleanly
   figures   regenerate the paper's Figures 1–4 (PPM + SVG)
             [--out figures/] [--size 640]
   help      this text
 ";
+
+/// One-line usage synopsis per command, printed on usage errors.
+pub fn usage_line(command: &str) -> Option<&'static str> {
+    Some(match command {
+        "theory" => "distperm theory --d <dim> --k <sites>",
+        "table1" => "distperm table1 [--dmax 10] [--kmax 12]",
+        "generate" => "distperm generate --kind <kind> --n <count> --out <file> [--dim <d>] [--seed <s>]",
+        "count" => "distperm count --vectors <file>|--strings <file> --k <sites> [--metric <m>] [--threads <t>]",
+        "survey" => "distperm survey --vectors <file>|--strings <file> [--metric <m>] [--ks 4,8,12]",
+        "search" => "distperm search --vectors <db>|--strings <db> --queries <file> --index <spec> [--knn <k>|--radius <r>] [--frac <f>] [--threads <t>]",
+        "serve" => "distperm serve --vectors <db> --index <spec> [--threads <t>] [--queue <n>] [--deadline-ms <ms>] [--degrade-frac <f>]",
+        "figures" => "distperm figures [--out figures/] [--size 640]",
+        _ => return None,
+    })
+}
 
 /// Runs the tool: `argv` excludes the program name; output goes to `out`.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -130,6 +153,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("generate") => cmd_generate::run(&parsed, out),
         Some("count") => cmd_count::run(&parsed, out),
         Some("search") => cmd_search::run(&parsed, out),
+        Some("serve") => cmd_serve::run(&parsed, out),
         Some("survey") => cmd_survey::run(&parsed, out),
         Some("figures") => cmd_figures::run(&parsed, out),
         Some(other) => {

@@ -16,7 +16,10 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("distperm: {e}");
             if matches!(e, dp_cli::CliError::Usage(_)) {
-                eprintln!("run `distperm help` for usage");
+                match argv.first().and_then(|c| dp_cli::usage_line(c)) {
+                    Some(line) => eprintln!("usage: {line}"),
+                    None => eprintln!("run `distperm help` for usage"),
+                }
             }
             ExitCode::from(e.exit_code() as u8)
         }

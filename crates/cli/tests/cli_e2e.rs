@@ -401,6 +401,98 @@ fn data_errors_exit_1() {
 }
 
 #[test]
+fn missing_file_is_a_one_line_diagnostic_in_every_command() {
+    // Regression: a missing database file must exit 1 with a single
+    // diagnostic line naming the path — no panic, no backtrace.
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["count", "--vectors", "/no/such/file.vec", "--k", "4"],
+        vec!["survey", "--vectors", "/no/such/file.vec"],
+        vec![
+            "search",
+            "--vectors",
+            "/no/such/file.vec",
+            "--queries",
+            "/no/such/q.vec",
+            "--index",
+            "linear",
+        ],
+        vec!["serve", "--vectors", "/no/such/file.vec", "--index", "linear"],
+    ];
+    for case in &cases {
+        let o = distperm(case);
+        assert_eq!(o.status.code(), Some(1), "{case:?}");
+        let err = String::from_utf8_lossy(&o.stderr);
+        assert!(err.starts_with("distperm: data error:"), "{case:?}: {err}");
+        assert!(err.contains("/no/such/file.vec"), "{case:?}: {err}");
+        assert_eq!(err.trim_end().lines().count(), 1, "{case:?} must be one line: {err}");
+    }
+}
+
+#[test]
+fn bad_index_spec_exits_2_with_usage_line() {
+    // Regression: a malformed --index spec on a *valid* database is a
+    // usage error (exit 2) and stderr carries the command's one-line
+    // usage synopsis.
+    let dir = temp_dir("badspec");
+    let file = dir.join("db.vec");
+    let f = file.to_str().unwrap();
+    stdout(&distperm(&[
+        "generate", "--kind", "uniform", "--n", "64", "--dim", "2", "--seed", "1", "--out", f,
+    ]));
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        (
+            vec!["search", "--vectors", f, "--queries", f, "--index", "frobtree:9"],
+            "usage: distperm search",
+        ),
+        (vec!["serve", "--vectors", f, "--index", "frobtree:9"], "usage: distperm serve"),
+    ];
+    for (case, usage) in &cases {
+        let o = distperm(case);
+        assert_eq!(o.status.code(), Some(2), "{case:?}");
+        let err = String::from_utf8_lossy(&o.stderr);
+        assert!(err.contains("usage error"), "{case:?}: {err}");
+        assert!(err.contains(usage), "{case:?} must print its usage line: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_smoke_pipes_a_batch_through_stdin() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let dir = temp_dir("serve_smoke");
+    let file = dir.join("db.vec");
+    let f = file.to_str().unwrap();
+    stdout(&distperm(&[
+        "generate", "--kind", "uniform", "--n", "1000", "--dim", "2", "--seed", "11", "--out", f,
+    ]));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_distperm"))
+        .args(["serve", "--vectors", f, "--index", "distperm:6", "--threads", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"begin s1\nknn 3 0.5 0.5\nrange 0.2 0.1 0.9\nend\ngarbage line\n")
+        .expect("write batch");
+    // Dropping stdin sends EOF: the service must shut down cleanly.
+    let output = child.wait_with_output().expect("serve exits");
+    assert!(output.status.success(), "serve exited {:?}", output.status.code());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("ready dim=2"), "{text}");
+    assert!(text.contains("done s1 ok=2 degraded=0 failed=0"), "{text}");
+    assert!(text.contains("error line=5 unknown verb"), "{text}");
+    assert!(text.contains("bye batches=1 queries=2 shed=0 errors=1"), "{text}");
+    assert!(text.contains("session: 1 batches, 2 answered"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn theory_and_table1_roundtrip_key_numbers() {
     let text = stdout(&distperm(&["theory", "--d", "3", "--k", "12"]));
     assert!(text.contains("34662"), "{text}");

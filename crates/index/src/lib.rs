@@ -27,6 +27,31 @@
 //! serving, sequentially or across scoped worker threads with one
 //! searcher per worker ([`serve::query_batch_parallel`]).
 //!
+//! ## Serving & failure model
+//!
+//! The [`serve`] module also hosts the fault-tolerant serving subsystem
+//! behind `distperm serve` (see its module docs for the full contract):
+//!
+//! * **isolation** — every query runs under `catch_unwind`
+//!   ([`serve::serve_resilient`]); a panicking query becomes a
+//!   structured [`serve::QueryError`] in its own slot and the worker's
+//!   searcher is rebuilt — one bad query can neither kill the process
+//!   nor corrupt its successors;
+//! * **degradation** — past a batch's soft deadline, remaining exact
+//!   queries downgrade to the budgeted [`ApproxSearcher`] surface at a
+//!   configured fraction, flagged [`serve::Outcome::Degraded`]; a
+//!   client's own budget is never raised;
+//! * **backpressure** — the session loop ([`serve::serve_session`])
+//!   admits a bounded number of batches and *sheds* the excess with
+//!   explicit replies instead of queueing without bound;
+//! * **hardening** — the line protocol parser ([`serve::LineParser`])
+//!   is total: garbage input yields typed error replies, never a dead
+//!   session.
+//!
+//! With zero faults and no deadline the resilient path returns answers
+//! and stats bit-identical to [`serve::query_batch_parallel`] at any
+//! thread count — the release-mode robustness suite pins this.
+//!
 //! ## Index types
 //!
 //! * [`LinearScan`] — the naive baseline (n evaluations per query);

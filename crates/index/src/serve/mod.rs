@@ -11,6 +11,47 @@
 //!
 //! Workers are crossbeam-style scoped threads, so queries may borrow
 //! from the caller's stack and no `'static` bounds infect the API.
+//!
+//! # Serving & failure model
+//!
+//! The strict batch API above is one-shot: a panicking query or one
+//! slow skewed query takes the whole batch with it.  The submodules
+//! layer a fault-tolerant serving subsystem on top, used by
+//! `distperm serve`:
+//!
+//! - [`steal`] — [`serve_resilient`]: the work-stealing engine.
+//!   Workers claim query indices off an atomic cursor (default chunk 1)
+//!   instead of contiguous splits, so a skewed budgeted batch cannot
+//!   strand workers idle; outcomes are merged back into query order, so
+//!   the zero-fault, no-deadline path stays **bit-identical** to
+//!   [`query_batch_parallel`] at any thread count.
+//! - [`isolate`] — panic isolation: each query runs under
+//!   `catch_unwind`; a panic becomes a structured [`QueryError`] in
+//!   that query's slot and the worker's searcher is rebuilt.  The
+//!   test-only [`FaultPlan`] injects panics and delays to prove it.
+//! - [`deadline`] — graceful degradation: past a batch's soft deadline,
+//!   remaining exact queries downgrade to budgeted queries at the
+//!   configured fraction, flagged [`Outcome::Degraded`] with the
+//!   fraction served.  Degradation never raises a client's own budget.
+//! - [`protocol`] — the line-delimited request protocol: a typed,
+//!   panic-free parser whose errors are per-line replies, so a session
+//!   survives arbitrary garbage input.
+//! - [`session`] — the serving loop: a bounded admission queue
+//!   (explicit `shed` replies once full — backpressure is visible, not
+//!   silent), a reader thread, and per-batch accounting
+//!   ([`SessionSummary`]).
+
+pub mod deadline;
+pub mod isolate;
+pub mod protocol;
+pub mod session;
+pub mod steal;
+
+pub use deadline::{BatchReport, Deadline, Outcome, ServeRequest};
+pub use isolate::{FaultPlan, QueryError};
+pub use protocol::{Frame, LineParser, ProtocolError, QueryKind};
+pub use session::{serve_session, SessionConfig, SessionSummary};
+pub use steal::{query_batch_stealing, serve_resilient, BatchOptions};
 
 use crate::api::{ApproxSearcher, ProximityIndex, Searcher};
 use crate::query::{Neighbor, QueryStats};
@@ -50,6 +91,15 @@ pub enum ApproxRequest<D> {
     },
 }
 
+impl<D> ApproxRequest<D> {
+    /// The request's scan budget in `[0, 1]`.
+    pub fn frac(&self) -> f64 {
+        match self {
+            ApproxRequest::Knn { frac, .. } | ApproxRequest::Range { frac, .. } => *frac,
+        }
+    }
+}
+
 /// One query's answer: neighbours plus the query's own cost stats.
 pub type Response<D> = (Vec<Neighbor<D>>, QueryStats);
 
@@ -58,7 +108,7 @@ pub fn total_stats<D>(responses: &[Response<D>]) -> QueryStats {
     responses.iter().map(|(_, s)| *s).sum()
 }
 
-fn run_one<P: ?Sized, S: Searcher<P>>(
+pub(crate) fn run_one<P: ?Sized, S: Searcher<P>>(
     searcher: &mut S,
     query: &P,
     request: Request<S::Dist>,
@@ -69,7 +119,7 @@ fn run_one<P: ?Sized, S: Searcher<P>>(
     }
 }
 
-fn run_one_approx<P: ?Sized, S: ApproxSearcher<P>>(
+pub(crate) fn run_one_approx<P: ?Sized, S: ApproxSearcher<P>>(
     searcher: &mut S,
     query: &P,
     request: ApproxRequest<S::Dist>,

@@ -1,0 +1,429 @@
+//! The line-delimited serving protocol and its panic-free parser.
+//!
+//! Requests arrive as text lines; the session groups them into batches:
+//!
+//! ```text
+//! begin b1 deadline-ms=50 frac=0.25
+//! knn 3 0.1 0.2 0.8
+//! range 0.5 0.0 0.0 0.0
+//! end
+//! ```
+//!
+//! - `begin <id> [deadline-ms=<u64>] [frac=<f64>]` opens a batch;
+//! - `knn <k> <coord…>` / `range <radius> <coord…>` queue queries, with
+//!   optional `frac=<f64>` *before* the coordinates for an explicitly
+//!   budgeted query;
+//! - `end` dispatches the batch;
+//! - blank lines and `# comments` are ignored; CRLF line endings are
+//!   tolerated.
+//!
+//! The parser is **total**: every input line maps to a [`Frame`] or a
+//! typed [`ProtocolError`], never a panic — the hardening layer that
+//! lets a session survive arbitrary garbage with a per-line `error`
+//! reply instead of dying.  Oversized lines are rejected by length
+//! before any token is inspected, bounding per-line work.
+
+use std::fmt;
+
+/// Limits enforced by the parser, line by line.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 16;
+
+/// One query's shape inside a protocol batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryKind {
+    /// `knn <k> …`: k nearest neighbours.
+    Knn {
+        /// Number of neighbours (validated nonzero).
+        k: usize,
+    },
+    /// `range <radius> …`: all points within `radius`.
+    Range {
+        /// Search radius (validated finite and nonnegative).
+        radius: f64,
+    },
+}
+
+/// One successfully parsed protocol line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// `begin <id> [deadline-ms=..] [frac=..]`.
+    Begin {
+        /// Client-chosen batch id (echoed in replies).
+        id: String,
+        /// Optional per-batch soft deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Optional per-batch degrade fraction override.
+        frac: Option<f64>,
+    },
+    /// `knn …` / `range …`.
+    Query {
+        /// The query's shape.
+        kind: QueryKind,
+        /// Explicit scan budget (`frac=`), if the client asked for a
+        /// budgeted answer.
+        frac: Option<f64>,
+        /// The query point.
+        point: Vec<f64>,
+    },
+    /// `end`: dispatch the open batch.
+    End,
+    /// A blank or comment line: nothing to do.
+    Blank,
+}
+
+/// Every way a protocol line or session can be malformed.  `Display`
+/// renders the one-line diagnostic sent back to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Line exceeded the parser's byte limit.
+    OversizedLine {
+        /// Observed length.
+        len: usize,
+        /// Configured limit.
+        max: usize,
+    },
+    /// First token is not a known verb.
+    UnknownVerb(String),
+    /// A required token is absent (e.g. `begin` without an id).
+    Missing(&'static str),
+    /// A numeric token failed to parse.
+    BadNumber {
+        /// What the token was supposed to be.
+        what: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A query point's dimensionality does not match the index.
+    WrongDim {
+        /// Coordinates supplied.
+        got: usize,
+        /// Index dimensionality.
+        want: usize,
+    },
+    /// A scan fraction outside `[0, 1]`.
+    BadFrac(String),
+    /// `knn 0 …`: zero neighbours requested.
+    BadKnnK,
+    /// A radius that is negative or not finite.
+    BadRadius(String),
+    /// An unrecognised `key=value` option.
+    BadOption(String),
+    /// The same option given twice.
+    DuplicateOption(&'static str),
+    /// Unexpected tokens after a complete frame (e.g. `end now`).
+    Trailing(String),
+    /// `begin` while a batch is already open.
+    NestedBegin,
+    /// A query line outside `begin`/`end`.
+    StrayQuery,
+    /// `end` without an open batch.
+    StrayEnd,
+    /// Input ended inside an open batch.
+    TruncatedBatch {
+        /// Id of the batch left open.
+        id: String,
+        /// Queries queued when input ended.
+        queued: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::OversizedLine { len, max } => {
+                write!(f, "line too long ({len} bytes, max {max})")
+            }
+            ProtocolError::UnknownVerb(verb) => {
+                write!(f, "unknown verb {verb:?} (expected begin/knn/range/end)")
+            }
+            ProtocolError::Missing(what) => write!(f, "missing {what}"),
+            ProtocolError::BadNumber { what, token } => {
+                write!(f, "bad {what}: {token:?}")
+            }
+            ProtocolError::WrongDim { got, want } => {
+                write!(f, "wrong dimensionality: got {got} coordinates, index has {want}")
+            }
+            ProtocolError::BadFrac(token) => {
+                write!(f, "bad frac {token:?} (need a finite value in [0,1])")
+            }
+            ProtocolError::BadKnnK => write!(f, "knn k must be at least 1"),
+            ProtocolError::BadRadius(token) => {
+                write!(f, "bad radius {token:?} (need a finite nonnegative value)")
+            }
+            ProtocolError::BadOption(opt) => write!(f, "unknown option {opt:?}"),
+            ProtocolError::DuplicateOption(opt) => write!(f, "duplicate option {opt}"),
+            ProtocolError::Trailing(tok) => write!(f, "unexpected trailing token {tok:?}"),
+            ProtocolError::NestedBegin => write!(f, "begin inside an open batch"),
+            ProtocolError::StrayQuery => write!(f, "query outside begin/end"),
+            ProtocolError::StrayEnd => write!(f, "end without an open batch"),
+            ProtocolError::TruncatedBatch { id, queued } => {
+                write!(f, "input ended inside batch {id:?} ({queued} queries queued)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Line parser for a session against an index of `dim`-dimensional
+/// points.
+#[derive(Debug, Clone, Copy)]
+pub struct LineParser {
+    /// Dimensionality every query point must match.
+    pub dim: usize,
+    /// Per-line byte limit ([`DEFAULT_MAX_LINE_BYTES`] by default).
+    pub max_line_bytes: usize,
+}
+
+fn parse_frac(token: &str) -> Result<f64, ProtocolError> {
+    let frac: f64 = token.parse().map_err(|_| ProtocolError::BadFrac(token.to_string()))?;
+    if frac.is_finite() && (0.0..=1.0).contains(&frac) {
+        Ok(frac)
+    } else {
+        Err(ProtocolError::BadFrac(token.to_string()))
+    }
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, name: &'static str) -> Result<(), ProtocolError> {
+    if slot.is_some() {
+        return Err(ProtocolError::DuplicateOption(name));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+impl LineParser {
+    /// A parser for `dim`-dimensional query points with the default
+    /// line-length limit.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, max_line_bytes: DEFAULT_MAX_LINE_BYTES }
+    }
+
+    /// Parses one raw input line (CR/LF already or not yet stripped —
+    /// both accepted).  Total: never panics.
+    pub fn parse(&self, raw: &str) -> Result<Frame, ProtocolError> {
+        if raw.len() > self.max_line_bytes {
+            return Err(ProtocolError::OversizedLine { len: raw.len(), max: self.max_line_bytes });
+        }
+        let line = raw.trim_end_matches(['\r', '\n']).trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(Frame::Blank);
+        }
+        let mut tokens = line.split_ascii_whitespace();
+        let verb = tokens.next().expect("non-empty line has a first token");
+        match verb {
+            "begin" => self.parse_begin(tokens),
+            "knn" => {
+                let token = tokens.next().ok_or(ProtocolError::Missing("knn k"))?;
+                let k: usize = token.parse().map_err(|_| ProtocolError::BadNumber {
+                    what: "knn k",
+                    token: token.to_string(),
+                })?;
+                if k == 0 {
+                    return Err(ProtocolError::BadKnnK);
+                }
+                self.parse_query(QueryKind::Knn { k }, tokens)
+            }
+            "range" => {
+                let token = tokens.next().ok_or(ProtocolError::Missing("range radius"))?;
+                let radius: f64 = token.parse().map_err(|_| ProtocolError::BadNumber {
+                    what: "range radius",
+                    token: token.to_string(),
+                })?;
+                if !radius.is_finite() || radius < 0.0 {
+                    return Err(ProtocolError::BadRadius(token.to_string()));
+                }
+                self.parse_query(QueryKind::Range { radius }, tokens)
+            }
+            "end" => match tokens.next() {
+                None => Ok(Frame::End),
+                Some(tok) => Err(ProtocolError::Trailing(tok.to_string())),
+            },
+            other => Err(ProtocolError::UnknownVerb(other.to_string())),
+        }
+    }
+
+    fn parse_begin<'a>(
+        &self,
+        mut tokens: impl Iterator<Item = &'a str>,
+    ) -> Result<Frame, ProtocolError> {
+        let id = tokens.next().ok_or(ProtocolError::Missing("batch id"))?.to_string();
+        let mut deadline_ms = None;
+        let mut frac = None;
+        for tok in tokens {
+            if let Some(value) = tok.strip_prefix("deadline-ms=") {
+                let ms: u64 = value.parse().map_err(|_| ProtocolError::BadNumber {
+                    what: "deadline-ms",
+                    token: value.to_string(),
+                })?;
+                set_once(&mut deadline_ms, ms, "deadline-ms")?;
+            } else if let Some(value) = tok.strip_prefix("frac=") {
+                set_once(&mut frac, parse_frac(value)?, "frac")?;
+            } else {
+                return Err(ProtocolError::BadOption(tok.to_string()));
+            }
+        }
+        Ok(Frame::Begin { id, deadline_ms, frac })
+    }
+
+    fn parse_query<'a>(
+        &self,
+        kind: QueryKind,
+        tokens: impl Iterator<Item = &'a str>,
+    ) -> Result<Frame, ProtocolError> {
+        let mut frac = None;
+        let mut point = Vec::with_capacity(self.dim);
+        for tok in tokens {
+            if let Some(value) = tok.strip_prefix("frac=") {
+                if !point.is_empty() {
+                    // Options live before coordinates; a frac= in the
+                    // middle of a point is a malformed coordinate.
+                    return Err(ProtocolError::BadNumber {
+                        what: "coordinate",
+                        token: tok.to_string(),
+                    });
+                }
+                set_once(&mut frac, parse_frac(value)?, "frac")?;
+            } else {
+                let coord: f64 = tok.parse().map_err(|_| ProtocolError::BadNumber {
+                    what: "coordinate",
+                    token: tok.to_string(),
+                })?;
+                if !coord.is_finite() {
+                    return Err(ProtocolError::BadNumber {
+                        what: "coordinate",
+                        token: tok.to_string(),
+                    });
+                }
+                point.push(coord);
+            }
+        }
+        if point.len() != self.dim {
+            return Err(ProtocolError::WrongDim { got: point.len(), want: self.dim });
+        }
+        Ok(Frame::Query { kind, frac, point })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p3() -> LineParser {
+        LineParser::new(3)
+    }
+
+    #[test]
+    fn begin_with_options() {
+        assert_eq!(
+            p3().parse("begin b1 deadline-ms=50 frac=0.25"),
+            Ok(Frame::Begin { id: "b1".into(), deadline_ms: Some(50), frac: Some(0.25) })
+        );
+        assert_eq!(
+            p3().parse("begin q"),
+            Ok(Frame::Begin { id: "q".into(), deadline_ms: None, frac: None })
+        );
+        assert_eq!(p3().parse("begin"), Err(ProtocolError::Missing("batch id")));
+        assert_eq!(p3().parse("begin b1 nope=1"), Err(ProtocolError::BadOption("nope=1".into())));
+        assert_eq!(
+            p3().parse("begin b1 frac=0.1 frac=0.2"),
+            Err(ProtocolError::DuplicateOption("frac"))
+        );
+    }
+
+    #[test]
+    fn knn_and_range_queries() {
+        assert_eq!(
+            p3().parse("knn 3 0.1 0.2 0.8"),
+            Ok(Frame::Query {
+                kind: QueryKind::Knn { k: 3 },
+                frac: None,
+                point: vec![0.1, 0.2, 0.8]
+            })
+        );
+        assert_eq!(
+            p3().parse("range 0.5 frac=0.3 0 0 0"),
+            Ok(Frame::Query {
+                kind: QueryKind::Range { radius: 0.5 },
+                frac: Some(0.3),
+                point: vec![0.0, 0.0, 0.0]
+            })
+        );
+        assert_eq!(p3().parse("knn 0 1 2 3"), Err(ProtocolError::BadKnnK));
+        assert_eq!(p3().parse("range -1 0 0 0"), Err(ProtocolError::BadRadius("-1".into())));
+        assert_eq!(p3().parse("range nan 0 0 0"), Err(ProtocolError::BadRadius("nan".into())));
+        assert_eq!(p3().parse("knn 2 1 2"), Err(ProtocolError::WrongDim { got: 2, want: 3 }));
+        assert_eq!(
+            p3().parse("knn 2 1 2 inf"),
+            Err(ProtocolError::BadNumber { what: "coordinate", token: "inf".into() })
+        );
+    }
+
+    #[test]
+    fn blanks_comments_crlf_and_end() {
+        assert_eq!(p3().parse(""), Ok(Frame::Blank));
+        assert_eq!(p3().parse("   \t "), Ok(Frame::Blank));
+        assert_eq!(p3().parse("# a comment"), Ok(Frame::Blank));
+        assert_eq!(p3().parse("end\r\n"), Ok(Frame::End));
+        assert_eq!(p3().parse("end"), Ok(Frame::End));
+        assert_eq!(p3().parse("end now"), Err(ProtocolError::Trailing("now".into())));
+        assert_eq!(
+            p3().parse("knn 1 0.5 0.5 0.5\r"),
+            Ok(Frame::Query {
+                kind: QueryKind::Knn { k: 1 },
+                frac: None,
+                point: vec![0.5, 0.5, 0.5]
+            })
+        );
+    }
+
+    #[test]
+    fn garbage_yields_typed_errors() {
+        assert!(matches!(p3().parse("frobnicate 1 2 3"), Err(ProtocolError::UnknownVerb(_))));
+        assert!(matches!(
+            p3().parse("knn three 1 2 3"),
+            Err(ProtocolError::BadNumber { what: "knn k", .. })
+        ));
+        assert!(matches!(p3().parse("knn"), Err(ProtocolError::Missing("knn k"))));
+        assert!(matches!(p3().parse("knn 2 a b c"), Err(ProtocolError::BadNumber { .. })));
+        assert!(matches!(p3().parse("begin b frac=2.0"), Err(ProtocolError::BadFrac(_))));
+        assert!(matches!(p3().parse("begin b frac=nan"), Err(ProtocolError::BadFrac(_))));
+    }
+
+    #[test]
+    fn oversized_lines_rejected_before_tokenizing() {
+        let parser = LineParser { dim: 3, max_line_bytes: 16 };
+        let long = "knn 1 ".to_string() + &"9 ".repeat(50);
+        assert_eq!(
+            parser.parse(&long),
+            Err(ProtocolError::OversizedLine { len: long.len(), max: 16 })
+        );
+        // At the limit is fine.
+        assert!(parser.parse("knn 1 1 2 3").is_ok());
+    }
+
+    #[test]
+    fn errors_render_one_line_diagnostics() {
+        for err in [
+            ProtocolError::OversizedLine { len: 99, max: 16 },
+            ProtocolError::UnknownVerb("zap".into()),
+            ProtocolError::Missing("batch id"),
+            ProtocolError::BadNumber { what: "knn k", token: "x".into() },
+            ProtocolError::WrongDim { got: 2, want: 3 },
+            ProtocolError::BadFrac("7".into()),
+            ProtocolError::BadKnnK,
+            ProtocolError::BadRadius("-1".into()),
+            ProtocolError::BadOption("zz=1".into()),
+            ProtocolError::DuplicateOption("frac"),
+            ProtocolError::Trailing("now".into()),
+            ProtocolError::NestedBegin,
+            ProtocolError::StrayQuery,
+            ProtocolError::StrayEnd,
+            ProtocolError::TruncatedBatch { id: "b".into(), queued: 2 },
+        ] {
+            let rendered = err.to_string();
+            assert!(!rendered.is_empty());
+            assert!(!rendered.contains('\n'), "diagnostic must be one line: {rendered:?}");
+        }
+    }
+}

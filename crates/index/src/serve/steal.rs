@@ -1,0 +1,428 @@
+//! The resilient work-stealing batch engine.
+//!
+//! [`serve_resilient`] is the serving loop's workhorse: it dispatches a
+//! batch of (possibly heterogeneous) queries to warm per-worker
+//! [`crate::Searcher`] sessions via an **atomic-cursor** work queue
+//! instead of the contiguous splits of
+//! [`crate::serve::query_batch_parallel`].  Workers claim the next
+//! `steal_chunk` query indices with one `fetch_add` and go back for
+//! more, so a skewed batch — budgeted queries whose per-query cost
+//! varies wildly (see "Cardinality of Balls in Permutation Spaces",
+//! Dinu & Zara, on why candidate-set sizes spread so far) — cannot
+//! strand a worker idle behind a statically assigned heavy chunk.
+//!
+//! Robustness layers applied per query, in order:
+//!
+//! 1. **deadline** ([`Deadline`]): expired ⇒ the request downgrades to
+//!    its budgeted form at the batch's degrade fraction;
+//! 2. **panic isolation** ([`super::isolate`]): the query (and any
+//!    injected fault) runs under `catch_unwind`; a panic becomes
+//!    [`Outcome::Failed`] and the worker's searcher is rebuilt;
+//! 3. **determinism**: outcomes land in query order regardless of which
+//!    worker served them, so the zero-fault, no-deadline path returns
+//!    responses bit-identical to [`crate::serve::query_batch_parallel`]
+//!    at any thread count and any chunk size.
+
+use crate::api::{ApproxSearcher, ProximityIndex};
+use crate::serve::deadline::{BatchReport, Deadline, Outcome, ServeRequest};
+use crate::serve::isolate::{run_guarded, FaultPlan, QueryError};
+use crate::serve::{run_one, run_one_approx, Request, Response};
+use std::borrow::Borrow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning and policy knobs for one resiliently served batch.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads (clamped to `[1, queries]`; `<= 1` runs inline).
+    pub threads: usize,
+    /// Soft deadline after which remaining queries degrade
+    /// (`None` = never).
+    pub soft_deadline: Option<Duration>,
+    /// Scan fraction served once the deadline has expired.
+    pub degrade_frac: f64,
+    /// Query indices claimed per cursor bump.  1 (the default) gives
+    /// the best balance; larger values trade balance for fewer atomic
+    /// operations.  `queries.div_ceil(threads)` reproduces contiguous
+    /// chunking.
+    pub steal_chunk: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self { threads: 1, soft_deadline: None, degrade_frac: 0.25, steal_chunk: 1 }
+    }
+}
+
+impl BatchOptions {
+    /// Default options at `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads, ..Self::default() }
+    }
+
+    /// Sets the soft deadline.
+    pub fn deadline(mut self, soft: Duration) -> Self {
+        self.soft_deadline = Some(soft);
+        self
+    }
+
+    /// Sets the degrade fraction.
+    ///
+    /// # Panics
+    /// Panics if `frac` is outside `[0, 1]`.
+    pub fn degrade(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "degrade frac must be in [0,1], got {frac}");
+        self.degrade_frac = frac;
+        self
+    }
+
+    /// Sets the steal-chunk size (0 is treated as 1).
+    pub fn chunk(mut self, steal_chunk: usize) -> Self {
+        self.steal_chunk = steal_chunk;
+        self
+    }
+}
+
+/// Per-batch serving policy shared (immutably) by every worker.
+struct BatchContext<'b> {
+    deadline: Deadline,
+    degrade_frac: f64,
+    faults: &'b FaultPlan,
+}
+
+/// Serves one query with every robustness layer applied; never panics
+/// for query-level failures (index-level failures — a searcher that
+/// cannot even be *rebuilt* — still propagate, because nothing can be
+/// served without a session).
+fn run_resilient_one<'i, P, I>(
+    ctx: &BatchContext<'_>,
+    index: &'i I,
+    searcher: &mut I::Searcher<'i>,
+    i: usize,
+    query: &P,
+    request: ServeRequest<I::Dist>,
+) -> Outcome<I::Dist>
+where
+    P: ?Sized,
+    I: ProximityIndex<P>,
+    I::Searcher<'i>: ApproxSearcher<P>,
+{
+    let degraded = ctx.deadline.expired().then(|| request.degraded(ctx.degrade_frac));
+    let attempt = run_guarded(|| {
+        if !ctx.faults.is_empty() {
+            ctx.faults.fire(i);
+        }
+        match (&degraded, request) {
+            (Some(req), _) => run_one_approx(searcher, query, *req),
+            (None, ServeRequest::Exact(req)) => run_one(searcher, query, req),
+            (None, ServeRequest::Approx(req)) => run_one_approx(searcher, query, req),
+        }
+    });
+    match attempt {
+        Ok(response) => match degraded {
+            Some(req) => Outcome::Degraded { response, frac: req.frac() },
+            None => Outcome::Ok(response),
+        },
+        Err(message) => {
+            // The session's scratch may be mid-mutation; discard it and
+            // start the next query from a fresh cursor.
+            *searcher = index.searcher();
+            Outcome::Failed(QueryError { index: i, message })
+        }
+    }
+}
+
+/// Serves a batch through work-stealing workers with panic isolation
+/// and deadline-aware degradation; `request_of(i)` names each query's
+/// request, so heterogeneous batches (mixed k-NN/range/budgets) are
+/// first-class.
+///
+/// Outcomes are returned in query order.  With an empty [`FaultPlan`]
+/// and no soft deadline every outcome is [`Outcome::Ok`] and the
+/// responses are **bit-identical** to
+/// [`crate::serve::query_batch_parallel`] /
+/// [`crate::serve::query_batch_parallel_approx`] over the same
+/// requests, at any thread count and chunk size — enforced by the
+/// release-mode robustness suite.
+pub fn serve_resilient<'i, P, Q, I, RF>(
+    index: &'i I,
+    queries: &[Q],
+    request_of: RF,
+    options: &BatchOptions,
+    faults: &FaultPlan,
+) -> BatchReport<I::Dist>
+where
+    P: ?Sized,
+    Q: Borrow<P> + Sync,
+    I: ProximityIndex<P>,
+    I::Searcher<'i>: ApproxSearcher<P>,
+    RF: Fn(usize) -> ServeRequest<I::Dist> + Sync,
+{
+    let n = queries.len();
+    let start = Instant::now();
+    let ctx = BatchContext {
+        deadline: Deadline::after(options.soft_deadline),
+        degrade_frac: options.degrade_frac,
+        faults,
+    };
+    let workers = options.threads.clamp(1, n.max(1));
+    let chunk = options.steal_chunk.max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let work = |out: &mut Vec<(usize, Outcome<I::Dist>)>| {
+        let mut searcher = index.searcher();
+        loop {
+            let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if lo >= n {
+                break;
+            }
+            let hi = n.min(lo + chunk);
+            for (i, query) in (lo..hi).zip(&queries[lo..hi]) {
+                let outcome =
+                    run_resilient_one(&ctx, index, &mut searcher, i, query.borrow(), request_of(i));
+                out.push((i, outcome));
+            }
+        }
+    };
+
+    let mut tagged: Vec<(usize, Outcome<I::Dist>)> = Vec::with_capacity(n);
+    if workers <= 1 {
+        work(&mut tagged);
+    } else {
+        let collected = Mutex::new(&mut tagged);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local = Vec::new();
+                        work(&mut local);
+                        collected.lock().expect("collector lock").extend(local);
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Query panics are caught inside the worker; a join
+                // failure means the *index* could not produce a session,
+                // which nothing downstream could serve around.
+                h.join().expect("serving worker died outside query isolation");
+            }
+        })
+        .expect("serving scope failed");
+    }
+
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(tagged.iter().enumerate().all(|(pos, &(i, _))| pos == i));
+    assert_eq!(tagged.len(), n, "every query must produce exactly one outcome");
+    let outcomes = tagged.into_iter().map(|(_, o)| o).collect();
+    BatchReport { outcomes, elapsed: start.elapsed() }
+}
+
+/// [`crate::serve::query_batch_parallel`] with work-stealing instead of
+/// contiguous chunks: bit-identical responses, better balance on skewed
+/// batches.  Requires the index's budgeted surface because it shares
+/// the resilient engine (panics propagate — use [`serve_resilient`] for
+/// isolation).
+pub fn query_batch_stealing<'i, P, Q, I>(
+    index: &'i I,
+    queries: &[Q],
+    request: Request<I::Dist>,
+    threads: usize,
+) -> Vec<Response<I::Dist>>
+where
+    P: ?Sized,
+    Q: Borrow<P> + Sync,
+    I: ProximityIndex<P>,
+    I::Searcher<'i>: ApproxSearcher<P>,
+{
+    let report = serve_resilient(
+        index,
+        queries,
+        |_| ServeRequest::Exact(request),
+        &BatchOptions::with_threads(threads),
+        &FaultPlan::none(),
+    );
+    match report.ok_responses() {
+        Some(responses) => responses,
+        None => {
+            let first = report.outcomes.iter().find_map(Outcome::error).expect("a failed query");
+            panic!("{first}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laesa::PivotSelection;
+    use crate::serve::{query_batch_parallel, query_batch_parallel_approx, ApproxRequest};
+    use crate::DistPermIndex;
+    use dp_metric::L2;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect()
+    }
+
+    #[test]
+    fn stealing_matches_contiguous_bit_for_bit() {
+        let pts = random_points(300, 3, 1);
+        let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
+        let queries = random_points(29, 3, 2);
+        let request = Request::Knn { k: 4 };
+        let baseline = query_batch_parallel(&idx, &queries, request, 2);
+        for threads in [1usize, 2, 5, 64] {
+            for chunk in [1usize, 3, 29, 1000] {
+                let report = serve_resilient(
+                    &idx,
+                    &queries,
+                    |_| ServeRequest::Exact(request),
+                    &BatchOptions::with_threads(threads).chunk(chunk),
+                    &FaultPlan::none(),
+                );
+                assert_eq!(
+                    report.ok_responses().expect("clean batch"),
+                    baseline,
+                    "threads={threads} chunk={chunk}"
+                );
+            }
+            assert_eq!(query_batch_stealing(&idx, &queries, request, threads), baseline);
+        }
+    }
+
+    #[test]
+    fn injected_panics_become_failed_outcomes() {
+        let pts = random_points(200, 2, 3);
+        let idx = DistPermIndex::build(L2, pts, 6, PivotSelection::MaxMin);
+        let queries = random_points(17, 2, 4);
+        let request = Request::Knn { k: 2 };
+        let baseline = query_batch_parallel(&idx, &queries, request, 1);
+        let faults = FaultPlan::none().panic_on_all([0, 7, 16]);
+        for threads in [1usize, 3] {
+            let report = serve_resilient(
+                &idx,
+                &queries,
+                |_| ServeRequest::Exact(request),
+                &BatchOptions::with_threads(threads),
+                &faults,
+            );
+            assert_eq!(report.failed(), 3);
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                if [0, 7, 16].contains(&i) {
+                    let err = outcome.error().expect("failed slot");
+                    assert_eq!(err.index, i);
+                    assert!(err.message.contains("injected fault"), "{err}");
+                } else {
+                    assert_eq!(outcome.response().expect("served"), &baseline[i], "query {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_every_query() {
+        let pts = random_points(400, 3, 5);
+        let idx = DistPermIndex::build(L2, pts, 8, PivotSelection::MaxMin);
+        let queries = random_points(13, 3, 6);
+        let request = Request::Knn { k: 3 };
+        // Deadline already expired at dispatch: every query downgrades
+        // to the budgeted path, deterministically.
+        let options = BatchOptions::with_threads(2).deadline(Duration::ZERO).degrade(0.2);
+        let report = serve_resilient(
+            &idx,
+            &queries,
+            |_| ServeRequest::Exact(request),
+            &options,
+            &FaultPlan::none(),
+        );
+        assert_eq!(report.degraded(), queries.len());
+        let expected =
+            query_batch_parallel_approx(&idx, &queries, ApproxRequest::Knn { k: 3, frac: 0.2 }, 1);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            match outcome {
+                Outcome::Degraded { response, frac } => {
+                    assert_eq!(*frac, 0.2);
+                    assert_eq!(response, &expected[i], "query {i}");
+                }
+                other => panic!("query {i}: expected degraded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_report() {
+        let pts = random_points(50, 2, 7);
+        let idx = DistPermIndex::build(L2, pts, 4, PivotSelection::MaxMin);
+        let queries: Vec<Vec<f64>> = Vec::new();
+        let report = serve_resilient(
+            &idx,
+            &queries,
+            |_| ServeRequest::Exact(Request::Knn { k: 1 }),
+            &BatchOptions::with_threads(8),
+            &FaultPlan::none(),
+        );
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.ok_responses(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn heterogeneous_requests_serve_per_query() {
+        let pts = random_points(150, 2, 8);
+        let idx = DistPermIndex::build(L2, pts.clone(), 5, PivotSelection::MaxMin);
+        let queries = random_points(6, 2, 9);
+        let requests: Vec<ServeRequest<_>> = (0..queries.len())
+            .map(|i| {
+                if i % 2 == 0 {
+                    ServeRequest::Exact(Request::Knn { k: 1 + i })
+                } else {
+                    ServeRequest::Approx(ApproxRequest::Knn { k: 2, frac: 0.3 })
+                }
+            })
+            .collect();
+        let report = serve_resilient(
+            &idx,
+            &queries,
+            |i| requests[i],
+            &BatchOptions::with_threads(3),
+            &FaultPlan::none(),
+        );
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            let (neighbors, stats) = outcome.response().expect("served");
+            let (expected, expected_stats) = match requests[i] {
+                ServeRequest::Exact(Request::Knn { k }) => idx.query_knn(&queries[i], k),
+                ServeRequest::Approx(ApproxRequest::Knn { k, frac }) => {
+                    use crate::api::ApproxIndex;
+                    idx.query_knn_approx(&queries[i], k, frac)
+                }
+                _ => unreachable!(),
+            };
+            assert_eq!(neighbors, &expected, "query {i}");
+            assert_eq!(stats, &expected_stats, "query {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn strict_stealing_wrapper_propagates_failures() {
+        // query_batch_stealing has no isolation surface: a failure in
+        // the underlying engine must surface as a panic, not silently
+        // drop a query.
+        let pts = random_points(40, 2, 10);
+        let idx = DistPermIndex::build(L2, pts, 4, PivotSelection::MaxMin);
+        let queries = random_points(3, 2, 11);
+        let report = serve_resilient(
+            &idx,
+            &queries,
+            |_| ServeRequest::Exact(Request::Knn { k: 1 }),
+            &BatchOptions::default(),
+            &FaultPlan::none().panic_on(1),
+        );
+        // Simulate the wrapper's unwrap on a faulted report.
+        if report.ok_responses().is_none() {
+            let first = report.outcomes.iter().find_map(Outcome::error).expect("failed");
+            panic!("{first}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Adversarial property suite for the serve protocol parser and the
+//! session loop's malformed-input hardening.
+//!
+//! The parser's contract is **totality**: every byte sequence maps to a
+//! `Frame` or a typed `ProtocolError`, never a panic — and a serving
+//! session fed arbitrary garbage replies with `error` lines and keeps
+//! answering well-formed batches.  These properties run the parser and
+//! a live session over truncated frames, CRLF endings, oversized lines,
+//! and interleaved garbage.
+
+use dp_index::serve::{
+    serve_session, FaultPlan, Frame, LineParser, ProtocolError, QueryKind, SessionConfig,
+};
+use dp_index::{DistPermIndex, PivotSelection};
+use dp_metric::L2;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn parser(dim: usize) -> LineParser {
+    LineParser::new(dim)
+}
+
+fn printable(rng: &mut TestRng, max_len: usize) -> String {
+    let len = (rng.next_u64() % (max_len as u64 + 1)) as usize;
+    (0..len).map(|_| char::from(b' ' + (rng.next_u64() % 95) as u8)).collect()
+}
+
+fn pick<'a>(rng: &mut TestRng, items: &'a [&'a str]) -> &'a str {
+    items[(rng.next_u64() % items.len() as u64) as usize]
+}
+
+/// Arbitrary single lines: random printable garbage, protocol-shaped
+/// prefixes, and byte noise with whitespace.
+fn arb_line() -> impl Strategy<Value = String> {
+    (0usize..4).prop_perturb(|variant, mut rng| match variant {
+        // Pure printable garbage.
+        0 => printable(&mut rng, 80),
+        // Protocol-shaped: verb plus random tail (truncations included).
+        1 => {
+            let verb = pick(&mut rng, &["begin", "knn", "range", "end", "#", ""]);
+            let tail = printable(&mut rng, 40);
+            format!("{verb} {tail}")
+        }
+        // Numeric soup that stresses the coordinate parser.
+        2 => {
+            let tokens =
+                ["1.5", "-0", "nan", "inf", "1e308", "frac=0.5", "frac=x", "deadline-ms=10", "--"];
+            let n = (rng.next_u64() % 8) as usize;
+            let soup: Vec<&str> = (0..n).map(|_| pick(&mut rng, &tokens)).collect();
+            format!("knn 2 {}", soup.join(" "))
+        }
+        // Whitespace and line-ending torture.
+        _ => {
+            let ws = |rng: &mut TestRng| " \t".repeat((rng.next_u64() % 3) as usize);
+            let core = pick(&mut rng, &["end", "begin b", "knn 1 0 0"]).to_string();
+            let cr = if rng.next_u64() % 2 == 0 { "\r" } else { "" };
+            format!("{}{core}{}{cr}", ws(&mut rng), ws(&mut rng))
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Totality: the parser classifies every line, never panics.
+    #[test]
+    fn parser_is_total_on_arbitrary_lines(line in arb_line(), dim in 0usize..5) {
+        let result = std::panic::catch_unwind(|| parser(dim).parse(&line));
+        let outcome = result.expect("parser must never panic");
+        if let Err(e) = outcome {
+            // Every error renders as a one-line diagnostic.
+            let msg = e.to_string();
+            prop_assert!(!msg.is_empty());
+            prop_assert!(!msg.contains('\n'));
+        }
+    }
+
+    // CRLF endings parse identically to bare LF content.
+    #[test]
+    fn crlf_is_transparent(line in "[ -~]{0,60}") {
+        let p = parser(2);
+        prop_assert_eq!(p.parse(&line), p.parse(&format!("{line}\r")));
+        prop_assert_eq!(p.parse(&line), p.parse(&format!("{line}\r\n")));
+    }
+
+    // Oversized lines are rejected by length, whatever their content.
+    #[test]
+    fn oversized_lines_always_rejected(filler in "[a-z0-9 ]{1,64}") {
+        let p = LineParser { dim: 2, max_line_bytes: 32 };
+        let long = filler.repeat(1 + 64 / filler.len());
+        prop_assume!(long.len() > 32);
+        match p.parse(&long) {
+            Err(ProtocolError::OversizedLine { len, max }) => {
+                prop_assert_eq!(len, long.len());
+                prop_assert_eq!(max, 32);
+            }
+            other => prop_assert!(false, "expected OversizedLine, got {:?}", other),
+        }
+    }
+
+    // Well-formed knn lines round-trip exactly.
+    #[test]
+    fn valid_knn_round_trips(
+        k in 1usize..100,
+        coords in proptest::collection::vec(-1e6f64..1e6, 1..6),
+    ) {
+        let line = format!(
+            "knn {k} {}",
+            coords.iter().map(f64::to_string).collect::<Vec<_>>().join(" ")
+        );
+        match parser(coords.len()).parse(&line) {
+            Ok(Frame::Query { kind: QueryKind::Knn { k: got }, frac: None, point }) => {
+                prop_assert_eq!(got, k);
+                prop_assert_eq!(point, coords);
+            }
+            other => prop_assert!(false, "expected knn frame, got {:?}", other),
+        }
+    }
+
+    // A session fed interleaved garbage and one valid batch always
+    // answers the batch, replies to every garbage line, and says bye.
+    #[test]
+    fn session_survives_interleaved_garbage(
+        garbage in proptest::collection::vec(arb_line(), 0..12),
+        split in 0usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<Vec<f64>> =
+            (0..60).map(|_| (0..2).map(|_| rng.random::<f64>()).collect()).collect();
+        let index = DistPermIndex::build(L2, pts, 4, PivotSelection::MaxMin);
+
+        // Garbage outside the batch only: inside, error lines attach to
+        // the batch but `begin`/`end` tokens inside the garbage could
+        // legitimately restructure batches — this property pins the
+        // *outside* hardening.
+        let split = split.min(garbage.len());
+        let mut input = String::new();
+        for g in &garbage[..split] {
+            input.push_str(g);
+            input.push('\n');
+        }
+        input.push_str("begin ok\nknn 1 0.5 0.5\nend\n");
+        for g in &garbage[split..] {
+            input.push_str(g);
+            input.push('\n');
+        }
+
+        let mut out = Vec::new();
+        let summary = serve_session::<Vec<f64>, _, _, _>(
+            &index,
+            2,
+            input.as_bytes(),
+            &mut out,
+            &SessionConfig::default(),
+            &FaultPlan::none(),
+        )
+        .expect("in-memory io");
+        let text = String::from_utf8(out).expect("utf8 replies");
+        // The valid batch is always served...
+        prop_assert!(summary.batches >= 1, "{}", text);
+        prop_assert!(summary.ok + summary.degraded + summary.failed >= 1, "{}", text);
+        // ...and the session always shuts down cleanly.
+        prop_assert!(text.ends_with('\n'), "{}", text);
+        prop_assert!(text.lines().last().expect("bye line").starts_with("bye "), "{}", text);
+    }
+}
+
+#[test]
+fn truncated_batches_at_every_prefix_are_contained() {
+    // Cutting the input at any byte boundary inside a valid transcript
+    // must never panic the session, and always ends in `bye`.
+    let mut rng = StdRng::seed_from_u64(10);
+    let pts: Vec<Vec<f64>> =
+        (0..50).map(|_| (0..2).map(|_| rng.random::<f64>()).collect()).collect();
+    let index = DistPermIndex::build(L2, pts, 4, PivotSelection::MaxMin);
+    let full = "begin b1 deadline-ms=5 frac=0.5\nknn 2 0.25 0.75\nrange 0.3 0.5 0.5\nend\n";
+    for cut in 0..=full.len() {
+        let mut out = Vec::new();
+        let summary = serve_session::<Vec<f64>, _, _, _>(
+            &index,
+            2,
+            full.as_bytes()[..cut].to_vec().as_slice(),
+            &mut out,
+            &SessionConfig::default(),
+            &FaultPlan::none(),
+        )
+        .expect("in-memory io");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.lines().last().expect("reply").starts_with("bye "), "cut={cut}: {text}");
+        if cut == full.len() {
+            assert_eq!(summary.batches, 1, "full transcript serves the batch");
+        }
+    }
+}

@@ -21,6 +21,7 @@ use crate::bits::{BitReader, BitWriter};
 use crate::counter::PermutationCounter;
 use crate::encoding::{Codebook, FlatCodebook};
 use crate::perm::Permutation;
+use crate::radix::RadixSorter;
 
 /// Empirical entropy of a frequency table, in bits per symbol.
 ///
@@ -188,12 +189,18 @@ impl HuffmanCode {
 
 /// Huffman code lengths for a frequency table (0 for absent symbols).
 ///
-/// Deterministic: heap ties are broken by node creation order, so the same
-/// frequency table always yields the same lengths.
+/// O(N log N) in the sort, O(N) after it: one stable radix pass
+/// ([`RadixSorter::sort_pairs`]) puts the leaves in weight order, then
+/// the classic **two-queue** merge replaces the old `BinaryHeap` —
+/// merged weights emerge in non-decreasing order, so the internal nodes
+/// form a second already-sorted queue and each merge step is O(1).
+///
+/// Deterministic and bit-identical to the heap construction it
+/// replaced: the stable sort keeps equal-weight leaves in symbol order,
+/// internal nodes pop in creation order, and weight ties between the
+/// queues prefer the leaf — exactly the `(weight, node id)` order the
+/// old heap popped in.
 fn code_lengths(freqs: &[u64]) -> Vec<u8> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
     let present: Vec<u32> = (0..freqs.len() as u32).filter(|&s| freqs[s as usize] > 0).collect();
     let mut lengths = vec![0u8; freqs.len()];
     match present.len() {
@@ -206,31 +213,75 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
         _ => {}
     }
 
-    // Internal nodes: (left, right) children as indices into `nodes`;
-    // leaves are symbol indices < present.len().
-    let mut nodes: Vec<(u32, u32)> = Vec::with_capacity(present.len());
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
-        present.iter().enumerate().map(|(i, &s)| Reverse((freqs[s as usize], i as u32))).collect();
-    let leaf_count = present.len() as u32;
-    while heap.len() > 1 {
-        let Reverse((fa, a)) = heap.pop().expect("len > 1");
-        let Reverse((fb, b)) = heap.pop().expect("len > 1");
-        let id = leaf_count + nodes.len() as u32;
-        nodes.push((a, b));
-        heap.push(Reverse((fa + fb, id)));
-    }
-    let Reverse((_, root)) = heap.pop().expect("one root remains");
+    // Count-sort the leaves by weight.  Frequency tables arrive in
+    // codebook (lexicographic-id) order; the stable pair sort preserves
+    // that order among equal weights.
+    let mut leaves: Vec<(u64, u64)> =
+        present.iter().enumerate().map(|(i, &s)| (freqs[s as usize], i as u64)).collect();
+    let max_freq = leaves.iter().map(|&(f, _)| f).max().expect("non-empty");
+    RadixSorter::new().sort_pairs(&mut leaves, 64 - max_freq.leading_zeros());
 
-    // Depth-first depth assignment without recursion.
-    let mut stack = vec![(root, 0u8)];
-    while let Some((node, depth)) = stack.pop() {
-        if node < leaf_count {
-            lengths[present[node as usize] as usize] = depth.max(1);
-        } else {
-            let (a, b) = nodes[(node - leaf_count) as usize];
-            assert!(depth < 64, "Huffman depth exceeds 64 bits");
-            stack.push((a, depth + 1));
-            stack.push((b, depth + 1));
+    // Two-queue merge.  Leaves are ids `0..leaf_count`; internal nodes
+    // take ids from `leaf_count` up, in creation order, and their
+    // weights are non-decreasing — so `nodes[next_node..created]` is the
+    // second sorted queue and no heap is needed.
+    // Pops the lighter front of the two queues; `<=` on a weight tie
+    // takes the leaf — its id is always smaller than any internal
+    // node's, matching the old heap's `(weight, id)` order.
+    fn take_min(
+        leaves: &[(u64, u64)],
+        node_weights: &[u64],
+        leaf_count: u32,
+        next_leaf: &mut usize,
+        next_node: &mut usize,
+    ) -> (u64, u32) {
+        let leaf = leaves.get(*next_leaf).map(|&(w, i)| (w, i as u32));
+        let node = node_weights.get(*next_node).map(|&w| (w, leaf_count + *next_node as u32));
+        match (leaf, node) {
+            (Some((lw, li)), Some((nw, _))) if lw <= nw => {
+                *next_leaf += 1;
+                (lw, li)
+            }
+            (Some((lw, li)), None) => {
+                *next_leaf += 1;
+                (lw, li)
+            }
+            (_, Some((nw, ni))) => {
+                *next_node += 1;
+                (nw, ni)
+            }
+            (None, None) => unreachable!("merge loop never overdraws the queues"),
+        }
+    }
+
+    let leaf_count = present.len() as u32;
+    let mut nodes: Vec<(u32, u32)> = Vec::with_capacity(present.len() - 1);
+    let mut node_weights: Vec<u64> = Vec::with_capacity(present.len() - 1);
+    let mut next_leaf = 0usize;
+    let mut next_node = 0usize;
+    for _ in 1..leaf_count {
+        let (fa, a) = take_min(&leaves, &node_weights, leaf_count, &mut next_leaf, &mut next_node);
+        let (fb, b) = take_min(&leaves, &node_weights, leaf_count, &mut next_leaf, &mut next_node);
+        nodes.push((a, b));
+        node_weights.push(fa + fb);
+    }
+    debug_assert!(node_weights.windows(2).all(|w| w[0] <= w[1]), "node queue must stay sorted");
+
+    // Depth assignment by one reverse scan: the root is the last node
+    // created, and every child id is smaller than its parent's, so
+    // parents are always visited first.  Leaf ids index `present`
+    // directly (they were carried through the sort as pair values).
+    let mut depths = vec![0u8; nodes.len()];
+    for parent in (0..nodes.len()).rev() {
+        let depth = depths[parent];
+        assert!(depth < 64, "Huffman depth exceeds 64 bits");
+        let (a, b) = nodes[parent];
+        for child in [a, b] {
+            if child < leaf_count {
+                lengths[present[child as usize] as usize] = depth + 1;
+            } else {
+                depths[(child - leaf_count) as usize] = depth + 1;
+            }
         }
     }
     lengths
@@ -441,6 +492,73 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.iter().count(), 0);
         assert_eq!(store.mean_bits(), 0.0);
+    }
+
+    /// The `BinaryHeap` construction the two-queue build replaced, kept
+    /// as a test oracle: the rewrite must reproduce its lengths bit for
+    /// bit (same merge order, not merely the same total cost).
+    fn heap_code_lengths(freqs: &[u64]) -> Vec<u8> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let present: Vec<u32> =
+            (0..freqs.len() as u32).filter(|&s| freqs[s as usize] > 0).collect();
+        let mut lengths = vec![0u8; freqs.len()];
+        match present.len() {
+            0 => return lengths,
+            1 => {
+                lengths[present[0] as usize] = 1;
+                return lengths;
+            }
+            _ => {}
+        }
+        let mut nodes: Vec<(u32, u32)> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = present
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Reverse((freqs[s as usize], i as u32)))
+            .collect();
+        let leaf_count = present.len() as u32;
+        while heap.len() > 1 {
+            let Reverse((fa, a)) = heap.pop().unwrap();
+            let Reverse((fb, b)) = heap.pop().unwrap();
+            let id = leaf_count + nodes.len() as u32;
+            nodes.push((a, b));
+            heap.push(Reverse((fa + fb, id)));
+        }
+        let Reverse((_, root)) = heap.pop().unwrap();
+        let mut stack = vec![(root, 0u8)];
+        while let Some((node, depth)) = stack.pop() {
+            if node < leaf_count {
+                lengths[present[node as usize] as usize] = depth.max(1);
+            } else {
+                let (a, b) = nodes[(node - leaf_count) as usize];
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+        }
+        lengths
+    }
+
+    #[test]
+    fn two_queue_matches_heap_construction_bit_for_bit() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x48_75_66_66);
+        for case in 0..200 {
+            let n = 1 + (case % 64);
+            let freqs: Vec<u64> = (0..n)
+                .map(|_| {
+                    // Mix zeros, heavy ties, and a skewed tail.
+                    match rng.random::<u64>() % 4 {
+                        0 => 0,
+                        1 => 7,
+                        2 => rng.random::<u64>() % 16,
+                        _ => rng.random::<u64>() % 100_000,
+                    }
+                })
+                .collect();
+            assert_eq!(code_lengths(&freqs), heap_code_lengths(&freqs), "case {case}: {freqs:?}");
+        }
     }
 
     #[test]

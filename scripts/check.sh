@@ -12,8 +12,9 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo build --release"
-cargo build --release
+echo "== cargo build --workspace --release"
+# --workspace so the `distperm` binary exists for the serve smoke below.
+cargo build --workspace --release
 
 echo "== cargo test --workspace"
 cargo test --workspace -q
@@ -34,6 +35,38 @@ cargo test -p distance-permutations --release -q --test kernel_equivalence
 # adversarial-distribution property suite must also pass under release.
 echo "== cargo test --release --test radix_properties (release-mode property run)"
 cargo test -p dp-permutation --release -q --test radix_properties
+
+# The serving robustness suites pin panic isolation and bit-identity of
+# the work-stealing engine against the strict batch path; catch_unwind
+# and the degraded-path float behaviour must hold under optimized
+# codegen, so both suites also run under release.
+echo "== cargo test --release --test serve_robustness (release-mode fault-injection run)"
+cargo test -p distance-permutations --release -q --test serve_robustness
+
+echo "== cargo test --release --test protocol_robustness (release-mode adversarial-input run)"
+cargo test -p dp-index --release -q --test protocol_robustness
+
+# End-to-end smoke of `distperm serve`: generate a tiny database, pipe a
+# batch through stdin, and require a served batch plus a clean EOF
+# shutdown (`bye`) from the release binary.
+echo "== distperm serve smoke (stdin pipe, clean EOF shutdown)"
+SERVE_TMP=$(mktemp -d)
+trap 'rm -rf "$SERVE_TMP"' EXIT
+./target/release/distperm generate --kind uniform --out "$SERVE_TMP/db.vec" --n 200 --dim 4 \
+    --seed 7 > /dev/null
+SERVE_OUT=$(printf 'begin smoke\nknn 3 0.5 0.5 0.5 0.5\nrange 0.4 0.1 0.9 0.2 0.8\nend\n' \
+    | ./target/release/distperm serve --vectors "$SERVE_TMP/db.vec" --index distperm:4 \
+        --threads 2)
+echo "$SERVE_OUT" | grep -q '^done smoke ok=2 degraded=0 failed=0' || {
+    echo "serve smoke: batch was not served cleanly" >&2
+    echo "$SERVE_OUT" >&2
+    exit 1
+}
+echo "$SERVE_OUT" | grep -q '^bye batches=1 queries=2 shed=0 errors=0' || {
+    echo "serve smoke: missing clean bye line" >&2
+    echo "$SERVE_OUT" >&2
+    exit 1
+}
 
 # Every BENCH_*.json the ROADMAP cites must exist and parse as JSON
 # lines — a stale rename once broke a baseline reference silently.

@@ -1,0 +1,256 @@
+//! Fault-injection robustness suite for the resilient serving engine
+//! (`scripts/check.sh` also runs this under `--release`).
+//!
+//! The contract under test: with `k` injected panics in an `n`-query
+//! batch, [`serve_resilient`] returns **exactly `k`** failed outcomes at
+//! the injected indices and the other `n - k` answers **bit-identical**
+//! to the strict [`query_batch_parallel`] path — at any thread count
+//! and steal-chunk size.  With zero faults and no deadline the whole
+//! batch is bit-identical; with an expired deadline every query
+//! degrades to exactly the budgeted path.  The serving loop never dies:
+//! a session fed all-panicking batches still answers and says `bye`.
+
+use distance_permutations::index::serve::{
+    query_batch_parallel, query_batch_parallel_approx, serve_resilient, ApproxRequest,
+    BatchOptions, FaultPlan, Outcome, Request, ServeRequest,
+};
+use distance_permutations::index::{DistPermIndex, PivotSelection};
+use distance_permutations::metric::{F64Dist, L2};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect()
+}
+
+fn dist_perm_index() -> DistPermIndex<Vec<f64>, L2> {
+    DistPermIndex::build(L2, random_points(120, 3, 7), 6, PivotSelection::MaxMin)
+}
+
+/// Asserts the fault-isolation contract on one engine run: failed slots
+/// exactly at `panics`, everything else bit-identical to `baseline`.
+fn assert_isolated(
+    outcomes: &[Outcome<F64Dist>],
+    baseline: &[(
+        Vec<distance_permutations::index::Neighbor<F64Dist>>,
+        distance_permutations::index::QueryStats,
+    )],
+    panics: &BTreeSet<usize>,
+) {
+    assert_eq!(outcomes.len(), baseline.len());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if panics.contains(&i) {
+            match outcome {
+                Outcome::Failed(err) => {
+                    assert_eq!(err.index, i);
+                    assert!(
+                        err.message.contains(&format!("injected fault at query {i}")),
+                        "unexpected message: {}",
+                        err.message
+                    );
+                }
+                other => panic!("query {i} should have failed, got {other:?}"),
+            }
+        } else {
+            match outcome {
+                Outcome::Ok(response) => assert_eq!(response, &baseline[i], "query {i}"),
+                other => panic!("query {i} should be ok, got {other:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // k injected panics => exactly k failures, n-k bit-identical exact
+    // answers, at 1/2/4 threads.
+    #[test]
+    fn injected_panics_isolate_exactly_for_exact_queries(
+        seed in 0u64..1000,
+        panics in proptest::collection::btree_set(0usize..24, 0..6),
+        threads in 1usize..5,
+        chunk in 1usize..8,
+    ) {
+        let index = dist_perm_index();
+        let queries = random_points(24, 3, seed ^ 0xbeef);
+        let baseline = query_batch_parallel(&index, &queries, Request::Knn { k: 4 }, threads);
+        let options = BatchOptions::with_threads(threads).chunk(chunk);
+        let report = serve_resilient(
+            &index,
+            &queries,
+            |_| ServeRequest::Exact(Request::Knn { k: 4 }),
+            &options,
+            &FaultPlan::none().panic_on_all(panics.iter().copied()),
+        );
+        prop_assert_eq!(report.failed(), panics.len());
+        assert_isolated(&report.outcomes, &baseline, &panics);
+    }
+
+    // The same contract holds on the budgeted (approx) request path.
+    #[test]
+    fn injected_panics_isolate_exactly_for_budgeted_queries(
+        seed in 0u64..1000,
+        panics in proptest::collection::btree_set(0usize..20, 0..5),
+        threads in 1usize..5,
+    ) {
+        let index = dist_perm_index();
+        let queries = random_points(20, 3, seed ^ 0xfeed);
+        let request = ApproxRequest::Knn { k: 3, frac: 0.4 };
+        let baseline = query_batch_parallel_approx(&index, &queries, request, threads);
+        let report = serve_resilient(
+            &index,
+            &queries,
+            |_| ServeRequest::Approx(request),
+            &BatchOptions::with_threads(threads),
+            &FaultPlan::none().panic_on_all(panics.iter().copied()),
+        );
+        prop_assert_eq!(report.failed(), panics.len());
+        assert_isolated(&report.outcomes, &baseline, &panics);
+    }
+
+    // An already-expired deadline degrades every query to exactly the
+    // budgeted path at the configured fraction — bit-identical to
+    // `query_batch_parallel_approx`.
+    #[test]
+    fn expired_deadline_is_bit_identical_to_budgeted_serving(
+        seed in 0u64..1000,
+        threads in 1usize..5,
+        frac in 0.1f64..0.9,
+    ) {
+        let index = dist_perm_index();
+        let queries = random_points(16, 3, seed ^ 0xdead);
+        let baseline = query_batch_parallel_approx(
+            &index,
+            &queries,
+            ApproxRequest::Knn { k: 3, frac },
+            threads,
+        );
+        let options =
+            BatchOptions::with_threads(threads).deadline(Duration::ZERO).degrade(frac);
+        let report = serve_resilient(
+            &index,
+            &queries,
+            |_| ServeRequest::Exact(Request::Knn { k: 3 }),
+            &options,
+            &FaultPlan::none(),
+        );
+        prop_assert_eq!(report.degraded(), queries.len());
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            match outcome {
+                Outcome::Degraded { response, frac: served } => {
+                    prop_assert_eq!(*served, frac);
+                    prop_assert_eq!(response, &baseline[i]);
+                }
+                other => panic!("query {i} should be degraded, got {other:?}"),
+            }
+        }
+    }
+
+    // Steal-chunk size is a pure performance knob: every chunk size
+    // yields the same outcomes, faults included.
+    #[test]
+    fn steal_chunk_size_never_changes_outcomes(
+        seed in 0u64..1000,
+        panics in proptest::collection::btree_set(0usize..18, 0..4),
+        threads in 2usize..5,
+    ) {
+        let index = DistPermIndex::build(L2, random_points(90, 3, 11), 4, PivotSelection::MaxMin);
+        let queries = random_points(18, 3, seed ^ 0xabcd);
+        let faults = FaultPlan::none().panic_on_all(panics.iter().copied());
+        let run = |chunk: usize| {
+            serve_resilient(
+                &index,
+                &queries,
+                |_| ServeRequest::Exact(Request::Knn { k: 2 }),
+                &BatchOptions::with_threads(threads).chunk(chunk),
+                &faults,
+            )
+        };
+        let reference = run(1);
+        for chunk in [2, 5, 1000] {
+            let report = run(chunk);
+            prop_assert_eq!(report.outcomes.len(), reference.outcomes.len());
+            for (a, b) in report.outcomes.iter().zip(&reference.outcomes) {
+                match (a, b) {
+                    (Outcome::Ok(x), Outcome::Ok(y)) => prop_assert_eq!(x, y),
+                    (Outcome::Failed(x), Outcome::Failed(y)) => {
+                        prop_assert_eq!(x.index, y.index)
+                    }
+                    other => panic!("chunk {chunk} changed an outcome: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+// An injected delay that blows the soft deadline degrades the queries
+// *after* it but never the ones already started: with one worker, query
+// 0 runs exact (admitted before expiry) and everything later degrades.
+#[test]
+fn slow_query_degrades_the_rest_of_the_batch() {
+    let index = dist_perm_index();
+    let queries = random_points(8, 3, 21);
+    let options = BatchOptions::with_threads(1).deadline(Duration::from_millis(5)).degrade(0.2);
+    let report = serve_resilient(
+        &index,
+        &queries,
+        |_| ServeRequest::Exact(Request::Knn { k: 3 }),
+        &options,
+        &FaultPlan::none().delay_on(0, Duration::from_millis(100)),
+    );
+    assert!(
+        matches!(report.outcomes[0], Outcome::Ok(_)),
+        "query 0 was admitted before the deadline: {:?}",
+        report.outcomes[0]
+    );
+    for (i, outcome) in report.outcomes.iter().enumerate().skip(1) {
+        assert!(
+            matches!(outcome, Outcome::Degraded { frac, .. } if *frac == 0.2),
+            "query {i} should have degraded: {outcome:?}"
+        );
+    }
+    assert_eq!(report.degraded(), queries.len() - 1);
+}
+
+// The serving loop never dies: a session where *every* query panics,
+// across several batches and thread counts, still answers every line
+// and shuts down with `bye`.
+#[test]
+fn session_survives_batches_where_every_query_panics() {
+    use distance_permutations::index::serve::{serve_session, SessionConfig};
+    let index = dist_perm_index();
+    let mut input = String::new();
+    for b in 0..5 {
+        input.push_str(&format!("begin b{b}\n"));
+        for q in 0..4 {
+            input.push_str(&format!("knn 2 0.{q} 0.5 0.5\n"));
+        }
+        input.push_str("end\n");
+    }
+    for threads in [1, 2, 4] {
+        // The reader outpaces the server, so give the queue room for
+        // every batch — shedding has its own tests.
+        let config = SessionConfig { threads, queue_capacity: 8, ..SessionConfig::default() };
+        let mut out = Vec::new();
+        let summary = serve_session::<Vec<f64>, _, _, _>(
+            &index,
+            3,
+            input.as_bytes(),
+            &mut out,
+            &config,
+            &FaultPlan::none().panic_on_all(0..4),
+        )
+        .expect("in-memory io");
+        let text = String::from_utf8(out).expect("utf8 replies");
+        assert_eq!(summary.batches, 5, "threads={threads}: {text}");
+        assert_eq!(summary.failed, 20, "threads={threads}: {text}");
+        assert_eq!(summary.ok, 0, "threads={threads}: {text}");
+        assert!(text.lines().last().expect("bye").starts_with("bye "), "{text}");
+        assert!(text.matches("\nfailed ").count() == 20, "{text}");
+    }
+}
