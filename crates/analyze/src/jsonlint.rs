@@ -1,0 +1,214 @@
+//! A minimal JSON *validator* (no value tree) for the `bench-citations`
+//! pass: every `BENCH_*.json` baseline must parse as a stream of JSON
+//! values (criterion writes JSON lines).  Hand-rolled recursive descent,
+//! since crates.io is unreachable in this environment.
+
+/// Where and why validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn fail(&self, message: impl Into<String>) -> JsonError {
+        JsonError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.fail(format!(
+                "expected `{}`, found {}",
+                b as char,
+                self.peek().map_or("end of input".into(), |c| format!("`{}`", c as char))
+            )))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<(), JsonError> {
+        if depth > 128 {
+            return Err(self.fail("nesting deeper than 128"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.composite(depth, b'}', true),
+            Some(b'[') => self.composite(depth, b']', false),
+            Some(b'"') => self.string(),
+            Some(b't') => self.keyword("true"),
+            Some(b'f') => self.keyword("false"),
+            Some(b'n') => self.keyword("null"),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.fail(format!("unexpected `{}`", b as char))),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    /// `{…}` (with_keys) or `[…]` member lists share one shape.
+    fn composite(&mut self, depth: u32, close: u8, with_keys: bool) -> Result<(), JsonError> {
+        self.bump();
+        self.skip_ws();
+        if self.peek() == Some(close) {
+            self.bump();
+            return Ok(());
+        }
+        loop {
+            if with_keys {
+                self.skip_ws();
+                self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+            }
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b) if b == close => {
+                    self.bump();
+                    return Ok(());
+                }
+                _ => return Err(self.fail(format!("expected `,` or `{}`", close as char))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+                None => return Err(self.fail("unterminated string")),
+            }
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), JsonError> {
+        for want in word.bytes() {
+            if self.bump() != Some(want) {
+                return Err(self.fail(format!("malformed `{word}`")));
+            }
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            return Err(self.fail("malformed number"));
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.fail("malformed number: digits must follow `.`"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.fail("malformed number: empty exponent"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates `text` as a non-empty stream of JSON values (`jq .`'s
+/// accepted input).  Returns the number of values on success.
+pub fn validate_json_stream(text: &str) -> Result<usize, JsonError> {
+    let mut sc = Scanner::new(text);
+    let mut count = 0usize;
+    loop {
+        sc.skip_ws();
+        if sc.peek().is_none() {
+            break;
+        }
+        sc.value(0)?;
+        count += 1;
+    }
+    if count == 0 {
+        return Err(JsonError { line: 1, col: 1, message: "empty file".into() });
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_json_lines() {
+        let ok = "{\"group\":\"flat\",\"median_ns\":8.5e6}\n{\"group\":\"nested\",\"n\":[1,2]}\n";
+        assert_eq!(validate_json_stream(ok), Ok(2));
+    }
+
+    #[test]
+    fn accepts_nested_values_and_escapes() {
+        assert_eq!(validate_json_stream(r#"{"a":{"b":[true,false,null,"q\"uote"]}}"#), Ok(1));
+    }
+
+    #[test]
+    fn rejects_garbage_with_position() {
+        let err = validate_json_stream("{\"ok\":1}\n{\"bad\": }\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unexpected"), "{}", err.message);
+        assert!(validate_json_stream("").is_err());
+        assert!(validate_json_stream("[1,]").is_err());
+        assert!(validate_json_stream("\"unterminated").is_err());
+    }
+}

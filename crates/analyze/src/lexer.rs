@@ -1,0 +1,328 @@
+//! A minimal Rust tokenizer for lint passes.
+//!
+//! Hand-rolled (no crates.io in this environment) and deliberately
+//! partial: it distinguishes exactly what the passes need — identifiers,
+//! punctuation, numbers, lifetimes, and (crucially) every flavour of
+//! comment and string literal, so that a `HashMap` inside a doc comment
+//! or a `".sum()"` inside a string can never produce a finding.  It does
+//! not parse; passes work on the token stream plus source-line context.
+//!
+//! Positions are 1-based `(line, col)` with byte columns (the workspace
+//! is ASCII in all the places diagnostics point at).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, text without `r#`).
+    Ident,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct(u8),
+    /// Numeric literal (integer or float, suffix included).
+    Number,
+    /// `'static`, `'a` — lifetimes, not char literals.
+    Lifetime,
+    /// `"…"` / `b"…"` string literal (escapes resolved lexically only).
+    Str,
+    /// `r"…"` / `r#"…"#` / `br#"…"#` raw string literal.
+    RawStr,
+    /// `'x'` / `b'x'` character literal.
+    Char,
+    /// `// …` or `/// …` line comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` block comment, nesting respected.
+    BlockComment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for comment tokens (excluded from code-pattern matching).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True if this token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokenKind::Punct(b)
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    fn token(&mut self) -> Option<Token> {
+        self.bump_while(|b| b.is_ascii_whitespace());
+        let (line, col, start) = (self.line, self.col, self.pos);
+        let b = self.peek(0)?;
+        let kind = match b {
+            b'/' if self.peek(1) == Some(b'/') => {
+                self.bump_while(|c| c != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.block_comment();
+                TokenKind::BlockComment
+            }
+            b'r' | b'b' if self.raw_string_ahead() => {
+                self.raw_string();
+                TokenKind::RawStr
+            }
+            b'b' if self.peek(1) == Some(b'"') => {
+                self.bump();
+                self.string(b'"');
+                TokenKind::Str
+            }
+            b'b' if self.peek(1) == Some(b'\'') => {
+                self.bump();
+                self.string(b'\'');
+                TokenKind::Char
+            }
+            b'"' => {
+                self.string(b'"');
+                TokenKind::Str
+            }
+            b'\'' => self.char_or_lifetime(),
+            _ if b == b'_' || b.is_ascii_alphabetic() => {
+                if b == b'r' && self.peek(1) == Some(b'#') {
+                    // Raw identifier `r#type` (raw strings were handled above).
+                    self.bump();
+                    self.bump();
+                }
+                self.bump_while(|c| c == b'_' || c.is_ascii_alphanumeric());
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                self.number();
+                TokenKind::Number
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct(b)
+            }
+        };
+        let mut text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        if kind == TokenKind::Ident {
+            if let Some(stripped) = text.strip_prefix("r#") {
+                text = stripped.to_string();
+            }
+        }
+        Some(Token { kind, text, line, col })
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Is the cursor at `r"`, `r#`…`"`, `br"`, or `br#`…`"`?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = if self.peek(0) == Some(b'b') { 1 } else { 0 };
+        if self.peek(i) != Some(b'r') {
+            return false;
+        }
+        i += 1;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn raw_string(&mut self) {
+        if self.peek(0) == Some(b'b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let closes = (0..hashes).all(|i| self.peek(i) == Some(b'#'));
+                    if closes {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    }
+
+    fn string(&mut self, quote: u8) {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(b) if b == quote => return,
+                Some(_) => {}
+                None => return,
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // `'a` (no closing quote) is a lifetime; `'a'`, `'\n'` are chars.
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(b'\\') => false,
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => self.peek(2) != Some(b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump();
+            self.bump_while(|c| c == b'_' || c.is_ascii_alphanumeric());
+            TokenKind::Lifetime
+        } else {
+            self.string(b'\'');
+            TokenKind::Char
+        }
+    }
+
+    fn number(&mut self) {
+        self.bump_while(|c| c == b'_' || c.is_ascii_alphanumeric());
+        // A fractional part, but never a `..` range or a method call on a
+        // literal: only consume the dot when a digit follows.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            self.bump_while(|c| c == b'_' || c.is_ascii_alphanumeric());
+        }
+    }
+}
+
+/// Tokenizes `src`, comments included in stream order.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(tok) = lx.token() {
+        out.push(tok);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds("let x = \"HashMap .sum()\"; // HashMap too\n/* .sum() */ y");
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks[5].0, TokenKind::LineComment);
+        assert_eq!(toks[6].0, TokenKind::BlockComment);
+        assert!(toks[7].1 == "y" && toks[7].0 == TokenKind::Ident);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; t"####);
+        assert_eq!(toks[3].0, TokenKind::RawStr);
+        assert_eq!(toks[5].1, "t");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'\\n'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "after");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let toks = kinds("0..n 1.5f64 2.0f64.powi(3)");
+        let texts: Vec<_> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["0", ".", ".", "n", "1.5f64", "2.0f64", ".", "powi", "(", "3", ")"]);
+    }
+
+    #[test]
+    fn positions_are_line_col() {
+        let toks = tokenize("a\n  bc");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,254 @@
+//! A line-oriented parser for the subset of TOML the workspace's
+//! `Cargo.toml` files actually use — enough for the `vendored-deps`
+//! audit, hand-rolled because crates.io is unreachable here.
+//!
+//! Recognized: `[section]` headers, `key = "string"`, `key = true`,
+//! dotted keys (`dep.workspace = true`), and single-line inline tables
+//! (`dep = { path = "…", version = "…" }`).  Comments and strings are
+//! handled; multi-line arrays are consumed but only string elements are
+//! kept (the `members` list).
+
+/// How one dependency is declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepSource {
+    /// `dep = { path = "…" }` — the path as written.
+    Path(String),
+    /// `dep.workspace = true` or `dep = { workspace = true }`.
+    Workspace,
+    /// `dep = "1.0"` or an inline table with `version`/`git`/`registry`
+    /// and no local path — the offline build cannot resolve it.
+    External(String),
+}
+
+/// A dependency entry with its manifest position.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    pub name: String,
+    pub source: DepSource,
+    /// `[dependencies]`, `[dev-dependencies]`, … as written.
+    pub section: String,
+    pub line: u32,
+}
+
+/// The audited content of one `Cargo.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Workspace-relative path of the manifest.
+    pub rel_path: String,
+    /// `package.name`, if present.
+    pub package_name: Option<String>,
+    /// All `*dependencies*` entries (regular, dev, build, workspace).
+    pub deps: Vec<Dep>,
+    /// `workspace.members`, for the root manifest.
+    pub members: Vec<String>,
+    /// True if a `[workspace]` section exists.
+    pub is_workspace_root: bool,
+    /// True if a `[lints]` section sets `workspace = true`.
+    pub inherits_workspace_lints: bool,
+}
+
+/// Strips a trailing `# comment`, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn unquote(v: &str) -> String {
+    v.trim().trim_matches('"').to_string()
+}
+
+/// Classifies the value side of a dependency line.
+fn classify_dep_value(value: &str) -> DepSource {
+    let value = value.trim();
+    if let Some(body) = value.strip_prefix('{').and_then(|v| v.strip_suffix('}')) {
+        let mut path = None;
+        let mut workspace = false;
+        let mut external_key = None;
+        for field in split_top_level(body) {
+            let Some((k, v)) = field.split_once('=') else { continue };
+            match k.trim() {
+                "path" => path = Some(unquote(v)),
+                "workspace" if v.trim() == "true" => workspace = true,
+                key @ ("version" | "git" | "registry" | "branch" | "rev" | "tag") => {
+                    external_key = Some(key.to_string());
+                }
+                _ => {}
+            }
+        }
+        if let Some(p) = path {
+            DepSource::Path(p)
+        } else if workspace {
+            DepSource::Workspace
+        } else {
+            DepSource::External(external_key.unwrap_or_else(|| "no path".into()))
+        }
+    } else {
+        DepSource::External(format!("version \"{}\"", unquote(value)))
+    }
+}
+
+/// Splits inline-table fields on commas outside strings.
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, b) in body.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b',' if !in_str => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&body[start..]);
+    out
+}
+
+/// Parses `text` as the manifest at `rel_path`.
+pub fn parse_manifest(rel_path: &str, text: &str) -> Manifest {
+    let mut m = Manifest { rel_path: rel_path.to_string(), ..Manifest::default() };
+    let mut section = String::new();
+    let mut in_members_array = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if in_members_array {
+            for field in split_top_level(line) {
+                let field = field.trim().trim_end_matches(']');
+                if !field.is_empty() && field.contains('"') {
+                    m.members.push(unquote(field));
+                }
+            }
+            if line.contains(']') {
+                in_members_array = false;
+            }
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = header.trim_matches(['[', ']']).to_string();
+            if section == "workspace" {
+                m.is_workspace_root = true;
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let (key, value) = (key.trim(), value.trim());
+        match (section.as_str(), key) {
+            ("package", "name") => m.package_name = Some(unquote(value)),
+            ("workspace", "members") => {
+                if value.starts_with('[') && !value.contains(']') {
+                    in_members_array = true;
+                } else if let Some(body) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']'))
+                {
+                    for field in split_top_level(body) {
+                        if field.trim().contains('"') {
+                            m.members.push(unquote(field));
+                        }
+                    }
+                }
+            }
+            ("lints", "workspace") if value == "true" => m.inherits_workspace_lints = true,
+            (s, _) if s.contains("dependencies") => {
+                // `dep = …` or `dep.workspace = true`.
+                let (name, source) = match key.split_once('.') {
+                    Some((name, "workspace")) if value == "true" => {
+                        (name.trim(), DepSource::Workspace)
+                    }
+                    Some((name, _)) => (name.trim(), classify_dep_value(value)),
+                    None => (key, classify_dep_value(value)),
+                };
+                m.deps.push(Dep {
+                    name: name.to_string(),
+                    source,
+                    section: s.to_string(),
+                    line: lineno,
+                });
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[workspace]
+members = [
+    "crates/metric", # inline comment
+    "vendor/rand",
+]
+
+[workspace.dependencies]
+dp-metric = { path = "crates/metric" }
+rand = { path = "vendor/rand" }
+
+[package]
+name = "root"
+
+[lints]
+workspace = true
+
+[dependencies]
+dp-metric.workspace = true
+serde = "1.0"
+evil = { git = "https://example.com/evil" }
+good = { path = "../good" }
+
+[dev-dependencies]
+proptest = { workspace = true }
+"#;
+
+    #[test]
+    fn parses_the_workspace_shape() {
+        let m = parse_manifest("Cargo.toml", SAMPLE);
+        assert!(m.is_workspace_root);
+        assert_eq!(m.members, vec!["crates/metric", "vendor/rand"]);
+        assert_eq!(m.package_name.as_deref(), Some("root"));
+        assert!(m.inherits_workspace_lints);
+    }
+
+    #[test]
+    fn classifies_dependency_sources() {
+        let m = parse_manifest("Cargo.toml", SAMPLE);
+        // `dp-metric` appears in both the workspace table and
+        // [dependencies]; look findings up by (section, name).
+        let by_name = |n: &str| {
+            m.deps
+                .iter()
+                .find(|d| d.name == n && d.section != "workspace.dependencies")
+                .unwrap_or_else(|| panic!("dep {n}"))
+        };
+        assert_eq!(by_name("dp-metric").source, DepSource::Workspace);
+        assert_eq!(by_name("serde").source, DepSource::External("version \"1.0\"".into()));
+        assert_eq!(by_name("evil").source, DepSource::External("git".into()));
+        assert_eq!(by_name("good").source, DepSource::Path("../good".into()));
+        assert_eq!(by_name("proptest").source, DepSource::Workspace);
+        assert_eq!(by_name("proptest").section, "dev-dependencies");
+        // Workspace-table deps are audited too.
+        let ws_rand = m
+            .deps
+            .iter()
+            .find(|d| d.name == "rand" && d.section == "workspace.dependencies")
+            .expect("workspace-table rand");
+        assert_eq!(ws_rand.source, DepSource::Path("vendor/rand".into()));
+    }
+}

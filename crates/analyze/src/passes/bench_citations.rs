@@ -1,0 +1,79 @@
+//! `bench-citations` — every bench baseline the ROADMAP cites is real.
+//!
+//! The ROADMAP's Performance section quotes numbers out of
+//! `BENCH_*.json` files recorded by `cargo bench`; a stale rename once
+//! broke a baseline reference silently.  This pass (replacing the old
+//! bash/jq guard in `scripts/check.sh`) scans `ROADMAP.md` for
+//! `BENCH_<name>.json` citations and requires each cited file to exist
+//! at the workspace root and parse as a stream of JSON values, with the
+//! diagnostic pointing at the citing ROADMAP line.
+
+use crate::jsonlint::validate_json_stream;
+use crate::source::Diagnostic;
+use crate::workspace::Workspace;
+use std::path::Path;
+
+pub const NAME: &str = "bench-citations";
+
+/// `(name, line, col)` of each distinct `BENCH_*.json` citation (first
+/// occurrence wins).
+fn citations(roadmap: &str) -> Vec<(String, u32, u32)> {
+    let mut out: Vec<(String, u32, u32)> = Vec::new();
+    for (idx, line) in roadmap.lines().enumerate() {
+        let mut from = 0usize;
+        while let Some(at) = line[from..].find("BENCH_") {
+            let start = from + at;
+            let tail = &line[start..];
+            let end = tail
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+                .unwrap_or(tail.len());
+            let token = tail[..end].trim_end_matches('.');
+            if let Some(stem) = token.strip_suffix(".json") {
+                if !stem.is_empty() && !out.iter().any(|(n, _, _)| n == token) {
+                    out.push((token.to_string(), idx as u32 + 1, start as u32 + 1));
+                }
+            }
+            from = start + end.max(1);
+        }
+    }
+    out
+}
+
+/// Core check over roadmap text + a root directory; split out so fixture
+/// tests can run it against synthetic trees.
+pub fn check_roadmap(roadmap: &str, root: &Path, out: &mut Vec<Diagnostic>) {
+    for (name, line, col) in citations(roadmap) {
+        let path = root.join(&name);
+        let mut push = |message: String| {
+            out.push(Diagnostic { pass: NAME, path: "ROADMAP.md".into(), line, col, message });
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            push(format!(
+                "cited bench baseline `{name}` does not exist at the workspace root; \
+                 re-record it (each BENCH file notes its exact `cargo bench` invocation) \
+                 or fix the citation"
+            ));
+            continue;
+        };
+        if let Err(e) = validate_json_stream(&text) {
+            push(format!(
+                "cited bench baseline `{name}` is not valid JSON lines ({name}:{}:{}: {})",
+                e.line, e.col, e.message
+            ));
+        }
+    }
+}
+
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    match &ws.roadmap {
+        Some(roadmap) => check_roadmap(roadmap, &ws.root, out),
+        None => out.push(Diagnostic {
+            pass: NAME,
+            path: "ROADMAP.md".into(),
+            line: 1,
+            col: 1,
+            message: "ROADMAP.md is missing; the bench-citation audit has nothing to check"
+                .to_string(),
+        }),
+    }
+}

@@ -1,0 +1,99 @@
+//! `crate-hygiene` — workspace-wide source hygiene.
+//!
+//! Two rules:
+//!
+//! 1. every non-vendor crate root declares `#![forbid(unsafe_code)]` —
+//!    the workspace has zero `unsafe` and freezes that at the strongest
+//!    lint level (`forbid` cannot be re-`allow`ed downstream);
+//! 2. no `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` in library
+//!    code — libraries report through return values and `Write` handles;
+//!    binaries (`src/bin/`, the `distperm` CLI entry point) own stdout.
+
+use crate::passes::is_bin_file;
+use crate::source::{Diagnostic, SourceFile};
+use crate::workspace::Workspace;
+
+pub const NAME: &str = "crate-hygiene";
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Does the file open with `#![forbid(unsafe_code)]`?
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    file.code.windows(7).any(|w| {
+        w[0].is_punct(b'#')
+            && w[1].is_punct(b'!')
+            && w[2].is_punct(b'[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct(b'(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(b')')
+    })
+}
+
+/// Per-file rule: print macros in library code.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if is_bin_file(&file.rel_path) {
+        return;
+    }
+    for (i, tok) in file.code.iter().enumerate() {
+        let next_bang = file.code.get(i + 1).is_some_and(|t| t.is_punct(b'!'));
+        if next_bang && PRINT_MACROS.iter().any(|m| tok.is_ident(m)) {
+            file.finding(
+                NAME,
+                tok,
+                true,
+                format!(
+                    "`{}!` in library code; libraries report through return values and \
+                     `Write` handles — direct console output belongs to binaries",
+                    tok.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Workspace rule: every non-vendor package manifest opts into the
+/// curated `[workspace.lints]` table (`lints.workspace = true`), so a
+/// new crate cannot silently skip the house clippy set.
+pub fn check_manifests(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for m in &ws.manifests {
+        if m.package_name.is_none()
+            || m.rel_path.starts_with("vendor/")
+            || m.inherits_workspace_lints
+        {
+            continue;
+        }
+        out.push(Diagnostic {
+            pass: NAME,
+            path: m.rel_path.clone(),
+            line: 1,
+            col: 1,
+            message: "manifest does not inherit the workspace lint table; add \
+                      `[lints]\\nworkspace = true` so the curated clippy set applies \
+                      (vendor/ stand-ins are exempt — they are not house code)"
+                .to_string(),
+        });
+    }
+}
+
+/// Workspace rule: every non-vendor crate root carries the attribute.
+pub fn check_crate_roots(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for root in &ws.lib_roots {
+        let message = match ws.files.iter().find(|f| &f.rel_path == root) {
+            Some(file) if has_forbid_unsafe(file) => continue,
+            Some(_) => {
+                "crate root is missing `#![forbid(unsafe_code)]`; the workspace has zero \
+                 `unsafe` and every crate freezes that at the root"
+            }
+            None => "declared crate root does not exist",
+        };
+        out.push(Diagnostic {
+            pass: NAME,
+            path: root.clone(),
+            line: 1,
+            col: 1,
+            message: message.to_string(),
+        });
+    }
+}

@@ -1,0 +1,82 @@
+//! `float-reassoc` — no implicit float reductions in bit-identity modules.
+//!
+//! The house invariant pins flat, nested, and parallel paths to
+//! bit-identical floating-point Huffman/entropy sums.  That only holds
+//! while every float accumulation has a source-visible order; an
+//! `iter().sum::<f64>()` hides the fold behind a trait impl (and invites
+//! "harmless" refactors into tree reductions), and `mul_add` contracts
+//! rounding steps outright.  In the scoped modules:
+//!
+//! * `.sum()` / `.product()` must carry an explicit **integer** turbofish
+//!   (`.sum::<u64>()`) proving the reduction is exact;
+//! * float reductions must be written as explicit sequential loops;
+//! * `mul_add` is banned.
+
+use crate::source::{Diagnostic, SourceFile};
+
+pub const NAME: &str = "float-reassoc";
+
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// The turbofish type after `.sum`, if the next tokens are `::<T>`.
+fn turbofish_type(file: &SourceFile, i: usize) -> Option<&str> {
+    let t = &file.code;
+    if t.get(i + 1)?.is_punct(b':')
+        && t.get(i + 2)?.is_punct(b':')
+        && t.get(i + 3)?.is_punct(b'<')
+        && t.get(i + 5)?.is_punct(b'>')
+    {
+        Some(t[i + 4].text.as_str())
+    } else {
+        None
+    }
+}
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in file.code.iter().enumerate() {
+        let prev_dot = i > 0 && file.code[i - 1].is_punct(b'.');
+        if !prev_dot {
+            continue;
+        }
+        if tok.is_ident("mul_add") {
+            file.finding(
+                NAME,
+                tok,
+                true,
+                "`mul_add` contracts rounding steps; bit-identity modules must keep every \
+                 float operation a separately rounded source operation"
+                    .to_string(),
+                out,
+            );
+        } else if tok.is_ident("sum") || tok.is_ident("product") {
+            match turbofish_type(file, i) {
+                Some(ty) if INT_TYPES.contains(&ty) => {}
+                Some(ty) => file.finding(
+                    NAME,
+                    tok,
+                    true,
+                    format!(
+                        "`.{}::<{}>()` is a float reduction behind a trait impl; write it as \
+                         an explicit sequential loop so accumulation order is part of the \
+                         source (bit-identity contract)",
+                        tok.text, ty
+                    ),
+                    out,
+                ),
+                None => file.finding(
+                    NAME,
+                    tok,
+                    true,
+                    format!(
+                        "`.{}()` without an integer turbofish in a bit-identity module; \
+                         annotate the exact integer type (e.g. `.{}::<u64>()`) or, for \
+                         floats, write an explicit sequential loop",
+                        tok.text, tok.text
+                    ),
+                    out,
+                ),
+            }
+        }
+    }
+}

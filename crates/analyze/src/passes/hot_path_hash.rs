@@ -1,0 +1,44 @@
+//! `hot-path-hash` — no hash/tree containers in the flat hot paths.
+//!
+//! PR 5 replaced hash interning with sorted-run flat codebooks
+//! (`FlatCodebook`/`PackedCodebook`) and radix-sorted packed counting;
+//! the scoped modules are exactly the ones that won that eviction.  A
+//! `HashMap` creeping back in costs the iteration-order determinism and
+//! the cache behaviour the flat engine's speed and bit-identity rest on.
+//! The generic-path interner (arbitrary k, off the hot path) keeps
+//! explicit waivers where it legitimately lives.
+
+use crate::source::{Diagnostic, SourceFile};
+
+pub const NAME: &str = "hot-path-hash";
+
+const BANNED: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "FxHashMap",
+    "FxHashSet",
+    "FxHasher",
+    "FxBuildHasher",
+];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for tok in &file.code {
+        if BANNED.iter().any(|b| tok.is_ident(b)) {
+            file.finding(
+                NAME,
+                tok,
+                true,
+                format!(
+                    "`{}` in a flat kernel/radix/codebook module; the hot paths use \
+                     sorted-run scans and flat codebooks — hash/tree containers were \
+                     deliberately evicted (waive only for the generic fallback path, \
+                     with a reason)",
+                    tok.text
+                ),
+                out,
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The lint passes and the driver that runs them over a [`Workspace`].
+//!
+//! Each pass encodes one invariant the workspace already lives by (see
+//! the crate docs for the catalogue).  Passes are scoped by
+//! workspace-relative path — the scopes are data, kept here so a glance
+//! shows exactly which modules each contract binds.
+
+use crate::source::{Diagnostic, SourceFile};
+use crate::workspace::Workspace;
+
+pub mod atomic_ordering;
+pub mod bench_citations;
+pub mod crate_hygiene;
+pub mod float_reassoc;
+pub mod hot_path_hash;
+pub mod panic_boundary;
+pub mod vendored_deps;
+
+/// Every pass name, for waiver validation and `dplint --list`.
+pub const PASS_NAMES: &[&str] = &[
+    float_reassoc::NAME,
+    hot_path_hash::NAME,
+    panic_boundary::NAME,
+    atomic_ordering::NAME,
+    crate_hygiene::NAME,
+    vendored_deps::NAME,
+    bench_citations::NAME,
+];
+
+/// Bit-identity modules: float accumulations here must be explicit
+/// sequential loops, never iterator reductions whose order/type is
+/// implicit (`tests/survey_equivalence.rs` pins the sums to the bit).
+pub const FLOAT_REASSOC_SCOPE: &[&str] = &[
+    "crates/metric/src/batch.rs",
+    "crates/metric/src/vector.rs",
+    "crates/permutation/src/huffman.rs",
+    "crates/permutation/src/permdist.rs",
+    "crates/core/src/survey.rs",
+    "crates/core/src/survey_flat.rs",
+    "crates/core/src/count.rs",
+    "crates/core/src/dimension.rs",
+    "crates/datasets/src/rho.rs",
+];
+
+/// Flat kernel / radix / codebook modules: the PR 5 sorted-run pipeline
+/// evicted hash containers from these hot paths — they must not creep
+/// back (the generic-path interner keeps explicit waivers).
+pub const HOT_PATH_HASH_SCOPE: &[&str] = &[
+    "crates/metric/src/batch.rs",
+    "crates/permutation/src/radix.rs",
+    "crates/permutation/src/bits.rs",
+    "crates/permutation/src/compute.rs",
+    "crates/permutation/src/encoding.rs",
+    "crates/core/src/survey_flat.rs",
+];
+
+/// The serving subsystem: total by contract — only the isolation
+/// boundary may panic.
+pub const PANIC_BOUNDARY_SCOPE: &str = "crates/index/src/serve/";
+
+/// The one file inside the serve scope allowed to panic (it is the
+/// `catch_unwind` boundary and the test-only fault injector).
+pub const PANIC_BOUNDARY_EXEMPT: &[&str] = &["crates/index/src/serve/isolate.rs"];
+
+/// Library files allowed to use `println!`-family macros: binaries.
+pub fn is_bin_file(rel_path: &str) -> bool {
+    rel_path.contains("/src/bin/") || rel_path == "crates/cli/src/main.rs"
+}
+
+fn in_scope(file: &SourceFile, scope: &[&str]) -> bool {
+    scope.contains(&file.rel_path.as_str())
+}
+
+/// Runs every pass plus the waiver-syntax checks; diagnostics come back
+/// sorted by path, line, column.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        out.extend(file.waiver_diagnostics(PASS_NAMES));
+        if in_scope(file, FLOAT_REASSOC_SCOPE) {
+            float_reassoc::check(file, &mut out);
+        }
+        if in_scope(file, HOT_PATH_HASH_SCOPE) {
+            hot_path_hash::check(file, &mut out);
+        }
+        if file.rel_path.starts_with(PANIC_BOUNDARY_SCOPE)
+            && !PANIC_BOUNDARY_EXEMPT.contains(&file.rel_path.as_str())
+        {
+            panic_boundary::check(file, &mut out);
+        }
+        atomic_ordering::check(file, &mut out);
+        crate_hygiene::check_file(file, &mut out);
+    }
+    crate_hygiene::check_crate_roots(ws, &mut out);
+    crate_hygiene::check_manifests(ws, &mut out);
+    vendored_deps::check(ws, &mut out);
+    bench_citations::check(ws, &mut out);
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.pass).cmp(&(b.path.as_str(), b.line, b.col, b.pass))
+    });
+    out
+}

@@ -1,0 +1,125 @@
+//! `vendored-deps` — the offline-build guarantee, statically.
+//!
+//! crates.io is unreachable in this environment; the build works only
+//! because every dependency edge resolves to a workspace crate or a
+//! stand-in under `vendor/`.  This pass audits every member manifest:
+//!
+//! * `dep.workspace = true` must resolve through the root
+//!   `[workspace.dependencies]` table to a `path` entry;
+//! * `dep = { path = "…" }` must stay inside the repository and point at
+//!   a directory that actually holds a `Cargo.toml`;
+//! * version-only, `git`, or registry dependencies are findings — they
+//!   would need the network.
+
+use crate::manifest::{DepSource, Manifest};
+use crate::source::Diagnostic;
+use crate::workspace::Workspace;
+use std::path::{Component, Path, PathBuf};
+
+pub const NAME: &str = "vendored-deps";
+
+/// Lexically normalizes `dir/path` (no symlink resolution — the audit is
+/// about where the manifest *says* the dep lives).
+fn normalize(dir: &Path, path: &str) -> Option<PathBuf> {
+    let mut out = PathBuf::new();
+    for c in dir.join(path).components() {
+        match c {
+            Component::ParentDir => {
+                if !out.pop() {
+                    return None;
+                }
+            }
+            Component::CurDir => {}
+            other => out.push(other.as_os_str()),
+        }
+    }
+    Some(out)
+}
+
+fn workspace_table(ws: &Workspace) -> impl Iterator<Item = &crate::manifest::Dep> {
+    ws.manifests
+        .iter()
+        .filter(|m| m.is_workspace_root)
+        .flat_map(|m| m.deps.iter().filter(|d| d.section == "workspace.dependencies"))
+}
+
+fn manifest_dir(ws: &Workspace, m: &Manifest) -> PathBuf {
+    let rel = Path::new(&m.rel_path);
+    ws.root.join(rel.parent().unwrap_or_else(|| Path::new("")))
+}
+
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let mut push = |m: &Manifest, line: u32, message: String| {
+        out.push(Diagnostic { pass: NAME, path: m.rel_path.clone(), line, col: 1, message });
+    };
+    for m in &ws.manifests {
+        for dep in &m.deps {
+            match &dep.source {
+                DepSource::External(why) => push(
+                    m,
+                    dep.line,
+                    format!(
+                        "dependency `{}` resolves outside the repository ({why}); crates.io \
+                         is unreachable here — vendor it under vendor/ and use a path \
+                         dependency",
+                        dep.name
+                    ),
+                ),
+                DepSource::Workspace => {
+                    if dep.section == "workspace.dependencies" {
+                        continue;
+                    }
+                    let entry = workspace_table(ws).find(|d| d.name == dep.name);
+                    match entry.map(|d| &d.source) {
+                        Some(DepSource::Path(_)) => {}
+                        Some(_) => push(
+                            m,
+                            dep.line,
+                            format!(
+                                "dependency `{}` inherits a non-path entry from \
+                                 [workspace.dependencies]",
+                                dep.name
+                            ),
+                        ),
+                        None => push(
+                            m,
+                            dep.line,
+                            format!(
+                                "dependency `{}` sets workspace = true but \
+                                 [workspace.dependencies] has no such entry",
+                                dep.name
+                            ),
+                        ),
+                    }
+                }
+                DepSource::Path(p) => {
+                    let dir = manifest_dir(ws, m);
+                    match normalize(&dir, p) {
+                        Some(abs) if abs.starts_with(&ws.root) => {
+                            if !abs.join("Cargo.toml").is_file() {
+                                push(
+                                    m,
+                                    dep.line,
+                                    format!(
+                                        "dependency `{}` points at `{p}`, which has no \
+                                         Cargo.toml",
+                                        dep.name
+                                    ),
+                                );
+                            }
+                        }
+                        _ => push(
+                            m,
+                            dep.line,
+                            format!(
+                                "dependency `{}` path `{p}` escapes the repository; the \
+                                 offline-build guarantee covers only in-tree crates",
+                                dep.name
+                            ),
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! A lexed source file plus the lint-framework context derived from it:
+//! waivers, `#[cfg(test)]` regions, and diagnostics.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::fmt;
+
+/// One lint finding, pointing at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass that produced the finding (`"float-reassoc"`, …).
+    pub pass: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: [{}] {}", self.path, self.line, self.col, self.pass, self.message)
+    }
+}
+
+/// A `// dplint: allow(float-reassoc, reason = "…")`-style waiver found
+/// in a comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The waived pass name as written.
+    pub pass: String,
+    /// The justification, if one was written (its absence is an error).
+    pub reason: Option<String>,
+    /// Line of the comment holding the waiver.
+    pub line: u32,
+    /// Column of the `dplint:` marker.
+    pub col: u32,
+    /// Last line this waiver covers (see [`SourceFile::waiver_covers`]).
+    pub last_covered_line: u32,
+}
+
+/// A lexed file ready for passes to scan.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (fixture tests fake
+    /// this to drop a file into a pass's scope).
+    pub rel_path: String,
+    /// Code tokens, comments excluded.
+    pub code: Vec<Token>,
+    /// Comment tokens only, in source order.
+    pub comments: Vec<Token>,
+    /// Waivers parsed out of the comments.
+    pub waivers: Vec<Waiver>,
+    /// `(first, last)` line ranges under `#[cfg(test)]` / `#[test]`.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Lines holding only comments/whitespace (no code tokens).
+    pub comment_only_lines: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Lexes `text` as the file at `rel_path`.
+    pub fn parse(rel_path: &str, text: &str) -> Self {
+        let tokens = tokenize(text);
+        let (comments, code): (Vec<_>, Vec<_>) = tokens.into_iter().partition(Token::is_comment);
+        let comment_only_lines = comment_only_lines(&code, &comments);
+        let last_line = text.lines().count() as u32;
+        let waivers = comments
+            .iter()
+            .filter_map(|c| parse_waiver(c, &comment_only_lines, last_line))
+            .collect();
+        let test_regions = find_test_regions(&code);
+        Self {
+            rel_path: rel_path.to_string(),
+            code,
+            comments,
+            waivers,
+            test_regions,
+            comment_only_lines,
+        }
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]` / `#[test]` region.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// True if a waiver for `pass` covers `line`.
+    ///
+    /// A waiver covers its own comment's line; a waiver on a
+    /// comment-only line additionally covers every following line of the
+    /// same comment block plus the first code line after it — so a
+    /// multi-line justification still reaches the statement below it.
+    pub fn waiver_covers(&self, pass: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.pass == pass && (w.line..=w.last_covered_line).contains(&line))
+    }
+
+    /// Framework findings about the waivers themselves: a waiver without
+    /// a reason is an error, as is a waiver naming an unknown pass.
+    pub fn waiver_diagnostics(&self, known_passes: &[&'static str]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for w in &self.waivers {
+            if w.reason.as_deref().is_none_or(|r| r.trim().is_empty()) {
+                out.push(Diagnostic {
+                    pass: "dplint",
+                    path: self.rel_path.clone(),
+                    line: w.line,
+                    col: w.col,
+                    message: format!(
+                        "waiver for `{}` has no reason; write \
+                         `dplint: allow({}, reason = \"…\")` — an unjustified waiver is \
+                         itself a violation",
+                        w.pass, w.pass
+                    ),
+                });
+            }
+            if !known_passes.contains(&w.pass.as_str()) {
+                out.push(Diagnostic {
+                    pass: "dplint",
+                    path: self.rel_path.clone(),
+                    line: w.line,
+                    col: w.col,
+                    message: format!("waiver names unknown pass `{}`", w.pass),
+                });
+            }
+        }
+        out
+    }
+
+    /// Emits a finding at a token unless waived or (when `skip_test_code`)
+    /// inside test code.
+    pub fn finding(
+        &self,
+        pass: &'static str,
+        tok: &Token,
+        skip_test_code: bool,
+        message: String,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        if skip_test_code && self.in_test_code(tok.line) {
+            return;
+        }
+        if self.waiver_covers(pass, tok.line) {
+            return;
+        }
+        out.push(Diagnostic {
+            pass,
+            path: self.rel_path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    }
+}
+
+/// Lines that hold only comments (and whitespace) — used to extend a
+/// standalone waiver comment's coverage down to the code it annotates.
+fn comment_only_lines(code: &[Token], comments: &[Token]) -> Vec<u32> {
+    let mut lines: Vec<u32> = Vec::new();
+    for c in comments {
+        let first = c.line;
+        let last = first + c.text.bytes().filter(|&b| b == b'\n').count() as u32;
+        for line in first..=last {
+            let has_code = code.iter().any(|t| t.line == line);
+            if !has_code && !lines.contains(&line) {
+                lines.push(line);
+            }
+        }
+    }
+    lines
+}
+
+/// Parses `dplint: allow(pass[, reason = "…"])` out of a comment token.
+fn parse_waiver(comment: &Token, comment_only_lines: &[u32], last_line: u32) -> Option<Waiver> {
+    let marker = "dplint:";
+    let at = comment.text.find(marker)?;
+    let rest = comment.text[at + marker.len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    // A line-comment waiver whose reason wraps onto the next comment line
+    // has no `)` in this token; the tail of the line is still the reason.
+    let inner = match rest.find(')') {
+        Some(close) => &rest[..close],
+        None => rest,
+    };
+    let (pass, reason) = match inner.split_once(',') {
+        None => (inner.trim(), None),
+        Some((pass, rest)) => {
+            let reason = rest
+                .trim()
+                .strip_prefix("reason")
+                .map(|r| r.trim_start().strip_prefix('=').unwrap_or(r).trim())
+                .map(|r| r.trim_matches('"').to_string());
+            (pass.trim(), reason)
+        }
+    };
+    // Only kebab-case pass names are waivers; `allow(<pass>, …)` in prose
+    // documenting the syntax is not one.
+    if pass.is_empty() || !pass.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+        return None;
+    }
+    // Coverage: the waiver's own line; if that line is comment-only,
+    // extend through the comment block and onto the first line after it.
+    let mut last_covered = comment.line;
+    while comment_only_lines.contains(&last_covered) && last_covered < last_line {
+        last_covered += 1;
+    }
+    Some(Waiver {
+        pass: pass.to_string(),
+        reason,
+        line: comment.line,
+        col: comment.col + at as u32,
+        last_covered_line: last_covered,
+    })
+}
+
+/// Finds `(first_line, last_line)` spans of items under `#[cfg(test)]`
+/// (any cfg predicate mentioning `test`) or `#[test]`.
+fn find_test_regions(code: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_punct(b'#') && code.get(i + 1).is_some_and(|t| t.is_punct(b'[')) {
+            // Scan the attribute body up to its matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut mentions_test = false;
+            let mut head: Option<&Token> = None;
+            while j < code.len() && depth > 0 {
+                match code[j].kind {
+                    TokenKind::Punct(b'[') => depth += 1,
+                    TokenKind::Punct(b']') => depth -= 1,
+                    TokenKind::Ident => {
+                        if head.is_none() {
+                            head = Some(&code[j]);
+                        }
+                        if code[j].text == "test" {
+                            mentions_test = true;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_test_attr = mentions_test
+                && head
+                    .is_some_and(|h| h.text == "test" || h.text == "cfg" || h.text == "cfg_attr");
+            if is_test_attr {
+                if let Some(end) = item_end_line(code, j) {
+                    regions.push((code[i].line, end));
+                    i = j;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Line on which the item starting after an attribute ends: the matching
+/// `}` of its first body brace, or a `;` for brace-less items.  Further
+/// attributes between the two are skipped via bracket tracking.
+fn item_end_line(code: &[Token], mut i: usize) -> Option<u32> {
+    let mut brackets = 0usize;
+    while i < code.len() {
+        match code[i].kind {
+            TokenKind::Punct(b'[') | TokenKind::Punct(b'(') | TokenKind::Punct(b'<') => {
+                brackets += 1;
+            }
+            TokenKind::Punct(b']') | TokenKind::Punct(b')') | TokenKind::Punct(b'>') => {
+                brackets = brackets.saturating_sub(1);
+            }
+            TokenKind::Punct(b';') if brackets == 0 => return Some(code[i].line),
+            TokenKind::Punct(b'{') if brackets == 0 => {
+                let mut depth = 1usize;
+                i += 1;
+                while i < code.len() {
+                    match code[i].kind {
+                        TokenKind::Punct(b'{') => depth += 1,
+                        TokenKind::Punct(b'}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(code[i].line);
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions, vec![(3, 6)]);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(5));
+        assert!(!f.in_test_code(7));
+    }
+
+    #[test]
+    fn test_fn_region_and_cfg_use_item() {
+        let src =
+            "#[test]\nfn check() {\n    body();\n}\n#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions, vec![(1, 4), (5, 6)]);
+        assert!(!f.in_test_code(7));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let src = "#[cfg(feature = \"x\")]\nmod m {\n    fn f() {}\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.test_regions.is_empty());
+    }
+
+    #[test]
+    fn waiver_same_line_and_block_above() {
+        let src = "let a = x(); // dplint: allow(hot-path-hash, reason = \"trailing\")\n\
+                   // dplint: allow(float-reassoc, reason = \"a long justification\n\
+                   // that wraps onto a second comment line\")\n\
+                   let b = y();\n\
+                   let c = z();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.waiver_covers("hot-path-hash", 1));
+        assert!(!f.waiver_covers("hot-path-hash", 2));
+        assert!(f.waiver_covers("float-reassoc", 4));
+        assert!(!f.waiver_covers("float-reassoc", 5));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged() {
+        let src = "// dplint: allow(panic-boundary)\nfoo();\n";
+        let f = SourceFile::parse("x.rs", src);
+        let diags = f.waiver_diagnostics(&["panic-boundary"]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no reason"), "{}", diags[0].message);
+        // The waiver still suppresses — the missing reason is its own error.
+        assert!(f.waiver_covers("panic-boundary", 2));
+    }
+
+    #[test]
+    fn waiver_unknown_pass_is_flagged() {
+        let src = "// dplint: allow(no-such-pass, reason = \"typo\")\n";
+        let f = SourceFile::parse("x.rs", src);
+        let diags = f.waiver_diagnostics(&["panic-boundary"]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown pass"));
+    }
+}

@@ -1,0 +1,21 @@
+// Seeded atomic-ordering fixture: exact line numbers asserted by tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bad_unjustified(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+fn annotated_same_line(flag: &AtomicUsize) -> usize {
+    flag.load(Ordering::Acquire) // ordering: pairs with the Release store below
+}
+
+fn annotated_block_above(flag: &AtomicUsize) {
+    // ordering: publishes the counter; the Acquire load in
+    // annotated_same_line synchronizes with this store.
+    flag.store(0, Ordering::Release);
+}
+
+fn cmp_ordering_is_not_atomic(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

@@ -1,0 +1,15 @@
+// Seeded crate-hygiene fixture (library code that prints): exact line
+// numbers asserted by tests.
+
+fn bad_status(x: u32) {
+    println!("x = {x}");
+}
+
+fn bad_debug(x: u32) {
+    dbg!(x);
+}
+
+fn waived(x: u32) {
+    // dplint: allow(crate-hygiene, reason = "fixture: operator-facing status line")
+    eprintln!("x = {x}");
+}

@@ -1,0 +1,36 @@
+// Seeded float-reassoc fixture: tests/pass_fixtures.rs asserts exact
+// line numbers -- keep edits line-stable.
+
+fn bad_bare_sum(ps: &[f64]) -> f64 {
+    ps.iter().map(|p| -p * p.log2()).sum()
+}
+
+fn bad_float_turbofish(ps: &[f64]) -> f64 {
+    ps.iter().sum::<f64>()
+}
+
+fn bad_fused(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}
+
+fn good_integer_turbofish(ns: &[u64]) -> u64 {
+    ns.iter().sum::<u64>()
+}
+
+fn waived(ps: &[f64]) -> f64 {
+    // dplint: allow(float-reassoc, reason = "fixture: explicitly waived site")
+    ps.iter().product()
+}
+
+fn waived_without_reason(ps: &[f64]) -> f64 {
+    // dplint: allow(float-reassoc)
+    ps.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_sums_are_fine_in_test_code() {
+        let _ = [0.5f64].iter().sum::<f64>();
+    }
+}

@@ -1,0 +1,17 @@
+// Seeded hot-path-hash fixture: tests/pass_fixtures.rs asserts exact
+// line numbers -- keep edits line-stable.
+
+use std::collections::HashMap;
+
+fn distinct(keys: &[u64]) -> usize {
+    let mut seen = std::collections::BTreeSet::new();
+    for &k in keys {
+        seen.insert(k);
+    }
+    seen.len()
+}
+
+fn waived_interner() {
+    // dplint: allow(hot-path-hash, reason = "fixture: generic fallback path")
+    let _ = std::collections::HashSet::<u32>::new();
+}

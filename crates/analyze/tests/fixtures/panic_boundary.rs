@@ -1,0 +1,27 @@
+// Seeded panic-boundary fixture (lexed as if under
+// crates/index/src/serve/): exact line numbers asserted by tests.
+
+fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn bad_panic(msg: &str) -> ! {
+    panic!("{msg}")
+}
+
+fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("missing")
+}
+
+fn waived(v: Option<u32>) -> u32 {
+    // dplint: allow(panic-boundary, reason = "fixture: unreachable by construction")
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_are_fine_in_test_code() {
+        assert_eq!(super::bad_unwrap(Some(1)), 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Waiver-framework fixture: same-line coverage, unknown pass names.
+
+fn same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // dplint: allow(panic-boundary, reason = "fixture: same-line waiver")
+}
+
+fn unknown_pass() {
+    // dplint: allow(no-such-pass, reason = "fixture: pass name typo")
+}

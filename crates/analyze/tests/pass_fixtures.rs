@@ -1,0 +1,250 @@
+//! Every dplint pass proven live against seeded fixtures: exact
+//! line/col findings, waiver-respected sites, waiver-without-reason and
+//! unknown-pass framework errors.
+//!
+//! The fixture sources live under `tests/fixtures/` (outside any `src/`
+//! tree, so the workspace walker never scans them) and are lexed with a
+//! faked workspace-relative path to drop them into a pass's scope.
+
+use dp_analyze::manifest::parse_manifest;
+use dp_analyze::passes::{
+    self, atomic_ordering, bench_citations, crate_hygiene, float_reassoc, hot_path_hash,
+    panic_boundary, vendored_deps,
+};
+use dp_analyze::{Diagnostic, SourceFile, Workspace};
+use std::path::PathBuf;
+
+/// 1-based column of `needle` on 1-based `line` of `text`.
+fn col_of(text: &str, line: u32, needle: &str) -> u32 {
+    let l = text.lines().nth(line as usize - 1).expect("fixture line exists");
+    l.find(needle).expect("needle on fixture line") as u32 + 1
+}
+
+/// `(line, col)` of each finding for `pass`, in emission order.
+fn positions(diags: &[Diagnostic], pass: &str) -> Vec<(u32, u32)> {
+    diags.iter().filter(|d| d.pass == pass).map(|d| (d.line, d.col)).collect()
+}
+
+#[test]
+fn float_reassoc_fixture() {
+    let text = include_str!("fixtures/float_reassoc.rs");
+    let file = SourceFile::parse("crates/permutation/src/huffman.rs", text);
+    let mut out = Vec::new();
+    float_reassoc::check(&file, &mut out);
+    assert_eq!(
+        positions(&out, float_reassoc::NAME),
+        vec![
+            (5, col_of(text, 5, "sum")),
+            (9, col_of(text, 9, "sum")),
+            (13, col_of(text, 13, "mul_add")),
+        ],
+        "bare .sum(), float turbofish, and mul_add are findings; the integer \
+         turbofish, the waived sites, and test code are not: {out:?}"
+    );
+    assert!(out[0].message.contains("integer turbofish"), "{}", out[0].message);
+    assert!(out[1].message.contains("explicit sequential loop"), "{}", out[1].message);
+    // The reasonless waiver on line 26 suppresses its finding but is
+    // itself a framework error.
+    let framework = file.waiver_diagnostics(passes::PASS_NAMES);
+    assert_eq!(positions(&framework, "dplint"), vec![(26, col_of(text, 26, "dplint:"))]);
+    assert!(framework[0].message.contains("no reason"), "{}", framework[0].message);
+}
+
+#[test]
+fn hot_path_hash_fixture() {
+    let text = include_str!("fixtures/hot_path_hash.rs");
+    let file = SourceFile::parse("crates/permutation/src/radix.rs", text);
+    let mut out = Vec::new();
+    hot_path_hash::check(&file, &mut out);
+    assert_eq!(
+        positions(&out, hot_path_hash::NAME),
+        vec![(4, col_of(text, 4, "HashMap")), (7, col_of(text, 7, "BTreeSet"))],
+        "the waived HashSet is not a finding: {out:?}"
+    );
+    assert!(file.waiver_diagnostics(passes::PASS_NAMES).is_empty());
+}
+
+#[test]
+fn panic_boundary_fixture() {
+    let text = include_str!("fixtures/panic_boundary.rs");
+    let file = SourceFile::parse("crates/index/src/serve/fixture.rs", text);
+    let mut out = Vec::new();
+    panic_boundary::check(&file, &mut out);
+    assert_eq!(
+        positions(&out, panic_boundary::NAME),
+        vec![
+            (5, col_of(text, 5, "unwrap")),
+            (9, col_of(text, 9, "panic")),
+            (13, col_of(text, 13, "expect")),
+        ],
+        "the waived unwrap and the #[cfg(test)] assert_eq are not findings: {out:?}"
+    );
+}
+
+#[test]
+fn atomic_ordering_fixture() {
+    let text = include_str!("fixtures/atomic_ordering.rs");
+    let file = SourceFile::parse("crates/index/src/serve/steal.rs", text);
+    let mut out = Vec::new();
+    atomic_ordering::check(&file, &mut out);
+    assert_eq!(
+        positions(&out, atomic_ordering::NAME),
+        vec![(6, col_of(text, 6, "Ordering"))],
+        "same-line and block-above `// ordering:` comments justify their \
+         sites, and std::cmp::Ordering never matches: {out:?}"
+    );
+    assert!(out[0].message.contains("Relaxed"), "{}", out[0].message);
+}
+
+#[test]
+fn crate_hygiene_print_fixture() {
+    let text = include_str!("fixtures/crate_hygiene.rs");
+    let file = SourceFile::parse("crates/core/src/survey.rs", text);
+    let mut out = Vec::new();
+    crate_hygiene::check_file(&file, &mut out);
+    assert_eq!(
+        positions(&out, crate_hygiene::NAME),
+        vec![(5, col_of(text, 5, "println")), (9, col_of(text, 9, "dbg"))],
+        "the waived eprintln is not a finding: {out:?}"
+    );
+
+    // The same source under src/bin/ is a binary: stdout is its job.
+    let bin = SourceFile::parse("crates/bench/src/bin/table1.rs", text);
+    let mut out = Vec::new();
+    crate_hygiene::check_file(&bin, &mut out);
+    assert!(out.is_empty(), "binaries own stdout: {out:?}");
+}
+
+#[test]
+fn crate_hygiene_forbid_unsafe_roots() {
+    let with =
+        SourceFile::parse("crates/good/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n");
+    let without = SourceFile::parse("crates/bad/src/lib.rs", "pub fn f() {}\n");
+    let ws = Workspace {
+        root: PathBuf::from("/nonexistent"),
+        files: vec![with, without],
+        manifests: vec![],
+        lib_roots: vec![
+            "crates/good/src/lib.rs".into(),
+            "crates/bad/src/lib.rs".into(),
+            "crates/ghost/src/lib.rs".into(),
+        ],
+        roadmap: None,
+    };
+    let mut out = Vec::new();
+    crate_hygiene::check_crate_roots(&ws, &mut out);
+    let paths: Vec<&str> = out.iter().map(|d| d.path.as_str()).collect();
+    assert_eq!(paths, vec!["crates/bad/src/lib.rs", "crates/ghost/src/lib.rs"], "{out:?}");
+    assert!(out[0].message.contains("missing `#![forbid(unsafe_code)]`"), "{}", out[0].message);
+    assert!(out[1].message.contains("does not exist"), "{}", out[1].message);
+}
+
+#[test]
+fn crate_hygiene_workspace_lints_inheritance() {
+    let inherits = parse_manifest(
+        "crates/good/Cargo.toml",
+        "[package]\nname = \"good\"\n\n[lints]\nworkspace = true\n",
+    );
+    let skips = parse_manifest("crates/bad/Cargo.toml", "[package]\nname = \"bad\"\n");
+    let vendor = parse_manifest("vendor/standin/Cargo.toml", "[package]\nname = \"standin\"\n");
+    let virtual_root = parse_manifest("Cargo.toml", "[workspace]\nmembers = []\n");
+    let ws = Workspace {
+        root: PathBuf::from("/nonexistent"),
+        files: vec![],
+        manifests: vec![inherits, skips, vendor, virtual_root],
+        lib_roots: vec![],
+        roadmap: None,
+    };
+    let mut out = Vec::new();
+    crate_hygiene::check_manifests(&ws, &mut out);
+    assert_eq!(out.len(), 1, "only the non-vendor package without [lints] is flagged: {out:?}");
+    assert_eq!(out[0].path, "crates/bad/Cargo.toml");
+    assert!(out[0].message.contains("workspace lint table"), "{}", out[0].message);
+}
+
+#[test]
+fn vendored_deps_fixture() {
+    // The path-dependency audit checks the filesystem, so build the
+    // fixture workspace on disk under the test-scoped target tmpdir.
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("vendored_fixture");
+    std::fs::create_dir_all(root.join("vendor/goodlib")).unwrap();
+    std::fs::write(root.join("vendor/goodlib/Cargo.toml"), "[package]\nname = \"goodlib\"\n")
+        .unwrap();
+    std::fs::create_dir_all(root.join("crates/member")).unwrap();
+
+    let root_text = include_str!("fixtures/vendored_root.toml");
+    let member_text = include_str!("fixtures/vendored_member.toml");
+    let ws = Workspace {
+        root,
+        files: vec![],
+        manifests: vec![
+            parse_manifest("Cargo.toml", root_text),
+            parse_manifest("crates/member/Cargo.toml", member_text),
+        ],
+        lib_roots: vec![],
+        roadmap: None,
+    };
+    let mut out = Vec::new();
+    vendored_deps::check(&ws, &mut out);
+
+    let at = |path: &str, line: u32| -> &Diagnostic {
+        out.iter()
+            .find(|d| d.path == path && d.line == line)
+            .unwrap_or_else(|| panic!("no finding at {path}:{line} in {out:?}"))
+    };
+    // Root table: `badws = "1.0"` needs the network.
+    assert!(at("Cargo.toml", 8).message.contains("outside the repository"));
+    // Member: ghost has no workspace entry; ext is version-only; escape
+    // leaves the repo; missing points at a dir without a Cargo.toml.
+    assert!(at("crates/member/Cargo.toml", 8).message.contains("no such entry"));
+    assert!(at("crates/member/Cargo.toml", 9).message.contains("outside the repository"));
+    assert!(at("crates/member/Cargo.toml", 10).message.contains("escapes the repository"));
+    assert!(at("crates/member/Cargo.toml", 11).message.contains("no Cargo.toml"));
+    assert_eq!(out.len(), 5, "goodlib (path) and goodlib.workspace are clean: {out:?}");
+}
+
+#[test]
+fn bench_citations_fixture() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bench_fixture");
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(
+        root.join("BENCH_flat_survey.json"),
+        "{\"bench\":\"flat_survey\",\"ns\":1900.0}\n{\"bench\":\"flat_survey_k5\",\"ns\":2100.0}\n",
+    )
+    .unwrap();
+    std::fs::write(root.join("BENCH_serve_steal.json"), "{\"bench\": oops}\n").unwrap();
+
+    let roadmap = include_str!("fixtures/bench_roadmap.md");
+    let mut out = Vec::new();
+    bench_citations::check_roadmap(roadmap, &root, &mut out);
+    assert_eq!(
+        positions(&out, bench_citations::NAME),
+        vec![
+            (4, col_of(roadmap, 4, "BENCH_serve_steal")),
+            (5, col_of(roadmap, 5, "BENCH_missing"))
+        ],
+        "the valid baseline is clean; the corrupt and missing ones are findings: {out:?}"
+    );
+    assert!(out[0].message.contains("not valid JSON lines"), "{}", out[0].message);
+    assert!(out[1].message.contains("does not exist"), "{}", out[1].message);
+}
+
+#[test]
+fn waiver_framework_fixture() {
+    let text = include_str!("fixtures/waivers.rs");
+    let file = SourceFile::parse("crates/index/src/serve/fixture.rs", text);
+
+    // The same-line waiver suppresses the unwrap finding...
+    let mut out = Vec::new();
+    panic_boundary::check(&file, &mut out);
+    assert!(out.is_empty(), "same-line waiver covers its own line: {out:?}");
+
+    // ...and the unknown pass name is a framework error.
+    let framework = file.waiver_diagnostics(passes::PASS_NAMES);
+    assert_eq!(positions(&framework, "dplint"), vec![(8, col_of(text, 8, "dplint:"))]);
+    assert!(
+        framework[0].message.contains("unknown pass `no-such-pass`"),
+        "{}",
+        framework[0].message
+    );
+}

@@ -1,0 +1,21 @@
+//! Meta-test: the live workspace is dplint-clean.
+//!
+//! This is the self-hosting guarantee — `crates/analyze` is scanned
+//! like every other crate, every waiver in the tree carries a reason,
+//! and `scripts/check.sh`'s dplint gate can never fail if this passes.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels under the workspace root");
+    let diags = dp_analyze::lint_workspace(root).expect("workspace loads");
+    assert!(
+        diags.is_empty(),
+        "dplint findings in the live workspace:\n{}",
+        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

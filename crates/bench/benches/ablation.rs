@@ -31,7 +31,7 @@ fn bench_counting_strategies(c: &mut Criterion) {
                 set.insert(p);
             }
             black_box(set.len())
-        })
+        });
     });
     group.bench_function("sip_hash_set", |b| {
         b.iter(|| {
@@ -40,7 +40,7 @@ fn bench_counting_strategies(c: &mut Criterion) {
                 set.insert(p);
             }
             black_box(set.len())
-        })
+        });
     });
     group.bench_function("rank_bitmap", |b| {
         b.iter(|| {
@@ -49,7 +49,7 @@ fn bench_counting_strategies(c: &mut Criterion) {
                 bm.insert(p);
             }
             black_box(bm.distinct())
-        })
+        });
     });
     group.finish();
 }
@@ -66,7 +66,7 @@ fn bench_scratch_reuse(c: &mut Criterion) {
                 acc += computer.compute(&L2Squared, &sites, y).get(0) as usize;
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function("fresh_allocation", |b| {
         b.iter(|| {
@@ -75,7 +75,7 @@ fn bench_scratch_reuse(c: &mut Criterion) {
                 acc += distance_permutation(&L2Squared, &sites, y).get(0) as usize;
             }
             black_box(acc)
-        })
+        });
     });
     group.finish();
 }
@@ -92,7 +92,7 @@ fn bench_l2_vs_squared(c: &mut Criterion) {
                 acc += computer.compute(&L2, &sites, y).get(0) as usize;
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function("l2_squared", |b| {
         let mut computer = DistPermComputer::new(8);
@@ -102,7 +102,7 @@ fn bench_l2_vs_squared(c: &mut Criterion) {
                 acc += computer.compute(&L2Squared, &sites, y).get(0) as usize;
             }
             black_box(acc)
-        })
+        });
     });
     // Guard: the two metrics really do induce the same permutations.
     let mut computer = DistPermComputer::new(8);

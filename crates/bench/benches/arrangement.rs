@@ -54,7 +54,7 @@ fn bench_grid_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("grid_count_l1_k4");
     group.sample_size(20);
     group.bench_function("200x200", |b| {
-        b.iter(|| black_box(grid_count(&L1, &sites, bbox, 200, 200).distinct()))
+        b.iter(|| black_box(grid_count(&L1, &sites, bbox, 200, 200).distinct()));
     });
     group.finish();
 }

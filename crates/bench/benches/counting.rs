@@ -20,7 +20,7 @@ fn bench_count_distinct(c: &mut Criterion) {
         let db = uniform_unit_cube(10_000, d, 1);
         let sites = uniform_unit_cube(k, d, 2);
         group.bench_function(format!("d{d}_k{k}"), |b| {
-            b.iter(|| black_box(count_permutations(&L2Squared, &sites, &db).distinct))
+            b.iter(|| black_box(count_permutations(&L2Squared, &sites, &db).distinct));
         });
         // Same coordinates through the flat batched engine.
         let db_flat = uniform_unit_cube_flat(10_000, d, 1);
@@ -28,7 +28,7 @@ fn bench_count_distinct(c: &mut Criterion) {
         group.bench_function(format!("d{d}_k{k}_flat"), |b| {
             b.iter(|| {
                 black_box(count_permutations_flat(&L2Squared, &sites_flat, &db_flat).distinct)
-            })
+            });
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_count_parallel(c: &mut Criterion) {
         group.bench_function(format!("threads{threads}"), |b| {
             b.iter(|| {
                 black_box(count_permutations_parallel(&L2Squared, &sites, &db, threads).distinct)
-            })
+            });
         });
         group.bench_function(format!("threads{threads}_flat"), |b| {
             b.iter(|| {
@@ -53,7 +53,7 @@ fn bench_count_parallel(c: &mut Criterion) {
                     count_permutations_flat_parallel(&L2Squared, &sites_flat, &db_flat, threads)
                         .distinct,
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -70,7 +70,7 @@ fn bench_counter_and_codebook(c: &mut Criterion) {
                 counter.insert(p);
             }
             black_box(counter.distinct())
-        })
+        });
     });
     c.bench_function("codebook_intern_20k", |b| {
         b.iter(|| {
@@ -79,7 +79,7 @@ fn bench_counter_and_codebook(c: &mut Criterion) {
                 cb.intern(p);
             }
             black_box(cb.len())
-        })
+        });
     });
 }
 

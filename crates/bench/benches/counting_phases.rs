@@ -51,7 +51,7 @@ fn bench_distances(c: &mut Criterion) {
             b.iter(|| {
                 L2Squared.batch_distances(&db, &sites_t, &mut out);
                 black_box(out[0])
-            })
+            });
         });
         group.finish();
     }
@@ -66,7 +66,7 @@ fn bench_ranking(c: &mut Criterion) {
         group.sample_size(20);
         group.throughput(Throughput::Elements(N as u64));
         group.bench_function("rank_pack", |b| {
-            b.iter(|| black_box(rank_distance_rows_packed(&dists, k).len()))
+            b.iter(|| black_box(rank_distance_rows_packed(&dists, k).len()));
         });
         group.finish();
     }
@@ -86,14 +86,14 @@ fn bench_sort(c: &mut Criterion) {
                 scratch.copy_from_slice(&keys);
                 sorter.sort_keys(&mut scratch, 5 * k as u32);
                 black_box(scratch[0])
-            })
+            });
         });
         group.bench_function("std", |b| {
             b.iter(|| {
                 scratch.copy_from_slice(&keys);
                 scratch.sort_unstable();
                 black_box(scratch[0])
-            })
+            });
         });
         group.finish();
     }
@@ -108,16 +108,16 @@ fn bench_codebook(c: &mut Criterion) {
         group.sample_size(20);
         group.throughput(Throughput::Elements(summary.distinct() as u64));
         group.bench_function("lexicographic_counts", |b| {
-            b.iter(|| black_box(summary.lexicographic_counts().len()))
+            b.iter(|| black_box(summary.lexicographic_counts().len()));
         });
         group.bench_function("packed_codebook", |b| {
-            b.iter(|| black_box(PackedCodebook::from_summary(&summary).len()))
+            b.iter(|| black_box(PackedCodebook::from_summary(&summary).len()));
         });
         group.bench_function("huffman_entropy", |b| {
             b.iter(|| {
                 let code = HuffmanCode::from_frequencies(&freqs);
                 black_box(code.mean_bits(&freqs) + entropy_bits(&freqs))
-            })
+            });
         });
         group.finish();
     }

@@ -31,12 +31,12 @@ fn bench_count(c: &mut Criterion) {
             group.bench_function(format!("nested_k{k}"), |b| {
                 b.iter(|| {
                     black_box(count_permutations(&L2Squared, &nested_sites, &nested_db).distinct)
-                })
+                });
             });
             group.bench_function(format!("flat_k{k}"), |b| {
                 b.iter(|| {
                     black_box(count_permutations_flat(&L2Squared, &flat_sites, &flat_db).distinct)
-                })
+                });
             });
         }
         group.finish();
@@ -50,10 +50,10 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(100_000));
     group.bench_function("nested", |b| {
-        b.iter(|| black_box(uniform_unit_cube(100_000, DIM, 3).len()))
+        b.iter(|| black_box(uniform_unit_cube(100_000, DIM, 3).len()));
     });
     group.bench_function("flat", |b| {
-        b.iter(|| black_box(uniform_unit_cube_flat(100_000, DIM, 3).len()))
+        b.iter(|| black_box(uniform_unit_cube_flat(100_000, DIM, 3).len()));
     });
     group.finish();
 }

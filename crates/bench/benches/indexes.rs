@@ -38,7 +38,7 @@ fn bench_knn(c: &mut Criterion) {
                 let q = &queries[i & 255];
                 i += 1;
                 black_box(searcher.knn(q, 1))
-            })
+            });
         });
     }
 
@@ -51,7 +51,7 @@ fn bench_knn(c: &mut Criterion) {
             let q = &queries[i & 255];
             i += 1;
             black_box(searcher.knn_approx(q, 1, 0.1))
-        })
+        });
     });
     group.finish();
 }
@@ -68,7 +68,7 @@ fn bench_build(c: &mut Criterion) {
                 let idx = AnyIndex::build(spec, L2, pts.clone(), PivotSelection::MaxMin)
                     .expect("generic spec");
                 black_box(idx.len())
-            })
+            });
         });
     }
     group.finish();

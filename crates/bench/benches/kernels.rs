@@ -65,13 +65,13 @@ fn bench_batch_distances(c: &mut Criterion) {
             b.iter(|| {
                 L2Squared.batch_distances_rowwise(db.as_flat(), &sites_t, &mut out);
                 black_box(out[0])
-            })
+            });
         });
         group.bench_function("strip", |b| {
             b.iter(|| {
                 L2Squared.batch_distances(db.as_flat(), &sites_t, &mut out);
                 black_box(out[0])
-            })
+            });
         });
         group.finish();
     }
@@ -85,10 +85,10 @@ fn bench_count(c: &mut Criterion) {
     group.sample_size(30);
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("flat_rowwise", |b| {
-        b.iter(|| black_box(count_permutations_flat(&Rowwise(L2Squared), &sites, &db).distinct))
+        b.iter(|| black_box(count_permutations_flat(&Rowwise(L2Squared), &sites, &db).distinct));
     });
     group.bench_function("flat_strip", |b| {
-        b.iter(|| black_box(count_permutations_flat(&L2Squared, &sites, &db).distinct))
+        b.iter(|| black_box(count_permutations_flat(&L2Squared, &sites, &db).distinct));
     });
     group.finish();
 }

@@ -25,7 +25,7 @@ fn bench_vector_metrics(c: &mut Criterion) {
                 let y = &pts[(i + 7) & 255];
                 i += 1;
                 black_box(L1.distance(x, y))
-            })
+            });
         });
         group.bench_function("L2", |b| {
             let mut i = 0usize;
@@ -34,7 +34,7 @@ fn bench_vector_metrics(c: &mut Criterion) {
                 let y = &pts[(i + 7) & 255];
                 i += 1;
                 black_box(L2.distance(x, y))
-            })
+            });
         });
         group.bench_function("Linf", |b| {
             let mut i = 0usize;
@@ -43,7 +43,7 @@ fn bench_vector_metrics(c: &mut Criterion) {
                 let y = &pts[(i + 7) & 255];
                 i += 1;
                 black_box(LInf.distance(x, y))
-            })
+            });
         });
         group.finish();
     }
@@ -58,7 +58,7 @@ fn bench_string_metrics(c: &mut Criterion) {
             let y = &words[(i + 31) & 255];
             i += 1;
             black_box(Levenshtein.distance(x, y))
-        })
+        });
     });
     c.bench_function("prefix_distance_dictionary", |b| {
         let mut i = 0usize;
@@ -67,7 +67,7 @@ fn bench_string_metrics(c: &mut Criterion) {
             let y = &words[(i + 31) & 255];
             i += 1;
             black_box(PrefixDistance.distance(x, y))
-        })
+        });
     });
 }
 
@@ -80,7 +80,7 @@ fn bench_cosine(c: &mut Criterion) {
             let y = &docs[(i + 31) & 255];
             i += 1;
             black_box(CosineDistance.distance(x, y))
-        })
+        });
     });
 }
 

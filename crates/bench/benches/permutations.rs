@@ -28,7 +28,7 @@ fn bench_distance_permutation(c: &mut Criterion) {
                 let q = &queries[i & 255];
                 i += 1;
                 black_box(computer.compute(&L2Squared, &sites, q))
-            })
+            });
         });
     }
     group.finish();
@@ -43,7 +43,7 @@ fn bench_database_permutations_flat(c: &mut Criterion) {
         let db = random_points(10_000, 8, 5);
         let sites = random_points(k, 8, 6);
         group.bench_function(format!("nested_k{k}"), |b| {
-            b.iter(|| black_box(database_permutations(&L2Squared, &sites, &db).len()))
+            b.iter(|| black_box(database_permutations(&L2Squared, &sites, &db).len()));
         });
         let db_flat: dp_datasets::VectorSet = db.iter().cloned().collect();
         let sites_flat: dp_datasets::VectorSet = sites.iter().cloned().collect();
@@ -51,7 +51,7 @@ fn bench_database_permutations_flat(c: &mut Criterion) {
         group.bench_function(format!("flat_k{k}"), |b| {
             b.iter(|| {
                 black_box(database_permutations_flat(&L2Squared, &sites_t, db_flat.as_flat()).len())
-            })
+            });
         });
     }
     group.finish();
@@ -65,14 +65,14 @@ fn bench_lehmer(c: &mut Criterion) {
             let p = &perms[i % perms.len()];
             i += 1;
             black_box(rank(p))
-        })
+        });
     });
     c.bench_function("lehmer_unrank_k8", |b| {
         let mut r = 0u128;
         b.iter(|| {
             r = (r + 12345) % 40320;
             black_box(unrank(8, r))
-        })
+        });
     });
 }
 
@@ -85,7 +85,7 @@ fn bench_permutation_distances(c: &mut Criterion) {
             let y = &perms[(i * 7 + 3) % perms.len()];
             i += 1;
             black_box(spearman_footrule(x, y))
-        })
+        });
     });
     c.bench_function("kendall_tau_k8", |b| {
         let mut i = 0usize;
@@ -94,7 +94,7 @@ fn bench_permutation_distances(c: &mut Criterion) {
             let y = &perms[(i * 7 + 3) % perms.len()];
             i += 1;
             black_box(kendall_tau(x, y))
-        })
+        });
     });
 }
 
@@ -107,7 +107,7 @@ fn bench_enumeration(c: &mut Criterion) {
                 n += 1;
             }
             black_box(n)
-        })
+        });
     });
 }
 

@@ -46,7 +46,7 @@ fn bench_serving(c: &mut Criterion) {
                     Request::Knn { k: 3 },
                     threads,
                 ))
-            })
+            });
         });
     }
     group.finish();
@@ -86,7 +86,7 @@ fn bench_serving_steal(c: &mut Criterion) {
                     &options,
                     &FaultPlan::none(),
                 ))
-            })
+            });
         });
     }
     group.finish();

@@ -24,13 +24,13 @@ fn bench_store_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_build_n20k_k10");
     group.throughput(Throughput::Elements(perms.len() as u64));
     group.bench_function("raw", |b| {
-        b.iter(|| black_box(RawPermStore::from_permutations(10, &perms)))
+        b.iter(|| black_box(RawPermStore::from_permutations(10, &perms)));
     });
     group.bench_function("packed_codebook", |b| {
-        b.iter(|| black_box(PackedPermStore::from_permutations(&perms)))
+        b.iter(|| black_box(PackedPermStore::from_permutations(&perms)));
     });
     group.bench_function("huffman", |b| {
-        b.iter(|| black_box(HuffmanPermStore::from_permutations(&perms)))
+        b.iter(|| black_box(HuffmanPermStore::from_permutations(&perms)));
     });
     group.finish();
 }
@@ -45,14 +45,14 @@ fn bench_random_access(c: &mut Criterion) {
         b.iter(|| {
             i = (i * 2654435761 + 1) % 20_000;
             black_box(raw.get(i))
-        })
+        });
     });
     group.bench_function("packed_codebook", |b| {
         let mut i = 0usize;
         b.iter(|| {
             i = (i * 2654435761 + 1) % 20_000;
             black_box(packed.get(i))
-        })
+        });
     });
     group.finish();
 }
@@ -64,10 +64,10 @@ fn bench_sequential_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_scan_n20k_k10");
     group.throughput(Throughput::Elements(perms.len() as u64));
     group.bench_function("packed_codebook", |b| {
-        b.iter(|| black_box(packed.iter().map(|p| p.get(0) as u64).sum::<u64>()))
+        b.iter(|| black_box(packed.iter().map(|p| p.get(0) as u64).sum::<u64>()));
     });
     group.bench_function("huffman", |b| {
-        b.iter(|| black_box(huff.iter().map(|p| p.get(0) as u64).sum::<u64>()))
+        b.iter(|| black_box(huff.iter().map(|p| p.get(0) as u64).sum::<u64>()));
     });
     group.finish();
 }
@@ -80,7 +80,7 @@ fn bench_codebook_intern(c: &mut Criterion) {
         b.iter(|| {
             let cb: Codebook = perms.iter().copied().collect();
             black_box(cb.len())
-        })
+        });
     });
     group.finish();
 }

@@ -77,7 +77,6 @@ fn main() {
     println!(
         "\nceiling: N_{{{d},2}}({k}) = {}",
         dp_theory::n_euclidean(d as u32, k as u32)
-            .map(|v| v.to_string())
-            .unwrap_or_else(|| "> 2^128".into())
+            .map_or_else(|| "> 2^128".into(), |v| v.to_string())
     );
 }

@@ -21,6 +21,8 @@
 //! This library crate holds the tiny CLI/table plumbing the binaries
 //! share; it has no public API stability promises.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 /// Minimal `--flag value` parser (no external dependency needed for a
@@ -90,7 +92,7 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Args {
-        Args::parse_from(s.iter().map(|x| x.to_string()))
+        Args::parse_from(s.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl ParsedArgs {
                         values.insert(key, v);
                     }
                     None => {
-                        let next = tokens.get(i + 1).map(|t| t.as_ref());
+                        let next = tokens.get(i + 1).map(std::convert::AsRef::as_ref);
                         match next {
                             Some(v) if !v.starts_with("--") => {
                                 values.insert(key, v.to_string());

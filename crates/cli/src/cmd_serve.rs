@@ -209,7 +209,7 @@ mod tests {
         let path = temp_db(tag);
         let mut argv: Vec<String> =
             vec!["serve".into(), "--vectors".into(), path.to_str().unwrap().into()];
-        argv.extend(argv_tail.iter().map(|s| s.to_string()));
+        argv.extend(argv_tail.iter().map(std::string::ToString::to_string));
         let parsed = ParsedArgs::parse(&argv).expect("argv");
         let mut out = Vec::new();
         let result = run_with_input(&parsed, input.as_bytes(), &mut out);

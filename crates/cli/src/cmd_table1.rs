@@ -20,8 +20,10 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
     }
 
     let table = table1_extended(dmax, kmax);
-    let rendered: Vec<Vec<String>> =
-        table.iter().map(|row| row.iter().map(|v| v.to_string()).collect()).collect();
+    let rendered: Vec<Vec<String>> = table
+        .iter()
+        .map(|row| row.iter().map(std::string::ToString::to_string).collect())
+        .collect();
     // One width per k column, sized to its largest entry or header.
     let ks: Vec<u32> = (2..=kmax).collect();
     let widths: Vec<usize> = ks

@@ -20,6 +20,8 @@
 //! The library surface ([`run`]) takes argv and a writer, so every
 //! command is testable without spawning a process.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 mod cmd_count;
 mod cmd_figures;
@@ -167,7 +169,7 @@ mod tests {
     use super::*;
 
     fn run_to_string(argv: &[&str]) -> Result<String, CliError> {
-        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = argv.iter().map(std::string::ToString::to_string).collect();
         let mut out = Vec::new();
         run(&argv, &mut out)?;
         Ok(String::from_utf8(out).expect("utf8 output"))

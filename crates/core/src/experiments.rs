@@ -160,7 +160,7 @@ mod tests {
         // metrics — a dense-enough uniform database hits every cell.
         for metric in MetricKind::ALL {
             let e = uniform_experiment(1, metric, 4, 4000, 5, 42, 4);
-            assert_eq!(e.max, 7, "{:?}", metric);
+            assert_eq!(e.max, 7, "{metric:?}");
             assert!(e.mean > 6.5, "{:?} mean {}", metric, e.mean);
         }
     }

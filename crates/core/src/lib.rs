@@ -37,6 +37,8 @@
 //! are bit-for-bit equal (enforced by the workspace property suites),
 //! so callers may pick purely on storage layout.
 
+#![forbid(unsafe_code)]
+
 pub mod count;
 pub mod counterexample;
 pub mod dimension;

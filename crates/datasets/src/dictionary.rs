@@ -208,8 +208,9 @@ mod tests {
         let profiles = language_profiles();
         let german = generate_words(&profiles[3], 2000, 3);
         let english = generate_words(&profiles[1], 2000, 3);
-        let mean =
-            |ws: &[String]| ws.iter().map(|w| w.len()).sum::<usize>() as f64 / ws.len() as f64;
+        let mean = |ws: &[String]| {
+            ws.iter().map(std::string::String::len).sum::<usize>() as f64 / ws.len() as f64
+        };
         assert!(mean(&german) > mean(&english) + 1.0);
     }
 

@@ -104,8 +104,9 @@ mod tests {
     fn long_documents_are_denser_than_short() {
         let long = generate_documents(long_profile(), 100, 5);
         let short = generate_documents(short_profile(), 100, 5);
-        let mean_nnz =
-            |ds: &[SparseVec]| ds.iter().map(|d| d.nnz()).sum::<usize>() as f64 / ds.len() as f64;
+        let mean_nnz = |ds: &[SparseVec]| {
+            ds.iter().map(dp_metric::SparseVec::nnz).sum::<usize>() as f64 / ds.len() as f64
+        };
         assert!(mean_nnz(&long) > 4.0 * mean_nnz(&short));
     }
 

@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn length_distribution_is_broad_and_skewed() {
         let frags = generate_fragments(3000, 400, 9);
-        let lens: Vec<usize> = frags.iter().map(|f| f.len()).collect();
+        let lens: Vec<usize> = frags.iter().map(std::string::String::len).collect();
         let short = lens.iter().filter(|&&l| l < 100).count();
         let long = lens.iter().filter(|&&l| l > 300).count();
         assert!(short > long, "short {short} long {long}");

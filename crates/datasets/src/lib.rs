@@ -36,6 +36,8 @@
 //! so synthetic sets can be exported and — when available — the original
 //! archives loaded into the same harness.
 
+#![forbid(unsafe_code)]
+
 pub mod colors;
 pub mod dictionary;
 pub mod documents;

@@ -222,7 +222,7 @@ pub fn read_strings<R: BufRead>(r: &mut R) -> Result<Vec<String>, SisapIoError> 
         }
         out.push(line);
     }
-    while out.last().is_some_and(|s| s.is_empty()) {
+    while out.last().is_some_and(std::string::String::is_empty) {
         out.pop();
     }
     Ok(out)
@@ -437,7 +437,7 @@ mod tests {
             ["hond", "chien", "Hund", "ʃtra:sə", "日本語", ""].map(String::from).to_vec();
         // Interior empty string survives; only trailing empties are
         // stripped, so append a sentinel.
-        let mut with_sentinel = words.clone();
+        let mut with_sentinel = words;
         with_sentinel.push("end".to_string());
         let mut buf = Vec::new();
         write_strings(&mut buf, &with_sentinel).unwrap();

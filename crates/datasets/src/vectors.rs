@@ -219,7 +219,7 @@ mod tests {
         }
         // Full draw.
         let all = choose_distinct_indices(5, 5, &mut rng);
-        let mut sorted = all.clone();
+        let mut sorted = all;
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
     }

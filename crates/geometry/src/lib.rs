@@ -23,6 +23,8 @@
 //! * [`render`] — regenerates Figures 1–4 as PPM cell maps and SVG line
 //!   drawings.
 
+#![forbid(unsafe_code)]
+
 pub mod arrangement;
 pub mod faces;
 pub mod l1exact;

@@ -85,7 +85,7 @@ pub fn for_each_grid_permutation<M, F>(
     assert!(width > 0 && height > 0, "empty grid");
     assert!(sites.iter().all(|s| s.len() == 2), "grid sampling is 2-D");
     let mut computer = DistPermComputer::new(sites.len());
-    let site_refs: Vec<&[f64]> = sites.iter().map(|s| s.as_slice()).collect();
+    let site_refs: Vec<&[f64]> = sites.iter().map(std::vec::Vec::as_slice).collect();
     let adapter = SliceMetric { inner: metric };
     let dx = (bbox.x_max - bbox.x_min) / width as f64;
     let dy = (bbox.y_max - bbox.y_min) / height as f64;
@@ -120,7 +120,7 @@ pub fn adaptive_count<M: Metric<[f64]>>(
     assert!(base >= 2, "need at least a 2x2 base grid");
     assert!(sites.iter().all(|s| s.len() == 2), "adaptive sampling is 2-D");
     let mut computer = DistPermComputer::new(sites.len());
-    let site_refs: Vec<&[f64]> = sites.iter().map(|s| s.as_slice()).collect();
+    let site_refs: Vec<&[f64]> = sites.iter().map(std::vec::Vec::as_slice).collect();
     let adapter = SliceMetric { inner: metric };
     let mut counter = PermutationCounter::new();
     let mut eval = |x: f64, y: f64, counter: &mut PermutationCounter| {

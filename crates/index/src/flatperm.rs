@@ -423,7 +423,7 @@ mod tests {
         let nested = random_points(600, 3, 41);
         let flat = VectorSet::from_nested(&nested);
         let site_ids: Vec<usize> = vec![17, 3, 99, 250, 4, 511];
-        let generic = DistPermIndex::build_with_sites(L2, nested.clone(), site_ids.clone());
+        let generic = DistPermIndex::build_with_sites(L2, nested, site_ids.clone());
         let flat_idx = FlatDistPermIndex::build_with_sites(L2, flat, site_ids, 4);
         assert_eq!(flat_idx.permutations(), generic.permutations());
         assert_eq!(flat_idx.distinct_permutations(), generic.distinct_permutations());

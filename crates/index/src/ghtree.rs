@@ -121,7 +121,7 @@ impl<P, M: Metric<P>> GhTree<P, M> {
                     (*right, *left, (daf - dbf) / 2.0)
                 };
                 self.knn_node(first, query, heap, evals);
-                let tau = heap.bound().map_or(f64::INFINITY, |t| t.to_f64());
+                let tau = heap.bound().map_or(f64::INFINITY, dp_metric::Distance::to_f64);
                 if margin <= tau {
                     self.knn_node(second, query, heap, evals);
                 }

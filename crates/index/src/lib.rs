@@ -77,6 +77,8 @@
 //! remains for instrumenting *build* costs; query costs ride in
 //! [`QueryStats`].
 
+#![forbid(unsafe_code)]
+
 pub mod aesa;
 pub mod api;
 pub mod bktree;

@@ -176,8 +176,13 @@ where
                 })
             })
             .collect();
+        // dplint: allow(panic-boundary, reason = "query_batch_parallel is the
+        // documented strict engine: a query panic propagates to the caller,
+        // exactly like the sequential path; serve_resilient is the isolated one")
         handles.into_iter().flat_map(|h| h.join().expect("serving worker panicked")).collect()
     })
+    // dplint: allow(panic-boundary, reason = "same strict-engine contract: the
+    // scope Err re-raises a worker panic the join above already surfaced")
     .expect("serving scope failed")
 }
 
@@ -279,7 +284,7 @@ mod tests {
     #[test]
     fn range_requests_match_linear_scan() {
         let pts = random_points(200, 2, 3);
-        let scan = LinearScan::new(L2, pts.clone());
+        let scan = LinearScan::new(L2, pts);
         let queries = random_points(11, 2, 4);
         let radius = F64Dist::new(0.3);
         let out = query_batch_parallel(&scan, &queries, Request::Range { radius }, 4);

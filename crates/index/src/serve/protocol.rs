@@ -210,7 +210,11 @@ impl LineParser {
             return Ok(Frame::Blank);
         }
         let mut tokens = line.split_ascii_whitespace();
-        let verb = tokens.next().expect("non-empty line has a first token");
+        // Total even if the emptiness check above ever drifts: no first
+        // token is just a blank line.
+        let Some(verb) = tokens.next() else {
+            return Ok(Frame::Blank);
+        };
         match verb {
             "begin" => self.parse_begin(tokens),
             "knn" => {

@@ -41,7 +41,7 @@ use dp_metric::F64Dist;
 use std::borrow::Borrow;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, Write};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Serving-loop policy: worker pool, admission bounds, and degradation
@@ -162,10 +162,19 @@ impl Admission {
         }
     }
 
+    /// Locks the admission state, recovering from poisoning: the state
+    /// is a plain queue + counter, mutated only by non-panicking pushes
+    /// and pops, so it is consistent even if a holder ever panicked —
+    /// and a session that keeps serving beats one that dies on a
+    /// bookkeeping lock.
+    fn state(&self) -> MutexGuard<'_, AdmissionState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Admits `batch` unless the queue is at `capacity`; returns whether
     /// it was admitted (shedding is the caller's move).
     fn offer_batch(&self, capacity: usize, mut batch: Box<PendingBatch>) -> bool {
-        let mut st = self.state.lock().expect("admission lock");
+        let mut st = self.state();
         if st.admitted >= capacity.max(1) {
             return false;
         }
@@ -179,26 +188,27 @@ impl Admission {
 
     /// Enqueues a control event (never shed, never counted).
     fn push_event(&self, event: Event) {
-        let mut st = self.state.lock().expect("admission lock");
+        let mut st = self.state();
         st.queue.push_back(event);
         self.ready.notify_one();
     }
 
     /// Blocks until an event is available and pops it.
     fn next(&self) -> Event {
-        let mut st = self.state.lock().expect("admission lock");
+        let mut st = self.state();
         loop {
             if let Some(event) = st.queue.pop_front() {
                 return event;
             }
-            st = self.ready.wait(st).expect("admission wait");
+            // Condvar::wait re-acquires the same lock; recover from
+            // poisoning for the same reason as `state()`.
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Releases one admission slot after a batch is served.
     fn batch_done(&self) {
-        let mut st = self.state.lock().expect("admission lock");
-        st.admitted -= 1;
+        self.state().admitted -= 1;
     }
 }
 
@@ -296,6 +306,8 @@ fn read_input<R: BufRead>(
                 });
             }
             (Ok(Frame::End), slot @ Some(_)) => {
+                // dplint: allow(panic-boundary, reason = "the arm pattern just matched
+                // Some on this very slot; take() observing None is unreachable")
                 let batch = slot.take().expect("matched Some");
                 if batch.query_lines > config.max_batch {
                     admission.push_event(Event::Shed {
@@ -368,6 +380,10 @@ where
         scope.spawn(|_| read_input(input, &parser, config, &admission));
         serve_events(index, out, config, faults, &admission)
     })
+    // dplint: allow(panic-boundary, reason = "scope Err means the reader thread
+    // itself panicked; it runs only the total parser and lock-free pushes, and
+    // with the reader gone no reply stream can be produced — nothing to serve
+    // around")
     .expect("serve session scope failed")
 }
 

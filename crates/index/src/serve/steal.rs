@@ -72,6 +72,9 @@ impl BatchOptions {
     /// # Panics
     /// Panics if `frac` is outside `[0, 1]`.
     pub fn degrade(mut self, frac: f64) -> Self {
+        // dplint: allow(panic-boundary, reason = "documented precondition on the
+        // operator-facing builder, caught at configuration time — never reachable
+        // from query traffic, which min-clamps frac in the protocol layer")
         assert!((0.0..=1.0).contains(&frac), "degrade frac must be in [0,1], got {frac}");
         self.degrade_frac = frac;
         self
@@ -173,6 +176,11 @@ where
     let work = |out: &mut Vec<(usize, Outcome<I::Dist>)>| {
         let mut searcher = index.searcher();
         loop {
+            // ordering: Relaxed suffices — the cursor only partitions indices
+            // into disjoint claims (fetch_add is atomic at every ordering);
+            // no other memory is published through it.  Results flow through
+            // the collector mutex and the scope join below, which provide
+            // all the happens-before edges the merge needs.
             let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
             if lo >= n {
                 break;
@@ -197,6 +205,10 @@ where
                     scope.spawn(|_| {
                         let mut local = Vec::new();
                         work(&mut local);
+                        // dplint: allow(panic-boundary, reason = "poison here means a
+                        // sibling worker died outside query isolation, which the join
+                        // below already escalates; recovering would merge a batch with
+                        // silently missing outcomes instead")
                         collected.lock().expect("collector lock").extend(local);
                     })
                 })
@@ -205,14 +217,22 @@ where
                 // Query panics are caught inside the worker; a join
                 // failure means the *index* could not produce a session,
                 // which nothing downstream could serve around.
+                // dplint: allow(panic-boundary, reason = "join Err means
+                // index.searcher() itself panicked — no session can exist, so
+                // per-query isolation has nothing left to contain")
                 h.join().expect("serving worker died outside query isolation");
             }
         })
+        // dplint: allow(panic-boundary, reason = "scope Err repeats the join
+        // escalation above: a worker died before reaching query isolation")
         .expect("serving scope failed");
     }
 
     tagged.sort_unstable_by_key(|&(i, _)| i);
     debug_assert!(tagged.iter().enumerate().all(|(pos, &(i, _))| pos == i));
+    // dplint: allow(panic-boundary, reason = "totality guard: the engine's own
+    // contract is one outcome per query — a miscount is a bug in this function,
+    // not servable input, and must not reach clients as a silent short batch")
     assert_eq!(tagged.len(), n, "every query must produce exactly one outcome");
     let outcomes = tagged.into_iter().map(|(_, o)| o).collect();
     BatchReport { outcomes, elapsed: start.elapsed() }
@@ -245,7 +265,12 @@ where
     match report.ok_responses() {
         Some(responses) => responses,
         None => {
+            // dplint: allow(panic-boundary, reason = "query_batch_stealing is the
+            // documented non-isolated wrapper: its contract is to re-raise the
+            // first query panic, exactly like query_batch_parallel")
             let first = report.outcomes.iter().find_map(Outcome::error).expect("a failed query");
+            // dplint: allow(panic-boundary, reason = "same contract: re-raise the
+            // first query panic for the non-isolated wrapper")
             panic!("{first}")
         }
     }
@@ -370,7 +395,7 @@ mod tests {
     #[test]
     fn heterogeneous_requests_serve_per_query() {
         let pts = random_points(150, 2, 8);
-        let idx = DistPermIndex::build(L2, pts.clone(), 5, PivotSelection::MaxMin);
+        let idx = DistPermIndex::build(L2, pts, 5, PivotSelection::MaxMin);
         let queries = random_points(6, 2, 9);
         let requests: Vec<ServeRequest<_>> = (0..queries.len())
             .map(|i| {

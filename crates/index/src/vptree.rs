@@ -123,7 +123,7 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 let (first, second) =
                     if df <= *mu { (*inside, *outside) } else { (*outside, *inside) };
                 self.knn_node(first, query, heap, evals);
-                let tau = heap.bound().map_or(f64::INFINITY, |b| b.to_f64());
+                let tau = heap.bound().map_or(f64::INFINITY, dp_metric::Distance::to_f64);
                 let second_viable =
                     if second == *inside { df - tau <= *mu } else { df + tau > *mu };
                 if second_viable {

@@ -23,6 +23,8 @@
 //! wrapped in [`F64Dist`], which imposes the IEEE total order after
 //! normalising `-0.0` and rejecting NaN.
 
+#![forbid(unsafe_code)]
+
 pub mod axioms;
 pub mod batch;
 pub mod dist;

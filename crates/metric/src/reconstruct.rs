@@ -50,8 +50,7 @@ impl std::fmt::Display for ReconstructError {
             ReconstructError::Empty => write!(f, "no points to reconstruct from"),
             ReconstructError::NotATreeMetric { i, j, expected_doubled, actual_doubled } => write!(
                 f,
-                "not a tree metric: d({i},{j}) = {}/2 but the tree realises {}/2",
-                expected_doubled, actual_doubled
+                "not a tree metric: d({i},{j}) = {expected_doubled}/2 but the tree realises {actual_doubled}/2"
             ),
             ReconstructError::NotAMetric => write!(f, "input is not a metric"),
         }

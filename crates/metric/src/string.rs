@@ -194,8 +194,8 @@ mod tests {
         let a = String::from("kitten");
         let b = String::from("sitting");
         assert_eq!(Metric::<String>::distance(&Levenshtein, &a, &b), 3);
-        let av = a.clone().into_bytes();
-        let bv = b.clone().into_bytes();
+        let av = a.into_bytes();
+        let bv = b.into_bytes();
         assert_eq!(Metric::<Vec<u8>>::distance(&Levenshtein, &av, &bv), 3);
     }
 

@@ -106,7 +106,7 @@ impl PermutationCounter {
     /// is compared); mixed or longer lengths fall back to a comparison
     /// sort with identical output.
     pub fn sorted_counts(&self) -> Vec<(Permutation, u64)> {
-        let uniform_k = self.counts.keys().next().map(|p| p.len()).filter(|&k| {
+        let uniform_k = self.counts.keys().next().map(super::perm::Permutation::len).filter(|&k| {
             k <= crate::compute::PACKED_MAX_K && self.counts.keys().all(|p| p.len() == k)
         });
         if let Some(k) = uniform_k {

@@ -27,6 +27,8 @@
 use crate::counter::{
     count_sorted_runs, decode_packed, group_reverse, pack_perm, PackedCountSummary,
 };
+// dplint: allow(hot-path-hash, reason = generic-path interner for arbitrary k; the
+// flat hot path uses FlatCodebook/PackedCodebook which never touch a hash table)
 use crate::fxhash::FxHashMap;
 use crate::perm::{Permutation, PermutationError};
 use crate::radix::RadixSorter;
@@ -96,6 +98,8 @@ pub fn unpack(bytes: &[u8], k: usize) -> Result<Permutation, PermutationError> {
 /// database scan with `collect()` (it implements `FromIterator`).
 #[derive(Debug, Clone, Default)]
 pub struct Codebook {
+    // dplint: allow(hot-path-hash, reason = legacy generic interner kept for
+    // arbitrary-k correctness checks; flat kernels intern via radix-built tables)
     to_id: FxHashMap<Permutation, u32>,
     from_id: Vec<Permutation>,
 }

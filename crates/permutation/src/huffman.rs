@@ -28,19 +28,20 @@ use crate::radix::RadixSorter;
 /// Zero-frequency symbols contribute nothing; an empty or all-zero table
 /// has entropy 0.
 pub fn entropy_bits(freqs: &[u64]) -> f64 {
-    let total: u64 = freqs.iter().sum();
+    let total = freqs.iter().sum::<u64>();
     if total == 0 {
         return 0.0;
     }
     let total_f = total as f64;
-    freqs
-        .iter()
-        .filter(|&&f| f > 0)
-        .map(|&f| {
-            let p = f as f64 / total_f;
-            -p * p.log2()
-        })
-        .sum()
+    // Explicit sequential accumulation: the entropy sum is part of the
+    // survey's bit-identity contract, so its order is spelled out in the
+    // source rather than left to an iterator reduction.
+    let mut bits = 0.0f64;
+    for &f in freqs.iter().filter(|&&f| f > 0) {
+        let p = f as f64 / total_f;
+        bits += -p * p.log2();
+    }
+    bits
 }
 
 /// A canonical Huffman code over symbols `0..n`.
@@ -148,12 +149,9 @@ impl HuffmanCode {
         let mut code: u64 = 0;
         let mut len = 0u8;
         loop {
-            let bit = match r.read_bit() {
-                Some(b) => b,
-                None => {
-                    assert!(len == 0, "truncated Huffman stream");
-                    return None;
-                }
+            let Some(bit) = r.read_bit() else {
+                assert!(len == 0, "truncated Huffman stream");
+                return None;
             };
             code = (code << 1) | u64::from(bit);
             len += 1;
@@ -173,12 +171,12 @@ impl HuffmanCode {
             .enumerate()
             .filter(|&(_, &f)| f > 0)
             .map(|(s, &f)| f * u64::from(self.length(s as u32).expect("frequency without code")))
-            .sum()
+            .sum::<u64>()
     }
 
     /// Mean bits per symbol under the given frequencies.
     pub fn mean_bits(&self, freqs: &[u64]) -> f64 {
-        let total: u64 = freqs.iter().sum();
+        let total = freqs.iter().sum::<u64>();
         if total == 0 {
             0.0
         } else {

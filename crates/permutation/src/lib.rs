@@ -45,6 +45,8 @@
 //! * [`fxhash`] — a local FxHash-style hasher for the generic
 //!   (arbitrary-k, arbitrary-point) counting path.
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
 pub mod compute;
 pub mod counter;

@@ -32,7 +32,7 @@ pub fn spearman_footrule(a: &Permutation, b: &Permutation) -> u64 {
     check_same_len(a, b);
     let ia = a.inverse();
     let ib = b.inverse();
-    ia.as_slice().iter().zip(ib.as_slice()).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum()
+    ia.as_slice().iter().zip(ib.as_slice()).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum::<u64>()
 }
 
 /// Sum of squared rank displacements (the Spearman-rho statistic without
@@ -48,7 +48,7 @@ pub fn spearman_rho_sq(a: &Permutation, b: &Permutation) -> u64 {
             let d = u64::from(x.abs_diff(y));
             d * d
         })
-        .sum()
+        .sum::<u64>()
 }
 
 /// Kendall tau: number of pairs ordered differently by the two

@@ -114,7 +114,8 @@ impl PrefixPermutation {
 
 impl fmt::Display for PrefixPermutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> = self.as_slice().iter().map(|e| e.to_string()).collect();
+        let parts: Vec<String> =
+            self.as_slice().iter().map(std::string::ToString::to_string).collect();
         write!(f, "[{}…/{}]", parts.join(","), self.k)
     }
 }

@@ -54,7 +54,7 @@ where
     assert!((2..=8).contains(&k), "enumerating k! witnesses is intended for 2 <= k <= 8");
     let sites = theorem6_sites(k, eps);
     let mut computer = DistPermComputer::new(k);
-    let site_slices: Vec<&[f64]> = sites.iter().map(|s| s.as_slice()).collect();
+    let site_slices: Vec<&[f64]> = sites.iter().map(std::vec::Vec::as_slice).collect();
 
     let mut out = Vec::new();
     for target in Permutation::all(k) {

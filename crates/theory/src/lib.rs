@@ -23,6 +23,8 @@
 //!   prefixes): combinatorial falling-factorial bounds meeting the
 //!   geometric N_{d,2}(k) ceiling.
 
+#![forbid(unsafe_code)]
+
 pub mod bignum;
 pub mod bounds;
 pub mod cake;

@@ -38,7 +38,7 @@ fn main() {
     // LAESA for comparison.
     let laesa = Laesa::build(Levenshtein, words.clone(), k, PivotSelection::MaxMin);
     // iAESA (exact, matrix-backed, permutation-ordered).
-    let iaesa = IAesa::build(Levenshtein, words.clone(), k, PivotSelection::MaxMin);
+    let iaesa = IAesa::build(Levenshtein, words, k, PivotSelection::MaxMin);
 
     // One reusable searcher session per index — the serving shape.
     let mut dp_session = dp.searcher();

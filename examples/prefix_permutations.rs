@@ -48,7 +48,7 @@ fn main() {
     }
     // The full-length column for comparison (l = k = 12 > 8 prefix-count
     // cap, so report it separately).
-    let idx = PrefixPermIndex::build(L2, db.clone(), k, k, PivotSelection::MaxMin);
+    let idx = PrefixPermIndex::build(L2, db, k, k, PivotSelection::MaxMin);
     let hits = queries
         .iter()
         .zip(&truth)

@@ -62,7 +62,7 @@ fn main() {
     println!("  raw positional     k⌈log2 k⌉ : {:>8}", raw.bits_per_element());
     println!("  codebook ids       ⌈log2 N⌉  : {:>8}", packed.bits_per_element());
     println!("  huffman (mean)               : {:>11.2}", huff.mean_bits());
-    println!("  entropy floor                : {:>11.2}", h);
+    println!("  entropy floor                : {h:>11.2}");
 
     println!("\ntotal heap bytes (column + tables):");
     println!("  raw positional : {:>12}", raw.heap_bytes());

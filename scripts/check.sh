@@ -9,6 +9,12 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --check
 
+# dplint runs before clippy so workspace-invariant findings (bit-identity
+# float rules, panic boundary, atomic-ordering proofs, offline-dep audit,
+# bench citations) surface ahead of generic lint noise.
+echo "== dplint (workspace invariant linter)"
+cargo run -q -p dp-analyze --bin dplint
+
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -68,23 +74,9 @@ echo "$SERVE_OUT" | grep -q '^bye batches=1 queries=2 shed=0 errors=0' || {
     exit 1
 }
 
-# Every BENCH_*.json the ROADMAP cites must exist and parse as JSON
-# lines — a stale rename once broke a baseline reference silently.
-echo "== ROADMAP bench baselines exist and parse"
-command -v jq > /dev/null || {
-    echo "jq is required to validate bench baselines" >&2
-    exit 1
-}
-for f in $(grep -o 'BENCH_[A-Za-z0-9_]*\.json' ROADMAP.md | sort -u); do
-    if [[ ! -f "$f" ]]; then
-        echo "missing bench baseline: $f (referenced in ROADMAP.md)" >&2
-        exit 1
-    fi
-    if ! jq -e . "$f" > /dev/null 2>&1; then
-        echo "bench baseline $f is not valid JSON lines" >&2
-        exit 1
-    fi
-done
+# ROADMAP bench-baseline validation (formerly a bash/jq loop here) now
+# lives in dplint's bench-citations pass, which runs above with real
+# file:line:col diagnostics and no jq dependency.
 
 echo "== cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -52,6 +52,8 @@
 //! assert_eq!(max, 46);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dp_core as core;
 pub use dp_datasets as datasets;
 pub use dp_geometry as geometry;

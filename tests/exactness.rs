@@ -81,7 +81,7 @@ fn table3_d1_row_is_exact_for_every_metric() {
     // every cell: mean == max == C(k,2)+1 with a 4000-point database.
     for metric in MetricKind::ALL {
         let e = uniform_experiment(1, metric, 4, 4_000, 3, 99, 3);
-        assert_eq!(e.max as u128, tree_bound(4), "{:?}", metric);
+        assert_eq!(e.max as u128, tree_bound(4), "{metric:?}");
     }
 }
 

@@ -143,8 +143,8 @@ proptest! {
             prop_assert_eq!(&par, &nested, "threads = {}", threads);
         }
 
-        let db_set = VectorSet::from_raw(dim, db.clone());
-        let sites_set = VectorSet::from_raw(dim, site_rows.clone());
+        let db_set = VectorSet::from_raw(dim, db);
+        let sites_set = VectorSet::from_raw(dim, site_rows);
         let nested_count = count_permutations(&L2Squared, &nested_sites, &nested_db);
         prop_assert_eq!(&count_permutations_flat(&L2Squared, &sites_set, &db_set), &nested_count);
         for threads in [1usize, 2, 4] {
@@ -266,7 +266,7 @@ fn zero_dim_sites_with_nonempty_database_panic_loudly() {
     let msg = err
         .downcast_ref::<String>()
         .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .or_else(|| err.downcast_ref::<&str>().map(std::string::ToString::to_string))
         .unwrap_or_default();
     assert!(msg.contains("dim 0"), "panic message should name the dim-0 contract: {msg}");
 }

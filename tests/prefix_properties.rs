@@ -52,11 +52,9 @@ fn counts_respect_both_theory_ceilings() {
 fn chain_is_monotone_under_every_lp_metric() {
     let (db, sites) = setup(2, 8_000, 6, 23);
     let l2_chain = refinement_chain(&L2, &sites, &db, 6);
-    for chain in [
-        refinement_chain(&L1, &sites, &db, 6),
-        l2_chain.clone(),
-        refinement_chain(&LInf, &sites, &db, 6),
-    ] {
+    for chain in
+        [refinement_chain(&L1, &sites, &db, 6), l2_chain, refinement_chain(&LInf, &sites, &db, 6)]
+    {
         for w in chain.windows(2) {
             assert!(w[0] <= w[1], "refinement must not merge cells: {chain:?}");
         }

@@ -179,7 +179,7 @@ proptest! {
                 match (a, b) {
                     (Outcome::Ok(x), Outcome::Ok(y)) => prop_assert_eq!(x, y),
                     (Outcome::Failed(x), Outcome::Failed(y)) => {
-                        prop_assert_eq!(x.index, y.index)
+                        prop_assert_eq!(x.index, y.index);
                     }
                     other => panic!("chunk {chunk} changed an outcome: {other:?}"),
                 }
