@@ -54,9 +54,12 @@ pub const HOT_PATH_HASH_SCOPE: &[&str] = &[
     "crates/core/src/survey_flat.rs",
 ];
 
-/// The serving subsystem: total by contract — only the isolation
-/// boundary may panic.
-pub const PANIC_BOUNDARY_SCOPE: &str = "crates/index/src/serve/";
+/// Total-by-contract subsystems — only the isolation boundary may
+/// panic: the serving subsystem (a panicking worker would take the
+/// session down) and the store I/O layer (the reader must turn hostile
+/// bytes into typed `StoreError`s, never a panic; the writer shares the
+/// modules).
+pub const PANIC_BOUNDARY_SCOPES: &[&str] = &["crates/index/src/serve/", "crates/store/src/"];
 
 /// The one file inside the serve scope allowed to panic (it is the
 /// `catch_unwind` boundary and the test-only fault injector).
@@ -83,7 +86,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
         if in_scope(file, HOT_PATH_HASH_SCOPE) {
             hot_path_hash::check(file, &mut out);
         }
-        if file.rel_path.starts_with(PANIC_BOUNDARY_SCOPE)
+        if PANIC_BOUNDARY_SCOPES.iter().any(|scope| file.rel_path.starts_with(scope))
             && !PANIC_BOUNDARY_EXEMPT.contains(&file.rel_path.as_str())
         {
             panic_boundary::check(file, &mut out);

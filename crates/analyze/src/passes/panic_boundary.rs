@@ -1,13 +1,18 @@
-//! `panic-boundary` — the serving subsystem is total.
+//! `panic-boundary` — the total-by-contract subsystems stay total.
 //!
-//! `distperm serve` promises that input garbage, query panics, and
-//! overload all stay inside the session as reply lines; the only place
-//! allowed to panic is the isolation boundary itself (`isolate.rs`,
-//! which owns `catch_unwind` and the test-only fault injector).
-//! Everywhere else under `crates/index/src/serve/`, panicking
+//! Two subsystems promise totality.  `distperm serve` promises that
+//! input garbage, query panics, and overload all stay inside the
+//! session as reply lines; the only place allowed to panic is the
+//! isolation boundary itself (`isolate.rs`, which owns `catch_unwind`
+//! and the test-only fault injector).  The `dp-store` I/O layer
+//! promises that hostile bytes — truncation anywhere, corruption at any
+//! offset — surface as typed `StoreError`s, never as a panic
+//! (`tests/store_robustness.rs` pins that dynamically).  In both scopes
+//! (`crates/index/src/serve/`, `crates/store/src/`), panicking
 //! constructs outside `#[cfg(test)]` are findings: each must be
-//! rewritten total (poison recovery, `let … else`) or carry a waiver
-//! arguing why the crash is genuinely unreachable or unservable.
+//! rewritten total (poison recovery, `let … else`, bounds-checked
+//! reads) or carry a waiver arguing why the crash is genuinely
+//! unreachable or unservable.
 
 use crate::source::{Diagnostic, SourceFile};
 
@@ -31,10 +36,10 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 tok,
                 true,
                 format!(
-                    "`{call}` inside the serve subsystem; the serving loop is total — only \
-                     isolate.rs may panic.  Recover (e.g. `unwrap_or_else(PoisonError::\
-                     into_inner)`, `let … else`) or waive with a reason proving the crash \
-                     is unreachable or unservable"
+                    "`{call}` inside a total-by-contract subsystem (serve loop / store I/O); \
+                     only isolate.rs may panic.  Recover (e.g. `unwrap_or_else(PoisonError::\
+                     into_inner)`, `let … else`, bounds-checked reads) or waive with a reason \
+                     proving the crash is unreachable or unservable"
                 ),
                 out,
             );

@@ -8,6 +8,12 @@
 //! out over scoped worker threads — one searcher session per worker,
 //! deterministic output order.  Every answer carries its native
 //! metric-evaluation count, which the summary aggregates.
+//!
+//! `--load <store>` replaces the build: the index (database, metric and
+//! all) comes out of a `dp-store` container written by `distperm build`,
+//! and because loading is bit-exact the answers are identical to
+//! building in-process.  `--load` excludes `--vectors`, `--strings`,
+//! `--metric` and `--index` — the store already records all of them.
 
 use crate::args::ParsedArgs;
 use crate::data::{self, Database, StringMetricSpec, VectorMetricSpec};
@@ -23,8 +29,10 @@ use dp_index::{
 use dp_metric::{
     Distance, F64Dist, Hamming, LInf, Levenshtein, Lp, Metric, PrefixDistance, L1, L2,
 };
+use dp_store::StoredIndex;
 use std::borrow::Borrow;
 use std::io::Write;
+use std::path::Path;
 use std::time::Instant;
 
 /// What the batch asks of every query.
@@ -34,7 +42,6 @@ enum Mode {
 }
 
 struct SearchOptions {
-    spec: IndexSpec,
     mode: Mode,
     frac: f64,
     threads: usize,
@@ -42,8 +49,6 @@ struct SearchOptions {
 }
 
 fn parse_options(parsed: &ParsedArgs) -> Result<SearchOptions, CliError> {
-    let spec = IndexSpec::parse(parsed.require_str("index")?)
-        .map_err(|e| CliError::usage(e.to_string()))?;
     let radius = parsed.str_opt("radius").map(str::to_string);
     let knn = parsed.str_opt("knn").map(str::to_string);
     let mode = match (knn, radius) {
@@ -73,11 +78,16 @@ fn parse_options(parsed: &ParsedArgs) -> Result<SearchOptions, CliError> {
         return Err(CliError::usage(format!("--frac must be in [0,1], got {frac}")));
     }
     let threads = parsed.threads_or(4)?;
-    Ok(SearchOptions { spec, mode, frac, threads, quiet: parsed.flag("quiet") })
+    Ok(SearchOptions { mode, frac, threads, quiet: parsed.flag("quiet") })
 }
 
 /// Runs `distperm search`.
 pub fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    if parsed.str_opt("load").is_some() {
+        return run_loaded(parsed, out);
+    }
+    let spec = IndexSpec::parse(parsed.require_str("index")?)
+        .map_err(|e| CliError::usage(e.to_string()))?;
     let db = data::load(parsed)?;
     let queries_path = parsed.require_str("queries")?.to_string();
     let options = parse_options(parsed)?;
@@ -85,19 +95,14 @@ pub fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
     match db {
         Database::Vectors { dim, data, metric } => {
-            let queries = sisap_io::read_vectors_file_flat(&queries_path)
-                .map_err(|e| CliError::data(format!("{queries_path}: {e}")))?;
-            if queries.dim() != dim {
-                return Err(CliError::data(format!(
-                    "query dimension {} disagrees with database dimension {dim}",
-                    queries.dim()
-                )));
-            }
+            let queries = read_queries(&queries_path, dim)?;
             match metric {
-                VectorMetricSpec::L1 => serve_vectors(L1, data, queries, &options, out),
-                VectorMetricSpec::L2 => serve_vectors(L2, data, queries, &options, out),
-                VectorMetricSpec::LInf => serve_vectors(LInf, data, queries, &options, out),
-                VectorMetricSpec::Lp(p) => serve_vectors(Lp::new(p), data, queries, &options, out),
+                VectorMetricSpec::L1 => serve_vectors(L1, spec, data, queries, &options, out),
+                VectorMetricSpec::L2 => serve_vectors(L2, spec, data, queries, &options, out),
+                VectorMetricSpec::LInf => serve_vectors(LInf, spec, data, queries, &options, out),
+                VectorMetricSpec::Lp(p) => {
+                    serve_vectors(Lp::new(p), spec, data, queries, &options, out)
+                }
             }
         }
         Database::Strings { data, metric } => {
@@ -105,15 +110,73 @@ pub fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
                 .map_err(|e| CliError::data(format!("{queries_path}: {e}")))?;
             match metric {
                 StringMetricSpec::Levenshtein => {
-                    serve_strings(Levenshtein, data, queries, &options, out)
+                    serve_strings(Levenshtein, spec, data, queries, &options, out)
                 }
-                StringMetricSpec::Hamming => serve_strings(Hamming, data, queries, &options, out),
+                StringMetricSpec::Hamming => {
+                    serve_strings(Hamming, spec, data, queries, &options, out)
+                }
                 StringMetricSpec::Prefix => {
-                    serve_strings(PrefixDistance, data, queries, &options, out)
+                    serve_strings(PrefixDistance, spec, data, queries, &options, out)
                 }
             }
         }
     }
+}
+
+/// The `--load` fast path: everything but the queries comes from the
+/// store, so the conflicting build-path options are usage errors.
+fn run_loaded(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let store_path = parsed.require_str("load")?.to_string();
+    for conflicting in ["vectors", "strings", "metric", "index"] {
+        if parsed.str_opt(conflicting).is_some() {
+            return Err(CliError::usage(format!(
+                "--load reads the database, metric and index from the store; drop --{conflicting}"
+            )));
+        }
+    }
+    let queries_path = parsed.require_str("queries")?.to_string();
+    let options = parse_options(parsed)?;
+    parsed.finish()?;
+
+    let load_start = Instant::now();
+    let stored = dp_store::load_store(Path::new(&store_path))
+        .map_err(|e| CliError::data(format!("{store_path}: {e}")))?;
+    let queries = read_queries(&queries_path, stored.dim())?;
+    let name = stored.spec_name();
+    match stored {
+        StoredIndex::L1(index) => serve_loaded(&index, &name, queries, &options, load_start, out),
+        StoredIndex::L2(index) => serve_loaded(&index, &name, queries, &options, load_start, out),
+        StoredIndex::L2Squared(index) => {
+            serve_loaded(&index, &name, queries, &options, load_start, out)
+        }
+        StoredIndex::LInf(index) => serve_loaded(&index, &name, queries, &options, load_start, out),
+        StoredIndex::Lp(index) => serve_loaded(&index, &name, queries, &options, load_start, out),
+    }
+}
+
+fn read_queries(queries_path: &str, dim: usize) -> Result<VectorSet, CliError> {
+    let queries = sisap_io::read_vectors_file_flat(queries_path)
+        .map_err(|e| CliError::data(format!("{queries_path}: {e}")))?;
+    if queries.dim() != dim {
+        return Err(CliError::data(format!(
+            "query dimension {} disagrees with database dimension {dim}",
+            queries.dim()
+        )));
+    }
+    Ok(queries)
+}
+
+fn serve_loaded<M: dp_metric::BatchDistance + Sync>(
+    index: &FlatDistPermIndex<M>,
+    name: &str,
+    queries: VectorSet,
+    options: &SearchOptions,
+    load_start: Instant,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let request = request_for(&options.mode, options.frac, |r| Ok(F64Dist::new(r)))?;
+    let rows: Vec<&[f64]> = queries.rows().collect();
+    serve_batch::<[f64], _, _>(index, &rows, request, name, true, options, load_start, out)
 }
 
 fn request_for<D: Distance>(
@@ -129,6 +192,7 @@ fn request_for<D: Distance>(
 
 fn serve_vectors<M>(
     metric: M,
+    spec: IndexSpec,
     data: VectorSet,
     queries: VectorSet,
     options: &SearchOptions,
@@ -138,13 +202,14 @@ where
     M: Metric<Vec<f64>, Dist = F64Dist> + dp_metric::BatchDistance + Copy + Sync,
 {
     let request = request_for(&options.mode, options.frac, |r| Ok(F64Dist::new(r)))?;
-    if let IndexSpec::FlatDistPerm { k } = options.spec {
+    let name = spec.name();
+    let budget = spec.supports_budget();
+    if let IndexSpec::FlatDistPerm { k } = spec {
         // Same graceful pivot-count check AnyIndex::build performs for
         // every other spec — a usage error, not a library panic.
         if k > data.len() {
             return Err(CliError::usage(format!(
-                "index spec `{}` asks for {k} pivots from {} points",
-                options.spec.name(),
+                "index spec `{name}` asks for {k} pivots from {} points",
                 data.len()
             )));
         }
@@ -152,17 +217,27 @@ where
         let index =
             FlatDistPermIndex::build(metric, data, k, PivotSelection::MaxMin, options.threads);
         let rows: Vec<&[f64]> = queries.rows().collect();
-        return serve_batch::<[f64], _, _>(&index, &rows, request, options, build_start, out);
+        return serve_batch::<[f64], _, _>(
+            &index,
+            &rows,
+            request,
+            &name,
+            budget,
+            options,
+            build_start,
+            out,
+        );
     }
     let build_start = Instant::now();
-    let index = AnyIndex::build(options.spec, metric, data.to_nested(), PivotSelection::MaxMin)
+    let index = AnyIndex::build(spec, metric, data.to_nested(), PivotSelection::MaxMin)
         .map_err(|e| CliError::usage(e.to_string()))?;
     let nested = queries.to_nested();
-    serve_batch(&index, &nested, request, options, build_start, out)
+    serve_batch(&index, &nested, request, &name, budget, options, build_start, out)
 }
 
 fn serve_strings<M>(
     metric: M,
+    spec: IndexSpec,
     data: Vec<String>,
     queries: Vec<String>,
     options: &SearchOptions,
@@ -180,7 +255,9 @@ where
         Ok(r as u32)
     };
     let request = request_for(&options.mode, options.frac, int_radius)?;
-    if options.spec == IndexSpec::BkTree {
+    let name = spec.name();
+    let budget = spec.supports_budget();
+    if spec == IndexSpec::BkTree {
         let build_start = Instant::now();
         let index = BkTree::build(metric, data);
         // The BK-tree is exact-only: serve through the exact request.
@@ -188,18 +265,30 @@ where
             ApproxRequest::Knn { k, .. } => Request::Knn { k },
             ApproxRequest::Range { radius, .. } => Request::Range { radius },
         };
-        return serve_batch_exact(&index, &queries, exact, options, build_start, out);
+        return serve_batch_exact(
+            &index,
+            &queries,
+            exact,
+            &name,
+            budget,
+            options,
+            build_start,
+            out,
+        );
     }
     let build_start = Instant::now();
-    let index = AnyIndex::build(options.spec, metric, data, PivotSelection::MaxMin)
+    let index = AnyIndex::build(spec, metric, data, PivotSelection::MaxMin)
         .map_err(|e| CliError::usage(e.to_string()))?;
-    serve_batch(&index, &queries, request, options, build_start, out)
+    serve_batch(&index, &queries, request, &name, budget, options, build_start, out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_batch<'i, P, Q, I>(
     index: &'i I,
     queries: &[Q],
     request: ApproxRequest<I::Dist>,
+    name: &str,
+    supports_budget: bool,
     options: &SearchOptions,
     build_start: Instant,
     out: &mut dyn Write,
@@ -211,7 +300,7 @@ where
     I::Searcher<'i>: ApproxSearcher<P>,
 {
     let build_secs = build_start.elapsed().as_secs_f64();
-    write_header(out, options, index.size(), queries.len())?;
+    write_header(out, name, supports_budget, options, index.size(), queries.len())?;
     let serve_start = Instant::now();
     let responses = query_batch_parallel_approx(index, queries, request, options.threads);
     let serve_secs = serve_start.elapsed().as_secs_f64();
@@ -219,10 +308,13 @@ where
 }
 
 /// Exact-only serving (the BK-tree path, which has no budget surface).
+#[allow(clippy::too_many_arguments)]
 fn serve_batch_exact<P, Q, I>(
     index: &I,
     queries: &[Q],
     request: Request<I::Dist>,
+    name: &str,
+    supports_budget: bool,
     options: &SearchOptions,
     build_start: Instant,
     out: &mut dyn Write,
@@ -233,7 +325,7 @@ where
     I: ProximityIndex<P>,
 {
     let build_secs = build_start.elapsed().as_secs_f64();
-    write_header(out, options, index.size(), queries.len())?;
+    write_header(out, name, supports_budget, options, index.size(), queries.len())?;
     let serve_start = Instant::now();
     let responses = query_batch_parallel(index, queries, request, options.threads);
     let serve_secs = serve_start.elapsed().as_secs_f64();
@@ -242,20 +334,19 @@ where
 
 fn write_header(
     out: &mut dyn Write,
+    name: &str,
+    supports_budget: bool,
     options: &SearchOptions,
     n: usize,
     queries: usize,
 ) -> Result<(), CliError> {
-    let spec = options.spec;
     writeln!(
         out,
-        "index {} over n = {n} ({queries} queries, {} threads, budget frac = {})",
-        spec.name(),
-        options.threads,
-        options.frac,
+        "index {name} over n = {n} ({queries} queries, {} threads, budget frac = {})",
+        options.threads, options.frac,
     )?;
-    if options.frac < 1.0 && !spec.supports_budget() {
-        writeln!(out, "note: `{}` is an exact index; --frac has no effect", spec.name())?;
+    if options.frac < 1.0 && !supports_budget {
+        writeln!(out, "note: `{name}` is an exact index; --frac has no effect")?;
     }
     Ok(())
 }

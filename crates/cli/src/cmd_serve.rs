@@ -26,20 +26,19 @@ use dp_index::serve::{serve_session, FaultPlan, SessionConfig, SessionSummary};
 use dp_index::{
     AnyIndex, ApproxSearcher, FlatDistPermIndex, IndexSpec, PivotSelection, ProximityIndex,
 };
-use dp_metric::{F64Dist, LInf, Lp, Metric, L1, L2};
+use dp_metric::{BatchDistance, F64Dist, LInf, Lp, Metric, L1, L2};
+use dp_store::StoredIndex;
 use std::borrow::Borrow;
 use std::io::{BufRead, Write};
+use std::path::Path;
 use std::time::Duration;
 
 struct ServeOptions {
-    spec: IndexSpec,
     config: SessionConfig,
     faults: FaultPlan,
 }
 
 fn parse_options(parsed: &ParsedArgs) -> Result<ServeOptions, CliError> {
-    let spec = IndexSpec::parse(parsed.require_str("index")?)
-        .map_err(|e| CliError::usage(e.to_string()))?;
     let threads = parsed.threads_or(2)?;
     let queue_capacity = parsed.usize_or("queue", 4)?;
     if queue_capacity == 0 {
@@ -70,7 +69,6 @@ fn parse_options(parsed: &ParsedArgs) -> Result<ServeOptions, CliError> {
     }
     let faults = FaultPlan::none().panic_on_all(parsed.usize_list_or("fault-panics", &[])?);
     Ok(ServeOptions {
-        spec,
         config: SessionConfig {
             threads,
             queue_capacity,
@@ -94,16 +92,23 @@ pub fn run_with_input<R: BufRead + Send>(
     input: R,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
+    if parsed.str_opt("load").is_some() {
+        return run_loaded(parsed, input, out);
+    }
+    let spec = IndexSpec::parse(parsed.require_str("index")?)
+        .map_err(|e| CliError::usage(e.to_string()))?;
     let db = data::load(parsed)?;
     let options = parse_options(parsed)?;
     parsed.finish()?;
 
     match db {
         Database::Vectors { dim, data, metric } => match metric {
-            VectorMetricSpec::L1 => serve_vectors(L1, dim, data, input, &options, out),
-            VectorMetricSpec::L2 => serve_vectors(L2, dim, data, input, &options, out),
-            VectorMetricSpec::LInf => serve_vectors(LInf, dim, data, input, &options, out),
-            VectorMetricSpec::Lp(p) => serve_vectors(Lp::new(p), dim, data, input, &options, out),
+            VectorMetricSpec::L1 => serve_vectors(L1, spec, dim, data, input, &options, out),
+            VectorMetricSpec::L2 => serve_vectors(L2, spec, dim, data, input, &options, out),
+            VectorMetricSpec::LInf => serve_vectors(LInf, spec, dim, data, input, &options, out),
+            VectorMetricSpec::Lp(p) => {
+                serve_vectors(Lp::new(p), spec, dim, data, input, &options, out)
+            }
         },
         Database::Strings { .. } => Err(CliError::usage(
             "serve handles vector databases only; use `distperm search` for strings",
@@ -111,8 +116,58 @@ pub fn run_with_input<R: BufRead + Send>(
     }
 }
 
+/// The `--load` fast path: the index comes out of a `dp-store` container
+/// instead of being rebuilt, so service starts without the k·n-distance
+/// build phase and answers bit-identically to an in-process build.
+fn run_loaded<R: BufRead + Send>(
+    parsed: &ParsedArgs,
+    input: R,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let store_path = parsed.require_str("load")?.to_string();
+    for conflicting in ["vectors", "strings", "metric", "index"] {
+        if parsed.str_opt(conflicting).is_some() {
+            return Err(CliError::usage(format!(
+                "--load reads the database, metric and index from the store; drop --{conflicting}"
+            )));
+        }
+    }
+    let options = parse_options(parsed)?;
+    parsed.finish()?;
+
+    let stored = dp_store::load_store(Path::new(&store_path))
+        .map_err(|e| CliError::data(format!("{store_path}: {e}")))?;
+    let dim = stored.dim();
+    let name = stored.spec_name();
+    match stored {
+        StoredIndex::L1(index) => serve_loaded(&index, &name, dim, input, &options, out),
+        StoredIndex::L2(index) => serve_loaded(&index, &name, dim, input, &options, out),
+        StoredIndex::L2Squared(index) => serve_loaded(&index, &name, dim, input, &options, out),
+        StoredIndex::LInf(index) => serve_loaded(&index, &name, dim, input, &options, out),
+        StoredIndex::Lp(index) => serve_loaded(&index, &name, dim, input, &options, out),
+    }
+}
+
+fn serve_loaded<M, R>(
+    index: &FlatDistPermIndex<M>,
+    name: &str,
+    dim: usize,
+    input: R,
+    options: &ServeOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError>
+where
+    M: BatchDistance + Sync,
+    R: BufRead + Send,
+{
+    write_banner(out, name, index.len(), dim)?;
+    let summary = run_session::<[f64], _, _>(index, dim, input, out, options)?;
+    write_summary(out, &summary)
+}
+
 fn serve_vectors<M, R>(
     metric: M,
+    spec: IndexSpec,
     dim: usize,
     data: dp_datasets::VectorSet,
     input: R,
@@ -120,14 +175,14 @@ fn serve_vectors<M, R>(
     out: &mut dyn Write,
 ) -> Result<(), CliError>
 where
-    M: Metric<Vec<f64>, Dist = F64Dist> + dp_metric::BatchDistance + Copy + Sync,
+    M: Metric<Vec<f64>, Dist = F64Dist> + BatchDistance + Copy + Sync,
     R: BufRead + Send,
 {
-    if let IndexSpec::FlatDistPerm { k } = options.spec {
+    let name = spec.name();
+    if let IndexSpec::FlatDistPerm { k } = spec {
         if k > data.len() {
             return Err(CliError::usage(format!(
-                "index spec `{}` asks for {k} pivots from {} points",
-                options.spec.name(),
+                "index spec `{name}` asks for {k} pivots from {} points",
                 data.len()
             )));
         }
@@ -139,14 +194,14 @@ where
             PivotSelection::MaxMin,
             options.config.threads,
         );
-        write_banner(out, options, n, dim)?;
+        write_banner(out, &name, n, dim)?;
         let summary = run_session::<[f64], _, _>(&index, dim, input, out, options)?;
         return write_summary(out, &summary);
     }
     let n = data.len();
-    let index = AnyIndex::build(options.spec, metric, data.to_nested(), PivotSelection::MaxMin)
+    let index = AnyIndex::build(spec, metric, data.to_nested(), PivotSelection::MaxMin)
         .map_err(|e| CliError::usage(e.to_string()))?;
-    write_banner(out, options, n, dim)?;
+    write_banner(out, &name, n, dim)?;
     let summary = run_session::<Vec<f64>, _, _>(&index, dim, input, out, options)?;
     write_summary(out, &summary)
 }
@@ -168,13 +223,8 @@ where
     Ok(serve_session(index, dim, input, out, &options.config, &options.faults)?)
 }
 
-fn write_banner(
-    out: &mut dyn Write,
-    options: &ServeOptions,
-    n: usize,
-    dim: usize,
-) -> Result<(), CliError> {
-    writeln!(out, "serving index {} over n = {n} (dim {dim})", options.spec.name())?;
+fn write_banner(out: &mut dyn Write, name: &str, n: usize, dim: usize) -> Result<(), CliError> {
+    writeln!(out, "serving index {name} over n = {n} (dim {dim})")?;
     Ok(())
 }
 

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+mod cmd_build;
 mod cmd_count;
 mod cmd_figures;
 mod cmd_generate;
@@ -108,14 +109,20 @@ COMMANDS:
             (vector databases run through the flat batched engine)
             --vectors <file>|--strings <file> [--metric …] [--ks 4,8,12]
             [--seed <s>] [--rho-pairs 20000] [--threads 1  (vectors only)]
+  build     build a flatperm index once and persist it as a store file
+            --vectors <db> --out <store> (--k <sites> | --sites 0,5,9)
+            [--metric l2|l1|linf|lp:<p>] [--threads 4]
   search    build an index by spec and serve a query file in parallel
             --vectors <db>|--strings <db> --queries <file> --index <spec>
             [--metric …] [--knn 1 | --radius <r>] [--frac 1.0]
             [--threads 4] [--quiet]
             specs: linear aesa laesa[:k] iaesa[:k] distperm[:k]
                    prefixperm[:k[:l]] flatperm[:k] vptree ghtree bktree
+            or: --load <store> --queries <file> … (serve a store written
+            by `build`; database, metric and index come from the file)
   serve     persistent fault-tolerant query service over stdin/stdout
-            --vectors <db> --index <spec> [--metric …] [--threads 2]
+            --vectors <db> --index <spec> | --load <store>
+            [--metric …] [--threads 2]
             [--queue 4] [--max-batch 4096] [--deadline-ms <ms>]
             [--degrade-frac 0.25] [--steal-chunk 1]
             protocol: `begin <id> [deadline-ms=…] [frac=…]`, then
@@ -131,11 +138,12 @@ pub fn usage_line(command: &str) -> Option<&'static str> {
     Some(match command {
         "theory" => "distperm theory --d <dim> --k <sites>",
         "table1" => "distperm table1 [--dmax 10] [--kmax 12]",
+        "build" => "distperm build --vectors <db> --out <store> (--k <sites> | --sites 0,5,9) [--metric <m>] [--threads <t>]",
         "generate" => "distperm generate --kind <kind> --n <count> --out <file> [--dim <d>] [--seed <s>]",
         "count" => "distperm count --vectors <file>|--strings <file> --k <sites> [--metric <m>] [--threads <t>]",
         "survey" => "distperm survey --vectors <file>|--strings <file> [--metric <m>] [--ks 4,8,12]",
-        "search" => "distperm search --vectors <db>|--strings <db> --queries <file> --index <spec> [--knn <k>|--radius <r>] [--frac <f>] [--threads <t>]",
-        "serve" => "distperm serve --vectors <db> --index <spec> [--threads <t>] [--queue <n>] [--deadline-ms <ms>] [--degrade-frac <f>]",
+        "search" => "distperm search --vectors <db>|--strings <db> --index <spec> | --load <store>  --queries <file> [--knn <k>|--radius <r>] [--frac <f>] [--threads <t>]",
+        "serve" => "distperm serve --vectors <db> --index <spec> | --load <store> [--threads <t>] [--queue <n>] [--deadline-ms <ms>] [--degrade-frac <f>]",
         "figures" => "distperm figures [--out figures/] [--size 640]",
         _ => return None,
     })
@@ -152,6 +160,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         Some("theory") => cmd_theory::run(&parsed, out),
         Some("table1") => cmd_table1::run(&parsed, out),
+        Some("build") => cmd_build::run(&parsed, out),
         Some("generate") => cmd_generate::run(&parsed, out),
         Some("count") => cmd_count::run(&parsed, out),
         Some("search") => cmd_search::run(&parsed, out),

@@ -493,6 +493,215 @@ fn serve_smoke_pipes_a_batch_through_stdin() {
 }
 
 #[test]
+fn build_then_load_matches_in_process_search_exactly() {
+    let dir = temp_dir("build_load");
+    let db = dir.join("db.vec");
+    let qs = dir.join("q.vec");
+    let store = dir.join("index.dps");
+    let s = store.to_str().unwrap();
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "1500",
+        "--dim",
+        "3",
+        "--seed",
+        "21",
+        "--out",
+        db.to_str().unwrap(),
+    ]));
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "10",
+        "--dim",
+        "3",
+        "--seed",
+        "22",
+        "--out",
+        qs.to_str().unwrap(),
+    ]));
+
+    let built =
+        stdout(&distperm(&["build", "--vectors", db.to_str().unwrap(), "--k", "7", "--out", s]));
+    assert!(built.contains("built flatperm:7 over n = 1500 (dim 3, metric L2)"), "{built}");
+    assert!(built.contains("format v1"), "{built}");
+
+    // The loaded index must answer bit-identically to one built
+    // in-process from the same database — everything except the
+    // timing line, which is the only nondeterministic output.
+    let strip_timing = |s: &str| -> Vec<String> {
+        s.lines().filter(|l| !l.starts_with("build: ")).map(String::from).collect()
+    };
+    for extra in [&["--knn", "3"][..], &["--radius", "0.4", "--frac", "0.3"][..]] {
+        let mut loaded_args =
+            vec!["search", "--load", s, "--queries", qs.to_str().unwrap(), "--threads", "2"];
+        loaded_args.extend_from_slice(extra);
+        let mut built_args = vec![
+            "search",
+            "--vectors",
+            db.to_str().unwrap(),
+            "--queries",
+            qs.to_str().unwrap(),
+            "--index",
+            "flatperm:7",
+            "--threads",
+            "2",
+        ];
+        built_args.extend_from_slice(extra);
+        let loaded = stdout(&distperm(&loaded_args));
+        let built = stdout(&distperm(&built_args));
+        assert_eq!(
+            strip_timing(&loaded),
+            strip_timing(&built),
+            "{extra:?}: --load answers diverged from the in-process build"
+        );
+    }
+
+    // --load excludes every option the store already records.
+    for conflicting in ["--vectors", "--strings", "--metric", "--index"] {
+        let o = distperm(&[
+            "search",
+            "--load",
+            s,
+            conflicting,
+            "whatever",
+            "--queries",
+            qs.to_str().unwrap(),
+        ]);
+        assert_eq!(o.status.code(), Some(2), "{conflicting} with --load must be a usage error");
+        let err = String::from_utf8_lossy(&o.stderr);
+        assert!(err.contains(&format!("drop {conflicting}")), "{conflicting}: {err}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_and_corrupt_stores_are_data_errors() {
+    let dir = temp_dir("bad_store");
+    let qs = dir.join("q.vec");
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "5",
+        "--dim",
+        "2",
+        "--seed",
+        "30",
+        "--out",
+        qs.to_str().unwrap(),
+    ]));
+
+    // Missing store file: exit 1, one diagnostic line naming the path.
+    let o =
+        distperm(&["search", "--load", "/no/such/index.dps", "--queries", qs.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&o.stderr);
+    assert!(err.starts_with("distperm: data error:"), "{err}");
+    assert!(err.contains("/no/such/index.dps"), "{err}");
+
+    // Corrupt store: build a real one, flip a payload byte, load fails
+    // with a typed diagnostic rather than a panic or a wrong answer.
+    let db = dir.join("db.vec");
+    let store = dir.join("index.dps");
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "200",
+        "--dim",
+        "2",
+        "--seed",
+        "31",
+        "--out",
+        db.to_str().unwrap(),
+    ]));
+    stdout(&distperm(&[
+        "build",
+        "--vectors",
+        db.to_str().unwrap(),
+        "--k",
+        "4",
+        "--out",
+        store.to_str().unwrap(),
+    ]));
+    let mut bytes = std::fs::read(&store).expect("read store");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x20;
+    std::fs::write(&store, &bytes).expect("rewrite store");
+    let o =
+        distperm(&["search", "--load", store.to_str().unwrap(), "--queries", qs.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(1), "corrupt store must be a data error");
+    let err = String::from_utf8_lossy(&o.stderr);
+    assert!(err.contains("checksum"), "diagnostic should name the failed check: {err}");
+
+    // `distperm build` without --out is a usage error.
+    let o = distperm(&["build", "--vectors", db.to_str().unwrap(), "--k", "4"]);
+    assert_eq!(o.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_loads_a_store_and_answers_a_session() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let dir = temp_dir("serve_load");
+    let db = dir.join("db.vec");
+    let store = dir.join("index.dps");
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "800",
+        "--dim",
+        "2",
+        "--seed",
+        "13",
+        "--out",
+        db.to_str().unwrap(),
+    ]));
+    stdout(&distperm(&[
+        "build",
+        "--vectors",
+        db.to_str().unwrap(),
+        "--k",
+        "6",
+        "--out",
+        store.to_str().unwrap(),
+    ]));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_distperm"))
+        .args(["serve", "--load", store.to_str().unwrap(), "--threads", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"begin s1\nknn 3 0.5 0.5\nend\n")
+        .expect("write batch");
+    let output = child.wait_with_output().expect("serve exits");
+    assert!(output.status.success(), "serve exited {:?}", output.status.code());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("ready dim=2"), "{text}");
+    assert!(text.contains("done s1 ok=1 degraded=0 failed=0"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn theory_and_table1_roundtrip_key_numbers() {
     let text = stdout(&distperm(&["theory", "--d", "3", "--k", "12"]));
     assert!(text.contains("34662"), "{text}");

@@ -79,6 +79,43 @@ impl<M: BatchDistance + Sync> FlatDistPermIndex<M> {
 }
 
 impl<M: BatchDistance> FlatDistPermIndex<M> {
+    /// Reassembles an index from its build products without recomputing
+    /// anything — the loading path of the on-disk store (`dp-store`).
+    ///
+    /// The caller must pass exactly what [`Self::build_with_sites`]
+    /// produced for the same inputs: `sites_t` is the coordinate-major
+    /// transpose of the gathered site rows and `perms` holds one
+    /// length-`k` permutation per point.  With that contract met, the
+    /// result is field-for-field identical to the freshly built index,
+    /// so every query answers bit-identically.
+    ///
+    /// # Panics
+    /// Panics if the parts are inconsistent: a site id out of range,
+    /// `site_ids.len() > MAX_K`, a transposed buffer whose shape is not
+    /// `k × dim`, a permutation count differing from `points.len()`, or
+    /// a permutation whose length is not `k`.  (The store reader
+    /// validates all of this against hostile bytes *before* calling —
+    /// these asserts guard in-process misuse, not I/O.)
+    pub fn from_parts(
+        metric: M,
+        points: VectorSet,
+        site_ids: Vec<usize>,
+        sites_t: TransposedSites,
+        perms: Vec<Permutation>,
+    ) -> Self {
+        assert!(site_ids.iter().all(|&i| i < points.len()), "site id out of range");
+        assert!(site_ids.len() <= MAX_K, "k = {} exceeds MAX_K = {MAX_K}", site_ids.len());
+        assert_eq!(sites_t.k(), site_ids.len(), "transposed sites disagree with site count");
+        let sites = points.gather(&site_ids);
+        assert_eq!(sites_t.dim(), sites.dim(), "transposed sites disagree with point dimension");
+        assert_eq!(perms.len(), points.len(), "one permutation per point required");
+        assert!(
+            perms.iter().all(|p| p.len() == site_ids.len()),
+            "permutation length disagrees with k"
+        );
+        Self { metric, points, site_ids, sites, sites_t, perms }
+    }
+
     /// Database size.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -112,6 +149,12 @@ impl<M: BatchDistance> FlatDistPermIndex<M> {
     /// The indexed points.
     pub fn points(&self) -> &VectorSet {
         &self.points
+    }
+
+    /// The coordinate-major site transpose the batched kernels read —
+    /// the serialization view for the on-disk store.
+    pub fn sites_transposed(&self) -> &TransposedSites {
+        &self.sites_t
     }
 
     /// The stored permutations, parallel to the database.

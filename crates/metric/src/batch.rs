@@ -134,6 +134,25 @@ impl TransposedSites {
     pub fn coordinate(&self, c: usize) -> &[f64] {
         &self.data[c * self.k..(c + 1) * self.k]
     }
+
+    /// Wraps an already coordinate-major buffer (`data[c*k + j]` =
+    /// coordinate `c` of site `j`) without transposing — the on-disk
+    /// store (`dp-store`) persists this exact layout so loading is a
+    /// straight copy.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != k * dim`.
+    pub fn from_transposed(k: usize, dim: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), k * dim, "transposed site data is not k*dim = {k}*{dim}");
+        TransposedSites { k, dim, data }
+    }
+
+    /// The whole coordinate-major buffer (length `k() * dim()`), the
+    /// serialization view of [`Self::from_transposed`].
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
 }
 
 /// Vector metrics with a batched site-transposed kernel.

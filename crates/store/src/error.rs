@@ -1,0 +1,193 @@
+//! The [`StoreError`] taxonomy.
+//!
+//! Every way a store file can be wrong has a variant that names the
+//! field and the values in conflict, so a corrupted fleet artifact is
+//! diagnosable from the error line alone.  The reader is **total**:
+//! hostile bytes can reach any variant here but can never reach a
+//! panic — `tests/store_robustness.rs` exercises truncation at every
+//! byte prefix and corruption at every byte offset to pin that.
+
+use crate::format::SectionId;
+use std::fmt;
+
+/// Why a store file could not be read (or written).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file is shorter than the fixed header.
+    TooShort {
+        /// Actual file length in bytes.
+        actual: u64,
+    },
+    /// The magic bytes are not `DPSTORE\0` — not a store file at all.
+    BadMagic {
+        /// The first eight bytes found.
+        found: [u8; 8],
+    },
+    /// The format version is not one this reader supports.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+    },
+    /// The endianness tag does not read back as the little-endian
+    /// constant — the file was written with a different byte order.
+    BadEndianness {
+        /// The tag as read little-endian.
+        found: u32,
+    },
+    /// The header checksum does not match the header bytes.
+    HeaderChecksum {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the header bytes.
+        computed: u64,
+    },
+    /// The header's recorded file length disagrees with the actual file
+    /// size (truncation or trailing garbage).
+    LengthMismatch {
+        /// Length recorded in the header.
+        stored: u64,
+        /// Actual length.
+        actual: u64,
+    },
+    /// The TOC checksum does not match the TOC bytes.
+    TocChecksum {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the TOC bytes.
+        computed: u64,
+    },
+    /// A structural TOC/layout rule is violated (wrong section order,
+    /// misaligned or non-canonical offset, reserved field nonzero, …).
+    BadLayout {
+        /// Which rule failed.
+        detail: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A padding byte between sections is nonzero.
+    NonZeroPadding {
+        /// File offset of the first nonzero padding byte.
+        offset: u64,
+    },
+    /// A section checksum does not match its payload bytes.
+    SectionChecksum {
+        /// Which section.
+        section: SectionId,
+        /// Checksum recorded in the TOC.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// A section payload length disagrees with the META geometry.
+    BadSectionLength {
+        /// Which section.
+        section: SectionId,
+        /// Length implied by META (bytes).
+        expected: u64,
+        /// Length recorded in the TOC.
+        found: u64,
+    },
+    /// A META field is out of range or inconsistent.
+    BadMeta {
+        /// Which field.
+        field: &'static str,
+        /// The offending value (f64 params are reported as raw bits).
+        value: u64,
+    },
+    /// A PERMS row is not a permutation of `0..k`.
+    BadPermutation {
+        /// Database row index.
+        row: usize,
+    },
+    /// A VECTORS coordinate is NaN — no successfully built index can
+    /// contain one (the build would have panicked ranking a NaN
+    /// distance), and loading it would arm a query-time panic.
+    NaNCoordinate {
+        /// Flat index into the VECTORS payload.
+        index: usize,
+    },
+    /// The SITES_T payload is not the bitwise transpose of the site
+    /// rows gathered from VECTORS — the sections contradict each other.
+    InconsistentSites {
+        /// First disagreeing flat index into the SITES_T payload.
+        index: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::TooShort { actual } => {
+                write!(f, "store file is {actual} bytes, shorter than the 64-byte header")
+            }
+            StoreError::BadMagic { found } => {
+                write!(f, "not a distperm store (magic bytes {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found } => write!(
+                f,
+                "store format version {found} is not supported (this reader reads version {})",
+                crate::format::FORMAT_VERSION
+            ),
+            StoreError::BadEndianness { found } => write!(
+                f,
+                "store endianness tag 0x{found:08x} is not the little-endian constant 0x{:08x}",
+                crate::format::ENDIAN_TAG
+            ),
+            StoreError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+            ),
+            StoreError::LengthMismatch { stored, actual } => write!(
+                f,
+                "store records {stored} bytes but the file holds {actual} (truncated or padded)"
+            ),
+            StoreError::TocChecksum { stored, computed } => {
+                write!(f, "TOC checksum mismatch (stored {stored:016x}, computed {computed:016x})")
+            }
+            StoreError::BadLayout { detail, value } => {
+                write!(f, "store layout violation: {detail} (value {value})")
+            }
+            StoreError::NonZeroPadding { offset } => {
+                write!(f, "nonzero padding byte at file offset {offset}")
+            }
+            StoreError::SectionChecksum { section, stored, computed } => write!(
+                f,
+                "{section} section checksum mismatch (stored {stored:016x}, \
+                 computed {computed:016x})"
+            ),
+            StoreError::BadSectionLength { section, expected, found } => {
+                write!(f, "{section} section holds {found} bytes but META implies {expected}")
+            }
+            StoreError::BadMeta { field, value } => {
+                write!(f, "bad META field {field} (value {value})")
+            }
+            StoreError::BadPermutation { row } => {
+                write!(f, "PERMS row {row} is not a permutation of 0..k")
+            }
+            StoreError::NaNCoordinate { index } => {
+                write!(f, "NaN coordinate at VECTORS element {index}")
+            }
+            StoreError::InconsistentSites { index } => {
+                write!(f, "SITES_T element {index} is not the transpose of the gathered site rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,116 @@
+//! Serializing a [`FlatDistPermIndex`] into the container format.
+//!
+//! The writer emits the **canonical** layout the reader requires: the
+//! TOC directly after the header, sections in id order at the lowest
+//! 64-byte-aligned offset past the previous section, zero padding
+//! between, and the file ending exactly at the last payload byte.
+//! Canonical placement means every byte of the file is accounted for —
+//! header, TOC, payload or (zero) padding — which is what lets the
+//! robustness suite assert that *any* flipped byte yields a typed
+//! error.  Output is deterministic and platform-independent: every
+//! multi-byte field is written little-endian, floats as their IEEE-754
+//! bit patterns.
+
+use crate::format::{
+    fnv1a64, MetricTag, SectionId, StoreMetric, ENDIAN_TAG, FORMAT_VERSION, HEADER_LEN, MAGIC,
+    SECTION_ALIGN, TOC_ENTRY_LEN,
+};
+use crate::StoreError;
+use dp_index::FlatDistPermIndex;
+use std::io::Write;
+use std::path::Path;
+
+/// Serializes the index into an in-memory store image.
+pub fn store_to_bytes<M: StoreMetric>(index: &FlatDistPermIndex<M>) -> Vec<u8> {
+    let payloads = [
+        meta_payload(index),
+        f64_payload(index.points().as_flat()),
+        f64_payload(index.sites_transposed().as_flat()),
+        perms_payload(index),
+    ];
+
+    let header_and_toc = HEADER_LEN as usize + SectionId::ALL.len() * TOC_ENTRY_LEN as usize;
+    let mut buf = vec![0u8; header_and_toc];
+
+    // Sections: canonical aligned placement, zero padding in between.
+    let mut toc = Vec::with_capacity(header_and_toc - HEADER_LEN as usize);
+    for (section, payload) in SectionId::ALL.iter().zip(payloads.iter()) {
+        let offset = buf.len().div_ceil(SECTION_ALIGN as usize) * SECTION_ALIGN as usize;
+        buf.resize(offset, 0);
+        buf.extend_from_slice(payload);
+        toc.extend_from_slice(&section.code().to_le_bytes());
+        toc.extend_from_slice(&0u32.to_le_bytes());
+        toc.extend_from_slice(&(offset as u64).to_le_bytes());
+        toc.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        toc.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    }
+    buf[HEADER_LEN as usize..header_and_toc].copy_from_slice(&toc);
+
+    // Header, checksummed last so it covers every other header field.
+    let file_len = buf.len() as u64;
+    let toc_checksum = fnv1a64(&buf[HEADER_LEN as usize..header_and_toc]);
+    let header = &mut buf[..HEADER_LEN as usize];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&ENDIAN_TAG.to_le_bytes());
+    header[16..20].copy_from_slice(&(SectionId::ALL.len() as u32).to_le_bytes());
+    // 20..24 reserved = 0.
+    header[24..32].copy_from_slice(&HEADER_LEN.to_le_bytes());
+    header[32..40].copy_from_slice(&file_len.to_le_bytes());
+    header[40..48].copy_from_slice(&toc_checksum.to_le_bytes());
+    // 48..56 reserved = 0.
+    let header_checksum = fnv1a64(&header[..56]);
+    header[56..64].copy_from_slice(&header_checksum.to_le_bytes());
+    buf
+}
+
+/// Writes the store image to `out`.
+pub fn write_store<M: StoreMetric>(
+    index: &FlatDistPermIndex<M>,
+    out: &mut dyn Write,
+) -> Result<(), StoreError> {
+    out.write_all(&store_to_bytes(index))?;
+    Ok(())
+}
+
+/// Writes the store image to a file, returning its size in bytes.
+pub fn save_store<M: StoreMetric>(
+    index: &FlatDistPermIndex<M>,
+    path: &Path,
+) -> Result<u64, StoreError> {
+    let bytes = store_to_bytes(index);
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+fn meta_payload<M: StoreMetric>(index: &FlatDistPermIndex<M>) -> Vec<u8> {
+    let tag: MetricTag = index.metric().metric_tag();
+    let mut meta = Vec::with_capacity(40 + 8 * index.k());
+    meta.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    meta.extend_from_slice(&(index.points().dim() as u64).to_le_bytes());
+    meta.extend_from_slice(&(index.k() as u64).to_le_bytes());
+    meta.extend_from_slice(&tag.code().to_le_bytes());
+    meta.extend_from_slice(&0u32.to_le_bytes());
+    meta.extend_from_slice(&tag.param_bits().to_le_bytes());
+    for &site in index.site_ids() {
+        meta.extend_from_slice(&(site as u64).to_le_bytes());
+    }
+    meta
+}
+
+fn f64_payload(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn perms_payload<M: StoreMetric>(index: &FlatDistPermIndex<M>) -> Vec<u8> {
+    let k = index.k();
+    let mut out = Vec::with_capacity(index.len() * k);
+    for perm in index.permutations() {
+        out.extend_from_slice(perm.as_slice());
+    }
+    out
+}

@@ -52,6 +52,17 @@ cargo test -p distance-permutations --release -q --test serve_robustness
 echo "== cargo test --release --test protocol_robustness (release-mode adversarial-input run)"
 cargo test -p dp-index --release -q --test protocol_robustness
 
+# The store reader's totality promise (typed errors on truncation at
+# every prefix and corruption at every offset, bit-identical reload)
+# must hold under optimized codegen — bounds checks and checksum loops
+# are exactly what release builds transform — so both store suites also
+# run under release.
+echo "== cargo test --release --test store_robustness (release-mode adversarial-bytes run)"
+cargo test -p distance-permutations --release -q --test store_robustness
+
+echo "== cargo test --release --test store_roundtrip (release-mode bit-identity run)"
+cargo test -p distance-permutations --release -q --test store_roundtrip
+
 # End-to-end smoke of `distperm serve`: generate a tiny database, pipe a
 # batch through stdin, and require a served batch plus a clean EOF
 # shutdown (`bye`) from the release binary.

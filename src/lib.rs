@@ -25,6 +25,9 @@
 //!   batch serving, build-by-spec) over LinearScan/AESA/LAESA/distperm
 //!   (four candidate orderings)/truncated-prefix/iAESA/VP/GH/BK trees,
 //!   pivot selection
+//! * [`store`] (dp-store) — versioned on-disk index container
+//!   (`distperm build` / `--load`): checksummed sections, typed-error
+//!   total reader, bit-identical reload
 //! * [`core`] (dp-core) — counting, experiments, dimension estimation,
 //!   the one-call database survey
 //!
@@ -60,4 +63,5 @@ pub use dp_geometry as geometry;
 pub use dp_index as index;
 pub use dp_metric as metric;
 pub use dp_permutation as permutation;
+pub use dp_store as store;
 pub use dp_theory as theory;

@@ -1,0 +1,132 @@
+//! Golden-fixture pinning for the store format.
+//!
+//! A version-1 container's bytes are a public contract: once written,
+//! any reader of any future workspace revision must load it and answer
+//! identically.  These tests pin a small committed store file
+//! (`tests/fixtures/golden_v1.dps`) three ways — its exact bytes are
+//! reproduced by today's writer, today's reader loads it and answers a
+//! fixed query set with pinned results, and a version-bumped copy
+//! (`tests/fixtures/golden_wrong_version.dps`) fails with precisely the
+//! version-mismatch error.
+//!
+//! If the format changes intentionally, bump `FORMAT_VERSION` and
+//! regenerate with `cargo test --test store_golden -- --ignored bless`
+//! — a bytes-differ failure here without a version bump is a silent
+//! format break.
+
+use distance_permutations::datasets::VectorSet;
+use distance_permutations::index::FlatDistPermIndex;
+use distance_permutations::metric::{Distance, Lp};
+use distance_permutations::store::{
+    fnv1a64, load_store, read_store, store_to_bytes, StoreError, StoredIndex, FORMAT_VERSION,
+};
+use std::path::PathBuf;
+
+/// The golden database: 12 deterministic 2-D points (a fixed literal,
+/// not generator output, so the fixture never depends on RNG details).
+fn golden_db() -> Vec<Vec<f64>> {
+    (0..12)
+        .map(|i| {
+            let i = i as f64;
+            vec![(0.37 * i + 0.11 * i * i).fract(), (0.73 * i + 0.05 * i * i * i).fract()]
+        })
+        .collect()
+}
+
+/// The golden index: explicit sites, Lp(2.5) so the metric-parameter
+/// field is exercised, sequential build.
+fn golden_index() -> FlatDistPermIndex<Lp> {
+    FlatDistPermIndex::build_with_sites(
+        Lp::new(2.5),
+        VectorSet::from_nested(&golden_db()),
+        vec![0, 5, 9],
+        1,
+    )
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// Serializes k-NN answers canonically (id, dist bits, little-endian)
+/// and digests them, so one pinned u64 covers the full answer set.
+fn answer_digest(index: &FlatDistPermIndex<Lp>) -> u64 {
+    let queries = [[0.1f64, 0.9], [0.5, 0.5], [0.95, 0.05], [0.33, 0.67]];
+    let mut canon = Vec::new();
+    let mut session = index.session();
+    for q in &queries {
+        let (neighbors, stats) = session.knn_approx(q, 3, 1.0);
+        canon.extend_from_slice(&stats.metric_evals.to_le_bytes());
+        for n in neighbors {
+            canon.extend_from_slice(&(n.id as u64).to_le_bytes());
+            canon.extend_from_slice(&n.dist.to_f64().to_bits().to_le_bytes());
+        }
+    }
+    fnv1a64(&canon)
+}
+
+/// Pinned FNV-1a 64 digest of the golden store's bytes.
+const GOLDEN_BYTES_DIGEST: u64 = 0x54AB_B4B3_14F7_FA94;
+
+/// Pinned digest of the golden index's answers to the fixed query set.
+const GOLDEN_ANSWER_DIGEST: u64 = 0x3EFF_4346_6C23_0B63;
+
+#[test]
+fn golden_store_bytes_are_reproduced_exactly() {
+    let committed = std::fs::read(fixture_path("golden_v1.dps")).expect("committed fixture");
+    let regenerated = store_to_bytes(&golden_index());
+    assert_eq!(fnv1a64(&committed), GOLDEN_BYTES_DIGEST, "committed fixture was modified");
+    assert_eq!(
+        regenerated, committed,
+        "writer output changed for identical input — a silent format break \
+         (bump FORMAT_VERSION and re-bless if intentional)"
+    );
+}
+
+#[test]
+fn golden_store_loads_and_answers_identically() {
+    let loaded = load_store(&fixture_path("golden_v1.dps")).expect("golden store loads");
+    let index = match loaded {
+        StoredIndex::Lp(index) => index,
+        other => panic!("golden store is Lp(2.5), got {}", other.metric_tag().name()),
+    };
+    assert_eq!((index.len(), index.k(), index.points().dim()), (12, 3, 2));
+    assert_eq!(index.site_ids(), &[0, 5, 9]);
+    assert_eq!(index.metric().p().to_bits(), 2.5f64.to_bits());
+    assert_eq!(answer_digest(&index), GOLDEN_ANSWER_DIGEST, "loaded answers drifted");
+    assert_eq!(answer_digest(&golden_index()), GOLDEN_ANSWER_DIGEST, "built answers drifted");
+}
+
+#[test]
+fn wrong_version_fixture_reports_version_mismatch() {
+    let bytes = std::fs::read(fixture_path("golden_wrong_version.dps")).expect("committed fixture");
+    match read_store(&bytes) {
+        Err(StoreError::UnsupportedVersion { found }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+/// Regenerates both fixtures and prints the digests to pin.  Ignored in
+/// normal runs; the documented re-bless path after an intentional
+/// format-version bump.
+#[test]
+#[ignore = "fixture generator, run explicitly to re-bless"]
+fn bless() {
+    let bytes = store_to_bytes(&golden_index());
+    std::fs::create_dir_all(fixture_path("")).expect("fixture dir");
+    std::fs::write(fixture_path("golden_v1.dps"), &bytes).expect("write golden");
+
+    // The wrong-version twin: version bumped, header checksum (bytes
+    // 56..64, over 0..56) recomputed so the version check itself is what
+    // fires rather than the checksum.
+    let mut wrong = bytes.clone();
+    wrong[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    let sum = fnv1a64(&wrong[..56]);
+    wrong[56..64].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(fixture_path("golden_wrong_version.dps"), &wrong).expect("write wrong-version");
+
+    println!("GOLDEN_BYTES_DIGEST:  {:#018X}", fnv1a64(&bytes));
+    println!("GOLDEN_ANSWER_DIGEST: {:#018X}", answer_digest(&golden_index()));
+}
