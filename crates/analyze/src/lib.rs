@@ -31,6 +31,12 @@
 //! * **`atomic-ordering`** — every atomic `Ordering::*` use carries an
 //!   adjacent `// ordering:` justification; memory-ordering bugs are the
 //!   one class the deterministic property suites cannot surface.
+//! * **`key-width`** — *the width-generic packed layout.* Field
+//!   arithmetic on packed keys goes through
+//!   `PackedKey::{elem_shift, key_bits, field}`; any raw `BITS_PER_ELEM`
+//!   use must carry an adjacent `// width:` proof that its fields fit
+//!   the key word — an off-by-one there corrupts one width while the
+//!   other stays green.
 //! * **`crate-hygiene`** — every crate root declares
 //!   `#![forbid(unsafe_code)]` (the workspace has zero `unsafe`; frozen
 //!   at the strongest level), and library code never prints to the

@@ -1,0 +1,49 @@
+//! `key-width` — every raw use of the packed stride carries a proof.
+//!
+//! The width-generic packed pipeline (PR 9) keeps all field arithmetic
+//! behind `PackedKey::elem_shift` / `key_bits` / `field`, so the 5-bit
+//! stride is spelled in very few places — and each spelling is load
+//! bearing: an off-by-one there corrupts keys at one width while the
+//! other stays green, exactly the class of bug the `u64`/`u128` seam
+//! tests exist to catch.  So every `BITS_PER_ELEM` use must have an
+//! adjacent `// width:` comment (same line, or the contiguous comment
+//! block directly above) proving the arithmetic fits the word — how
+//! many fields, which word, why the bound holds.
+
+use crate::source::{Diagnostic, SourceFile};
+
+pub const NAME: &str = "key-width";
+
+/// Is line `l` annotated by a `// width:` comment on the same line or
+/// in the contiguous comment block immediately above it?
+fn has_width_comment(file: &SourceFile, line: u32) -> bool {
+    let annotated = |l: u32| file.comments.iter().any(|c| c.line == l && c.text.contains("width:"));
+    if annotated(line) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && file.comment_only_lines.contains(&l) {
+        if annotated(l) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for tok in &file.code {
+        if tok.is_ident("BITS_PER_ELEM") && !has_width_comment(file, tok.line) {
+            file.finding(
+                NAME,
+                tok,
+                true,
+                "`BITS_PER_ELEM` without an adjacent `// width:` proof; state how many \
+                 5-bit fields this arithmetic packs and why they fit the key word \
+                 (prefer `elem_shift`/`key_bits`/`field`, which carry the proof once)"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}

@@ -13,6 +13,7 @@ pub mod bench_citations;
 pub mod crate_hygiene;
 pub mod float_reassoc;
 pub mod hot_path_hash;
+pub mod key_width;
 pub mod panic_boundary;
 pub mod vendored_deps;
 
@@ -22,6 +23,7 @@ pub const PASS_NAMES: &[&str] = &[
     hot_path_hash::NAME,
     panic_boundary::NAME,
     atomic_ordering::NAME,
+    key_width::NAME,
     crate_hygiene::NAME,
     vendored_deps::NAME,
     bench_citations::NAME,
@@ -44,9 +46,12 @@ pub const FLOAT_REASSOC_SCOPE: &[&str] = &[
 
 /// Flat kernel / radix / codebook modules: the PR 5 sorted-run pipeline
 /// evicted hash containers from these hot paths — they must not creep
-/// back (the generic-path interner keeps explicit waivers).
+/// back (the generic-path interner keeps explicit waivers).  PR 9's
+/// width-generic key module joins the scope: both packed widths sort and
+/// count through it.
 pub const HOT_PATH_HASH_SCOPE: &[&str] = &[
     "crates/metric/src/batch.rs",
+    "crates/permutation/src/key.rs",
     "crates/permutation/src/radix.rs",
     "crates/permutation/src/bits.rs",
     "crates/permutation/src/compute.rs",
@@ -92,6 +97,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
             panic_boundary::check(file, &mut out);
         }
         atomic_ordering::check(file, &mut out);
+        key_width::check(file, &mut out);
         crate_hygiene::check_file(file, &mut out);
     }
     crate_hygiene::check_crate_roots(ws, &mut out);

@@ -1,0 +1,25 @@
+// key-width fixture: raw BITS_PER_ELEM sites with and without proofs.
+
+pub fn annotated_same_line(k: usize) -> u32 {
+    <u64 as PackedKey>::BITS_PER_ELEM * k as u32 // width: k fields of 5 bits
+}
+
+// width: twelve 5-bit fields fill 60 of a u64's 64 bits.
+pub const NARROW_BITS: u32 = u64::BITS_PER_ELEM * 12;
+
+pub fn bare(pos: usize) -> u32 {
+    u128::BITS_PER_ELEM * pos as u32
+}
+
+pub fn waived() -> u32 {
+    // dplint: allow(key-width, reason = "fixture site proving waivers work")
+    u64::BITS_PER_ELEM
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(u64::BITS_PER_ELEM, 5);
+    }
+}

@@ -8,7 +8,7 @@
 
 use dp_analyze::manifest::parse_manifest;
 use dp_analyze::passes::{
-    self, atomic_ordering, bench_citations, crate_hygiene, float_reassoc, hot_path_hash,
+    self, atomic_ordering, bench_citations, crate_hygiene, float_reassoc, hot_path_hash, key_width,
     panic_boundary, vendored_deps,
 };
 use dp_analyze::{Diagnostic, SourceFile, Workspace};
@@ -94,6 +94,22 @@ fn atomic_ordering_fixture() {
          sites, and std::cmp::Ordering never matches: {out:?}"
     );
     assert!(out[0].message.contains("Relaxed"), "{}", out[0].message);
+}
+
+#[test]
+fn key_width_fixture() {
+    let text = include_str!("fixtures/key_width.rs");
+    let file = SourceFile::parse("crates/permutation/src/key.rs", text);
+    let mut out = Vec::new();
+    key_width::check(&file, &mut out);
+    assert_eq!(
+        positions(&out, key_width::NAME),
+        vec![(11, col_of(text, 11, "BITS_PER_ELEM"))],
+        "same-line and block-above `// width:` proofs cover their sites, the \
+         waived site is silent, and test code is exempt: {out:?}"
+    );
+    assert!(out[0].message.contains("width:"), "{}", out[0].message);
+    assert!(file.waiver_diagnostics(passes::PASS_NAMES).is_empty());
 }
 
 #[test]

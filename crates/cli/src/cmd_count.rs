@@ -5,7 +5,9 @@ use crate::data::{self, Database, StringMetricSpec, VectorMetricSpec};
 use crate::CliError;
 use dp_core::dimension::min_euclidean_dimension;
 use dp_core::{count_distinct_prefixes, PrefixKind};
-use dp_core::{count_permutations_flat_parallel, count_permutations_parallel, CountReport};
+use dp_core::{
+    count_permutations_flat_parallel, count_permutations_parallel, CountEngine, CountReport,
+};
 use dp_datasets::vectors::choose_distinct_indices;
 use dp_datasets::VectorSet;
 use dp_metric::{
@@ -136,6 +138,13 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
     writeln!(out, "database: n = {}, metric = {}", db.len(), db.metric_name())?;
     let ids: Vec<String> = outcome.site_ids.iter().map(usize::to_string).collect();
     writeln!(out, "sites (k = {k}): [{}]", ids.join(", "))?;
+    // Name the engine so a k outside a packed range is visible instead
+    // of a silent fallback.
+    let engine = match &db {
+        Database::Vectors { .. } => CountEngine::for_k(k).name(),
+        Database::Strings { .. } => "generic",
+    };
+    writeln!(out, "counting engine: {engine}")?;
     writeln!(out, "distinct distance permutations: {}", r.distinct)?;
     writeln!(out, "mean occupancy: {:.2} elements/permutation", r.mean_occupancy)?;
     if let Some((l, distinct)) = outcome.prefix_distinct {

@@ -176,7 +176,17 @@ fn serve_loaded<M: dp_metric::BatchDistance + Sync>(
 ) -> Result<(), CliError> {
     let request = request_for(&options.mode, options.frac, |r| Ok(F64Dist::new(r)))?;
     let rows: Vec<&[f64]> = queries.rows().collect();
-    serve_batch::<[f64], _, _>(index, &rows, request, name, true, options, load_start, out)
+    serve_batch::<[f64], _, _>(
+        index,
+        &rows,
+        request,
+        name,
+        Some(index.ordering_engine()),
+        true,
+        options,
+        load_start,
+        out,
+    )
 }
 
 fn request_for<D: Distance>(
@@ -222,6 +232,7 @@ where
             &rows,
             request,
             &name,
+            Some(index.ordering_engine()),
             budget,
             options,
             build_start,
@@ -232,7 +243,7 @@ where
     let index = AnyIndex::build(spec, metric, data.to_nested(), PivotSelection::MaxMin)
         .map_err(|e| CliError::usage(e.to_string()))?;
     let nested = queries.to_nested();
-    serve_batch(&index, &nested, request, &name, budget, options, build_start, out)
+    serve_batch(&index, &nested, request, &name, None, budget, options, build_start, out)
 }
 
 fn serve_strings<M>(
@@ -279,7 +290,7 @@ where
     let build_start = Instant::now();
     let index = AnyIndex::build(spec, metric, data, PivotSelection::MaxMin)
         .map_err(|e| CliError::usage(e.to_string()))?;
-    serve_batch(&index, &queries, request, &name, budget, options, build_start, out)
+    serve_batch(&index, &queries, request, &name, None, budget, options, build_start, out)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -288,6 +299,7 @@ fn serve_batch<'i, P, Q, I>(
     queries: &[Q],
     request: ApproxRequest<I::Dist>,
     name: &str,
+    ordering_engine: Option<&'static str>,
     supports_budget: bool,
     options: &SearchOptions,
     build_start: Instant,
@@ -301,6 +313,9 @@ where
 {
     let build_secs = build_start.elapsed().as_secs_f64();
     write_header(out, name, supports_budget, options, index.size(), queries.len())?;
+    if let Some(engine) = ordering_engine {
+        writeln!(out, "ordering engine: {engine}")?;
+    }
     let serve_start = Instant::now();
     let responses = query_batch_parallel_approx(index, queries, request, options.threads);
     let serve_secs = serve_start.elapsed().as_secs_f64();

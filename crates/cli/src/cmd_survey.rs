@@ -4,7 +4,7 @@ use crate::args::ParsedArgs;
 use crate::data::{self, Database, StringMetricSpec, VectorMetricSpec};
 use crate::CliError;
 use dp_core::dimension::ReferenceProfile;
-use dp_core::{survey_database, survey_database_flat_parallel, SurveyConfig};
+use dp_core::{survey_database, survey_database_flat_parallel, CountEngine, SurveyConfig};
 use dp_metric::{Hamming, LInf, Levenshtein, Lp, Metric, PrefixDistance, L1, L2};
 use dp_permutation::MAX_K;
 use std::io::Write;
@@ -15,6 +15,28 @@ where
     M: Metric<P>,
 {
     survey_database(metric, data, cfg)
+}
+
+/// One line naming the counting engine each surveyed k runs on, with
+/// consecutive same-engine ks grouped:
+/// `packed-u64 (k = 4, 8, 12); packed-u128 (k = 16)`.
+fn engine_line(ks: &[usize]) -> String {
+    let mut groups: Vec<(&'static str, Vec<usize>)> = Vec::new();
+    for &k in ks {
+        let name = CountEngine::for_k(k).name();
+        match groups.last_mut() {
+            Some((n, list)) if *n == name => list.push(k),
+            _ => groups.push((name, vec![k])),
+        }
+    }
+    groups
+        .iter()
+        .map(|(name, list)| {
+            let ks: Vec<String> = list.iter().map(usize::to_string).collect();
+            format!("{name} (k = {})", ks.join(", "))
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
 }
 
 pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
@@ -71,6 +93,12 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
         },
     };
     writeln!(out, "metric: {}", db.metric_name())?;
+    match &db {
+        Database::Vectors { .. } => {
+            writeln!(out, "counting engines: {}", engine_line(&cfg.ks))?;
+        }
+        Database::Strings { .. } => writeln!(out, "counting engine: generic")?,
+    }
     write!(out, "{report}")?;
     Ok(())
 }

@@ -60,10 +60,14 @@ fn survey_on_flat_vectors_matches_pre_refactor_output_exactly() {
     // Frozen golden transcripts, captured from the generic per-point
     // survey engine *before* `cmd_survey` switched vector databases to
     // the flat batched path.  The flat engine is bit-identical, so the
-    // report text — every ρ digit, every Huffman/entropy decimal —
-    // must not move.  Any diff here means the refactor changed answers.
+    // report numbers — every ρ digit, every Huffman/entropy decimal —
+    // must not move.  Any numeric diff here means a refactor changed
+    // answers.  (The `counting engines:` line was added when the packed
+    // pipeline went width-generic; the measurements around it are the
+    // original transcripts.)
     const GOLDEN_L2: &str = "\
 metric: L2
+counting engines: packed-u64 (k = 4, 7)
 database survey: n = 3000, rho = 3.501
    k   distinct     occup    naive      raw  codebook   huffman   entropy  minEd
    4         16    187.50        5        8         4     3.470     3.436      2
@@ -71,6 +75,7 @@ database survey: n = 3000, rho = 3.501
 ";
     const GOLDEN_L1: &str = "\
 metric: L1
+counting engines: packed-u64 (k = 5)
 database survey: n = 3000, rho = 3.163
    k   distinct     occup    naive      raw  codebook   huffman   entropy  minEd
    5         42     71.43        7       15         6     4.746     4.710      2
@@ -120,6 +125,58 @@ database survey: n = 3000, rho = 3.163
         "2000",
     ]));
     assert_eq!(l1, GOLDEN_L1, "L1 survey text drifted from the pre-refactor transcript");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wide_k_names_its_engine_in_count_survey_and_search() {
+    // Regression: before the width-generic packed pipeline, k = 13..=24
+    // silently degraded to hash counting with no indication in any
+    // command's output.  Now `count`, `survey` and `search` name the
+    // engine that actually ran, and k = 16 runs packed — this test
+    // fails on the pre-refactor CLI, which printed no engine line.
+    let dir = temp_dir("wide_engine");
+    let db = dir.join("db.vec");
+    let qs = dir.join("q.vec");
+    let f = db.to_str().unwrap();
+    stdout(&distperm(&[
+        "generate", "--kind", "uniform", "--n", "1200", "--dim", "2", "--seed", "19", "--out", f,
+    ]));
+    stdout(&distperm(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "4",
+        "--dim",
+        "2",
+        "--seed",
+        "20",
+        "--out",
+        qs.to_str().unwrap(),
+    ]));
+
+    for (k, engine) in [("8", "packed-u64"), ("16", "packed-u128"), ("26", "hash")] {
+        let text = stdout(&distperm(&["count", "--vectors", f, "--k", k, "--seed", "3"]));
+        assert!(text.contains(&format!("counting engine: {engine}")), "k = {k}: {text}");
+    }
+
+    let text = stdout(&distperm(&["survey", "--vectors", f, "--ks", "8,16", "--rho-pairs", "500"]));
+    assert!(text.contains("counting engines: packed-u64 (k = 8); packed-u128 (k = 16)"), "{text}");
+
+    let text = stdout(&distperm(&[
+        "search",
+        "--vectors",
+        f,
+        "--queries",
+        qs.to_str().unwrap(),
+        "--index",
+        "flatperm:16",
+        "--knn",
+        "2",
+    ]));
+    assert!(text.contains("ordering engine: packed-u128"), "{text}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

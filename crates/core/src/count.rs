@@ -6,21 +6,26 @@
 //!   over any point type (strings, trees, sparse vectors, …);
 //! * the flat batched path ([`count_permutations_flat`]) for real-vector
 //!   data in [`VectorSet`] storage — site-transposed, 4-wide strip-mined
-//!   distance kernels feeding the packed-u64 sorted-run counter (LSD
-//!   radix sort over the `5k` significant key bits, run-length scan; the
-//!   parallel variant radix-sorts per-chunk key buffers in the workers
-//!   and merges the sorted runs), identical results, several times the
-//!   throughput.  This is the engine behind the Table 3 protocol in
-//!   [`crate::experiments`].
+//!   distance kernels feeding the width-generic packed sorted-run
+//!   counter (LSD radix sort over the `5k` significant key bits,
+//!   run-length scan; the parallel variant radix-sorts per-chunk key
+//!   buffers in the workers and merges the sorted runs), identical
+//!   results, several times the throughput.  This is the engine behind
+//!   the Table 3 protocol in [`crate::experiments`].
+//!
+//! The flat path dispatches once per workload over the packed-key width
+//! ([`CountEngine::for_k`]): `u64` keys for k ≤ 12, `u128` keys for
+//! k ≤ 25, and the hash counter over materialised permutations beyond
+//! that.  All three engines produce bit-identical reports.
 
 use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, Metric, TransposedSites};
 use dp_permutation::compute::{
     collect_counter_flat, collect_counter_flat_parallel, collect_packed_flat,
-    collect_packed_flat_parallel, PACKED_MAX_K,
+    collect_packed_flat_parallel, PACKED_MAX_K, WIDE_MAX_K,
 };
 use dp_permutation::counter::collect_counter;
-use dp_permutation::{DistPermComputer, PackedCountSummary, PermutationCounter};
+use dp_permutation::{DistPermComputer, PackedCountSummary, PackedKey, PermutationCounter};
 
 /// Summary of one counting run.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,9 +45,49 @@ impl From<&PermutationCounter> for CountReport {
     }
 }
 
-impl From<&PackedCountSummary> for CountReport {
-    fn from(c: &PackedCountSummary) -> Self {
+impl<K: PackedKey> From<&PackedCountSummary<K>> for CountReport {
+    fn from(c: &PackedCountSummary<K>) -> Self {
         CountReport { distinct: c.distinct(), total: c.total(), mean_occupancy: c.mean_occupancy() }
+    }
+}
+
+/// Which counting engine the flat path selects for a given site count.
+///
+/// The selection is a property of `k` alone, made once per workload, so
+/// the monomorphized kernels under it contain no width branches.  All
+/// three engines produce bit-identical [`CountReport`]s — the packed
+/// paths are faster, never different.  The CLI reports the chosen
+/// engine's [`name`](CountEngine::name) so a k that silently leaves the
+/// packed range is visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountEngine {
+    /// Sorted-run counting over `u64` packed keys (k ≤ 12).
+    PackedU64,
+    /// Sorted-run counting over `u128` packed keys (13 ≤ k ≤ 25).
+    PackedU128,
+    /// Hash counting over materialised permutations (k ≥ 26).
+    Hash,
+}
+
+impl CountEngine {
+    /// The engine the flat counting and survey paths run at `k` sites.
+    pub fn for_k(k: usize) -> Self {
+        if k <= PACKED_MAX_K {
+            CountEngine::PackedU64
+        } else if k <= WIDE_MAX_K {
+            CountEngine::PackedU128
+        } else {
+            CountEngine::Hash
+        }
+    }
+
+    /// Stable lower-case label for logs and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CountEngine::PackedU64 => "packed-u64",
+            CountEngine::PackedU128 => "packed-u128",
+            CountEngine::Hash => "hash",
+        }
     }
 }
 
@@ -127,12 +172,14 @@ pub fn count_permutations_flat_parallel<M: BatchDistance + Sync>(
     check_flat_dims(sites, database);
     let sites_t = transpose_sites(sites, database);
     let flat = database.as_flat();
-    if sites.len() <= PACKED_MAX_K {
-        let counter = collect_packed_flat_parallel(metric, &sites_t, flat, threads);
-        CountReport::from(&counter.finalize())
-    } else {
-        CountReport::from(&collect_counter_flat_parallel(metric, &sites_t, flat, threads))
-    }
+    dp_permutation::for_packed_k!(
+        sites.len(),
+        K => {
+            let counter = collect_packed_flat_parallel::<K, _>(metric, &sites_t, flat, threads);
+            CountReport::from(&counter.finalize())
+        },
+        _ => CountReport::from(&collect_counter_flat_parallel(metric, &sites_t, flat, threads)),
+    )
 }
 
 fn flat_counter<M: BatchDistance>(
@@ -142,11 +189,13 @@ fn flat_counter<M: BatchDistance>(
 ) -> CountReport {
     check_flat_dims(sites, database);
     let sites_t = transpose_sites(sites, database);
-    if sites.len() <= PACKED_MAX_K {
-        CountReport::from(&collect_packed_flat(metric, &sites_t, database.as_flat()).finalize())
-    } else {
-        CountReport::from(&collect_counter_flat(metric, &sites_t, database.as_flat()))
-    }
+    dp_permutation::for_packed_k!(
+        sites.len(),
+        K => CountReport::from(
+            &collect_packed_flat::<K, _>(metric, &sites_t, database.as_flat()).finalize(),
+        ),
+        _ => CountReport::from(&collect_counter_flat(metric, &sites_t, database.as_flat())),
+    )
 }
 
 pub(crate) fn check_flat_dims(sites: &VectorSet, database: &VectorSet) {
@@ -244,6 +293,54 @@ mod tests {
     fn flat_parallel_deterministic_in_thread_count() {
         let db = uniform_unit_cube_flat(20_000, 3, 21);
         let sites = uniform_unit_cube_flat(8, 3, 22);
+        let seq = count_permutations_flat(&L2Squared, &sites, &db);
+        for threads in [2, 3, 5, 8] {
+            assert_eq!(
+                count_permutations_flat_parallel(&L2Squared, &sites, &db, threads),
+                seq,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_selection_matches_the_dispatch_macro() {
+        for k in 0usize..=32 {
+            let expected = dp_permutation::for_packed_k!(
+                k,
+                K => if K::BITS == 64 { CountEngine::PackedU64 } else { CountEngine::PackedU128 },
+                _ => CountEngine::Hash,
+            );
+            assert_eq!(CountEngine::for_k(k), expected, "k = {k}");
+        }
+        assert_eq!(CountEngine::for_k(12), CountEngine::PackedU64);
+        assert_eq!(CountEngine::for_k(13), CountEngine::PackedU128);
+        assert_eq!(CountEngine::for_k(25), CountEngine::PackedU128);
+        assert_eq!(CountEngine::for_k(26), CountEngine::Hash);
+        assert_eq!(CountEngine::for_k(13).name(), "packed-u128");
+    }
+
+    #[test]
+    fn flat_matches_nested_across_the_width_seams() {
+        // k = 12/13 (u64 → u128) and k = 25/26 (u128 → hash): every
+        // engine must agree with the nested per-point path in every
+        // field, including the f64 occupancy bits.
+        for k in [12usize, 13, 14, 25, 26] {
+            let db = uniform_unit_cube(1500, 4, 40 + k as u64);
+            let sites = uniform_unit_cube(k, 4, 41 ^ k as u64);
+            let db_flat = uniform_unit_cube_flat(1500, 4, 40 + k as u64);
+            let sites_flat = uniform_unit_cube_flat(k, 4, 41 ^ k as u64);
+            let nested = count_permutations(&L2Squared, &sites, &db);
+            let flat = count_permutations_flat(&L2Squared, &sites_flat, &db_flat);
+            assert_eq!(flat, nested, "k = {k} ({})", CountEngine::for_k(k).name());
+            assert_eq!(flat.mean_occupancy.to_bits(), nested.mean_occupancy.to_bits(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn wide_flat_parallel_deterministic_in_thread_count() {
+        let db = uniform_unit_cube_flat(8_000, 3, 42);
+        let sites = uniform_unit_cube_flat(16, 3, 43);
         let seq = count_permutations_flat(&L2Squared, &sites, &db);
         for threads in [2, 3, 5, 8] {
             assert_eq!(

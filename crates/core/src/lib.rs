@@ -26,9 +26,11 @@
 //! * [`survey`] — the §5 analysis as one call: ρ, per-k permutation
 //!   counts, every storage layout's cost, and the dimension estimates;
 //! * [`survey_flat`] — the same survey on flat [`dp_datasets::VectorSet`]
-//!   storage through the batched site-transposed kernels and packed-u64
-//!   counting (bit-identical report, several times the throughput; this
-//!   is the engine the CLI uses for vector databases).
+//!   storage through the batched site-transposed kernels and
+//!   width-generic packed counting (`u64` keys for k ≤ 12, `u128` keys
+//!   for k ≤ 25, hash counting beyond; see [`count::CountEngine`]) —
+//!   bit-identical report, several times the throughput; this is the
+//!   engine the CLI uses for vector databases.
 //!
 //! Both the counting and survey measurements come in two equivalent
 //! engines: the generic per-point path for any metric over any point
@@ -50,7 +52,7 @@ pub mod survey_flat;
 
 pub use count::{
     count_permutations, count_permutations_flat, count_permutations_flat_parallel,
-    count_permutations_parallel, CountReport,
+    count_permutations_parallel, CountEngine, CountReport,
 };
 pub use counterexample::{eq12_sites, verify_eq12};
 pub use dimension::{estimate_dimension, ReferenceProfile};

@@ -6,8 +6,9 @@
 //! row views with the identical pair stream, and every per-k counting
 //! pass runs through the site-transposed, 4-wide strip-mined
 //! [`BatchDistance`] kernels with
-//! the branchless k²/2 ranking — packed-u64 sort+scan counting for
-//! k ≤ [`PACKED_MAX_K`], the hash counter beyond.  Distances, counts,
+//! the branchless k²/2 ranking — width-generic packed sort+scan
+//! counting (`u64` keys for k ≤ [`PACKED_MAX_K`], `u128` keys for
+//! k ≤ [`WIDE_MAX_K`]), the hash counter beyond.  Distances, counts,
 //! frequency tables and therefore **every field of the returned
 //! [`DatabaseSurvey`] are bit-for-bit identical** to the generic
 //! per-point path; the workspace property suite
@@ -23,13 +24,22 @@ use crate::survey::{
     build_ksurvey, counter_freqs, dimension_estimate, DatabaseSurvey, KSurvey, SurveyConfig,
 };
 use dp_datasets::VectorSet;
-use dp_metric::BatchDistance;
+use dp_metric::{BatchDistance, TransposedSites};
 use dp_permutation::compute::{
-    collect_counter_flat_parallel, collect_packed_flat_parallel, PACKED_MAX_K,
+    collect_counter_flat_parallel, collect_packed_flat_parallel, PACKED_MAX_K, WIDE_MAX_K,
 };
-use dp_permutation::RadixSorter;
+use dp_permutation::{PackedKey, RadixSorter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Radix scratch buffers at both key widths.  One pair serves every
+/// per-k finalize and codebook-order sort in a survey, so a k sweep
+/// crossing the u64/u128 seam reallocates nothing per k.
+#[derive(Debug, Default)]
+struct FlatSurveySorters {
+    narrow: RadixSorter<u64>,
+    wide: RadixSorter<u128>,
+}
 
 /// [`crate::survey::survey_database`] over flat vector storage: ρ plus
 /// per-k permutation counts and storage costs through the batched
@@ -63,26 +73,24 @@ pub fn survey_database_flat_parallel<M: BatchDistance + Sync>(
         config.seed ^ 0x9E37_79B9,
     );
     let mut per_k = Vec::with_capacity(config.ks.len());
-    // One radix scratch buffer serves every per-k finalize and
-    // codebook-order sort in this survey.
-    let mut sorter = RadixSorter::new();
+    let mut sorters = FlatSurveySorters::default();
     for (i, &k) in config.ks.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
         let site_ids = dp_datasets::vectors::choose_distinct_indices(database.len(), k, &mut rng);
         let sites = database.gather(&site_ids);
-        per_k.push(survey_one_k(metric, database, &sites, k, site_ids, threads, &mut sorter));
+        per_k.push(survey_one_k(metric, database, &sites, k, site_ids, threads, &mut sorters));
     }
     let dimension_estimate = dimension_estimate(&per_k, config);
     DatabaseSurvey { n: database.len(), rho, per_k, dimension_estimate }
 }
 
-/// One per-k measurement through the flat engine.  For k within the
-/// packed range the distinct/occupancy scan is the radix-sorted-run
-/// counter and the frequency table comes from
+/// One per-k measurement through the flat engine.  For k within a
+/// packed range (either key width) the distinct/occupancy scan is the
+/// radix-sorted-run counter and the frequency table comes from
 /// [`dp_permutation::PackedCountSummary::lexicographic_counts`], which
 /// matches the generic path's codebook order exactly without decoding a
-/// single permutation; beyond the packed range the hash counter feeds
-/// the same sorted-count frequency table the generic path uses.
+/// single permutation; beyond [`WIDE_MAX_K`] the hash counter feeds the
+/// same sorted-count frequency table the generic path uses.
 fn survey_one_k<M: BatchDistance + Sync>(
     metric: &M,
     database: &VectorSet,
@@ -90,20 +98,53 @@ fn survey_one_k<M: BatchDistance + Sync>(
     k: usize,
     site_ids: Vec<usize>,
     threads: usize,
-    sorter: &mut RadixSorter,
+    sorters: &mut FlatSurveySorters,
 ) -> KSurvey {
     crate::count::check_flat_dims(sites, database);
     let sites_t = crate::count::transpose_sites(sites, database);
     if k <= PACKED_MAX_K {
-        let summary = collect_packed_flat_parallel(metric, &sites_t, database.as_flat(), threads)
-            .finalize_with(sorter);
-        let report = CountReport::from(&summary);
-        build_ksurvey(k, site_ids, report, &summary.lexicographic_counts_with(sorter))
+        survey_one_k_packed::<u64, M>(
+            metric,
+            database,
+            &sites_t,
+            k,
+            site_ids,
+            threads,
+            &mut sorters.narrow,
+        )
+    } else if k <= WIDE_MAX_K {
+        survey_one_k_packed::<u128, M>(
+            metric,
+            database,
+            &sites_t,
+            k,
+            site_ids,
+            threads,
+            &mut sorters.wide,
+        )
     } else {
         let counter = collect_counter_flat_parallel(metric, &sites_t, database.as_flat(), threads);
         let report = CountReport::from(&counter);
         build_ksurvey(k, site_ids, report, &counter_freqs(&counter))
     }
+}
+
+/// The packed arm of [`survey_one_k`], monomorphized per key width so
+/// the per-row loops carry no width branch.
+fn survey_one_k_packed<K: PackedKey, M: BatchDistance + Sync>(
+    metric: &M,
+    database: &VectorSet,
+    sites_t: &TransposedSites,
+    k: usize,
+    site_ids: Vec<usize>,
+    threads: usize,
+    sorter: &mut RadixSorter<K>,
+) -> KSurvey {
+    let summary =
+        collect_packed_flat_parallel::<K, M>(metric, sites_t, database.as_flat(), threads)
+            .finalize_with(sorter);
+    let report = CountReport::from(&summary);
+    build_ksurvey(k, site_ids, report, &summary.lexicographic_counts())
 }
 
 #[cfg(test)]
@@ -156,12 +197,14 @@ mod tests {
     }
 
     #[test]
-    fn flat_survey_crosses_the_packed_boundary() {
-        // k = 13 exceeds PACKED_MAX_K: the hash-counter arm must produce
-        // the same report the generic path does.
+    fn flat_survey_crosses_the_packed_boundaries() {
+        // k = 13 crosses the u64/u128 seam onto the wide packed engine;
+        // k = 26 exceeds WIDE_MAX_K and lands on the hash-counter arm.
+        // Every arm must produce the same report as the generic path,
+        // bit-for-bit including the Huffman and entropy f64 sums.
         let nested = uniform_unit_cube(1500, 4, 31);
         let flat = uniform_unit_cube_flat(1500, 4, 31);
-        let cfg = SurveyConfig { ks: vec![12, 13], rho_pairs: 1500, ..Default::default() };
+        let cfg = SurveyConfig { ks: vec![12, 13, 25, 26], rho_pairs: 1500, ..Default::default() };
         assert_surveys_identical(
             &survey_database(&L2, &nested, &cfg),
             &survey_database_flat(&L2, &flat, &cfg),

@@ -18,17 +18,61 @@
 use crate::api::{ApproxIndex, ApproxSearcher, ProximityIndex, Searcher};
 use crate::distperm::OrderingKind;
 use crate::laesa::{choose_pivots, PivotSelection};
-use crate::query::{assert_frac, knn_budget, range_budget, KnnHeap, Neighbor, QueryStats};
+use crate::query::{
+    assert_frac, budgeted_order, knn_budget, range_budget, KnnHeap, Neighbor, QueryStats,
+};
 use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, Distance, F64Dist, SliceRefMetric, TransposedSites, STRIP_POINTS};
-use dp_permutation::compute::database_permutations_flat_parallel;
-use dp_permutation::{Permutation, PermutationCounter, MAX_K};
+use dp_permutation::compute::{database_permutations_flat_parallel, PACKED_MAX_K, WIDE_MAX_K};
+use dp_permutation::{pack_perm, PackedKey, Permutation, PermutationCounter, MAX_K};
 
 /// Candidate rows gathered per batched distance call in the budgeted
 /// scans: a multiple of [`STRIP_POINTS`] so full blocks stay on the
 /// strip-mined kernel path, small enough that the gather buffer and its
 /// distances stay in L1.
 const CANDIDATE_BLOCK_ROWS: usize = 16 * STRIP_POINTS;
+
+/// Cached inverse-position keys for the footrule candidate ordering,
+/// packed at the key width that fits k (field `e` of a point's key is
+/// the *position* of site `e` in its permutation).  The Spearman
+/// footrule is then a field-wise `abs_diff` sum over two keys — the
+/// same u64 the permutation walk produces, without materialising an
+/// inverse permutation per candidate per query.
+#[derive(Debug, Clone)]
+enum OrderingKeys {
+    /// k ≤ 12: one `u64` key per point.
+    Narrow(Vec<u64>),
+    /// 13 ≤ k ≤ 25: one `u128` key per point.
+    Wide(Vec<u128>),
+    /// k > 25: no cache — orderings walk the stored permutations.
+    Uncached,
+}
+
+impl OrderingKeys {
+    /// Packs one inverse-position key per stored permutation at the
+    /// width fitting `k`.
+    fn build(perms: &[Permutation], k: usize) -> Self {
+        if k <= PACKED_MAX_K {
+            OrderingKeys::Narrow(perms.iter().map(|p| pack_perm::<u64>(&p.inverse())).collect())
+        } else if k <= WIDE_MAX_K {
+            OrderingKeys::Wide(perms.iter().map(|p| pack_perm::<u128>(&p.inverse())).collect())
+        } else {
+            OrderingKeys::Uncached
+        }
+    }
+}
+
+/// Spearman footrule over packed inverse-position keys: field `e` holds
+/// a position, so the rank displacement of site `e` is the field-wise
+/// `abs_diff`.  Equal to `spearman_footrule` on the unpacked
+/// permutations, bit for bit.
+fn footrule_keys<K: PackedKey>(a: K, b: K, k: usize) -> u64 {
+    let mut sum = 0u64;
+    for pos in 0..k {
+        sum += u64::from(a.field(pos).abs_diff(b.field(pos)));
+    }
+    sum
+}
 
 /// Distance-permutation index over flat vector storage.
 #[derive(Debug, Clone)]
@@ -39,6 +83,7 @@ pub struct FlatDistPermIndex<M: BatchDistance> {
     sites: VectorSet,
     sites_t: TransposedSites,
     perms: Vec<Permutation>,
+    order_keys: OrderingKeys,
 }
 
 impl<M: BatchDistance + Sync> FlatDistPermIndex<M> {
@@ -74,7 +119,8 @@ impl<M: BatchDistance + Sync> FlatDistPermIndex<M> {
         let sites_t = TransposedSites::from_rows(sites.as_flat(), sites.dim());
         let perms =
             database_permutations_flat_parallel(&metric, &sites_t, points.as_flat(), threads);
-        Self { metric, points, site_ids, sites, sites_t, perms }
+        let order_keys = OrderingKeys::build(&perms, site_ids.len());
+        Self { metric, points, site_ids, sites, sites_t, perms, order_keys }
     }
 }
 
@@ -113,7 +159,8 @@ impl<M: BatchDistance> FlatDistPermIndex<M> {
             perms.iter().all(|p| p.len() == site_ids.len()),
             "permutation length disagrees with k"
         );
-        Self { metric, points, site_ids, sites, sites_t, perms }
+        let order_keys = OrderingKeys::build(&perms, site_ids.len());
+        Self { metric, points, site_ids, sites, sites_t, perms, order_keys }
     }
 
     /// Database size.
@@ -160,6 +207,20 @@ impl<M: BatchDistance> FlatDistPermIndex<M> {
     /// The stored permutations, parallel to the database.
     pub fn permutations(&self) -> &[Permutation] {
         &self.perms
+    }
+
+    /// The candidate-ordering engine footrule scans run on: packed
+    /// inverse-position keys at the width that fits k (`"packed-u64"`
+    /// for k ≤ 12, `"packed-u128"` for k ≤ 25) or direct permutation
+    /// walks beyond the packed range (`"permutation"`).  All engines
+    /// order candidates identically; the label exists so callers (the
+    /// CLI in particular) can report which one serves a given k.
+    pub fn ordering_engine(&self) -> &'static str {
+        match self.order_keys {
+            OrderingKeys::Narrow(_) => "packed-u64",
+            OrderingKeys::Wide(_) => "packed-u128",
+            OrderingKeys::Uncached => "permutation",
+        }
     }
 
     /// Occurrence counter over the stored permutations (the paper's
@@ -283,7 +344,7 @@ impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
         }
         let budget = knn_budget(n, k, frac);
         let qperm = query_permutation_into(index, &mut self.dists, query);
-        crate::distperm::order_candidates(&index.perms, &qperm, ordering, budget, &mut self.order);
+        order_candidates_cached(index, &qperm, ordering, budget, &mut self.order);
         let mut heap = KnnHeap::new(k.min(n));
         measure_candidates(
             index,
@@ -314,13 +375,7 @@ impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
         }
         let budget = range_budget(n, frac);
         let qperm = query_permutation_into(index, &mut self.dists, query);
-        crate::distperm::order_candidates(
-            &index.perms,
-            &qperm,
-            OrderingKind::Footrule,
-            budget,
-            &mut self.order,
-        );
+        order_candidates_cached(index, &qperm, OrderingKind::Footrule, budget, &mut self.order);
         let mut out: Vec<Neighbor<F64Dist>> = Vec::new();
         measure_candidates(
             index,
@@ -338,6 +393,38 @@ impl<M: BatchDistance> FlatDistPermSearcher<'_, M> {
         out.sort_unstable();
         (out, QueryStats::new((index.k() + budget) as u64))
     }
+}
+
+/// Orders candidates for the flat searchers: footrule queries run over
+/// the index's cached packed inverse-position keys when k fits a key
+/// width (same `(distance, id)` pairs as the permutation walk, so the
+/// budgeted prefix is identical to the bit); every other case falls
+/// back to [`crate::distperm::order_candidates`].
+fn order_candidates_cached<M: BatchDistance>(
+    index: &FlatDistPermIndex<M>,
+    qperm: &Permutation,
+    ordering: OrderingKind,
+    budget: usize,
+    order: &mut Vec<(u64, usize)>,
+) {
+    if ordering == OrderingKind::Footrule {
+        match &index.order_keys {
+            OrderingKeys::Narrow(keys) => {
+                let q = pack_perm::<u64>(&qperm.inverse());
+                let k = index.k();
+                budgeted_order(keys.iter().map(|&p| footrule_keys(q, p, k)), budget, order);
+                return;
+            }
+            OrderingKeys::Wide(keys) => {
+                let q = pack_perm::<u128>(&qperm.inverse());
+                let k = index.k();
+                budgeted_order(keys.iter().map(|&p| footrule_keys(q, p, k)), budget, order);
+                return;
+            }
+            OrderingKeys::Uncached => {}
+        }
+    }
+    crate::distperm::order_candidates(&index.perms, qperm, ordering, budget, order);
 }
 
 /// Measures the ordered candidates against `query` through the batched
@@ -479,6 +566,88 @@ mod tests {
                 flat_idx.range_approx(&q, radius, 0.5),
                 generic.range_approx(&q, radius, 0.5)
             );
+        }
+    }
+
+    #[test]
+    fn footrule_over_keys_matches_the_permutation_walk() {
+        use dp_permutation::permdist::spearman_footrule;
+        let perms: Vec<Permutation> = (0..200u64)
+            .map(|s| {
+                let mut items: Vec<u8> = (0..20u8).collect();
+                let mut seed = s;
+                for i in (1..items.len()).rev() {
+                    seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                    let j = (seed >> 33) as usize % (i + 1);
+                    items.swap(i, j);
+                }
+                Permutation::from_slice(&items).unwrap()
+            })
+            .collect();
+        for pair in perms.chunks(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let ka = pack_perm::<u128>(&a.inverse());
+            let kb = pack_perm::<u128>(&b.inverse());
+            assert_eq!(footrule_keys(ka, kb, 20), spearman_footrule(a, b));
+        }
+        // And at the narrow width.
+        let a = Permutation::from_slice(&[2, 0, 3, 1]).unwrap();
+        let b = Permutation::from_slice(&[3, 1, 0, 2]).unwrap();
+        let ka = pack_perm::<u64>(&a.inverse());
+        let kb = pack_perm::<u64>(&b.inverse());
+        assert_eq!(footrule_keys(ka, kb, 4), spearman_footrule(&a, &b));
+    }
+
+    #[test]
+    fn ordering_engine_labels_follow_k() {
+        let flat = VectorSet::from_nested(&random_points(100, 3, 50));
+        for (k, label) in [(8usize, "packed-u64"), (16, "packed-u128"), (26, "permutation")] {
+            let idx = FlatDistPermIndex::build(L2, flat.clone(), k, PivotSelection::Prefix, 1);
+            assert_eq!(idx.ordering_engine(), label, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn wide_and_uncached_orderings_match_generic_index() {
+        // k = 16 exercises the u128 cached-key footrule; k = 26 the
+        // uncached permutation-walk fallback.  Both must answer exactly
+        // like the generic index, budgeted and exact.
+        for k in [16usize, 26] {
+            let nested = random_points(500, 3, 60 + k as u64);
+            let flat = VectorSet::from_nested(&nested);
+            let site_ids: Vec<usize> = (0..k).map(|i| (i * 17) % 500).collect();
+            let generic = DistPermIndex::build_with_sites(L2, nested, site_ids.clone());
+            let flat_idx = FlatDistPermIndex::build_with_sites(L2, flat, site_ids, 2);
+            assert_eq!(flat_idx.permutations(), generic.permutations(), "k = {k}");
+            for q in random_points(6, 3, 61) {
+                assert_eq!(flat_idx.knn_approx(&q, 5, 0.2), generic.knn_approx(&q, 5, 0.2));
+                assert_eq!(flat_idx.knn_approx(&q, 5, 1.0), generic.knn_approx(&q, 5, 1.0));
+                let radius = F64Dist::new(0.4);
+                assert_eq!(
+                    flat_idx.range_approx(&q, radius, 0.5),
+                    generic.range_approx(&q, radius, 0.5),
+                    "k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rebuilds_the_ordering_cache() {
+        // The store loading path must answer bit-identically to the
+        // fresh build at a wide k — including the cached-key ordering.
+        let flat = VectorSet::from_nested(&random_points(300, 2, 70));
+        let built = FlatDistPermIndex::build(L2, flat.clone(), 14, PivotSelection::MaxMin, 2);
+        let loaded = FlatDistPermIndex::from_parts(
+            L2,
+            flat,
+            built.site_ids().to_vec(),
+            built.sites_transposed().clone(),
+            built.permutations().to_vec(),
+        );
+        assert_eq!(loaded.ordering_engine(), "packed-u128");
+        for q in random_points(5, 2, 71) {
+            assert_eq!(loaded.knn_approx(&q, 4, 0.3), built.knn_approx(&q, 4, 0.3));
         }
     }
 

@@ -6,6 +6,7 @@
 //! [`dp_metric::Distance`] is totally ordered the result is deterministic.
 
 use crate::counter::{PackedPermutationCounter, PermutationCounter};
+use crate::key::PackedKey;
 use crate::perm::{Permutation, MAX_K};
 use dp_metric::{BatchDistance, Metric, TransposedSites};
 
@@ -207,7 +208,12 @@ pub fn collect_counter_flat_parallel<M: BatchDistance + Sync>(
 
 /// Largest k whose permutations pack into a u64 key (5 bits per
 /// element) — covers every configuration the paper's experiments use.
-pub const PACKED_MAX_K: usize = 12;
+pub const PACKED_MAX_K: usize = <u64 as PackedKey>::MAX_K;
+
+/// Largest k the packed pipeline covers at all: the u128 key width
+/// (5 bits per element, 25 fields).  `k > WIDE_MAX_K` falls back to the
+/// hash counting path.
+pub const WIDE_MAX_K: usize = <u128 as PackedKey>::MAX_K;
 
 /// Branchless distance-permutation ranking.
 ///
@@ -351,17 +357,107 @@ fn permutation_from_ranks(ranks: &[u8; MAX_K], k: usize) -> Permutation {
     Permutation::from_sorted_indices(&items[..k])
 }
 
-/// Packs a rank vector into the 5-bits-per-element u64 key
-/// (requires `k <= PACKED_MAX_K`): element at position `p` of Π occupies
-/// bits `5p..5p+5`.  Injective, so distinct keys ⇔ distinct permutations.
+/// Packs a rank vector into the 5-bits-per-element lexicographic key
+/// (requires `k <= K::MAX_K`): element at position `p` of Π occupies
+/// group `k-1-p`, the [`crate::pack_perm`] layout, so ascending key order is
+/// the permutations' lexicographic order.  Injective, so distinct
+/// keys ⇔ distinct permutations.
 #[inline]
-fn packed_key_from_ranks(ranks: &[u8; MAX_K], k: usize) -> u64 {
-    debug_assert!(k <= PACKED_MAX_K);
-    let mut key = 0u64;
+fn packed_key_from_ranks<K: PackedKey>(ranks: &[u8; MAX_K], k: usize) -> K {
+    debug_assert!(k <= K::MAX_K);
+    let mut key = K::ZERO;
     for (i, &r) in ranks[..k].iter().enumerate() {
-        key |= (i as u64) << (5 * r);
+        key |= K::from_elem(i as u8) << K::elem_shift(k - 1 - r as usize);
     }
     key
+}
+
+/// Ranks every `k`-wide row of a distance block and emits one **packed
+/// key** per row, in order — the fused form of [`rank_rows`] +
+/// [`packed_key_from_ranks`].
+///
+/// Full tiles read the vectorized rank lanes straight out of
+/// [`rank_rows_tile`]'s site-major accumulator and OR each site's field
+/// into the key, so ranks go register → packed key with no de-transpose
+/// into a per-row rank array.  Bit-identical to packing the de-transposed
+/// ranks: both place site `i` in the group for position `rank(i)` of the
+/// lexicographic layout, and the remainder rows still run [`rank_row`] +
+/// [`packed_key_from_ranks`].
+#[inline]
+fn rank_rows_keys<K: PackedKey>(block_dists: &[f64], k: usize, mut emit: impl FnMut(K)) {
+    debug_assert!(k > 0 && k <= K::MAX_K);
+    let tiles = block_dists.chunks_exact(RANK_LANES * k);
+    let remainder = tiles.remainder();
+    let mut rank_lanes = [[0i64; RANK_LANES]; MAX_K];
+    for tile in tiles {
+        rank_rows_tile(tile, k, &mut rank_lanes);
+        for lane in 0..RANK_LANES {
+            let key = if K::BITS > 64 {
+                // Wide keys: a variable 128-bit shift is several ops on
+                // 64-bit hardware, so de-transpose the lane's ranks into
+                // a position-ordered row first and shift-accumulate with
+                // a constant one-field shift — the same
+                // Σ site·2^(5·(k-1-pos)) value, field by field.
+                let mut items = [0u8; MAX_K];
+                for (i, lanes) in rank_lanes[..k].iter().enumerate() {
+                    items[lanes[lane] as usize] = i as u8;
+                }
+                let mut key = K::ZERO;
+                for &site in &items[..k] {
+                    key = (key << K::elem_shift(1)) | K::from_elem(site);
+                }
+                key
+            } else {
+                let mut key = K::ZERO;
+                for (i, lanes) in rank_lanes[..k].iter().enumerate() {
+                    key |= K::from_elem(i as u8) << K::elem_shift(k - 1 - lanes[lane] as usize);
+                }
+                key
+            };
+            emit(key);
+        }
+    }
+    let ranks = &mut [0u8; MAX_K];
+    for row_dists in remainder.chunks_exact(k) {
+        rank_row(row_dists, ranks);
+        emit(packed_key_from_ranks(ranks, k));
+    }
+}
+
+/// Block driver for the packed-key kernels: computes batched distances
+/// and hands each row's fused packed key to `emit` — [`flat_scan_ranks`]
+/// with the ranking and packing phases fused per tile.
+fn flat_scan_keys<K: PackedKey, M: BatchDistance>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+    mut emit: impl FnMut(K),
+) {
+    let k = sites.k();
+    assert!(k <= K::MAX_K, "k = {k} exceeds MAX_K = {} for {}-bit packed keys", K::MAX_K, K::BITS);
+    let dim = sites.dim();
+    assert!(
+        dim > 0 || db_rows.is_empty(),
+        "sites declare dim 0 but the database has coordinates; build the \
+         TransposedSites with the database's dimension"
+    );
+    let dim = dim.max(1);
+    assert_eq!(db_rows.len() % dim, 0, "database rows not a multiple of dim");
+    if k == 0 {
+        for _ in 0..db_rows.len() / dim {
+            emit(K::ZERO);
+        }
+        return;
+    }
+    let mut dists = vec![0.0f64; FLAT_BLOCK_ROWS * k];
+    for block in db_rows.chunks(FLAT_BLOCK_ROWS * dim) {
+        let rows_in_block = block.len() / dim;
+        let block_dists = &mut dists[..rows_in_block * k];
+        metric.batch_distances(block, sites, block_dists);
+        let any_nan = block_dists.iter().fold(false, |acc, &d| acc | d.is_nan());
+        assert!(!any_nan, "distance must not be NaN");
+        rank_rows_keys(block_dists, k, &mut emit);
+    }
 }
 
 fn flat_scan<M: BatchDistance>(
@@ -373,23 +469,23 @@ fn flat_scan<M: BatchDistance>(
     flat_scan_ranks(metric, sites, db_rows, |ranks, k| emit(permutation_from_ranks(ranks, k)));
 }
 
-/// Computes the packed u64 permutation key of every row — the
+/// Computes the packed permutation key of every row — the
 /// distance + ranking phases of the counting pipeline with no sort and
-/// no counter, in database order.  [`collect_packed_flat`] is exactly
-/// this buffer wrapped in a [`PackedPermutationCounter`]; the
-/// `counting_phases` bench measures the phases separately through it.
+/// no counter, in database order, at either key width.
+/// [`collect_packed_flat`] is exactly this buffer wrapped in a
+/// [`PackedPermutationCounter`]; the `counting_phases` bench measures
+/// the phases separately through it.
 ///
 /// # Panics
-/// Panics if `sites.k() > PACKED_MAX_K`.
-pub fn packed_keys_flat<M: BatchDistance>(
+/// Panics if `sites.k() > K::MAX_K`.
+pub fn packed_keys_flat<K: PackedKey, M: BatchDistance>(
     metric: &M,
     sites: &TransposedSites,
     db_rows: &[f64],
-) -> Vec<u64> {
-    assert!(sites.k() <= PACKED_MAX_K, "k = {} exceeds PACKED_MAX_K = {PACKED_MAX_K}", sites.k());
+) -> Vec<K> {
     let n = db_rows.len() / sites.dim().max(1);
     let mut keys = Vec::with_capacity(n);
-    flat_scan_ranks(metric, sites, db_rows, |ranks, k| keys.push(packed_key_from_ranks(ranks, k)));
+    flat_scan_keys(metric, sites, db_rows, |key| keys.push(key));
     keys
 }
 
@@ -399,29 +495,29 @@ pub fn packed_keys_flat<M: BatchDistance>(
 /// benchmarks can time it against a precomputed buffer).
 ///
 /// # Panics
-/// Panics if `k` is 0 or exceeds `PACKED_MAX_K`, if the buffer is not a
+/// Panics if `k` is 0 or exceeds `K::MAX_K`, if the buffer is not a
 /// whole number of rows, or if any distance is NaN.
-pub fn rank_distance_rows_packed(row_dists: &[f64], k: usize) -> Vec<u64> {
-    assert!((1..=PACKED_MAX_K).contains(&k), "k = {k} outside 1..=PACKED_MAX_K");
+pub fn rank_distance_rows_packed<K: PackedKey>(row_dists: &[f64], k: usize) -> Vec<K> {
+    assert!((1..=K::MAX_K).contains(&k), "k = {k} outside 1..=MAX_K for this key width");
     assert_eq!(row_dists.len() % k, 0, "distance buffer not a multiple of k");
     let any_nan = row_dists.iter().fold(false, |acc, &d| acc | d.is_nan());
     assert!(!any_nan, "distance must not be NaN");
     let mut keys = Vec::with_capacity(row_dists.len() / k);
-    rank_rows(row_dists, k, |ranks| keys.push(packed_key_from_ranks(ranks, k)));
+    rank_rows_keys(row_dists, k, |key| keys.push(key));
     keys
 }
 
 /// Counts permutation occurrences over a flat database into a
 /// [`PackedPermutationCounter`] — the fastest counting path: no
-/// permutation value is materialised, keys are single u64s.
+/// permutation value is materialised, keys are single machine words.
 ///
 /// # Panics
-/// Panics if `sites.k() > PACKED_MAX_K`.
-pub fn collect_packed_flat<M: BatchDistance>(
+/// Panics if `sites.k() > K::MAX_K`.
+pub fn collect_packed_flat<K: PackedKey, M: BatchDistance>(
     metric: &M,
     sites: &TransposedSites,
     db_rows: &[f64],
-) -> PackedPermutationCounter {
+) -> PackedPermutationCounter<K> {
     PackedPermutationCounter::from_keys(sites.k(), packed_keys_flat(metric, sites, db_rows))
 }
 
@@ -434,14 +530,20 @@ pub fn collect_packed_flat<M: BatchDistance>(
 /// sorted multiset of the concatenation).
 ///
 /// # Panics
-/// Panics if `sites.k() > PACKED_MAX_K`.
-pub fn collect_packed_flat_parallel<M: BatchDistance + Sync>(
+/// Panics if `sites.k() > K::MAX_K`.
+pub fn collect_packed_flat_parallel<K: PackedKey, M: BatchDistance + Sync>(
     metric: &M,
     sites: &TransposedSites,
     db_rows: &[f64],
     threads: usize,
-) -> PackedPermutationCounter {
-    assert!(sites.k() <= PACKED_MAX_K, "k = {} exceeds PACKED_MAX_K = {PACKED_MAX_K}", sites.k());
+) -> PackedPermutationCounter<K> {
+    assert!(
+        sites.k() <= K::MAX_K,
+        "k = {} exceeds MAX_K = {} for {}-bit packed keys",
+        sites.k(),
+        K::MAX_K,
+        K::BITS
+    );
     let dim = sites.dim().max(1);
     assert_eq!(db_rows.len() % dim, 0, "database rows not a multiple of dim");
     let n = db_rows.len() / dim;
@@ -450,13 +552,13 @@ pub fn collect_packed_flat_parallel<M: BatchDistance + Sync>(
         return collect_packed_flat(metric, sites, db_rows);
     }
     let rows_per = n.div_ceil(threads);
-    let mut runs: Vec<Vec<u64>> = Vec::new();
+    let mut runs: Vec<Vec<K>> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = db_rows
             .chunks(rows_per * dim)
             .map(|rows| {
                 scope.spawn(move |_| {
-                    let mut counter = collect_packed_flat(metric, sites, rows);
+                    let mut counter = collect_packed_flat::<K, M>(metric, sites, rows);
                     counter.sort_keys(&mut crate::radix::RadixSorter::new());
                     counter.into_keys()
                 })
@@ -472,7 +574,7 @@ pub fn collect_packed_flat_parallel<M: BatchDistance + Sync>(
 
 /// Merges sorted runs pairwise until one remains — `O(n log t)` for `t`
 /// runs, each round a cache-friendly linear two-way merge.
-fn merge_sorted_runs(mut runs: Vec<Vec<u64>>) -> Vec<u64> {
+fn merge_sorted_runs<K: PackedKey>(mut runs: Vec<Vec<K>>) -> Vec<K> {
     while runs.len() > 1 {
         let mut next = Vec::with_capacity(runs.len().div_ceil(2));
         let mut it = runs.into_iter();
@@ -487,7 +589,7 @@ fn merge_sorted_runs(mut runs: Vec<Vec<u64>>) -> Vec<u64> {
     runs.pop().unwrap_or_default()
 }
 
-fn merge_two(a: &[u64], b: &[u64]) -> Vec<u64> {
+fn merge_two<K: PackedKey>(a: &[K], b: &[K]) -> Vec<K> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
@@ -658,16 +760,63 @@ mod tests {
         let (n, k, dim) = (6000, 8, 3);
         let db = weyl_rows(n, dim, 7);
         let sites_t = TransposedSites::from_rows(&weyl_rows(k, dim, 8), dim);
-        let seq_packed = collect_packed_flat(&L2Squared, &sites_t, &db).finalize();
+        let seq_packed = collect_packed_flat::<u64, _>(&L2Squared, &sites_t, &db).finalize();
         let seq_hash = collect_counter_flat(&L2Squared, &sites_t, &db);
         for threads in [1, 2, 3, 8] {
-            let par = collect_packed_flat_parallel(&L2Squared, &sites_t, &db, threads).finalize();
+            let par = collect_packed_flat_parallel::<u64, _>(&L2Squared, &sites_t, &db, threads)
+                .finalize();
             assert_eq!(par.distinct(), seq_packed.distinct(), "threads = {threads}");
             assert_eq!(par.total(), seq_packed.total());
             assert_eq!(par.permutations(), seq_packed.permutations());
             let par_hash = collect_counter_flat_parallel(&L2Squared, &sites_t, &db, threads);
             assert_eq!(par_hash.distinct(), seq_hash.distinct(), "threads = {threads}");
             assert_eq!(par_hash.sorted_permutations(), seq_hash.sorted_permutations());
+        }
+    }
+
+    #[test]
+    fn wide_collectors_match_hash_collectors_above_the_u64_seam() {
+        use dp_metric::L2Squared;
+        // k = 16 only fits the u128 key width; the wide sorted-run
+        // pipeline must agree with the hash oracle exactly.
+        let (n, k, dim) = (4000, 16, 3);
+        let db = weyl_rows(n, dim, 11);
+        let sites_t = TransposedSites::from_rows(&weyl_rows(k, dim, 12), dim);
+        let wide = collect_packed_flat::<u128, _>(&L2Squared, &sites_t, &db).finalize();
+        let hash = collect_counter_flat(&L2Squared, &sites_t, &db);
+        assert_eq!(wide.distinct(), hash.distinct());
+        assert_eq!(wide.total(), hash.total());
+        assert_eq!(wide.mean_occupancy().to_bits(), hash.mean_occupancy().to_bits());
+        let mut decoded = wide.permutations();
+        decoded.sort_unstable();
+        assert_eq!(decoded, hash.sorted_permutations());
+        for threads in [1, 2, 4] {
+            let par = collect_packed_flat_parallel::<u128, _>(&L2Squared, &sites_t, &db, threads)
+                .finalize();
+            assert_eq!(par.distinct(), wide.distinct(), "threads = {threads}");
+            assert_eq!(par.permutations(), wide.permutations(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fused_key_packing_matches_rank_then_pack() {
+        // The fused tile packer must emit exactly the keys the two-phase
+        // rank → pack path produces, at both widths, including the
+        // partial-tile remainder (n not a multiple of RANK_LANES).
+        let n = 1029; // not a multiple of RANK_LANES
+        for k in [1usize, 7, 12] {
+            let row_dists = weyl_rows(n, k, 31 + k as u64);
+            let fused: Vec<u64> = rank_distance_rows_packed(&row_dists, k);
+            let mut unfused: Vec<u64> = Vec::new();
+            rank_rows(&row_dists, k, |ranks| unfused.push(packed_key_from_ranks(ranks, k)));
+            assert_eq!(fused, unfused, "k = {k}");
+        }
+        for k in [13usize, 20, 25] {
+            let row_dists = weyl_rows(n, k, 41 + k as u64);
+            let fused: Vec<u128> = rank_distance_rows_packed(&row_dists, k);
+            let mut unfused: Vec<u128> = Vec::new();
+            rank_rows(&row_dists, k, |ranks| unfused.push(packed_key_from_ranks(ranks, k)));
+            assert_eq!(fused, unfused, "k = {k}");
         }
     }
 

@@ -10,14 +10,16 @@
 //!   permutation), which Table 2's analysis uses ("about 10 database
 //!   points per permutation").
 //! * [`PackedPermutationCounter`] — the sorted-run pipeline behind the
-//!   flat engine: inserts append a packed u64 key, [`finalize`]
-//!   (radix-)sorts the buffer once and [`count_sorted_runs`] turns the
-//!   sorted runs into occupancies.  No hashing anywhere on the hot path.
+//!   flat engine: inserts append a packed key (a [`PackedKey`] word —
+//!   `u64` for k ≤ 12, `u128` for k ≤ 25), [`finalize`] (radix-)sorts
+//!   the buffer once and [`count_sorted_runs`] turns the sorted runs
+//!   into occupancies.  No hashing anywhere on the hot path.
 //!
 //! [`finalize`]: PackedPermutationCounter::finalize
 
 use crate::compute::DistPermComputer;
 use crate::fxhash::FxHashMap;
+use crate::key::PackedKey;
 use crate::perm::Permutation;
 use crate::radix::RadixSorter;
 use dp_metric::Metric;
@@ -101,25 +103,37 @@ impl PermutationCounter {
     /// assigns ids in, so mapping this to its counts *is* the frequency
     /// table both survey engines emit.
     ///
-    /// For a uniform permutation length `k ≤ PACKED_MAX_K` the sort runs
-    /// as a radix sort over group-reversed packed keys (no `Permutation`
-    /// is compared); mixed or longer lengths fall back to a comparison
-    /// sort with identical output.
+    /// For a uniform permutation length `k ≤ WIDE_MAX_K` the sort runs
+    /// as a radix sort over packed lexicographic keys at the width that
+    /// fits `k` (no `Permutation` is compared); mixed or longer lengths
+    /// fall back to a comparison sort with identical output.
     pub fn sorted_counts(&self) -> Vec<(Permutation, u64)> {
         let uniform_k = self.counts.keys().next().map(super::perm::Permutation::len).filter(|&k| {
-            k <= crate::compute::PACKED_MAX_K && self.counts.keys().all(|p| p.len() == k)
+            k <= crate::compute::WIDE_MAX_K && self.counts.keys().all(|p| p.len() == k)
         });
         if let Some(k) = uniform_k {
-            let mut pairs: Vec<(u64, u64)> =
-                self.counts.iter().map(|(p, &c)| (lex_key(p, k), c)).collect();
-            RadixSorter::new().sort_pairs(&mut pairs, 5 * k as u32);
-            pairs.into_iter().map(|(key, c)| (decode_lex_key(key, k), c)).collect()
+            crate::for_packed_k!(k, K => self.sorted_counts_radix::<K>(k),
+                _ => self.sorted_counts_cmp())
         } else {
-            let mut v: Vec<(Permutation, u64)> =
-                self.counts.iter().map(|(&p, &c)| (p, c)).collect();
-            v.sort_unstable_by_key(|&(p, _)| p);
-            v
+            self.sorted_counts_cmp()
         }
+    }
+
+    /// The radix arm of [`Self::sorted_counts`]: sort packed
+    /// (lexicographic-layout) keys of a uniform length `k` at width `K`.
+    fn sorted_counts_radix<K: PackedKey>(&self, k: usize) -> Vec<(Permutation, u64)> {
+        let mut pairs: Vec<(K, u64)> =
+            self.counts.iter().map(|(p, &c)| (pack_perm::<K>(p), c)).collect();
+        RadixSorter::<K>::new().sort_pairs(&mut pairs, K::key_bits(k));
+        pairs.into_iter().map(|(key, c)| (decode_packed(key, k), c)).collect()
+    }
+
+    /// The comparison-sort arm of [`Self::sorted_counts`] — identical
+    /// output, works for any mix of lengths.
+    fn sorted_counts_cmp(&self) -> Vec<(Permutation, u64)> {
+        let mut v: Vec<(Permutation, u64)> = self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        v.sort_unstable_by_key(|&(p, _)| p);
+        v
     }
 
     /// Merges another counter into this one.
@@ -148,8 +162,9 @@ impl PermutationCounter {
     }
 }
 
-/// Occurrence counter keyed on packed u64 permutation codes
-/// (5 bits per element, so k ≤ [`crate::compute::PACKED_MAX_K`]).
+/// Occurrence counter keyed on packed permutation codes (5 bits per
+/// element in a [`PackedKey`] word — `u64` for k ≤ 12, `u128` for
+/// k ≤ 25).
 ///
 /// The fast engine behind flat counting.  Inserts only append to a key
 /// buffer (no hashing, no per-insert cache miss — crucial when most
@@ -159,21 +174,22 @@ impl PermutationCounter {
 /// count equals the distinct count of the underlying permutations
 /// exactly.
 #[derive(Debug, Clone)]
-pub struct PackedPermutationCounter {
+pub struct PackedPermutationCounter<K: PackedKey = u64> {
     k: usize,
-    keys: Vec<u64>,
+    keys: Vec<K>,
 }
 
-impl PackedPermutationCounter {
+impl<K: PackedKey> PackedPermutationCounter<K> {
     /// An empty counter for permutations of length `k`.
     ///
     /// # Panics
-    /// Panics if `k > PACKED_MAX_K`.
+    /// Panics if `k` exceeds the key width's capacity (`K::MAX_K`).
     pub fn new(k: usize) -> Self {
         assert!(
-            k <= crate::compute::PACKED_MAX_K,
-            "k = {k} exceeds PACKED_MAX_K = {}",
-            crate::compute::PACKED_MAX_K
+            k <= K::MAX_K,
+            "k = {k} exceeds MAX_K = {} for {}-bit packed keys",
+            K::MAX_K,
+            K::BITS
         );
         Self { k, keys: Vec::new() }
     }
@@ -183,10 +199,10 @@ impl PackedPermutationCounter {
         self.k
     }
 
-    /// Records one occurrence of a packed key (element at position `p`
-    /// in bits `5p..5p+5`).
+    /// Records one occurrence of a packed key (the [`pack_perm`]
+    /// lexicographic layout: position `p` in group `k-1-p`).
     #[inline]
-    pub fn insert_key(&mut self, key: u64) {
+    pub fn insert_key(&mut self, key: K) {
         self.keys.push(key);
     }
 
@@ -209,15 +225,15 @@ impl PackedPermutationCounter {
     ///
     /// Allocates one scratch buffer; loops that finalize repeatedly
     /// should reuse a sorter through [`Self::finalize_with`].
-    pub fn finalize(self) -> PackedCountSummary {
+    pub fn finalize(self) -> PackedCountSummary<K> {
         self.finalize_with(&mut RadixSorter::new())
     }
 
     /// [`Self::finalize`] through a caller-owned [`RadixSorter`], so
     /// repeated finalizes (the per-k survey loop) share one scratch
     /// buffer instead of reallocating.
-    pub fn finalize_with(mut self, sorter: &mut RadixSorter) -> PackedCountSummary {
-        sorter.sort_keys(&mut self.keys, 5 * self.k as u32);
+    pub fn finalize_with(mut self, sorter: &mut RadixSorter<K>) -> PackedCountSummary<K> {
+        sorter.sort_keys(&mut self.keys, K::key_bits(self.k));
         let occupancies = count_sorted_runs(&self.keys);
         PackedCountSummary { k: self.k, keys: self.keys, occupancies }
     }
@@ -226,8 +242,8 @@ impl PackedPermutationCounter {
     /// buffer directly and only then enter counter land).
     ///
     /// # Panics
-    /// Panics if `k > PACKED_MAX_K`.
-    pub(crate) fn from_keys(k: usize, keys: Vec<u64>) -> Self {
+    /// Panics if `k` exceeds the key width's capacity.
+    pub(crate) fn from_keys(k: usize, keys: Vec<K>) -> Self {
         let mut c = Self::new(k);
         c.keys = keys;
         c
@@ -235,7 +251,7 @@ impl PackedPermutationCounter {
 
     /// The raw key buffer, consumed (sorted only if the collector sorted
     /// it — [`Self::finalize`] handles either state).
-    pub(crate) fn into_keys(self) -> Vec<u64> {
+    pub(crate) fn into_keys(self) -> Vec<K> {
         self.keys
     }
 
@@ -243,43 +259,20 @@ impl PackedPermutationCounter {
     /// [`Self::finalize`] hits the sorted fast path — the parallel
     /// collectors sort per-chunk buffers inside their workers and merge
     /// the sorted runs.
-    pub(crate) fn sort_keys(&mut self, sorter: &mut RadixSorter) {
-        sorter.sort_keys(&mut self.keys, 5 * self.k as u32);
+    pub(crate) fn sort_keys(&mut self, sorter: &mut RadixSorter<K>) {
+        sorter.sort_keys(&mut self.keys, K::key_bits(self.k));
     }
-}
-
-/// Packs a permutation into its **lexicographic** u64 key: position 0 in
-/// the most significant 5-bit group, so u64 order coincides with
-/// [`Permutation`] order at fixed length.
-fn lex_key(p: &Permutation, k: usize) -> u64 {
-    group_reverse(pack_perm(p), k)
-}
-
-/// Reverses the 5-bit groups of a packed key: packed order (position 0
-/// least significant) → lexicographic order (position 0 most
-/// significant).  A u64 permutation of bit groups — no decode.
-pub(crate) fn group_reverse(key: u64, k: usize) -> u64 {
-    let mut lex = 0u64;
-    for p in 0..k {
-        lex |= ((key >> (5 * p)) & 0x1F) << (5 * (k - 1 - p));
-    }
-    lex
-}
-
-/// Inverse of [`lex_key`].
-fn decode_lex_key(key: u64, k: usize) -> Permutation {
-    decode_packed(group_reverse(key, k), k)
 }
 
 /// Finalized statistics of a [`PackedPermutationCounter`].
 #[derive(Debug, Clone)]
-pub struct PackedCountSummary {
+pub struct PackedCountSummary<K: PackedKey = u64> {
     k: usize,
-    keys: Vec<u64>,
+    keys: Vec<K>,
     occupancies: Vec<u64>,
 }
 
-impl PackedCountSummary {
+impl<K: PackedKey> PackedCountSummary<K> {
     /// Number of distinct permutations observed.
     pub fn distinct(&self) -> usize {
         self.occupancies.len()
@@ -304,14 +297,16 @@ impl PackedCountSummary {
         self.k
     }
 
-    /// The distinct permutations, decoded, sorted by packed key.
+    /// The distinct permutations, decoded, in lexicographic order —
+    /// the same order as [`PermutationCounter::sorted_permutations`].
     pub fn permutations(&self) -> Vec<Permutation> {
         self.distinct_keys().map(|key| self.decode(key)).collect()
     }
 
-    /// The distinct packed keys in sorted (packed) order — one run start
-    /// per occupancy entry.
-    pub fn distinct_keys(&self) -> impl Iterator<Item = u64> + '_ {
+    /// The distinct packed keys in ascending key order — one run start
+    /// per occupancy entry.  The [`pack_perm`] layout makes this the
+    /// lexicographic order of the decoded permutations.
+    pub fn distinct_keys(&self) -> impl Iterator<Item = K> + '_ {
         self.occupancies.iter().scan(0usize, move |pos, &count| {
             let key = self.keys[*pos];
             *pos += count as usize;
@@ -319,10 +314,11 @@ impl PackedCountSummary {
         })
     }
 
-    /// Iterator over `(permutation, occurrence count)`, in packed-key
-    /// order.  The counterpart of [`PermutationCounter::iter`] — the
-    /// flat survey path uses it to recover the occupancy distribution
-    /// without re-hashing every observation.
+    /// Iterator over `(permutation, occurrence count)`, in
+    /// lexicographic order.  The counterpart of
+    /// [`PermutationCounter::iter`] — the flat survey path uses it to
+    /// recover the occupancy distribution without re-hashing every
+    /// observation.
     pub fn iter(&self) -> impl Iterator<Item = (Permutation, u64)> + '_ {
         self.occupancies.iter().scan(0usize, move |pos, &count| {
             let key = self.keys[*pos];
@@ -337,29 +333,12 @@ impl PackedCountSummary {
     /// frequency table built from this vector is element-for-element
     /// identical to the hash-counter path's.
     ///
-    /// Packed keys sort by the *last* position first (position `p` lives
-    /// in bits `5p..5p+5`), so this re-sorts by the group-reversed key
-    /// (position 0 most significant) — a u64 sort, no permutation is
-    /// decoded or compared.
+    /// The [`pack_perm`] layout puts position 0 in the most significant
+    /// occupied group, so ascending key order *is* lexicographic order
+    /// and the finalized occupancies are already this table — no second
+    /// sort, no decode.
     pub fn lexicographic_counts(&self) -> Vec<u64> {
-        self.lexicographic_counts_with(&mut RadixSorter::new())
-    }
-
-    /// [`Self::lexicographic_counts`] through a caller-owned
-    /// [`RadixSorter`] (the survey loop reuses the finalize scratch).
-    pub fn lexicographic_counts_with(&self, sorter: &mut RadixSorter) -> Vec<u64> {
-        let mut pos = 0usize;
-        let mut by_lex: Vec<(u64, u64)> = self
-            .occupancies
-            .iter()
-            .map(|&count| {
-                let key = self.keys[pos];
-                pos += count as usize;
-                (group_reverse(key, self.k), count)
-            })
-            .collect();
-        sorter.sort_pairs(&mut by_lex, 5 * self.k as u32);
-        by_lex.into_iter().map(|(_, c)| c).collect()
+        self.occupancies.clone()
     }
 
     /// Expands into an ordinary [`PermutationCounter`] (same counts).
@@ -371,26 +350,38 @@ impl PackedCountSummary {
         out
     }
 
-    fn decode(&self, key: u64) -> Permutation {
+    fn decode(&self, key: K) -> Permutation {
         decode_packed(key, self.k)
     }
 }
 
-/// Packs a permutation into the 5-bits-per-element u64 key (position `p`
-/// in bits `5p..5p+5`) — the [`PackedPermutationCounter`] key layout.
-pub(crate) fn pack_perm(p: &Permutation) -> u64 {
-    let mut key = 0u64;
+/// Packs a permutation into its 5-bits-per-element **lexicographic**
+/// key — position `p` lives in group `k-1-p`, so position 0 occupies
+/// the most significant occupied group and ascending integer order on
+/// keys of a fixed length coincides with [`Permutation`]'s
+/// lexicographic order.  The [`PackedPermutationCounter`] key layout,
+/// at either [`PackedKey`] width.
+///
+/// Public so key-caching consumers (the flat index searcher) can derive
+/// keys from stored permutations; panics are impossible for any valid
+/// `Permutation` with `len() ≤ K::MAX_K` in debug (longer inputs
+/// silently alias in release — callers dispatch widths first).
+pub fn pack_perm<K: PackedKey>(p: &Permutation) -> K {
+    debug_assert!(p.len() <= K::MAX_K, "permutation too long for this key width");
+    let k = p.len();
+    let mut key = K::ZERO;
     for (pos, &site) in p.as_slice().iter().enumerate() {
-        key |= u64::from(site) << (5 * pos);
+        // width: position pos goes in group k-1-pos; k ≤ MAX_K groups fit.
+        key |= K::from_elem(site) << K::elem_shift(k - 1 - pos);
     }
     key
 }
 
 /// Inverse of [`pack_perm`] for a known length `k`.
-pub(crate) fn decode_packed(key: u64, k: usize) -> Permutation {
+pub(crate) fn decode_packed<K: PackedKey>(key: K, k: usize) -> Permutation {
     let mut items = [0u8; crate::perm::MAX_K];
     for (pos, slot) in items[..k].iter_mut().enumerate() {
-        *slot = ((key >> (5 * pos)) & 0x1F) as u8;
+        *slot = key.field(k - 1 - pos);
     }
     Permutation::from_slice(&items[..k]).expect("packed key decodes to a permutation")
 }
@@ -581,7 +572,7 @@ mod tests {
 
     #[test]
     fn packed_summary_iter_matches_hash_counter() {
-        let mut packed = PackedPermutationCounter::new(3);
+        let mut packed = PackedPermutationCounter::<u64>::new(3);
         let mut hash = PermutationCounter::new();
         let perms = [
             Permutation::identity(3),
@@ -602,14 +593,14 @@ mod tests {
         assert_eq!(pairs, expected);
         // Counts align with the decoded permutations, not just the totals.
         assert_eq!(summary.iter().map(|(_, c)| c).sum::<u64>(), summary.total());
-        assert!(PackedPermutationCounter::new(2).finalize().iter().next().is_none());
+        assert!(PackedPermutationCounter::<u64>::new(2).finalize().iter().next().is_none());
     }
 
     #[test]
     fn lexicographic_counts_match_permutation_sorted_pairs() {
         // Fill a packed counter with an irregular multiset of k = 4
         // permutations covering every tie of first vs last position.
-        let mut packed = PackedPermutationCounter::new(4);
+        let mut packed = PackedPermutationCounter::<u64>::new(4);
         let perms: Vec<Permutation> =
             [[0u8, 1, 2, 3], [0, 1, 3, 2], [3, 0, 1, 2], [1, 0, 2, 3], [3, 2, 1, 0], [0, 2, 1, 3]]
                 .iter()
@@ -683,10 +674,87 @@ mod tests {
     }
 
     #[test]
-    fn group_reverse_round_trips() {
-        for k in [1usize, 5, 12] {
-            let key = (0..k as u64).fold(0u64, |acc, p| acc | ((p % 12) << (5 * p)));
-            assert_eq!(group_reverse(group_reverse(key, k), k), key, "k = {k}");
+    fn packed_key_order_is_lexicographic() {
+        // Integer order on pack_perm keys must equal Permutation order —
+        // the invariant lexicographic_counts and the codebooks lean on.
+        let k = 4usize;
+        let mut perms: Vec<Permutation> = Vec::new();
+        for a in 0..k as u8 {
+            for b in 0..k as u8 {
+                for c in 0..k as u8 {
+                    for d in 0..k as u8 {
+                        if let Ok(p) = Permutation::from_slice(&[a, b, c, d]) {
+                            perms.push(p);
+                        }
+                    }
+                }
+            }
         }
+        let mut by_perm = perms.clone();
+        by_perm.sort_unstable();
+        let mut by_key = perms;
+        by_key.sort_unstable_by_key(pack_perm::<u64>);
+        assert_eq!(by_perm, by_key);
+    }
+
+    #[test]
+    fn wide_pack_decode_round_trips() {
+        // k = 25 exercises fields strictly above bit 64.
+        let items: Vec<u8> = (0..25u8).rev().collect();
+        let p = Permutation::from_slice(&items).unwrap();
+        let key: u128 = pack_perm(&p);
+        assert!(key >> 64 != 0, "high word must be populated");
+        assert_eq!(decode_packed(key, 25), p);
+    }
+
+    #[test]
+    fn wide_packed_counter_matches_hash_counter() {
+        // An irregular multiset of k = 20 permutations.
+        let k = 20usize;
+        let mut packed: PackedPermutationCounter<u128> = PackedPermutationCounter::new(k);
+        let mut hash = PermutationCounter::new();
+        let mut items: Vec<u8> = (0..k as u8).collect();
+        for round in 0..600usize {
+            // Deterministic Fisher–Yates from a splitmix-style stream.
+            let mut state = round as u64 % 37;
+            for i in (1..k).rev() {
+                state = state.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678);
+                items.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            let p = Permutation::from_slice(&items).unwrap();
+            packed.insert(&p);
+            hash.insert(p);
+        }
+        let summary = packed.finalize();
+        assert_eq!(summary.distinct(), hash.distinct());
+        assert_eq!(summary.total(), hash.total());
+        assert_eq!(summary.mean_occupancy().to_bits(), hash.mean_occupancy().to_bits());
+        // Lexicographic frequency tables agree element for element.
+        let expected: Vec<u64> = hash.sorted_counts().into_iter().map(|(_, c)| c).collect();
+        assert_eq!(summary.lexicographic_counts(), expected);
+        // Decoded permutations agree with the hash counter's sorted set.
+        let mut decoded = summary.permutations();
+        decoded.sort_unstable();
+        assert_eq!(decoded, hash.sorted_permutations());
+    }
+
+    #[test]
+    fn sorted_counts_uses_radix_above_the_u64_seam() {
+        // k = 14 permutations take the u128 radix arm of sorted_counts;
+        // the output must equal the comparison-sort arm's.
+        let mut c = PermutationCounter::new();
+        let mut items: Vec<u8> = (0..14u8).collect();
+        for round in 0..300usize {
+            items.rotate_left(round % 14);
+            if round % 3 == 0 {
+                items.swap(0, 7);
+            }
+            c.insert(Permutation::from_slice(&items).unwrap());
+        }
+        let radix = c.sorted_counts();
+        let expected = c.sorted_counts_cmp();
+        assert_eq!(radix, expected);
+        let perms: Vec<Permutation> = radix.iter().map(|&(p, _)| p).collect();
+        assert_eq!(perms, c.sorted_permutations());
     }
 }

@@ -19,19 +19,18 @@
 //! * [`FlatCodebook`] — a sorted array, ids = lexicographic ranks,
 //!   lookup by binary search; what a codebook built by interning a
 //!   *sorted* permutation run comes out as, with no hash table.
-//! * [`PackedCodebook`] — [`FlatCodebook`] for the packed-u64 counting
-//!   pipeline: built straight off a [`PackedCountSummary`]'s sorted
-//!   distinct keys (one radix sort of group-reversed keys, no
-//!   permutation decoded), same lexicographic ids.
+//! * [`PackedCodebook`] — [`FlatCodebook`] for the packed counting
+//!   pipeline at either key width (`u64` for k ≤ 12, `u128` for
+//!   k ≤ 25): built straight off a [`PackedCountSummary`]'s sorted
+//!   distinct keys — the lexicographic key layout makes the sorted key
+//!   rank *be* the codebook id, so no permutation is ever decoded.
 
-use crate::counter::{
-    count_sorted_runs, decode_packed, group_reverse, pack_perm, PackedCountSummary,
-};
+use crate::counter::{count_sorted_runs, decode_packed, pack_perm, PackedCountSummary};
 // dplint: allow(hot-path-hash, reason = generic-path interner for arbitrary k; the
 // flat hot path uses FlatCodebook/PackedCodebook which never touch a hash table)
 use crate::fxhash::FxHashMap;
+use crate::key::PackedKey;
 use crate::perm::{Permutation, PermutationError};
-use crate::radix::RadixSorter;
 
 /// Bits needed per element for naive positional packing: ⌈log₂ k⌉ (k ≥ 2).
 pub fn element_bits(k: usize) -> u32 {
@@ -277,44 +276,29 @@ impl FromIterator<Permutation> for FlatCodebook {
     }
 }
 
-/// The flat codebook of the packed-u64 counting pipeline: built straight
+/// The flat codebook of the packed counting pipeline: built straight
 /// off a [`PackedCountSummary`]'s sorted distinct keys with **no hash
-/// interning and no permutation decode** — one radix sort of the
-/// group-reversed (lexicographic) keys assigns the ids.
+/// interning, no permutation decode, and no extra sort** — the
+/// [`pack_perm`] lexicographic layout makes the summary's ascending
+/// key order the id order.  Generic over the key width like the
+/// summary it is built from.
 ///
 /// Ids are the same lexicographic ranks [`FlatCodebook`] assigns, so
 /// frequency tables indexed by either agree element for element (the
 /// survey equivalence suite pins this across engines).
 #[derive(Debug, Clone)]
-pub struct PackedCodebook {
+pub struct PackedCodebook<K: PackedKey = u64> {
     k: usize,
-    /// Distinct packed keys, ascending in **packed** order (the summary's
-    /// native sort order) — the binary-search lookup side.
-    packed_keys: Vec<u64>,
-    /// `lex_ids[i]` = codebook id of `packed_keys[i]`.
-    lex_ids: Vec<u32>,
-    /// `keys_by_id[id]` = packed key of that id — the decode side.
-    keys_by_id: Vec<u64>,
+    /// Distinct packed keys ascending; the index of a key *is* its
+    /// codebook id (lexicographic rank), serving both the
+    /// binary-search lookup side and the decode side.
+    keys: Vec<K>,
 }
 
-impl PackedCodebook {
+impl<K: PackedKey> PackedCodebook<K> {
     /// Builds the codebook from a finalized counting summary.
-    pub fn from_summary(summary: &PackedCountSummary) -> Self {
-        let k = summary.k();
-        let packed_keys: Vec<u64> = summary.distinct_keys().collect();
-        let mut pairs: Vec<(u64, u64)> = packed_keys
-            .iter()
-            .enumerate()
-            .map(|(rank, &key)| (group_reverse(key, k), rank as u64))
-            .collect();
-        RadixSorter::new().sort_pairs(&mut pairs, 5 * k as u32);
-        let mut lex_ids = vec![0u32; packed_keys.len()];
-        let mut keys_by_id = Vec::with_capacity(packed_keys.len());
-        for (id, &(_, rank)) in pairs.iter().enumerate() {
-            lex_ids[rank as usize] = id as u32;
-            keys_by_id.push(packed_keys[rank as usize]);
-        }
-        Self { k, packed_keys, lex_ids, keys_by_id }
+    pub fn from_summary(summary: &PackedCountSummary<K>) -> Self {
+        Self { k: summary.k(), keys: summary.distinct_keys().collect() }
     }
 
     /// Permutation length k.
@@ -322,10 +306,11 @@ impl PackedCodebook {
         self.k
     }
 
-    /// The id of a packed key (binary search over the sorted distinct
-    /// keys, then the precomputed rank → id table).
-    pub fn id_of_key(&self, key: u64) -> Option<u32> {
-        self.packed_keys.binary_search(&key).ok().map(|rank| self.lex_ids[rank])
+    /// The id of a packed key: its rank in the sorted distinct keys
+    /// (binary search) — the lexicographic layout makes rank and id the
+    /// same number.
+    pub fn id_of_key(&self, key: K) -> Option<u32> {
+        self.keys.binary_search(&key).ok().map(|rank| rank as u32)
     }
 
     /// The id of a permutation value (packs, then [`Self::id_of_key`]).
@@ -339,17 +324,17 @@ impl PackedCodebook {
 
     /// The permutation with a given id, decoded.
     pub fn permutation(&self, id: u32) -> Option<Permutation> {
-        self.keys_by_id.get(id as usize).map(|&key| decode_packed(key, self.k))
+        self.keys.get(id as usize).map(|&key| decode_packed(key, self.k))
     }
 
     /// Number of distinct permutations.
     pub fn len(&self) -> usize {
-        self.packed_keys.len()
+        self.keys.len()
     }
 
     /// True iff empty.
     pub fn is_empty(&self) -> bool {
-        self.packed_keys.is_empty()
+        self.keys.is_empty()
     }
 
     /// Bits per element needed to store an id: ⌈log₂ len⌉.
@@ -361,7 +346,7 @@ impl PackedCodebook {
     /// distinct permutation once.
     pub fn to_flat(&self) -> FlatCodebook {
         FlatCodebook::from_sorted_unique(
-            self.keys_by_id.iter().map(|&key| decode_packed(key, self.k)).collect(),
+            self.keys.iter().map(|&key| decode_packed(key, self.k)).collect(),
         )
     }
 }
@@ -600,7 +585,7 @@ mod tests {
     fn packed_codebook_assigns_flat_codebook_ids() {
         use crate::counter::PackedPermutationCounter;
         let perms = sample_perms();
-        let mut counter = PackedPermutationCounter::new(4);
+        let mut counter = PackedPermutationCounter::<u64>::new(4);
         for p in &perms {
             counter.insert(p);
         }
@@ -619,6 +604,36 @@ mod tests {
         assert!(packed.id_of(&Permutation::from_slice(&[2, 3, 0, 1]).unwrap()).is_none());
         assert!(packed.id_of(&Permutation::identity(3)).is_none());
         // Full expansion agrees.
+        assert_eq!(packed.to_flat().as_slice(), flat.as_slice());
+    }
+
+    #[test]
+    fn wide_packed_codebook_assigns_flat_codebook_ids() {
+        use crate::counter::PackedPermutationCounter;
+        // k = 15 permutations only fit the u128 key width.
+        let k = 15usize;
+        let mut base: Vec<u8> = (0..k as u8).collect();
+        let mut perms = Vec::new();
+        for round in 0..120usize {
+            base.rotate_left(1 + round % 5);
+            if round % 2 == 0 {
+                base.swap(3, 11);
+            }
+            perms.push(Permutation::from_slice(&base).unwrap());
+        }
+        let mut counter: PackedPermutationCounter<u128> = PackedPermutationCounter::new(k);
+        for p in &perms {
+            counter.insert(p);
+        }
+        let packed = PackedCodebook::from_summary(&counter.finalize());
+        let flat = FlatCodebook::from_permutations(&perms);
+        assert_eq!(packed.len(), flat.len());
+        for p in &perms {
+            assert_eq!(packed.id_of(p), flat.id_of(p), "{p}");
+        }
+        for id in 0..packed.len() as u32 {
+            assert_eq!(packed.permutation(id).as_ref(), flat.permutation(id));
+        }
         assert_eq!(packed.to_flat().as_slice(), flat.as_slice());
     }
 

@@ -35,11 +35,25 @@ pub fn entropy_bits(freqs: &[u64]) -> f64 {
     let total_f = total as f64;
     // Explicit sequential accumulation: the entropy sum is part of the
     // survey's bit-identity contract, so its order is spelled out in the
-    // source rather than left to an iterator reduction.
+    // source rather than left to an iterator reduction.  Frequency-1
+    // symbols dominate high-k tables (almost every permutation is
+    // unique), and their term is the same expression every time, so it
+    // is computed once and reused — bit-identical to recomputing it,
+    // with the accumulation order unchanged.
     let mut bits = 0.0f64;
+    let mut one_term = f64::NAN;
     for &f in freqs.iter().filter(|&&f| f > 0) {
-        let p = f as f64 / total_f;
-        bits += -p * p.log2();
+        let term = if f == 1 {
+            if one_term.is_nan() {
+                let p = 1.0f64 / total_f;
+                one_term = -p * p.log2();
+            }
+            one_term
+        } else {
+            let p = f as f64 / total_f;
+            -p * p.log2()
+        };
+        bits += term;
     }
     bits
 }
@@ -86,10 +100,33 @@ impl HuffmanCode {
     }
 
     fn from_lengths(lengths: Vec<u8>) -> Self {
-        let mut sorted_symbols: Vec<u32> =
-            (0..lengths.len() as u32).filter(|&s| lengths[s as usize] > 0).collect();
-        sorted_symbols.sort_unstable_by_key(|&s| (lengths[s as usize], s));
-        let max_len = sorted_symbols.iter().map(|&s| lengths[s as usize]).max().unwrap_or(0);
+        // Canonical order is (length, symbol) ascending.  Lengths fit a
+        // u8, so a 256-bucket counting sort over the naturally
+        // symbol-ordered scan produces exactly the order
+        // `sort_unstable_by_key(|s| (length, s))` would — stable within
+        // a length because symbols arrive ascending — without the
+        // comparison sort (measurable at ~10⁵ coded symbols, where the
+        // sort dominated the canonical build).
+        let mut len_hist = [0u32; 256];
+        let mut coded = 0usize;
+        for &l in &lengths {
+            len_hist[l as usize] += 1;
+            coded += usize::from(l > 0);
+        }
+        let mut offsets = [0u32; 256];
+        let mut sum = 0u32;
+        for (off, &count) in offsets.iter_mut().zip(len_hist.iter()).skip(1) {
+            *off = sum;
+            sum += count;
+        }
+        let mut sorted_symbols: Vec<u32> = vec![0; coded];
+        for (s, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                sorted_symbols[offsets[l as usize] as usize] = s as u32;
+                offsets[l as usize] += 1;
+            }
+        }
+        let max_len = (0..256).rfind(|&l| l > 0 && len_hist[l] > 0).unwrap_or(0) as u8;
 
         let mut codes = vec![0u64; lengths.len()];
         let mut decode_rows = vec![(0u64, 0u32, 0u32); max_len as usize + 1];

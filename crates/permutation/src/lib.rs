@@ -6,7 +6,36 @@
 //! of site indices sorted by increasing distance from y, ties broken by
 //! smaller site index (the paper's Definition, §1).
 //!
-//! Provided here:
+//! ## The width-generic packed pipeline
+//!
+//! The flat engine's counting path never materialises a [`Permutation`]:
+//! each database row becomes one **packed key** — a machine word holding
+//! the permutation in 5-bit fields ([`key::PackedKey`], sealed over `u64`
+//! for k ≤ [`PACKED_MAX_K`] = 12 and `u128` for k ≤ [`WIDE_MAX_K`] = 25).
+//! Every stage is generic over that width and monomorphized once per
+//! workload by [`for_packed_k!`], so the per-row loops carry no width
+//! branches:
+//!
+//! 1. the batched kernels fuse ranking and packing per 4-row tile
+//!    ([`compute::packed_keys_flat`] — vectorized rank lanes go
+//!    register → packed key with no rank-array round-trip);
+//! 2. [`radix`] sorts the key buffer in at most `⌈5k/12⌉` LSD
+//!    12-bit-digit passes (5 for `u64` at k = 12, 11 for `u128` at
+//!    k = 25), with a per-word constant-digit skip so the high word of a
+//!    barely-wide workload costs nothing;
+//! 3. [`counter::count_sorted_runs`] collapses the sorted runs into
+//!    occupancies ([`counter::PackedPermutationCounter`] /
+//!    [`counter::PackedCountSummary`]);
+//! 4. [`encoding::PackedCodebook`] / [`encoding::FlatCodebook`] assign
+//!    lexicographic codebook ids straight off the sorted distinct keys —
+//!    no hash table anywhere.
+//!
+//! The hash path ([`counter::PermutationCounter`]) survives as the
+//! reference oracle for arbitrary k and as the fallback for k > 25; the
+//! sorted-run pipeline is pinned bit-identical to it (including
+//! floating-point Huffman/entropy sums) by the survey equivalence suite.
+//!
+//! ## Everything else
 //!
 //! * [`Permutation`] — a compact, copyable permutation of up to
 //!   [`MAX_K`] = 32 elements (the paper's experiments use k ≤ 12);
@@ -29,18 +58,6 @@
 //!   §4's "more sophisticated structure may be possible" remark;
 //! * [`prefix`] — truncated permutations ([`prefix::PrefixPermutation`])
 //!   and the induced top-ℓ footrule, the practical CFN index form;
-//! * [`counter`] — distinct counting (the paper's `sort | uniq | wc`
-//!   pipeline, in-memory).  The flat engine's counting path is a
-//!   **sorted-run pipeline**: the batched kernels emit one packed u64 key
-//!   per database row ([`compute::packed_keys_flat`]), [`radix`] sorts
-//!   the key buffer in at most ⌈5k/12⌉ LSD 12-bit-digit passes,
-//!   [`counter::count_sorted_runs`] collapses the sorted runs into
-//!   occupancies, and [`encoding::PackedCodebook`] /
-//!   [`encoding::FlatCodebook`] assign codebook ids straight off the
-//!   sorted distinct keys — no hash table anywhere;
-//! * [`radix`] — the LSD radix sort specialized for packed permutation
-//!   keys (digit-histogram skip, sorted-input fast path, reusable
-//!   scratch);
 //! * [`bits`] — the LSB-first bit I/O under all the packed layouts;
 //! * [`fxhash`] — a local FxHash-style hasher for the generic
 //!   (arbitrary-k, arbitrary-point) counting path.
@@ -53,6 +70,7 @@ pub mod counter;
 pub mod encoding;
 pub mod fxhash;
 pub mod huffman;
+pub mod key;
 pub mod lehmer;
 pub mod perm;
 pub mod permdist;
@@ -63,13 +81,14 @@ pub mod store;
 pub use compute::{
     collect_counter_flat, collect_counter_flat_parallel, collect_packed_flat,
     collect_packed_flat_parallel, database_permutations_flat, database_permutations_flat_parallel,
-    distance_permutation, packed_keys_flat, DistPermComputer, PACKED_MAX_K,
+    distance_permutation, packed_keys_flat, DistPermComputer, PACKED_MAX_K, WIDE_MAX_K,
 };
 pub use counter::{
-    count_sorted_runs, PackedCountSummary, PackedPermutationCounter, PermutationCounter,
+    count_sorted_runs, pack_perm, PackedCountSummary, PackedPermutationCounter, PermutationCounter,
 };
 pub use encoding::{Codebook, FlatCodebook, PackedCodebook};
 pub use huffman::{HuffmanCode, HuffmanPermStore};
+pub use key::PackedKey;
 pub use perm::{Permutation, PermutationError, MAX_K};
 pub use prefix::{prefix_footrule, PrefixPermutation};
 pub use radix::RadixSorter;

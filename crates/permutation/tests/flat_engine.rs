@@ -8,7 +8,7 @@ use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, L2Squared, LInf, TransposedSites, L1};
 use dp_permutation::compute::{
     collect_counter_flat, collect_packed_flat, database_permutations_flat,
-    database_permutations_flat_parallel, PACKED_MAX_K,
+    database_permutations_flat_parallel, PACKED_MAX_K, WIDE_MAX_K,
 };
 use dp_permutation::{DistPermComputer, Permutation};
 use proptest::prelude::*;
@@ -75,10 +75,25 @@ proptest! {
     ) {
         let (db, _, sites_t) = flat_setup(n, d, k, seed);
         let hashed = collect_counter_flat(&L2Squared, &sites_t, db.as_flat());
-        let packed = collect_packed_flat(&L2Squared, &sites_t, db.as_flat()).finalize();
+        let packed = collect_packed_flat::<u64, _>(&L2Squared, &sites_t, db.as_flat()).finalize();
         prop_assert_eq!(packed.distinct(), hashed.distinct());
         prop_assert_eq!(packed.total(), hashed.total());
         // Decoded permutation sets agree exactly.
         prop_assert_eq!(packed.unpack().sorted_permutations(), hashed.sorted_permutations());
+    }
+
+    #[test]
+    fn wide_packed_and_hash_counters_agree(
+        n in 1usize..1500,
+        d in 1usize..5,
+        k in (PACKED_MAX_K + 1)..=WIDE_MAX_K,
+        seed in 0u64..1_000_000,
+    ) {
+        let (db, _, sites_t) = flat_setup(n, d, k, seed);
+        let hashed = collect_counter_flat(&L2Squared, &sites_t, db.as_flat());
+        let wide = collect_packed_flat::<u128, _>(&L2Squared, &sites_t, db.as_flat()).finalize();
+        prop_assert_eq!(wide.distinct(), hashed.distinct());
+        prop_assert_eq!(wide.total(), hashed.total());
+        prop_assert_eq!(wide.unpack().sorted_permutations(), hashed.sorted_permutations());
     }
 }

@@ -6,11 +6,12 @@
 //! is exact output equality with the comparison sort — checked here over
 //! all-equal keys, pre-sorted and reverse-sorted input, single/empty
 //! buffers, keys differing only in the top byte, genuine packed
-//! permutation keys for every k in 2..=12, and arbitrary u64 soup.
+//! permutation keys for every k in 2..=12 (`u64`) and 13..=25 (`u128`,
+//! the wide pipeline), arbitrary u64 soup, and arbitrary u128 soup.
 //! `scripts/check.sh` also runs this file under `--release`, where the
 //! vectorized histogram loops actually engage.
 
-use dp_permutation::{PackedPermutationCounter, Permutation, RadixSorter};
+use dp_permutation::{PackedKey, PackedPermutationCounter, Permutation, RadixSorter};
 use proptest::prelude::*;
 
 fn assert_radix_matches_std(keys: &[u64], significant_bits: u32) {
@@ -19,6 +20,36 @@ fn assert_radix_matches_std(keys: &[u64], significant_bits: u32) {
     expected.sort_unstable();
     RadixSorter::new().sort_keys(&mut radixed, significant_bits);
     assert_eq!(radixed, expected, "bits = {significant_bits}, n = {}", keys.len());
+}
+
+fn assert_wide_radix_matches_std(keys: &[u128], significant_bits: u32) {
+    let mut radixed = keys.to_vec();
+    let mut expected = keys.to_vec();
+    expected.sort_unstable();
+    RadixSorter::new().sort_keys(&mut radixed, significant_bits);
+    assert_eq!(radixed, expected, "bits = {significant_bits}, n = {}", keys.len());
+}
+
+/// The finalize pipeline (radix sort + run scan) must agree with a
+/// std-sorted reference run scan at any key width that fits `k`.
+fn assert_finalize_matches_reference<K: PackedKey>(k: usize, seeds: &[u64]) {
+    let mut counter: PackedPermutationCounter<K> = PackedPermutationCounter::new(k);
+    for &s in seeds {
+        counter.insert(&perm_from_seed(k, s));
+    }
+    let summary = counter.finalize();
+    let mut got: Vec<(Permutation, u64)> = summary.iter().collect();
+    got.sort_unstable();
+    let mut sorted: Vec<Permutation> = seeds.iter().map(|&s| perm_from_seed(k, s)).collect();
+    sorted.sort_unstable();
+    let mut expected: Vec<(Permutation, u64)> = Vec::new();
+    for p in sorted {
+        match expected.last_mut() {
+            Some((q, c)) if *q == p => *c += 1,
+            _ => expected.push((p, 1)),
+        }
+    }
+    assert_eq!(got, expected, "k = {k}");
 }
 
 /// A pseudo-random permutation of 0..k from a seed (Fisher–Yates with a
@@ -71,28 +102,51 @@ proptest! {
     fn packed_permutation_keys_every_k(
         seeds in prop::collection::vec(any::<u64>(), 1..2000),
     ) {
-        // The finalize pipeline (radix sort + run scan) must agree with
-        // a std-sorted reference run scan for every packed k.
         for k in 2usize..=12 {
-            let mut counter = PackedPermutationCounter::new(k);
-            for &s in &seeds {
-                counter.insert(&perm_from_seed(k, s));
-            }
-            let summary = counter.finalize();
-            let mut got: Vec<(Permutation, u64)> = summary.iter().collect();
-            got.sort_unstable();
-            let mut sorted: Vec<Permutation> =
-                seeds.iter().map(|&s| perm_from_seed(k, s)).collect();
-            sorted.sort_unstable();
-            let mut expected: Vec<(Permutation, u64)> = Vec::new();
-            for p in sorted {
-                match expected.last_mut() {
-                    Some((q, c)) if *q == p => *c += 1,
-                    _ => expected.push((p, 1)),
-                }
-            }
-            prop_assert_eq!(got, expected, "k = {}", k);
+            assert_finalize_matches_reference::<u64>(k, &seeds);
         }
+    }
+
+    #[test]
+    fn wide_packed_permutation_keys_every_k(
+        seeds in prop::collection::vec(any::<u64>(), 1..1200),
+    ) {
+        // The wide (u128) pipeline across the u64/u128 seam and up to
+        // the u128 capacity; 11..=12 also runs at both widths so the
+        // seam is covered from both sides.
+        for k in 11usize..=14 {
+            assert_finalize_matches_reference::<u128>(k, &seeds);
+            if k <= 12 {
+                assert_finalize_matches_reference::<u64>(k, &seeds);
+            }
+        }
+        for k in [20usize, 24, 25] {
+            assert_finalize_matches_reference::<u128>(k, &seeds);
+        }
+    }
+
+    #[test]
+    fn arbitrary_u128_keys(lows in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let keys: Vec<u128> = lows
+            .iter()
+            .map(|&lo| {
+                let hi = lo.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).rotate_left(29);
+                (u128::from(hi) << 64) | u128::from(lo)
+            })
+            .collect();
+        assert_wide_radix_matches_std(&keys, 128);
+    }
+
+    #[test]
+    fn wide_keys_deciding_only_in_the_high_word(
+        tops in prop::collection::vec(any::<u16>(), 0..2000),
+        low in any::<u64>(),
+    ) {
+        // Constant low word: every pass below bit 64 is a constant-digit
+        // skip, the order is decided entirely above it.
+        let keys: Vec<u128> =
+            tops.iter().map(|&t| (u128::from(t) << 100) | u128::from(low)).collect();
+        assert_wide_radix_matches_std(&keys, 128);
     }
 
     #[test]
@@ -142,5 +196,24 @@ fn packed_keys_respect_declared_significant_bits() {
             })
             .collect();
         assert_radix_matches_std(&keys, bits);
+    }
+}
+
+#[test]
+fn wide_packed_keys_respect_declared_significant_bits() {
+    // Same contract at the u128 width: "5k bits" must agree with std on
+    // keys genuinely using all 5k bits, for every wide-only k.
+    for k in 13usize..=25 {
+        let bits = <u128 as PackedKey>::key_bits(k);
+        let keys: Vec<u128> = (0..1200u64)
+            .map(|i| {
+                let p = perm_from_seed(k, i.wrapping_mul(0xA24B_AED4_963E_E407));
+                p.as_slice()
+                    .iter()
+                    .enumerate()
+                    .fold(0u128, |acc, (pos, &s)| acc | (u128::from(s) << (5 * pos)))
+            })
+            .collect();
+        assert_wide_radix_matches_std(&keys, bits);
     }
 }

@@ -30,13 +30,16 @@ cargo test --workspace -q
 # missed overflow-class bugs before, and the strip-mined kernel tiles
 # only vectorize under optimized codegen — which is exactly where their
 # bit-identity could break — so both must also pass under release.
+# survey_equivalence covers both packed-key width seams (k = 12 → 13
+# and k = 25 → 26), so the u128 wide path gets release coverage here.
 echo "== cargo test --release --test survey_equivalence (release-mode property run)"
 cargo test -p distance-permutations --release -q --test survey_equivalence
 
 echo "== cargo test --release --test kernel_equivalence (release-mode property run)"
 cargo test -p distance-permutations --release -q --test kernel_equivalence
 
-# The radix sorter's contract is exact equality with sort_unstable; its
+# The radix sorter's contract is exact equality with sort_unstable at
+# both key widths (u64 and u128 since the width-generic refactor); its
 # histogram/scatter loops only vectorize under optimized codegen, so the
 # adversarial-distribution property suite must also pass under release.
 echo "== cargo test --release --test radix_properties (release-mode property run)"

@@ -3,10 +3,10 @@
 //! distinct/total/occupancy, every storage-cost column (including the
 //! floating-point Huffman and entropy sums), the site ids, and the
 //! dimension estimate — for every vector metric, at any thread count,
-//! and on both sides of the packed-u64 counting cutoff
-//! (`PACKED_MAX_K`).  The flat survey is the engine behind
-//! `distperm survey` on vector files, so any divergence here is a
-//! user-visible wrong answer.
+//! and on both sides of *both* packed-key cutovers: u64 → u128 at
+//! `PACKED_MAX_K` = 12 and u128 → hash at `WIDE_MAX_K` = 25.  The flat
+//! survey is the engine behind `distperm survey` on vector files, so
+//! any divergence here is a user-visible wrong answer.
 
 use distance_permutations::core::survey_flat::{
     survey_database_flat, survey_database_flat_parallel,
@@ -16,7 +16,7 @@ use distance_permutations::core::{
 };
 use distance_permutations::datasets::vectors::{uniform_unit_cube, uniform_unit_cube_flat};
 use distance_permutations::metric::{BatchDistance, L2Squared, LInf, Lp, Metric, L1, L2};
-use distance_permutations::permutation::compute::PACKED_MAX_K;
+use distance_permutations::permutation::compute::{PACKED_MAX_K, WIDE_MAX_K};
 use proptest::prelude::*;
 
 /// Asserts every field of the two reports equal, f64s compared by bits.
@@ -104,43 +104,56 @@ proptest! {
     }
 }
 
-/// Regression for the k = 12 → 13 packed-key boundary: PACKED_MAX_K is
-/// the largest k the packed-u64 sort+scan counter handles; k = 13 falls
-/// back to the hash counter.  Both sides of the cutoff must agree with
-/// the per-point hash-based path in every report field — an off-by-one
-/// in the cutoff, the 5-bit packing, or the lexicographic reordering
+/// One k across a counting cutover: the flat engine (whatever width or
+/// fallback serves this k) must agree with the per-point hash path in
+/// every count field, and the full survey (freq tables, Huffman and
+/// entropy f64 sums) must be bit-identical sequentially and at 1, 2 and
+/// 4 threads.
+fn check_cutover_k(k: usize, n: usize, d: usize) {
+    let nested = uniform_unit_cube(n, d, 97);
+    let flat = uniform_unit_cube_flat(n, d, 97);
+    let sites_nested = uniform_unit_cube(k, d, 98);
+    let sites_flat = uniform_unit_cube_flat(k, d, 98);
+    let hash = count_permutations(&L2, &sites_nested, &nested);
+    let fast = count_permutations_flat(&L2, &sites_flat, &flat);
+    assert_eq!(fast.distinct, hash.distinct, "k = {k}: distinct");
+    assert_eq!(fast.total, hash.total, "k = {k}: total");
+    assert_eq!(fast.mean_occupancy.to_bits(), hash.mean_occupancy.to_bits(), "k = {k}: occupancy");
+    let cfg = SurveyConfig { ks: vec![k], rho_pairs: 300, ..Default::default() };
+    let generic = survey_database(&L2, &nested, &cfg);
+    assert_bit_identical(&generic, &survey_database_flat(&L2, &flat, &cfg), "survey");
+    for threads in [1usize, 2, 4] {
+        assert_bit_identical(
+            &generic,
+            &survey_database_flat_parallel(&L2, &flat, &cfg, threads),
+            &format!("survey, k = {k}, {threads} threads"),
+        );
+    }
+}
+
+/// Regression for the k = 12 → 13 key-width boundary: PACKED_MAX_K is
+/// the largest k the u64 sort+scan counter handles; k = 13 crosses onto
+/// the u128 wide path.  Both sides of the seam must agree with the
+/// per-point hash-based path in every report field — an off-by-one in
+/// the cutover, the 5-bit packing, or the lexicographic reordering
 /// would show up exactly here.
 #[test]
-fn packed_cutoff_boundary_agrees_with_hash_path() {
-    assert_eq!(PACKED_MAX_K, 12, "boundary test tracks the packing cutoff");
-    let n = 1600; // large enough that the parallel variants really split
-    let d = 5;
+fn u64_u128_cutover_boundary_agrees_with_hash_path() {
+    assert_eq!(PACKED_MAX_K, 12, "boundary test tracks the u64 packing cutoff");
+    // n large enough that the parallel variants really split.
     for k in [11usize, 12, 13, 14] {
-        let nested = uniform_unit_cube(n, d, 97);
-        let flat = uniform_unit_cube_flat(n, d, 97);
-        let sites_nested = uniform_unit_cube(k, d, 98);
-        let sites_flat = uniform_unit_cube_flat(k, d, 98);
-        // Counting: flat (packed for k <= 12, hash above) vs per-point hash.
-        let hash = count_permutations(&L2, &sites_nested, &nested);
-        let fast = count_permutations_flat(&L2, &sites_flat, &flat);
-        assert_eq!(fast.distinct, hash.distinct, "k = {k}: distinct");
-        assert_eq!(fast.total, hash.total, "k = {k}: total");
-        assert_eq!(
-            fast.mean_occupancy.to_bits(),
-            hash.mean_occupancy.to_bits(),
-            "k = {k}: occupancy"
-        );
-        // The full survey (freq tables, Huffman, entropy) across the cutoff.
-        let cfg = SurveyConfig { ks: vec![k], rho_pairs: 300, ..Default::default() };
-        let generic = survey_database(&L2, &nested, &cfg);
-        assert_bit_identical(&generic, &survey_database_flat(&L2, &flat, &cfg), "survey");
-        for threads in [2usize, 4] {
-            assert_bit_identical(
-                &generic,
-                &survey_database_flat_parallel(&L2, &flat, &cfg, threads),
-                &format!("survey, {threads} threads"),
-            );
-        }
+        check_cutover_k(k, 1600, 5);
+    }
+}
+
+/// Regression for the k = 25 → 26 boundary: WIDE_MAX_K is the largest k
+/// any packed width handles; k = 26 falls back to the hash counter.
+/// Same bit-identity contract on both sides of the seam.
+#[test]
+fn u128_hash_cutover_boundary_agrees_with_hash_path() {
+    assert_eq!(WIDE_MAX_K, 25, "boundary test tracks the u128 packing cutoff");
+    for k in [24usize, 25, 26] {
+        check_cutover_k(k, 1600, 5);
     }
 }
 
