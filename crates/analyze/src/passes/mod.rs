@@ -37,6 +37,7 @@ pub const FLOAT_REASSOC_SCOPE: &[&str] = &[
     "crates/metric/src/vector.rs",
     "crates/permutation/src/huffman.rs",
     "crates/permutation/src/permdist.rs",
+    "crates/permutation/src/shard.rs",
     "crates/core/src/survey.rs",
     "crates/core/src/survey_flat.rs",
     "crates/core/src/count.rs",
@@ -56,6 +57,7 @@ pub const HOT_PATH_HASH_SCOPE: &[&str] = &[
     "crates/permutation/src/bits.rs",
     "crates/permutation/src/compute.rs",
     "crates/permutation/src/encoding.rs",
+    "crates/permutation/src/shard.rs",
     "crates/core/src/survey_flat.rs",
 ];
 

@@ -6,7 +6,7 @@ use crate::CliError;
 use dp_core::dimension::min_euclidean_dimension;
 use dp_core::{count_distinct_prefixes, PrefixKind};
 use dp_core::{
-    count_permutations_flat_parallel, count_permutations_parallel, CountEngine, CountReport,
+    count_permutations_flat_sharded, count_permutations_parallel, CountEngine, CountReport,
 };
 use dp_datasets::vectors::choose_distinct_indices;
 use dp_datasets::VectorSet;
@@ -42,20 +42,23 @@ where
     CountOutcome { report, site_ids, prefix_distinct }
 }
 
-/// Vector databases run through the flat batched engine; the optional
-/// prefix count reuses the generic per-point path over row views.
+/// Vector databases run through the flat batched engine (streaming
+/// sharded when `shard_rows > 0` — identical report, bounded memory);
+/// the optional prefix count reuses the generic per-point path over row
+/// views.
 fn measure_flat<M>(
     metric: &M,
     data: &VectorSet,
     site_ids: Vec<usize>,
     threads: usize,
+    shard_rows: usize,
     prefix_len: Option<usize>,
 ) -> CountOutcome
 where
     M: BatchDistance + Sync,
 {
     let sites = data.gather(&site_ids);
-    let report = count_permutations_flat_parallel(metric, &sites, data, threads);
+    let report = count_permutations_flat_sharded(metric, &sites, data, threads, shard_rows);
     let prefix_distinct = prefix_len.map(|l| {
         // Borrow rows as slice views: no copy of the database.
         let rows: Vec<&[f64]> = data.rows().collect();
@@ -91,6 +94,7 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
     }
     let seed = parsed.u64_or("seed", 0x5EED)?;
     let threads = parsed.threads_or(4)?;
+    let shard_rows = parsed.usize_or("shard-rows", 0)?;
     let prefix_len = match parsed.str_opt("prefix-len") {
         None => None,
         Some(s) => {
@@ -116,13 +120,22 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
 
     let outcome = match &db {
         Database::Vectors { data, metric, .. } => match metric {
-            VectorMetricSpec::L1 => measure_flat(&L1, data, site_ids, threads, prefix_len),
-            VectorMetricSpec::L2 => measure_flat(&L2, data, site_ids, threads, prefix_len),
-            VectorMetricSpec::LInf => measure_flat(&LInf, data, site_ids, threads, prefix_len),
+            VectorMetricSpec::L1 => {
+                measure_flat(&L1, data, site_ids, threads, shard_rows, prefix_len)
+            }
+            VectorMetricSpec::L2 => {
+                measure_flat(&L2, data, site_ids, threads, shard_rows, prefix_len)
+            }
+            VectorMetricSpec::LInf => {
+                measure_flat(&LInf, data, site_ids, threads, shard_rows, prefix_len)
+            }
             VectorMetricSpec::Lp(p) => {
-                measure_flat(&Lp::new(*p), data, site_ids, threads, prefix_len)
+                measure_flat(&Lp::new(*p), data, site_ids, threads, shard_rows, prefix_len)
             }
         },
+        Database::Strings { .. } if shard_rows > 0 => {
+            return Err(CliError::usage("--shard-rows applies only to vector databases"));
+        }
         Database::Strings { data, metric } => match metric {
             StringMetricSpec::Levenshtein => {
                 measure(&Levenshtein, data, site_ids, threads, prefix_len)

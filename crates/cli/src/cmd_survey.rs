@@ -4,7 +4,7 @@ use crate::args::ParsedArgs;
 use crate::data::{self, Database, StringMetricSpec, VectorMetricSpec};
 use crate::CliError;
 use dp_core::dimension::ReferenceProfile;
-use dp_core::{survey_database, survey_database_flat_parallel, CountEngine, SurveyConfig};
+use dp_core::{survey_database, survey_database_flat_sharded, CountEngine, SurveyConfig};
 use dp_metric::{Hamming, LInf, Levenshtein, Lp, Metric, PrefixDistance, L1, L2};
 use dp_permutation::MAX_K;
 use std::io::Write;
@@ -60,6 +60,10 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
     let rho_pairs = parsed.usize_or("rho-pairs", 20_000)?.max(1);
     let with_reference = parsed.flag("with-reference");
     let threads = parsed.threads_or(1)?;
+    let shard_rows = parsed.usize_or("shard-rows", 0)?;
+    if shard_rows > 0 && matches!(&db, Database::Strings { .. }) {
+        return Err(CliError::usage("--shard-rows applies only to vector databases"));
+    }
     parsed.finish()?;
 
     let reference = if with_reference {
@@ -76,13 +80,21 @@ pub(crate) fn run(parsed: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliErr
         Database::Vectors { data, metric, .. } => {
             // Vector databases are already stored flat, so the survey
             // runs straight through the batched engine — same report,
-            // bit for bit, as the generic per-point path.
+            // bit for bit, as the generic per-point path, whether the
+            // per-k counting buffers in memory (--shard-rows 0) or
+            // streams bounded shards (--shard-rows > 0).
             match metric {
-                VectorMetricSpec::L1 => survey_database_flat_parallel(&L1, data, &cfg, threads),
-                VectorMetricSpec::L2 => survey_database_flat_parallel(&L2, data, &cfg, threads),
-                VectorMetricSpec::LInf => survey_database_flat_parallel(&LInf, data, &cfg, threads),
+                VectorMetricSpec::L1 => {
+                    survey_database_flat_sharded(&L1, data, &cfg, threads, shard_rows)
+                }
+                VectorMetricSpec::L2 => {
+                    survey_database_flat_sharded(&L2, data, &cfg, threads, shard_rows)
+                }
+                VectorMetricSpec::LInf => {
+                    survey_database_flat_sharded(&LInf, data, &cfg, threads, shard_rows)
+                }
                 VectorMetricSpec::Lp(p) => {
-                    survey_database_flat_parallel(&Lp::new(*p), data, &cfg, threads)
+                    survey_database_flat_sharded(&Lp::new(*p), data, &cfg, threads, shard_rows)
                 }
             }
         }

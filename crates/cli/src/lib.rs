@@ -105,10 +105,13 @@ COMMANDS:
             --vectors <file>|--strings <file> --k <sites>
             [--metric l2|l1|linf|lp:<p>|levenshtein|hamming|prefix]
             [--seed <s>] [--sites 0,5,9] [--threads <t>] [--prefix-len <l>]
+            [--shard-rows <n>  (vectors only: stream n-key shards instead
+            of buffering every key; 0 = in-memory, identical output)]
   survey    full report: rho, counts, storage costs, dimension estimates
             (vector databases run through the flat batched engine)
             --vectors <file>|--strings <file> [--metric …] [--ks 4,8,12]
             [--seed <s>] [--rho-pairs 20000] [--threads 1  (vectors only)]
+            [--shard-rows <n>  (vectors only; 0 = in-memory)]
   build     build a flatperm index once and persist it as a store file
             --vectors <db> --out <store> (--k <sites> | --sites 0,5,9)
             [--metric l2|l1|linf|lp:<p>] [--threads 4]
@@ -140,8 +143,8 @@ pub fn usage_line(command: &str) -> Option<&'static str> {
         "table1" => "distperm table1 [--dmax 10] [--kmax 12]",
         "build" => "distperm build --vectors <db> --out <store> (--k <sites> | --sites 0,5,9) [--metric <m>] [--threads <t>]",
         "generate" => "distperm generate --kind <kind> --n <count> --out <file> [--dim <d>] [--seed <s>]",
-        "count" => "distperm count --vectors <file>|--strings <file> --k <sites> [--metric <m>] [--threads <t>]",
-        "survey" => "distperm survey --vectors <file>|--strings <file> [--metric <m>] [--ks 4,8,12]",
+        "count" => "distperm count --vectors <file>|--strings <file> --k <sites> [--metric <m>] [--threads <t>] [--shard-rows <n>]",
+        "survey" => "distperm survey --vectors <file>|--strings <file> [--metric <m>] [--ks 4,8,12] [--shard-rows <n>]",
         "search" => "distperm search --vectors <db>|--strings <db> --index <spec> | --load <store>  --queries <file> [--knn <k>|--radius <r>] [--frac <f>] [--threads <t>]",
         "serve" => "distperm serve --vectors <db> --index <spec> | --load <store> [--threads <t>] [--queue <n>] [--deadline-ms <ms>] [--degrade-frac <f>]",
         "figures" => "distperm figures [--out figures/] [--size 640]",

@@ -22,7 +22,7 @@ use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, Metric, TransposedSites};
 use dp_permutation::compute::{
     collect_counter_flat, collect_counter_flat_parallel, collect_packed_flat,
-    collect_packed_flat_parallel, PACKED_MAX_K, WIDE_MAX_K,
+    collect_packed_flat_parallel, collect_sharded_flat_parallel, PACKED_MAX_K, WIDE_MAX_K,
 };
 use dp_permutation::counter::collect_counter;
 use dp_permutation::{DistPermComputer, PackedCountSummary, PackedKey, PermutationCounter};
@@ -177,6 +177,41 @@ pub fn count_permutations_flat_parallel<M: BatchDistance + Sync>(
         K => {
             let counter = collect_packed_flat_parallel::<K, _>(metric, &sites_t, flat, threads);
             CountReport::from(&counter.finalize())
+        },
+        _ => CountReport::from(&collect_counter_flat_parallel(metric, &sites_t, flat, threads)),
+    )
+}
+
+/// [`count_permutations_flat_parallel`] with bounded memory: packed
+/// keys stream through a [`dp_permutation::ShardedCounter`] per worker
+/// (each holding at most `shard_rows` keys plus the distinct-run
+/// frontier) instead of buffering all n keys before the sort.
+/// `shard_rows = 0` means "in-memory" and delegates to the buffering
+/// engine.  The report is bit-identical either way — sharding changes
+/// the working set, never the counts.
+///
+/// Beyond [`WIDE_MAX_K`] there is no packed key to shard on, so the
+/// hash engine runs regardless of `shard_rows` (its working set is
+/// already one entry per distinct permutation).
+pub fn count_permutations_flat_sharded<M: BatchDistance + Sync>(
+    metric: &M,
+    sites: &VectorSet,
+    database: &VectorSet,
+    threads: usize,
+    shard_rows: usize,
+) -> CountReport {
+    if shard_rows == 0 {
+        return count_permutations_flat_parallel(metric, sites, database, threads);
+    }
+    check_flat_dims(sites, database);
+    let sites_t = transpose_sites(sites, database);
+    let flat = database.as_flat();
+    dp_permutation::for_packed_k!(
+        sites.len(),
+        K => {
+            let summary =
+                collect_sharded_flat_parallel::<K, _>(metric, &sites_t, flat, threads, shard_rows);
+            CountReport::from(&summary)
         },
         _ => CountReport::from(&collect_counter_flat_parallel(metric, &sites_t, flat, threads)),
     )

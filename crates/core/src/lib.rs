@@ -28,9 +28,10 @@
 //! * [`survey_flat`] — the same survey on flat [`dp_datasets::VectorSet`]
 //!   storage through the batched site-transposed kernels and
 //!   width-generic packed counting (`u64` keys for k ≤ 12, `u128` keys
-//!   for k ≤ 25, hash counting beyond; see [`count::CountEngine`]) —
-//!   bit-identical report, several times the throughput; this is the
-//!   engine the CLI uses for vector databases.
+//!   for k ≤ 25, hash counting beyond; see [`count::CountEngine`]),
+//!   with ranking and key packing fused into one register-resident tile
+//!   pass — bit-identical report, several times the throughput; this is
+//!   the engine the CLI uses for vector databases.
 //!
 //! Both the counting and survey measurements come in two equivalent
 //! engines: the generic per-point path for any metric over any point
@@ -38,6 +39,17 @@
 //! is not an approximation — distances, counts and derived statistics
 //! are bit-for-bit equal (enforced by the workspace property suites),
 //! so callers may pick purely on storage layout.
+//!
+//! The flat engines additionally come in a **streaming** flavour with
+//! bounded memory: [`count_permutations_flat_sharded`] and
+//! [`survey_flat::survey_database_flat_sharded`] stream packed keys
+//! through fixed-size shards (at most `shard_rows` buffered keys plus
+//! one `(key, count)` run per distinct permutation) instead of
+//! buffering every key before the sort.  `shard_rows = 0` means
+//! in-memory; any other value changes the working set, never the
+//! report — sharded output is bit-identical, floats included, which the
+//! root `sharded_equivalence` suite enforces.  On the command line this
+//! is `distperm count/survey --shard-rows <n>`.
 
 #![forbid(unsafe_code)]
 
@@ -52,7 +64,7 @@ pub mod survey_flat;
 
 pub use count::{
     count_permutations, count_permutations_flat, count_permutations_flat_parallel,
-    count_permutations_parallel, CountEngine, CountReport,
+    count_permutations_flat_sharded, count_permutations_parallel, CountEngine, CountReport,
 };
 pub use counterexample::{eq12_sites, verify_eq12};
 pub use dimension::{estimate_dimension, ReferenceProfile};
@@ -60,4 +72,6 @@ pub use experiments::{uniform_experiment, MetricKind, UniformExperiment};
 pub use orders::{count_distinct_prefixes, refinement_chain, PrefixKind};
 pub use spaces::{theoretical_max, SpaceKind};
 pub use survey::{survey_database, DatabaseSurvey, SurveyConfig};
-pub use survey_flat::{survey_database_flat, survey_database_flat_parallel};
+pub use survey_flat::{
+    survey_database_flat, survey_database_flat_parallel, survey_database_flat_sharded,
+};

@@ -26,7 +26,8 @@ use crate::survey::{
 use dp_datasets::VectorSet;
 use dp_metric::{BatchDistance, TransposedSites};
 use dp_permutation::compute::{
-    collect_counter_flat_parallel, collect_packed_flat_parallel, PACKED_MAX_K, WIDE_MAX_K,
+    collect_counter_flat_parallel, collect_packed_flat_parallel, collect_sharded_flat_parallel,
+    PACKED_MAX_K, WIDE_MAX_K,
 };
 use dp_permutation::{PackedKey, RadixSorter};
 use rand::rngs::StdRng;
@@ -65,6 +66,25 @@ pub fn survey_database_flat_parallel<M: BatchDistance + Sync>(
     config: &SurveyConfig,
     threads: usize,
 ) -> DatabaseSurvey {
+    survey_database_flat_sharded(metric, database, config, threads, 0)
+}
+
+/// [`survey_database_flat_parallel`] with bounded counting memory: for
+/// `shard_rows > 0`, every packed per-k scan streams through
+/// [`dp_permutation::ShardedCounter`]s holding at most `shard_rows`
+/// keys each plus the distinct-run frontier, instead of buffering all
+/// n keys per k.  `shard_rows = 0` is the in-memory engine.  The survey
+/// is **bit-identical** either way — counts, codebook sizes and the
+/// floating-point Huffman/entropy sums all derive from the same
+/// distinct-key/occupancy table, which sharding reproduces exactly
+/// (`tests/sharded_equivalence.rs` pins every field).
+pub fn survey_database_flat_sharded<M: BatchDistance + Sync>(
+    metric: &M,
+    database: &VectorSet,
+    config: &SurveyConfig,
+    threads: usize,
+    shard_rows: usize,
+) -> DatabaseSurvey {
     assert!(database.len() >= 2, "survey needs at least two points");
     let rho = dp_datasets::intrinsic_dimensionality_flat(
         metric,
@@ -78,7 +98,16 @@ pub fn survey_database_flat_parallel<M: BatchDistance + Sync>(
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
         let site_ids = dp_datasets::vectors::choose_distinct_indices(database.len(), k, &mut rng);
         let sites = database.gather(&site_ids);
-        per_k.push(survey_one_k(metric, database, &sites, k, site_ids, threads, &mut sorters));
+        per_k.push(survey_one_k(
+            metric,
+            database,
+            &sites,
+            k,
+            site_ids,
+            threads,
+            shard_rows,
+            &mut sorters,
+        ));
     }
     let dimension_estimate = dimension_estimate(&per_k, config);
     DatabaseSurvey { n: database.len(), rho, per_k, dimension_estimate }
@@ -91,6 +120,7 @@ pub fn survey_database_flat_parallel<M: BatchDistance + Sync>(
 /// matches the generic path's codebook order exactly without decoding a
 /// single permutation; beyond [`WIDE_MAX_K`] the hash counter feeds the
 /// same sorted-count frequency table the generic path uses.
+#[allow(clippy::too_many_arguments)]
 fn survey_one_k<M: BatchDistance + Sync>(
     metric: &M,
     database: &VectorSet,
@@ -98,6 +128,7 @@ fn survey_one_k<M: BatchDistance + Sync>(
     k: usize,
     site_ids: Vec<usize>,
     threads: usize,
+    shard_rows: usize,
     sorters: &mut FlatSurveySorters,
 ) -> KSurvey {
     crate::count::check_flat_dims(sites, database);
@@ -110,6 +141,7 @@ fn survey_one_k<M: BatchDistance + Sync>(
             k,
             site_ids,
             threads,
+            shard_rows,
             &mut sorters.narrow,
         )
     } else if k <= WIDE_MAX_K {
@@ -120,6 +152,7 @@ fn survey_one_k<M: BatchDistance + Sync>(
             k,
             site_ids,
             threads,
+            shard_rows,
             &mut sorters.wide,
         )
     } else {
@@ -130,7 +163,10 @@ fn survey_one_k<M: BatchDistance + Sync>(
 }
 
 /// The packed arm of [`survey_one_k`], monomorphized per key width so
-/// the per-row loops carry no width branch.
+/// the per-row loops carry no width branch.  `shard_rows > 0` selects
+/// the streaming sharded collector (which owns its bounded scratch);
+/// 0 the buffering collector finalized through the shared sorter.
+#[allow(clippy::too_many_arguments)]
 fn survey_one_k_packed<K: PackedKey, M: BatchDistance + Sync>(
     metric: &M,
     database: &VectorSet,
@@ -138,11 +174,15 @@ fn survey_one_k_packed<K: PackedKey, M: BatchDistance + Sync>(
     k: usize,
     site_ids: Vec<usize>,
     threads: usize,
+    shard_rows: usize,
     sorter: &mut RadixSorter<K>,
 ) -> KSurvey {
-    let summary =
-        collect_packed_flat_parallel::<K, M>(metric, sites_t, database.as_flat(), threads)
-            .finalize_with(sorter);
+    let flat = database.as_flat();
+    let summary = if shard_rows > 0 {
+        collect_sharded_flat_parallel::<K, M>(metric, sites_t, flat, threads, shard_rows)
+    } else {
+        collect_packed_flat_parallel::<K, M>(metric, sites_t, flat, threads).finalize_with(sorter)
+    };
     let report = CountReport::from(&summary);
     build_ksurvey(k, site_ids, report, &summary.lexicographic_counts())
 }

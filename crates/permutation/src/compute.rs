@@ -5,9 +5,10 @@
 //! pair `(distance, index)` realises exactly that rule, and because
 //! [`dp_metric::Distance`] is totally ordered the result is deterministic.
 
-use crate::counter::{PackedPermutationCounter, PermutationCounter};
+use crate::counter::{PackedCountSummary, PackedPermutationCounter, PermutationCounter};
 use crate::key::PackedKey;
 use crate::perm::{Permutation, MAX_K};
+use crate::shard::{merge_counted_run_sets, ShardedCounter};
 use dp_metric::{BatchDistance, Metric, TransposedSites};
 
 /// Computes the distance permutation of `query` with respect to `sites`.
@@ -250,37 +251,135 @@ fn rank_row(row_dists: &[f64], ranks: &mut [u8; MAX_K]) {
 /// costs one vector compare instead of `RANK_LANES` scalar ones.
 const RANK_LANES: usize = 4;
 
-/// Ranks a tile of [`RANK_LANES`] rows at once.
-///
-/// The tile is transposed site-major (`cols[site][lane]`) so each
-/// `(i, j)` site comparison is one `f64×LANES` vector compare; the
-/// boolean masks accumulate as i64 lanes (`vcmppd` + `vpsubq` on AVX2 —
-/// no scalar booleans anywhere in the hot loop).  Tie-break and output
-/// are exactly [`rank_row`]'s, row by row.
+/// Transposes a `RANK_LANES × k` row-major tile site-major, so each
+/// `(i, j)` site comparison is one `f64×LANES` vector compare.
 #[inline]
-fn rank_rows_tile(tile: &[f64], k: usize, rank_lanes: &mut [[i64; RANK_LANES]; MAX_K]) {
+fn transpose_tile(tile: &[f64], k: usize, cols: &mut [[f64; RANK_LANES]; MAX_K]) {
     debug_assert_eq!(tile.len(), RANK_LANES * k);
-    let mut cols = [[0.0f64; RANK_LANES]; MAX_K];
     for (lane, row) in tile.chunks_exact(k).enumerate() {
         for (col, &d) in cols[..k].iter_mut().zip(row.iter()) {
             col[lane] = d;
         }
     }
-    for i in 0..k {
+}
+
+/// Dispatches a tile kernel on the runtime `k` to its `const`-generic
+/// instantiation.  The call site defines a one-argument `arm!` macro
+/// mapping a literal `k` to the monomorphic call.
+///
+/// The constant bound is what makes the pairwise schedule pay off: with
+/// `k` known at compile time every per-site loop fully unrolls, and the
+/// whole `k × RANK_LANES` i64 accumulator tile is register-allocated
+/// (an AVX-512 build has 32 vector registers — enough even at the
+/// `u128` widths), so the halved compare count is not bought back by
+/// loads and stores of in-memory accumulator rows.
+macro_rules! dispatch_tile_k {
+    ($k:expr, $arm:ident) => {
+        match $k {
+            1 => $arm!(1),
+            2 => $arm!(2),
+            3 => $arm!(3),
+            4 => $arm!(4),
+            5 => $arm!(5),
+            6 => $arm!(6),
+            7 => $arm!(7),
+            8 => $arm!(8),
+            9 => $arm!(9),
+            10 => $arm!(10),
+            11 => $arm!(11),
+            12 => $arm!(12),
+            13 => $arm!(13),
+            14 => $arm!(14),
+            15 => $arm!(15),
+            16 => $arm!(16),
+            17 => $arm!(17),
+            18 => $arm!(18),
+            19 => $arm!(19),
+            20 => $arm!(20),
+            21 => $arm!(21),
+            22 => $arm!(22),
+            23 => $arm!(23),
+            24 => $arm!(24),
+            25 => $arm!(25),
+            26 => $arm!(26),
+            27 => $arm!(27),
+            28 => $arm!(28),
+            29 => $arm!(29),
+            30 => $arm!(30),
+            31 => $arm!(31),
+            32 => $arm!(32),
+            _ => unreachable!("tile kernels require 1 <= k <= MAX_K"),
+        }
+    };
+}
+
+/// Pairwise-halved rank accumulation over a transposed tile: fills
+/// `acc[i][lane]` with site `i`'s rank in lane `lane`'s row.
+///
+/// Each unordered site pair `(i, j)`, `i < j`, is compared **once**:
+/// the mask `c = (d_i <= d_j)` settles both sides — site `j` gains `c`
+/// (a closer-or-tied earlier site), and site `i` gains `1 - c`, because
+/// on the non-NaN domain the callers guarantee `!(d_i <= d_j)` is
+/// exactly `d_j < d_i`, the strictly-closer-later rule.  Seeding site
+/// `i`'s accumulator with its later-pair count `KC-1-i` and
+/// *subtracting* `c` folds the complement into the same mask, so the
+/// output is bit-for-bit [`rank_row`]'s at k(k-1)/2 vector compares per
+/// tile instead of k(k-1).  The masks accumulate as i64 lanes — a
+/// `vcmppd`/`vpsubq` pair on AVX2, no scalar booleans anywhere in the
+/// hot loop — and the `pend` tile of not-yet-final rows stays in
+/// registers because `KC` is a compile-time constant (see
+/// [`dispatch_tile_k`]).
+///
+/// After outer step `i`, row `i` is **final**: its pairs with smaller
+/// indices contributed in earlier steps, the rest in step `i` — so the
+/// row streams straight out to `acc[i]` and the fused packer can fold
+/// each site into the key lanes without a second pass.
+#[inline]
+fn pairwise_rank_lanes_k<const KC: usize>(
+    cols: &[[f64; RANK_LANES]; MAX_K],
+    acc: &mut [[i64; RANK_LANES]; MAX_K],
+) {
+    let mut pend = [[0i64; RANK_LANES]; KC];
+    for i in 0..KC {
         let ci = cols[i];
-        let mut acc = [0i64; RANK_LANES];
-        for cj in &cols[..i] {
-            for (a, (&dj, &di)) in acc.iter_mut().zip(cj.iter().zip(ci.iter())) {
-                *a += i64::from(dj <= di);
+        let mut ri = pend[i];
+        for r in &mut ri {
+            *r += (KC - 1 - i) as i64;
+        }
+        for j in i + 1..KC {
+            for lane in 0..RANK_LANES {
+                let c = i64::from(ci[lane] <= cols[j][lane]);
+                pend[j][lane] += c;
+                ri[lane] -= c;
             }
         }
-        for cj in &cols[i + 1..k] {
-            for (a, (&dj, &di)) in acc.iter_mut().zip(cj.iter().zip(ci.iter())) {
-                *a += i64::from(dj < di);
-            }
-        }
-        rank_lanes[i] = acc;
+        acc[i] = ri;
     }
+}
+
+/// Runtime-`k` front end for [`pairwise_rank_lanes_k`].
+#[inline]
+fn pairwise_rank_lanes(
+    cols: &[[f64; RANK_LANES]; MAX_K],
+    k: usize,
+    acc: &mut [[i64; RANK_LANES]; MAX_K],
+) {
+    macro_rules! arm {
+        ($kc:literal) => {
+            pairwise_rank_lanes_k::<$kc>(cols, acc)
+        };
+    }
+    dispatch_tile_k!(k, arm);
+}
+
+/// Ranks a tile of [`RANK_LANES`] rows at once — the
+/// [`pairwise_rank_lanes`] schedule over a freshly transposed tile.
+/// Tie-break and output are exactly [`rank_row`]'s, row by row.
+#[inline]
+fn rank_rows_tile(tile: &[f64], k: usize, rank_lanes: &mut [[i64; RANK_LANES]; MAX_K]) {
+    let mut cols = [[0.0f64; RANK_LANES]; MAX_K];
+    transpose_tile(tile, k, &mut cols);
+    pairwise_rank_lanes(&cols, k, rank_lanes);
 }
 
 /// Ranks every `k`-wide row of a distance block, emitting one rank
@@ -361,8 +460,9 @@ fn permutation_from_ranks(ranks: &[u8; MAX_K], k: usize) -> Permutation {
 /// (requires `k <= K::MAX_K`): element at position `p` of Π occupies
 /// group `k-1-p`, the [`crate::pack_perm`] layout, so ascending key order is
 /// the permutations' lexicographic order.  Injective, so distinct
-/// keys ⇔ distinct permutations.
-#[inline]
+/// keys ⇔ distinct permutations.  The fused tile made this test-only:
+/// it is the reference the equivalence tests pack against.
+#[cfg(test)]
 fn packed_key_from_ranks<K: PackedKey>(ranks: &[u8; MAX_K], k: usize) -> K {
     debug_assert!(k <= K::MAX_K);
     let mut key = K::ZERO;
@@ -372,55 +472,109 @@ fn packed_key_from_ranks<K: PackedKey>(ranks: &[u8; MAX_K], k: usize) -> K {
     key
 }
 
-/// Ranks every `k`-wide row of a distance block and emits one **packed
-/// key** per row, in order — the fused form of [`rank_rows`] +
-/// [`packed_key_from_ranks`].
+/// Ranks **and packs** a tile of [`RANK_LANES`] rows in one fused pass:
+/// `keys[lane]` receives row `lane`'s packed lexicographic key, with no
+/// intermediate rank rows between compare and key field.
 ///
-/// Full tiles read the vectorized rank lanes straight out of
-/// [`rank_rows_tile`]'s site-major accumulator and OR each site's field
-/// into the key, so ranks go register → packed key with no de-transpose
-/// into a per-row rank array.  Bit-identical to packing the de-transposed
-/// ranks: both place site `i` in the group for position `rank(i)` of the
-/// lexicographic layout, and the remainder rows still run [`rank_row`] +
-/// [`packed_key_from_ranks`].
+/// Built on [`pairwise_rank_lanes`]'s halved-compare schedule.  At the
+/// `u64` width, the moment outer step `i` finalizes site `i`'s rank
+/// lanes the site's 5-bit field ORs into the lane keys — rank to key
+/// field while both are register-resident.  Wide (`u128`) keys keep
+/// the rank accumulator for the whole tile instead: a variable 128-bit
+/// shift is several ops on 64-bit hardware, so each lane de-transposes
+/// into a position-ordered row and shift-accumulates with a constant
+/// one-field shift — the same Σ site·2^(5·(k-1-pos)) value, field by
+/// field.
+#[inline]
+fn rank_pack_cols<K: PackedKey, const KC: usize>(
+    cols: &[[f64; RANK_LANES]; MAX_K],
+    keys: &mut [K; RANK_LANES],
+) {
+    if K::BITS > 64 {
+        let mut acc = [[0i64; RANK_LANES]; MAX_K];
+        pairwise_rank_lanes_k::<KC>(cols, &mut acc);
+        for (lane, key) in keys.iter_mut().enumerate() {
+            let mut items = [0u8; MAX_K];
+            for (i, lanes) in acc[..KC].iter().enumerate() {
+                items[lanes[lane] as usize] = i as u8;
+            }
+            for &site in &items[..KC] {
+                *key = (*key << K::elem_shift(1)) | K::from_elem(site);
+            }
+        }
+        return;
+    }
+    // The u64 arm inlines the pairwise schedule so each finalized site
+    // folds into the keys immediately (see pairwise_rank_lanes_k for
+    // the rank arithmetic and its bit-identity argument).
+    let mut pend = [[0i64; RANK_LANES]; KC];
+    for i in 0..KC {
+        let ci = cols[i];
+        let mut ri = pend[i];
+        for r in &mut ri {
+            *r += (KC - 1 - i) as i64;
+        }
+        for j in i + 1..KC {
+            for lane in 0..RANK_LANES {
+                let c = i64::from(ci[lane] <= cols[j][lane]);
+                pend[j][lane] += c;
+                ri[lane] -= c;
+            }
+        }
+        for (key, &r) in keys.iter_mut().zip(ri.iter()) {
+            *key |= K::from_elem(i as u8) << K::elem_shift(KC - 1 - r as usize);
+        }
+    }
+}
+
+/// Runtime-`k` front end for [`rank_pack_cols`]: transposes the tile
+/// and dispatches to the constant-`k` fused rank+pack kernel.
+#[inline]
+fn rank_pack_tile<K: PackedKey>(tile: &[f64], k: usize, keys: &mut [K; RANK_LANES]) {
+    debug_assert!(k > 0 && k <= K::MAX_K);
+    let mut cols = [[0.0f64; RANK_LANES]; MAX_K];
+    transpose_tile(tile, k, &mut cols);
+    *keys = [K::ZERO; RANK_LANES];
+    macro_rules! arm {
+        ($kc:literal) => {
+            rank_pack_cols::<K, $kc>(&cols, keys)
+        };
+    }
+    dispatch_tile_k!(k, arm);
+}
+
+/// Ranks every `k`-wide row of a distance block and emits one **packed
+/// key** per row, in order — every row, full tile or tail, through the
+/// fused [`rank_pack_tile`].
+///
+/// A tail of `n mod RANK_LANES ≠ 0` rows is padded to a full tile by
+/// replicating its last real row: lanes are computed independently, so
+/// the real lanes' keys are unchanged and the padding lanes' keys are
+/// simply not emitted.  One code path, one set of rank/pack semantics.
 #[inline]
 fn rank_rows_keys<K: PackedKey>(block_dists: &[f64], k: usize, mut emit: impl FnMut(K)) {
     debug_assert!(k > 0 && k <= K::MAX_K);
+    let mut keys = [K::ZERO; RANK_LANES];
     let tiles = block_dists.chunks_exact(RANK_LANES * k);
     let remainder = tiles.remainder();
-    let mut rank_lanes = [[0i64; RANK_LANES]; MAX_K];
     for tile in tiles {
-        rank_rows_tile(tile, k, &mut rank_lanes);
-        for lane in 0..RANK_LANES {
-            let key = if K::BITS > 64 {
-                // Wide keys: a variable 128-bit shift is several ops on
-                // 64-bit hardware, so de-transpose the lane's ranks into
-                // a position-ordered row first and shift-accumulate with
-                // a constant one-field shift — the same
-                // Σ site·2^(5·(k-1-pos)) value, field by field.
-                let mut items = [0u8; MAX_K];
-                for (i, lanes) in rank_lanes[..k].iter().enumerate() {
-                    items[lanes[lane] as usize] = i as u8;
-                }
-                let mut key = K::ZERO;
-                for &site in &items[..k] {
-                    key = (key << K::elem_shift(1)) | K::from_elem(site);
-                }
-                key
-            } else {
-                let mut key = K::ZERO;
-                for (i, lanes) in rank_lanes[..k].iter().enumerate() {
-                    key |= K::from_elem(i as u8) << K::elem_shift(k - 1 - lanes[lane] as usize);
-                }
-                key
-            };
+        rank_pack_tile(tile, k, &mut keys);
+        for &key in &keys {
             emit(key);
         }
     }
-    let ranks = &mut [0u8; MAX_K];
-    for row_dists in remainder.chunks_exact(k) {
-        rank_row(row_dists, ranks);
-        emit(packed_key_from_ranks(ranks, k));
+    let rem_rows = remainder.len() / k;
+    if rem_rows > 0 {
+        let mut padded = [0.0f64; RANK_LANES * MAX_K];
+        let padded = &mut padded[..RANK_LANES * k];
+        padded[..remainder.len()].copy_from_slice(remainder);
+        for lane in rem_rows..RANK_LANES {
+            padded.copy_within((rem_rows - 1) * k..rem_rows * k, lane * k);
+        }
+        rank_pack_tile(padded, k, &mut keys);
+        for &key in &keys[..rem_rows] {
+            emit(key);
+        }
     }
 }
 
@@ -570,6 +724,73 @@ pub fn collect_packed_flat_parallel<K: PackedKey, M: BatchDistance + Sync>(
     })
     .expect("flat counting scope");
     PackedPermutationCounter::from_keys(sites.k(), merge_sorted_runs(runs))
+}
+
+/// Streaming sharded counting over a flat database: the summary is
+/// identical to [`collect_packed_flat`] + finalize, but the working set
+/// never holds all n keys — at most `shard_rows` buffered keys (plus
+/// equal sort scratch) and one `(key, count)` frontier entry per
+/// distinct permutation (see [`ShardedCounter`]).  The block driver
+/// feeds fused rank+pack tiles straight into the counter, so the
+/// distance and ranking phases are untouched.
+///
+/// # Panics
+/// Panics if `sites.k() > K::MAX_K` or `shard_rows` is 0 (callers treat
+/// 0 as "in-memory" and must dispatch before reaching this).
+pub fn collect_sharded_flat<K: PackedKey, M: BatchDistance>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+    shard_rows: usize,
+) -> PackedCountSummary<K> {
+    let mut counter = ShardedCounter::new(sites.k(), shard_rows);
+    flat_scan_keys(metric, sites, db_rows, |key| counter.insert_key(key));
+    counter.finalize()
+}
+
+/// Parallel [`collect_sharded_flat`]: each of `threads` scoped workers
+/// streams its row range through its own [`ShardedCounter`] (each
+/// bounded by `shard_rows`), and the per-worker frontiers — already
+/// sorted `(key, count)` runs — merge pairwise with counts summed.
+/// Deterministic and identical to the sequential path: the merged run
+/// set is the run-length scan of the full multiset regardless of the
+/// split.
+///
+/// # Panics
+/// Panics if `sites.k() > K::MAX_K` or `shard_rows` is 0.
+pub fn collect_sharded_flat_parallel<K: PackedKey, M: BatchDistance + Sync>(
+    metric: &M,
+    sites: &TransposedSites,
+    db_rows: &[f64],
+    threads: usize,
+    shard_rows: usize,
+) -> PackedCountSummary<K> {
+    let dim = sites.dim().max(1);
+    assert_eq!(db_rows.len() % dim, 0, "database rows not a multiple of dim");
+    let n = db_rows.len() / dim;
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        return collect_sharded_flat(metric, sites, db_rows, shard_rows);
+    }
+    let rows_per = n.div_ceil(threads);
+    let mut runs: Vec<Vec<(K, u64)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = db_rows
+            .chunks(rows_per * dim)
+            .map(|rows| {
+                scope.spawn(move |_| {
+                    let mut counter = ShardedCounter::<K>::new(sites.k(), shard_rows);
+                    flat_scan_keys(metric, sites, rows, |key| counter.insert_key(key));
+                    counter.into_runs()
+                })
+            })
+            .collect();
+        for h in handles {
+            runs.push(h.join().expect("sharded counting worker panicked"));
+        }
+    })
+    .expect("sharded counting scope");
+    PackedCountSummary::from_counted_runs(sites.k(), merge_counted_run_sets(runs))
 }
 
 /// Merges sorted runs pairwise until one remains — `O(n log t)` for `t`
@@ -801,22 +1022,48 @@ mod tests {
     #[test]
     fn fused_key_packing_matches_rank_then_pack() {
         // The fused tile packer must emit exactly the keys the two-phase
-        // rank → pack path produces, at both widths, including the
-        // partial-tile remainder (n not a multiple of RANK_LANES).
-        let n = 1029; // not a multiple of RANK_LANES
-        for k in [1usize, 7, 12] {
-            let row_dists = weyl_rows(n, k, 31 + k as u64);
-            let fused: Vec<u64> = rank_distance_rows_packed(&row_dists, k);
-            let mut unfused: Vec<u64> = Vec::new();
-            rank_rows(&row_dists, k, |ranks| unfused.push(packed_key_from_ranks(ranks, k)));
-            assert_eq!(fused, unfused, "k = {k}");
+        // rank → pack path produces, at both widths, for every tail
+        // shape (n mod RANK_LANES ∈ {0, 1, 2, 3} — the padded tail
+        // shares the fused path and must stay invisible).
+        for n in [1024usize, 1025, 1026, 1027, 1, 2, 3] {
+            for k in [1usize, 7, 12] {
+                let row_dists = weyl_rows(n, k, 31 + (n * 31 + k) as u64);
+                let fused: Vec<u64> = rank_distance_rows_packed(&row_dists, k);
+                let mut unfused: Vec<u64> = Vec::new();
+                rank_rows(&row_dists, k, |ranks| unfused.push(packed_key_from_ranks(ranks, k)));
+                assert_eq!(fused, unfused, "n = {n}, k = {k}");
+            }
+            for k in [13usize, 20, 25] {
+                let row_dists = weyl_rows(n, k, 41 + (n * 37 + k) as u64);
+                let fused: Vec<u128> = rank_distance_rows_packed(&row_dists, k);
+                let mut unfused: Vec<u128> = Vec::new();
+                rank_rows(&row_dists, k, |ranks| unfused.push(packed_key_from_ranks(ranks, k)));
+                assert_eq!(fused, unfused, "n = {n}, k = {k}");
+            }
         }
-        for k in [13usize, 20, 25] {
-            let row_dists = weyl_rows(n, k, 41 + k as u64);
-            let fused: Vec<u128> = rank_distance_rows_packed(&row_dists, k);
-            let mut unfused: Vec<u128> = Vec::new();
-            rank_rows(&row_dists, k, |ranks| unfused.push(packed_key_from_ranks(ranks, k)));
-            assert_eq!(fused, unfused, "k = {k}");
+    }
+
+    #[test]
+    fn sharded_collectors_match_in_memory_collectors() {
+        use dp_metric::L2Squared;
+        let (n, k, dim) = (4099, 9, 3); // n mod RANK_LANES = 3
+        let db = weyl_rows(n, dim, 51);
+        let sites_t = TransposedSites::from_rows(&weyl_rows(k, dim, 52), dim);
+        let expected = collect_packed_flat::<u64, _>(&L2Squared, &sites_t, &db).finalize();
+        for shard_rows in [1usize, 1000, n, n + 1] {
+            let sharded = collect_sharded_flat::<u64, _>(&L2Squared, &sites_t, &db, shard_rows);
+            assert_eq!(sharded.distinct(), expected.distinct(), "shard_rows = {shard_rows}");
+            assert_eq!(sharded.total(), expected.total());
+            assert_eq!(sharded.lexicographic_counts(), expected.lexicographic_counts());
+            assert_eq!(sharded.permutations(), expected.permutations());
+            for threads in [2, 4] {
+                let par = collect_sharded_flat_parallel::<u64, _>(
+                    &L2Squared, &sites_t, &db, threads, shard_rows,
+                );
+                assert_eq!(par.distinct(), expected.distinct(), "threads = {threads}");
+                assert_eq!(par.lexicographic_counts(), expected.lexicographic_counts());
+                assert_eq!(par.permutations(), expected.permutations());
+            }
         }
     }
 

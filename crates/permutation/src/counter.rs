@@ -15,6 +15,12 @@
 //!   the buffer once and [`count_sorted_runs`] turns the sorted runs
 //!   into occupancies.  No hashing anywhere on the hot path.
 //!
+//! Either way the result is a [`PackedCountSummary`], which keeps one
+//! `(key, occupancy)` pair per **distinct** permutation — O(distinct)
+//! memory, so downstream consumers (codebooks, Huffman, the survey)
+//! never pay for n again.  [`crate::shard::ShardedCounter`] produces
+//! the same summary without ever buffering all n keys.
+//!
 //! [`finalize`]: PackedPermutationCounter::finalize
 
 use crate::compute::DistPermComputer;
@@ -234,8 +240,20 @@ impl<K: PackedKey> PackedPermutationCounter<K> {
     /// buffer instead of reallocating.
     pub fn finalize_with(mut self, sorter: &mut RadixSorter<K>) -> PackedCountSummary<K> {
         sorter.sort_keys(&mut self.keys, K::key_bits(self.k));
+        let total = self.keys.len() as u64;
         let occupancies = count_sorted_runs(&self.keys);
-        PackedCountSummary { k: self.k, keys: self.keys, occupancies }
+        // Compact the sorted buffer to its run starts in place: the
+        // summary keeps one key per *distinct* permutation, never the
+        // n-key observation buffer (the streaming sharded path builds
+        // the same representation without ever materialising n keys).
+        let mut pos = 0usize;
+        for (i, &occ) in occupancies.iter().enumerate() {
+            self.keys[i] = self.keys[pos];
+            pos += occ as usize;
+        }
+        self.keys.truncate(occupancies.len());
+        self.keys.shrink_to_fit();
+        PackedCountSummary { k: self.k, keys: self.keys, occupancies, total }
     }
 
     /// Wraps an already-collected key buffer (the batched scans build the
@@ -265,14 +283,33 @@ impl<K: PackedKey> PackedPermutationCounter<K> {
 }
 
 /// Finalized statistics of a [`PackedPermutationCounter`].
+///
+/// Holds one key per **distinct** permutation (ascending key order, which
+/// the [`pack_perm`] layout makes lexicographic order) plus its occupancy
+/// count and the observation total — `O(distinct)` memory, independent of
+/// the database size.  Both counting engines end here: the in-memory
+/// sort + run-scan ([`PackedPermutationCounter::finalize`]) and the
+/// bounded-memory streaming merge ([`crate::shard::ShardedCounter`])
+/// produce identical summaries by construction.
 #[derive(Debug, Clone)]
 pub struct PackedCountSummary<K: PackedKey = u64> {
     k: usize,
     keys: Vec<K>,
     occupancies: Vec<u64>,
+    total: u64,
 }
 
 impl<K: PackedKey> PackedCountSummary<K> {
+    /// Builds a summary directly from ascending `(key, count)` runs —
+    /// the streaming sharded counter's hand-off; no n-key buffer ever
+    /// exists on that path.
+    pub(crate) fn from_counted_runs(k: usize, runs: Vec<(K, u64)>) -> Self {
+        debug_assert!(runs.windows(2).all(|w| w[0].0 < w[1].0), "runs must be strictly ascending");
+        let total = runs.iter().map(|&(_, c)| c).sum();
+        let (keys, occupancies) = runs.into_iter().unzip();
+        Self { k, keys, occupancies, total }
+    }
+
     /// Number of distinct permutations observed.
     pub fn distinct(&self) -> usize {
         self.occupancies.len()
@@ -280,7 +317,7 @@ impl<K: PackedKey> PackedCountSummary<K> {
 
     /// Total number of observations.
     pub fn total(&self) -> u64 {
-        self.keys.len() as u64
+        self.total
     }
 
     /// Mean occupancy: observations per distinct permutation.
@@ -303,15 +340,11 @@ impl<K: PackedKey> PackedCountSummary<K> {
         self.distinct_keys().map(|key| self.decode(key)).collect()
     }
 
-    /// The distinct packed keys in ascending key order — one run start
-    /// per occupancy entry.  The [`pack_perm`] layout makes this the
+    /// The distinct packed keys in ascending key order — one per
+    /// occupancy entry.  The [`pack_perm`] layout makes this the
     /// lexicographic order of the decoded permutations.
     pub fn distinct_keys(&self) -> impl Iterator<Item = K> + '_ {
-        self.occupancies.iter().scan(0usize, move |pos, &count| {
-            let key = self.keys[*pos];
-            *pos += count as usize;
-            Some(key)
-        })
+        self.keys.iter().copied()
     }
 
     /// Iterator over `(permutation, occurrence count)`, in
@@ -320,11 +353,10 @@ impl<K: PackedKey> PackedCountSummary<K> {
     /// recover the occupancy distribution without re-hashing every
     /// observation.
     pub fn iter(&self) -> impl Iterator<Item = (Permutation, u64)> + '_ {
-        self.occupancies.iter().scan(0usize, move |pos, &count| {
-            let key = self.keys[*pos];
-            *pos += count as usize;
-            Some((self.decode(key), count))
-        })
+        self.keys
+            .iter()
+            .zip(self.occupancies.iter())
+            .map(|(&key, &count)| (self.decode(key), count))
     }
 
     /// Occurrence counts ordered by the **lexicographic** rank of each
@@ -344,8 +376,10 @@ impl<K: PackedKey> PackedCountSummary<K> {
     /// Expands into an ordinary [`PermutationCounter`] (same counts).
     pub fn unpack(&self) -> PermutationCounter {
         let mut out = PermutationCounter::new();
-        for &key in &self.keys {
-            out.insert(self.decode(key));
+        for (p, count) in self.iter() {
+            for _ in 0..count {
+                out.insert(p);
+            }
         }
         out
     }

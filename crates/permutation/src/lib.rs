@@ -17,18 +17,35 @@
 //! branches:
 //!
 //! 1. the batched kernels fuse ranking and packing per 4-row tile
-//!    ([`compute::packed_keys_flat`] — vectorized rank lanes go
-//!    register → packed key with no rank-array round-trip);
+//!    ([`compute::packed_keys_flat`] — one pairwise-halved compare
+//!    schedule, dispatched to a constant-`k` instantiation so the whole
+//!    accumulator tile is register-resident, folds each site's rank
+//!    straight into the key lanes with no rank-array round-trip; tails
+//!    of `n mod 4` rows run the same path on a padded tile);
 //! 2. [`radix`] sorts the key buffer in at most `⌈5k/12⌉` LSD
 //!    12-bit-digit passes (5 for `u64` at k = 12, 11 for `u128` at
 //!    k = 25), with a per-word constant-digit skip so the high word of a
 //!    barely-wide workload costs nothing;
 //! 3. [`counter::count_sorted_runs`] collapses the sorted runs into
 //!    occupancies ([`counter::PackedPermutationCounter`] /
-//!    [`counter::PackedCountSummary`]);
+//!    [`counter::PackedCountSummary`] — the summary stores one
+//!    `(key, count)` pair per *distinct* permutation, never all n keys);
 //! 4. [`encoding::PackedCodebook`] / [`encoding::FlatCodebook`] assign
 //!    lexicographic codebook ids straight off the sorted distinct keys —
 //!    no hash table anywhere.
+//!
+//! When the whole key buffer should not be held at once, [`shard`]
+//! streams the same pipeline through bounded shards:
+//! [`ShardedCounter`] buffers at most `shard_rows` keys, radix-sorts
+//! each full shard with reused scratch, and merges it as sorted
+//! run-lengths into a frontier holding one `(key, count)` entry per
+//! distinct permutation seen so far.  Because merging sorted multiset
+//! runs is associative, the finalized summary — and everything
+//! downstream of it, including the float Huffman/entropy sums — is
+//! bit-identical to the buffer-everything engine
+//! ([`compute::collect_sharded_flat`] /
+//! [`compute::collect_sharded_flat_parallel`]; `distperm count/survey
+//! --shard-rows` on the command line).
 //!
 //! The hash path ([`counter::PermutationCounter`]) survives as the
 //! reference oracle for arbitrary k and as the fallback for k > 25; the
@@ -76,12 +93,14 @@ pub mod perm;
 pub mod permdist;
 pub mod prefix;
 pub mod radix;
+pub mod shard;
 pub mod store;
 
 pub use compute::{
     collect_counter_flat, collect_counter_flat_parallel, collect_packed_flat,
-    collect_packed_flat_parallel, database_permutations_flat, database_permutations_flat_parallel,
-    distance_permutation, packed_keys_flat, DistPermComputer, PACKED_MAX_K, WIDE_MAX_K,
+    collect_packed_flat_parallel, collect_sharded_flat, collect_sharded_flat_parallel,
+    database_permutations_flat, database_permutations_flat_parallel, distance_permutation,
+    packed_keys_flat, DistPermComputer, PACKED_MAX_K, WIDE_MAX_K,
 };
 pub use counter::{
     count_sorted_runs, pack_perm, PackedCountSummary, PackedPermutationCounter, PermutationCounter,
@@ -92,4 +111,5 @@ pub use key::PackedKey;
 pub use perm::{Permutation, PermutationError, MAX_K};
 pub use prefix::{prefix_footrule, PrefixPermutation};
 pub use radix::RadixSorter;
+pub use shard::ShardedCounter;
 pub use store::{PackedPermStore, RawPermStore};

@@ -39,7 +39,9 @@
 //!   pre-merged sorted runs for free.
 //! * **Reusable scratch** — the sorter owns its scratch and histogram
 //!   buffers, so repeated finalizes (the per-k survey loop) never
-//!   reallocate.
+//!   reallocate.  [`crate::shard::ShardedCounter`] leans on the same
+//!   property: one sorter sorts every shard of a streaming count, so
+//!   the scratch allocation is paid once per counter, not per shard.
 //!
 //! The property suite (`tests/radix_properties.rs`) pins
 //! `radix == sort_unstable` over adversarial distributions at both

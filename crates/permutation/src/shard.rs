@@ -1,0 +1,305 @@
+//! Streaming sharded counting: distinct-permutation counts without ever
+//! holding n keys.
+//!
+//! The in-memory pipeline ([`crate::counter::PackedPermutationCounter`])
+//! buffers every observation's packed key and sorts once — `O(n)` memory,
+//! which caps the reachable database size long before the arithmetic
+//! does.  [`ShardedCounter`] replaces the buffer with a fixed-size
+//! **shard**: inserts append to a `shard_rows`-key block, and each full
+//! block is radix-sorted (scratch reused across shards) and run-length
+//! merged into a sorted `(key, count)` **frontier**.  The frontier is the
+//! summary under construction — one entry per distinct permutation seen
+//! so far, ascending key order — so [`ShardedCounter::finalize`] just
+//! wraps it in a [`PackedCountSummary`].
+//!
+//! Memory is bounded by `shard_rows` keys of sort buffer + scratch plus
+//! one `(key, count)` pair per **distinct** permutation (twice that,
+//! transiently, while a shard merges).  Since the paper's whole point is
+//! that distinct ≪ n ("about 10 database points per permutation", §5),
+//! the frontier is the small side of the ledger and n drops out of the
+//! footprint entirely.
+//!
+//! Equivalence with the in-memory engine is exact, not approximate: a
+//! run-length merge of per-shard sorted multisets is the run-length scan
+//! of the sorted concatenation, so the finalized summary — distinct keys,
+//! occupancies, total, and every float derived from them downstream — is
+//! bit-for-bit the one [`PackedPermutationCounter::finalize`] produces
+//! (`tests/sharded_equivalence.rs` pins this across shard sizes, widths
+//! and thread counts).
+//!
+//! [`PackedPermutationCounter::finalize`]: crate::counter::PackedPermutationCounter::finalize
+
+use crate::counter::PackedCountSummary;
+use crate::key::PackedKey;
+use crate::radix::RadixSorter;
+
+/// Bounded-memory occurrence counter over packed permutation keys.
+///
+/// Drop-in for the collect-then-finalize flow of
+/// [`crate::counter::PackedPermutationCounter`] when n keys must never
+/// be resident: feed keys with [`Self::insert_key`], take the summary
+/// with [`Self::finalize`].  See the [module docs](self) for the memory
+/// contract and the equivalence argument.
+#[derive(Debug, Clone)]
+pub struct ShardedCounter<K: PackedKey = u64> {
+    k: usize,
+    shard_rows: usize,
+    /// Unsorted keys of the shard in flight — never exceeds `shard_rows`.
+    buf: Vec<K>,
+    /// Sorted `(key, count)` runs of everything flushed so far.
+    frontier: Vec<(K, u64)>,
+    /// Merge output scratch, swapped with `frontier` each flush.
+    merged: Vec<(K, u64)>,
+    sorter: RadixSorter<K>,
+    total: u64,
+    peak_frontier: usize,
+}
+
+impl<K: PackedKey> ShardedCounter<K> {
+    /// An empty counter for permutations of length `k`, flushing every
+    /// `shard_rows` inserts.
+    ///
+    /// # Panics
+    /// Panics if `shard_rows` is 0 or `k` exceeds the key width's
+    /// capacity (`K::MAX_K`).
+    pub fn new(k: usize, shard_rows: usize) -> Self {
+        assert!(shard_rows > 0, "shard_rows must be at least 1");
+        assert!(
+            k <= K::MAX_K,
+            "k = {k} exceeds MAX_K = {} for {}-bit packed keys",
+            K::MAX_K,
+            K::BITS
+        );
+        Self {
+            k,
+            shard_rows,
+            buf: Vec::with_capacity(shard_rows),
+            frontier: Vec::new(),
+            merged: Vec::new(),
+            sorter: RadixSorter::new(),
+            total: 0,
+            peak_frontier: 0,
+        }
+    }
+
+    /// Permutation length k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Shard size this counter flushes at.
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Total number of observations so far (flushed or buffered).
+    pub fn total(&self) -> u64 {
+        self.total + self.buf.len() as u64
+    }
+
+    /// Records one occurrence of a packed key (the
+    /// [`crate::pack_perm`] lexicographic layout), flushing the shard
+    /// if this insert fills it.
+    #[inline]
+    pub fn insert_key(&mut self, key: K) {
+        self.buf.push(key);
+        if self.buf.len() == self.shard_rows {
+            self.flush();
+        }
+    }
+
+    /// Sorts and merges the in-flight shard into the frontier now, even
+    /// if it is only partially full.  A no-op on an empty shard;
+    /// [`Self::finalize`] calls this, so explicit calls are only needed
+    /// to read exact [`Self::frontier_entries`] mid-stream.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        self.sorter.sort_keys(&mut self.buf, K::key_bits(self.k));
+        self.merged.clear();
+        self.merged.reserve(self.frontier.len() + self.buf.len());
+        let mut fi = 0usize;
+        let mut bi = 0usize;
+        while bi < self.buf.len() {
+            let key = self.buf[bi];
+            let run_start = bi;
+            while bi < self.buf.len() && self.buf[bi] == key {
+                bi += 1;
+            }
+            let run = (bi - run_start) as u64;
+            while fi < self.frontier.len() && self.frontier[fi].0 < key {
+                self.merged.push(self.frontier[fi]);
+                fi += 1;
+            }
+            if fi < self.frontier.len() && self.frontier[fi].0 == key {
+                self.merged.push((key, self.frontier[fi].1 + run));
+                fi += 1;
+            } else {
+                self.merged.push((key, run));
+            }
+        }
+        self.merged.extend_from_slice(&self.frontier[fi..]);
+        std::mem::swap(&mut self.frontier, &mut self.merged);
+        self.total += self.buf.len() as u64;
+        self.buf.clear();
+        self.peak_frontier = self.peak_frontier.max(self.frontier.len());
+    }
+
+    /// Distinct permutations currently on the frontier (excluding any
+    /// unflushed shard contents).
+    pub fn frontier_entries(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Largest frontier length any flush has produced — with
+    /// [`Self::shard_rows`], the counter's whole memory story.
+    pub fn peak_frontier_entries(&self) -> usize {
+        self.peak_frontier
+    }
+
+    /// Flushes the tail shard and returns the finalized summary —
+    /// identical to collecting every key in memory and finalizing.
+    pub fn finalize(mut self) -> PackedCountSummary<K> {
+        self.flush();
+        PackedCountSummary::from_counted_runs(self.k, self.frontier)
+    }
+
+    /// Flushes the tail shard and surrenders the raw frontier — the
+    /// parallel collectors merge per-worker frontiers with
+    /// [`merge_counted_run_sets`] before building one summary.
+    pub(crate) fn into_runs(mut self) -> Vec<(K, u64)> {
+        self.flush();
+        self.frontier
+    }
+}
+
+/// Merges sorted `(key, count)` run sets pairwise until one remains,
+/// summing counts on equal keys — the counted-run generalization of the
+/// parallel collectors' sorted-run merge, `O(D log t)` for `t` sets of
+/// ≤ D distinct keys each.
+pub(crate) fn merge_counted_run_sets<K: PackedKey>(mut runs: Vec<Vec<(K, u64)>>) -> Vec<(K, u64)> {
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two_run_sets(&a, &b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+fn merge_two_run_sets<K: PackedKey>(a: &[(K, u64)], b: &[(K, u64)]) -> Vec<(K, u64)> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::PackedPermutationCounter;
+
+    fn weyl_keys(n: usize, k: usize, salt: u64) -> Vec<u64> {
+        // Pseudo-random valid packed permutations: rotate the identity by
+        // a Weyl stream and swap two fields for irregular multiplicities.
+        let mut items: Vec<u8> = (0..k as u8).collect();
+        (0..n)
+            .map(|i| {
+                let s = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ salt) >> 7;
+                items.rotate_left(s as usize % k.max(1));
+                let p = crate::perm::Permutation::from_slice(&items).unwrap();
+                crate::counter::pack_perm::<u64>(&p)
+            })
+            .collect()
+    }
+
+    fn in_memory_summary(k: usize, keys: &[u64]) -> PackedCountSummary<u64> {
+        let mut c = PackedPermutationCounter::<u64>::new(k);
+        for &key in keys {
+            c.insert_key(key);
+        }
+        c.finalize()
+    }
+
+    #[test]
+    fn sharded_matches_in_memory_across_shard_sizes() {
+        let k = 6;
+        let n = 997; // prime: never a multiple of any shard size tested
+        let keys = weyl_keys(n, k, 3);
+        let expected = in_memory_summary(k, &keys);
+        for shard_rows in [1usize, n - 1, n, n + 1, 64] {
+            let mut sharded = ShardedCounter::<u64>::new(k, shard_rows);
+            for &key in &keys {
+                sharded.insert_key(key);
+            }
+            assert_eq!(sharded.total(), n as u64, "shard_rows = {shard_rows}");
+            let summary = sharded.finalize();
+            assert_eq!(summary.distinct(), expected.distinct(), "shard_rows = {shard_rows}");
+            assert_eq!(summary.total(), expected.total());
+            assert_eq!(summary.lexicographic_counts(), expected.lexicographic_counts());
+            assert_eq!(
+                summary.distinct_keys().collect::<Vec<_>>(),
+                expected.distinct_keys().collect::<Vec<_>>(),
+            );
+            assert_eq!(summary.mean_occupancy().to_bits(), expected.mean_occupancy().to_bits());
+        }
+    }
+
+    #[test]
+    fn frontier_is_bounded_by_distinct_count() {
+        let k = 5;
+        let keys = weyl_keys(5000, k, 9);
+        let mut sharded = ShardedCounter::<u64>::new(k, 128);
+        for &key in &keys {
+            sharded.insert_key(key);
+        }
+        sharded.flush();
+        let frontier = sharded.frontier_entries();
+        let peak = sharded.peak_frontier_entries();
+        let summary = sharded.finalize();
+        assert_eq!(frontier, summary.distinct());
+        // The frontier only ever grows toward the final distinct count.
+        assert_eq!(peak, summary.distinct());
+    }
+
+    #[test]
+    fn merge_counted_run_sets_sums_equal_keys() {
+        let merged = merge_counted_run_sets::<u64>(vec![
+            vec![(1, 2), (5, 1)],
+            vec![(1, 1), (3, 4)],
+            vec![(5, 7)],
+        ]);
+        assert_eq!(merged, vec![(1, 3), (3, 4), (5, 8)]);
+        assert_eq!(merge_counted_run_sets::<u64>(Vec::new()), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_rows")]
+    fn zero_shard_rows_rejected() {
+        let _ = ShardedCounter::<u64>::new(4, 0);
+    }
+}

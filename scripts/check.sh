@@ -38,6 +38,14 @@ cargo test -p distance-permutations --release -q --test survey_equivalence
 echo "== cargo test --release --test kernel_equivalence (release-mode property run)"
 cargo test -p distance-permutations --release -q --test kernel_equivalence
 
+# The fused rank+pack tile and the sharded streaming counter are pure
+# optimizations whose contract is bit-identity with the phase-separated
+# and buffer-everything engines; the fused tile only vectorizes under
+# optimized codegen and the suite's million-point memory-bound run is
+# only tractable there, so it runs under release.
+echo "== cargo test --release --test sharded_equivalence (release-mode property run)"
+cargo test -p distance-permutations --release -q --test sharded_equivalence
+
 # The radix sorter's contract is exact equality with sort_unstable at
 # both key widths (u64 and u128 since the width-generic refactor); its
 # histogram/scatter loops only vectorize under optimized codegen, so the
